@@ -1,0 +1,123 @@
+//! BMS: the baseline SAT-based exact synthesis algorithm.
+//!
+//! "Busy Man's Synthesis" (Soeken, De Micheli, Mishchenko — DATE'17)
+//! style single-solver loop: for `r = lower bound, r+1, …` build the
+//! full SSV encoding (all minterms constrained, unrestricted topology)
+//! and solve; the first satisfiable `r` is the optimum and the model
+//! decodes into the chain.
+
+use stp_tt::TruthTable;
+
+use crate::error::BaselineError;
+use crate::ssv::{
+    check_deadline, solve_under_deadline, trivial_chain, unrestricted_pairs, BaselineConfig,
+    BaselineResult, SsvInstance, SsvOptions,
+};
+use stp_sat::SolveResult;
+
+/// Runs BMS exact synthesis.
+///
+/// # Errors
+///
+/// * [`BaselineError::Timeout`] when the deadline expires;
+/// * [`BaselineError::GateLimitExceeded`] when no realization exists
+///   within the configured gate limit.
+///
+/// # Examples
+///
+/// ```
+/// use stp_baselines::{bms_synthesize, BaselineConfig};
+/// use stp_tt::TruthTable;
+///
+/// let spec = TruthTable::from_hex(4, "8ff8")?;
+/// let result = bms_synthesize(&spec, &BaselineConfig::default())?;
+/// assert_eq!(result.gate_count, 3);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn bms_synthesize(
+    spec: &TruthTable,
+    config: &BaselineConfig,
+) -> Result<BaselineResult, BaselineError> {
+    if let Some(chain) = trivial_chain(spec) {
+        return Ok(BaselineResult { chain, gate_count: 0, conflicts: 0, solver_calls: 0 });
+    }
+    let n = spec.num_vars();
+    let start = spec.support().len().saturating_sub(1).max(1);
+    let all_minterms: Vec<usize> = (0..spec.num_bits()).collect();
+    let mut conflicts = 0u64;
+    let mut solver_calls = 0u64;
+    #[allow(clippy::explicit_counter_loop)]
+    for r in start..=config.gate_limit() {
+        check_deadline(config.deadline)?;
+        let mut inst = SsvInstance::build_with_options(spec, r, |i| unrestricted_pairs(n, i), &all_minterms, SsvOptions::UNRESTRICTED);
+        solver_calls += 1;
+        let result = solve_under_deadline(&mut inst.solver, config.deadline);
+        conflicts += inst.solver.stats().conflicts;
+        match result? {
+            SolveResult::Sat => {
+                let chain = inst.decode()?;
+                debug_assert_eq!(chain.simulate_outputs()?[0], *spec);
+                return Ok(BaselineResult { chain, gate_count: r, conflicts, solver_calls });
+            }
+            SolveResult::Unsat => continue,
+            SolveResult::Unknown => unreachable!("budget slices always resolve or time out"),
+        }
+    }
+    Err(BaselineError::GateLimitExceeded { max_gates: config.gate_limit() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_example_costs_three_gates() {
+        let spec = TruthTable::from_hex(4, "8ff8").unwrap();
+        let result = bms_synthesize(&spec, &BaselineConfig::default()).unwrap();
+        assert_eq!(result.gate_count, 3);
+        assert_eq!(result.chain.simulate_outputs().unwrap()[0], spec);
+    }
+
+    #[test]
+    fn majority_costs_four_gates() {
+        let maj = TruthTable::from_hex(3, "e8").unwrap();
+        let result = bms_synthesize(&maj, &BaselineConfig::default()).unwrap();
+        assert_eq!(result.gate_count, 4);
+        assert_eq!(result.chain.simulate_outputs().unwrap()[0], maj);
+    }
+
+    #[test]
+    fn xor3_costs_two_gates() {
+        let spec = TruthTable::from_fn(3, |a| a[0] ^ a[1] ^ a[2]).unwrap();
+        let result = bms_synthesize(&spec, &BaselineConfig::default()).unwrap();
+        assert_eq!(result.gate_count, 2);
+    }
+
+    #[test]
+    fn trivial_specs_cost_zero() {
+        let result =
+            bms_synthesize(&TruthTable::variable(4, 2).unwrap(), &BaselineConfig::default())
+                .unwrap();
+        assert_eq!(result.gate_count, 0);
+    }
+
+    #[test]
+    fn expired_deadline_times_out() {
+        let spec = TruthTable::from_hex(4, "1ee1").unwrap();
+        let config = BaselineConfig {
+            deadline: Some(std::time::Instant::now() - std::time::Duration::from_secs(1)),
+            ..BaselineConfig::default()
+        };
+        assert!(matches!(bms_synthesize(&spec, &config), Err(BaselineError::Timeout)));
+    }
+
+    #[test]
+    fn gate_limit_reported() {
+        let maj = TruthTable::from_hex(3, "e8").unwrap();
+        let config = BaselineConfig { max_gates: 3, ..BaselineConfig::default() };
+        assert!(matches!(
+            bms_synthesize(&maj, &config),
+            Err(BaselineError::GateLimitExceeded { max_gates: 3 })
+        ));
+    }
+}

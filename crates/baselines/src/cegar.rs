@@ -1,0 +1,136 @@
+//! ABC-like baseline: CEGAR exact synthesis.
+//!
+//! ABC's exact-synthesis commands (and percy's default engine) avoid
+//! constraining all `2^n` minterms upfront: they solve a relaxation over
+//! a few minterms, simulate the decoded chain against the full
+//! specification, and add the first disagreeing minterm as a
+//! counterexample — repeating until the chain is correct (optimal `r`)
+//! or the relaxation is UNSAT (increase `r`). This
+//! counterexample-guided strategy is the closest open substitute for
+//! ABC's `lutexact` reference point (see `DESIGN.md`).
+
+use stp_sat::SolveResult;
+use stp_tt::TruthTable;
+
+use crate::error::BaselineError;
+use crate::ssv::{
+    check_deadline, solve_under_deadline, trivial_chain, unrestricted_pairs, BaselineConfig,
+    BaselineResult, SsvInstance, SsvOptions,
+};
+
+/// Runs CEGAR (ABC-like) exact synthesis.
+///
+/// # Errors
+///
+/// * [`BaselineError::Timeout`] when the deadline expires;
+/// * [`BaselineError::GateLimitExceeded`] when no realization exists
+///   within the configured gate limit.
+///
+/// # Examples
+///
+/// ```
+/// use stp_baselines::{abc_synthesize, BaselineConfig};
+/// use stp_tt::TruthTable;
+///
+/// let spec = TruthTable::from_hex(4, "8ff8")?;
+/// let result = abc_synthesize(&spec, &BaselineConfig::default())?;
+/// assert_eq!(result.gate_count, 3);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn abc_synthesize(
+    spec: &TruthTable,
+    config: &BaselineConfig,
+) -> Result<BaselineResult, BaselineError> {
+    if let Some(chain) = trivial_chain(spec) {
+        return Ok(BaselineResult { chain, gate_count: 0, conflicts: 0, solver_calls: 0 });
+    }
+    let n = spec.num_vars();
+    let start = spec.support().len().saturating_sub(1).max(1);
+    let mut conflicts = 0u64;
+    let mut solver_calls = 0u64;
+    for r in start..=config.gate_limit() {
+        check_deadline(config.deadline)?;
+        // Seed the relaxation with one ON and one OFF minterm when
+        // available; the output pins alone say nothing until a minterm's
+        // gate semantics exist.
+        let on = (0..spec.num_bits()).find(|&t| spec.bit(t));
+        let off = (0..spec.num_bits()).find(|&t| !spec.bit(t));
+        let seeds: Vec<usize> = on.into_iter().chain(off).collect();
+        let mut inst = SsvInstance::build_with_options(spec, r, |i| unrestricted_pairs(n, i), &seeds, SsvOptions::UNRESTRICTED);
+        #[allow(clippy::mut_range_bound)]
+        let feasible = loop {
+            solver_calls += 1;
+            let result = solve_under_deadline(&mut inst.solver, config.deadline);
+            conflicts += inst.solver.stats().conflicts;
+            match result? {
+                SolveResult::Unsat => break None,
+                SolveResult::Unknown => unreachable!("budget slices always resolve or time out"),
+                SolveResult::Sat => {
+                    let chain = inst.decode()?;
+                    match inst.counterexample(&chain)? {
+                        None => break Some(chain),
+                        Some(t) => {
+                            // Refine: constrain the counterexample
+                            // minterm and re-solve incrementally.
+                            inst.constrain_minterm(t);
+                        }
+                    }
+                }
+            }
+        };
+        if let Some(chain) = feasible {
+            debug_assert_eq!(chain.simulate_outputs()?[0], *spec);
+            return Ok(BaselineResult { chain, gate_count: r, conflicts, solver_calls });
+        }
+    }
+    Err(BaselineError::GateLimitExceeded { max_gates: config.gate_limit() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_example_costs_three_gates() {
+        let spec = TruthTable::from_hex(4, "8ff8").unwrap();
+        let result = abc_synthesize(&spec, &BaselineConfig::default()).unwrap();
+        assert_eq!(result.gate_count, 3);
+        assert_eq!(result.chain.simulate_outputs().unwrap()[0], spec);
+    }
+
+    #[test]
+    fn cegar_refines_with_counterexamples() {
+        // XOR4 forces several refinements.
+        let spec = TruthTable::from_fn(4, |a| a.iter().fold(false, |x, &b| x ^ b)).unwrap();
+        let result = abc_synthesize(&spec, &BaselineConfig::default()).unwrap();
+        assert_eq!(result.gate_count, 3);
+        assert!(result.solver_calls > 1, "CEGAR must refine at least once");
+    }
+
+    #[test]
+    fn agrees_with_bms_on_npn_sample() {
+        for hex in ["8ff8", "6996", "1ee1", "0660"] {
+            let spec = TruthTable::from_hex(4, hex).unwrap();
+            let cegar = abc_synthesize(&spec, &BaselineConfig::default()).unwrap();
+            let bms = crate::bms::bms_synthesize(&spec, &BaselineConfig::default()).unwrap();
+            assert_eq!(cegar.gate_count, bms.gate_count, "hex {hex}");
+        }
+    }
+
+    #[test]
+    fn majority_costs_four_gates() {
+        let maj = TruthTable::from_hex(3, "e8").unwrap();
+        let result = abc_synthesize(&maj, &BaselineConfig::default()).unwrap();
+        assert_eq!(result.gate_count, 4);
+    }
+
+    #[test]
+    fn expired_deadline_times_out() {
+        let spec = TruthTable::from_hex(4, "1ee1").unwrap();
+        let config = BaselineConfig {
+            deadline: Some(std::time::Instant::now() - std::time::Duration::from_secs(1)),
+            ..BaselineConfig::default()
+        };
+        assert!(matches!(abc_synthesize(&spec, &config), Err(BaselineError::Timeout)));
+    }
+}

@@ -1,0 +1,80 @@
+//! Error types for the baseline synthesizers.
+
+use std::error::Error;
+use std::fmt;
+
+use stp_chain::ChainError;
+use stp_tt::TruthTableError;
+
+/// Errors raised by the CNF-based baseline synthesizers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BaselineError {
+    /// The per-instance deadline (or conflict budget) expired.
+    Timeout,
+    /// No realization exists within the configured gate limit.
+    GateLimitExceeded {
+        /// The configured maximum number of gates.
+        max_gates: usize,
+    },
+    /// A decoded model produced an inconsistent chain — indicates an
+    /// encoding bug and is surfaced rather than masked.
+    DecodeInconsistency {
+        /// Human-readable description.
+        detail: String,
+    },
+    /// A truth-table operation failed.
+    TruthTable(TruthTableError),
+    /// A chain operation failed.
+    Chain(ChainError),
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::Timeout => write!(f, "baseline synthesis deadline expired"),
+            BaselineError::GateLimitExceeded { max_gates } => {
+                write!(f, "no realization with at most {max_gates} gates")
+            }
+            BaselineError::DecodeInconsistency { detail } => {
+                write!(f, "model decoding failed: {detail}")
+            }
+            BaselineError::TruthTable(e) => write!(f, "truth table error: {e}"),
+            BaselineError::Chain(e) => write!(f, "chain error: {e}"),
+        }
+    }
+}
+
+impl Error for BaselineError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            BaselineError::TruthTable(e) => Some(e),
+            BaselineError::Chain(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TruthTableError> for BaselineError {
+    fn from(e: TruthTableError) -> Self {
+        BaselineError::TruthTable(e)
+    }
+}
+
+impl From<ChainError> for BaselineError {
+    fn from(e: ChainError) -> Self {
+        BaselineError::Chain(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(BaselineError::Timeout.to_string().contains("deadline"));
+        assert!(BaselineError::GateLimitExceeded { max_gates: 9 }
+            .to_string()
+            .contains('9'));
+    }
+}

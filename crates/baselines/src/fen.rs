@@ -1,0 +1,168 @@
+//! FEN: fence-restricted SAT exact synthesis.
+//!
+//! The algorithm of Haaswijk et al. (DAC'18 / TCAD'19): instead of one
+//! big encoding over all topologies, iterate the fences of the current
+//! gate count and solve one restricted SSV instance per fence. Each
+//! gate is pinned to a fence level; its admissible fanin pairs must
+//! draw at least one operand from the immediately lower level — a much
+//! smaller topology space per SAT call, at the cost of more calls.
+
+use stp_fence::{pruned_fences, Fence};
+use stp_sat::SolveResult;
+use stp_tt::TruthTable;
+
+use crate::error::BaselineError;
+use crate::ssv::{
+    check_deadline, solve_under_deadline, trivial_chain, BaselineConfig, BaselineResult,
+    SsvInstance, SsvOptions,
+};
+
+/// The admissible fanin pairs of gate `i` under a fence.
+///
+/// Gates are numbered bottom level first; inputs sit at level 0. A gate
+/// at level `l` picks `j < k` among signals of level `< l`, at least
+/// one of which has level exactly `l − 1`.
+#[allow(clippy::needless_range_loop)]
+fn fence_pairs(fence: &Fence, n: usize, i: usize) -> Vec<(usize, usize)> {
+    // Level per gate index.
+    let mut gate_level = Vec::with_capacity(fence.num_nodes());
+    for (li, &count) in fence.levels().iter().enumerate() {
+        for _ in 0..count {
+            gate_level.push(li + 1);
+        }
+    }
+    let level_of_signal = |s: usize| if s < n { 0 } else { gate_level[s - n] };
+    let my_level = gate_level[i];
+    let avail = n + i;
+    let mut out = Vec::new();
+    for j in 0..avail {
+        for k in (j + 1)..avail {
+            let (lj, lk) = (level_of_signal(j), level_of_signal(k));
+            if lj < my_level && lk < my_level && lj.max(lk) == my_level - 1 {
+                out.push((j, k));
+            }
+        }
+    }
+    out
+}
+
+/// Runs FEN exact synthesis over the pruned fence families.
+///
+/// # Errors
+///
+/// * [`BaselineError::Timeout`] when the deadline expires;
+/// * [`BaselineError::GateLimitExceeded`] when no realization exists
+///   within the configured gate limit.
+///
+/// # Examples
+///
+/// ```
+/// use stp_baselines::{fen_synthesize, BaselineConfig};
+/// use stp_tt::TruthTable;
+///
+/// let spec = TruthTable::from_hex(4, "8ff8")?;
+/// let result = fen_synthesize(&spec, &BaselineConfig::default())?;
+/// assert_eq!(result.gate_count, 3);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn fen_synthesize(
+    spec: &TruthTable,
+    config: &BaselineConfig,
+) -> Result<BaselineResult, BaselineError> {
+    if let Some(chain) = trivial_chain(spec) {
+        return Ok(BaselineResult { chain, gate_count: 0, conflicts: 0, solver_calls: 0 });
+    }
+    let n = spec.num_vars();
+    let start = spec.support().len().saturating_sub(1).max(1);
+    let all_minterms: Vec<usize> = (0..spec.num_bits()).collect();
+    let mut conflicts = 0u64;
+    let mut solver_calls = 0u64;
+    for r in start..=config.gate_limit() {
+        for fence in pruned_fences(r) {
+            check_deadline(config.deadline)?;
+            // A gate must be able to pick two operands: the bottom level
+            // can never exceed the available input count.
+            if fence.levels()[0] > n * (n.saturating_sub(1)) / 2 {
+                continue;
+            }
+            let mut inst = SsvInstance::build_with_options(
+                spec,
+                r,
+                |i| fence_pairs(&fence, n, i),
+                &all_minterms,
+                SsvOptions::LEVELED,
+            );
+            solver_calls += 1;
+            let result = solve_under_deadline(&mut inst.solver, config.deadline);
+            conflicts += inst.solver.stats().conflicts;
+            match result? {
+                SolveResult::Sat => {
+                    let chain = inst.decode()?;
+                    debug_assert_eq!(chain.simulate_outputs()?[0], *spec);
+                    return Ok(BaselineResult { chain, gate_count: r, conflicts, solver_calls });
+                }
+                SolveResult::Unsat => continue,
+                SolveResult::Unknown => {
+                    unreachable!("budget slices always resolve or time out")
+                }
+            }
+        }
+    }
+    Err(BaselineError::GateLimitExceeded { max_gates: config.gate_limit() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stp_fence::Fence;
+
+    #[test]
+    fn fence_pairs_respect_levels() {
+        // Fence (2, 1) over 4 inputs: gates 0 and 1 at level 1, gate 2
+        // at level 2.
+        let fence = Fence::new(vec![2, 1]).unwrap();
+        // Level-1 gates read only inputs.
+        for (j, k) in fence_pairs(&fence, 4, 0) {
+            assert!(j < 4 && k < 4);
+        }
+        // The top gate must touch level 1 (signals 4 or 5).
+        for (j, k) in fence_pairs(&fence, 4, 2) {
+            assert!(k >= 4, "pair ({j},{k}) must include a level-1 gate");
+        }
+    }
+
+    #[test]
+    fn running_example_costs_three_gates() {
+        let spec = TruthTable::from_hex(4, "8ff8").unwrap();
+        let result = fen_synthesize(&spec, &BaselineConfig::default()).unwrap();
+        assert_eq!(result.gate_count, 3);
+        assert_eq!(result.chain.simulate_outputs().unwrap()[0], spec);
+    }
+
+    #[test]
+    fn agrees_with_bms_on_small_functions() {
+        for hex in ["8ff8", "6996", "7888"] {
+            let spec = TruthTable::from_hex(4, hex).unwrap();
+            let fen = fen_synthesize(&spec, &BaselineConfig::default()).unwrap();
+            let bms = crate::bms::bms_synthesize(&spec, &BaselineConfig::default()).unwrap();
+            assert_eq!(fen.gate_count, bms.gate_count, "hex {hex}");
+        }
+    }
+
+    #[test]
+    fn majority_costs_four_gates() {
+        let maj = TruthTable::from_hex(3, "e8").unwrap();
+        let result = fen_synthesize(&maj, &BaselineConfig::default()).unwrap();
+        assert_eq!(result.gate_count, 4);
+    }
+
+    #[test]
+    fn expired_deadline_times_out() {
+        let spec = TruthTable::from_hex(4, "1ee1").unwrap();
+        let config = BaselineConfig {
+            deadline: Some(std::time::Instant::now() - std::time::Duration::from_secs(1)),
+            ..BaselineConfig::default()
+        };
+        assert!(matches!(fen_synthesize(&spec, &config), Err(BaselineError::Timeout)));
+    }
+}

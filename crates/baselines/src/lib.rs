@@ -1,0 +1,45 @@
+//! CNF-SAT exact-synthesis baselines: BMS, FEN, and an ABC-like CEGAR
+//! engine.
+//!
+//! These are the three reference points of Table I in *"Exact Synthesis
+//! Based on Semi-Tensor Product Circuit Solver"* (Pan & Chu, DATE 2023):
+//!
+//! * [`bms_synthesize`] — **BMS**: the baseline single-solver SSV
+//!   encoding ("Busy Man's Synthesis", Soeken et al., DATE'17);
+//! * [`fen_synthesize`] — **FEN**: fence enumeration with topological
+//!   constraints (Haaswijk et al., DAC'18/TCAD'19);
+//! * [`abc_synthesize`] — **ABC-like**: CEGAR minterm refinement, the
+//!   strategy family behind ABC's exact-synthesis commands (the paper
+//!   benchmarks `lutexact`; see `DESIGN.md` for the substitution note).
+//!
+//! All three run on the workspace's own CDCL solver (`stp-sat`) and
+//! return a single optimum chain — in contrast to the STP engine
+//! (`stp-synth`), which returns *all* optimum chains in one pass.
+//!
+//! # Quick start
+//!
+//! ```
+//! use stp_baselines::{bms_synthesize, BaselineConfig};
+//! use stp_tt::TruthTable;
+//!
+//! let spec = TruthTable::from_hex(4, "8ff8")?;
+//! let result = bms_synthesize(&spec, &BaselineConfig::default())?;
+//! assert_eq!(result.gate_count, 3);
+//! assert_eq!(result.chain.simulate_outputs()?[0], spec);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod bms;
+mod cegar;
+mod error;
+mod fen;
+mod ssv;
+
+pub use bms::bms_synthesize;
+pub use cegar::abc_synthesize;
+pub use error::BaselineError;
+pub use fen::fen_synthesize;
+pub use ssv::{unrestricted_pairs, BaselineConfig, BaselineResult, SsvInstance, SsvOptions};

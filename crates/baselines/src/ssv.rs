@@ -1,0 +1,516 @@
+//! The single-solver-variables (SSV) CNF encoding of exact synthesis.
+//!
+//! This is the classic encoding behind "Busy Man's Synthesis" (Soeken
+//! et al., DATE'17) and percy, following Knuth's formulation: for a
+//! specification `f` over `n` inputs and a candidate gate count `r`,
+//!
+//! * `x(i, t)` — the value of gate `i` at minterm `t`;
+//! * `s(i, j, k)` — gate `i` reads signals `j < k` (inputs `0..n`, then
+//!   gates);
+//! * `op(i, ab)` — the four output bits of gate `i`'s 2-input operator.
+//!
+//! For every gate, admissible fanin pair, minterm, and fanin value
+//! combination, two clauses tie `x(i, t)` to the operator output; unit
+//! clauses pin the last gate to `f`. The encoding is parameterized over
+//! the admissible fanin pairs so the fence-restricted variant (FEN) can
+//! reuse it, and over the constrained minterm set so the CEGAR variant
+//! (ABC-like) can grow it lazily.
+
+use std::time::Instant;
+
+use stp_chain::{Chain, OutputRef};
+use stp_sat::{Lit, SolveResult, Solver, Var};
+use stp_tt::TruthTable;
+
+use crate::error::BaselineError;
+
+/// Encoding reductions for [`SsvInstance::build_with_options`].
+#[derive(Debug, Clone, Copy)]
+pub struct SsvOptions {
+    /// Knuth normal-chain normalization: every gate outputs 0 on the
+    /// all-false fanin pair (five admissible operators per gate); the
+    /// output phase is fixed at decode time. Sound for any topology
+    /// restriction.
+    pub normal_gates: bool,
+    /// Adjacent-gate colexicographic fanin ordering. Sound only when
+    /// gates are freely permutable (the unrestricted BMS/CEGAR space) —
+    /// **not** for level-pinned encodings like FEN.
+    pub colex_symmetry: bool,
+    /// Every non-output gate must feed a later gate. Sound whenever the
+    /// target family requires full connectivity (all of ours do).
+    pub require_usage: bool,
+}
+
+impl SsvOptions {
+    /// No reductions (the plain encoding).
+    pub const PLAIN: SsvOptions = SsvOptions {
+        normal_gates: false,
+        colex_symmetry: false,
+        require_usage: false,
+    };
+    /// The reductions valid for the unrestricted topology space.
+    pub const UNRESTRICTED: SsvOptions = SsvOptions {
+        normal_gates: true,
+        colex_symmetry: true,
+        require_usage: true,
+    };
+    /// The reductions valid under a fence's level pinning.
+    pub const LEVELED: SsvOptions = SsvOptions {
+        normal_gates: true,
+        colex_symmetry: false,
+        require_usage: true,
+    };
+}
+
+/// Shared configuration for the baseline synthesizers.
+#[derive(Debug, Clone, Default)]
+pub struct BaselineConfig {
+    /// Upper bound on the gate count before giving up (0 means use the
+    /// default of 20).
+    pub max_gates: usize,
+    /// Optional wall-clock deadline.
+    pub deadline: Option<Instant>,
+}
+
+impl BaselineConfig {
+    /// The effective gate limit.
+    pub fn gate_limit(&self) -> usize {
+        if self.max_gates == 0 {
+            20
+        } else {
+            self.max_gates
+        }
+    }
+}
+
+/// Result of a successful baseline run.
+#[derive(Debug, Clone)]
+pub struct BaselineResult {
+    /// The synthesized optimum chain (CNF baselines return a single
+    /// solution — the contrast the paper draws with its AllSAT engine).
+    pub chain: Chain,
+    /// The optimum gate count.
+    pub gate_count: usize,
+    /// Total SAT conflicts spent.
+    pub conflicts: u64,
+    /// Number of SAT solver invocations (CEGAR refinements count).
+    pub solver_calls: u64,
+}
+
+/// One SSV instance: the solver plus the variable layout.
+pub struct SsvInstance {
+    /// The underlying CDCL solver.
+    pub solver: Solver,
+    n: usize,
+    r: usize,
+    /// `x[i][t]`: gate `i` value at minterm `t`.
+    x: Vec<Vec<Var>>,
+    /// `(j, k, var)` triples per gate.
+    sel: Vec<Vec<(usize, usize, Var)>>,
+    /// `op[i][ab]` where `ab = a + 2b`.
+    op: Vec<[Var; 4]>,
+    /// Minterms whose semantics clauses have been added.
+    constrained: Vec<bool>,
+    spec: TruthTable,
+    /// Whether the chain output must be complemented to produce the
+    /// spec (Knuth's normal-chain normalization synthesizes `f` or
+    /// `¬f`, whichever is zero at the all-false input).
+    negate_output: bool,
+}
+
+/// Checks the deadline, translating expiry into
+/// [`BaselineError::Timeout`].
+pub fn check_deadline(deadline: Option<Instant>) -> Result<(), BaselineError> {
+    match deadline {
+        Some(d) if Instant::now() >= d => Err(BaselineError::Timeout),
+        _ => Ok(()),
+    }
+}
+
+/// Runs the solver in conflict-budget slices so the wall-clock deadline
+/// is honoured even inside long solves.
+pub fn solve_under_deadline(
+    solver: &mut Solver,
+    deadline: Option<Instant>,
+) -> Result<SolveResult, BaselineError> {
+    const SLICE: u64 = 2000;
+    loop {
+        check_deadline(deadline)?;
+        solver.set_conflict_budget(Some(SLICE));
+        match solver.solve() {
+            SolveResult::Unknown => continue,
+            done => {
+                solver.set_conflict_budget(None);
+                return Ok(done);
+            }
+        }
+    }
+}
+
+impl SsvInstance {
+    /// Builds the instance skeleton: variables, fanin selection
+    /// constraints, and (optionally) the output pins — but adds gate
+    /// semantics only for `initial_minterms`.
+    ///
+    /// `allowed_pairs(i)` lists the admissible `(j, k)` fanin pairs of
+    /// gate `i` (`j < k`, signals `0..n+i`).
+    pub fn build<F>(
+        spec: &TruthTable,
+        r: usize,
+        allowed_pairs: F,
+        initial_minterms: &[usize],
+    ) -> Self
+    where
+        F: Fn(usize) -> Vec<(usize, usize)>,
+    {
+        Self::build_with_options(spec, r, allowed_pairs, initial_minterms, SsvOptions::PLAIN)
+    }
+
+    /// Like [`SsvInstance::build`], optionally adding the standard
+    /// search-space reductions used by production encodings:
+    ///
+    /// * **normal chains** (Knuth 7.1.2): every gate outputs 0 on the
+    ///   all-false fanin pair, which restricts each gate to the five
+    ///   nontrivial normal operators; the chain then realizes `f` or
+    ///   `¬f` (fixed by the output phase at decode time) — this does not
+    ///   change the optimum gate count;
+    /// * **gate-ordering symmetry break**: consecutive gates that do
+    ///   not feed each other must pick colexicographically
+    ///   non-decreasing fanin pairs (sound because independent adjacent
+    ///   steps commute).
+    pub fn build_with_options<F>(
+        spec: &TruthTable,
+        r: usize,
+        allowed_pairs: F,
+        initial_minterms: &[usize],
+        options: SsvOptions,
+    ) -> Self
+    where
+        F: Fn(usize) -> Vec<(usize, usize)>,
+    {
+        let n = spec.num_vars();
+        // Normal-chain normalization: synthesize g with g(0…0) = 0.
+        let negate_output = options.normal_gates && spec.bit(0);
+        let goal = if negate_output { !spec.clone() } else { spec.clone() };
+        let mut solver = Solver::new();
+        let x: Vec<Vec<Var>> = (0..r)
+            .map(|_| (0..spec.num_bits()).map(|_| solver.new_var()).collect())
+            .collect();
+        let op: Vec<[Var; 4]> = (0..r)
+            .map(|_| {
+                [
+                    solver.new_var(),
+                    solver.new_var(),
+                    solver.new_var(),
+                    solver.new_var(),
+                ]
+            })
+            .collect();
+        if options.normal_gates {
+            for bits in &op {
+                // Normal gate: σ(0, 0) = 0.
+                solver.add_clause(&[bits[0].neg()]);
+                // Exclude the trivial normal operators: the constant 0
+                // (no bit set) and the two projections 0xa / 0xc.
+                solver.add_clause(&[bits[1].pos(), bits[2].pos(), bits[3].pos()]);
+                // ¬(σ = 0xa) = ¬(¬b1? …): 0xa sets bits 1 and 3 only.
+                solver.add_clause(&[bits[1].neg(), bits[2].pos(), bits[3].neg()]);
+                // 0xc sets bits 2 and 3 only.
+                solver.add_clause(&[bits[1].pos(), bits[2].neg(), bits[3].neg()]);
+            }
+        }
+        let mut sel = Vec::with_capacity(r);
+        for i in 0..r {
+            let pairs = allowed_pairs(i);
+            let vars: Vec<(usize, usize, Var)> = pairs
+                .into_iter()
+                .map(|(j, k)| (j, k, solver.new_var()))
+                .collect();
+            // Exactly-one selection.
+            let all: Vec<Lit> = vars.iter().map(|&(_, _, v)| v.pos()).collect();
+            solver.add_clause(&all);
+            for a in 0..vars.len() {
+                for b in (a + 1)..vars.len() {
+                    solver.add_clause(&[vars[a].2.neg(), vars[b].2.neg()]);
+                }
+            }
+            sel.push(vars);
+        }
+        if options.require_usage {
+            // Every non-output gate must feed a later gate (minimal
+            // chains contain no dead gates).
+            for i in 0..r.saturating_sub(1) {
+                let signal = n + i;
+                let mut users: Vec<Lit> = Vec::new();
+                for later in &sel[i + 1..] {
+                    for &(j, k, sv) in later {
+                        if j == signal || k == signal {
+                            users.push(sv.pos());
+                        }
+                    }
+                }
+                solver.add_clause(&users);
+            }
+        }
+        if options.colex_symmetry {
+            let colex = |(j, k): (usize, usize)| (k, j);
+            for i in 0..r.saturating_sub(1) {
+                let this_gate_signal = n + i;
+                for &(j1, k1, s1) in &sel[i] {
+                    for &(j2, k2, s2) in &sel[i + 1] {
+                        let uses_prev = j2 == this_gate_signal || k2 == this_gate_signal;
+                        if !uses_prev && colex((j2, k2)) < colex((j1, k1)) {
+                            solver.add_clause(&[s1.neg(), s2.neg()]);
+                        }
+                    }
+                }
+            }
+        }
+        let mut inst = SsvInstance {
+            solver,
+            n,
+            r,
+            x,
+            sel,
+            op,
+            constrained: vec![false; spec.num_bits()],
+            spec: spec.clone(),
+            negate_output,
+        };
+        // Output pins for every minterm (cheap units; semantics arrive
+        // with the minterm constraints).
+        for t in 0..goal.num_bits() {
+            let lit = Lit::with_polarity(inst.x[r - 1][t], goal.bit(t));
+            inst.solver.add_clause(&[lit]);
+        }
+        for &t in initial_minterms {
+            inst.constrain_minterm(t);
+        }
+        inst
+    }
+
+    /// Number of minterms currently constrained.
+    pub fn constrained_count(&self) -> usize {
+        self.constrained.iter().filter(|&&c| c).count()
+    }
+
+    /// Adds the gate-semantics clauses for minterm `t` (idempotent).
+    pub fn constrain_minterm(&mut self, t: usize) {
+        if self.constrained[t] {
+            return;
+        }
+        self.constrained[t] = true;
+        for i in 0..self.r {
+            let sel = self.sel[i].clone();
+            for (j, k, s) in sel {
+                for a in [false, true] {
+                    for b in [false, true] {
+                        // s(i,j,k) ∧ (sig_j(t) = a) ∧ (sig_k(t) = b)
+                        //   → (x(i,t) ↔ op(i, a+2b)).
+                        let mut base = vec![s.neg()];
+                        match self.signal_lit(j, t, a) {
+                            SignalCond::Impossible => continue,
+                            SignalCond::Always => {}
+                            SignalCond::Lit(l) => base.push(l),
+                        }
+                        match self.signal_lit(k, t, b) {
+                            SignalCond::Impossible => continue,
+                            SignalCond::Always => {}
+                            SignalCond::Lit(l) => base.push(l),
+                        }
+                        let o = self.op[i][(a as usize) + 2 * (b as usize)];
+                        let xi = self.x[i][t];
+                        let mut c1 = base.clone();
+                        c1.push(xi.neg());
+                        c1.push(o.pos());
+                        self.solver.add_clause(&c1);
+                        let mut c2 = base;
+                        c2.push(xi.pos());
+                        c2.push(o.neg());
+                        self.solver.add_clause(&c2);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The clause literal asserting "signal `sig` at minterm `t` differs
+    /// from `value`" (for use in implication antecedents), or a constant
+    /// outcome for primary inputs.
+    fn signal_lit(&self, sig: usize, t: usize, value: bool) -> SignalCond {
+        if sig < self.n {
+            let actual = (t >> sig) & 1 == 1;
+            if actual == value {
+                SignalCond::Always
+            } else {
+                SignalCond::Impossible
+            }
+        } else {
+            SignalCond::Lit(Lit::with_polarity(self.x[sig - self.n][t], !value))
+        }
+    }
+
+    /// Decodes the solver model into a chain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BaselineError::DecodeInconsistency`] when the model
+    /// violates the selection invariants — an encoding bug.
+    pub fn decode(&self) -> Result<Chain, BaselineError> {
+        let model = self.solver.model();
+        let mut chain = Chain::new(self.n);
+        for i in 0..self.r {
+            let mut chosen = None;
+            for &(j, k, s) in &self.sel[i] {
+                if model[s.index()] {
+                    if chosen.is_some() {
+                        return Err(BaselineError::DecodeInconsistency {
+                            detail: format!("gate {i} selects two fanin pairs"),
+                        });
+                    }
+                    chosen = Some((j, k));
+                }
+            }
+            let (j, k) = chosen.ok_or_else(|| BaselineError::DecodeInconsistency {
+                detail: format!("gate {i} selects no fanin pair"),
+            })?;
+            let mut tt2 = 0u8;
+            for ab in 0..4 {
+                if model[self.op[i][ab].index()] {
+                    tt2 |= 1 << ab;
+                }
+            }
+            chain.add_gate(j, k, tt2)?;
+        }
+        let top = self.n + self.r - 1;
+        chain.add_output(if self.negate_output {
+            OutputRef::negated_signal(top)
+        } else {
+            OutputRef::signal(top)
+        });
+        Ok(chain)
+    }
+
+    /// Simulates the decoded chain and returns the first minterm where
+    /// it disagrees with the spec (the CEGAR counterexample), or `None`
+    /// when the chain is correct.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decode/simulation failures.
+    pub fn counterexample(&self, chain: &Chain) -> Result<Option<usize>, BaselineError> {
+        let got = chain.simulate_outputs()?[0].clone();
+        for t in 0..self.spec.num_bits() {
+            if got.bit(t) != self.spec.bit(t) {
+                return Ok(Some(t));
+            }
+        }
+        Ok(None)
+    }
+}
+
+enum SignalCond {
+    /// The condition holds at this minterm regardless of assignments.
+    Always,
+    /// The condition can never hold at this minterm.
+    Impossible,
+    /// The condition holds iff the literal is false (the literal is the
+    /// antecedent's negation, ready for the clause).
+    Lit(Lit),
+}
+
+/// All fanin pairs `(j, k)` with `j < k < n + i` — the unrestricted
+/// (BMS) topology space.
+pub fn unrestricted_pairs(n: usize, i: usize) -> Vec<(usize, usize)> {
+    let avail = n + i;
+    let mut out = Vec::new();
+    for j in 0..avail {
+        for k in (j + 1)..avail {
+            out.push((j, k));
+        }
+    }
+    out
+}
+
+/// Builds the zero-gate chain for trivial specs.
+pub fn trivial_chain(spec: &TruthTable) -> Option<Chain> {
+    let n = spec.num_vars();
+    let ones = spec.count_ones();
+    let mut chain = Chain::new(n);
+    if ones == 0 || ones == spec.num_bits() {
+        chain.add_output(OutputRef::Constant(ones != 0));
+        return Some(chain);
+    }
+    for v in 0..n {
+        let proj = TruthTable::variable(n, v).ok()?;
+        if *spec == proj {
+            chain.add_output(OutputRef::signal(v));
+            return Some(chain);
+        }
+        if *spec == !proj {
+            chain.add_output(OutputRef::negated_signal(v));
+            return Some(chain);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unrestricted_pairs_counts() {
+        assert_eq!(unrestricted_pairs(4, 0).len(), 6);
+        assert_eq!(unrestricted_pairs(4, 1).len(), 10);
+        assert_eq!(unrestricted_pairs(2, 0), vec![(0, 1)]);
+    }
+
+    #[test]
+    fn fully_constrained_instance_synthesizes_and2() {
+        let spec = TruthTable::from_hex(2, "8").unwrap();
+        let all: Vec<usize> = (0..4).collect();
+        let mut inst = SsvInstance::build(&spec, 1, |i| unrestricted_pairs(2, i), &all);
+        assert_eq!(inst.solver.solve(), SolveResult::Sat);
+        let chain = inst.decode().unwrap();
+        assert_eq!(chain.simulate_outputs().unwrap()[0], spec);
+        assert!(inst.counterexample(&chain).unwrap().is_none());
+    }
+
+    #[test]
+    fn infeasible_gate_count_is_unsat() {
+        // XOR3 cannot be done with one gate.
+        let spec = TruthTable::from_fn(3, |a| a[0] ^ a[1] ^ a[2]).unwrap();
+        let all: Vec<usize> = (0..8).collect();
+        let mut inst = SsvInstance::build(&spec, 1, |i| unrestricted_pairs(3, i), &all);
+        assert_eq!(inst.solver.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn partially_constrained_instance_accepts_wrong_chain() {
+        // With a single constrained minterm the solver can pick a chain
+        // wrong elsewhere — the CEGAR loop's raison d'être.
+        let spec = TruthTable::from_fn(3, |a| a[0] ^ a[1] ^ a[2]).unwrap();
+        let mut inst = SsvInstance::build(&spec, 2, |i| unrestricted_pairs(3, i), &[0]);
+        assert_eq!(inst.constrained_count(), 1);
+        assert_eq!(inst.solver.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn trivial_chains() {
+        let c = trivial_chain(&TruthTable::constant(3, true).unwrap()).unwrap();
+        assert_eq!(c.num_gates(), 0);
+        let p = trivial_chain(&TruthTable::variable(3, 1).unwrap()).unwrap();
+        assert_eq!(
+            p.simulate_outputs().unwrap()[0],
+            TruthTable::variable(3, 1).unwrap()
+        );
+        assert!(trivial_chain(&TruthTable::from_hex(2, "8").unwrap()).is_none());
+    }
+
+    #[test]
+    fn deadline_helpers() {
+        assert!(check_deadline(None).is_ok());
+        assert!(check_deadline(Some(Instant::now() - std::time::Duration::from_secs(1))).is_err());
+    }
+}

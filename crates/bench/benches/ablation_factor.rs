@@ -1,0 +1,67 @@
+//! Ablation: STP quartering factorization vs brute-force operator
+//! enumeration on the same topology.
+//!
+//! The paper's claim is that matrix factorization prunes invalid
+//! operator assignments before any solving happens; the brute-force
+//! comparator assigns all 10 nontrivial operators to each gate and all
+//! input bindings to each leaf, keeping simulation matches.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use stp_chain::{Chain, OutputRef};
+use stp_fence::TreeShape;
+use stp_synth::{FactorConfig, Factorizer};
+use stp_tt::{TruthTable, NONTRIVIAL_OPS};
+
+/// Brute force: all op assignments and PI bindings on the balanced
+/// 3-gate tree; returns the number of chains simulating to the spec.
+fn brute_force_balanced3(spec: &TruthTable) -> usize {
+    let n = spec.num_vars();
+    let mut found = 0usize;
+    for leaves in 0..(n * n * n * n) {
+        let l = [
+            leaves % n,
+            (leaves / n) % n,
+            (leaves / (n * n)) % n,
+            (leaves / (n * n * n)) % n,
+        ];
+        if l[0] == l[1] || l[2] == l[3] {
+            continue;
+        }
+        for &g1 in &NONTRIVIAL_OPS {
+            for &g2 in &NONTRIVIAL_OPS {
+                for &top in &NONTRIVIAL_OPS {
+                    let mut chain = Chain::new(n);
+                    let a = chain.add_gate(l[0].min(l[1]), l[0].max(l[1]), g1).unwrap();
+                    let b = chain.add_gate(l[2].min(l[3]), l[2].max(l[3]), g2).unwrap();
+                    let t = chain.add_gate(a, b, top).unwrap();
+                    chain.add_output(OutputRef::signal(t));
+                    if chain.simulate_outputs().unwrap()[0] == *spec {
+                        found += 1;
+                    }
+                }
+            }
+        }
+    }
+    found
+}
+
+fn bench_factorization(c: &mut Criterion) {
+    let spec = TruthTable::from_hex(4, "8ff8").unwrap();
+    let leaf = TreeShape::Leaf;
+    let pair = TreeShape::node(leaf.clone(), leaf);
+    let balanced = TreeShape::node(pair.clone(), pair);
+
+    c.bench_function("factorization_stp_quartering", |b| {
+        b.iter(|| {
+            let mut engine = Factorizer::new(FactorConfig::default());
+            black_box(engine.chains_on_shape(&spec, &balanced).unwrap().len())
+        })
+    });
+    c.bench_function("factorization_brute_force", |b| {
+        b.iter(|| black_box(brute_force_balanced3(&spec)))
+    });
+}
+
+criterion_group!(ablation, bench_factorization);
+criterion_main!(ablation);

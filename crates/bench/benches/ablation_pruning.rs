@@ -1,0 +1,39 @@
+//! Ablation: the paper's fence pruning (§III-A) on vs off.
+//!
+//! Measures STP synthesis with the pruned fence family against the full
+//! tree-topology space per gate count — quantifying the search-space
+//! reduction the paper attributes to its pruning rules.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use stp_synth::{synthesize, SynthesisConfig};
+use stp_tt::TruthTable;
+
+fn bench_pruning(c: &mut Criterion) {
+    let cases = [
+        ("0x8ff8_dsd", TruthTable::from_hex(4, "8ff8").unwrap()),
+        ("0x6996_parity", TruthTable::from_hex(4, "6996").unwrap()),
+        ("maj3", TruthTable::from_hex(3, "e8").unwrap()),
+        (
+            "five_input_dsd",
+            TruthTable::from_fn(5, |a| ((a[0] & a[1]) ^ a[2]) | (a[3] & a[4])).unwrap(),
+        ),
+    ];
+    let mut group = c.benchmark_group("fence_pruning_ablation");
+    group.sample_size(10);
+    for (name, tt) in &cases {
+        for pruning in [true, false] {
+            let label = format!("{name}/{}", if pruning { "pruned" } else { "full" });
+            group.bench_function(BenchmarkId::from_parameter(label), |b| {
+                b.iter(|| {
+                    let config = SynthesisConfig { fence_pruning: pruning, ..Default::default() };
+                    black_box(synthesize(tt, &config).unwrap().chains.len())
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(ablation, bench_pruning);
+criterion_main!(ablation);

@@ -1,0 +1,40 @@
+//! Fig. 2 machinery: fence enumeration, pruning, and DAG generation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use stp_fence::{all_fences, dags_for_pruned_fences, pruned_fences, shapes_with_gates};
+
+fn bench_fence_enumeration(c: &mut Criterion) {
+    for k in [6usize, 10, 14] {
+        c.bench_function(&format!("all_fences_k{k}"), |b| {
+            b.iter(|| all_fences(black_box(k)).len())
+        });
+        c.bench_function(&format!("pruned_fences_k{k}"), |b| {
+            b.iter(|| pruned_fences(black_box(k)).len())
+        });
+    }
+}
+
+fn bench_shape_enumeration(c: &mut Criterion) {
+    for gates in [5usize, 7, 9] {
+        c.bench_function(&format!("tree_shapes_{gates}_gates"), |b| {
+            b.iter(|| shapes_with_gates(black_box(gates)).len())
+        });
+    }
+}
+
+fn bench_dag_generation(c: &mut Criterion) {
+    for k in [3usize, 4, 5] {
+        c.bench_function(&format!("dags_for_pruned_fences_k{k}"), |b| {
+            b.iter(|| dags_for_pruned_fences(black_box(k)).len())
+        });
+    }
+}
+
+criterion_group!(
+    fences,
+    bench_fence_enumeration,
+    bench_shape_enumeration,
+    bench_dag_generation
+);
+criterion_main!(fences);

@@ -1,0 +1,40 @@
+//! Benchmarks the downstream application: DAG-aware rewriting with
+//! exact synthesis (the paper's motivating use case).
+//!
+//! Measures a full rewrite of the redundant two-level adder with a cold
+//! and a warm NPN-class synthesis cache — the warm/cold gap is the
+//! economics the paper's per-call speedups feed.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use stp_network::{rewrite, ripple_carry_adder_sop, RewriteConfig, SynthesisCache};
+
+fn bench_rewrite(c: &mut Criterion) {
+    let net = ripple_carry_adder_sop(2).unwrap();
+    let config = RewriteConfig {
+        synthesis_budget: Duration::from_millis(500),
+        ..RewriteConfig::default()
+    };
+    let mut group = c.benchmark_group("rewrite_adder_sop2");
+    group.sample_size(10);
+    group.bench_function("cold_cache", |b| {
+        b.iter(|| {
+            let mut cache = SynthesisCache::new();
+            black_box(rewrite(&net, &config, &mut cache).unwrap().gates_after)
+        })
+    });
+    // Warm cache shared across iterations.
+    let mut warm = SynthesisCache::new();
+    let _ = rewrite(&net, &config, &mut warm).unwrap();
+    group.bench_function("warm_cache", |b| {
+        b.iter(|| {
+            black_box(rewrite(&net, &config, &mut warm).unwrap().gates_after)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(rewriting, bench_rewrite);
+criterion_main!(rewriting);

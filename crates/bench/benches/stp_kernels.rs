@@ -1,0 +1,87 @@
+//! Micro-kernels of the STP machinery: the semi-tensor product itself,
+//! canonical-form construction, canonical-form AllSAT, and the circuit
+//! AllSAT solver.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use stp_chain::{Chain, OutputRef};
+use stp_matrix::{solve_all, stp, swap_matrix, Expr, LogicMatrix, Mat};
+use stp_synth::solve_circuit;
+use stp_tt::TruthTable;
+
+fn liar_puzzle() -> Expr {
+    let (a, b, c) = (Expr::var(0), Expr::var(1), Expr::var(2));
+    Expr::and(
+        Expr::and(
+            Expr::equiv(a.clone(), b.clone().not()),
+            Expr::equiv(b.clone(), c.clone().not()),
+        ),
+        Expr::equiv(c, Expr::and(a.not(), b.not())),
+    )
+}
+
+fn example7_chain() -> Chain {
+    let mut chain = Chain::new(4);
+    let x5 = chain.add_gate(2, 3, 0x6).unwrap();
+    let x6 = chain.add_gate(0, 1, 0x8).unwrap();
+    let x7 = chain.add_gate(x5, x6, 0xe).unwrap();
+    chain.add_output(OutputRef::signal(x7));
+    chain
+}
+
+fn bench_stp_product(c: &mut Criterion) {
+    let w = swap_matrix(8, 8);
+    let m = Mat::identity(8).kron(&Mat::from_rows(&[&[1, 2], &[3, 4]]).unwrap());
+    c.bench_function("stp_product_64x64", |b| {
+        b.iter(|| stp(black_box(&w), black_box(&m)))
+    });
+}
+
+fn bench_canonical_form(c: &mut Criterion) {
+    let phi = liar_puzzle();
+    c.bench_function("canonical_form_direct", |b| {
+        b.iter(|| phi.canonical_form(black_box(3)).unwrap())
+    });
+    c.bench_function("canonical_form_via_stp_matrices", |b| {
+        b.iter(|| phi.canonical_form_via_stp(black_box(3)).unwrap())
+    });
+}
+
+fn bench_canonical_allsat(c: &mut Criterion) {
+    let m8 = LogicMatrix::from_tt_words(
+        TruthTable::from_fn(8, |a| a.iter().filter(|&&b| b).count() % 3 == 0)
+            .unwrap()
+            .words(),
+        8,
+    )
+    .unwrap();
+    c.bench_function("canonical_allsat_8var", |b| {
+        b.iter(|| solve_all(black_box(&m8)).len())
+    });
+}
+
+fn bench_circuit_solver(c: &mut Criterion) {
+    let chain = example7_chain();
+    c.bench_function("circuit_allsat_example8", |b| {
+        b.iter(|| solve_circuit(black_box(&chain), &[true]).full_assignments().len())
+    });
+    // A deeper chain: 8-input parity.
+    let mut parity = Chain::new(8);
+    let mut prev = 0usize;
+    for i in 1..8 {
+        prev = parity.add_gate(prev, i, 0x6).unwrap();
+    }
+    parity.add_output(OutputRef::signal(prev));
+    c.bench_function("circuit_allsat_parity8", |b| {
+        b.iter(|| solve_circuit(black_box(&parity), &[true]).partial_solutions.len())
+    });
+}
+
+criterion_group!(
+    kernels,
+    bench_stp_product,
+    bench_canonical_form,
+    bench_canonical_allsat,
+    bench_circuit_solver
+);
+criterion_main!(kernels);

@@ -1,0 +1,63 @@
+//! Criterion version of the Table I suites: per-algorithm solve time on
+//! suite samples. The `table1` binary prints the full table; this bench
+//! tracks regressions on representative instances.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use stp_bench::{run_instance, Algorithm};
+use stp_bench::suites::{fdsd, npn4, pdsd};
+
+fn bench_suite_samples(c: &mut Criterion) {
+    let npn = npn4();
+    // A spread of NPN4 classes from the easy and middle regions; the
+    // hardest tail lives in the table1 binary where per-instance
+    // timeouts apply.
+    let samples: Vec<_> = npn.functions.iter().skip(60).take(60).step_by(12).cloned().collect();
+    let mut group = c.benchmark_group("npn4_sample");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(8));
+    for algo in Algorithm::ALL {
+        group.bench_function(BenchmarkId::from_parameter(algo.label()), |b| {
+            b.iter(|| {
+                for tt in &samples {
+                    black_box(run_instance(algo, tt, Duration::from_secs(2)));
+                }
+            })
+        });
+    }
+    group.finish();
+
+    let fdsd6 = fdsd(6, 3, 6);
+    let mut group = c.benchmark_group("fdsd6_sample");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(8));
+    for algo in [Algorithm::Stp, Algorithm::Abc] {
+        group.bench_function(BenchmarkId::from_parameter(algo.label()), |b| {
+            b.iter(|| {
+                for tt in &fdsd6.functions {
+                    black_box(run_instance(algo, tt, Duration::from_secs(2)));
+                }
+            })
+        });
+    }
+    group.finish();
+
+    let pdsd6 = pdsd(6, 2, 6);
+    let mut group = c.benchmark_group("pdsd6_sample");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(10));
+    for algo in [Algorithm::Stp, Algorithm::Abc] {
+        group.bench_function(BenchmarkId::from_parameter(algo.label()), |b| {
+            b.iter(|| {
+                for tt in &pdsd6.functions {
+                    black_box(run_instance(algo, tt, Duration::from_secs(2)));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(table1, bench_suite_samples);
+criterion_main!(table1);

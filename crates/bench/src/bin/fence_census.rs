@@ -1,0 +1,42 @@
+//! Prints the fence families of Fig. 2 and the valid partial DAGs of
+//! Fig. 3.
+//!
+//! Usage: `fence_census [--max-k <k>] [--dags]`
+
+use stp_fence::{all_fences, dags_for_fence, pruned_fences};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut max_k = 6usize;
+    let show_dags = args.iter().any(|a| a == "--dags");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--max-k" {
+            if let Some(v) = it.next() {
+                max_k = v.parse().unwrap_or(max_k);
+            }
+        }
+    }
+    for k in 1..=max_k {
+        let full = all_fences(k);
+        let pruned = pruned_fences(k);
+        println!("F_{k}: {} fences, {} after pruning (Fig. 2)", full.len(), pruned.len());
+        println!("  full family:   {}", full.iter().map(|f| f.to_string()).collect::<Vec<_>>().join(" "));
+        println!("  pruned family: {}", pruned.iter().map(|f| f.to_string()).collect::<Vec<_>>().join(" "));
+        if show_dags || k == 3 {
+            let mut total = 0usize;
+            for fence in &pruned {
+                let dags = dags_for_fence(fence);
+                println!("  fence {fence}: {} valid DAG(s) (Fig. 3)", dags.len());
+                for dag in &dags {
+                    for line in dag.to_string().lines() {
+                        println!("    {line}");
+                    }
+                    println!("    --");
+                    total += 1;
+                }
+            }
+            println!("  total valid DAGs over pruned F_{k}: {total}");
+        }
+    }
+}

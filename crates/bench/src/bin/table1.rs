@@ -1,0 +1,56 @@
+//! Regenerates Table I of the paper.
+//!
+//! Usage: `table1 [--full] [--timeout <seconds>] [--suite <name>]...`
+//!
+//! The default (quick) profile uses reduced instance counts and a short
+//! per-instance timeout so the whole table runs in minutes; `--full`
+//! switches to the paper's counts (222/1000/100/1000/100) and a
+//! 180-second timeout.
+
+use std::time::Duration;
+
+use stp_bench::{render_headlines, render_table, run_suite, Algorithm, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let mut timeout = if full { 180.0f64 } else { 10.0 };
+    let mut only_suites: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--timeout" => {
+                if let Some(v) = it.next() {
+                    timeout = v.parse().unwrap_or(timeout);
+                }
+            }
+            "--suite" => {
+                if let Some(v) = it.next() {
+                    only_suites.push(v.to_uppercase());
+                }
+            }
+            _ => {}
+        }
+    }
+    let scale = if full { Scale::Full } else { Scale::Quick };
+    let timeout = Duration::from_secs_f64(timeout);
+    let suites = stp_bench::standard_suites(scale);
+    let mut reports = Vec::new();
+    for suite in &suites {
+        if !only_suites.is_empty() && !only_suites.iter().any(|s| s == suite.name) {
+            continue;
+        }
+        for algo in Algorithm::ALL {
+            eprintln!(
+                "running {} on {} ({} instances, timeout {:?})…",
+                algo.label(),
+                suite.name,
+                suite.functions.len(),
+                timeout
+            );
+            reports.push(run_suite(algo, suite, timeout));
+        }
+    }
+    println!("{}", render_table(&reports));
+    println!("{}", render_headlines(&reports));
+}

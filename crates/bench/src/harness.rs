@@ -1,0 +1,217 @@
+//! The Table I measurement harness.
+//!
+//! Runs each algorithm (BMS / FEN / ABC-like / STP) over a suite with a
+//! per-instance wall-clock timeout and aggregates the quantities the
+//! paper reports: mean solve time over solved instances, the number of
+//! timeouts (`#t/o`), the number solved (`#ok`), and — for STP — the
+//! per-solution mean time and the average solution count.
+
+use std::time::{Duration, Instant};
+
+use stp_baselines::{abc_synthesize, bms_synthesize, fen_synthesize, BaselineConfig, BaselineError};
+use stp_synth::{synthesize, SynthesisConfig, SynthesisError};
+use stp_tt::TruthTable;
+
+use crate::suites::Suite;
+
+/// The four algorithms of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Busy Man's Synthesis (single-solver SSV encoding).
+    Bms,
+    /// Fence enumeration with topological constraints.
+    Fen,
+    /// CEGAR minterm refinement (the ABC-like reference).
+    Abc,
+    /// The paper's STP-based engine.
+    Stp,
+}
+
+impl Algorithm {
+    /// All four, in the paper's column order.
+    pub const ALL: [Algorithm; 4] = [Algorithm::Bms, Algorithm::Fen, Algorithm::Abc, Algorithm::Stp];
+
+    /// Column label used in the rendered table.
+    pub fn label(self) -> &'static str {
+        match self {
+            Algorithm::Bms => "BMS",
+            Algorithm::Fen => "FEN",
+            Algorithm::Abc => "ABC",
+            Algorithm::Stp => "STP",
+        }
+    }
+}
+
+/// Outcome of one (algorithm, instance) run.
+#[derive(Debug, Clone)]
+pub struct InstanceOutcome {
+    /// Wall-clock time spent.
+    pub elapsed: Duration,
+    /// Optimum gate count, when solved.
+    pub gate_count: Option<usize>,
+    /// Number of optimum solutions found (1 for the CNF baselines; the
+    /// full solution-set size for STP).
+    pub num_solutions: usize,
+    /// Whether the instance was solved before the timeout.
+    pub solved: bool,
+}
+
+/// Runs one instance under a timeout.
+///
+/// Gate limits and other failures are folded into `solved = false`, as
+/// a bench harness should never abort the whole table on one instance.
+pub fn run_instance(algorithm: Algorithm, spec: &TruthTable, timeout: Duration) -> InstanceOutcome {
+    let start = Instant::now();
+    let deadline = Some(start + timeout);
+    let (solved, gate_count, num_solutions) = match algorithm {
+        Algorithm::Stp => {
+            let config = SynthesisConfig { deadline, ..SynthesisConfig::default() };
+            match synthesize(spec, &config) {
+                Ok(result) => (true, Some(result.gate_count), result.chains.len()),
+                Err(SynthesisError::Timeout) => (false, None, 0),
+                Err(_) => (false, None, 0),
+            }
+        }
+        baseline => {
+            let config = BaselineConfig { deadline, ..BaselineConfig::default() };
+            let result = match baseline {
+                Algorithm::Bms => bms_synthesize(spec, &config),
+                Algorithm::Fen => fen_synthesize(spec, &config),
+                Algorithm::Abc => abc_synthesize(spec, &config),
+                Algorithm::Stp => unreachable!("handled above"),
+            };
+            match result {
+                Ok(r) => (true, Some(r.gate_count), 1),
+                Err(BaselineError::Timeout) => (false, None, 0),
+                Err(_) => (false, None, 0),
+            }
+        }
+    };
+    InstanceOutcome { elapsed: start.elapsed(), gate_count, num_solutions, solved }
+}
+
+/// Aggregated results of one algorithm over one suite — one cell group
+/// of Table I.
+#[derive(Debug, Clone)]
+pub struct SuiteReport {
+    /// The algorithm measured.
+    pub algorithm: Algorithm,
+    /// Suite name.
+    pub suite: &'static str,
+    /// Mean solve time over *solved* instances (the paper's `mean`).
+    pub mean_time: Duration,
+    /// Number of instances hitting the timeout (`#t/o`).
+    pub timeouts: usize,
+    /// Number of solved instances (`#ok`).
+    pub solved: usize,
+    /// Total time over solved instances (basis of the STP `Total`
+    /// column).
+    pub total_time: Duration,
+    /// Average number of solutions over solved instances (STP's
+    /// `number` column; 1 for the baselines).
+    pub mean_solutions: f64,
+    /// Optimum gate counts per solved instance (index-aligned with the
+    /// suite, `None` for unsolved) — used by the cross-checks.
+    pub gate_counts: Vec<Option<usize>>,
+}
+
+impl SuiteReport {
+    /// Mean time per solution (the STP `mean` column).
+    pub fn mean_time_per_solution(&self) -> Duration {
+        if self.mean_solutions > 0.0 && self.solved > 0 {
+            Duration::from_secs_f64(
+                self.mean_time.as_secs_f64() / self.mean_solutions,
+            )
+        } else {
+            Duration::ZERO
+        }
+    }
+}
+
+/// Runs one algorithm over a whole suite.
+pub fn run_suite(algorithm: Algorithm, suite: &Suite, timeout: Duration) -> SuiteReport {
+    let mut total = Duration::ZERO;
+    let mut timeouts = 0usize;
+    let mut solved = 0usize;
+    let mut solutions_sum = 0usize;
+    let mut gate_counts = Vec::with_capacity(suite.functions.len());
+    for spec in &suite.functions {
+        let outcome = run_instance(algorithm, spec, timeout);
+        if outcome.solved {
+            solved += 1;
+            total += outcome.elapsed;
+            solutions_sum += outcome.num_solutions;
+        } else {
+            timeouts += 1;
+        }
+        gate_counts.push(outcome.gate_count);
+    }
+    let mean_time = if solved > 0 {
+        total / (solved as u32)
+    } else {
+        Duration::ZERO
+    };
+    let mean_solutions = if solved > 0 {
+        solutions_sum as f64 / solved as f64
+    } else {
+        0.0
+    };
+    SuiteReport {
+        algorithm,
+        suite: suite.name,
+        mean_time,
+        timeouts,
+        solved,
+        total_time: total,
+        mean_solutions,
+        gate_counts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suites::npn4;
+
+    #[test]
+    fn stp_solves_running_example_quickly() {
+        let spec = TruthTable::from_hex(4, "8ff8").unwrap();
+        let out = run_instance(Algorithm::Stp, &spec, Duration::from_secs(30));
+        assert!(out.solved);
+        assert_eq!(out.gate_count, Some(3));
+        assert!(out.num_solutions >= 2);
+    }
+
+    #[test]
+    fn all_algorithms_agree_on_easy_instances() {
+        for hex in ["8ff8", "6996"] {
+            let spec = TruthTable::from_hex(4, hex).unwrap();
+            let mut counts = Vec::new();
+            for algo in Algorithm::ALL {
+                let out = run_instance(algo, &spec, Duration::from_secs(60));
+                assert!(out.solved, "{} on {hex}", algo.label());
+                counts.push(out.gate_count.unwrap());
+            }
+            assert!(counts.windows(2).all(|w| w[0] == w[1]), "gate counts {counts:?} on {hex}");
+        }
+    }
+
+    #[test]
+    fn zero_timeout_reports_unsolved() {
+        let spec = TruthTable::from_hex(4, "1ee1").unwrap();
+        let out = run_instance(Algorithm::Stp, &spec, Duration::ZERO);
+        assert!(!out.solved);
+        assert_eq!(out.gate_count, None);
+    }
+
+    #[test]
+    fn suite_report_aggregates() {
+        let mut suite = npn4();
+        suite.functions.truncate(10);
+        let report = run_suite(Algorithm::Stp, &suite, Duration::from_secs(20));
+        assert_eq!(report.solved + report.timeouts, 10);
+        assert_eq!(report.gate_counts.len(), 10);
+        assert!(report.solved > 0);
+        assert!(report.mean_solutions >= 1.0);
+    }
+}

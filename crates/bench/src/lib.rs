@@ -1,0 +1,31 @@
+//! Workload suites and the Table I regeneration harness.
+//!
+//! This crate regenerates the evaluation of *"Exact Synthesis Based on
+//! Semi-Tensor Product Circuit Solver"* (Pan & Chu, DATE 2023):
+//!
+//! * [`suites`] — the five function suites of §IV (NPN4, FDSD6, FDSD8,
+//!   PDSD6, PDSD8);
+//! * [`harness`] — per-instance timeout measurement of the four
+//!   algorithms (BMS, FEN, ABC-like, STP);
+//! * [`report`] — the Table I renderer and the headline
+//!   speedup/timeout-reduction summary.
+//!
+//! Binaries:
+//!
+//! * `table1` — regenerates Table I (`--full` for paper-scale counts);
+//! * `fence_census` — prints the fence families of Fig. 2 and the DAG
+//!   families of Fig. 3.
+//!
+//! Criterion benches cover the Table I suites, fence enumeration, the
+//! STP kernels, and the two design-choice ablations from `DESIGN.md`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod harness;
+pub mod report;
+pub mod suites;
+
+pub use harness::{run_instance, run_suite, Algorithm, InstanceOutcome, SuiteReport};
+pub use report::{render_headlines, render_table};
+pub use suites::{fdsd, npn4, pdsd, standard_suites, Scale, Suite};

@@ -1,0 +1,196 @@
+//! Rendering of the Table I reproduction.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use crate::harness::{Algorithm, SuiteReport};
+
+fn secs(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64())
+}
+
+/// Renders the collected reports in the layout of the paper's Table I:
+/// one row per suite; `mean(s) / #t/o / #ok` for BMS, FEN and ABC;
+/// `Total(s) / mean(s) / #t/o / #ok / number` for STP.
+///
+/// `reports` must contain one entry per (suite, algorithm) pair; rows
+/// appear in first-seen suite order.
+pub fn render_table(reports: &[SuiteReport]) -> String {
+    let mut suites: Vec<&'static str> = Vec::new();
+    let mut index: HashMap<(&'static str, Algorithm), &SuiteReport> = HashMap::new();
+    for r in reports {
+        if !suites.contains(&r.suite) {
+            suites.push(r.suite);
+        }
+        index.insert((r.suite, r.algorithm), r);
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "TABLE I: Experimental Results (reproduction)");
+    let _ = writeln!(
+        out,
+        "{:<9}| {:>9} {:>6} {:>6} | {:>9} {:>6} {:>6} | {:>9} {:>6} {:>6} | {:>9} {:>9} {:>6} {:>6} {:>7}",
+        "", "BMS", "", "", "FEN", "", "", "ABC", "", "", "STP", "", "", "", ""
+    );
+    let _ = writeln!(
+        out,
+        "{:<9}| {:>9} {:>6} {:>6} | {:>9} {:>6} {:>6} | {:>9} {:>6} {:>6} | {:>9} {:>9} {:>6} {:>6} {:>7}",
+        "Functions",
+        "mean(s)", "#t/o", "#ok",
+        "mean(s)", "#t/o", "#ok",
+        "mean(s)", "#t/o", "#ok",
+        "Total(s)", "mean(s)", "#t/o", "#ok", "number"
+    );
+    for suite in &suites {
+        let cell = |algo: Algorithm| index.get(&(*suite, algo));
+        let mut row = format!("{suite:<9}|");
+        for algo in [Algorithm::Bms, Algorithm::Fen, Algorithm::Abc] {
+            match cell(algo) {
+                Some(r) => {
+                    let _ = write!(
+                        row,
+                        " {:>9} {:>6} {:>6} |",
+                        secs(r.mean_time),
+                        r.timeouts,
+                        r.solved
+                    );
+                }
+                None => {
+                    let _ = write!(row, " {:>9} {:>6} {:>6} |", "-", "-", "-");
+                }
+            }
+        }
+        match cell(Algorithm::Stp) {
+            Some(r) => {
+                let _ = write!(
+                    row,
+                    " {:>9} {:>9} {:>6} {:>6} {:>7.1}",
+                    secs(r.mean_time),
+                    secs(r.mean_time_per_solution()),
+                    r.timeouts,
+                    r.solved,
+                    r.mean_solutions
+                );
+            }
+            None => {
+                let _ = write!(row, " {:>9} {:>9} {:>6} {:>6} {:>7}", "-", "-", "-", "-", "-");
+            }
+        }
+        let _ = writeln!(out, "{row}");
+    }
+    out
+}
+
+/// Renders the headline comparisons the paper derives from Table I: the
+/// speedup of STP over each baseline (ratio of mean solve times, best
+/// across suites) and the timeout reduction on the suite with the most
+/// baseline timeouts.
+pub fn render_headlines(reports: &[SuiteReport]) -> String {
+    let mut out = String::new();
+    let stp: HashMap<&'static str, &SuiteReport> = reports
+        .iter()
+        .filter(|r| r.algorithm == Algorithm::Stp)
+        .map(|r| (r.suite, r))
+        .collect();
+    for algo in [Algorithm::Bms, Algorithm::Fen, Algorithm::Abc] {
+        let mut best: Option<(&'static str, f64)> = None;
+        let mut timeout_cut: Option<(&'static str, usize, usize)> = None;
+        for r in reports.iter().filter(|r| r.algorithm == algo) {
+            if let Some(s) = stp.get(r.suite) {
+                if r.solved > 0 && s.solved > 0 && s.mean_time.as_secs_f64() > 0.0 {
+                    let speedup = r.mean_time.as_secs_f64() / s.mean_time.as_secs_f64();
+                    if best.is_none_or(|(_, b)| speedup > b) {
+                        best = Some((r.suite, speedup));
+                    }
+                }
+                if r.timeouts > 0 && s.timeouts < r.timeouts {
+                    let better = timeout_cut.is_none_or(|(_, base, _)| r.timeouts > base);
+                    if better {
+                        timeout_cut = Some((r.suite, r.timeouts, s.timeouts));
+                    }
+                }
+            }
+        }
+        if let Some((suite, speedup)) = best {
+            let _ = writeln!(
+                out,
+                "STP vs {}: best mean-time speedup {speedup:.1}x (suite {suite})",
+                algo.label()
+            );
+        }
+        if let Some((suite, base, stp_t)) = timeout_cut {
+            let pct = 100.0 * (base - stp_t) as f64 / base as f64;
+            let _ = writeln!(
+                out,
+                "STP vs {}: timeouts {base} -> {stp_t} on {suite} ({pct:.0}% fewer)",
+                algo.label()
+            );
+        }
+    }
+    if out.is_empty() {
+        out.push_str("(no comparable suite data)\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_report(
+        suite: &'static str,
+        algorithm: Algorithm,
+        mean_ms: u64,
+        timeouts: usize,
+        solved: usize,
+        mean_solutions: f64,
+    ) -> SuiteReport {
+        SuiteReport {
+            algorithm,
+            suite,
+            mean_time: Duration::from_millis(mean_ms),
+            timeouts,
+            solved,
+            total_time: Duration::from_millis(mean_ms * solved as u64),
+            mean_solutions,
+            gate_counts: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn table_layout_contains_all_cells() {
+        let reports = vec![
+            fake_report("NPN4", Algorithm::Bms, 235, 0, 222, 1.0),
+            fake_report("NPN4", Algorithm::Fen, 208, 0, 222, 1.0),
+            fake_report("NPN4", Algorithm::Abc, 167, 0, 222, 1.0),
+            fake_report("NPN4", Algorithm::Stp, 136, 0, 222, 24.0),
+        ];
+        let table = render_table(&reports);
+        assert!(table.contains("NPN4"));
+        assert!(table.contains("0.235"));
+        assert!(table.contains("222"));
+        assert!(table.contains("24.0"));
+    }
+
+    #[test]
+    fn missing_cells_render_dashes() {
+        let reports = vec![fake_report("PDSD8", Algorithm::Stp, 100, 9, 91, 192.0)];
+        let table = render_table(&reports);
+        assert!(table.contains('-'));
+        assert!(table.contains("192.0"));
+    }
+
+    #[test]
+    fn headlines_report_speedup_and_timeout_cut() {
+        let reports = vec![
+            fake_report("FDSD8", Algorithm::Bms, 10602, 0, 100, 1.0),
+            fake_report("FDSD8", Algorithm::Stp, 47, 0, 100, 48.0),
+            fake_report("PDSD8", Algorithm::Bms, 189935, 14, 86, 1.0),
+            fake_report("PDSD8", Algorithm::Stp, 117475, 9, 91, 192.0),
+        ];
+        let text = render_headlines(&reports);
+        assert!(text.contains("STP vs BMS"));
+        assert!(text.contains("speedup"));
+        assert!(text.contains("14 -> 9"));
+    }
+}

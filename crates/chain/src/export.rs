@@ -1,0 +1,171 @@
+//! Netlist exports: Graphviz DOT and structural Verilog.
+//!
+//! Synthesized chains are 2-LUT networks; these exports make them
+//! consumable by standard viewers and downstream flows. Each gate is
+//! emitted as its explicit sum-of-products over the two fanins, so the
+//! Verilog is tool-neutral (no LUT primitives required).
+
+use std::fmt::Write as _;
+
+use crate::{Chain, OutputRef};
+
+impl Chain {
+    /// Renders the chain as a Graphviz DOT digraph (inputs as boxes,
+    /// gates as ellipses labelled with their hex truth table, outputs as
+    /// double circles).
+    pub fn to_dot(&self, name: &str) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph {name} {{");
+        let _ = writeln!(out, "  rankdir=BT;");
+        for i in 0..self.num_inputs() {
+            let _ = writeln!(out, "  s{i} [shape=box, label=\"x{}\"];", i + 1);
+        }
+        for (g, gate) in self.gates().iter().enumerate() {
+            let idx = self.num_inputs() + g;
+            let _ = writeln!(
+                out,
+                "  s{idx} [shape=ellipse, label=\"x{} = 0x{:x}\"];",
+                idx + 1,
+                gate.tt2
+            );
+            let _ = writeln!(out, "  s{} -> s{idx};", gate.fanin[0]);
+            let _ = writeln!(out, "  s{} -> s{idx};", gate.fanin[1]);
+        }
+        for (k, tap) in self.outputs().iter().enumerate() {
+            let _ = writeln!(out, "  f{k} [shape=doublecircle, label=\"f{}\"];", k + 1);
+            match tap {
+                OutputRef::Signal { index, negated } => {
+                    let style = if *negated { " [style=dashed]" } else { "" };
+                    let _ = writeln!(out, "  s{index} -> f{k}{style};");
+                }
+                OutputRef::Constant(v) => {
+                    let _ = writeln!(out, "  c{k} [shape=box, label=\"{}\"];", *v as u8);
+                    let _ = writeln!(out, "  c{k} -> f{k};");
+                }
+            }
+        }
+        let _ = writeln!(out, "}}");
+        out
+    }
+
+    /// Renders the chain as structural Verilog with one `assign` per
+    /// gate (explicit sum-of-products of the 4-bit LUT).
+    pub fn to_verilog(&self, module: &str) -> String {
+        let mut out = String::new();
+        let inputs: Vec<String> = (0..self.num_inputs()).map(|i| format!("x{}", i + 1)).collect();
+        let outputs: Vec<String> = (0..self.outputs().len()).map(|k| format!("f{}", k + 1)).collect();
+        let _ = writeln!(
+            out,
+            "module {module}({}, {});",
+            inputs.join(", "),
+            outputs.join(", ")
+        );
+        let _ = writeln!(out, "  input {};", inputs.join(", "));
+        let _ = writeln!(out, "  output {};", outputs.join(", "));
+        let signal = |s: usize| {
+            if s < self.num_inputs() {
+                format!("x{}", s + 1)
+            } else {
+                format!("w{}", s + 1)
+            }
+        };
+        for (g, gate) in self.gates().iter().enumerate() {
+            let idx = self.num_inputs() + g;
+            let _ = writeln!(out, "  wire w{};", idx + 1);
+            let a = signal(gate.fanin[0]);
+            let b = signal(gate.fanin[1]);
+            let mut terms = Vec::new();
+            for (av, bv) in [(0u8, 0u8), (1, 0), (0, 1), (1, 1)] {
+                if (gate.tt2 >> (av + 2 * bv)) & 1 == 1 {
+                    let ta = if av == 1 { a.clone() } else { format!("~{a}") };
+                    let tb = if bv == 1 { b.clone() } else { format!("~{b}") };
+                    terms.push(format!("({ta} & {tb})"));
+                }
+            }
+            let expr = if terms.is_empty() { "1'b0".to_string() } else { terms.join(" | ") };
+            let _ = writeln!(out, "  assign w{} = {expr};", idx + 1);
+        }
+        for (k, tap) in self.outputs().iter().enumerate() {
+            let rhs = match tap {
+                OutputRef::Signal { index, negated } => {
+                    let s = signal(*index);
+                    if *negated {
+                        format!("~{s}")
+                    } else {
+                        s
+                    }
+                }
+                OutputRef::Constant(v) => format!("1'b{}", *v as u8),
+            };
+            let _ = writeln!(out, "  assign f{} = {rhs};", k + 1);
+        }
+        let _ = writeln!(out, "endmodule");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stp_tt::TruthTable;
+
+    fn example7_chain() -> Chain {
+        let mut chain = Chain::new(4);
+        let x5 = chain.add_gate(2, 3, 0x6).unwrap();
+        let x6 = chain.add_gate(0, 1, 0x8).unwrap();
+        let x7 = chain.add_gate(x5, x6, 0xe).unwrap();
+        chain.add_output(OutputRef::signal(x7));
+        chain
+    }
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let dot = example7_chain().to_dot("example7");
+        assert!(dot.contains("digraph example7"));
+        assert!(dot.contains("x1"));
+        assert!(dot.contains("0x6"));
+        assert!(dot.contains("s4 -> s6") || dot.contains("s4 -> s5"));
+        assert!(dot.contains("doublecircle"));
+    }
+
+    #[test]
+    fn dot_negated_output_is_dashed() {
+        let mut chain = Chain::new(2);
+        let g = chain.add_gate(0, 1, 0x8).unwrap();
+        chain.add_output(OutputRef::negated_signal(g));
+        assert!(chain.to_dot("t").contains("style=dashed"));
+    }
+
+    #[test]
+    fn verilog_structure() {
+        let v = example7_chain().to_verilog("example7");
+        assert!(v.starts_with("module example7(x1, x2, x3, x4, f1);"));
+        assert!(v.contains("wire w5;"));
+        assert!(v.contains("assign f1 = w7;"));
+        assert!(v.trim_end().ends_with("endmodule"));
+        // XOR gate: two product terms.
+        assert!(v.contains("assign w5 = (x3 & ~x4) | (~x3 & x4);"));
+    }
+
+    #[test]
+    fn verilog_semantics_spot_check() {
+        // Evaluate the generated SOP mentally for AND: single term.
+        let mut chain = Chain::new(2);
+        let g = chain.add_gate(0, 1, 0x8).unwrap();
+        chain.add_output(OutputRef::signal(g));
+        let v = chain.to_verilog("and2");
+        assert!(v.contains("assign w3 = (x1 & x2);"));
+        // And the chain still simulates correctly.
+        assert_eq!(
+            chain.simulate_outputs().unwrap()[0],
+            TruthTable::from_hex(2, "8").unwrap()
+        );
+    }
+
+    #[test]
+    fn constant_output_verilog() {
+        let mut chain = Chain::new(1);
+        chain.add_output(OutputRef::Constant(true));
+        assert!(chain.to_verilog("k").contains("assign f1 = 1'b1;"));
+    }
+}

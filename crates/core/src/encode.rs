@@ -1,0 +1,80 @@
+//! Conversions between truth tables and STP canonical forms.
+//!
+//! The synthesized function enters the engine as a [`TruthTable`]
+//! (LSB-first minterm order) and is "encoded into its STP canonical
+//! form" (§III of the paper) — a [`LogicMatrix`] whose columns follow
+//! the STP convention (all-True first). These helpers keep the two
+//! conventions straight.
+
+use stp_matrix::LogicMatrix;
+use stp_tt::TruthTable;
+
+use crate::error::SynthesisError;
+
+/// Encodes a truth table as its STP canonical form `M_Φ` (Property 2).
+///
+/// # Errors
+///
+/// Returns [`SynthesisError::Matrix`] when the arity exceeds the logic
+/// matrix substrate's limit.
+///
+/// # Examples
+///
+/// ```
+/// use stp_synth::encode_canonical_form;
+/// use stp_tt::TruthTable;
+///
+/// let f = TruthTable::from_hex(4, "8ff8")?;
+/// let m = encode_canonical_form(&f)?;
+/// // Column 0 is the all-True assignment: f(1,1,1,1) = bit 15 of 0x8ff8.
+/// assert!(m.bit(0));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn encode_canonical_form(tt: &TruthTable) -> Result<LogicMatrix, SynthesisError> {
+    Ok(LogicMatrix::from_tt_words(tt.words(), tt.num_vars())?)
+}
+
+/// Decodes an STP canonical form back into a truth table.
+///
+/// # Errors
+///
+/// Returns [`SynthesisError::TruthTable`] when the arity exceeds the
+/// truth-table substrate's limit.
+pub fn decode_canonical_form(m: &LogicMatrix) -> Result<TruthTable, SynthesisError> {
+    Ok(TruthTable::from_words(m.arity(), m.to_tt_words())?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_preserves_function() {
+        for hex in ["8ff8", "6996", "cafe", "0000", "ffff"] {
+            let tt = TruthTable::from_hex(4, hex).unwrap();
+            let m = encode_canonical_form(&tt).unwrap();
+            assert_eq!(decode_canonical_form(&m).unwrap(), tt);
+        }
+    }
+
+    #[test]
+    fn column_zero_is_all_true_assignment() {
+        let tt = TruthTable::from_hex(2, "8").unwrap(); // AND
+        let m = encode_canonical_form(&tt).unwrap();
+        // AND(1,1) = 1: column 0 True; AND(0,0) = 0: last column False.
+        assert!(m.bit(0));
+        assert!(!m.bit(3));
+        // The canonical form of AND is the structural matrix M_c.
+        assert_eq!(m, LogicMatrix::structural_and());
+    }
+
+    #[test]
+    fn values_agree_pointwise() {
+        let tt = TruthTable::from_hex(3, "d8").unwrap();
+        let m = encode_canonical_form(&tt).unwrap();
+        for mt in 0..8usize {
+            let assign: Vec<bool> = (0..3).map(|i| (mt >> i) & 1 == 1).collect();
+            assert_eq!(m.value(&assign), tt.bit(mt), "minterm {mt}");
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Error types for the synthesis engine.
+
+use std::error::Error;
+use std::fmt;
+
+use stp_chain::ChainError;
+use stp_matrix::MatrixError;
+use stp_tt::TruthTableError;
+
+/// Errors raised by the STP synthesis engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SynthesisError {
+    /// The per-instance deadline expired before synthesis finished.
+    Timeout,
+    /// No realization exists within the configured gate limit.
+    GateLimitExceeded {
+        /// The configured maximum number of gates.
+        max_gates: usize,
+    },
+    /// A truth-table operation failed.
+    TruthTable(TruthTableError),
+    /// A chain operation failed.
+    Chain(ChainError),
+    /// A logic-matrix operation failed.
+    Matrix(MatrixError),
+}
+
+impl fmt::Display for SynthesisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthesisError::Timeout => write!(f, "synthesis deadline expired"),
+            SynthesisError::GateLimitExceeded { max_gates } => {
+                write!(f, "no realization with at most {max_gates} gates")
+            }
+            SynthesisError::TruthTable(e) => write!(f, "truth table error: {e}"),
+            SynthesisError::Chain(e) => write!(f, "chain error: {e}"),
+            SynthesisError::Matrix(e) => write!(f, "matrix error: {e}"),
+        }
+    }
+}
+
+impl Error for SynthesisError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SynthesisError::TruthTable(e) => Some(e),
+            SynthesisError::Chain(e) => Some(e),
+            SynthesisError::Matrix(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TruthTableError> for SynthesisError {
+    fn from(e: TruthTableError) -> Self {
+        SynthesisError::TruthTable(e)
+    }
+}
+
+impl From<ChainError> for SynthesisError {
+    fn from(e: ChainError) -> Self {
+        SynthesisError::Chain(e)
+    }
+}
+
+impl From<MatrixError> for SynthesisError {
+    fn from(e: MatrixError) -> Self {
+        SynthesisError::Matrix(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(SynthesisError::Timeout.to_string(), "synthesis deadline expired");
+        assert!(SynthesisError::GateLimitExceeded { max_gates: 7 }
+            .to_string()
+            .contains('7'));
+    }
+}

@@ -1,0 +1,697 @@
+//! STP-based matrix factorization of canonical forms over DAG
+//! topologies (§III-B of the paper).
+//!
+//! The paper decomposes the canonical form `M_Φ` of the target function
+//! by repeatedly splitting it into "quartering parts": `M_Φ` factors
+//! through a 2-input top gate iff the quartered matrix has at most **two
+//! unique parts** per axis (Examples 5–6), with the power-reducing
+//! matrix `M_r` admitting repeated variables (Property 3) and the swap
+//! matrix `M_w` admitting arbitrary variable orders (Property 4).
+//!
+//! This module implements that factorization in its equivalent
+//! column-grouping form (see `DESIGN.md`, *Semantics fixed for this
+//! implementation*):
+//!
+//! * a candidate split partitions the support into `A` (exclusive to the
+//!   left operand), `B` (exclusive to the right operand) and `S`
+//!   (shared — the `M_r` case); enumerating all splits plays the role of
+//!   the swap matrices;
+//! * for each assignment of the shared variables, the decomposition
+//!   chart must have at most two distinct row patterns and two distinct
+//!   column patterns — the "two unique quartering parts" test; shared
+//!   assignments contribute the `x` don't-care entries of Property 3;
+//! * every consistent 2-labelling yields one candidate operand pair, so
+//!   **all** factorizations are produced (the paper's one-pass AllSAT
+//!   over solutions — Example 5 finds exactly two).
+//!
+//! The recursion walks a [`TreeShape`]; reconvergence enters through
+//! shared primary inputs, which is precisely the reach of the paper's
+//! `M_r`/`M_w` calculus.
+
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+use std::time::Instant;
+
+use stp_chain::{Chain, OutputRef};
+use stp_fence::TreeShape;
+use stp_tt::TruthTable;
+
+use crate::error::SynthesisError;
+
+/// Configuration for the factorization engine.
+#[derive(Debug, Clone)]
+pub struct FactorConfig {
+    /// Cap on realizations materialized per (function, shape) node; the
+    /// engine still proves realizability beyond the cap but stops
+    /// enumerating. The paper's suites average between 12 and 192
+    /// solutions per instance, well under the default of 4096.
+    pub max_realizations: usize,
+    /// Optional wall-clock deadline; factorization aborts with
+    /// [`SynthesisError::Timeout`] once it passes.
+    pub deadline: Option<Instant>,
+}
+
+impl Default for FactorConfig {
+    fn default() -> Self {
+        FactorConfig { max_realizations: 4096, deadline: None }
+    }
+}
+
+/// A realization of a function on a tree shape: leaves carry primary
+/// input indices, internal nodes carry 4-bit gate truth tables.
+#[derive(Debug, PartialEq, Eq, Hash)]
+enum RealTree {
+    Leaf(usize),
+    Node(u8, Rc<RealTree>, Rc<RealTree>),
+}
+
+/// The factorization engine with its memo table.
+///
+/// One engine instance should be reused across the shapes explored for a
+/// single specification: sub-function factorizations recur constantly
+/// (that reuse is a large part of the paper's speed on DSD-structured
+/// functions).
+#[derive(Debug)]
+#[allow(clippy::type_complexity)]
+pub struct Factorizer {
+    config: FactorConfig,
+    memo: HashMap<(Vec<u64>, TreeShape), Rc<Vec<Rc<RealTree>>>>,
+    /// Number of factorization nodes explored (for the harness).
+    nodes_explored: u64,
+}
+
+impl Factorizer {
+    /// Creates an engine with the given configuration.
+    pub fn new(config: FactorConfig) -> Self {
+        Factorizer { config, memo: HashMap::new(), nodes_explored: 0 }
+    }
+
+    /// Number of (function, shape) factorization subproblems examined.
+    pub fn nodes_explored(&self) -> u64 {
+        self.nodes_explored
+    }
+
+    /// Enumerates every chain realizing `spec` on the given tree shape
+    /// (all leaf-to-PI bindings and all gate assignments), up to the
+    /// configured cap.
+    ///
+    /// The returned chains use only operators that depend on both
+    /// fanins; callers are expected to verify them with the circuit
+    /// solver (the paper's step iv).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SynthesisError::Timeout`] when the configured deadline
+    /// expires mid-search.
+    pub fn chains_on_shape(
+        &mut self,
+        spec: &TruthTable,
+        shape: &TreeShape,
+    ) -> Result<Vec<Chain>, SynthesisError> {
+        let support = spec.support();
+        if support.len() > shape.leaf_count() || support.len() < 2 {
+            // Trivial specs (constants, literals) need no gates and are
+            // handled by the synthesis driver, not by factorization.
+            return Ok(Vec::new());
+        }
+        let trees = self.realize(spec, shape)?;
+        let mut chains = Vec::with_capacity(trees.len());
+        let mut seen = HashSet::new();
+        for tree in trees.iter() {
+            let chain = tree_to_chain(tree, spec.num_vars());
+            let key = format!("{chain}");
+            if seen.insert(key) {
+                chains.push(chain);
+            }
+        }
+        Ok(chains)
+    }
+
+    fn check_deadline(&self) -> Result<(), SynthesisError> {
+        if let Some(d) = self.config.deadline {
+            if Instant::now() >= d {
+                return Err(SynthesisError::Timeout);
+            }
+        }
+        Ok(())
+    }
+
+    /// Core recursion: all realizations of `h` on `shape`.
+    fn realize(
+        &mut self,
+        h: &TruthTable,
+        shape: &TreeShape,
+    ) -> Result<Rc<Vec<Rc<RealTree>>>, SynthesisError> {
+        let key = (h.words().to_vec(), shape.clone());
+        if let Some(hit) = self.memo.get(&key) {
+            return Ok(Rc::clone(hit));
+        }
+        self.check_deadline()?;
+        self.nodes_explored += 1;
+        let result = match shape {
+            TreeShape::Leaf => {
+                // A leaf realizes exactly a positive literal; complements
+                // are absorbed by the parent gate's operator choice.
+                let mut out = Vec::new();
+                let sup = h.support();
+                if sup.len() == 1 {
+                    let v = sup[0];
+                    if let Ok(proj) = TruthTable::variable(h.num_vars(), v) {
+                        if *h == proj {
+                            out.push(Rc::new(RealTree::Leaf(v)));
+                        }
+                    }
+                }
+                out
+            }
+            TreeShape::Node(s1, s2) => self.realize_node(h, s1, s2)?,
+        };
+        let rc = Rc::new(result);
+        self.memo.insert(key, Rc::clone(&rc));
+        Ok(rc)
+    }
+
+    fn realize_node(
+        &mut self,
+        h: &TruthTable,
+        s1: &TreeShape,
+        s2: &TreeShape,
+    ) -> Result<Vec<Rc<RealTree>>, SynthesisError> {
+        let support = h.support();
+        let d = support.len();
+        let l1 = s1.leaf_count();
+        let l2 = s2.leaf_count();
+        let symmetric = s1 == s2;
+        let mut out: Vec<Rc<RealTree>> = Vec::new();
+        if d > l1 + l2 || d == 0 {
+            return Ok(out);
+        }
+        let mut seen_triples: HashSet<(u8, Vec<u64>, Vec<u64>)> = HashSet::new();
+        // Enumerate splits: each support variable goes to A (left
+        // exclusive), B (right exclusive), or S (shared).
+        let mut split = vec![0u8; d];
+        'splits: loop {
+            self.check_deadline()?;
+            let a_vars: Vec<usize> = (0..d).filter(|&i| split[i] == 0).map(|i| support[i]).collect();
+            let b_vars: Vec<usize> = (0..d).filter(|&i| split[i] == 1).map(|i| support[i]).collect();
+            let s_vars: Vec<usize> = (0..d).filter(|&i| split[i] == 2).map(|i| support[i]).collect();
+            let feasible = a_vars.len() + s_vars.len() >= 1
+                && b_vars.len() + s_vars.len() >= 1
+                && a_vars.len() + s_vars.len() <= l1
+                && b_vars.len() + s_vars.len() <= l2;
+            if feasible {
+                self.factor_split(
+                    h,
+                    &a_vars,
+                    &b_vars,
+                    &s_vars,
+                    s1,
+                    s2,
+                    symmetric,
+                    &mut seen_triples,
+                    &mut out,
+                )?;
+                if out.len() >= self.config.max_realizations {
+                    break 'splits;
+                }
+            }
+            // Advance the base-3 counter.
+            let mut i = 0;
+            loop {
+                if i == d {
+                    break 'splits;
+                }
+                split[i] += 1;
+                if split[i] < 3 {
+                    break;
+                }
+                split[i] = 0;
+                i += 1;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Factors `h = g(h1(A ∪ S), h2(B ∪ S))` for one fixed split,
+    /// appending every realization to `out`.
+    #[allow(clippy::too_many_arguments)]
+    fn factor_split(
+        &mut self,
+        h: &TruthTable,
+        a_vars: &[usize],
+        b_vars: &[usize],
+        s_vars: &[usize],
+        s1: &TreeShape,
+        s2: &TreeShape,
+        symmetric: bool,
+        seen_triples: &mut HashSet<(u8, Vec<u64>, Vec<u64>)>,
+        out: &mut Vec<Rc<RealTree>>,
+    ) -> Result<(), SynthesisError> {
+        let n = h.num_vars();
+        let rows = 1usize << a_vars.len();
+        let cols = 1usize << b_vars.len();
+        let shared = 1usize << s_vars.len();
+
+        // Per shared assignment: the row/column labelling options.
+        // labels[s] = (row label options, column label options); a label
+        // option is the vector of h1 (resp. h2) values for that shared
+        // assignment.
+        let mut row_options: Vec<Vec<Vec<bool>>> = Vec::with_capacity(shared);
+        let mut col_options: Vec<Vec<Vec<bool>>> = Vec::with_capacity(shared);
+        let mut charts: Vec<Vec<bool>> = Vec::with_capacity(shared);
+        for s in 0..shared {
+            let mut chart = vec![false; rows * cols];
+            let mut assign = vec![false; n];
+            for (i, &v) in s_vars.iter().enumerate() {
+                assign[v] = (s >> i) & 1 == 1;
+            }
+            for r in 0..rows {
+                for (i, &v) in a_vars.iter().enumerate() {
+                    assign[v] = (r >> i) & 1 == 1;
+                }
+                for c in 0..cols {
+                    for (i, &v) in b_vars.iter().enumerate() {
+                        assign[v] = (c >> i) & 1 == 1;
+                    }
+                    chart[r * cols + c] = h.eval(&assign);
+                }
+            }
+            // Two unique quartering parts per axis (Examples 5–6).
+            let row_opts = match two_pattern_labels(&chart, rows, cols, true) {
+                Some(opts) => opts,
+                None => return Ok(()),
+            };
+            let col_opts = match two_pattern_labels(&chart, rows, cols, false) {
+                Some(opts) => opts,
+                None => return Ok(()),
+            };
+            row_options.push(row_opts);
+            col_options.push(col_opts);
+            charts.push(chart);
+        }
+
+        // Split-level support filter: the A-part of the left operand's
+        // support is the union of the row-class supports across shared
+        // assignments (complementing a labelling never changes its
+        // support), so a split whose row classes do not jointly cover A
+        // can never pass the canonical-split check — likewise for B.
+        // This kills doomed splits before the combination search.
+        if !covers_axis(&row_options, a_vars.len()) || !covers_axis(&col_options, b_vars.len()) {
+            return Ok(());
+        }
+
+        // For each candidate operator g, pick one row/column labelling
+        // per shared assignment, consistently.
+        for &g in &stp_tt::NONTRIVIAL_OPS {
+            // Valid (row label, col label) index pairs per shared
+            // assignment.
+            let mut pairs_per_s: Vec<Vec<(usize, usize)>> = Vec::with_capacity(shared);
+            let mut dead = false;
+            for s in 0..shared {
+                let mut pairs = Vec::new();
+                for (ri, rl) in row_options[s].iter().enumerate() {
+                    for (ci, cl) in col_options[s].iter().enumerate() {
+                        if chart_consistent(&charts[s], rows, cols, g, rl, cl) {
+                            pairs.push((ri, ci));
+                        }
+                    }
+                }
+                if pairs.is_empty() {
+                    dead = true;
+                    break;
+                }
+                pairs_per_s.push(pairs);
+            }
+            if dead {
+                continue;
+            }
+            // Depth-first combination over shared assignments.
+            let mut choice = vec![0usize; shared];
+            'combos: loop {
+                self.check_deadline()?;
+                let h1 = build_operand(n, a_vars, s_vars, &row_options, &pairs_per_s, &choice, true);
+                let h2 = build_operand(n, b_vars, s_vars, &col_options, &pairs_per_s, &choice, false);
+                // Canonical split: the operands must depend on exactly
+                // their assigned variables (otherwise the same triple is
+                // found under a smaller split).
+                let h1_sup = h1.support();
+                let h2_sup = h2.support();
+                let mut want1: Vec<usize> = a_vars.iter().chain(s_vars).copied().collect();
+                want1.sort_unstable();
+                let mut want2: Vec<usize> = b_vars.iter().chain(s_vars).copied().collect();
+                want2.sort_unstable();
+                let canonical = h1_sup == want1 && h2_sup == want2;
+                // Mirror dedup for symmetric shapes.
+                let ordered = !symmetric || h1.words() <= h2.words();
+                if canonical && ordered {
+                    let triple = (g, h1.words().to_vec(), h2.words().to_vec());
+                    if seen_triples.insert(triple) {
+                        let r1 = self.realize(&h1, s1)?;
+                        if !r1.is_empty() {
+                            let r2 = self.realize(&h2, s2)?;
+                            for t1 in r1.iter() {
+                                for t2 in r2.iter() {
+                                    // A gate reading the same leaf twice
+                                    // computes a unary function, so a
+                                    // strictly smaller chain exists and
+                                    // the candidate can never be part of
+                                    // a minimum solution (chains also
+                                    // reject tied fanins).
+                                    if let (RealTree::Leaf(a), RealTree::Leaf(b)) =
+                                        (t1.as_ref(), t2.as_ref())
+                                    {
+                                        if a == b {
+                                            continue;
+                                        }
+                                    }
+                                    out.push(Rc::new(RealTree::Node(
+                                        g,
+                                        Rc::clone(t1),
+                                        Rc::clone(t2),
+                                    )));
+                                    if out.len() >= self.config.max_realizations {
+                                        return Ok(());
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                // Advance.
+                let mut i = 0;
+                loop {
+                    if i == shared {
+                        break 'combos;
+                    }
+                    choice[i] += 1;
+                    if choice[i] < pairs_per_s[i].len() {
+                        break;
+                    }
+                    choice[i] = 0;
+                    i += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Returns `true` when the per-shared-assignment labellings jointly
+/// depend on every one of the `k` axis variables.
+fn covers_axis(options: &[Vec<Vec<bool>>], k: usize) -> bool {
+    let mut covered = vec![false; k];
+    for opts in options {
+        // Any labelling of this shared assignment has the same support;
+        // use the first.
+        let labels = &opts[0];
+        for (bit, slot) in covered.iter_mut().enumerate() {
+            if *slot {
+                continue;
+            }
+            let stride = 1usize << bit;
+            for base in 0..labels.len() {
+                if base & stride == 0 && labels[base] != labels[base | stride] {
+                    *slot = true;
+                    break;
+                }
+            }
+        }
+    }
+    covered.into_iter().all(|c| c)
+}
+
+/// Collects the ≤ 2 distinct patterns along one axis of the chart and
+/// returns the candidate labellings, or `None` when more than two
+/// distinct patterns exist (the paper's "can not be factored",
+/// Example 5.2).
+///
+/// With two distinct patterns there are two labellings (the classes and
+/// their complement); with one there are the two constants.
+#[allow(clippy::needless_range_loop)]
+fn two_pattern_labels(
+    chart: &[bool],
+    rows: usize,
+    cols: usize,
+    by_rows: bool,
+) -> Option<Vec<Vec<bool>>> {
+    let (count, other) = if by_rows { (rows, cols) } else { (cols, rows) };
+    let pattern = |i: usize| -> Vec<bool> {
+        (0..other)
+            .map(|j| {
+                if by_rows {
+                    chart[i * cols + j]
+                } else {
+                    chart[j * cols + i]
+                }
+            })
+            .collect()
+    };
+    let first = pattern(0);
+    let mut second: Option<Vec<bool>> = None;
+    let mut labels = vec![false; count];
+    for i in 1..count {
+        let p = pattern(i);
+        if p == first {
+            continue;
+        }
+        match &second {
+            None => {
+                second = Some(p);
+                labels[i] = true;
+            }
+            Some(s) if p == *s => labels[i] = true,
+            Some(_) => return None,
+        }
+    }
+    if second.is_some() {
+        let inverted: Vec<bool> = labels.iter().map(|&b| !b).collect();
+        Some(vec![labels, inverted])
+    } else {
+        // Degenerate axis: the operand is constant on this shared
+        // assignment.
+        Some(vec![vec![false; count], vec![true; count]])
+    }
+}
+
+/// Checks `chart[a][b] == g(rl[a], cl[b])` for every cell.
+fn chart_consistent(chart: &[bool], rows: usize, cols: usize, g: u8, rl: &[bool], cl: &[bool]) -> bool {
+    for r in 0..rows {
+        for c in 0..cols {
+            let v = (g >> ((rl[r] as u8) + 2 * (cl[c] as u8))) & 1 == 1;
+            if v != chart[r * cols + c] {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Builds an operand function from the chosen labellings.
+fn build_operand(
+    n: usize,
+    own_vars: &[usize],
+    s_vars: &[usize],
+    options: &[Vec<Vec<bool>>],
+    pairs_per_s: &[Vec<(usize, usize)>],
+    choice: &[usize],
+    is_row: bool,
+) -> TruthTable {
+    TruthTable::from_fn(n, |assign| {
+        let mut s = 0usize;
+        for (i, &v) in s_vars.iter().enumerate() {
+            if assign[v] {
+                s |= 1 << i;
+            }
+        }
+        let mut idx = 0usize;
+        for (i, &v) in own_vars.iter().enumerate() {
+            if assign[v] {
+                idx |= 1 << i;
+            }
+        }
+        let (ri, ci) = pairs_per_s[s][choice[s]];
+        let opt = if is_row { ri } else { ci };
+        options[s][opt][idx]
+    })
+    .expect("operand arity equals the spec arity")
+}
+
+/// Converts a realization tree into a chain over `n` inputs with a
+/// single positive output.
+fn tree_to_chain(tree: &RealTree, n: usize) -> Chain {
+    fn emit(tree: &RealTree, chain: &mut Chain) -> usize {
+        match tree {
+            RealTree::Leaf(v) => *v,
+            RealTree::Node(g, l, r) => {
+                let li = emit(l, chain);
+                let ri = emit(r, chain);
+                chain
+                    .add_gate(li, ri, *g)
+                    .expect("realization trees reference earlier signals with distinct fanins")
+            }
+        }
+    }
+    let mut chain = Chain::new(n);
+    let top = emit(tree, &mut chain);
+    chain.add_output(OutputRef::signal(top));
+    chain
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stp_fence::shapes_with_gates;
+
+    fn balanced3() -> TreeShape {
+        let leaf = TreeShape::Leaf;
+        let pair = TreeShape::node(leaf.clone(), leaf.clone());
+        TreeShape::node(pair.clone(), pair)
+    }
+
+    #[test]
+    fn example7_finds_both_paper_solutions() {
+        // f = 0x8ff8 on the balanced 3-gate tree: the paper's Example 7
+        // prints two Boolean chains; our factorization enumerates the
+        // full AllSAT set (four chains — the paper's two plus the two
+        // mixed-polarity variants its coupled factorization skips; see
+        // DESIGN.md).
+        let spec = TruthTable::from_hex(4, "8ff8").unwrap();
+        let mut engine = Factorizer::new(FactorConfig::default());
+        let chains = engine.chains_on_shape(&spec, &balanced3()).unwrap();
+        assert_eq!(chains.len(), 4);
+        for chain in &chains {
+            assert_eq!(chain.num_gates(), 3);
+            let out = chain.simulate_outputs().unwrap();
+            assert_eq!(out[0], spec, "every factorization must realize the spec");
+        }
+    }
+
+    #[test]
+    fn example7_solution_operators() {
+        let spec = TruthTable::from_hex(4, "8ff8").unwrap();
+        let mut engine = Factorizer::new(FactorConfig::default());
+        let chains = engine.chains_on_shape(&spec, &balanced3()).unwrap();
+        // The paper prints the solutions {0xe, 0x8, 0x6} and
+        // {0x7, 0x7, 0x9}; both must appear among the enumerated chains.
+        let mut op_sets: Vec<Vec<u8>> = chains
+            .iter()
+            .map(|c| {
+                let mut ops: Vec<u8> = c.gates().iter().map(|g| g.tt2).collect();
+                ops.sort_unstable();
+                ops
+            })
+            .collect();
+        op_sets.sort();
+        assert!(op_sets.contains(&vec![0x6, 0x8, 0xe]), "paper solution 1");
+        assert!(op_sets.contains(&vec![0x7, 0x7, 0x9]), "paper solution 2");
+    }
+
+    #[test]
+    fn unfactorable_spec_on_small_shape_yields_nothing() {
+        // 3-input majority is prime: no 2-gate tree realizes it.
+        let maj = TruthTable::from_hex(3, "e8").unwrap();
+        let mut engine = Factorizer::new(FactorConfig::default());
+        for shape in shapes_with_gates(2) {
+            assert!(engine.chains_on_shape(&maj, &shape).unwrap().is_empty());
+        }
+    }
+
+    #[test]
+    fn majority_realized_with_shared_inputs() {
+        // Majority needs 4 gates in a tree with repeated leaves (the
+        // paper's M_r case).
+        let maj = TruthTable::from_hex(3, "e8").unwrap();
+        let mut engine = Factorizer::new(FactorConfig::default());
+        let mut found = Vec::new();
+        for shape in shapes_with_gates(4) {
+            found.extend(engine.chains_on_shape(&maj, &shape).unwrap());
+        }
+        assert!(!found.is_empty(), "majority must be realizable with 4 gates");
+        for chain in &found {
+            assert_eq!(chain.simulate_outputs().unwrap()[0], maj);
+        }
+    }
+
+    #[test]
+    fn xor3_realized_with_two_gates() {
+        let xor3 = TruthTable::from_fn(3, |a| a[0] ^ a[1] ^ a[2]).unwrap();
+        let mut engine = Factorizer::new(FactorConfig::default());
+        let mut found = Vec::new();
+        for shape in shapes_with_gates(2) {
+            found.extend(engine.chains_on_shape(&xor3, &shape).unwrap());
+        }
+        assert!(!found.is_empty());
+        for chain in &found {
+            assert_eq!(chain.simulate_outputs().unwrap()[0], xor3);
+        }
+    }
+
+    #[test]
+    fn all_enumerated_chains_are_distinct_and_correct() {
+        let spec = TruthTable::from_fn(4, |a| (a[0] & a[1]) | (a[2] & a[3])).unwrap();
+        let mut engine = Factorizer::new(FactorConfig::default());
+        let chains = engine.chains_on_shape(&spec, &balanced3()).unwrap();
+        assert!(!chains.is_empty());
+        let mut keys: Vec<String> = chains.iter().map(|c| format!("{c}")).collect();
+        let before = keys.len();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), before, "chains must be distinct");
+        for chain in &chains {
+            assert_eq!(chain.simulate_outputs().unwrap()[0], spec);
+            assert!(chain.all_gates_nontrivial());
+        }
+    }
+
+    #[test]
+    fn trivial_specs_yield_no_chains() {
+        let mut engine = Factorizer::new(FactorConfig::default());
+        let shape = balanced3();
+        for tt in [
+            TruthTable::constant(4, true).unwrap(),
+            TruthTable::constant(4, false).unwrap(),
+            TruthTable::variable(4, 2).unwrap(),
+        ] {
+            assert!(engine.chains_on_shape(&tt, &shape).unwrap().is_empty());
+        }
+    }
+
+    #[test]
+    fn deadline_aborts_search() {
+        let spec = TruthTable::from_hex(4, "1ee1").unwrap();
+        let config = FactorConfig {
+            deadline: Some(Instant::now() - std::time::Duration::from_secs(1)),
+            ..FactorConfig::default()
+        };
+        let mut engine = Factorizer::new(config);
+        let result = engine.chains_on_shape(&spec, &balanced3());
+        assert!(matches!(result, Err(SynthesisError::Timeout)));
+    }
+
+    #[test]
+    fn realization_cap_is_respected() {
+        // XOR-heavy functions have many complementary solutions; cap at
+        // a small number and check the cap binds.
+        let spec = TruthTable::from_fn(4, |a| a[0] ^ a[1] ^ a[2] ^ a[3]).unwrap();
+        let config = FactorConfig { max_realizations: 3, ..FactorConfig::default() };
+        let mut engine = Factorizer::new(config);
+        let chains = engine.chains_on_shape(&spec, &balanced3()).unwrap();
+        assert!(chains.len() <= 3);
+        assert!(!chains.is_empty());
+    }
+
+    #[test]
+    fn memoization_hits_across_shapes() {
+        let spec = TruthTable::from_fn(5, |a| (a[0] & a[1]) ^ (a[2] & a[3]) ^ a[4]).unwrap();
+        let mut engine = Factorizer::new(FactorConfig::default());
+        for shape in shapes_with_gates(4) {
+            let _ = engine.chains_on_shape(&spec, &shape).unwrap();
+        }
+        let first_pass = engine.nodes_explored();
+        // Re-running is fully memoized: no new nodes.
+        for shape in shapes_with_gates(4) {
+            let _ = engine.chains_on_shape(&spec, &shape).unwrap();
+        }
+        assert_eq!(engine.nodes_explored(), first_pass);
+    }
+}

@@ -1,0 +1,402 @@
+//! Partial DAGs generated from fences (Fig. 3 of the paper).
+//!
+//! A fence fixes how many gate nodes sit on each level; a *partial DAG*
+//! adds connectivity: every node receives two distinct fanins, each
+//! either an earlier gate node or an **open input slot** (to be bound to
+//! a primary input later — that binding is the synthesizer's job, not
+//! the topology's). Following the fence semantics of Haaswijk et al.
+//! (DAC'18), every node above the bottom level takes at least one fanin
+//! from the *immediately lower* level, and every non-top node must feed
+//! some later node.
+//!
+//! DAGs are deduplicated up to permuting nodes within a level (node
+//! identity inside a level is meaningless).
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::fence::Fence;
+
+/// A fanin of a DAG node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Fanin {
+    /// An earlier gate node, by index.
+    Node(usize),
+    /// An open primary-input slot.
+    OpenInput,
+}
+
+/// A gate node inside a [`FenceDag`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DagNode {
+    /// 1-based level (bottom gate level is 1).
+    pub level: usize,
+    /// The two fanins, stored sorted (fanins are unordered).
+    pub fanin: [Fanin; 2],
+}
+
+/// A partial DAG: gate nodes in level order (bottom first), each with
+/// two fanins that are earlier nodes or open input slots.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct FenceDag {
+    fence: Fence,
+    nodes: Vec<DagNode>,
+}
+
+impl FenceDag {
+    /// The fence this DAG instantiates.
+    pub fn fence(&self) -> &Fence {
+        &self.fence
+    }
+
+    /// The gate nodes, bottom level first.
+    pub fn nodes(&self) -> &[DagNode] {
+        &self.nodes
+    }
+
+    /// Number of gate nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of open primary-input slots.
+    pub fn open_input_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .flat_map(|n| n.fanin.iter())
+            .filter(|f| matches!(f, Fanin::OpenInput))
+            .count()
+    }
+
+    /// `true` when every non-top node feeds exactly one later node — the
+    /// DAG is a tree and reconvergence can only enter through shared
+    /// primary inputs (the paper's `M_r` case).
+    pub fn is_tree(&self) -> bool {
+        let mut fanout = vec![0usize; self.nodes.len()];
+        for node in &self.nodes {
+            for f in node.fanin {
+                if let Fanin::Node(i) = f {
+                    fanout[i] += 1;
+                }
+            }
+        }
+        fanout[..self.nodes.len() - 1].iter().all(|&c| c == 1)
+    }
+}
+
+impl fmt::Display for FenceDag {
+    /// One line per node, e.g. `n3@L2 = (n1, n2)`, with `pi` marking open
+    /// slots.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, node) in self.nodes.iter().enumerate() {
+            let show = |fi: &Fanin| match fi {
+                Fanin::Node(j) => format!("n{}", j + 1),
+                Fanin::OpenInput => "pi".to_string(),
+            };
+            writeln!(
+                f,
+                "n{}@L{} = ({}, {})",
+                i + 1,
+                node.level,
+                show(&node.fanin[0]),
+                show(&node.fanin[1])
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Generates all valid partial DAGs for a fence, deduplicated up to
+/// within-level node permutations.
+///
+/// Validity: every node has two distinct fanins; nodes above level 1
+/// take at least one fanin from the immediately lower level; level-1
+/// nodes read two open input slots; every non-top node has at least one
+/// fanout.
+pub fn dags_for_fence(fence: &Fence) -> Vec<FenceDag> {
+    let levels = fence.levels();
+    let k = fence.num_nodes();
+    // Node index ranges per level.
+    let mut level_of = Vec::with_capacity(k);
+    for (li, &count) in levels.iter().enumerate() {
+        for _ in 0..count {
+            level_of.push(li + 1);
+        }
+    }
+    let first_of_level: Vec<usize> = {
+        let mut acc = 0;
+        let mut v = Vec::with_capacity(levels.len());
+        for &c in levels {
+            v.push(acc);
+            acc += c;
+        }
+        v
+    };
+
+    // Candidate fanin pairs per node.
+    let mut candidates: Vec<Vec<[Fanin; 2]>> = Vec::with_capacity(k);
+    #[allow(clippy::needless_range_loop)]
+    for idx in 0..k {
+        let level = level_of[idx];
+        if level == 1 {
+            candidates.push(vec![[Fanin::OpenInput, Fanin::OpenInput]]);
+            continue;
+        }
+        let below_start = first_of_level[level - 2];
+        let below_end = first_of_level[level - 1];
+        let mut pairs = BTreeSet::new();
+        for a in below_start..below_end {
+            // Second fanin: any strictly lower node, or an open input.
+            for b in 0..below_end {
+                if b != a {
+                    let mut pair = [Fanin::Node(a), Fanin::Node(b)];
+                    pair.sort();
+                    pairs.insert(pair);
+                }
+            }
+            pairs.insert([Fanin::Node(a), Fanin::OpenInput]);
+        }
+        candidates.push(pairs.into_iter().collect());
+    }
+
+    // Cartesian product with the fanout constraint, then canonical dedup.
+    let mut out = BTreeSet::new();
+    let mut choice = vec![0usize; k];
+    'outer: loop {
+        let nodes: Vec<DagNode> = (0..k)
+            .map(|i| DagNode { level: level_of[i], fanin: candidates[i][choice[i]] })
+            .collect();
+        if fanouts_ok(&nodes) {
+            out.insert(canonical_signature(fence, &nodes));
+        }
+        // Advance the mixed-radix counter.
+        for i in 0..k {
+            choice[i] += 1;
+            if choice[i] < candidates[i].len() {
+                continue 'outer;
+            }
+            choice[i] = 0;
+        }
+        break;
+    }
+    out.into_iter()
+        .map(|nodes| FenceDag { fence: fence.clone(), nodes })
+        .collect()
+}
+
+fn fanouts_ok(nodes: &[DagNode]) -> bool {
+    let k = nodes.len();
+    let mut fanout = vec![0usize; k];
+    for node in nodes {
+        for f in node.fanin {
+            if let Fanin::Node(i) = f {
+                fanout[i] += 1;
+            }
+        }
+    }
+    fanout[..k - 1].iter().all(|&c| c >= 1)
+}
+
+/// Relabels nodes within each level to the lexicographically smallest
+/// equivalent node list.
+fn canonical_signature(fence: &Fence, nodes: &[DagNode]) -> Vec<DagNode> {
+    let levels = fence.levels();
+    let mut best: Option<Vec<DagNode>> = None;
+    // Permutations within each level; level sizes are tiny (≤ 4 for the
+    // fences exact synthesis visits), so brute force is fine.
+    let mut level_perms: Vec<Vec<Vec<usize>>> = Vec::new();
+    for &c in levels {
+        level_perms.push(permutations(c));
+    }
+    let first_of_level: Vec<usize> = {
+        let mut acc = 0;
+        let mut v = Vec::new();
+        for &c in levels {
+            v.push(acc);
+            acc += c;
+        }
+        v
+    };
+    let mut idx = vec![0usize; levels.len()];
+    'outer: loop {
+        // Build the relabeling map.
+        let mut map = vec![0usize; nodes.len()];
+        for (li, &start) in first_of_level.iter().enumerate() {
+            let perm = &level_perms[li][idx[li]];
+            for (offset, &p) in perm.iter().enumerate() {
+                map[start + offset] = start + p;
+            }
+        }
+        let mut relabeled: Vec<DagNode> = vec![
+            DagNode { level: 0, fanin: [Fanin::OpenInput, Fanin::OpenInput] };
+            nodes.len()
+        ];
+        for (i, node) in nodes.iter().enumerate() {
+            let mut fanin = node.fanin.map(|f| match f {
+                Fanin::Node(j) => Fanin::Node(map[j]),
+                Fanin::OpenInput => Fanin::OpenInput,
+            });
+            fanin.sort();
+            relabeled[map[i]] = DagNode { level: node.level, fanin };
+        }
+        let key: Vec<_> = relabeled
+            .iter()
+            .map(|n| (n.level, n.fanin))
+            .collect();
+        let better = match &best {
+            None => true,
+            Some(b) => {
+                let bkey: Vec<_> = b.iter().map(|n| (n.level, n.fanin)).collect();
+                key < bkey
+            }
+        };
+        if better {
+            best = Some(relabeled);
+        }
+        for li in 0..levels.len() {
+            idx[li] += 1;
+            if idx[li] < level_perms[li].len() {
+                continue 'outer;
+            }
+            idx[li] = 0;
+        }
+        break;
+    }
+    best.expect("at least the identity permutation is considered")
+}
+
+fn permutations(n: usize) -> Vec<Vec<usize>> {
+    if n == 0 {
+        return vec![vec![]];
+    }
+    let mut out = Vec::new();
+    let mut cur: Vec<usize> = (0..n).collect();
+    fn heap(k: usize, cur: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if k <= 1 {
+            out.push(cur.clone());
+            return;
+        }
+        for i in 0..k {
+            heap(k - 1, cur, out);
+            if k.is_multiple_of(2) {
+                cur.swap(i, k - 1);
+            } else {
+                cur.swap(0, k - 1);
+            }
+        }
+    }
+    heap(n, &mut cur, &mut out);
+    out
+}
+
+/// Generates all valid partial DAGs across the pruned fence family of
+/// `k` nodes — the paper's Fig. 3 family for `k = 3`.
+pub fn dags_for_pruned_fences(k: usize) -> Vec<FenceDag> {
+    crate::fence::pruned_fences(k)
+        .iter()
+        .flat_map(dags_for_fence)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fence::pruned_fences;
+
+    #[test]
+    fn f3_valid_dags() {
+        // Pruned F_3 = {(2,1), (1,1,1)}.
+        let fences = pruned_fences(3);
+        // (2,1): the only valid DAG is the balanced tree (both bottom
+        // nodes must feed the top for the fanout rule to hold).
+        let balanced = dags_for_fence(&fences[0]);
+        assert_eq!(balanced.len(), 1);
+        assert_eq!(balanced[0].open_input_count(), 4);
+        assert!(balanced[0].is_tree());
+        // (1,1,1): the open chain and the reconvergent chain.
+        let chains = dags_for_fence(&fences[1]);
+        assert_eq!(chains.len(), 2);
+        let open_counts: BTreeSet<usize> =
+            chains.iter().map(FenceDag::open_input_count).collect();
+        assert_eq!(open_counts, BTreeSet::from([3, 4]));
+        // Exactly one of them is a tree.
+        assert_eq!(chains.iter().filter(|d| d.is_tree()).count(), 1);
+    }
+
+    #[test]
+    fn all_dags_satisfy_fence_semantics() {
+        for k in 2..=5 {
+            for dag in dags_for_pruned_fences(k) {
+                let nodes = dag.nodes();
+                for (i, node) in nodes.iter().enumerate() {
+                    // Distinct fanins.
+                    assert!(
+                        !((node.fanin[0] == node.fanin[1]) && matches!(node.fanin[0], Fanin::Node(_))),
+                        "node {i} has duplicate gate fanins"
+                    );
+                    // Fanins strictly earlier.
+                    for f in node.fanin {
+                        if let Fanin::Node(j) = f {
+                            assert!(j < i, "fanin must be earlier");
+                            assert!(nodes[j].level < node.level);
+                        }
+                    }
+                    // At least one fanin on the immediately lower level.
+                    if node.level > 1 {
+                        assert!(
+                            node.fanin.iter().any(|f| matches!(
+                                f,
+                                Fanin::Node(j) if nodes[*j].level == node.level - 1
+                            )),
+                            "node {i} skips its lower level"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_non_top_node_has_fanout() {
+        for dag in dags_for_pruned_fences(4) {
+            let nodes = dag.nodes();
+            let mut fanout = vec![0usize; nodes.len()];
+            for node in nodes {
+                for f in node.fanin {
+                    if let Fanin::Node(j) = f {
+                        fanout[j] += 1;
+                    }
+                }
+            }
+            assert!(fanout[..nodes.len() - 1].iter().all(|&c| c >= 1));
+        }
+    }
+
+    #[test]
+    fn dags_are_deduplicated() {
+        // (2, 2, 1): permuting the two level-2 nodes must not create
+        // duplicates.
+        let fence = Fence::new(vec![2, 2, 1]).unwrap();
+        let dags = dags_for_fence(&fence);
+        let set: BTreeSet<String> = dags.iter().map(|d| format!("{d}")).collect();
+        assert_eq!(set.len(), dags.len());
+    }
+
+    #[test]
+    fn display_lists_nodes() {
+        let fence = Fence::new(vec![2, 1]).unwrap();
+        let dags = dags_for_fence(&fence);
+        let text = format!("{}", dags[0]);
+        assert!(text.contains("n1@L1 = (pi, pi)"));
+        assert!(text.contains("n3@L2 = (n1, n2)"));
+    }
+
+    #[test]
+    fn single_node_fence() {
+        let fence = Fence::new(vec![1]).unwrap();
+        let dags = dags_for_fence(&fence);
+        assert_eq!(dags.len(), 1);
+        assert_eq!(dags[0].open_input_count(), 2);
+        assert!(dags[0].is_tree());
+    }
+}

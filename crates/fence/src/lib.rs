@@ -1,0 +1,36 @@
+//! Boolean fence topology families and DAG generation (§III-A of the
+//! paper).
+//!
+//! Exact synthesis explores candidate network topologies by *fences*:
+//! partitions of `k` gate nodes over `l` levels. This crate provides
+//!
+//! * [`Fence`], [`all_fences`], [`pruned_fences`] — the families `F(k,l)`
+//!   and `F_k`, with the paper's pruning rules (single top node, each
+//!   level at most twice the level above) — Fig. 2;
+//! * [`TreeShape`], [`shapes_with_gates`], [`shapes_for_fence`] — the
+//!   unordered binary-tree skeletons the STP factorization engine
+//!   consumes;
+//! * [`FenceDag`], [`dags_for_fence`], [`dags_for_pruned_fences`] —
+//!   partial DAGs with explicit connectivity and open input slots —
+//!   Fig. 3.
+//!
+//! # Quick start
+//!
+//! ```
+//! use stp_fence::{all_fences, pruned_fences};
+//!
+//! // Fig. 2: F_3 has four fences, of which two survive pruning.
+//! assert_eq!(all_fences(3).len(), 4);
+//! assert_eq!(pruned_fences(3).len(), 2);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod dag;
+mod fence;
+mod shape;
+
+pub use dag::{dags_for_fence, dags_for_pruned_fences, DagNode, Fanin, FenceDag};
+pub use fence::{all_fences, fences_with_levels, pruned_fences, Fence};
+pub use shape::{shapes_for_fence, shapes_with_gates, TreeShape};

@@ -1,0 +1,121 @@
+//! Property-based tests for fences, shapes, and DAG generation.
+
+use proptest::prelude::*;
+use stp_fence::{
+    all_fences, dags_for_fence, pruned_fences, shapes_for_fence, shapes_with_gates, Fanin, Fence,
+    TreeShape,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// |F_k| = 2^{k−1}, and every fence partitions its k nodes.
+    #[test]
+    fn fence_family_sizes(k in 1usize..=9) {
+        let fences = all_fences(k);
+        prop_assert_eq!(fences.len(), 1usize << (k - 1));
+        for f in &fences {
+            prop_assert_eq!(f.num_nodes(), k);
+            prop_assert!(f.levels().iter().all(|&c| c >= 1));
+        }
+    }
+
+    /// Pruned fences satisfy both §III-A rules.
+    #[test]
+    fn pruned_fences_satisfy_rules(k in 1usize..=9) {
+        for f in pruned_fences(k) {
+            prop_assert_eq!(f.top_count(), 1);
+            for w in f.levels().windows(2) {
+                prop_assert!(w[0] <= 2 * w[1]);
+            }
+        }
+    }
+
+    /// Every canonical shape partitions into exactly one fence, and the
+    /// fence's node count matches the shape's gate count.
+    #[test]
+    fn shape_fence_consistency(gates in 1usize..=7) {
+        let shapes = shapes_with_gates(gates);
+        for shape in &shapes {
+            prop_assert!(shape.is_canonical());
+            let fence = shape.fence().expect("non-leaf shapes have fences");
+            prop_assert_eq!(fence.num_nodes(), gates);
+            prop_assert!(shapes_for_fence(&fence).contains(shape));
+        }
+        // Partition: each shape appears under exactly one fence.
+        let mut total = 0usize;
+        for fence in all_fences(gates) {
+            total += shapes_for_fence(&fence).len();
+        }
+        prop_assert_eq!(total, shapes.len());
+    }
+
+    /// Tree shapes always carry one more leaf than gates.
+    #[test]
+    fn leaves_exceed_gates_by_one(gates in 0usize..=8) {
+        for shape in shapes_with_gates(gates) {
+            prop_assert_eq!(shape.leaf_count(), gates + 1);
+        }
+    }
+
+    /// Node constructor canonicalizes regardless of argument order.
+    #[test]
+    fn node_is_order_insensitive(g1 in 0usize..=3, g2 in 0usize..=3) {
+        let s1 = shapes_with_gates(g1);
+        let s2 = shapes_with_gates(g2);
+        for a in s1.iter().take(3) {
+            for b in s2.iter().take(3) {
+                prop_assert_eq!(
+                    TreeShape::node(a.clone(), b.clone()),
+                    TreeShape::node(b.clone(), a.clone())
+                );
+            }
+        }
+    }
+
+    /// Generated DAGs satisfy the fence semantics and the fanout rule.
+    #[test]
+    fn dag_invariants(k in 1usize..=5) {
+        for fence in pruned_fences(k) {
+            for dag in dags_for_fence(&fence) {
+                let nodes = dag.nodes();
+                prop_assert_eq!(nodes.len(), k);
+                let mut fanout = vec![0usize; k];
+                for (i, node) in nodes.iter().enumerate() {
+                    for f in node.fanin {
+                        if let Fanin::Node(j) = f {
+                            prop_assert!(j < i);
+                            prop_assert!(nodes[j].level < node.level);
+                            fanout[j] += 1;
+                        }
+                    }
+                    if node.level > 1 {
+                        prop_assert!(node.fanin.iter().any(|f| matches!(
+                            f,
+                            Fanin::Node(j) if nodes[*j].level == node.level - 1
+                        )));
+                    } else {
+                        prop_assert!(node
+                            .fanin
+                            .iter()
+                            .all(|f| matches!(f, Fanin::OpenInput)));
+                    }
+                }
+                prop_assert!(fanout[..k - 1].iter().all(|&c| c >= 1));
+            }
+        }
+    }
+
+    /// Fence display round-trips through its levels.
+    #[test]
+    fn fence_display(levels in proptest::collection::vec(1usize..=4, 1..=4)) {
+        let fence = Fence::new(levels.clone()).expect("positive levels");
+        let text = format!("{fence}");
+        let parsed: Vec<usize> = text
+            .trim_matches(|c| c == '(' || c == ')')
+            .split(", ")
+            .map(|t| t.parse().unwrap())
+            .collect();
+        prop_assert_eq!(parsed, levels);
+    }
+}

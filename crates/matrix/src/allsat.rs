@@ -1,0 +1,285 @@
+//! AllSAT on STP canonical forms.
+//!
+//! The paper (§II-A, Fig. 1) solves SAT on a canonical form `M_Φ` by
+//! assigning variables one at a time: assigning `x_1` halves the matrix
+//! (True keeps the left half, False the right half), and a branch is
+//! pruned as soon as its sub-matrix contains no `[1 0]^T` column. Every
+//! path that reaches a single True column is a satisfying assignment, so
+//! one traversal enumerates *all* solutions.
+//!
+//! [`solve_all`] returns the solution set; [`search_tree`] additionally
+//! records the Fig. 1-style decision tree (which branches were explored
+//! and which were pruned) for inspection and for the `liar_puzzle`
+//! example.
+
+use crate::logic::LogicMatrix;
+
+/// Outcome of [`solve_all`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllSatResult {
+    /// Every satisfying assignment, in ascending column order. Each inner
+    /// vector holds variable values in consumption order (`x_1` first).
+    pub solutions: Vec<Vec<bool>>,
+}
+
+impl AllSatResult {
+    /// `true` when at least one satisfying assignment exists.
+    pub fn is_sat(&self) -> bool {
+        !self.solutions.is_empty()
+    }
+
+    /// Number of satisfying assignments.
+    pub fn len(&self) -> usize {
+        self.solutions.len()
+    }
+
+    /// `true` when the formula is unsatisfiable.
+    pub fn is_empty(&self) -> bool {
+        self.solutions.is_empty()
+    }
+}
+
+/// Enumerates all satisfying assignments of a canonical form.
+///
+/// # Examples
+///
+/// ```
+/// use stp_matrix::{solve_all, Expr};
+///
+/// let xor = Expr::bin(stp_matrix::BinOp::Xor, Expr::var(0), Expr::var(1));
+/// let result = solve_all(&xor.canonical_form(2)?);
+/// assert_eq!(result.len(), 2);
+/// # Ok::<(), stp_matrix::MatrixError>(())
+/// ```
+pub fn solve_all(m: &LogicMatrix) -> AllSatResult {
+    let mut solutions = Vec::with_capacity(m.count_true());
+    let mut assign = vec![false; m.arity()];
+    let mut stack = vec![(0usize, 0usize)]; // (depth, column prefix)
+    // Depth-first search mirroring Fig. 1. The column prefix accumulates
+    // the high bits chosen so far (False contributes a 1 bit, matching the
+    // logic-matrix column order).
+    while let Some((depth, prefix)) = stack.pop() {
+        let lo = prefix << (m.arity() - depth);
+        let hi = lo + (1usize << (m.arity() - depth));
+        // Prune when no True column remains in this block.
+        if !(lo..hi).any(|c| m.bit(c)) {
+            continue;
+        }
+        if depth == m.arity() {
+            for (i, slot) in assign.iter_mut().enumerate() {
+                *slot = (prefix >> (m.arity() - 1 - i)) & 1 == 0;
+            }
+            solutions.push(assign.clone());
+            continue;
+        }
+        // Push False first so True (smaller column index) is explored
+        // first, giving ascending column order.
+        stack.push((depth + 1, (prefix << 1) | 1));
+        stack.push((depth + 1, prefix << 1));
+    }
+    solutions.sort();
+    AllSatResult { solutions }
+}
+
+/// A node of the Fig. 1 decision tree built by [`search_tree`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceNode {
+    /// Depth in the tree: how many variables are assigned.
+    pub depth: usize,
+    /// Values assigned to `x_1 … x_depth` on this path.
+    pub partial: Vec<bool>,
+    /// Number of True columns surviving in the sub-matrix.
+    pub true_columns: usize,
+    /// Whether this branch was pruned (no True column).
+    pub pruned: bool,
+    /// Child for `x_{depth+1} = True`, if explored.
+    pub on_true: Option<Box<TraceNode>>,
+    /// Child for `x_{depth+1} = False`, if explored.
+    pub on_false: Option<Box<TraceNode>>,
+}
+
+impl TraceNode {
+    /// Number of satisfying assignments under this node.
+    pub fn solution_count(&self) -> usize {
+        if self.pruned {
+            return 0;
+        }
+        if self.on_true.is_none() && self.on_false.is_none() {
+            // Leaf: a full assignment with a surviving True column.
+            return usize::from(self.true_columns > 0);
+        }
+        self.on_true.as_ref().map_or(0, |n| n.solution_count())
+            + self.on_false.as_ref().map_or(0, |n| n.solution_count())
+    }
+
+    /// Renders the tree with two-space indentation, one line per node.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out
+    }
+
+    fn render_into(&self, out: &mut String, indent: usize) {
+        use std::fmt::Write as _;
+        for _ in 0..indent {
+            out.push_str("  ");
+        }
+        let label: Vec<String> = self
+            .partial
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| format!("x{}={}", i + 1, v as u8))
+            .collect();
+        let label = if label.is_empty() {
+            "(root)".to_string()
+        } else {
+            label.join(" ")
+        };
+        let status = if self.pruned {
+            " ✗ pruned"
+        } else if self.on_true.is_none() && self.on_false.is_none() {
+            " ✓ solution"
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            out,
+            "{label}: {} true column(s){status}",
+            self.true_columns
+        );
+        if let Some(t) = &self.on_true {
+            t.render_into(out, indent + 1);
+        }
+        if let Some(f) = &self.on_false {
+            f.render_into(out, indent + 1);
+        }
+    }
+}
+
+/// Runs the Fig. 1 search and returns the full decision tree.
+///
+/// Both children of a non-pruned internal node are recorded, including
+/// pruned ones (marked with [`TraceNode::pruned`]), so the tree shows the
+/// complete exploration the solver performed.
+pub fn search_tree(m: &LogicMatrix) -> TraceNode {
+    fn recurse(m: &LogicMatrix, depth: usize, prefix: usize, partial: Vec<bool>) -> TraceNode {
+        let n = m.arity();
+        let lo = prefix << (n - depth);
+        let hi = lo + (1usize << (n - depth));
+        let true_columns = (lo..hi).filter(|&c| m.bit(c)).count();
+        let pruned = true_columns == 0;
+        let (on_true, on_false) = if pruned || depth == n {
+            (None, None)
+        } else {
+            let mut pt = partial.clone();
+            pt.push(true);
+            let mut pf = partial.clone();
+            pf.push(false);
+            (
+                Some(Box::new(recurse(m, depth + 1, prefix << 1, pt))),
+                Some(Box::new(recurse(m, depth + 1, (prefix << 1) | 1, pf))),
+            )
+        };
+        TraceNode {
+            depth,
+            partial,
+            true_columns,
+            pruned,
+            on_true,
+            on_false,
+        }
+    }
+    recurse(m, 0, 0, Vec::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{BinOp, Expr};
+
+    fn liar_puzzle() -> LogicMatrix {
+        let (a, b, c) = (Expr::var(0), Expr::var(1), Expr::var(2));
+        Expr::and(
+            Expr::and(
+                Expr::equiv(a.clone(), b.clone().not()),
+                Expr::equiv(b.clone(), c.clone().not()),
+            ),
+            Expr::equiv(c, Expr::and(a.not(), b.not())),
+        )
+        .canonical_form(3)
+        .unwrap()
+    }
+
+    #[test]
+    fn liar_puzzle_has_unique_solution() {
+        let result = solve_all(&liar_puzzle());
+        assert_eq!(result.solutions, vec![vec![false, true, false]]);
+        assert!(result.is_sat());
+        assert_eq!(result.len(), 1);
+    }
+
+    #[test]
+    fn unsat_formula_yields_empty_set() {
+        let contradiction = Expr::and(Expr::var(0), Expr::var(0).not());
+        let result = solve_all(&contradiction.canonical_form(1).unwrap());
+        assert!(result.is_empty());
+        assert!(!result.is_sat());
+    }
+
+    #[test]
+    fn tautology_yields_all_assignments() {
+        let taut = LogicMatrix::constant(3, true).unwrap();
+        let result = solve_all(&taut);
+        assert_eq!(result.len(), 8);
+        // Solutions are distinct.
+        let mut sorted = result.solutions.clone();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 8);
+    }
+
+    #[test]
+    fn solutions_match_matrix_values() {
+        let e = Expr::bin(
+            BinOp::Xor,
+            Expr::var(0),
+            Expr::and(Expr::var(1), Expr::var(2)),
+        );
+        let m = e.canonical_form(3).unwrap();
+        let result = solve_all(&m);
+        assert_eq!(result.len(), m.count_true());
+        for sol in &result.solutions {
+            assert!(m.value(sol), "reported solution must satisfy the formula");
+        }
+    }
+
+    #[test]
+    fn search_tree_counts_agree_with_solve_all() {
+        let m = liar_puzzle();
+        let tree = search_tree(&m);
+        assert_eq!(tree.solution_count(), solve_all(&m).len());
+        assert_eq!(tree.true_columns, 1);
+        assert!(!tree.pruned);
+    }
+
+    #[test]
+    fn search_tree_prunes_dead_branches() {
+        let m = liar_puzzle();
+        let tree = search_tree(&m);
+        // a = True leads to no solutions (a is a liar), so that branch is
+        // pruned immediately.
+        let on_true = tree.on_true.as_ref().unwrap();
+        assert!(on_true.pruned);
+        assert_eq!(on_true.true_columns, 0);
+        let rendered = tree.render();
+        assert!(rendered.contains("pruned"));
+        assert!(rendered.contains("solution"));
+    }
+
+    #[test]
+    fn zero_arity_matrices() {
+        let t = LogicMatrix::constant(0, true).unwrap();
+        let f = LogicMatrix::constant(0, false).unwrap();
+        assert_eq!(solve_all(&t).solutions, vec![Vec::<bool>::new()]);
+        assert!(solve_all(&f).is_empty());
+    }
+}

@@ -1,0 +1,218 @@
+//! STP-based AllSAT for CNF formulas.
+//!
+//! The circuit solver of the paper builds on the authors' earlier
+//! all-solutions engine ("A Semi-Tensor Product Based All Solutions
+//! Boolean Satisfiability Solver", JCST 2022, the paper's ref. [14]),
+//! which follows the divide-and-conquer scheme of ref. [11]: conjoin
+//! clause canonical forms into the formula's canonical form, then read
+//! all solutions off the `[1 0]^T` columns.
+//!
+//! This module provides that engine for clause lists:
+//!
+//! * each clause becomes a one-line update of the accumulated canonical
+//!   form (a disjunction touches only the columns where every clause
+//!   literal is false);
+//! * clauses are processed most-constrained-first so the True-column
+//!   count shrinks early (the divide-and-conquer pruning);
+//! * the final matrix *is* the solution set.
+//!
+//! Practical for formulas of up to [`MAX_ARITY`](crate::MAX_ARITY)
+//! variables — exactly the regime exact synthesis needs; the CDCL
+//! solver in `stp-sat` covers the rest.
+
+use crate::allsat::{solve_all, AllSatResult};
+use crate::error::MatrixError;
+use crate::logic::LogicMatrix;
+
+/// A CNF literal: variable index plus polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CnfLit {
+    /// Variable index (0-based).
+    pub var: usize,
+    /// `true` for the positive literal.
+    pub positive: bool,
+}
+
+impl CnfLit {
+    /// A positive literal.
+    pub fn pos(var: usize) -> Self {
+        CnfLit { var, positive: true }
+    }
+
+    /// A negative literal.
+    pub fn neg(var: usize) -> Self {
+        CnfLit { var, positive: false }
+    }
+}
+
+/// Computes the canonical form of a single clause (the disjunction of
+/// its literals) over `n` variables.
+///
+/// # Errors
+///
+/// Returns [`MatrixError::VariableOutOfRange`] when a literal exceeds
+/// `n`, or [`MatrixError::ArityOutOfRange`] when `n` is unsupported.
+pub fn clause_canonical_form(clause: &[CnfLit], n: usize) -> Result<LogicMatrix, MatrixError> {
+    for lit in clause {
+        if lit.var >= n {
+            return Err(MatrixError::VariableOutOfRange { var: lit.var, count: n });
+        }
+    }
+    LogicMatrix::from_fn(n, |assign| {
+        clause.iter().any(|lit| assign[lit.var] == lit.positive)
+    })
+}
+
+/// Computes the canonical form of a CNF formula by conjoining clause
+/// canonical forms, most-constrained clause first.
+///
+/// # Errors
+///
+/// Same conditions as [`clause_canonical_form`].
+pub fn cnf_canonical_form(clauses: &[Vec<CnfLit>], n: usize) -> Result<LogicMatrix, MatrixError> {
+    let mut acc = LogicMatrix::constant(n, true)?;
+    // Short clauses eliminate the most columns; conjoin them first so
+    // the accumulated ON-set shrinks as early as possible.
+    let mut order: Vec<&Vec<CnfLit>> = clauses.iter().collect();
+    order.sort_by_key(|c| c.len());
+    for clause in order {
+        let m = clause_canonical_form(clause, n)?;
+        acc = acc.combine(0b1000, &m)?;
+        if acc.count_true() == 0 {
+            break; // already UNSAT: further conjunction cannot revive it
+        }
+    }
+    Ok(acc)
+}
+
+/// Enumerates all satisfying assignments of a CNF formula via its STP
+/// canonical form.
+///
+/// # Errors
+///
+/// Same conditions as [`clause_canonical_form`].
+///
+/// # Examples
+///
+/// ```
+/// use stp_matrix::{solve_cnf_all, CnfLit};
+///
+/// // (x0 ∨ x1) ∧ (¬x0 ∨ x1): x1 must hold, x0 free — two solutions.
+/// let clauses = vec![
+///     vec![CnfLit::pos(0), CnfLit::pos(1)],
+///     vec![CnfLit::neg(0), CnfLit::pos(1)],
+/// ];
+/// let result = solve_cnf_all(&clauses, 2)?;
+/// assert_eq!(result.len(), 2);
+/// # Ok::<(), stp_matrix::MatrixError>(())
+/// ```
+pub fn solve_cnf_all(clauses: &[Vec<CnfLit>], n: usize) -> Result<AllSatResult, MatrixError> {
+    Ok(solve_all(&cnf_canonical_form(clauses, n)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clause_matrix_semantics() {
+        // (x0 ∨ ¬x1) over two variables is false only at (F, T).
+        let m = clause_canonical_form(&[CnfLit::pos(0), CnfLit::neg(1)], 2).unwrap();
+        assert_eq!(m.count_true(), 3);
+        assert!(!m.value(&[false, true]));
+        assert!(m.value(&[true, true]));
+    }
+
+    #[test]
+    fn empty_clause_is_false() {
+        let m = clause_canonical_form(&[], 2).unwrap();
+        assert_eq!(m.count_true(), 0);
+    }
+
+    #[test]
+    fn empty_formula_is_true() {
+        let m = cnf_canonical_form(&[], 2).unwrap();
+        assert_eq!(m.count_true(), 4);
+    }
+
+    #[test]
+    fn xor_encoding_has_expected_solutions() {
+        // x0 ^ x1 ^ x2 = 1 as CNF.
+        let clauses = vec![
+            vec![CnfLit::pos(0), CnfLit::pos(1), CnfLit::pos(2)],
+            vec![CnfLit::pos(0), CnfLit::neg(1), CnfLit::neg(2)],
+            vec![CnfLit::neg(0), CnfLit::pos(1), CnfLit::neg(2)],
+            vec![CnfLit::neg(0), CnfLit::neg(1), CnfLit::pos(2)],
+        ];
+        let result = solve_cnf_all(&clauses, 3).unwrap();
+        assert_eq!(result.len(), 4);
+        for sol in &result.solutions {
+            assert!(sol[0] ^ sol[1] ^ sol[2]);
+        }
+    }
+
+    #[test]
+    fn unsat_formula_detected() {
+        let clauses = vec![vec![CnfLit::pos(0)], vec![CnfLit::neg(0)]];
+        let result = solve_cnf_all(&clauses, 1).unwrap();
+        assert!(result.is_empty());
+    }
+
+    #[test]
+    fn pigeonhole_3_2_unsat() {
+        // Pigeon i in hole j: var 2i + j.
+        let mut clauses = Vec::new();
+        for i in 0..3 {
+            clauses.push(vec![CnfLit::pos(2 * i), CnfLit::pos(2 * i + 1)]);
+        }
+        for j in 0..2 {
+            for i1 in 0..3 {
+                for i2 in (i1 + 1)..3 {
+                    clauses.push(vec![CnfLit::neg(2 * i1 + j), CnfLit::neg(2 * i2 + j)]);
+                }
+            }
+        }
+        let result = solve_cnf_all(&clauses, 6).unwrap();
+        assert!(result.is_empty());
+    }
+
+    #[test]
+    fn variable_out_of_range_rejected() {
+        assert!(clause_canonical_form(&[CnfLit::pos(5)], 3).is_err());
+        assert!(solve_cnf_all(&[vec![CnfLit::neg(9)]], 4).is_err());
+    }
+
+    #[test]
+    fn model_count_matches_brute_force_random() {
+        let mut seed = 0xabcdef12345u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for _ in 0..25 {
+            let n = 4 + (next() as usize) % 3;
+            let nc = 3 + (next() as usize) % 10;
+            let clauses: Vec<Vec<CnfLit>> = (0..nc)
+                .map(|_| {
+                    (0..1 + (next() as usize) % 3)
+                        .map(|_| CnfLit {
+                            var: (next() as usize) % n,
+                            positive: next() % 2 == 0,
+                        })
+                        .collect()
+                })
+                .collect();
+            let result = solve_cnf_all(&clauses, n).unwrap();
+            let brute = (0..(1u32 << n))
+                .filter(|m| {
+                    clauses.iter().all(|c| {
+                        c.iter().any(|l| ((m >> l.var) & 1 == 1) == l.positive)
+                    })
+                })
+                .count();
+            assert_eq!(result.len(), brute);
+        }
+    }
+}

@@ -1,0 +1,397 @@
+//! Dense integer matrices.
+//!
+//! The semi-tensor product is defined over real matrices; everything this
+//! library needs (structural matrices, swap matrices, canonical forms) has
+//! integer entries, so [`Mat`] stores `i64` coefficients. The matrices are
+//! small — `2 × 2^n` canonical forms and the Kronecker blow-ups used while
+//! normalizing expressions — so a simple row-major `Vec` is appropriate.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+use crate::error::MatrixError;
+
+/// A dense row-major matrix with `i64` entries.
+///
+/// # Examples
+///
+/// ```
+/// use stp_matrix::Mat;
+///
+/// let id = Mat::identity(2);
+/// let m = Mat::from_rows(&[&[1, 2], &[3, 4]])?;
+/// assert_eq!(id.mul(&m)?, m);
+/// # Ok::<(), stp_matrix::MatrixError>(())
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Mat {
+    rows: usize,
+    cols: usize,
+    data: Vec<i64>,
+}
+
+impl Mat {
+    /// Creates a zero matrix of the given shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` or `cols` is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
+        Mat {
+            rows,
+            cols,
+            data: vec![0; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Mat::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1;
+        }
+        m
+    }
+
+    /// Builds a matrix from row slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::RaggedRows`] if the rows have differing
+    /// lengths, and [`MatrixError::Empty`] if no rows (or empty rows) are
+    /// given.
+    pub fn from_rows(rows: &[&[i64]]) -> Result<Self, MatrixError> {
+        let nrows = rows.len();
+        if nrows == 0 {
+            return Err(MatrixError::Empty);
+        }
+        let ncols = rows[0].len();
+        if ncols == 0 {
+            return Err(MatrixError::Empty);
+        }
+        let mut data = Vec::with_capacity(nrows * ncols);
+        for r in rows {
+            if r.len() != ncols {
+                return Err(MatrixError::RaggedRows);
+            }
+            data.extend_from_slice(r);
+        }
+        Ok(Mat {
+            rows: nrows,
+            cols: ncols,
+            data,
+        })
+    }
+
+    /// Builds a matrix from a flat row-major buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::ShapeMismatch`] if `data.len() != rows * cols`
+    /// and [`MatrixError::Empty`] if either dimension is zero.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<i64>) -> Result<Self, MatrixError> {
+        if rows == 0 || cols == 0 {
+            return Err(MatrixError::Empty);
+        }
+        if data.len() != rows * cols {
+            return Err(MatrixError::ShapeMismatch {
+                expected: rows * cols,
+                got: data.len(),
+            });
+        }
+        Ok(Mat { rows, cols, data })
+    }
+
+    /// Builds the canonical basis column vector `δ_n^i` (1-based `i`),
+    /// following the STP literature's delta notation: an `n × 1` column with
+    /// a single `1` in row `i - 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is zero or greater than `n`.
+    pub fn delta(n: usize, i: usize) -> Self {
+        assert!(i >= 1 && i <= n, "delta index {i} out of range 1..={n}");
+        let mut m = Mat::zeros(n, 1);
+        m[(i - 1, 0)] = 1;
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Shape as `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Flat row-major view of the entries.
+    pub fn as_slice(&self) -> &[i64] {
+        &self.data
+    }
+
+    /// Ordinary matrix product `self · rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::DimMismatch`] when the inner dimensions
+    /// disagree; use [`crate::stp`] for the dimension-free semi-tensor
+    /// product.
+    pub fn mul(&self, rhs: &Mat) -> Result<Mat, MatrixError> {
+        if self.cols != rhs.rows {
+            return Err(MatrixError::DimMismatch {
+                left: self.shape(),
+                right: rhs.shape(),
+            });
+        }
+        let mut out = Mat::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0 {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    out[(i, j)] += a * rhs[(k, j)];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Kronecker (tensor) product `self ⊗ rhs`.
+    ///
+    /// The result has shape `(rows·rhs.rows, cols·rhs.cols)` with block
+    /// `(i, j)` equal to `self[i][j] · rhs`.
+    pub fn kron(&self, rhs: &Mat) -> Mat {
+        let mut out = Mat::zeros(self.rows * rhs.rows, self.cols * rhs.cols);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                let a = self[(i, j)];
+                if a == 0 {
+                    continue;
+                }
+                for p in 0..rhs.rows {
+                    for q in 0..rhs.cols {
+                        out[(i * rhs.rows + p, j * rhs.cols + q)] = a * rhs[(p, q)];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Transposed copy of the matrix.
+    pub fn transpose(&self) -> Mat {
+        let mut out = Mat::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Returns `true` if every column is a canonical basis vector, i.e. the
+    /// matrix is a *logic matrix* in the sense of the STP literature
+    /// (Definition 2 restricted to two rows, generalized to any row count).
+    pub fn is_logic_matrix(&self) -> bool {
+        (0..self.cols).all(|j| {
+            let mut ones = 0usize;
+            for i in 0..self.rows {
+                match self[(i, j)] {
+                    0 => {}
+                    1 => ones += 1,
+                    _ => return false,
+                }
+            }
+            ones == 1
+        })
+    }
+
+    /// For a logic matrix, returns for each column the row index holding the
+    /// `1` (the delta index minus one).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::NotLogicMatrix`] when some column is not a
+    /// canonical basis vector.
+    pub fn logic_column_indices(&self) -> Result<Vec<usize>, MatrixError> {
+        let mut out = Vec::with_capacity(self.cols);
+        for j in 0..self.cols {
+            let mut idx = None;
+            for i in 0..self.rows {
+                match self[(i, j)] {
+                    0 => {}
+                    1 if idx.is_none() => idx = Some(i),
+                    _ => return Err(MatrixError::NotLogicMatrix),
+                }
+            }
+            out.push(idx.ok_or(MatrixError::NotLogicMatrix)?);
+        }
+        Ok(out)
+    }
+}
+
+impl Index<(usize, usize)> for Mat {
+    type Output = i64;
+
+    fn index(&self, (i, j): (usize, usize)) -> &i64 {
+        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Mat {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut i64 {
+        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Debug for Mat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Mat {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows {
+            write!(f, "  [")?;
+            for j in 0..self.cols {
+                if j > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{}", self[(i, j)])?;
+            }
+            writeln!(f, "]")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl fmt::Display for Mat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                if j > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{}", self[(i, j)])?;
+            }
+            if i + 1 < self.rows {
+                writeln!(f)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_neutral() {
+        let m = Mat::from_rows(&[&[1, 2, 3], &[4, 5, 6]]).unwrap();
+        assert_eq!(Mat::identity(2).mul(&m).unwrap(), m);
+        assert_eq!(m.mul(&Mat::identity(3)).unwrap(), m);
+    }
+
+    #[test]
+    fn mul_known_product() {
+        let a = Mat::from_rows(&[&[1, 2], &[3, 4]]).unwrap();
+        let b = Mat::from_rows(&[&[5, 6], &[7, 8]]).unwrap();
+        let c = a.mul(&b).unwrap();
+        assert_eq!(c, Mat::from_rows(&[&[19, 22], &[43, 50]]).unwrap());
+    }
+
+    #[test]
+    fn mul_dimension_mismatch_is_error() {
+        let a = Mat::from_rows(&[&[1, 2]]).unwrap();
+        let b = Mat::from_rows(&[&[1, 2]]).unwrap();
+        assert!(matches!(a.mul(&b), Err(MatrixError::DimMismatch { .. })));
+    }
+
+    #[test]
+    fn kron_shape_and_blocks() {
+        let a = Mat::from_rows(&[&[1, 2]]).unwrap();
+        let b = Mat::from_rows(&[&[0, 1], &[1, 0]]).unwrap();
+        let k = a.kron(&b);
+        assert_eq!(k.shape(), (2, 4));
+        assert_eq!(
+            k,
+            Mat::from_rows(&[&[0, 1, 0, 2], &[1, 0, 2, 0]]).unwrap()
+        );
+    }
+
+    #[test]
+    fn kron_with_identity_right() {
+        let a = Mat::from_rows(&[&[1, 2], &[3, 4]]).unwrap();
+        let k = a.kron(&Mat::identity(2));
+        assert_eq!(k.shape(), (4, 4));
+        assert_eq!(k[(0, 0)], 1);
+        assert_eq!(k[(1, 1)], 1);
+        assert_eq!(k[(0, 2)], 2);
+        assert_eq!(k[(3, 3)], 4);
+    }
+
+    #[test]
+    fn delta_vectors() {
+        let d = Mat::delta(4, 2);
+        assert_eq!(d.shape(), (4, 1));
+        assert_eq!(d[(1, 0)], 1);
+        assert_eq!(d.as_slice().iter().sum::<i64>(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "delta index")]
+    fn delta_out_of_range_panics() {
+        let _ = Mat::delta(2, 3);
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        assert!(matches!(
+            Mat::from_rows(&[&[1, 2][..], &[3][..]]),
+            Err(MatrixError::RaggedRows)
+        ));
+    }
+
+    #[test]
+    fn from_vec_shape_checked() {
+        assert!(Mat::from_vec(2, 2, vec![1, 2, 3]).is_err());
+        assert!(Mat::from_vec(0, 2, vec![]).is_err());
+        assert!(Mat::from_vec(2, 2, vec![1, 2, 3, 4]).is_ok());
+    }
+
+    #[test]
+    fn logic_matrix_detection() {
+        let m = Mat::from_rows(&[&[1, 1, 1, 0], &[0, 0, 0, 1]]).unwrap();
+        assert!(m.is_logic_matrix());
+        assert_eq!(m.logic_column_indices().unwrap(), vec![0, 0, 0, 1]);
+        let not_logic = Mat::from_rows(&[&[1, 1], &[1, 0]]).unwrap();
+        assert!(!not_logic.is_logic_matrix());
+        assert!(not_logic.logic_column_indices().is_err());
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let m = Mat::from_rows(&[&[1, 2, 3], &[4, 5, 6]]).unwrap();
+        assert_eq!(m.transpose().transpose(), m);
+        assert_eq!(m.transpose().shape(), (3, 2));
+    }
+
+    #[test]
+    fn display_renders_rows() {
+        let m = Mat::from_rows(&[&[1, 0], &[0, 1]]).unwrap();
+        assert_eq!(format!("{m}"), "1 0\n0 1");
+    }
+}

@@ -1,0 +1,104 @@
+//! Error types for the `stp-matrix` crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by matrix construction and arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatrixError {
+    /// A matrix was constructed with zero rows or columns.
+    Empty,
+    /// Row slices passed to [`Mat::from_rows`](crate::Mat::from_rows) have
+    /// differing lengths.
+    RaggedRows,
+    /// A flat buffer does not match the requested shape.
+    ShapeMismatch {
+        /// Number of entries implied by the shape.
+        expected: usize,
+        /// Number of entries actually provided.
+        got: usize,
+    },
+    /// Inner dimensions of an ordinary matrix product disagree.
+    DimMismatch {
+        /// Shape of the left operand.
+        left: (usize, usize),
+        /// Shape of the right operand.
+        right: (usize, usize),
+    },
+    /// An operation requiring a logic matrix was applied to a matrix whose
+    /// columns are not all canonical basis vectors.
+    NotLogicMatrix,
+    /// A logic-matrix operation was given an arity outside the supported
+    /// range (`0..=MAX_ARITY`).
+    ArityOutOfRange {
+        /// The offending arity.
+        arity: usize,
+        /// The maximum supported arity.
+        max: usize,
+    },
+    /// A variable index referenced by an expression exceeds the declared
+    /// variable count.
+    VariableOutOfRange {
+        /// The offending variable index.
+        var: usize,
+        /// The declared number of variables.
+        count: usize,
+    },
+}
+
+impl fmt::Display for MatrixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MatrixError::Empty => write!(f, "matrix must have at least one row and one column"),
+            MatrixError::RaggedRows => write!(f, "rows have differing lengths"),
+            MatrixError::ShapeMismatch { expected, got } => {
+                write!(f, "buffer length {got} does not match shape ({expected} entries)")
+            }
+            MatrixError::DimMismatch { left, right } => write!(
+                f,
+                "inner dimensions disagree: {}x{} times {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            MatrixError::NotLogicMatrix => {
+                write!(f, "matrix columns are not all canonical basis vectors")
+            }
+            MatrixError::ArityOutOfRange { arity, max } => {
+                write!(f, "arity {arity} exceeds supported maximum {max}")
+            }
+            MatrixError::VariableOutOfRange { var, count } => {
+                write!(f, "variable x{var} out of range for {count} declared variables")
+            }
+        }
+    }
+}
+
+impl Error for MatrixError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let msgs = [
+            MatrixError::Empty.to_string(),
+            MatrixError::RaggedRows.to_string(),
+            MatrixError::ShapeMismatch { expected: 4, got: 3 }.to_string(),
+            MatrixError::DimMismatch { left: (1, 2), right: (3, 4) }.to_string(),
+            MatrixError::NotLogicMatrix.to_string(),
+            MatrixError::ArityOutOfRange { arity: 99, max: 16 }.to_string(),
+            MatrixError::VariableOutOfRange { var: 7, count: 3 }.to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+            assert!(m.chars().next().unwrap().is_lowercase());
+            assert!(!m.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MatrixError>();
+    }
+}

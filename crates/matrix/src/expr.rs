@@ -1,0 +1,466 @@
+//! Boolean expressions and their STP canonical forms.
+//!
+//! [`Expr`] is a small AST for propositional formulas. Two independent
+//! routes compute the canonical form `M_Φ` of Property 2:
+//!
+//! * [`Expr::canonical_form`] — the fast route: evaluate the expression on
+//!   every assignment and pack the results into a [`LogicMatrix`].
+//! * [`Expr::canonical_form_via_stp`] — the paper's route: build the raw
+//!   STP product `M_E ⋉ z_1 ⋉ … ⋉ z_k` over the leaf occurrences, then
+//!   normalize it with *actual matrix arithmetic* — swap matrices for
+//!   reordering (Property 1) and the power-reducing matrix `M_r` for
+//!   merging repeated variables (eq. 3) — until the variable list is
+//!   exactly `x_1 … x_n`.
+//!
+//! The two routes are cross-checked in the test-suite; the matrix route
+//! exists to demonstrate (and regression-test) the STP calculus itself.
+
+use std::fmt;
+
+use crate::dense::Mat;
+use crate::error::MatrixError;
+use crate::logic::LogicMatrix;
+use crate::stp::{power_reducing_matrix, stp, variable_swap_matrix};
+
+/// Binary Boolean connectives available in [`Expr`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Conjunction `∧`.
+    And,
+    /// Disjunction `∨`.
+    Or,
+    /// Exclusive or `⊕`.
+    Xor,
+    /// Negated conjunction.
+    Nand,
+    /// Negated disjunction.
+    Nor,
+    /// Equivalence `↔` (exclusive nor).
+    Equiv,
+    /// Implication `→`.
+    Implies,
+}
+
+impl BinOp {
+    /// The operator's 4-bit truth table (bit `a + 2b` is `σ(a, b)`).
+    pub fn truth_table(self) -> u8 {
+        match self {
+            BinOp::And => 0b1000,
+            BinOp::Or => 0b1110,
+            BinOp::Xor => 0b0110,
+            BinOp::Nand => 0b0111,
+            BinOp::Nor => 0b0001,
+            BinOp::Equiv => 0b1001,
+            BinOp::Implies => 0b1101,
+        }
+    }
+
+    /// The operator's structural matrix `M_σ`.
+    pub fn structural_matrix(self) -> LogicMatrix {
+        LogicMatrix::structural_binary(self.truth_table())
+    }
+
+    /// Evaluates the operator.
+    pub fn apply(self, a: bool, b: bool) -> bool {
+        (self.truth_table() >> (a as u8 + 2 * b as u8)) & 1 == 1
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::And => "&",
+            BinOp::Or => "|",
+            BinOp::Xor => "^",
+            BinOp::Nand => "!&",
+            BinOp::Nor => "!|",
+            BinOp::Equiv => "<->",
+            BinOp::Implies => "->",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A propositional formula over variables `x_0 … x_{n−1}`.
+///
+/// # Examples
+///
+/// ```
+/// use stp_matrix::{BinOp, Expr};
+///
+/// // a → b  ==  ¬a ∨ b   (the paper's Example 2)
+/// let lhs = Expr::bin(BinOp::Implies, Expr::var(0), Expr::var(1));
+/// let rhs = Expr::bin(BinOp::Or, Expr::var(0).not(), Expr::var(1));
+/// assert_eq!(lhs.canonical_form(2)?, rhs.canonical_form(2)?);
+/// # Ok::<(), stp_matrix::MatrixError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// A variable reference (0-based).
+    Var(usize),
+    /// A Boolean constant.
+    Const(bool),
+    /// Negation.
+    Not(Box<Expr>),
+    /// A binary connective.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// A variable leaf.
+    pub fn var(i: usize) -> Expr {
+        Expr::Var(i)
+    }
+
+    /// A constant leaf.
+    pub fn constant(v: bool) -> Expr {
+        Expr::Const(v)
+    }
+
+    /// Negates this expression.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Expr {
+        Expr::Not(Box::new(self))
+    }
+
+    /// Combines two expressions with a binary connective.
+    pub fn bin(op: BinOp, a: Expr, b: Expr) -> Expr {
+        Expr::Bin(op, Box::new(a), Box::new(b))
+    }
+
+    /// Conjunction convenience constructor.
+    pub fn and(a: Expr, b: Expr) -> Expr {
+        Expr::bin(BinOp::And, a, b)
+    }
+
+    /// Disjunction convenience constructor.
+    pub fn or(a: Expr, b: Expr) -> Expr {
+        Expr::bin(BinOp::Or, a, b)
+    }
+
+    /// Equivalence convenience constructor.
+    pub fn equiv(a: Expr, b: Expr) -> Expr {
+        Expr::bin(BinOp::Equiv, a, b)
+    }
+
+    /// Largest referenced variable index plus one (0 when no variables
+    /// occur).
+    pub fn min_variable_count(&self) -> usize {
+        match self {
+            Expr::Var(i) => i + 1,
+            Expr::Const(_) => 0,
+            Expr::Not(e) => e.min_variable_count(),
+            Expr::Bin(_, a, b) => a.min_variable_count().max(b.min_variable_count()),
+        }
+    }
+
+    /// Number of leaf variable occurrences (with repetition).
+    pub fn leaf_occurrences(&self) -> usize {
+        match self {
+            Expr::Var(_) => 1,
+            Expr::Const(_) => 0,
+            Expr::Not(e) => e.leaf_occurrences(),
+            Expr::Bin(_, a, b) => a.leaf_occurrences() + b.leaf_occurrences(),
+        }
+    }
+
+    /// Evaluates the expression under the given assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a variable index is out of range for `assign`.
+    pub fn eval(&self, assign: &[bool]) -> bool {
+        match self {
+            Expr::Var(i) => assign[*i],
+            Expr::Const(v) => *v,
+            Expr::Not(e) => !e.eval(assign),
+            Expr::Bin(op, a, b) => op.apply(a.eval(assign), b.eval(assign)),
+        }
+    }
+
+    /// Computes the STP canonical form `M_Φ` over `n` variables by direct
+    /// evaluation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::VariableOutOfRange`] when the expression
+    /// references a variable `≥ n`, and [`MatrixError::ArityOutOfRange`]
+    /// when `n` exceeds [`crate::MAX_ARITY`].
+    pub fn canonical_form(&self, n: usize) -> Result<LogicMatrix, MatrixError> {
+        let used = self.min_variable_count();
+        if used > n {
+            return Err(MatrixError::VariableOutOfRange { var: used - 1, count: n });
+        }
+        LogicMatrix::from_fn(n, |assign| self.eval(assign))
+    }
+
+    /// Computes the canonical form with *real* STP matrix arithmetic — the
+    /// route the paper takes in Example 4.
+    ///
+    /// First the expression is compiled to a prefix matrix `M_E` and the
+    /// list of its leaf variables, so that `Φ = M_E ⋉ z_1 ⋉ … ⋉ z_k`.
+    /// Then the variable list is normalized to `x_1 … x_n` by right-
+    /// multiplying `M_E` with `I ⊗ W[2,2]` factors (adjacent swaps,
+    /// Property 1), `I ⊗ M_r` factors (merging a repeated variable,
+    /// eq. 3), and `⊗ [1 1]` extensions (introducing an unused variable).
+    ///
+    /// The result always equals [`Expr::canonical_form`]; this method is
+    /// exponentially slower (it performs dense `2^k × 2^k` products) and
+    /// exists to validate the STP calculus.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Expr::canonical_form`].
+    pub fn canonical_form_via_stp(&self, n: usize) -> Result<LogicMatrix, MatrixError> {
+        let used = self.min_variable_count();
+        if used > n {
+            return Err(MatrixError::VariableOutOfRange { var: used - 1, count: n });
+        }
+        if n > crate::MAX_ARITY {
+            return Err(MatrixError::ArityOutOfRange { arity: n, max: crate::MAX_ARITY });
+        }
+        let (mut m, mut vars) = self.compile_prefix();
+
+        // Introduce unused variables at the end of the list: appending
+        // x_t multiplies the column space by [1 1] (the new variable is a
+        // don't-care).
+        let ones = Mat::from_rows(&[&[1, 1]]).expect("static shape is valid");
+        for t in 0..n {
+            if !vars.contains(&t) {
+                m = m.kron(&ones);
+                vars.push(t);
+            }
+        }
+
+        let w22 = variable_swap_matrix();
+        let mr = power_reducing_matrix();
+
+        // Selection sort with adjacent swaps; merge duplicates as they
+        // become adjacent. Invariant: Φ = m ⋉ v_0 ⋉ … ⋉ v_{k−1} with the
+        // first `t` entries already equal to x_0 … x_{t−1}.
+        for t in 0..n {
+            // Bring the first occurrence of x_t (at position ≥ t) to slot t.
+            let p = vars[t..]
+                .iter()
+                .position(|&v| v == t)
+                .expect("every variable occurs after the extension step")
+                + t;
+            for q in (t..p).rev() {
+                // Swap positions q, q+1: m := m ⋉ (I_{2^q} ⊗ W22).
+                let lift = Mat::identity(1 << q).kron(&w22);
+                m = stp(&m, &lift);
+                vars.swap(q, q + 1);
+            }
+            // Merge every further occurrence of x_t into slot t.
+            while let Some(r) = vars[t + 1..].iter().position(|&v| v == t) {
+                let mut q = r + t + 1;
+                // Bubble the duplicate left until adjacent to slot t.
+                while q > t + 1 {
+                    let lift = Mat::identity(1 << (q - 1)).kron(&w22);
+                    m = stp(&m, &lift);
+                    vars.swap(q - 1, q);
+                    q -= 1;
+                }
+                // v_t ⋉ v_t = M_r ⋉ v_t: m := m ⋉ (I_{2^t} ⊗ M_r).
+                let lift = Mat::identity(1 << t).kron(&mr);
+                m = stp(&m, &lift);
+                vars.remove(t + 1);
+            }
+        }
+        debug_assert_eq!(vars, (0..n).collect::<Vec<_>>());
+        LogicMatrix::from_mat(&m)
+    }
+
+    /// Compiles the expression into `(M_E, leaf variables)` such that
+    /// `Φ = M_E ⋉ z_1 ⋉ … ⋉ z_k`, using only Property 1 rewrites.
+    fn compile_prefix(&self) -> (Mat, Vec<usize>) {
+        match self {
+            Expr::Var(i) => (Mat::identity(2), vec![*i]),
+            Expr::Const(v) => {
+                let col = if *v { &[1i64, 0][..] } else { &[0, 1][..] };
+                (
+                    Mat::from_vec(2, 1, col.to_vec()).expect("static shape is valid"),
+                    Vec::new(),
+                )
+            }
+            Expr::Not(e) => {
+                let (m, vars) = e.compile_prefix();
+                (stp(&LogicMatrix::structural_not(), &m), vars)
+            }
+            Expr::Bin(op, a, b) => {
+                let (ma, mut va) = a.compile_prefix();
+                let (mb, vb) = b.compile_prefix();
+                // Φ = M_σ ⋉ M_a ⋉ z_a ⋉ M_b ⋉ z_b
+                //   = M_σ ⋉ M_a ⋉ (I_{2^{k_a}} ⊗ M_b) ⋉ z_a ⋉ z_b.
+                let lift = Mat::identity(1 << va.len()).kron(&mb);
+                let m = stp(&stp(&op.structural_matrix().to_mat(), &ma), &lift);
+                va.extend(vb);
+                (m, va)
+            }
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Var(i) => write!(f, "x{i}"),
+            Expr::Const(v) => write!(f, "{}", if *v { "1" } else { "0" }),
+            Expr::Not(e) => write!(f, "!{e}"),
+            Expr::Bin(op, a, b) => write!(f, "({a} {op} {b})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn both_routes(e: &Expr, n: usize) -> (LogicMatrix, LogicMatrix) {
+        (
+            e.canonical_form(n).unwrap(),
+            e.canonical_form_via_stp(n).unwrap(),
+        )
+    }
+
+    #[test]
+    fn example2_implication_equals_or_not() {
+        let lhs = Expr::bin(BinOp::Implies, Expr::var(0), Expr::var(1));
+        let rhs = Expr::or(Expr::var(0).not(), Expr::var(1));
+        assert_eq!(lhs.canonical_form(2).unwrap(), rhs.canonical_form(2).unwrap());
+    }
+
+    #[test]
+    fn stp_route_matches_fast_route_simple() {
+        let e = Expr::and(Expr::var(0), Expr::var(1));
+        let (fast, via) = both_routes(&e, 2);
+        assert_eq!(fast, via);
+        assert_eq!(fast.top_row_bits(), vec![true, false, false, false]);
+    }
+
+    #[test]
+    fn stp_route_handles_repeated_variables() {
+        // x0 & x0 = x0 needs M_r.
+        let e = Expr::and(Expr::var(0), Expr::var(0));
+        let (fast, via) = both_routes(&e, 1);
+        assert_eq!(fast, via);
+        assert_eq!(fast, LogicMatrix::projection(1, 0).unwrap());
+    }
+
+    #[test]
+    fn stp_route_handles_out_of_order_variables() {
+        // x1 & !x0 over (x0, x1): requires a swap.
+        let e = Expr::and(Expr::var(1), Expr::var(0).not());
+        let (fast, via) = both_routes(&e, 2);
+        assert_eq!(fast, via);
+    }
+
+    #[test]
+    fn stp_route_handles_unused_variables() {
+        // x1 alone, canonicalized over three variables.
+        let e = Expr::var(1);
+        let (fast, via) = both_routes(&e, 3);
+        assert_eq!(fast, via);
+        assert_eq!(fast, LogicMatrix::projection(3, 1).unwrap());
+    }
+
+    #[test]
+    fn liar_puzzle_canonical_form_matches_paper() {
+        // Φ(a,b,c) = (a ↔ ¬b) ∧ (b ↔ ¬c) ∧ (c ↔ ¬a ∧ ¬b)   (eq. 5)
+        let (a, b, c) = (Expr::var(0), Expr::var(1), Expr::var(2));
+        let phi = Expr::and(
+            Expr::and(
+                Expr::equiv(a.clone(), b.clone().not()),
+                Expr::equiv(b.clone(), c.clone().not()),
+            ),
+            Expr::equiv(c, Expr::and(a.not(), b.not())),
+        );
+        let m = phi.canonical_form(3).unwrap();
+        // Example 4: M_Φ = [0 0 0 0 0 1 0 0 / 1 1 1 1 1 0 1 1].
+        assert_eq!(
+            m.top_row_bits(),
+            vec![false, false, false, false, false, true, false, false]
+        );
+        // The unique satisfying column is 5 = (a=F, b=T, c=F): b is honest.
+        let assign = m.assignment_for_column(5);
+        assert_eq!(assign, vec![false, true, false]);
+    }
+
+    #[test]
+    fn liar_puzzle_stp_route_agrees() {
+        let (a, b, c) = (Expr::var(0), Expr::var(1), Expr::var(2));
+        let phi = Expr::and(
+            Expr::and(
+                Expr::equiv(a.clone(), b.clone().not()),
+                Expr::equiv(b.clone(), c.clone().not()),
+            ),
+            Expr::equiv(c, Expr::and(a.not(), b.not())),
+        );
+        let (fast, via) = both_routes(&phi, 3);
+        assert_eq!(fast, via);
+    }
+
+    #[test]
+    fn constants_propagate() {
+        let e = Expr::or(Expr::constant(false), Expr::var(0));
+        let (fast, via) = both_routes(&e, 1);
+        assert_eq!(fast, via);
+        assert_eq!(fast, LogicMatrix::projection(1, 0).unwrap());
+        let t = Expr::constant(true).canonical_form(2).unwrap();
+        assert_eq!(t, LogicMatrix::constant(2, true).unwrap());
+    }
+
+    #[test]
+    fn variable_out_of_range_is_error() {
+        let e = Expr::var(3);
+        assert!(matches!(
+            e.canonical_form(2),
+            Err(MatrixError::VariableOutOfRange { .. })
+        ));
+        assert!(matches!(
+            e.canonical_form_via_stp(2),
+            Err(MatrixError::VariableOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn all_binops_evaluate_correctly() {
+        for op in [
+            BinOp::And,
+            BinOp::Or,
+            BinOp::Xor,
+            BinOp::Nand,
+            BinOp::Nor,
+            BinOp::Equiv,
+            BinOp::Implies,
+        ] {
+            for a in [false, true] {
+                for b in [false, true] {
+                    let expected = match op {
+                        BinOp::And => a & b,
+                        BinOp::Or => a | b,
+                        BinOp::Xor => a ^ b,
+                        BinOp::Nand => !(a & b),
+                        BinOp::Nor => !(a | b),
+                        BinOp::Equiv => a == b,
+                        BinOp::Implies => !a | b,
+                    };
+                    assert_eq!(op.apply(a, b), expected, "{op:?}({a},{b})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn display_renders_infix() {
+        let e = Expr::and(Expr::var(0), Expr::var(1).not());
+        assert_eq!(format!("{e}"), "(x0 & !x1)");
+    }
+
+    #[test]
+    fn leaf_occurrence_count() {
+        let e = Expr::and(Expr::var(0), Expr::or(Expr::var(0), Expr::var(1)));
+        assert_eq!(e.leaf_occurrences(), 3);
+        assert_eq!(e.min_variable_count(), 2);
+    }
+}

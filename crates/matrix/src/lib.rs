@@ -1,0 +1,63 @@
+//! Semi-tensor product (STP) of matrices and STP-based logical reasoning.
+//!
+//! This crate is the matrix substrate of the reproduction of *"Exact
+//! Synthesis Based on Semi-Tensor Product Circuit Solver"* (Pan & Chu,
+//! DATE 2023). It provides:
+//!
+//! * [`Mat`] — small dense integer matrices with the ordinary product and
+//!   the Kronecker product;
+//! * [`stp`] — the semi-tensor product `X ⋉ Y` (Definition 1), together
+//!   with the swap matrix `W[m,n]` ([`swap_matrix`]), the power-reducing
+//!   matrix `M_r` ([`power_reducing_matrix`], eq. 3) and the variable swap
+//!   matrix `M_w` ([`variable_swap_matrix`], eq. 4);
+//! * [`LogicMatrix`] — compact `2 × 2^n` canonical forms of Boolean
+//!   functions (Definitions 2–3, Property 2), with the paper's structural
+//!   matrices for the usual connectives;
+//! * [`Expr`] — a propositional AST whose canonical form can be computed
+//!   either directly or *via actual STP matrix arithmetic*
+//!   ([`Expr::canonical_form_via_stp`]), reproducing the calculus of
+//!   Examples 1–4;
+//! * [`solve_all`] / [`search_tree`] — AllSAT on canonical forms by
+//!   `[1 0]^T` column extraction, the Fig. 1 procedure.
+//!
+//! # Quick start
+//!
+//! Solve the paper's liar puzzle (Example 4):
+//!
+//! ```
+//! use stp_matrix::{solve_all, Expr};
+//!
+//! let (a, b, c) = (Expr::var(0), Expr::var(1), Expr::var(2));
+//! let phi = Expr::and(
+//!     Expr::and(
+//!         Expr::equiv(a.clone(), b.clone().not()),
+//!         Expr::equiv(b.clone(), c.clone().not()),
+//!     ),
+//!     Expr::equiv(c, Expr::and(a.not(), b.not())),
+//! );
+//! let result = solve_all(&phi.canonical_form(3)?);
+//! // The unique solution: a lies, b is honest, c lies.
+//! assert_eq!(result.solutions, vec![vec![false, true, false]]);
+//! # Ok::<(), stp_matrix::MatrixError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod allsat;
+mod cnf;
+mod dense;
+mod error;
+mod expr;
+mod logic;
+mod parse;
+mod stp;
+
+pub use allsat::{search_tree, solve_all, AllSatResult, TraceNode};
+pub use cnf::{clause_canonical_form, cnf_canonical_form, solve_cnf_all, CnfLit};
+pub use dense::Mat;
+pub use error::MatrixError;
+pub use expr::{BinOp, Expr};
+pub use logic::{LogicMatrix, FALSE_VEC, MAX_ARITY, TRUE_VEC};
+pub use parse::{parse_expr, ParseExprError};
+pub use stp::{lcm, power_reducing_matrix, stp, stp_all, swap_matrix, variable_swap_matrix};

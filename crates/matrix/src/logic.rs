@@ -1,0 +1,686 @@
+//! Logic matrices: the `2 × 2^n` STP canonical forms of Boolean functions.
+//!
+//! Following the paper's Definitions 2–3, a *logic matrix* has every column
+//! equal to one of the Boolean vectors
+//!
+//! ```text
+//! True = [1 0]^T,   False = [0 1]^T.
+//! ```
+//!
+//! A Boolean function `Φ(x_1, …, x_n)` has the canonical form
+//! `Φ = M_Φ ⋉ x_1 ⋉ … ⋉ x_n` (Property 2). Because the bottom row is the
+//! complement of the top row, [`LogicMatrix`] stores only the **top row**
+//! as a bitvector.
+//!
+//! # Column-order convention
+//!
+//! Column `0` corresponds to *all variables True* and column `2^n − 1` to
+//! *all variables False*: when the product `M x_1 x_2 … x_n` consumes
+//! `x_1` first, `x_1` selects the most significant half of the columns,
+//! with `True = δ_2^1` selecting the **first** half. This is the paper's
+//! "truth table read right to left" (Definition 3). Conversions to the
+//! LSB-first truth-table convention used by [`stp-tt`] are provided by
+//! [`LogicMatrix::from_tt_words`] and [`LogicMatrix::to_tt_words`].
+//!
+//! [`stp-tt`]: https://docs.rs/stp-tt
+
+use std::fmt;
+
+use crate::dense::Mat;
+use crate::error::MatrixError;
+
+/// The Boolean vector for *True*, `δ_2^1 = [1 0]^T` (eq. 1).
+pub const TRUE_VEC: [i64; 2] = [1, 0];
+
+/// The Boolean vector for *False*, `δ_2^2 = [0 1]^T` (eq. 1).
+pub const FALSE_VEC: [i64; 2] = [0, 1];
+
+/// Maximum supported arity for a [`LogicMatrix`].
+///
+/// `2^16` columns is one `u64` word per 64 columns — far beyond what exact
+/// synthesis needs (the paper's largest functions have 8 inputs).
+pub const MAX_ARITY: usize = 16;
+
+/// A `2 × 2^n` logic matrix, the STP canonical form of an `n`-ary Boolean
+/// function.
+///
+/// # Examples
+///
+/// ```
+/// use stp_matrix::LogicMatrix;
+///
+/// // The structural matrix of disjunction from the paper:
+/// // M_d = [1 1 1 0 / 0 0 0 1].
+/// let or = LogicMatrix::structural_or();
+/// assert_eq!(or.top_row_bits(), vec![true, true, true, false]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct LogicMatrix {
+    arity: usize,
+    /// Bit `c` of this buffer is set iff column `c` is `[1 0]^T` (True).
+    top: Vec<u64>,
+}
+
+fn words_for(arity: usize) -> usize {
+    let cols = 1usize << arity;
+    cols.div_ceil(64)
+}
+
+/// Mask selecting the valid bits of the last word for the given arity.
+fn tail_mask(arity: usize) -> u64 {
+    let cols = 1usize << arity;
+    if cols.is_multiple_of(64) {
+        u64::MAX
+    } else {
+        (1u64 << (cols % 64)) - 1
+    }
+}
+
+impl LogicMatrix {
+    fn check_arity(arity: usize) -> Result<(), MatrixError> {
+        if arity > MAX_ARITY {
+            Err(MatrixError::ArityOutOfRange { arity, max: MAX_ARITY })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// The constant function of the given arity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::ArityOutOfRange`] if `arity > MAX_ARITY`.
+    pub fn constant(arity: usize, value: bool) -> Result<Self, MatrixError> {
+        Self::check_arity(arity)?;
+        let mut top = vec![if value { u64::MAX } else { 0 }; words_for(arity)];
+        if value {
+            if let Some(last) = top.last_mut() {
+                *last &= tail_mask(arity);
+            }
+        }
+        Ok(LogicMatrix { arity, top })
+    }
+
+    /// The projection onto variable `var` (0-based, in consumption order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::ArityOutOfRange`] if `arity > MAX_ARITY` and
+    /// [`MatrixError::VariableOutOfRange`] if `var >= arity`.
+    pub fn projection(arity: usize, var: usize) -> Result<Self, MatrixError> {
+        Self::check_arity(arity)?;
+        if var >= arity {
+            return Err(MatrixError::VariableOutOfRange { var, count: arity });
+        }
+        Self::from_fn(arity, |assign| assign[var])
+    }
+
+    /// Builds the canonical form by evaluating `f` on every assignment.
+    ///
+    /// The slice passed to `f` holds the value of each variable in
+    /// consumption order (`x_1` first).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::ArityOutOfRange`] if `arity > MAX_ARITY`.
+    pub fn from_fn<F>(arity: usize, mut f: F) -> Result<Self, MatrixError>
+    where
+        F: FnMut(&[bool]) -> bool,
+    {
+        Self::check_arity(arity)?;
+        let cols = 1usize << arity;
+        let mut top = vec![0u64; words_for(arity)];
+        let mut assign = vec![false; arity];
+        for c in 0..cols {
+            Self::assignment_for_column_into(arity, c, &mut assign);
+            if f(&assign) {
+                top[c / 64] |= 1u64 << (c % 64);
+            }
+        }
+        Ok(LogicMatrix { arity, top })
+    }
+
+    /// Builds a logic matrix directly from its top-row bits, one `bool` per
+    /// column (column 0 first).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::ShapeMismatch`] when `bits.len()` is not a
+    /// power of two or exceeds `2^MAX_ARITY`.
+    pub fn from_top_row_bits(bits: &[bool]) -> Result<Self, MatrixError> {
+        let cols = bits.len();
+        if !cols.is_power_of_two() {
+            return Err(MatrixError::ShapeMismatch { expected: cols.next_power_of_two(), got: cols });
+        }
+        let arity = cols.trailing_zeros() as usize;
+        Self::check_arity(arity)?;
+        Self::from_fn(arity, |assign| {
+            bits[Self::column_for_assignment(assign)]
+        })
+    }
+
+    /// Builds a canonical form from an **LSB-first truth table**: bit `m`
+    /// of `words` is the function value at the minterm where variable `i`
+    /// equals bit `i` of `m` (`x_1` is the least significant bit). This is
+    /// the convention of the `stp-tt` crate and of most logic-synthesis
+    /// tools.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::ArityOutOfRange`] if `arity > MAX_ARITY` and
+    /// [`MatrixError::ShapeMismatch`] when `words` is shorter than the
+    /// truth table requires.
+    pub fn from_tt_words(words: &[u64], arity: usize) -> Result<Self, MatrixError> {
+        Self::check_arity(arity)?;
+        let needed = words_for(arity);
+        if words.len() < needed {
+            return Err(MatrixError::ShapeMismatch { expected: needed, got: words.len() });
+        }
+        Self::from_fn(arity, |assign| {
+            let mut m = 0usize;
+            for (i, &v) in assign.iter().enumerate() {
+                if v {
+                    m |= 1 << i;
+                }
+            }
+            (words[m / 64] >> (m % 64)) & 1 == 1
+        })
+    }
+
+    /// Converts back to an LSB-first truth table (see
+    /// [`LogicMatrix::from_tt_words`]).
+    pub fn to_tt_words(&self) -> Vec<u64> {
+        let cols = 1usize << self.arity;
+        let mut words = vec![0u64; words_for(self.arity)];
+        let mut assign = vec![false; self.arity];
+        for c in 0..cols {
+            Self::assignment_for_column_into(self.arity, c, &mut assign);
+            if self.bit(c) {
+                let mut m = 0usize;
+                for (i, &v) in assign.iter().enumerate() {
+                    if v {
+                        m |= 1 << i;
+                    }
+                }
+                words[m / 64] |= 1u64 << (m % 64);
+            }
+        }
+        words
+    }
+
+    /// Number of variables `n`.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of columns, `2^n`.
+    pub fn num_columns(&self) -> usize {
+        1usize << self.arity
+    }
+
+    /// Value of column `c`: `true` iff the column is `[1 0]^T`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= 2^arity`.
+    pub fn bit(&self, c: usize) -> bool {
+        assert!(c < self.num_columns(), "column {c} out of range");
+        (self.top[c / 64] >> (c % 64)) & 1 == 1
+    }
+
+    /// The column index selected by the given assignment (values in
+    /// consumption order): variable `x_1` selects the most significant
+    /// digit, `True` selecting the first half.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assign.len()` differs from the matrix arity when called
+    /// through [`LogicMatrix::value`]; this static helper panics only on
+    /// internal misuse.
+    pub fn column_for_assignment(assign: &[bool]) -> usize {
+        let n = assign.len();
+        let mut c = 0usize;
+        for (i, &v) in assign.iter().enumerate() {
+            if !v {
+                c |= 1 << (n - 1 - i);
+            }
+        }
+        c
+    }
+
+    /// Writes the assignment that selects column `c` into `out`.
+    fn assignment_for_column_into(arity: usize, c: usize, out: &mut [bool]) {
+        for (i, slot) in out.iter_mut().enumerate().take(arity) {
+            *slot = (c >> (arity - 1 - i)) & 1 == 0;
+        }
+    }
+
+    /// The assignment (in consumption order) that selects column `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= 2^arity`.
+    pub fn assignment_for_column(&self, c: usize) -> Vec<bool> {
+        assert!(c < self.num_columns(), "column {c} out of range");
+        let mut out = vec![false; self.arity];
+        Self::assignment_for_column_into(self.arity, c, &mut out);
+        out
+    }
+
+    /// Evaluates the function at the given assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assign.len() != arity`.
+    pub fn value(&self, assign: &[bool]) -> bool {
+        assert_eq!(assign.len(), self.arity, "assignment length mismatch");
+        self.bit(Self::column_for_assignment(assign))
+    }
+
+    /// Top-row bits as booleans, column 0 first.
+    pub fn top_row_bits(&self) -> Vec<bool> {
+        (0..self.num_columns()).map(|c| self.bit(c)).collect()
+    }
+
+    /// Raw top-row words (column `c` is bit `c % 64` of word `c / 64`).
+    pub fn top_row_words(&self) -> &[u64] {
+        &self.top
+    }
+
+    /// Number of True columns.
+    pub fn count_true(&self) -> usize {
+        self.top.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterator over the indices of True columns, ascending.
+    pub fn true_columns(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.num_columns()).filter(move |&c| self.bit(c))
+    }
+
+    /// Pointwise negation (left-multiplication by `M_n`).
+    pub fn not(&self) -> LogicMatrix {
+        let mut top: Vec<u64> = self.top.iter().map(|w| !w).collect();
+        if let Some(last) = top.last_mut() {
+            *last &= tail_mask(self.arity);
+        }
+        LogicMatrix { arity: self.arity, top }
+    }
+
+    /// Combines two canonical forms of the *same arity* with a 2-input
+    /// operator given as a 4-bit truth table (`tt2` bit `a + 2b` is
+    /// `σ(a, b)`). This computes the canonical form of
+    /// `σ(self(x), rhs(x))`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::DimMismatch`] when the arities differ.
+    pub fn combine(&self, tt2: u8, rhs: &LogicMatrix) -> Result<LogicMatrix, MatrixError> {
+        if self.arity != rhs.arity {
+            return Err(MatrixError::DimMismatch {
+                left: (2, self.num_columns()),
+                right: (2, rhs.num_columns()),
+            });
+        }
+        let mut top = Vec::with_capacity(self.top.len());
+        for (&a, &b) in self.top.iter().zip(&rhs.top) {
+            // Evaluate σ bitwise over the four (a, b) combinations.
+            let mut w = 0u64;
+            if tt2 & 0b0001 != 0 {
+                w |= !a & !b;
+            }
+            if tt2 & 0b0010 != 0 {
+                w |= a & !b;
+            }
+            if tt2 & 0b0100 != 0 {
+                w |= !a & b;
+            }
+            if tt2 & 0b1000 != 0 {
+                w |= a & b;
+            }
+            top.push(w);
+        }
+        if let Some(last) = top.last_mut() {
+            *last &= tail_mask(self.arity);
+        }
+        Ok(LogicMatrix { arity: self.arity, top })
+    }
+
+    /// Splits the matrix into `2^k` equal column blocks and returns block
+    /// `idx` as a logic matrix of arity `n − k`. Block 0 holds the columns
+    /// where the first `k` variables are all True.
+    ///
+    /// This is the "quartering" view used by the paper's matrix
+    /// factorization (eq. 6 uses `k = 2`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > arity` or `idx >= 2^k`.
+    pub fn block(&self, k: usize, idx: usize) -> LogicMatrix {
+        assert!(k <= self.arity, "cannot split arity {} into 2^{k} blocks", self.arity);
+        assert!(idx < (1 << k), "block index {idx} out of range");
+        let sub_arity = self.arity - k;
+        let sub_cols = 1usize << sub_arity;
+        let offset = idx * sub_cols;
+        LogicMatrix::from_fn(sub_arity, |assign| {
+            let c = LogicMatrix::column_for_assignment(assign);
+            self.bit(offset + c)
+        })
+        .expect("sub-arity is within range")
+    }
+
+    /// The *cofactor* with respect to the first consumed variable: the left
+    /// (`x_1 = True`) or right (`x_1 = False`) half of the columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arity is zero.
+    pub fn cofactor_first(&self, value: bool) -> LogicMatrix {
+        assert!(self.arity > 0, "cannot cofactor a 0-ary matrix");
+        self.block(1, if value { 0 } else { 1 })
+    }
+
+    /// Converts to a dense `2 × 2^n` matrix (top row + complemented bottom
+    /// row), suitable for general STP arithmetic.
+    pub fn to_mat(&self) -> Mat {
+        let cols = self.num_columns();
+        let mut m = Mat::zeros(2, cols);
+        for c in 0..cols {
+            if self.bit(c) {
+                m[(0, c)] = 1;
+            } else {
+                m[(1, c)] = 1;
+            }
+        }
+        m
+    }
+
+    /// Reinterprets a dense `2 × 2^n` logic matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::NotLogicMatrix`] when the matrix has a row
+    /// count other than two or non-basis columns, and
+    /// [`MatrixError::ShapeMismatch`] when the column count is not a power
+    /// of two.
+    pub fn from_mat(m: &Mat) -> Result<Self, MatrixError> {
+        if m.rows() != 2 {
+            return Err(MatrixError::NotLogicMatrix);
+        }
+        if !m.cols().is_power_of_two() {
+            return Err(MatrixError::ShapeMismatch {
+                expected: m.cols().next_power_of_two(),
+                got: m.cols(),
+            });
+        }
+        let idx = m.logic_column_indices()?;
+        let arity = m.cols().trailing_zeros() as usize;
+        Self::check_arity(arity)?;
+        let mut out = LogicMatrix::constant(arity, false)?;
+        for (c, &i) in idx.iter().enumerate() {
+            if i == 0 {
+                out.top[c / 64] |= 1u64 << (c % 64);
+            }
+        }
+        Ok(out)
+    }
+
+    /// The structural matrix of negation, `M_n` (Example 1).
+    pub fn structural_not() -> Mat {
+        Mat::from_rows(&[&[0, 1], &[1, 0]]).expect("static shape is valid")
+    }
+
+    /// The structural matrix (2 × 4) of a binary operator given as a 4-bit
+    /// truth table (`tt2` bit `a + 2b` is `σ(a, b)`).
+    pub fn structural_binary(tt2: u8) -> LogicMatrix {
+        LogicMatrix::from_fn(2, |assign| {
+            let a = assign[0] as u8;
+            let b = assign[1] as u8;
+            (tt2 >> (a + 2 * b)) & 1 == 1
+        })
+        .expect("arity 2 is within range")
+    }
+
+    /// The structural matrix of conjunction, `M_c`.
+    pub fn structural_and() -> LogicMatrix {
+        Self::structural_binary(0b1000)
+    }
+
+    /// The structural matrix of disjunction, `M_d`.
+    pub fn structural_or() -> LogicMatrix {
+        Self::structural_binary(0b1110)
+    }
+
+    /// The structural matrix of exclusive or, `M_x`.
+    pub fn structural_xor() -> LogicMatrix {
+        Self::structural_binary(0b0110)
+    }
+
+    /// The structural matrix of equivalence, `M_e`.
+    pub fn structural_equiv() -> LogicMatrix {
+        Self::structural_binary(0b1001)
+    }
+
+    /// The structural matrix of implication, `M_i` (Example 2).
+    pub fn structural_implies() -> LogicMatrix {
+        // σ(a, b) = ¬a ∨ b: false only at (a, b) = (1, 0), i.e. bit 1.
+        Self::structural_binary(0b1101)
+    }
+}
+
+impl fmt::Debug for LogicMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LogicMatrix(arity={}, top=", self.arity)?;
+        for c in 0..self.num_columns() {
+            write!(f, "{}", self.bit(c) as u8)?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for LogicMatrix {
+    /// Renders both rows, e.g. the structural matrix of disjunction prints
+    /// as `[1 1 1 0 / 0 0 0 1]`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for c in 0..self.num_columns() {
+            if c > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{}", self.bit(c) as u8)?;
+        }
+        write!(f, " / ")?;
+        for c in 0..self.num_columns() {
+            if c > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{}", !self.bit(c) as u8)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stp::stp;
+
+    #[test]
+    fn structural_or_matches_paper() {
+        // M_d = [1 1 1 0 / 0 0 0 1].
+        let or = LogicMatrix::structural_or();
+        assert_eq!(or.top_row_bits(), vec![true, true, true, false]);
+    }
+
+    #[test]
+    fn structural_implies_matches_paper() {
+        // M_i = [1 0 1 1 / 0 1 0 0].
+        let imp = LogicMatrix::structural_implies();
+        assert_eq!(imp.top_row_bits(), vec![true, false, true, true]);
+    }
+
+    #[test]
+    fn structural_and_equiv_xor() {
+        assert_eq!(
+            LogicMatrix::structural_and().top_row_bits(),
+            vec![true, false, false, false]
+        );
+        assert_eq!(
+            LogicMatrix::structural_equiv().top_row_bits(),
+            vec![true, false, false, true]
+        );
+        assert_eq!(
+            LogicMatrix::structural_xor().top_row_bits(),
+            vec![false, true, true, false]
+        );
+    }
+
+    #[test]
+    fn example2_implication_identity() {
+        // M_d · M_n = M_i  (Example 2).
+        let md = LogicMatrix::structural_or().to_mat();
+        let mn = LogicMatrix::structural_not();
+        let product = stp(&md, &mn);
+        assert_eq!(product, LogicMatrix::structural_implies().to_mat());
+    }
+
+    #[test]
+    fn column_order_all_true_first() {
+        let proj = LogicMatrix::projection(3, 0).unwrap();
+        // Column 0 = (T,T,T) → x_1 = T; column 7 = (F,F,F) → x_1 = F.
+        assert!(proj.bit(0));
+        assert!(!proj.bit(7));
+        // x_1 selects the most significant half.
+        for c in 0..4 {
+            assert!(proj.bit(c));
+        }
+        for c in 4..8 {
+            assert!(!proj.bit(c));
+        }
+    }
+
+    #[test]
+    fn value_and_column_round_trip() {
+        let m = LogicMatrix::from_fn(3, |a| a[0] ^ (a[1] & a[2])).unwrap();
+        for c in 0..8 {
+            let assign = m.assignment_for_column(c);
+            assert_eq!(LogicMatrix::column_for_assignment(&assign), c);
+            assert_eq!(m.value(&assign), m.bit(c));
+        }
+    }
+
+    #[test]
+    fn tt_words_round_trip() {
+        // 0x8ff8 is the paper's running 4-input example.
+        let m = LogicMatrix::from_tt_words(&[0x8ff8], 4).unwrap();
+        assert_eq!(m.to_tt_words(), vec![0x8ff8]);
+        // Check one specific minterm: m = 3 (x1 = 1, x2 = 1, x3 = 0, x4 = 0)
+        // → tt bit 3 of 0x8ff8 = 1.
+        assert!(m.value(&[true, true, false, false]));
+        // m = 0: bit 0 of 0x8ff8 = 0.
+        assert!(!m.value(&[false, false, false, false]));
+    }
+
+    #[test]
+    fn not_is_involution() {
+        let m = LogicMatrix::from_tt_words(&[0xcafe], 4).unwrap();
+        assert_eq!(m.not().not(), m);
+        assert_eq!(m.not().count_true(), 16 - m.count_true());
+    }
+
+    #[test]
+    fn combine_matches_pointwise_ops() {
+        let f = LogicMatrix::from_fn(3, |a| a[0] & a[1]).unwrap();
+        let g = LogicMatrix::from_fn(3, |a| a[1] | a[2]).unwrap();
+        let and = f.combine(0b1000, &g).unwrap();
+        let or = f.combine(0b1110, &g).unwrap();
+        let xor = f.combine(0b0110, &g).unwrap();
+        for c in 0..8 {
+            assert_eq!(and.bit(c), f.bit(c) & g.bit(c));
+            assert_eq!(or.bit(c), f.bit(c) | g.bit(c));
+            assert_eq!(xor.bit(c), f.bit(c) ^ g.bit(c));
+        }
+    }
+
+    #[test]
+    fn combine_arity_mismatch_is_error() {
+        let f = LogicMatrix::constant(2, true).unwrap();
+        let g = LogicMatrix::constant(3, true).unwrap();
+        assert!(f.combine(0b1000, &g).is_err());
+    }
+
+    #[test]
+    fn blocks_partition_columns() {
+        let m = LogicMatrix::from_tt_words(&[0x8ff8], 4).unwrap();
+        // Reassemble from quarters.
+        let mut bits = Vec::new();
+        for idx in 0..4 {
+            bits.extend(m.block(2, idx).top_row_bits());
+        }
+        assert_eq!(bits, m.top_row_bits());
+    }
+
+    #[test]
+    fn cofactor_first_matches_halves() {
+        let m = LogicMatrix::from_fn(3, |a| a[0] ^ a[2]).unwrap();
+        let pos = m.cofactor_first(true);
+        let neg = m.cofactor_first(false);
+        for c in 0..4 {
+            assert_eq!(pos.bit(c), m.bit(c));
+            assert_eq!(neg.bit(c), m.bit(4 + c));
+        }
+    }
+
+    #[test]
+    fn mat_round_trip() {
+        let m = LogicMatrix::from_tt_words(&[0x6996], 4).unwrap();
+        let dense = m.to_mat();
+        assert!(dense.is_logic_matrix());
+        assert_eq!(LogicMatrix::from_mat(&dense).unwrap(), m);
+    }
+
+    #[test]
+    fn from_mat_rejects_bad_shapes() {
+        let three_rows = Mat::zeros(3, 4);
+        assert!(LogicMatrix::from_mat(&three_rows).is_err());
+        let bad_cols = Mat::from_rows(&[&[1, 1, 1], &[0, 0, 0]]).unwrap();
+        assert!(LogicMatrix::from_mat(&bad_cols).is_err());
+    }
+
+    #[test]
+    fn arity_limit_enforced() {
+        assert!(matches!(
+            LogicMatrix::constant(MAX_ARITY + 1, false),
+            Err(MatrixError::ArityOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn projection_var_out_of_range() {
+        assert!(matches!(
+            LogicMatrix::projection(2, 2),
+            Err(MatrixError::VariableOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn from_top_row_bits_round_trip() {
+        let bits = [true, false, true, true];
+        let m = LogicMatrix::from_top_row_bits(&bits).unwrap();
+        assert_eq!(m.arity(), 2);
+        assert_eq!(m.top_row_bits(), bits);
+        assert!(LogicMatrix::from_top_row_bits(&[true, false, true]).is_err());
+    }
+
+    #[test]
+    fn display_shows_both_rows() {
+        let or = LogicMatrix::structural_or();
+        assert_eq!(format!("{or}"), "[1 1 1 0 / 0 0 0 1]");
+    }
+
+    #[test]
+    fn count_true_and_iterator_agree() {
+        let m = LogicMatrix::from_tt_words(&[0xf00f], 4).unwrap();
+        assert_eq!(m.count_true(), m.true_columns().count());
+        assert_eq!(m.count_true(), 8);
+    }
+}

@@ -1,0 +1,299 @@
+//! A parser for propositional formulas.
+//!
+//! Grammar (precedence low → high, `<->` and `->` right-associative):
+//!
+//! ```text
+//! equiv   :=  implies (("<->" | "==") implies)*
+//! implies :=  or ("->" or)*            (right associative)
+//! or      :=  xor ("|" xor)*
+//! xor     :=  and ("^" and)*
+//! and     :=  unary ("&" unary)*
+//! unary   :=  ("!" | "~") unary | atom
+//! atom    :=  "0" | "1" | variable | "(" equiv ")"
+//! variable := "x" digits | letter (a=x0, b=x1, …)
+//! ```
+//!
+//! Single letters map to variables in alphabetical order (`a` → `x0`),
+//! so the paper's liar puzzle reads naturally:
+//! `(a <-> !b) & (b <-> !c) & (c <-> !a & !b)`.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::expr::{BinOp, Expr};
+
+/// Errors raised while parsing a formula.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseExprError {
+    /// Byte offset of the problem.
+    pub position: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseExprError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl Error for ParseExprError {}
+
+struct Parser<'a> {
+    text: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.text.len() && self.text[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.text.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, token: &str) -> bool {
+        self.skip_ws();
+        if self.text[self.pos..].starts_with(token.as_bytes()) {
+            self.pos += token.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseExprError {
+        ParseExprError { position: self.pos, message: message.into() }
+    }
+
+    fn equiv(&mut self) -> Result<Expr, ParseExprError> {
+        let mut lhs = self.implies()?;
+        loop {
+            if self.eat("<->") || self.eat("==") {
+                let rhs = self.implies()?;
+                lhs = Expr::bin(BinOp::Equiv, lhs, rhs);
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn implies(&mut self) -> Result<Expr, ParseExprError> {
+        let lhs = self.or()?;
+        if self.eat("->") {
+            // Right associative: a -> b -> c = a -> (b -> c).
+            let rhs = self.implies()?;
+            Ok(Expr::bin(BinOp::Implies, lhs, rhs))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn or(&mut self) -> Result<Expr, ParseExprError> {
+        let mut lhs = self.xor()?;
+        loop {
+            self.skip_ws();
+            // "|" but not part of "||" (accept both).
+            if self.eat("||") || (self.peek() == Some(b'|') && { self.pos += 1; true }) {
+                let rhs = self.xor()?;
+                lhs = Expr::or(lhs, rhs);
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn xor(&mut self) -> Result<Expr, ParseExprError> {
+        let mut lhs = self.and()?;
+        while self.peek() == Some(b'^') {
+            self.pos += 1;
+            let rhs = self.and()?;
+            lhs = Expr::bin(BinOp::Xor, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn and(&mut self) -> Result<Expr, ParseExprError> {
+        let mut lhs = self.unary()?;
+        loop {
+            self.skip_ws();
+            if self.eat("&&") || (self.peek() == Some(b'&') && { self.pos += 1; true }) {
+                let rhs = self.unary()?;
+                lhs = Expr::and(lhs, rhs);
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseExprError> {
+        match self.peek() {
+            Some(b'!') | Some(b'~') => {
+                self.pos += 1;
+                Ok(self.unary()?.not())
+            }
+            _ => self.atom(),
+        }
+    }
+
+    fn atom(&mut self) -> Result<Expr, ParseExprError> {
+        match self.peek() {
+            Some(b'(') => {
+                self.pos += 1;
+                let inner = self.equiv()?;
+                if self.peek() == Some(b')') {
+                    self.pos += 1;
+                    Ok(inner)
+                } else {
+                    Err(self.error("expected ')'"))
+                }
+            }
+            Some(b'0') => {
+                self.pos += 1;
+                Ok(Expr::constant(false))
+            }
+            Some(b'1') => {
+                self.pos += 1;
+                Ok(Expr::constant(true))
+            }
+            Some(b'x') => {
+                self.pos += 1;
+                let start = self.pos;
+                while self.pos < self.text.len() && self.text[self.pos].is_ascii_digit() {
+                    self.pos += 1;
+                }
+                if self.pos == start {
+                    // A bare `x` is the letter variable x0 + ('x' - 'a').
+                    Ok(Expr::var((b'x' - b'a') as usize))
+                } else {
+                    let digits = std::str::from_utf8(&self.text[start..self.pos])
+                        .expect("digits are ascii");
+                    let idx: usize = digits
+                        .parse()
+                        .map_err(|_| self.error("variable index out of range"))?;
+                    Ok(Expr::var(idx))
+                }
+            }
+            Some(c) if c.is_ascii_lowercase() => {
+                self.pos += 1;
+                Ok(Expr::var((c - b'a') as usize))
+            }
+            Some(c) => Err(self.error(format!("unexpected character {:?}", c as char))),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+}
+
+/// Parses a propositional formula.
+///
+/// # Errors
+///
+/// Returns [`ParseExprError`] describing the first syntax problem.
+///
+/// # Examples
+///
+/// ```
+/// use stp_matrix::{parse_expr, solve_all};
+///
+/// let phi = parse_expr("(a <-> !b) & (b <-> !c) & (c <-> !a & !b)")?;
+/// let result = solve_all(&phi.canonical_form(3)?);
+/// assert_eq!(result.len(), 1); // b is honest
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn parse_expr(text: &str) -> Result<Expr, ParseExprError> {
+    let mut parser = Parser { text: text.as_bytes(), pos: 0 };
+    let expr = parser.equiv()?;
+    parser.skip_ws();
+    if parser.pos != text.len() {
+        return Err(parser.error("trailing input"));
+    }
+    Ok(expr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tt(text: &str, n: usize) -> Vec<bool> {
+        parse_expr(text).unwrap().canonical_form(n).unwrap().top_row_bits()
+    }
+
+    #[test]
+    fn parses_letters_and_indices() {
+        assert_eq!(parse_expr("a").unwrap(), Expr::var(0));
+        assert_eq!(parse_expr("c").unwrap(), Expr::var(2));
+        assert_eq!(parse_expr("x5").unwrap(), Expr::var(5));
+        assert_eq!(parse_expr("x12").unwrap(), Expr::var(12));
+    }
+
+    #[test]
+    fn parses_constants() {
+        assert_eq!(parse_expr("0").unwrap(), Expr::constant(false));
+        assert_eq!(parse_expr("1").unwrap(), Expr::constant(true));
+    }
+
+    #[test]
+    fn precedence_and_over_or() {
+        // a | b & c  ==  a | (b & c)
+        assert_eq!(tt("a | b & c", 3), tt("a | (b & c)", 3));
+        assert_ne!(tt("a | b & c", 3), tt("(a | b) & c", 3));
+    }
+
+    #[test]
+    fn precedence_xor_between_and_or() {
+        assert_eq!(tt("a ^ b & c", 3), tt("a ^ (b & c)", 3));
+        assert_eq!(tt("a | b ^ c", 3), tt("a | (b ^ c)", 3));
+    }
+
+    #[test]
+    fn implication_right_associative() {
+        assert_eq!(tt("a -> b -> c", 3), tt("a -> (b -> c)", 3));
+    }
+
+    #[test]
+    fn negation_binds_tightest() {
+        assert_eq!(tt("!a & b", 2), tt("(!a) & b", 2));
+        assert_eq!(tt("!!a", 1), tt("a", 1));
+        assert_eq!(tt("~a", 1), tt("!a", 1));
+    }
+
+    #[test]
+    fn doubled_operators_accepted() {
+        assert_eq!(tt("a && b", 2), tt("a & b", 2));
+        assert_eq!(tt("a || b", 2), tt("a | b", 2));
+        assert_eq!(tt("a == b", 2), tt("a <-> b", 2));
+    }
+
+    #[test]
+    fn liar_puzzle_parses() {
+        let phi = parse_expr("(a <-> !b) & (b <-> !c) & (c <-> !a & !b)").unwrap();
+        let m = phi.canonical_form(3).unwrap();
+        assert_eq!(
+            m.top_row_bits(),
+            vec![false, false, false, false, false, true, false, false]
+        );
+    }
+
+    #[test]
+    fn error_positions() {
+        let err = parse_expr("a & ").unwrap_err();
+        assert!(err.message.contains("end of input"));
+        let err = parse_expr("(a | b").unwrap_err();
+        assert!(err.message.contains("')'"));
+        let err = parse_expr("? a").unwrap_err();
+        assert!(err.to_string().contains("unexpected character"));
+        let err = parse_expr("a ? b").unwrap_err();
+        assert!(err.message.contains("trailing"));
+        let err = parse_expr("a b").unwrap_err();
+        assert!(err.message.contains("trailing"));
+    }
+
+    #[test]
+    fn example2_round_trip() {
+        assert_eq!(tt("a -> b", 2), tt("!a | b", 2));
+    }
+}

@@ -1,0 +1,250 @@
+//! The semi-tensor product of matrices and its standard companions.
+//!
+//! Definition 1 of the paper: for `X ∈ M^{m×n}` and `Y ∈ M^{p×q}`,
+//!
+//! ```text
+//! X ⋉ Y = (X ⊗ I_{t/n}) · (Y ⊗ I_{t/p}),   t = lcm(n, p).
+//! ```
+//!
+//! The STP generalizes the ordinary matrix product (they coincide when
+//! `n == p`) and is associative, which is what makes the "multiply the
+//! structural matrices, then the variables" style of logical reasoning in
+//! the paper well defined.
+//!
+//! This module also provides the *swap matrix* `W[m,n]` (Property 1), the
+//! *power-reducing matrix* `M_r` (eq. 3) and the *variable swap matrix*
+//! `M_w` (eq. 4).
+
+use crate::dense::Mat;
+
+/// Greatest common divisor.
+fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// Least common multiple.
+///
+/// # Panics
+///
+/// Panics if either argument is zero.
+pub fn lcm(a: usize, b: usize) -> usize {
+    assert!(a > 0 && b > 0, "lcm arguments must be non-zero");
+    a / gcd(a, b) * b
+}
+
+/// Computes the semi-tensor product `X ⋉ Y` (Definition 1).
+///
+/// Unlike [`Mat::mul`], this never fails: the Kronecker lifts make the
+/// inner dimensions match for every pair of shapes.
+///
+/// # Examples
+///
+/// ```
+/// use stp_matrix::{stp, Mat};
+///
+/// // When the inner dimensions already agree the STP is the ordinary
+/// // matrix product.
+/// let a = Mat::from_rows(&[&[1, 2], &[3, 4]])?;
+/// let b = Mat::from_rows(&[&[1, 0], &[0, 1]])?;
+/// assert_eq!(stp(&a, &b), a.mul(&b)?);
+/// # Ok::<(), stp_matrix::MatrixError>(())
+/// ```
+pub fn stp(x: &Mat, y: &Mat) -> Mat {
+    let n = x.cols();
+    let p = y.rows();
+    let t = lcm(n, p);
+    let left = if t == n { x.clone() } else { x.kron(&Mat::identity(t / n)) };
+    let right = if t == p { y.clone() } else { y.kron(&Mat::identity(t / p)) };
+    left.mul(&right)
+        .expect("semi-tensor lifts guarantee matching inner dimensions")
+}
+
+/// Computes the STP of a sequence of factors, left to right.
+///
+/// Returns `None` for an empty sequence (the STP has no universal identity
+/// element across shapes).
+pub fn stp_all<'a, I>(factors: I) -> Option<Mat>
+where
+    I: IntoIterator<Item = &'a Mat>,
+{
+    let mut it = factors.into_iter();
+    let first = it.next()?.clone();
+    Some(it.fold(first, |acc, m| stp(&acc, m)))
+}
+
+/// The swap matrix `W[m,n]`: the `mn × mn` permutation matrix with
+/// `W[m,n] ⋉ (x ⊗ y) = y ⊗ x` for all `x ∈ R^m`, `y ∈ R^n`.
+///
+/// `W[2,2]` equals the paper's variable swap matrix `M_w` (eq. 4).
+///
+/// # Panics
+///
+/// Panics if `m` or `n` is zero.
+pub fn swap_matrix(m: usize, n: usize) -> Mat {
+    assert!(m > 0 && n > 0, "swap matrix dimensions must be non-zero");
+    let mut w = Mat::zeros(m * n, m * n);
+    // Column index encodes (i, j) with i ∈ 0..m major; the swapped vector
+    // has (j, i) with j major.
+    for i in 0..m {
+        for j in 0..n {
+            let col = i * n + j;
+            let row = j * m + i;
+            w[(row, col)] = 1;
+        }
+    }
+    w
+}
+
+/// The power-reducing matrix `M_r` (eq. 3): `a ⋉ a = M_r ⋉ a` for every
+/// Boolean vector `a ∈ S_V`.
+pub fn power_reducing_matrix() -> Mat {
+    Mat::from_rows(&[&[1, 0], &[0, 0], &[0, 0], &[0, 1]])
+        .expect("static shape is valid")
+}
+
+/// The variable swap matrix `M_w` (eq. 4): `M_w ⋉ b ⋉ a = a ⋉ b`.
+///
+/// Equal to [`swap_matrix`]`(2, 2)`.
+pub fn variable_swap_matrix() -> Mat {
+    swap_matrix(2, 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logic::{FALSE_VEC, TRUE_VEC};
+
+    fn tv() -> Mat {
+        Mat::from_rows(&[&[TRUE_VEC[0]], &[TRUE_VEC[1]]]).unwrap()
+    }
+
+    fn fv() -> Mat {
+        Mat::from_rows(&[&[FALSE_VEC[0]], &[FALSE_VEC[1]]]).unwrap()
+    }
+
+    #[test]
+    fn lcm_basics() {
+        assert_eq!(lcm(2, 3), 6);
+        assert_eq!(lcm(4, 6), 12);
+        assert_eq!(lcm(1, 7), 7);
+        assert_eq!(lcm(8, 8), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn lcm_zero_panics() {
+        let _ = lcm(0, 3);
+    }
+
+    #[test]
+    fn stp_reduces_to_matrix_product() {
+        let a = Mat::from_rows(&[&[1, 2], &[3, 4]]).unwrap();
+        let b = Mat::from_rows(&[&[5, 6], &[7, 8]]).unwrap();
+        assert_eq!(stp(&a, &b), a.mul(&b).unwrap());
+    }
+
+    #[test]
+    fn stp_of_two_boolean_vectors_is_kron() {
+        // For column vectors x (m×1) and y (p×1): x ⋉ y = x ⊗ y.
+        let x = tv();
+        let y = fv();
+        assert_eq!(stp(&x, &y), x.kron(&y));
+    }
+
+    #[test]
+    fn stp_is_associative() {
+        let a = Mat::from_rows(&[&[1, 1, 0, 1]]).unwrap(); // 1x4
+        let b = Mat::from_rows(&[&[1, 0], &[2, 1]]).unwrap(); // 2x2
+        let c = Mat::from_rows(&[&[1], &[0], &[1]]).unwrap(); // 3x1
+        let left = stp(&stp(&a, &b), &c);
+        let right = stp(&a, &stp(&b, &c));
+        assert_eq!(left, right);
+    }
+
+    #[test]
+    fn property1_row_vector_swap() {
+        // X ⋉ Z_r = Z_r ⋉ (I_t ⊗ X) for a row vector Z_r ∈ M^{1×t}.
+        let x = Mat::from_rows(&[&[1, 2], &[3, 4]]).unwrap();
+        let z = Mat::from_rows(&[&[5, 6, 7]]).unwrap();
+        let lhs = stp(&x, &z);
+        let rhs = stp(&z, &Mat::identity(3).kron(&x));
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn property1_column_vector_swap() {
+        // Z_c ⋉ X = (I_t ⊗ X) ⋉ Z_c for a column vector Z_c ∈ M^{t×1}.
+        let x = Mat::from_rows(&[&[1, 2], &[3, 4]]).unwrap();
+        let z = Mat::from_rows(&[&[5], &[6], &[7]]).unwrap();
+        let lhs = stp(&z, &x);
+        let rhs = stp(&Mat::identity(3).kron(&x), &z);
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn swap_matrix_swaps_kron_factors() {
+        for (m, n) in [(2, 2), (2, 4), (3, 2), (4, 4)] {
+            let w = swap_matrix(m, n);
+            for i in 1..=m {
+                for j in 1..=n {
+                    let x = Mat::delta(m, i);
+                    let y = Mat::delta(n, j);
+                    let swapped = stp(&w, &x.kron(&y));
+                    assert_eq!(swapped, y.kron(&x), "W[{m},{n}] on ({i},{j})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn swap_matrix_is_permutation() {
+        let w = swap_matrix(3, 5);
+        assert!(w.is_logic_matrix());
+        // Orthogonal: W^T W = I.
+        assert_eq!(w.transpose().mul(&w).unwrap(), Mat::identity(15));
+    }
+
+    #[test]
+    fn power_reducing_matrix_squares_booleans() {
+        let mr = power_reducing_matrix();
+        for a in [tv(), fv()] {
+            let a_sq = stp(&a, &a);
+            let reduced = stp(&mr, &a);
+            assert_eq!(a_sq, reduced, "a² = M_r a");
+        }
+    }
+
+    #[test]
+    fn variable_swap_matrix_matches_paper() {
+        let mw = variable_swap_matrix();
+        let expected = Mat::from_rows(&[
+            &[1, 0, 0, 0],
+            &[0, 0, 1, 0],
+            &[0, 1, 0, 0],
+            &[0, 0, 0, 1],
+        ])
+        .unwrap();
+        assert_eq!(mw, expected);
+        // M_w b a = a b  (Example 3).
+        for a in [tv(), fv()] {
+            for b in [tv(), fv()] {
+                let lhs = stp(&stp(&mw, &b), &a);
+                let rhs = stp(&a, &b);
+                assert_eq!(lhs, rhs);
+            }
+        }
+    }
+
+    #[test]
+    fn stp_all_folds_left() {
+        let a = Mat::identity(2);
+        let b = Mat::from_rows(&[&[0, 1], &[1, 0]]).unwrap();
+        let out = stp_all([&a, &b, &b]).unwrap();
+        assert_eq!(out, Mat::identity(2));
+        assert!(stp_all(std::iter::empty::<&Mat>()).is_none());
+    }
+}

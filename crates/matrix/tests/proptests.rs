@@ -1,0 +1,129 @@
+//! Property-based tests for the STP matrix calculus.
+
+use proptest::prelude::*;
+use stp_matrix::{
+    power_reducing_matrix, solve_all, stp, swap_matrix, BinOp, Expr, LogicMatrix, Mat,
+};
+
+fn mat_strategy(max_dim: usize) -> impl Strategy<Value = Mat> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-2i64..=2, r * c)
+            .prop_map(move |data| Mat::from_vec(r, c, data).expect("shape matches"))
+    })
+}
+
+fn logic_matrix_strategy(n: usize) -> impl Strategy<Value = LogicMatrix> {
+    let bits = 1usize << n;
+    proptest::collection::vec(any::<bool>(), bits)
+        .prop_map(|top| LogicMatrix::from_top_row_bits(&top).expect("power-of-two length"))
+}
+
+fn expr_strategy(n: usize) -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (0..n).prop_map(Expr::var),
+        any::<bool>().prop_map(Expr::constant),
+    ];
+    leaf.prop_recursive(3, 20, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| e.not()),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::and(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::or(a, b)),
+            (inner.clone(), inner).prop_map(|(a, b)| Expr::bin(BinOp::Xor, a, b)),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Definition 1: associativity across arbitrary shapes.
+    #[test]
+    fn stp_associativity(a in mat_strategy(3), b in mat_strategy(3), c in mat_strategy(3)) {
+        prop_assert_eq!(stp(&stp(&a, &b), &c), stp(&a, &stp(&b, &c)));
+    }
+
+    /// STP distributes over Kronecker-compatible identities:
+    /// `(A ⊗ I) ⋉ (B ⊗ I) = (A ⋉ B) ⊗ I` when inner dims already match.
+    #[test]
+    fn stp_kron_identity_compat(a in mat_strategy(3), b in mat_strategy(3), k in 1usize..=3) {
+        if a.cols() == b.rows() {
+            let lhs = stp(&a.kron(&Mat::identity(k)), &b.kron(&Mat::identity(k)));
+            let rhs = a.mul(&b).unwrap().kron(&Mat::identity(k));
+            prop_assert_eq!(lhs, rhs);
+        }
+    }
+
+    /// Swap matrices invert each other: `W[n,m] · W[m,n] = I`.
+    #[test]
+    fn swap_matrices_invert(m in 1usize..=4, n in 1usize..=4) {
+        let w1 = swap_matrix(m, n);
+        let w2 = swap_matrix(n, m);
+        prop_assert_eq!(w2.mul(&w1).unwrap(), Mat::identity(m * n));
+    }
+
+    /// The power-reducing matrix reduces *any* Boolean vector square.
+    #[test]
+    fn power_reduction(v: bool) {
+        let x = if v {
+            Mat::from_rows(&[&[1], &[0]]).unwrap()
+        } else {
+            Mat::from_rows(&[&[0], &[1]]).unwrap()
+        };
+        prop_assert_eq!(stp(&x, &x), stp(&power_reducing_matrix(), &x));
+    }
+
+    /// Canonical forms evaluate like the expression they encode.
+    #[test]
+    fn canonical_form_evaluates(e in expr_strategy(3), bits in 0usize..8) {
+        let m = e.canonical_form(3).unwrap();
+        let assign: Vec<bool> = (0..3).map(|i| (bits >> i) & 1 == 1).collect();
+        prop_assert_eq!(m.value(&assign), e.eval(&assign));
+    }
+
+    /// The real-matrix canonicalization route agrees with evaluation.
+    #[test]
+    fn stp_route_agrees(e in expr_strategy(3)) {
+        prop_assert_eq!(
+            e.canonical_form(3).unwrap(),
+            e.canonical_form_via_stp(3).unwrap()
+        );
+    }
+
+    /// Combine implements the 2-input operator pointwise.
+    #[test]
+    fn combine_pointwise(f in logic_matrix_strategy(3), g in logic_matrix_strategy(3), op in 0u8..16) {
+        let h = f.combine(op, &g).unwrap();
+        for c in 0..8 {
+            let expected = (op >> ((f.bit(c) as u8) + 2 * (g.bit(c) as u8))) & 1 == 1;
+            prop_assert_eq!(h.bit(c), expected);
+        }
+    }
+
+    /// AllSAT returns exactly the True columns, each a valid assignment.
+    #[test]
+    fn allsat_complete_and_sound(m in logic_matrix_strategy(4)) {
+        let result = solve_all(&m);
+        prop_assert_eq!(result.len(), m.count_true());
+        for sol in &result.solutions {
+            prop_assert!(m.value(sol));
+        }
+    }
+
+    /// Blocks reassemble the matrix.
+    #[test]
+    fn blocks_reassemble(m in logic_matrix_strategy(4), k in 0usize..=2) {
+        let mut bits = Vec::new();
+        for idx in 0..(1usize << k) {
+            bits.extend(m.block(k, idx).top_row_bits());
+        }
+        prop_assert_eq!(bits, m.top_row_bits());
+    }
+
+    /// Truth-table word round trip.
+    #[test]
+    fn tt_words_round_trip(m in logic_matrix_strategy(4)) {
+        let words = m.to_tt_words();
+        let again = LogicMatrix::from_tt_words(&words, 4).unwrap();
+        prop_assert_eq!(again, m);
+    }
+}

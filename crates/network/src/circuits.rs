@@ -1,0 +1,242 @@
+//! Benchmark circuit generators.
+//!
+//! Small parametric circuits for exercising cut enumeration and
+//! rewriting: a ripple-carry adder, an equality comparator, a
+//! multiplexer tree, and seeded random LUT networks.
+
+use rand::{Rng, RngExt};
+
+use crate::error::NetworkError;
+use crate::network::{Network, Sig};
+
+/// An `n`-bit ripple-carry adder: inputs `a[0..n], b[0..n], cin`;
+/// outputs `sum[0..n], cout`. Built from textbook full adders (5 gates
+/// each), leaving obvious room for rewriting.
+///
+/// # Errors
+///
+/// Propagates [`NetworkError`] from construction.
+pub fn ripple_carry_adder(bits: usize) -> Result<Network, NetworkError> {
+    let mut net = Network::new(2 * bits + 1);
+    let mut carry = net.input(2 * bits);
+    for i in 0..bits {
+        let a = net.input(i);
+        let b = net.input(bits + i);
+        let axb = net.xor(a, b)?;
+        let sum = net.xor(axb, carry)?;
+        let t1 = net.and(a, b)?;
+        let t2 = net.and(axb, carry)?;
+        let cout = net.or(t1, t2)?;
+        net.add_output(sum);
+        carry = cout;
+    }
+    net.add_output(carry);
+    Ok(net)
+}
+
+/// An `n`-bit ripple-carry adder built from *two-level* (sum of
+/// minterms) full adders — a deliberately redundant realization
+/// (over 10 gates per bit) that rewriting should collapse towards the
+/// 5-gate textbook cell.
+///
+/// # Errors
+///
+/// Propagates [`NetworkError`] from construction.
+pub fn ripple_carry_adder_sop(bits: usize) -> Result<Network, NetworkError> {
+    let mut net = Network::new(2 * bits + 1);
+    let mut carry = net.input(2 * bits);
+    for i in 0..bits {
+        let a = net.input(i);
+        let b = net.input(bits + i);
+        // sum = Σ minterms with odd parity; cout = Σ minterms with ≥ 2
+        // ones — both as explicit AND-OR trees.
+        let mut sum_terms: Vec<Sig> = Vec::new();
+        let mut cout_terms: Vec<Sig> = Vec::new();
+        for m in 0..8usize {
+            let lits = [
+                if m & 1 == 1 { a } else { a.not() },
+                if m & 2 == 2 { b } else { b.not() },
+                if m & 4 == 4 { carry } else { carry.not() },
+            ];
+            let ones = (m & 1) + ((m >> 1) & 1) + ((m >> 2) & 1);
+            if ones % 2 == 1 || ones >= 2 {
+                let t0 = net.and(lits[0], lits[1])?;
+                let term = net.and(t0, lits[2])?;
+                if ones % 2 == 1 {
+                    sum_terms.push(term);
+                }
+                if ones >= 2 {
+                    cout_terms.push(term);
+                }
+            }
+        }
+        let or_tree = |net: &mut Network, mut terms: Vec<Sig>| -> Result<Sig, NetworkError> {
+            while terms.len() > 1 {
+                let a = terms.remove(0);
+                let b = terms.remove(0);
+                terms.push(net.or(a, b)?);
+            }
+            Ok(terms[0])
+        };
+        let sum = or_tree(&mut net, sum_terms)?;
+        let cout = or_tree(&mut net, cout_terms)?;
+        net.add_output(sum);
+        carry = cout;
+    }
+    net.add_output(carry);
+    Ok(net)
+}
+
+/// An `n`-bit equality comparator: output is 1 iff `a == b`.
+///
+/// # Errors
+///
+/// Propagates [`NetworkError`] from construction.
+pub fn equality_comparator(bits: usize) -> Result<Network, NetworkError> {
+    let mut net = Network::new(2 * bits);
+    let mut acc = Sig::TRUE;
+    for i in 0..bits {
+        let a = net.input(i);
+        let b = net.input(bits + i);
+        let eq = net.add_gate(a, b, 0x9)?; // XNOR
+        acc = net.and(acc, eq)?;
+    }
+    net.add_output(acc);
+    Ok(net)
+}
+
+/// A `2^k`-to-1 multiplexer tree: inputs are `k` select bits followed
+/// by `2^k` data bits; one output.
+///
+/// # Errors
+///
+/// Propagates [`NetworkError`] from construction.
+pub fn mux_tree(select_bits: usize) -> Result<Network, NetworkError> {
+    let data = 1usize << select_bits;
+    let mut net = Network::new(select_bits + data);
+    let mut layer: Vec<Sig> = (0..data).map(|i| net.input(select_bits + i)).collect();
+    for level in 0..select_bits {
+        let sel = net.input(level);
+        let mut next = Vec::with_capacity(layer.len() / 2);
+        for pair in layer.chunks(2) {
+            next.push(net.mux(sel, pair[1], pair[0])?);
+        }
+        layer = next;
+    }
+    net.add_output(layer[0]);
+    Ok(net)
+}
+
+/// A seeded random network: `gates` random 2-LUTs over random earlier
+/// signals, with the last few gates exported as outputs.
+///
+/// # Errors
+///
+/// Propagates [`NetworkError`] from construction.
+///
+/// # Panics
+///
+/// Panics if `inputs < 2` or `gates == 0`.
+pub fn random_network<R: Rng>(
+    inputs: usize,
+    gates: usize,
+    outputs: usize,
+    rng: &mut R,
+) -> Result<Network, NetworkError> {
+    assert!(inputs >= 2, "need at least two inputs");
+    assert!(gates > 0, "need at least one gate");
+    let mut net = Network::new(inputs);
+    let mut sigs: Vec<Sig> = (0..inputs).map(|i| net.input(i)).collect();
+    for _ in 0..gates {
+        let a = sigs[rng.random_range(0..sigs.len())];
+        let mut b = sigs[rng.random_range(0..sigs.len())];
+        if b.index() == a.index() {
+            b = sigs[(0..sigs.len())
+                .find(|&i| sigs[i].index() != a.index())
+                .expect("at least two distinct signals exist")];
+        }
+        let op = stp_tt::NONTRIVIAL_OPS[rng.random_range(0..stp_tt::NONTRIVIAL_OPS.len())];
+        let a = if rng.random_bool(0.3) { a.not() } else { a };
+        let g = net.add_gate(a, b, op)?;
+        sigs.push(g);
+    }
+    let take = outputs.min(sigs.len());
+    for sig in sigs.iter().rev().take(take) {
+        net.add_output(*sig);
+    }
+    Ok(net)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn adder_computes_sums() {
+        let bits = 3;
+        let net = ripple_carry_adder(bits).unwrap();
+        let outs = net.simulate_outputs().unwrap();
+        assert_eq!(outs.len(), bits + 1);
+        for m in 0..(1usize << (2 * bits + 1)) {
+            let a = m & ((1 << bits) - 1);
+            let b = (m >> bits) & ((1 << bits) - 1);
+            let cin = (m >> (2 * bits)) & 1;
+            let expected = a + b + cin;
+            let mut got = 0usize;
+            for (i, out) in outs.iter().enumerate() {
+                if out.bit(m) {
+                    got |= 1 << i;
+                }
+            }
+            assert_eq!(got, expected, "a={a} b={b} cin={cin}");
+        }
+    }
+
+    #[test]
+    fn sop_adder_matches_textbook_adder() {
+        let bits = 2;
+        let sop = ripple_carry_adder_sop(bits).unwrap();
+        let fast = ripple_carry_adder(bits).unwrap();
+        assert_eq!(
+            sop.simulate_outputs().unwrap(),
+            fast.simulate_outputs().unwrap()
+        );
+        assert!(sop.live_gate_count() > fast.live_gate_count());
+    }
+
+    #[test]
+    fn comparator_detects_equality() {
+        let bits = 3;
+        let net = equality_comparator(bits).unwrap();
+        let out = net.simulate_outputs().unwrap().remove(0);
+        for m in 0..(1usize << (2 * bits)) {
+            let a = m & ((1 << bits) - 1);
+            let b = m >> bits;
+            assert_eq!(out.bit(m), a == b);
+        }
+    }
+
+    #[test]
+    fn mux_selects_data() {
+        let net = mux_tree(2).unwrap();
+        let out = net.simulate_outputs().unwrap().remove(0);
+        for m in 0..(1usize << 6) {
+            let sel = m & 0b11;
+            let data = (m >> 2) & 0b1111;
+            assert_eq!(out.bit(m), (data >> sel) & 1 == 1, "m={m}");
+        }
+    }
+
+    #[test]
+    fn random_network_is_reproducible() {
+        let a = random_network(4, 10, 2, &mut SmallRng::seed_from_u64(1)).unwrap();
+        let b = random_network(4, 10, 2, &mut SmallRng::seed_from_u64(1)).unwrap();
+        assert_eq!(
+            a.simulate_outputs().unwrap(),
+            b.simulate_outputs().unwrap()
+        );
+        assert!(a.live_gate_count() > 0);
+    }
+}

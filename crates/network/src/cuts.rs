@@ -1,0 +1,259 @@
+//! K-feasible cut enumeration.
+//!
+//! A *cut* of node `v` is a set of signals (leaves) such that every
+//! path from the inputs to `v` passes through a leaf; a cut is
+//! `k`-feasible when it has at most `k` leaves. Rewriting enumerates
+//! the cuts of every node bottom-up (merging fanin cuts, pruning
+//! dominated ones), computes each cut's local function, and asks exact
+//! synthesis for a cheaper implementation.
+
+use stp_tt::TruthTable;
+
+use crate::error::NetworkError;
+use crate::network::Network;
+
+/// A cut: sorted leaf signal indices.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Cut {
+    /// Sorted signal indices of the leaves.
+    pub leaves: Vec<usize>,
+}
+
+impl Cut {
+    /// The trivial cut `{v}`.
+    pub fn trivial(v: usize) -> Cut {
+        Cut { leaves: vec![v] }
+    }
+
+    /// Merges two cuts; `None` when the union exceeds `k` leaves.
+    pub fn merge(&self, other: &Cut, k: usize) -> Option<Cut> {
+        let mut leaves = Vec::with_capacity(self.leaves.len() + other.leaves.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.leaves.len() || j < other.leaves.len() {
+            let next = match (self.leaves.get(i), other.leaves.get(j)) {
+                (Some(&a), Some(&b)) if a == b => {
+                    i += 1;
+                    j += 1;
+                    a
+                }
+                (Some(&a), Some(&b)) if a < b => {
+                    i += 1;
+                    a
+                }
+                (Some(_), Some(&b)) => {
+                    j += 1;
+                    b
+                }
+                (Some(&a), None) => {
+                    i += 1;
+                    a
+                }
+                (None, Some(&b)) => {
+                    j += 1;
+                    b
+                }
+                (None, None) => unreachable!("loop condition"),
+            };
+            if leaves.len() == k {
+                return None;
+            }
+            leaves.push(next);
+        }
+        Some(Cut { leaves })
+    }
+
+    /// `true` when every leaf of `self` appears in `other` (`self`
+    /// dominates `other`: anything realizable from `other`'s leaves is
+    /// realizable from `self`'s).
+    pub fn dominates(&self, other: &Cut) -> bool {
+        self.leaves.iter().all(|l| other.leaves.binary_search(l).is_ok())
+    }
+}
+
+/// Per-node cut sets for a network.
+#[derive(Debug, Clone)]
+pub struct CutSet {
+    /// `cuts[s]` lists the cuts of signal `s` (smallest first).
+    pub cuts: Vec<Vec<Cut>>,
+}
+
+/// Enumerates the `k`-feasible cuts of every signal, keeping at most
+/// `limit` non-trivial cuts per node (smaller cuts preferred).
+///
+/// Constants and inputs get only their trivial cut.
+pub fn enumerate_cuts(net: &Network, k: usize, limit: usize) -> CutSet {
+    let n = net.num_signals();
+    let mut cuts: Vec<Vec<Cut>> = Vec::with_capacity(n);
+    for s in 0..n {
+        if !net.is_gate(s) {
+            cuts.push(vec![Cut::trivial(s)]);
+            continue;
+        }
+        let gate = net.gate(s);
+        let mut mine: Vec<Cut> = Vec::new();
+        for c1 in &cuts[gate.fanin[0]] {
+            for c2 in &cuts[gate.fanin[1]] {
+                if let Some(merged) = c1.merge(c2, k) {
+                    // Drop if dominated by an existing cut; drop existing
+                    // cuts it dominates.
+                    if mine.iter().any(|c| c.dominates(&merged)) {
+                        continue;
+                    }
+                    mine.retain(|c| !merged.dominates(c));
+                    mine.push(merged);
+                }
+            }
+        }
+        mine.sort_by_key(|c| c.leaves.len());
+        mine.truncate(limit);
+        // The trivial cut always present (last: it is never useful for
+        // rewriting but is needed for fanout merges).
+        mine.push(Cut::trivial(s));
+        cuts.push(mine);
+    }
+    CutSet { cuts }
+}
+
+/// Computes the function of `root` in terms of a cut's leaves.
+///
+/// # Errors
+///
+/// Returns [`NetworkError::TooManyInputsForSimulation`] when the cut
+/// has more leaves than the truth-table substrate supports (cuts used
+/// for rewriting are ≤ 4 leaves, far below the limit).
+///
+/// # Panics
+///
+/// Panics when `root` is not actually covered by the cut (some path
+/// reaches an input without crossing a leaf).
+pub fn cut_function(net: &Network, root: usize, cut: &Cut) -> Result<TruthTable, NetworkError> {
+    let k = cut.leaves.len();
+    if k > stp_tt::MAX_VARS {
+        return Err(NetworkError::TooManyInputsForSimulation { inputs: k });
+    }
+    let mut memo: Vec<Option<TruthTable>> = vec![None; net.num_signals()];
+    for (i, &leaf) in cut.leaves.iter().enumerate() {
+        memo[leaf] = Some(TruthTable::variable(k, i)?);
+    }
+    // Constant leaf semantics: signal 0 is always false unless it is a
+    // declared leaf.
+    if memo[0].is_none() {
+        memo[0] = Some(TruthTable::constant(k, false)?);
+    }
+    fn eval(
+        net: &Network,
+        s: usize,
+        memo: &mut Vec<Option<TruthTable>>,
+    ) -> Result<TruthTable, NetworkError> {
+        if let Some(tt) = &memo[s] {
+            return Ok(tt.clone());
+        }
+        assert!(net.is_gate(s), "cut does not cover signal {s}");
+        let gate = net.gate(s);
+        let a = eval(net, gate.fanin[0], memo)?;
+        let b = eval(net, gate.fanin[1], memo)?;
+        let tt = a.binary_op(gate.tt2, &b)?;
+        memo[s] = Some(tt.clone());
+        Ok(tt)
+    }
+    eval(net, root, &mut memo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::Sig;
+
+    fn sample_network() -> (Network, Sig, Sig) {
+        // f = (a & b) ^ (c | d), g = (a & b) | c.
+        let mut net = Network::new(4);
+        let (a, b, c, d) = (net.input(0), net.input(1), net.input(2), net.input(3));
+        let ab = net.and(a, b).unwrap();
+        let cd = net.or(c, d).unwrap();
+        let f = net.xor(ab, cd).unwrap();
+        let g = net.or(ab, c).unwrap();
+        net.add_output(f);
+        net.add_output(g);
+        (net, f, g)
+    }
+
+    #[test]
+    fn cut_merge_respects_k() {
+        let c1 = Cut { leaves: vec![1, 2] };
+        let c2 = Cut { leaves: vec![3, 4] };
+        assert!(c1.merge(&c2, 4).is_some());
+        assert!(c1.merge(&c2, 3).is_none());
+        let c3 = Cut { leaves: vec![1, 3] };
+        assert_eq!(c1.merge(&c3, 3).unwrap().leaves, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn domination() {
+        let small = Cut { leaves: vec![1, 2] };
+        let big = Cut { leaves: vec![1, 2, 3] };
+        assert!(small.dominates(&big));
+        assert!(!big.dominates(&small));
+    }
+
+    #[test]
+    fn enumerate_finds_expected_cuts() {
+        let (net, f, _) = sample_network();
+        let cuts = enumerate_cuts(&net, 4, 8);
+        let f_cuts = &cuts.cuts[f.index()];
+        // The input cut {a, b, c, d} must be among f's cuts.
+        assert!(f_cuts.iter().any(|c| c.leaves == vec![1, 2, 3, 4]));
+        // And the fanin cut {ab, cd}.
+        assert!(f_cuts.iter().any(|c| c.leaves.len() == 2 && c.leaves[0] > 4));
+    }
+
+    #[test]
+    fn cut_functions_match_global_simulation() {
+        let (net, f, g) = sample_network();
+        let cuts = enumerate_cuts(&net, 4, 8);
+        let global = net.simulate().unwrap();
+        for root in [f.index(), g.index()] {
+            for cut in &cuts.cuts[root] {
+                let local = cut_function(&net, root, cut).unwrap();
+                // Check on every assignment: the local function applied
+                // to the leaves' global values equals the root's global
+                // value.
+                for m in 0..16usize {
+                    let leaf_vals: Vec<bool> =
+                        cut.leaves.iter().map(|&l| global[l].bit(m)).collect();
+                    assert_eq!(
+                        local.eval(&leaf_vals),
+                        global[root].bit(m),
+                        "root {root}, cut {:?}, minterm {m}",
+                        cut.leaves
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trivial_cut_function_is_identity() {
+        let (net, f, _) = sample_network();
+        let tt = cut_function(&net, f.index(), &Cut::trivial(f.index())).unwrap();
+        assert_eq!(tt, TruthTable::variable(1, 0).unwrap());
+    }
+
+    #[test]
+    fn dominated_cuts_are_pruned() {
+        let (net, f, _) = sample_network();
+        let cuts = enumerate_cuts(&net, 4, 8);
+        let f_cuts = &cuts.cuts[f.index()];
+        for (i, a) in f_cuts.iter().enumerate() {
+            for (j, b) in f_cuts.iter().enumerate() {
+                if i != j && a.leaves != b.leaves {
+                    assert!(
+                        !(a.dominates(b) && a.leaves.len() < b.leaves.len()),
+                        "dominated cut {:?} kept alongside {:?}",
+                        b.leaves,
+                        a.leaves
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Error types for the network crate.
+
+use std::error::Error;
+use std::fmt;
+
+use stp_chain::ChainError;
+use stp_synth::SynthesisError;
+use stp_tt::TruthTableError;
+
+/// Errors raised by network construction and rewriting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetworkError {
+    /// A gate fanin references a signal that does not exist yet.
+    SignalOutOfRange {
+        /// The offending signal.
+        signal: usize,
+        /// Number of signals available.
+        available: usize,
+    },
+    /// Whole-network simulation needs at most
+    /// [`stp_tt::MAX_VARS`] primary inputs.
+    TooManyInputsForSimulation {
+        /// The network's input count.
+        inputs: usize,
+    },
+    /// A truth-table operation failed.
+    TruthTable(TruthTableError),
+    /// A chain operation failed.
+    Chain(ChainError),
+    /// Exact synthesis failed during rewriting.
+    Synthesis(SynthesisError),
+}
+
+impl fmt::Display for NetworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetworkError::SignalOutOfRange { signal, available } => {
+                write!(f, "signal {signal} out of range, only {available} exist")
+            }
+            NetworkError::TooManyInputsForSimulation { inputs } => {
+                write!(f, "cannot simulate {inputs} inputs exhaustively")
+            }
+            NetworkError::TruthTable(e) => write!(f, "truth table error: {e}"),
+            NetworkError::Chain(e) => write!(f, "chain error: {e}"),
+            NetworkError::Synthesis(e) => write!(f, "synthesis error: {e}"),
+        }
+    }
+}
+
+impl Error for NetworkError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NetworkError::TruthTable(e) => Some(e),
+            NetworkError::Chain(e) => Some(e),
+            NetworkError::Synthesis(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TruthTableError> for NetworkError {
+    fn from(e: TruthTableError) -> Self {
+        NetworkError::TruthTable(e)
+    }
+}
+
+impl From<ChainError> for NetworkError {
+    fn from(e: ChainError) -> Self {
+        NetworkError::Chain(e)
+    }
+}
+
+impl From<SynthesisError> for NetworkError {
+    fn from(e: SynthesisError) -> Self {
+        NetworkError::Synthesis(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        assert!(NetworkError::SignalOutOfRange { signal: 9, available: 3 }
+            .to_string()
+            .contains('9'));
+        assert!(NetworkError::TooManyInputsForSimulation { inputs: 40 }
+            .to_string()
+            .contains("40"));
+    }
+}

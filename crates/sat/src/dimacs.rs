@@ -1,0 +1,213 @@
+//! DIMACS CNF reading and writing.
+//!
+//! The standard interchange format for SAT instances: `p cnf <vars>
+//! <clauses>` followed by clauses as whitespace-separated non-zero
+//! literals terminated by `0`. Positive integers are positive literals
+//! of 1-based variables.
+
+use std::error::Error;
+use std::fmt;
+use std::fmt::Write as _;
+
+use crate::lit::{Lit, Var};
+use crate::solver::Solver;
+
+/// Errors raised while parsing DIMACS text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseDimacsError {
+    /// The `p cnf` header is missing or malformed.
+    BadHeader {
+        /// The offending line.
+        line: String,
+    },
+    /// A token is not an integer literal.
+    BadLiteral {
+        /// The offending token.
+        token: String,
+    },
+    /// A literal references a variable beyond the header's count.
+    LiteralOutOfRange {
+        /// The offending (1-based) variable.
+        var: usize,
+        /// The declared variable count.
+        declared: usize,
+    },
+    /// The final clause is missing its `0` terminator.
+    UnterminatedClause,
+}
+
+impl fmt::Display for ParseDimacsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseDimacsError::BadHeader { line } => write!(f, "malformed dimacs header: {line:?}"),
+            ParseDimacsError::BadLiteral { token } => write!(f, "invalid literal token {token:?}"),
+            ParseDimacsError::LiteralOutOfRange { var, declared } => {
+                write!(f, "literal references variable {var} but only {declared} are declared")
+            }
+            ParseDimacsError::UnterminatedClause => write!(f, "missing 0 terminator on final clause"),
+        }
+    }
+}
+
+impl Error for ParseDimacsError {}
+
+/// A parsed CNF formula.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Cnf {
+    /// Number of variables.
+    pub num_vars: usize,
+    /// The clauses, as literal lists.
+    pub clauses: Vec<Vec<Lit>>,
+}
+
+impl Cnf {
+    /// Parses DIMACS text. Comment lines (`c …`) and `%`/empty lines are
+    /// skipped.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseDimacsError`] describing the first problem
+    /// found.
+    pub fn parse(text: &str) -> Result<Cnf, ParseDimacsError> {
+        let mut num_vars = None;
+        let mut clauses = Vec::new();
+        let mut current: Vec<Lit> = Vec::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('c') || line.starts_with('%') {
+                continue;
+            }
+            if line.starts_with('p') {
+                let mut parts = line.split_whitespace();
+                let (p, cnf) = (parts.next(), parts.next());
+                let vars = parts.next().and_then(|t| t.parse::<usize>().ok());
+                match (p, cnf, vars) {
+                    (Some("p"), Some("cnf"), Some(v)) => num_vars = Some(v),
+                    _ => return Err(ParseDimacsError::BadHeader { line: line.to_string() }),
+                }
+                continue;
+            }
+            let declared = num_vars.ok_or(ParseDimacsError::BadHeader {
+                line: line.to_string(),
+            })?;
+            for token in line.split_whitespace() {
+                let value: i64 = token
+                    .parse()
+                    .map_err(|_| ParseDimacsError::BadLiteral { token: token.to_string() })?;
+                if value == 0 {
+                    clauses.push(std::mem::take(&mut current));
+                    continue;
+                }
+                let var = value.unsigned_abs() as usize;
+                if var > declared {
+                    return Err(ParseDimacsError::LiteralOutOfRange { var, declared });
+                }
+                let v = Var((var - 1) as u32);
+                current.push(if value > 0 { v.pos() } else { v.neg() });
+            }
+        }
+        if !current.is_empty() {
+            return Err(ParseDimacsError::UnterminatedClause);
+        }
+        Ok(Cnf { num_vars: num_vars.unwrap_or(0), clauses })
+    }
+
+    /// Renders the formula as DIMACS text.
+    pub fn to_dimacs(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "p cnf {} {}", self.num_vars, self.clauses.len());
+        for clause in &self.clauses {
+            for lit in clause {
+                let value = (lit.var().index() + 1) as i64;
+                let _ = write!(out, "{} ", if lit.is_positive() { value } else { -value });
+            }
+            let _ = writeln!(out, "0");
+        }
+        out
+    }
+
+    /// Loads the formula into a fresh solver.
+    ///
+    /// The returned solver has `num_vars` variables allocated (in
+    /// order), so DIMACS variable `i` is solver variable `i − 1`.
+    pub fn into_solver(&self) -> Solver {
+        let mut solver = Solver::new();
+        for _ in 0..self.num_vars {
+            solver.new_var();
+        }
+        for clause in &self.clauses {
+            solver.add_clause(clause);
+        }
+        solver
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::SolveResult;
+
+    #[test]
+    fn parse_simple_formula() {
+        let text = "c comment\np cnf 3 2\n1 -2 0\n2 3 0\n";
+        let cnf = Cnf::parse(text).unwrap();
+        assert_eq!(cnf.num_vars, 3);
+        assert_eq!(cnf.clauses.len(), 2);
+        assert_eq!(cnf.clauses[0], vec![Var(0).pos(), Var(1).neg()]);
+    }
+
+    #[test]
+    fn round_trip() {
+        let text = "p cnf 2 2\n1 2 0\n-1 -2 0\n";
+        let cnf = Cnf::parse(text).unwrap();
+        let again = Cnf::parse(&cnf.to_dimacs()).unwrap();
+        assert_eq!(cnf, again);
+    }
+
+    #[test]
+    fn solver_integration() {
+        let cnf = Cnf::parse("p cnf 2 3\n1 2 0\n-1 0\n-2 1 0\n").unwrap();
+        let mut solver = cnf.into_solver();
+        // ¬1 and (¬2 ∨ 1) force 2… wait: clause (1 ∨ 2), unit ¬1 → 2;
+        // clause (¬2 ∨ 1) → 1: contradiction with ¬1 → UNSAT.
+        assert_eq!(solver.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn clauses_may_span_lines() {
+        let cnf = Cnf::parse("p cnf 3 1\n1 2\n3 0\n").unwrap();
+        assert_eq!(cnf.clauses.len(), 1);
+        assert_eq!(cnf.clauses[0].len(), 3);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(matches!(
+            Cnf::parse("p cnf x 1\n"),
+            Err(ParseDimacsError::BadHeader { .. })
+        ));
+        assert!(matches!(
+            Cnf::parse("1 0\n"),
+            Err(ParseDimacsError::BadHeader { .. })
+        ));
+        assert!(matches!(
+            Cnf::parse("p cnf 1 1\nfoo 0\n"),
+            Err(ParseDimacsError::BadLiteral { .. })
+        ));
+        assert!(matches!(
+            Cnf::parse("p cnf 1 1\n5 0\n"),
+            Err(ParseDimacsError::LiteralOutOfRange { .. })
+        ));
+        assert!(matches!(
+            Cnf::parse("p cnf 2 1\n1 2\n"),
+            Err(ParseDimacsError::UnterminatedClause)
+        ));
+    }
+
+    #[test]
+    fn empty_formula_is_sat() {
+        let cnf = Cnf::parse("p cnf 0 0\n").unwrap();
+        let mut solver = cnf.into_solver();
+        assert_eq!(solver.solve(), SolveResult::Sat);
+    }
+}

@@ -1,0 +1,41 @@
+//! A from-scratch CDCL SAT solver with incremental and AllSAT
+//! interfaces.
+//!
+//! This crate is the reasoning substrate for the CNF exact-synthesis
+//! baselines in the reproduction of *"Exact Synthesis Based on
+//! Semi-Tensor Product Circuit Solver"* (Pan & Chu, DATE 2023). The
+//! paper compares its CNF-free STP circuit solver against classic
+//! CNF-based encodings; those encodings need a conflict-driven
+//! clause-learning solver, which lives here.
+//!
+//! * [`Solver`] — watched literals, 1-UIP learning, VSIDS + phase
+//!   saving, Luby restarts, clause-database reduction;
+//! * [`Solver::solve_with_assumptions`] — incremental solving;
+//! * [`Solver::set_conflict_budget`] — budgeted solving, used to
+//!   implement per-instance timeouts in the Table I harness;
+//! * [`Solver::solve_all`] — AllSAT by blocking clauses.
+//!
+//! # Quick start
+//!
+//! ```
+//! use stp_sat::{SolveResult, Solver};
+//!
+//! let mut solver = Solver::new();
+//! let a = solver.new_var();
+//! let b = solver.new_var();
+//! solver.add_clause(&[a.pos(), b.pos()]);
+//! solver.add_clause(&[a.neg(), b.pos()]);
+//! assert_eq!(solver.solve(), SolveResult::Sat);
+//! assert_eq!(solver.value(b), Some(true));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod dimacs;
+mod lit;
+mod solver;
+
+pub use dimacs::{Cnf, ParseDimacsError};
+pub use lit::{Lit, Var};
+pub use solver::{SolveResult, Solver, SolverStats};

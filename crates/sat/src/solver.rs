@@ -1,0 +1,1062 @@
+//! A CDCL SAT solver in the MiniSat lineage.
+//!
+//! Features: two-watched-literal propagation, first-UIP conflict
+//! analysis with clause learning, VSIDS variable activities with phase
+//! saving, Luby restarts, learnt-clause database reduction, solving
+//! under assumptions, a conflict budget (for per-instance timeouts), and
+//! AllSAT enumeration via blocking clauses.
+//!
+//! This is the reasoning engine behind the CNF exact-synthesis baselines
+//! (BMS, FEN, ABC-like); the paper's own method deliberately avoids CNF,
+//! which is exactly the comparison Table I draws.
+
+use crate::lit::{Lit, Var};
+
+/// Outcome of a (budgeted) solve call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveResult {
+    /// A satisfying assignment was found; read it with
+    /// [`Solver::model`].
+    Sat,
+    /// The formula (under the given assumptions) is unsatisfiable.
+    Unsat,
+    /// The conflict budget ran out before an answer was reached.
+    Unknown,
+}
+
+#[derive(Debug, Clone)]
+struct Clause {
+    lits: Vec<Lit>,
+    learnt: bool,
+    activity: f64,
+    deleted: bool,
+}
+
+/// Solver statistics, exposed for the benchmark harness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Number of decisions taken.
+    pub decisions: u64,
+    /// Number of unit propagations performed.
+    pub propagations: u64,
+    /// Number of conflicts encountered.
+    pub conflicts: u64,
+    /// Number of restarts performed.
+    pub restarts: u64,
+    /// Number of learnt clauses currently in the database.
+    pub learnt_clauses: u64,
+}
+
+/// A CDCL SAT solver.
+///
+/// # Examples
+///
+/// ```
+/// use stp_sat::{Solver, SolveResult};
+///
+/// let mut solver = Solver::new();
+/// let a = solver.new_var();
+/// let b = solver.new_var();
+/// solver.add_clause(&[a.pos(), b.pos()]);
+/// solver.add_clause(&[a.neg(), b.pos()]);
+/// assert_eq!(solver.solve(), SolveResult::Sat);
+/// assert_eq!(solver.value(b), Some(true));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Solver {
+    clauses: Vec<Clause>,
+    /// Watch lists indexed by literal code: clauses watching that
+    /// literal.
+    watches: Vec<Vec<u32>>,
+    /// Per-variable assignment: 0 unassigned, 1 true, -1 false.
+    assigns: Vec<i8>,
+    /// Saved phases for phase-saving decisions.
+    phase: Vec<bool>,
+    level: Vec<u32>,
+    reason: Vec<Option<u32>>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    cla_inc: f64,
+    ok: bool,
+    seen: Vec<bool>,
+    stats: SolverStats,
+    conflict_budget: Option<u64>,
+    max_learnts: usize,
+    /// Assignment snapshot taken when the last solve returned Sat.
+    model: Vec<bool>,
+    order: VarOrder,
+}
+
+/// A binary max-heap over variables keyed by activity, with position
+/// tracking for O(log n) bumps — MiniSat's variable order.
+#[derive(Debug, Clone, Default)]
+struct VarOrder {
+    heap: Vec<u32>,
+    /// Position of each variable in `heap`, or `usize::MAX` when absent.
+    pos: Vec<usize>,
+}
+
+impl VarOrder {
+    fn new_var(&mut self) {
+        self.pos.push(usize::MAX);
+    }
+
+    fn contains(&self, v: usize) -> bool {
+        self.pos[v] != usize::MAX
+    }
+
+    fn insert(&mut self, v: usize, activity: &[f64]) {
+        if self.contains(v) {
+            return;
+        }
+        self.pos[v] = self.heap.len();
+        self.heap.push(v as u32);
+        self.sift_up(self.pos[v], activity);
+    }
+
+    fn pop(&mut self, activity: &[f64]) -> Option<usize> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap[0] as usize;
+        let last = self.heap.pop().expect("non-empty");
+        self.pos[top] = usize::MAX;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.pos[last as usize] = 0;
+            self.sift_down(0, activity);
+        }
+        Some(top)
+    }
+
+    fn bumped(&mut self, v: usize, activity: &[f64]) {
+        if self.contains(v) {
+            self.sift_up(self.pos[v], activity);
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize, activity: &[f64]) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if activity[self.heap[i] as usize] <= activity[self.heap[parent] as usize] {
+                break;
+            }
+            self.swap(i, parent);
+            i = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize, activity: &[f64]) {
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut best = i;
+            if l < self.heap.len()
+                && activity[self.heap[l] as usize] > activity[self.heap[best] as usize]
+            {
+                best = l;
+            }
+            if r < self.heap.len()
+                && activity[self.heap[r] as usize] > activity[self.heap[best] as usize]
+            {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.swap(i, best);
+            i = best;
+        }
+    }
+
+    fn swap(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        self.pos[self.heap[a] as usize] = a;
+        self.pos[self.heap[b] as usize] = b;
+    }
+}
+
+const VAR_DECAY: f64 = 0.95;
+const CLA_DECAY: f64 = 0.999;
+const RESTART_BASE: u64 = 64;
+
+impl Default for Solver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Solver {
+    /// Creates an empty solver.
+    pub fn new() -> Self {
+        Solver {
+            clauses: Vec::new(),
+            watches: Vec::new(),
+            assigns: Vec::new(),
+            phase: Vec::new(),
+            level: Vec::new(),
+            reason: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: Vec::new(),
+            var_inc: 1.0,
+            cla_inc: 1.0,
+            ok: true,
+            seen: Vec::new(),
+            stats: SolverStats::default(),
+            conflict_budget: None,
+            max_learnts: 4096,
+            model: Vec::new(),
+            order: VarOrder::default(),
+        }
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var(self.assigns.len() as u32);
+        self.assigns.push(0);
+        self.phase.push(false);
+        self.level.push(0);
+        self.reason.push(None);
+        self.activity.push(0.0);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.order.new_var();
+        self.order.insert(v.index(), &self.activity);
+        v
+    }
+
+    /// Number of allocated variables.
+    pub fn num_vars(&self) -> usize {
+        self.assigns.len()
+    }
+
+    /// Number of live clauses (problem + learnt).
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.iter().filter(|c| !c.deleted).count()
+    }
+
+    /// Solver statistics so far.
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    /// Limits the *total* number of conflicts across subsequent solve
+    /// calls; `None` removes the limit. When the budget runs out a solve
+    /// call returns [`SolveResult::Unknown`].
+    pub fn set_conflict_budget(&mut self, budget: Option<u64>) {
+        self.conflict_budget = budget.map(|b| self.stats.conflicts + b);
+    }
+
+    fn lit_value(&self, l: Lit) -> i8 {
+        let a = self.assigns[l.var().index()];
+        if l.is_positive() {
+            a
+        } else {
+            -a
+        }
+    }
+
+    /// The value a variable took in the most recent satisfying
+    /// assignment, or `None` when no solve call has returned
+    /// [`SolveResult::Sat`] yet (or the variable was created later).
+    pub fn value(&self, v: Var) -> Option<bool> {
+        self.model.get(v.index()).copied()
+    }
+
+    /// The model snapshot from the last [`SolveResult::Sat`] answer;
+    /// variables the search never assigned (pure don't-cares) read as
+    /// `false`. Empty before the first satisfiable solve.
+    pub fn model(&self) -> Vec<bool> {
+        self.model.clone()
+    }
+
+    /// Adds a clause. Returns `false` when the clause system is already
+    /// unsatisfiable (then or now).
+    ///
+    /// Tautologies are dropped, duplicate literals merged, and literals
+    /// already false at level 0 removed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a literal references a variable that was never
+    /// allocated.
+    pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        if !self.ok {
+            return false;
+        }
+        assert_eq!(self.decision_level(), 0, "clauses must be added at level 0");
+        for l in lits {
+            assert!(l.var().index() < self.num_vars(), "unknown variable {}", l.var());
+        }
+        let mut ls: Vec<Lit> = lits.to_vec();
+        ls.sort();
+        ls.dedup();
+        // Tautology or satisfied-at-level-0 check, and false-literal
+        // removal.
+        let mut filtered = Vec::with_capacity(ls.len());
+        for (i, &l) in ls.iter().enumerate() {
+            if i + 1 < ls.len() && ls[i + 1] == !l {
+                return true; // tautology: l and !l adjacent after sort
+            }
+            match self.lit_value(l) {
+                1 => return true,
+                -1 => {}
+                _ => filtered.push(l),
+            }
+        }
+        match filtered.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                if !self.enqueue(filtered[0], None) {
+                    self.ok = false;
+                    return false;
+                }
+                // Propagate the unit immediately to keep level 0 closed.
+                if self.propagate().is_some() {
+                    self.ok = false;
+                    return false;
+                }
+                true
+            }
+            _ => {
+                self.attach_clause(filtered, false);
+                true
+            }
+        }
+    }
+
+    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> u32 {
+        debug_assert!(lits.len() >= 2);
+        let idx = self.clauses.len() as u32;
+        self.watches[lits[0].code()].push(idx);
+        self.watches[lits[1].code()].push(idx);
+        self.clauses.push(Clause { lits, learnt, activity: 0.0, deleted: false });
+        if learnt {
+            self.stats.learnt_clauses += 1;
+        }
+        idx
+    }
+
+    fn decision_level(&self) -> usize {
+        self.trail_lim.len()
+    }
+
+    fn enqueue(&mut self, l: Lit, reason: Option<u32>) -> bool {
+        match self.lit_value(l) {
+            1 => true,
+            -1 => false,
+            _ => {
+                let v = l.var().index();
+                self.assigns[v] = if l.is_positive() { 1 } else { -1 };
+                self.phase[v] = l.is_positive();
+                self.level[v] = self.decision_level() as u32;
+                self.reason[v] = reason;
+                self.trail.push(l);
+                true
+            }
+        }
+    }
+
+    /// Unit propagation; returns the index of a conflicting clause, if
+    /// any.
+    fn propagate(&mut self) -> Option<u32> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+            let false_lit = !p;
+            // Clauses watching ¬p must find a new watch or propagate.
+            let mut ws = std::mem::take(&mut self.watches[false_lit.code()]);
+            let mut keep = 0usize;
+            let mut conflict = None;
+            'clauses: for wi in 0..ws.len() {
+                let ci = ws[wi];
+                if self.clauses[ci as usize].deleted {
+                    continue; // drop the watch entry
+                }
+                // Normalize: watched literals are lits[0], lits[1].
+                {
+                    let c = &mut self.clauses[ci as usize];
+                    if c.lits[0] == false_lit {
+                        c.lits.swap(0, 1);
+                    }
+                }
+                let first = self.clauses[ci as usize].lits[0];
+                if self.lit_value(first) == 1 {
+                    ws[keep] = ci;
+                    keep += 1;
+                    continue;
+                }
+                // Look for a new literal to watch.
+                let len = self.clauses[ci as usize].lits.len();
+                for k in 2..len {
+                    let lk = self.clauses[ci as usize].lits[k];
+                    if self.lit_value(lk) != -1 {
+                        let c = &mut self.clauses[ci as usize];
+                        c.lits.swap(1, k);
+                        self.watches[lk.code()].push(ci);
+                        continue 'clauses;
+                    }
+                }
+                // Unit or conflict.
+                ws[keep] = ci;
+                keep += 1;
+                if !self.enqueue(first, Some(ci)) {
+                    conflict = Some(ci);
+                    // Copy the remaining watches back and stop.
+                    for j in (wi + 1)..ws.len() {
+                        ws[keep] = ws[j];
+                        keep += 1;
+                    }
+                    ws.truncate(keep);
+                    self.watches[false_lit.code()] = ws;
+                    self.qhead = self.trail.len();
+                    return conflict;
+                }
+            }
+            ws.truncate(keep);
+            self.watches[false_lit.code()] = ws;
+            debug_assert!(conflict.is_none());
+        }
+        None
+    }
+
+    fn bump_var(&mut self, v: Var) {
+        self.activity[v.index()] += self.var_inc;
+        if self.activity[v.index()] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.order.bumped(v.index(), &self.activity);
+    }
+
+    fn bump_clause(&mut self, ci: u32) {
+        let c = &mut self.clauses[ci as usize];
+        c.activity += self.cla_inc;
+        if c.activity > 1e20 {
+            for cl in &mut self.clauses {
+                cl.activity *= 1e-20;
+            }
+            self.cla_inc *= 1e-20;
+        }
+    }
+
+    /// First-UIP conflict analysis; returns the learnt clause (asserting
+    /// literal first) and the backtrack level.
+    fn analyze(&mut self, mut confl: u32) -> (Vec<Lit>, usize) {
+        let mut learnt: Vec<Lit> = Vec::new();
+        let mut path_count = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut idx = self.trail.len();
+        let cur_level = self.decision_level() as u32;
+        loop {
+            self.bump_clause(confl);
+            let lits = self.clauses[confl as usize].lits.clone();
+            for &q in lits.iter() {
+                if Some(q) == p {
+                    continue;
+                }
+                let v = q.var();
+                if !self.seen[v.index()] && self.level[v.index()] > 0 {
+                    self.seen[v.index()] = true;
+                    self.bump_var(v);
+                    if self.level[v.index()] >= cur_level {
+                        path_count += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Select the next trail literal to expand.
+            loop {
+                idx -= 1;
+                if self.seen[self.trail[idx].var().index()] {
+                    break;
+                }
+            }
+            let pl = self.trail[idx];
+            self.seen[pl.var().index()] = false;
+            path_count -= 1;
+            if path_count == 0 {
+                p = Some(pl);
+                break;
+            }
+            confl = self.reason[pl.var().index()]
+                .expect("non-decision literal on the conflict path has a reason");
+            p = Some(pl);
+        }
+        let assert_lit = !p.expect("analysis terminates at the first UIP");
+        let mut clause = Vec::with_capacity(learnt.len() + 1);
+        clause.push(assert_lit);
+        clause.extend(learnt.iter().copied());
+        // Clause minimization (MiniSat's basic mode): drop a literal
+        // whose reason clause is entirely subsumed by the learnt set.
+        let mut j = 1usize;
+        for i in 1..clause.len() {
+            let v = clause[i].var();
+            let keep = match self.reason[v.index()] {
+                None => true,
+                Some(ci) => self.clauses[ci as usize].lits.iter().any(|&q| {
+                    q.var() != v
+                        && !self.seen[q.var().index()]
+                        && self.level[q.var().index()] > 0
+                }),
+            };
+            if keep {
+                clause[j] = clause[i];
+                j += 1;
+            }
+        }
+        clause.truncate(j);
+        // Clear seen flags for the kept literals.
+        for l in &learnt {
+            self.seen[l.var().index()] = false;
+        }
+        // Backtrack level: highest level among the non-asserting
+        // literals.
+        let bt = if clause.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..clause.len() {
+                if self.level[clause[i].var().index()] > self.level[clause[max_i].var().index()] {
+                    max_i = i;
+                }
+            }
+            clause.swap(1, max_i);
+            self.level[clause[1].var().index()] as usize
+        };
+        (clause, bt)
+    }
+
+    fn backtrack_to(&mut self, level: usize) {
+        if self.decision_level() <= level {
+            return;
+        }
+        let lim = self.trail_lim[level];
+        for i in (lim..self.trail.len()).rev() {
+            let v = self.trail[i].var().index();
+            self.assigns[v] = 0;
+            self.reason[v] = None;
+            self.order.insert(v, &self.activity);
+        }
+        self.trail.truncate(lim);
+        self.trail_lim.truncate(level);
+        self.qhead = lim;
+    }
+
+    fn pick_branch_var(&mut self) -> Option<Var> {
+        while let Some(v) = self.order.pop(&self.activity) {
+            if self.assigns[v] == 0 {
+                return Some(Var(v as u32));
+            }
+        }
+        None
+    }
+
+    fn reduce_db(&mut self) {
+        // Collect live, non-reason learnt clauses of length > 2 and drop
+        // the less active half.
+        let locked: Vec<Option<u32>> = self.reason.clone();
+        let is_locked = |ci: u32| locked.contains(&Some(ci));
+        let mut cand: Vec<(u32, f64)> = self
+            .clauses
+            .iter()
+            .enumerate()
+            .filter(|(i, c)| {
+                c.learnt && !c.deleted && c.lits.len() > 2 && !is_locked(*i as u32)
+            })
+            .map(|(i, c)| (i as u32, c.activity))
+            .collect();
+        cand.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        let drop_count = cand.len() / 2;
+        for &(ci, _) in cand.iter().take(drop_count) {
+            self.clauses[ci as usize].deleted = true;
+            self.stats.learnt_clauses = self.stats.learnt_clauses.saturating_sub(1);
+        }
+        // Deleted clauses are dropped from watch lists lazily during
+        // propagation.
+    }
+
+    fn luby(mut x: u64) -> u64 {
+        // Luby sequence: 1 1 2 1 1 2 4 …  (standard finite-subsequence
+        // walk).
+        let (mut size, mut seq) = (1u64, 0u64);
+        while size < x + 1 {
+            seq += 1;
+            size = 2 * size + 1;
+        }
+        while size - 1 != x {
+            size = (size - 1) / 2;
+            seq -= 1;
+            x %= size;
+        }
+        1u64 << seq
+    }
+
+    /// Solves the clause system.
+    pub fn solve(&mut self) -> SolveResult {
+        self.solve_with_assumptions(&[])
+    }
+
+    /// Solves under temporary assumptions (they hold only for this
+    /// call).
+    pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
+        if !self.ok {
+            return SolveResult::Unsat;
+        }
+        let result = self.search(assumptions);
+        if result == SolveResult::Sat {
+            self.model = self.assigns.iter().map(|&a| a == 1).collect();
+        }
+        self.backtrack_to(0);
+        result
+    }
+
+    fn search(&mut self, assumptions: &[Lit]) -> SolveResult {
+        let mut restart_round = 0u64;
+        let mut conflicts_until_restart = RESTART_BASE * Self::luby(restart_round);
+        let mut conflicts_this_round = 0u64;
+        loop {
+            if let Some(ci) = self.propagate() {
+                self.stats.conflicts += 1;
+                conflicts_this_round += 1;
+                if let Some(budget) = self.conflict_budget {
+                    if self.stats.conflicts > budget {
+                        return SolveResult::Unknown;
+                    }
+                }
+                if self.decision_level() <= assumptions.len() {
+                    // Conflict within (or below) the assumption prefix:
+                    // check whether it is independent of assumptions.
+                    if self.decision_level() == 0 {
+                        self.ok = false;
+                    }
+                    return SolveResult::Unsat;
+                }
+                let (clause, bt_level) = self.analyze(ci);
+                let bt_level = bt_level.max(assumptions.len().min(self.decision_level() - 1));
+                self.backtrack_to(bt_level);
+                if clause.len() == 1 {
+                    if !self.enqueue(clause[0], None) {
+                        self.ok = self.decision_level() > 0;
+                        return SolveResult::Unsat;
+                    }
+                } else {
+                    let ci = self.attach_clause(clause.clone(), true);
+                    let ok = self.enqueue(clause[0], Some(ci));
+                    debug_assert!(ok, "learnt clause must be asserting");
+                }
+                self.var_inc /= VAR_DECAY;
+                self.cla_inc /= CLA_DECAY;
+                if self.stats.learnt_clauses as usize > self.max_learnts {
+                    self.reduce_db();
+                }
+                if conflicts_this_round >= conflicts_until_restart
+                    && self.decision_level() > assumptions.len()
+                {
+                    self.stats.restarts += 1;
+                    restart_round += 1;
+                    conflicts_until_restart = RESTART_BASE * Self::luby(restart_round);
+                    conflicts_this_round = 0;
+                    self.backtrack_to(assumptions.len().min(self.decision_level()));
+                }
+            } else {
+                // Place pending assumptions as decisions.
+                if self.decision_level() < assumptions.len() {
+                    let a = assumptions[self.decision_level()];
+                    match self.lit_value(a) {
+                        1 => {
+                            // Already satisfied: open an empty decision
+                            // level to keep the prefix aligned.
+                            self.trail_lim.push(self.trail.len());
+                        }
+                        -1 => return SolveResult::Unsat,
+                        _ => {
+                            self.trail_lim.push(self.trail.len());
+                            let ok = self.enqueue(a, None);
+                            debug_assert!(ok);
+                        }
+                    }
+                    continue;
+                }
+                match self.pick_branch_var() {
+                    None => return SolveResult::Sat,
+                    Some(v) => {
+                        self.stats.decisions += 1;
+                        self.trail_lim.push(self.trail.len());
+                        let lit = Lit::with_polarity(v, self.phase[v.index()]);
+                        let ok = self.enqueue(lit, None);
+                        debug_assert!(ok);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Enumerates models, invoking `on_model` for each; the callback
+    /// returns `false` to stop early. Returns the number of models
+    /// delivered, or `None` when the conflict budget ran out first.
+    ///
+    /// Each model is blocked over **all** variables, so models are
+    /// total assignments and the enumeration is exhaustive.
+    pub fn solve_all<F>(&mut self, mut on_model: F) -> Option<u64>
+    where
+        F: FnMut(&[bool]) -> bool,
+    {
+        let mut count = 0u64;
+        loop {
+            match self.solve() {
+                SolveResult::Unsat => return Some(count),
+                SolveResult::Unknown => return None,
+                SolveResult::Sat => {
+                    let model = self.model();
+                    count += 1;
+                    if !on_model(&model) {
+                        return Some(count);
+                    }
+                    // Block this total assignment.
+                    let blocking: Vec<Lit> = model
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &v)| Lit::with_polarity(Var(i as u32), !v))
+                        .collect();
+                    if blocking.is_empty() || !self.add_clause(&blocking) {
+                        return Some(count);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)]
+mod tests {
+    use super::*;
+
+    fn v(solver: &mut Solver, n: usize) -> Vec<Var> {
+        (0..n).map(|_| solver.new_var()).collect()
+    }
+
+    #[test]
+    fn trivial_sat() {
+        let mut s = Solver::new();
+        let vs = v(&mut s, 1);
+        s.add_clause(&[vs[0].pos()]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.value(vs[0]), Some(true));
+    }
+
+    #[test]
+    fn trivial_unsat() {
+        let mut s = Solver::new();
+        let vs = v(&mut s, 1);
+        s.add_clause(&[vs[0].pos()]);
+        assert!(!s.add_clause(&[vs[0].neg()]));
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let mut s = Solver::new();
+        v(&mut s, 1);
+        assert!(!s.add_clause(&[]));
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn tautologies_are_ignored() {
+        let mut s = Solver::new();
+        let vs = v(&mut s, 1);
+        assert!(s.add_clause(&[vs[0].pos(), vs[0].neg()]));
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn implication_chain_propagates() {
+        let mut s = Solver::new();
+        let vs = v(&mut s, 5);
+        for i in 0..4 {
+            s.add_clause(&[vs[i].neg(), vs[i + 1].pos()]);
+        }
+        s.add_clause(&[vs[0].pos()]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        for var in vs {
+            assert_eq!(s.value(var), Some(true));
+        }
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_is_unsat() {
+        // Three pigeons, two holes: p[i][j] = pigeon i in hole j.
+        let mut s = Solver::new();
+        let p: Vec<Vec<Var>> = (0..3).map(|_| (0..2).map(|_| s.new_var()).collect()).collect();
+        for row in &p {
+            s.add_clause(&[row[0].pos(), row[1].pos()]);
+        }
+        for j in 0..2 {
+            for i1 in 0..3 {
+                for i2 in (i1 + 1)..3 {
+                    s.add_clause(&[p[i1][j].neg(), p[i2][j].neg()]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn pigeonhole_5_into_4_is_unsat() {
+        let (n, m) = (5usize, 4usize);
+        let mut s = Solver::new();
+        let p: Vec<Vec<Var>> = (0..n).map(|_| (0..m).map(|_| s.new_var()).collect()).collect();
+        for row in &p {
+            let lits: Vec<Lit> = row.iter().map(|v| v.pos()).collect();
+            s.add_clause(&lits);
+        }
+        for j in 0..m {
+            for i1 in 0..n {
+                for i2 in (i1 + 1)..n {
+                    s.add_clause(&[p[i1][j].neg(), p[i2][j].neg()]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert!(s.stats().conflicts > 0);
+    }
+
+    #[test]
+    fn assumptions_are_temporary() {
+        let mut s = Solver::new();
+        let vs = v(&mut s, 2);
+        s.add_clause(&[vs[0].pos(), vs[1].pos()]);
+        assert_eq!(s.solve_with_assumptions(&[vs[0].neg()]), SolveResult::Sat);
+        assert_eq!(s.value(vs[1]), Some(true));
+        assert_eq!(
+            s.solve_with_assumptions(&[vs[0].neg(), vs[1].neg()]),
+            SolveResult::Unsat
+        );
+        // The formula itself is still satisfiable.
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn conflicting_assumption_detected() {
+        let mut s = Solver::new();
+        let vs = v(&mut s, 2);
+        s.add_clause(&[vs[0].pos()]);
+        assert_eq!(s.solve_with_assumptions(&[vs[0].neg()]), SolveResult::Unsat);
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn xor_chain_has_expected_model_count() {
+        // x0 ^ x1 ^ x2 = 1 encoded as CNF: 4 clauses; 4 models.
+        let mut s = Solver::new();
+        let vs = v(&mut s, 3);
+        let (a, b, c) = (vs[0], vs[1], vs[2]);
+        s.add_clause(&[a.pos(), b.pos(), c.pos()]);
+        s.add_clause(&[a.pos(), b.neg(), c.neg()]);
+        s.add_clause(&[a.neg(), b.pos(), c.neg()]);
+        s.add_clause(&[a.neg(), b.neg(), c.pos()]);
+        let mut models = Vec::new();
+        let count = s.solve_all(|m| {
+            models.push(m.to_vec());
+            true
+        });
+        assert_eq!(count, Some(4));
+        for m in &models {
+            assert!(m[0] ^ m[1] ^ m[2]);
+        }
+    }
+
+    #[test]
+    fn solve_all_can_stop_early() {
+        let mut s = Solver::new();
+        v(&mut s, 3);
+        // No clauses: 8 models, but stop after 2.
+        let mut seen = 0;
+        let count = s.solve_all(|_| {
+            seen += 1;
+            seen < 2
+        });
+        assert_eq!(count, Some(2));
+    }
+
+    #[test]
+    fn conflict_budget_yields_unknown() {
+        // A hard pigeonhole with a tiny budget.
+        let (n, m) = (7usize, 6usize);
+        let mut s = Solver::new();
+        let p: Vec<Vec<Var>> = (0..n).map(|_| (0..m).map(|_| s.new_var()).collect()).collect();
+        for row in &p {
+            let lits: Vec<Lit> = row.iter().map(|v| v.pos()).collect();
+            s.add_clause(&lits);
+        }
+        for j in 0..m {
+            for i1 in 0..n {
+                for i2 in (i1 + 1)..n {
+                    s.add_clause(&[p[i1][j].neg(), p[i2][j].neg()]);
+                }
+            }
+        }
+        s.set_conflict_budget(Some(10));
+        assert_eq!(s.solve(), SolveResult::Unknown);
+        s.set_conflict_budget(None);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn model_satisfies_all_clauses_randomized() {
+        // Deterministic pseudo-random 3-CNFs, checked against the model.
+        let mut seed = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for round in 0..30 {
+            let nv = 8 + (round % 5);
+            let nc = 20 + (round % 17);
+            let mut s = Solver::new();
+            let vars = v(&mut s, nv);
+            let mut clauses = Vec::new();
+            for _ in 0..nc {
+                let mut lits = Vec::new();
+                for _ in 0..3 {
+                    let var = vars[(next() as usize) % nv];
+                    let pol = next() % 2 == 0;
+                    lits.push(Lit::with_polarity(var, pol));
+                }
+                clauses.push(lits.clone());
+                s.add_clause(&lits);
+            }
+            if s.solve() == SolveResult::Sat {
+                let m = s.model();
+                for c in &clauses {
+                    assert!(
+                        c.iter().any(|l| m[l.var().index()] == l.is_positive()),
+                        "model violates a clause"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sat_answers_match_brute_force() {
+        let mut seed = 0x243f6a8885a308d3u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for _ in 0..60 {
+            let nv = 5;
+            let nc = 14;
+            let mut s = Solver::new();
+            let vars = v(&mut s, nv);
+            let mut clauses = Vec::new();
+            for _ in 0..nc {
+                let len = 1 + (next() as usize) % 3;
+                let mut lits = Vec::new();
+                for _ in 0..len {
+                    let var = vars[(next() as usize) % nv];
+                    lits.push(Lit::with_polarity(var, next() % 2 == 0));
+                }
+                clauses.push(lits.clone());
+                s.add_clause(&lits);
+            }
+            let brute_sat = (0..(1u32 << nv)).any(|m| {
+                clauses.iter().all(|c| {
+                    c.iter()
+                        .any(|l| ((m >> l.var().index()) & 1 == 1) == l.is_positive())
+                })
+            });
+            let got = s.solve();
+            assert_eq!(
+                got,
+                if brute_sat { SolveResult::Sat } else { SolveResult::Unsat },
+                "solver answer must match brute force"
+            );
+        }
+    }
+
+    #[test]
+    fn model_count_matches_brute_force() {
+        let mut seed = 0x13198a2e03707344u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for _ in 0..20 {
+            let nv = 4;
+            let nc = 6;
+            let mut s = Solver::new();
+            let vars = v(&mut s, nv);
+            let mut clauses = Vec::new();
+            for _ in 0..nc {
+                let len = 1 + (next() as usize) % 3;
+                let mut lits = Vec::new();
+                for _ in 0..len {
+                    let var = vars[(next() as usize) % nv];
+                    lits.push(Lit::with_polarity(var, next() % 2 == 0));
+                }
+                clauses.push(lits.clone());
+                s.add_clause(&lits);
+            }
+            let brute: u64 = (0..(1u32 << nv))
+                .filter(|m| {
+                    clauses.iter().all(|c| {
+                        c.iter()
+                            .any(|l| ((m >> l.var().index()) & 1 == 1) == l.is_positive())
+                    })
+                })
+                .count() as u64;
+            let got = s.solve_all(|_| true);
+            assert_eq!(got, Some(brute), "allsat count must match brute force");
+        }
+    }
+
+    #[test]
+    fn learnt_db_reduction_keeps_correctness() {
+        let mut s = Solver::new();
+        s.max_learnts = 8; // force frequent reductions
+        let (n, m) = (6usize, 5usize);
+        let p: Vec<Vec<Var>> = (0..n).map(|_| (0..m).map(|_| s.new_var()).collect()).collect();
+        for row in &p {
+            let lits: Vec<Lit> = row.iter().map(|v| v.pos()).collect();
+            s.add_clause(&lits);
+        }
+        for j in 0..m {
+            for i1 in 0..n {
+                for i2 in (i1 + 1)..n {
+                    s.add_clause(&[p[i1][j].neg(), p[i2][j].neg()]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn luby_sequence_prefix() {
+        let expected = [1u64, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        for (i, &e) in expected.iter().enumerate() {
+            assert_eq!(Solver::luby(i as u64), e, "luby({i})");
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Property-based tests for the CDCL solver: answers, models, and
+//! AllSAT counts are cross-checked against brute force on random small
+//! formulas.
+
+use proptest::prelude::*;
+use stp_sat::{Cnf, Lit, SolveResult, Solver, Var};
+
+#[derive(Debug, Clone)]
+struct RandomCnf {
+    num_vars: usize,
+    clauses: Vec<Vec<(usize, bool)>>,
+}
+
+fn cnf_strategy(max_vars: usize, max_clauses: usize) -> impl Strategy<Value = RandomCnf> {
+    (2..=max_vars).prop_flat_map(move |nv| {
+        let clause = proptest::collection::vec((0..nv, any::<bool>()), 1..=3);
+        proptest::collection::vec(clause, 1..=max_clauses)
+            .prop_map(move |clauses| RandomCnf { num_vars: nv, clauses })
+    })
+}
+
+fn brute_force_models(cnf: &RandomCnf) -> Vec<u32> {
+    (0..(1u32 << cnf.num_vars))
+        .filter(|m| {
+            cnf.clauses.iter().all(|c| {
+                c.iter().any(|&(v, pos)| ((m >> v) & 1 == 1) == pos)
+            })
+        })
+        .collect()
+}
+
+fn load(cnf: &RandomCnf) -> (Solver, Vec<Var>) {
+    let mut solver = Solver::new();
+    let vars: Vec<Var> = (0..cnf.num_vars).map(|_| solver.new_var()).collect();
+    for clause in &cnf.clauses {
+        let lits: Vec<Lit> = clause
+            .iter()
+            .map(|&(v, pos)| Lit::with_polarity(vars[v], pos))
+            .collect();
+        solver.add_clause(&lits);
+    }
+    (solver, vars)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// SAT/UNSAT answers match brute force, and returned models satisfy
+    /// every clause.
+    #[test]
+    fn answers_match_brute_force(cnf in cnf_strategy(6, 16)) {
+        let expected = !brute_force_models(&cnf).is_empty();
+        let (mut solver, vars) = load(&cnf);
+        match solver.solve() {
+            SolveResult::Sat => {
+                prop_assert!(expected, "solver claims SAT on an UNSAT formula");
+                let model = solver.model();
+                for clause in &cnf.clauses {
+                    prop_assert!(clause.iter().any(|&(v, pos)| model[vars[v].index()] == pos));
+                }
+            }
+            SolveResult::Unsat => prop_assert!(!expected, "solver claims UNSAT on a SAT formula"),
+            SolveResult::Unknown => prop_assert!(false, "no budget was set"),
+        }
+    }
+
+    /// AllSAT enumerates exactly the brute-force model set.
+    #[test]
+    fn allsat_counts_match(cnf in cnf_strategy(5, 10)) {
+        let expected = brute_force_models(&cnf);
+        let (mut solver, vars) = load(&cnf);
+        let mut got = Vec::new();
+        let count = solver.solve_all(|m| {
+            let mut bits = 0u32;
+            for (i, v) in vars.iter().enumerate() {
+                if m[v.index()] {
+                    bits |= 1 << i;
+                }
+            }
+            got.push(bits);
+            true
+        });
+        prop_assert_eq!(count, Some(expected.len() as u64));
+        got.sort_unstable();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Solving under an assumption equals solving the formula with that
+    /// unit added.
+    #[test]
+    fn assumptions_equal_units(cnf in cnf_strategy(5, 10), var in 0usize..5, pos: bool) {
+        let var = var % cnf.num_vars;
+        let (mut s1, vars) = load(&cnf);
+        let assumption = Lit::with_polarity(vars[var], pos);
+        let with_assumption = s1.solve_with_assumptions(&[assumption]);
+
+        let mut cnf2 = cnf.clone();
+        cnf2.clauses.push(vec![(var, pos)]);
+        let (mut s2, _) = load(&cnf2);
+        let with_unit = s2.solve();
+        prop_assert_eq!(with_assumption, with_unit);
+    }
+
+    /// DIMACS round-trips preserve satisfiability.
+    #[test]
+    fn dimacs_round_trip(cnf in cnf_strategy(5, 10)) {
+        let (mut direct, _) = load(&cnf);
+        let expected = direct.solve();
+        let text = Cnf {
+            num_vars: cnf.num_vars,
+            clauses: cnf
+                .clauses
+                .iter()
+                .map(|c| {
+                    c.iter()
+                        .map(|&(v, pos)| Lit::with_polarity(Var(v as u32), pos))
+                        .collect()
+                })
+                .collect(),
+        }
+        .to_dimacs();
+        let mut reparsed = Cnf::parse(&text).unwrap().into_solver();
+        prop_assert_eq!(reparsed.solve(), expected);
+    }
+}

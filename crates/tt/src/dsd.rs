@@ -1,0 +1,551 @@
+//! Disjoint-support decomposition (DSD): tests and workload generators.
+//!
+//! The paper's evaluation (§IV) uses five function suites; four of them
+//! are defined through DSD structure:
+//!
+//! * **FDSD** — *fully* DSD-decomposable functions: the function breaks
+//!   down completely into 2-input gates with disjoint supports (no prime
+//!   block larger than two inputs, in Mishchenko's terminology).
+//! * **PDSD** — *partially* DSD-decomposable functions: some DSD
+//!   structure exists but at least one prime block remains.
+//!
+//! The authors drew these from practical mapping benchmarks; this crate
+//! substitutes seeded random generators that produce functions with the
+//! same defining structure (see `DESIGN.md`), which is what exercises the
+//! STP factorization's fast path (FDSD) and its backtracking path (PDSD).
+
+use rand::{Rng, RngExt};
+
+use crate::error::TruthTableError;
+use crate::truth_table::TruthTable;
+
+/// The ten 2-input operators that depend on both inputs (all 4-bit truth
+/// tables except constants and projections). These are the "interesting"
+/// gate functions for chain synthesis.
+pub const NONTRIVIAL_OPS: [u8; 10] = [
+    0b0001, // NOR
+    0b0010, // a & !b
+    0b0100, // !a & b
+    0b0110, // XOR
+    0b0111, // NAND
+    0b1000, // AND
+    0b1001, // XNOR
+    0b1011, // a | !b
+    0b1101, // !a | b
+    0b1110, // OR
+];
+
+/// A disjoint-support decomposition tree.
+///
+/// Leaves are single variables; internal nodes are 2-input gates; a
+/// [`DsdNode::Prime`] node embeds an arbitrary (typically
+/// non-decomposable) block over a set of variables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DsdNode {
+    /// A single input variable.
+    Leaf(usize),
+    /// A 2-input gate (4-bit truth table, bit `a + 2b` = `σ(a, b)`) over
+    /// two disjoint subtrees.
+    Gate(u8, Box<DsdNode>, Box<DsdNode>),
+    /// A prime block: an arbitrary function applied to the listed
+    /// variables (`vars[i]` feeds input `i` of the block).
+    Prime(TruthTable, Vec<usize>),
+}
+
+impl DsdNode {
+    /// Variables referenced by the subtree, in DFS order.
+    pub fn variables(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars(&self, out: &mut Vec<usize>) {
+        match self {
+            DsdNode::Leaf(v) => out.push(*v),
+            DsdNode::Gate(_, a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+            DsdNode::Prime(_, vars) => out.extend_from_slice(vars),
+        }
+    }
+
+    /// Number of 2-input gates when the tree is realized as a Boolean
+    /// chain (prime blocks of `k` inputs are counted pessimistically as
+    /// needing at least `k − 1` gates).
+    pub fn gate_count_upper_bound_basis(&self) -> usize {
+        match self {
+            DsdNode::Leaf(_) => 0,
+            DsdNode::Gate(_, a, b) => {
+                1 + a.gate_count_upper_bound_basis() + b.gate_count_upper_bound_basis()
+            }
+            DsdNode::Prime(block, _) => block.num_vars().saturating_sub(1),
+        }
+    }
+
+    /// Evaluates the subtree under a full assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a referenced variable index is out of range for
+    /// `assign`.
+    pub fn eval(&self, assign: &[bool]) -> bool {
+        match self {
+            DsdNode::Leaf(v) => assign[*v],
+            DsdNode::Gate(op, a, b) => {
+                let av = a.eval(assign) as u8;
+                let bv = b.eval(assign) as u8;
+                (op >> (av + 2 * bv)) & 1 == 1
+            }
+            DsdNode::Prime(block, vars) => {
+                let inner: Vec<bool> = vars.iter().map(|&v| assign[v]).collect();
+                block.eval(&inner)
+            }
+        }
+    }
+
+    /// Converts the tree to a truth table over `num_vars` variables.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TruthTableError::VariableOutOfRange`] when the tree
+    /// references a variable `≥ num_vars`, or
+    /// [`TruthTableError::TooManyVariables`].
+    pub fn to_truth_table(&self, num_vars: usize) -> Result<TruthTable, TruthTableError> {
+        if let Some(&v) = self.variables().iter().max() {
+            if v >= num_vars {
+                return Err(TruthTableError::VariableOutOfRange { var: v, num_vars });
+            }
+        }
+        TruthTable::from_fn(num_vars, |assign| self.eval(assign))
+    }
+}
+
+/// Restricts `tt` to the listed variables, producing a table over
+/// `vars.len()` inputs (input `i` of the result reads `vars[i]`).
+///
+/// Used internally to extract the `h1`/`h2` sub-functions of a
+/// decomposition; exposed because the synthesis engine needs the same
+/// operation.
+///
+/// # Panics
+///
+/// Panics if some `vars[i] >= tt.num_vars()` or when `tt` depends on a
+/// variable outside `vars`.
+pub fn project_to_vars(tt: &TruthTable, vars: &[usize]) -> TruthTable {
+    for v in tt.support() {
+        assert!(vars.contains(&v), "table depends on variable {v} outside the projection");
+    }
+    TruthTable::from_fn(vars.len(), |assign| {
+        let mut full = vec![false; tt.num_vars()];
+        for (i, &v) in vars.iter().enumerate() {
+            full[v] = assign[i];
+        }
+        tt.eval(&full)
+    })
+    .expect("projection never increases the variable count")
+}
+
+/// Tests whether a function is *fully* DSD-decomposable into 2-input
+/// gates.
+///
+/// A function with support size ≤ 2 is trivially decomposable. Otherwise
+/// the function must admit a top decomposition `f = g(h₁(A), h₂(B))` for
+/// some bipartition `(A, B)` of its support — detected by the Ashenhurst
+/// criterion that the decomposition chart has at most two distinct row
+/// patterns *and* at most two distinct column patterns (exactly the
+/// paper's "two unique quartering parts", §III-B, generalized) — with
+/// `h₁` and `h₂` recursively fully decomposable.
+///
+/// # Examples
+///
+/// ```
+/// use stp_tt::{is_full_dsd, TruthTable};
+///
+/// // (a AND b) XOR (c OR d) decomposes fully …
+/// let f = TruthTable::from_fn(4, |x| (x[0] & x[1]) ^ (x[2] | x[3]))?;
+/// assert!(is_full_dsd(&f));
+/// // … but 3-input majority is a prime block.
+/// let maj = TruthTable::from_hex(3, "e8")?;
+/// assert!(!is_full_dsd(&maj));
+/// # Ok::<(), stp_tt::TruthTableError>(())
+/// ```
+pub fn is_full_dsd(tt: &TruthTable) -> bool {
+    let sup = tt.support();
+    if sup.len() <= 2 {
+        return true;
+    }
+    let reduced = project_to_vars(tt, &sup);
+    let n = sup.len();
+    // Enumerate bipartitions (A = subset, B = complement); skip empty
+    // sides and mirror duplicates by requiring bit 0 ∈ A.
+    for a_mask in 0usize..(1 << n) {
+        if a_mask & 1 == 0 || a_mask == (1 << n) - 1 {
+            continue;
+        }
+        if let Some((h1, h2, _g)) = try_top_decomposition(&reduced, a_mask) {
+            if is_full_dsd(&h1) && is_full_dsd(&h2) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Attempts the Ashenhurst top decomposition `f = g(h₁(A), h₂(B))` for a
+/// specific bipartition of the (full-support) function `f`.
+///
+/// `a_mask` selects the variables of `A` by bit position. On success
+/// returns `(h₁, h₂, g)` with `h₁` over `|A|` fresh variables, `h₂` over
+/// `|B|` fresh variables, and `g` the 4-bit connecting operator.
+pub fn try_top_decomposition(
+    f: &TruthTable,
+    a_mask: usize,
+) -> Option<(TruthTable, TruthTable, u8)> {
+    let n = f.num_vars();
+    let a_vars: Vec<usize> = (0..n).filter(|&v| (a_mask >> v) & 1 == 1).collect();
+    let b_vars: Vec<usize> = (0..n).filter(|&v| (a_mask >> v) & 1 == 0).collect();
+    if a_vars.is_empty() || b_vars.is_empty() {
+        return None;
+    }
+    let rows = 1usize << a_vars.len();
+    let cols = 1usize << b_vars.len();
+    // Row pattern for each assignment to A.
+    let mut row_patterns: Vec<Vec<bool>> = Vec::with_capacity(rows);
+    for r in 0..rows {
+        let mut pat = Vec::with_capacity(cols);
+        for c in 0..cols {
+            let mut assign = vec![false; n];
+            for (i, &v) in a_vars.iter().enumerate() {
+                assign[v] = (r >> i) & 1 == 1;
+            }
+            for (i, &v) in b_vars.iter().enumerate() {
+                assign[v] = (c >> i) & 1 == 1;
+            }
+            pat.push(f.eval(&assign));
+        }
+        row_patterns.push(pat);
+    }
+    // At most two distinct rows…
+    let first = &row_patterns[0];
+    let mut second: Option<&Vec<bool>> = None;
+    let mut row_class = vec![false; rows];
+    for (r, pat) in row_patterns.iter().enumerate() {
+        if pat == first {
+            continue;
+        }
+        match second {
+            None => {
+                second = Some(pat);
+                row_class[r] = true;
+            }
+            Some(s) if pat == s => row_class[r] = true,
+            Some(_) => return None,
+        }
+    }
+    let second = second?; // exactly one distinct row means f ignores A
+    // …and at most two distinct column values given the two row classes.
+    // Columns are pairs (first[c], second[c]); for g to be a function of
+    // (h₁, h₂) with h₂ binary, the columns must take at most two distinct
+    // pair values.
+    let mut col_class = vec![false; cols];
+    let first_pair = (first[0], second[0]);
+    let mut second_pair: Option<(bool, bool)> = None;
+    for c in 0..cols {
+        let pair = (first[c], second[c]);
+        if pair == first_pair {
+            continue;
+        }
+        match second_pair {
+            None => {
+                second_pair = Some(pair);
+                col_class[c] = true;
+            }
+            Some(s) if pair == s => col_class[c] = true,
+            Some(_) => return None,
+        }
+    }
+    second_pair?; // a single column class means f ignores B
+    let second_pair = second_pair.expect("checked above");
+    // g(h1, h2): h1 = row class, h2 = col class.
+    let mut g = 0u8;
+    // (h1, h2) = (0, 0): value first_pair.0 …
+    if first_pair.0 {
+        g |= 1 << 0;
+    }
+    if second_pair.0 {
+        // (h1, h2) = (0, 1): row class 0, col class 1.
+        g |= 1 << 2;
+    }
+    if first_pair.1 {
+        // (h1, h2) = (1, 0).
+        g |= 1 << 1;
+    }
+    if second_pair.1 {
+        g |= 1 << 3;
+    }
+    let h1 = TruthTable::from_fn(a_vars.len(), |assign| {
+        let mut r = 0usize;
+        for (i, &v) in assign.iter().enumerate() {
+            if v {
+                r |= 1 << i;
+            }
+        }
+        row_class[r]
+    })
+    .expect("|A| < n");
+    let h2 = TruthTable::from_fn(b_vars.len(), |assign| {
+        let mut c = 0usize;
+        for (i, &v) in assign.iter().enumerate() {
+            if v {
+                c |= 1 << i;
+            }
+        }
+        col_class[c]
+    })
+    .expect("|B| < n");
+    Some((h1, h2, g))
+}
+
+/// Generates a random *fully* DSD-decomposable function over exactly
+/// `num_vars` variables (every variable is in the support): a random
+/// binary tree over a random variable order with random nontrivial gates.
+///
+/// # Panics
+///
+/// Panics if `num_vars == 0` or `num_vars > MAX_VARS`.
+pub fn random_fdsd<R: Rng>(num_vars: usize, rng: &mut R) -> TruthTable {
+    let tree = random_fdsd_tree(num_vars, rng);
+    tree.to_truth_table(num_vars)
+        .expect("generated tree references only declared variables")
+}
+
+/// Generates the [`DsdNode`] tree behind [`random_fdsd`] (useful when the
+/// caller wants the known decomposition, e.g. to bound the optimum gate
+/// count).
+///
+/// # Panics
+///
+/// Panics if `num_vars == 0` or `num_vars > MAX_VARS`.
+pub fn random_fdsd_tree<R: Rng>(num_vars: usize, rng: &mut R) -> DsdNode {
+    assert!(num_vars >= 1, "need at least one variable");
+    assert!(
+        num_vars <= crate::truth_table::MAX_VARS,
+        "variable count exceeds MAX_VARS"
+    );
+    // Random variable order.
+    let mut vars: Vec<usize> = (0..num_vars).collect();
+    for i in (1..vars.len()).rev() {
+        let j = rng.random_range(0..=i);
+        vars.swap(i, j);
+    }
+    let mut forest: Vec<DsdNode> = vars.into_iter().map(DsdNode::Leaf).collect();
+    while forest.len() > 1 {
+        let i = rng.random_range(0..forest.len());
+        let a = forest.swap_remove(i);
+        let j = rng.random_range(0..forest.len());
+        let b = forest.swap_remove(j);
+        let op = NONTRIVIAL_OPS[rng.random_range(0..NONTRIVIAL_OPS.len())];
+        forest.push(DsdNode::Gate(op, Box::new(a), Box::new(b)));
+    }
+    forest.pop().expect("forest reduces to a single tree")
+}
+
+/// Generates a random *partially* DSD-decomposable function over exactly
+/// `num_vars` variables: a DSD tree in which one leaf is replaced by a
+/// random prime (non-decomposable) block of `prime_size` inputs. The
+/// result is rejection-tested to ensure it is **not** fully decomposable
+/// and depends on every variable.
+///
+/// # Panics
+///
+/// Panics if `prime_size < 3` or `prime_size > num_vars`.
+pub fn random_pdsd<R: Rng>(num_vars: usize, prime_size: usize, rng: &mut R) -> TruthTable {
+    assert!(prime_size >= 3, "prime blocks need at least three inputs");
+    assert!(prime_size <= num_vars, "prime block cannot exceed the variable count");
+    loop {
+        let block = random_prime_block(prime_size, rng);
+        // Random variable order; the first `prime_size` feed the block.
+        let mut vars: Vec<usize> = (0..num_vars).collect();
+        for i in (1..vars.len()).rev() {
+            let j = rng.random_range(0..=i);
+            vars.swap(i, j);
+        }
+        let (block_vars, rest) = vars.split_at(prime_size);
+        let mut forest: Vec<DsdNode> = vec![DsdNode::Prime(block, block_vars.to_vec())];
+        forest.extend(rest.iter().copied().map(DsdNode::Leaf));
+        while forest.len() > 1 {
+            let i = rng.random_range(0..forest.len());
+            let a = forest.swap_remove(i);
+            let j = rng.random_range(0..forest.len());
+            let b = forest.swap_remove(j);
+            let op = NONTRIVIAL_OPS[rng.random_range(0..NONTRIVIAL_OPS.len())];
+            forest.push(DsdNode::Gate(op, Box::new(a), Box::new(b)));
+        }
+        let tree = forest.pop().expect("forest reduces to a single tree");
+        let tt = tree
+            .to_truth_table(num_vars)
+            .expect("generated tree references only declared variables");
+        if tt.support().len() == num_vars && !is_full_dsd(&tt) {
+            return tt;
+        }
+    }
+}
+
+/// Generates a random prime block: a function of exactly `k` inputs with
+/// full support that is not fully DSD-decomposable.
+fn random_prime_block<R: Rng>(k: usize, rng: &mut R) -> TruthTable {
+    loop {
+        let tt = TruthTable::from_fn(k, |_| rng.random_bool(0.5))
+            .expect("k <= MAX_VARS by caller contract");
+        if tt.support().len() == k && !is_full_dsd(&tt) {
+            return tt;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn two_input_functions_are_full_dsd() {
+        for bits in 0..16u64 {
+            let tt = TruthTable::from_u64(2, bits).unwrap();
+            assert!(is_full_dsd(&tt));
+        }
+    }
+
+    #[test]
+    fn tree_functions_are_full_dsd() {
+        let f = TruthTable::from_fn(4, |x| (x[0] & x[1]) ^ (x[2] | x[3])).unwrap();
+        assert!(is_full_dsd(&f));
+        let g = TruthTable::from_fn(6, |x| {
+            ((x[0] ^ x[1]) & (x[2] | x[3])) | (x[4] & x[5])
+        })
+        .unwrap();
+        assert!(is_full_dsd(&g));
+    }
+
+    #[test]
+    fn majority_is_prime() {
+        let maj = TruthTable::from_hex(3, "e8").unwrap();
+        assert!(!is_full_dsd(&maj));
+        // Majority composed under a gate is still only partially
+        // decomposable.
+        let f = TruthTable::from_fn(4, |x| ((x[0] as u8 + x[1] as u8 + x[2] as u8) >= 2) ^ x[3])
+            .unwrap();
+        assert!(!is_full_dsd(&f));
+    }
+
+    #[test]
+    fn paper_running_example_is_full_dsd() {
+        // 0x8ff8 = OR-ish composition of AND(a,b) and XOR(c,d) per
+        // Example 7 — fully decomposable.
+        let f = TruthTable::from_hex(4, "8ff8").unwrap();
+        assert!(is_full_dsd(&f));
+    }
+
+    #[test]
+    fn top_decomposition_recovers_structure() {
+        // f = AND(a, b) XOR OR(c, d); A = {0, 1}.
+        let f = TruthTable::from_fn(4, |x| (x[0] & x[1]) ^ (x[2] | x[3])).unwrap();
+        let (h1, h2, g) = try_top_decomposition(&f, 0b0011).expect("decomposable split");
+        // Reconstruct and compare.
+        let rebuilt = TruthTable::from_fn(4, |x| {
+            let a = h1.eval(&[x[0], x[1]]);
+            let b = h2.eval(&[x[2], x[3]]);
+            (g >> ((a as u8) + 2 * (b as u8))) & 1 == 1
+        })
+        .unwrap();
+        assert_eq!(rebuilt, f);
+    }
+
+    #[test]
+    fn top_decomposition_rejects_prime_splits() {
+        let maj = TruthTable::from_hex(3, "e8").unwrap();
+        for a_mask in [0b001usize, 0b010, 0b100, 0b011, 0b101, 0b110] {
+            assert!(try_top_decomposition(&maj, a_mask).is_none());
+        }
+    }
+
+    #[test]
+    fn project_to_vars_reduces_support() {
+        let f = TruthTable::from_fn(4, |x| x[1] ^ x[3]).unwrap();
+        let p = project_to_vars(&f, &[1, 3]);
+        assert_eq!(p.num_vars(), 2);
+        assert_eq!(p.to_hex(), "6");
+    }
+
+    #[test]
+    fn random_fdsd_has_full_support_and_is_decomposable() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        for n in [3usize, 4, 5, 6] {
+            for _ in 0..5 {
+                let tt = random_fdsd(n, &mut rng);
+                assert_eq!(tt.support().len(), n, "full support for n={n}");
+                assert!(is_full_dsd(&tt), "generated FDSD must decompose (n={n})");
+            }
+        }
+    }
+
+    #[test]
+    fn random_pdsd_is_partial() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..5 {
+            let tt = random_pdsd(6, 3, &mut rng);
+            assert_eq!(tt.support().len(), 6);
+            assert!(!is_full_dsd(&tt));
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic_per_seed() {
+        let a = random_fdsd(5, &mut SmallRng::seed_from_u64(123));
+        let b = random_fdsd(5, &mut SmallRng::seed_from_u64(123));
+        assert_eq!(a, b);
+        let c = random_pdsd(6, 3, &mut SmallRng::seed_from_u64(9));
+        let d = random_pdsd(6, 3, &mut SmallRng::seed_from_u64(9));
+        assert_eq!(c, d);
+    }
+
+    #[test]
+    fn dsd_tree_eval_matches_truth_table() {
+        let mut rng = SmallRng::seed_from_u64(17);
+        let tree = random_fdsd_tree(5, &mut rng);
+        let tt = tree.to_truth_table(5).unwrap();
+        for m in 0..32usize {
+            let assign: Vec<bool> = (0..5).map(|i| (m >> i) & 1 == 1).collect();
+            assert_eq!(tree.eval(&assign), tt.bit(m));
+        }
+        assert_eq!(tree.gate_count_upper_bound_basis(), 4);
+    }
+
+    #[test]
+    fn dsd_tree_rejects_out_of_range_vars() {
+        let tree = DsdNode::Gate(
+            0b1000,
+            Box::new(DsdNode::Leaf(0)),
+            Box::new(DsdNode::Leaf(5)),
+        );
+        assert!(tree.to_truth_table(3).is_err());
+    }
+
+    #[test]
+    fn nontrivial_ops_all_depend_on_both_inputs() {
+        for &op in &NONTRIVIAL_OPS {
+            let f = |a: bool, b: bool| (op >> ((a as u8) + 2 * (b as u8))) & 1 == 1;
+            assert!(
+                (f(false, false) != f(true, false)) || (f(false, true) != f(true, true)),
+                "op {op:#06b} must depend on a"
+            );
+            assert!(
+                (f(false, false) != f(false, true)) || (f(true, false) != f(true, true)),
+                "op {op:#06b} must depend on b"
+            );
+        }
+    }
+}

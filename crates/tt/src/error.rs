@@ -1,0 +1,84 @@
+//! Error types for the `stp-tt` crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by truth-table construction and manipulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TruthTableError {
+    /// The variable count exceeds the supported maximum.
+    TooManyVariables {
+        /// Requested variable count.
+        requested: usize,
+        /// Supported maximum.
+        max: usize,
+    },
+    /// A variable index is out of range.
+    VariableOutOfRange {
+        /// The offending variable index.
+        var: usize,
+        /// The table's variable count.
+        num_vars: usize,
+    },
+    /// A word buffer does not match the variable count.
+    WordCountMismatch {
+        /// Number of words required.
+        expected: usize,
+        /// Number of words provided.
+        got: usize,
+    },
+    /// A hex string has the wrong length or invalid digits.
+    ParseHex {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// Two tables with differing variable counts were combined.
+    ArityMismatch {
+        /// Left operand variable count.
+        left: usize,
+        /// Right operand variable count.
+        right: usize,
+    },
+    /// A permutation slice is not a permutation of `0..num_vars`.
+    InvalidPermutation,
+}
+
+impl fmt::Display for TruthTableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TruthTableError::TooManyVariables { requested, max } => {
+                write!(f, "{requested} variables exceeds supported maximum of {max}")
+            }
+            TruthTableError::VariableOutOfRange { var, num_vars } => {
+                write!(f, "variable {var} out of range for a {num_vars}-variable table")
+            }
+            TruthTableError::WordCountMismatch { expected, got } => {
+                write!(f, "expected {expected} truth-table words, got {got}")
+            }
+            TruthTableError::ParseHex { reason } => write!(f, "invalid hex truth table: {reason}"),
+            TruthTableError::ArityMismatch { left, right } => {
+                write!(f, "cannot combine tables with {left} and {right} variables")
+            }
+            TruthTableError::InvalidPermutation => {
+                write!(f, "slice is not a permutation of the table's variables")
+            }
+        }
+    }
+}
+
+impl Error for TruthTableError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(TruthTableError::TooManyVariables { requested: 20, max: 16 }
+            .to_string()
+            .contains("20"));
+        assert!(TruthTableError::ParseHex { reason: "odd length".into() }
+            .to_string()
+            .contains("odd length"));
+    }
+}

@@ -1,0 +1,287 @@
+//! NPN classification of Boolean functions.
+//!
+//! Two functions are *NPN-equivalent* when one can be obtained from the
+//! other by negating inputs, permuting inputs, and negating the output
+//! (§III-A of the paper, citing Petkovska et al.). Exact synthesis only
+//! needs one representative per class, which is how the paper's `NPN4`
+//! suite (all 222 classes of 4-input functions) is built.
+//!
+//! [`canonicalize`] performs exhaustive canonization — `n! · 2^n · 2`
+//! transforms — which is the right tool for `n ≤ 5`; the paper's suites
+//! never need more.
+
+use crate::error::TruthTableError;
+use crate::truth_table::TruthTable;
+
+/// An NPN transform: permute inputs, complement a subset of inputs, and
+/// optionally complement the output.
+///
+/// Applying the transform computes
+/// `g(x_0, …, x_{n−1}) = f(y_0, …, y_{n−1}) ^ output_negated`, where
+/// `y_{perm[i]} = x_i ^ input_negated_bit(perm[i])` — i.e. `perm` maps new
+/// positions to old positions and negations are expressed on the *old*
+/// inputs.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct NpnTransform {
+    /// Input permutation: new variable `i` reads old variable `perm[i]`.
+    pub perm: Vec<usize>,
+    /// Bitmask of *old* inputs that are complemented before permutation.
+    pub input_negations: u32,
+    /// Whether the output is complemented.
+    pub output_negated: bool,
+}
+
+impl NpnTransform {
+    /// The identity transform on `n` variables.
+    pub fn identity(n: usize) -> Self {
+        NpnTransform {
+            perm: (0..n).collect(),
+            input_negations: 0,
+            output_negated: false,
+        }
+    }
+
+    /// Applies the transform to a truth table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TruthTableError::InvalidPermutation`] when the transform
+    /// arity does not match the table.
+    pub fn apply(&self, tt: &TruthTable) -> Result<TruthTable, TruthTableError> {
+        if self.perm.len() != tt.num_vars() {
+            return Err(TruthTableError::InvalidPermutation);
+        }
+        let mut out = tt.clone();
+        for v in 0..tt.num_vars() {
+            if (self.input_negations >> v) & 1 == 1 {
+                out = out.flip_input(v);
+            }
+        }
+        out = out.permute(&self.perm)?;
+        if self.output_negated {
+            out = !out;
+        }
+        Ok(out)
+    }
+}
+
+/// Result of [`canonicalize`]: the class representative and one transform
+/// that produces it from the input function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NpnCanonical {
+    /// The lexicographically smallest truth table in the NPN orbit.
+    pub representative: TruthTable,
+    /// A transform with `transform.apply(&original) == representative`.
+    pub transform: NpnTransform,
+}
+
+fn permutations(n: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut cur: Vec<usize> = (0..n).collect();
+    fn heap(k: usize, cur: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if k <= 1 {
+            out.push(cur.clone());
+            return;
+        }
+        for i in 0..k {
+            heap(k - 1, cur, out);
+            if k.is_multiple_of(2) {
+                cur.swap(i, k - 1);
+            } else {
+                cur.swap(0, k - 1);
+            }
+        }
+    }
+    heap(n, &mut cur, &mut out);
+    out
+}
+
+/// Exhaustively canonicalizes a function under NPN equivalence.
+///
+/// The representative is the numerically smallest truth table (comparing
+/// the packed words most-significant-word first, then by value) reachable
+/// by any NPN transform. Complexity is `O(n! · 2^{n+1})` table
+/// transformations; intended for `n ≤ 5`.
+///
+/// # Examples
+///
+/// ```
+/// use stp_tt::{canonicalize, TruthTable};
+///
+/// // AND and NOR are NPN-equivalent.
+/// let and = TruthTable::from_hex(2, "8")?;
+/// let nor = TruthTable::from_hex(2, "1")?;
+/// assert_eq!(
+///     canonicalize(&and).representative,
+///     canonicalize(&nor).representative,
+/// );
+/// # Ok::<(), stp_tt::TruthTableError>(())
+/// ```
+pub fn canonicalize(tt: &TruthTable) -> NpnCanonical {
+    let n = tt.num_vars();
+    let mut best: Option<(TruthTable, NpnTransform)> = None;
+    for perm in permutations(n) {
+        for neg in 0..(1u32 << n) {
+            // Apply negations first, then the permutation, then compare
+            // both output phases.
+            let mut base = tt.clone();
+            for v in 0..n {
+                if (neg >> v) & 1 == 1 {
+                    base = base.flip_input(v);
+                }
+            }
+            let permuted = base.permute(&perm).expect("perm is a valid permutation");
+            for out_neg in [false, true] {
+                let candidate = if out_neg {
+                    !permuted.clone()
+                } else {
+                    permuted.clone()
+                };
+                let better = match &best {
+                    None => true,
+                    Some((b, _)) => candidate < *b,
+                };
+                if better {
+                    best = Some((
+                        candidate,
+                        NpnTransform {
+                            perm: perm.clone(),
+                            input_negations: neg,
+                            output_negated: out_neg,
+                        },
+                    ));
+                }
+            }
+        }
+    }
+    let (representative, transform) = best.expect("orbit is never empty");
+    NpnCanonical { representative, transform }
+}
+
+/// Enumerates one representative per NPN class of `n`-variable functions.
+///
+/// Representatives are returned sorted. For `n = 4` this yields the
+/// paper's 222 classes; `n = 3` yields 14, `n = 2` yields 4.
+///
+/// # Panics
+///
+/// Panics if `n > 4` — exhausting `2^{2^n}` functions is only feasible up
+/// to four variables.
+pub fn npn_classes(n: usize) -> Vec<TruthTable> {
+    assert!(n <= 4, "exhaustive class enumeration is limited to n <= 4");
+    let bits = 1usize << n;
+    let total: u64 = if bits >= 64 { u64::MAX } else { (1u64 << bits) - 1 };
+    let mut visited = vec![false; (total as usize) + 1];
+    let mut reps = Vec::new();
+    let perms = permutations(n);
+    for f in 0..=total {
+        if visited[f as usize] {
+            continue;
+        }
+        let tt = TruthTable::from_u64(n, f).expect("n <= 4 fits in a word");
+        // Mark the whole orbit and record this (smallest) member as the
+        // representative: iterating f in ascending order guarantees the
+        // first unvisited member is the orbit minimum.
+        reps.push(tt.clone());
+        for perm in &perms {
+            for neg in 0..(1u32 << n) {
+                let mut base = tt.clone();
+                for v in 0..n {
+                    if (neg >> v) & 1 == 1 {
+                        base = base.flip_input(v);
+                    }
+                }
+                let permuted = base.permute(perm).expect("valid permutation");
+                visited[permuted.words()[0] as usize] = true;
+                let negated = !permuted;
+                visited[negated.words()[0] as usize] = true;
+            }
+        }
+    }
+    reps.sort();
+    reps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_transform_is_noop() {
+        let tt = TruthTable::from_hex(3, "e8").unwrap();
+        let id = NpnTransform::identity(3);
+        assert_eq!(id.apply(&tt).unwrap(), tt);
+    }
+
+    #[test]
+    fn transform_arity_mismatch_is_error() {
+        let tt = TruthTable::from_hex(3, "e8").unwrap();
+        let id = NpnTransform::identity(2);
+        assert!(id.apply(&tt).is_err());
+    }
+
+    #[test]
+    fn canonical_transform_reproduces_representative() {
+        for hex in ["8ff8", "6996", "cafe", "0001", "1234"] {
+            let tt = TruthTable::from_hex(4, hex).unwrap();
+            let canon = canonicalize(&tt);
+            assert_eq!(
+                canon.transform.apply(&tt).unwrap(),
+                canon.representative,
+                "transform must map {hex} to its representative"
+            );
+        }
+    }
+
+    #[test]
+    fn npn_equivalent_functions_share_representative() {
+        let and = TruthTable::from_hex(2, "8").unwrap();
+        let or = TruthTable::from_hex(2, "e").unwrap();
+        let nand = TruthTable::from_hex(2, "7").unwrap();
+        let nor = TruthTable::from_hex(2, "1").unwrap();
+        let rep = canonicalize(&and).representative;
+        for other in [or, nand, nor] {
+            assert_eq!(canonicalize(&other).representative, rep);
+        }
+        // XOR is in a different class.
+        let xor = TruthTable::from_hex(2, "6").unwrap();
+        assert_ne!(canonicalize(&xor).representative, rep);
+    }
+
+    #[test]
+    fn canonicalization_is_idempotent() {
+        let tt = TruthTable::from_hex(4, "1ee1").unwrap();
+        let c1 = canonicalize(&tt).representative;
+        let c2 = canonicalize(&c1).representative;
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn class_counts_match_literature() {
+        // Known NPN class counts (including degenerate functions).
+        assert_eq!(npn_classes(0).len(), 1);
+        assert_eq!(npn_classes(1).len(), 2);
+        assert_eq!(npn_classes(2).len(), 4);
+        assert_eq!(npn_classes(3).len(), 14);
+    }
+
+    #[test]
+    fn npn4_has_222_classes() {
+        // The paper's NPN4 suite: all 222 4-input classes.
+        let classes = npn_classes(4);
+        assert_eq!(classes.len(), 222);
+        // Every representative canonicalizes to itself.
+        for rep in classes.iter().take(10) {
+            assert_eq!(canonicalize(rep).representative, *rep);
+        }
+    }
+
+    #[test]
+    fn representatives_are_orbit_minima() {
+        let classes = npn_classes(3);
+        for rep in &classes {
+            let canon = canonicalize(rep);
+            assert_eq!(canon.representative, *rep);
+        }
+    }
+}

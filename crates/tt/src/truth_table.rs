@@ -1,0 +1,754 @@
+//! Bit-packed truth tables for Boolean functions of up to 16 variables.
+//!
+//! The convention is **LSB-first**: bit `m` of the table is the function
+//! value at the minterm where variable `i` takes bit `i` of `m`. For
+//! functions of up to 6 variables the whole table fits in one `u64`; the
+//! hexadecimal rendering matches the notation used throughout the paper
+//! (e.g. the running example `0x8ff8`).
+
+use std::fmt;
+use std::ops::{BitAnd, BitOr, BitXor, Not};
+
+use crate::error::TruthTableError;
+
+/// Maximum supported number of variables.
+pub const MAX_VARS: usize = 16;
+
+/// Masks used to extract the positive cofactor of variables 0–5 within a
+/// single word (the standard "magic numbers" of truth-table manipulation).
+const VAR_MASK: [u64; 6] = [
+    0xAAAA_AAAA_AAAA_AAAA,
+    0xCCCC_CCCC_CCCC_CCCC,
+    0xF0F0_F0F0_F0F0_F0F0,
+    0xFF00_FF00_FF00_FF00,
+    0xFFFF_0000_FFFF_0000,
+    0xFFFF_FFFF_0000_0000,
+];
+
+/// A Boolean function of `num_vars` inputs, stored as a packed truth
+/// table.
+///
+/// # Examples
+///
+/// ```
+/// use stp_tt::TruthTable;
+///
+/// let a = TruthTable::variable(2, 0)?;
+/// let b = TruthTable::variable(2, 1)?;
+/// let and = a.clone() & b.clone();
+/// assert_eq!(and.to_hex(), "8");
+/// assert_eq!((a | b).to_hex(), "e");
+/// # Ok::<(), stp_tt::TruthTableError>(())
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TruthTable {
+    num_vars: usize,
+    words: Vec<u64>,
+}
+
+fn words_for(num_vars: usize) -> usize {
+    if num_vars <= 6 {
+        1
+    } else {
+        1 << (num_vars - 6)
+    }
+}
+
+fn used_mask(num_vars: usize) -> u64 {
+    if num_vars >= 6 {
+        u64::MAX
+    } else {
+        (1u64 << (1 << num_vars)) - 1
+    }
+}
+
+impl TruthTable {
+    fn check_vars(num_vars: usize) -> Result<(), TruthTableError> {
+        if num_vars > MAX_VARS {
+            Err(TruthTableError::TooManyVariables { requested: num_vars, max: MAX_VARS })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// The constant function.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TruthTableError::TooManyVariables`] if
+    /// `num_vars > MAX_VARS`.
+    pub fn constant(num_vars: usize, value: bool) -> Result<Self, TruthTableError> {
+        Self::check_vars(num_vars)?;
+        let mut words = vec![if value { u64::MAX } else { 0 }; words_for(num_vars)];
+        if value {
+            let mask = used_mask(num_vars);
+            if let Some(w) = words.last_mut() {
+                *w &= mask;
+            }
+        }
+        Ok(TruthTable { num_vars, words })
+    }
+
+    /// The projection onto variable `var`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TruthTableError::TooManyVariables`] or
+    /// [`TruthTableError::VariableOutOfRange`].
+    pub fn variable(num_vars: usize, var: usize) -> Result<Self, TruthTableError> {
+        Self::check_vars(num_vars)?;
+        if var >= num_vars {
+            return Err(TruthTableError::VariableOutOfRange { var, num_vars });
+        }
+        let mut tt = Self::constant(num_vars, false)?;
+        if var < 6 {
+            let pattern = VAR_MASK[var] & used_mask(num_vars);
+            for w in &mut tt.words {
+                *w = pattern;
+            }
+            if num_vars < 6 {
+                tt.words[0] = VAR_MASK[var] & used_mask(num_vars);
+            }
+        } else {
+            let stride = 1usize << (var - 6);
+            for (i, w) in tt.words.iter_mut().enumerate() {
+                if (i / stride) % 2 == 1 {
+                    *w = u64::MAX;
+                }
+            }
+        }
+        Ok(tt)
+    }
+
+    /// Builds a table from raw words (LSB-first).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TruthTableError::WordCountMismatch`] when the buffer
+    /// length is wrong, or [`TruthTableError::TooManyVariables`].
+    pub fn from_words(num_vars: usize, words: Vec<u64>) -> Result<Self, TruthTableError> {
+        Self::check_vars(num_vars)?;
+        let expected = words_for(num_vars);
+        if words.len() != expected {
+            return Err(TruthTableError::WordCountMismatch { expected, got: words.len() });
+        }
+        let mut tt = TruthTable { num_vars, words };
+        tt.mask_tail();
+        Ok(tt)
+    }
+
+    /// Builds a table of ≤ 6 variables from a single word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TruthTableError::TooManyVariables`] if `num_vars > 6`.
+    pub fn from_u64(num_vars: usize, bits: u64) -> Result<Self, TruthTableError> {
+        if num_vars > 6 {
+            return Err(TruthTableError::TooManyVariables { requested: num_vars, max: 6 });
+        }
+        Ok(TruthTable { num_vars, words: vec![bits & used_mask(num_vars)] })
+    }
+
+    /// Parses a hexadecimal truth table (most significant digit first), as
+    /// written in the paper (e.g. `"8ff8"` for the running example).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TruthTableError::ParseHex`] when the digit count does not
+    /// equal `2^num_vars / 4` (with a minimum of one digit), or on invalid
+    /// digits, and [`TruthTableError::TooManyVariables`].
+    pub fn from_hex(num_vars: usize, hex: &str) -> Result<Self, TruthTableError> {
+        Self::check_vars(num_vars)?;
+        let digits = ((1usize << num_vars) / 4).max(1);
+        if hex.len() != digits {
+            return Err(TruthTableError::ParseHex {
+                reason: format!("expected {digits} hex digits for {num_vars} variables, got {}", hex.len()),
+            });
+        }
+        let mut words = vec![0u64; words_for(num_vars)];
+        for (pos, ch) in hex.chars().rev().enumerate() {
+            let v = ch.to_digit(16).ok_or_else(|| TruthTableError::ParseHex {
+                reason: format!("invalid hex digit '{ch}'"),
+            })? as u64;
+            let bit = pos * 4;
+            words[bit / 64] |= v << (bit % 64);
+        }
+        let mut tt = TruthTable { num_vars, words };
+        tt.mask_tail();
+        Ok(tt)
+    }
+
+    /// Builds a table by evaluating `f` at every minterm; the slice holds
+    /// the value of each variable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TruthTableError::TooManyVariables`].
+    pub fn from_fn<F>(num_vars: usize, mut f: F) -> Result<Self, TruthTableError>
+    where
+        F: FnMut(&[bool]) -> bool,
+    {
+        Self::check_vars(num_vars)?;
+        let mut tt = Self::constant(num_vars, false)?;
+        let mut assign = vec![false; num_vars];
+        for m in 0..(1usize << num_vars) {
+            for (i, slot) in assign.iter_mut().enumerate() {
+                *slot = (m >> i) & 1 == 1;
+            }
+            if f(&assign) {
+                tt.words[m / 64] |= 1u64 << (m % 64);
+            }
+        }
+        Ok(tt)
+    }
+
+    fn mask_tail(&mut self) {
+        if self.num_vars < 6 {
+            let mask = used_mask(self.num_vars);
+            self.words[0] &= mask;
+        }
+    }
+
+    /// Number of input variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of minterms, `2^num_vars`.
+    pub fn num_bits(&self) -> usize {
+        1 << self.num_vars
+    }
+
+    /// The packed words (LSB-first).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// The function value at minterm `m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m >= 2^num_vars`.
+    pub fn bit(&self, m: usize) -> bool {
+        assert!(m < self.num_bits(), "minterm {m} out of range");
+        (self.words[m / 64] >> (m % 64)) & 1 == 1
+    }
+
+    /// Evaluates the function at an assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assign.len() != num_vars`.
+    pub fn eval(&self, assign: &[bool]) -> bool {
+        assert_eq!(assign.len(), self.num_vars, "assignment length mismatch");
+        let mut m = 0usize;
+        for (i, &v) in assign.iter().enumerate() {
+            if v {
+                m |= 1 << i;
+            }
+        }
+        self.bit(m)
+    }
+
+    /// Number of minterms where the function is true.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Returns the cofactor with `var` fixed to `value`, as a table over
+    /// the **same** variable set (the fixed variable becomes a don't-care).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= num_vars`.
+    pub fn cofactor(&self, var: usize, value: bool) -> TruthTable {
+        assert!(var < self.num_vars, "variable {var} out of range");
+        let mut out = self.clone();
+        if var < 6 {
+            let shift = 1usize << var;
+            let mask = VAR_MASK[var];
+            for w in &mut out.words {
+                if value {
+                    let hi = *w & mask;
+                    *w = hi | (hi >> shift);
+                } else {
+                    let lo = *w & !mask;
+                    *w = lo | (lo << shift);
+                }
+            }
+        } else {
+            let stride = 1usize << (var - 6);
+            let n = out.words.len();
+            for i in 0..n {
+                let block = i / stride;
+                let src = if value {
+                    (block | 1) * stride + (i % stride)
+                } else {
+                    (block & !1usize) * stride + (i % stride)
+                };
+                out.words[i] = self.words[src];
+            }
+        }
+        out.mask_tail();
+        out
+    }
+
+    /// `true` when the function's value depends on `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= num_vars`.
+    pub fn depends_on(&self, var: usize) -> bool {
+        self.cofactor(var, false) != self.cofactor(var, true)
+    }
+
+    /// The set of variables the function depends on, ascending.
+    pub fn support(&self) -> Vec<usize> {
+        (0..self.num_vars).filter(|&v| self.depends_on(v)).collect()
+    }
+
+    /// Negates input `var` (swaps its cofactors).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= num_vars`.
+    pub fn flip_input(&self, var: usize) -> TruthTable {
+        assert!(var < self.num_vars, "variable {var} out of range");
+        let mut out = self.clone();
+        if var < 6 {
+            let shift = 1usize << var;
+            let mask = VAR_MASK[var];
+            for w in &mut out.words {
+                *w = ((*w & mask) >> shift) | ((*w & !mask) << shift);
+            }
+        } else {
+            let stride = 1usize << (var - 6);
+            let n = out.words.len();
+            for i in 0..n {
+                let block = i / stride;
+                let src = (block ^ 1) * stride + (i % stride);
+                out.words[i] = self.words[src];
+            }
+        }
+        out.mask_tail();
+        out
+    }
+
+    /// Applies an input permutation: variable `i` of the result reads the
+    /// value that variable `perm[i]` read before (`g(x) = f(x ∘ perm)` in
+    /// the sense that minterm bits are rearranged so position `i` receives
+    /// old position `perm[i]`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TruthTableError::InvalidPermutation`] when `perm` is not
+    /// a permutation of `0..num_vars`.
+    pub fn permute(&self, perm: &[usize]) -> Result<TruthTable, TruthTableError> {
+        if perm.len() != self.num_vars {
+            return Err(TruthTableError::InvalidPermutation);
+        }
+        let mut seen = vec![false; self.num_vars];
+        for &p in perm {
+            if p >= self.num_vars || seen[p] {
+                return Err(TruthTableError::InvalidPermutation);
+            }
+            seen[p] = true;
+        }
+        let mut out = TruthTable::constant(self.num_vars, false)
+            .expect("same variable count is valid");
+        for m in 0..self.num_bits() {
+            if self.bit(m) {
+                // Minterm m assigns old variable j the bit (m >> j) & 1;
+                // in the new table, variable i holds what old perm[i] held.
+                let mut nm = 0usize;
+                for (i, &p) in perm.iter().enumerate() {
+                    if (m >> p) & 1 == 1 {
+                        nm |= 1 << i;
+                    }
+                }
+                out.words[nm / 64] |= 1u64 << (nm % 64);
+            }
+        }
+        Ok(out)
+    }
+
+    /// `true` for constants and (possibly complemented) single-variable
+    /// projections — the functions that never cost a gate.
+    pub fn is_trivial(&self) -> bool {
+        let ones = self.count_ones();
+        if ones == 0 || ones == self.num_bits() {
+            return true;
+        }
+        for v in 0..self.num_vars {
+            match TruthTable::variable(self.num_vars, v) {
+                Ok(proj) => {
+                    if *self == proj || *self == proj.clone().not() {
+                        return true;
+                    }
+                }
+                Err(_) => unreachable!("v < num_vars"),
+            }
+        }
+        false
+    }
+
+    /// Renders as lowercase hexadecimal, most significant digit first,
+    /// matching the paper's `0x…` notation (without the prefix).
+    pub fn to_hex(&self) -> String {
+        let digits = (self.num_bits() / 4).max(1);
+        let mut out = String::with_capacity(digits);
+        for d in (0..digits).rev() {
+            let bit = d * 4;
+            let nibble = if self.num_bits() < 4 {
+                self.words[0] & used_mask(self.num_vars)
+            } else {
+                (self.words[bit / 64] >> (bit % 64)) & 0xf
+            };
+            out.push(char::from_digit(nibble as u32, 16).expect("nibble < 16"));
+        }
+        out
+    }
+
+    /// Extends the table to `new_num_vars` variables (the new variables
+    /// are don't-cares).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TruthTableError::TooManyVariables`] when the target
+    /// exceeds [`MAX_VARS`], or [`TruthTableError::VariableOutOfRange`]
+    /// when shrinking is requested.
+    pub fn extend_to(&self, new_num_vars: usize) -> Result<TruthTable, TruthTableError> {
+        Self::check_vars(new_num_vars)?;
+        if new_num_vars < self.num_vars {
+            return Err(TruthTableError::VariableOutOfRange {
+                var: new_num_vars,
+                num_vars: self.num_vars,
+            });
+        }
+        TruthTable::from_fn(new_num_vars, |assign| self.eval(&assign[..self.num_vars]))
+    }
+
+    /// Restricts the table to its first `new_num_vars` variables.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TruthTableError::VariableOutOfRange`] when the function
+    /// depends on a dropped variable.
+    pub fn shrink_to(&self, new_num_vars: usize) -> Result<TruthTable, TruthTableError> {
+        for v in new_num_vars..self.num_vars {
+            if self.depends_on(v) {
+                return Err(TruthTableError::VariableOutOfRange { var: v, num_vars: new_num_vars });
+            }
+        }
+        TruthTable::from_fn(new_num_vars, |assign| {
+            let mut full = assign.to_vec();
+            full.resize(self.num_vars, false);
+            self.eval(&full)
+        })
+    }
+
+    /// Combines two equal-arity tables with a 2-input operator given as a
+    /// 4-bit truth table (`tt2` bit `a + 2b` is `σ(a, b)`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TruthTableError::ArityMismatch`] when the variable counts
+    /// differ.
+    pub fn binary_op(&self, tt2: u8, rhs: &TruthTable) -> Result<TruthTable, TruthTableError> {
+        if self.num_vars != rhs.num_vars {
+            return Err(TruthTableError::ArityMismatch {
+                left: self.num_vars,
+                right: rhs.num_vars,
+            });
+        }
+        let mut out = self.clone();
+        for (w, (&a, &b)) in out.words.iter_mut().zip(self.words.iter().zip(&rhs.words)) {
+            let mut v = 0u64;
+            if tt2 & 0b0001 != 0 {
+                v |= !a & !b;
+            }
+            if tt2 & 0b0010 != 0 {
+                v |= a & !b;
+            }
+            if tt2 & 0b0100 != 0 {
+                v |= !a & b;
+            }
+            if tt2 & 0b1000 != 0 {
+                v |= a & b;
+            }
+            *w = v;
+        }
+        out.mask_tail();
+        Ok(out)
+    }
+}
+
+impl Not for TruthTable {
+    type Output = TruthTable;
+
+    fn not(mut self) -> TruthTable {
+        for w in &mut self.words {
+            *w = !*w;
+        }
+        self.mask_tail();
+        self
+    }
+}
+
+impl BitAnd for TruthTable {
+    type Output = TruthTable;
+
+    /// # Panics
+    ///
+    /// Panics if the variable counts differ; use
+    /// [`TruthTable::binary_op`] for a fallible version.
+    fn bitand(self, rhs: TruthTable) -> TruthTable {
+        self.binary_op(0b1000, &rhs).expect("operand arities must match")
+    }
+}
+
+impl BitOr for TruthTable {
+    type Output = TruthTable;
+
+    /// # Panics
+    ///
+    /// Panics if the variable counts differ; use
+    /// [`TruthTable::binary_op`] for a fallible version.
+    fn bitor(self, rhs: TruthTable) -> TruthTable {
+        self.binary_op(0b1110, &rhs).expect("operand arities must match")
+    }
+}
+
+impl BitXor for TruthTable {
+    type Output = TruthTable;
+
+    /// # Panics
+    ///
+    /// Panics if the variable counts differ; use
+    /// [`TruthTable::binary_op`] for a fallible version.
+    fn bitxor(self, rhs: TruthTable) -> TruthTable {
+        self.binary_op(0b0110, &rhs).expect("operand arities must match")
+    }
+}
+
+impl fmt::Debug for TruthTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TruthTable({} vars, 0x{})", self.num_vars, self.to_hex())
+    }
+}
+
+impl fmt::Display for TruthTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{}", self.to_hex())
+    }
+}
+
+impl fmt::LowerHex for TruthTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variables_have_expected_patterns() {
+        let a = TruthTable::variable(2, 0).unwrap();
+        let b = TruthTable::variable(2, 1).unwrap();
+        assert_eq!(a.words()[0], 0b1010);
+        assert_eq!(b.words()[0], 0b1100);
+    }
+
+    #[test]
+    fn hex_round_trip() {
+        let tt = TruthTable::from_hex(4, "8ff8").unwrap();
+        assert_eq!(tt.to_hex(), "8ff8");
+        assert_eq!(tt.words()[0], 0x8ff8);
+        assert_eq!(format!("{tt}"), "0x8ff8");
+    }
+
+    #[test]
+    fn hex_rejects_bad_input() {
+        assert!(TruthTable::from_hex(4, "8ff").is_err());
+        assert!(TruthTable::from_hex(4, "8fg8").is_err());
+    }
+
+    #[test]
+    fn hex_eight_variables() {
+        let hex = "0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef";
+        let tt = TruthTable::from_hex(8, hex).unwrap();
+        assert_eq!(tt.to_hex(), hex);
+        assert_eq!(tt.words().len(), 4);
+    }
+
+    #[test]
+    fn operators_match_pointwise_semantics() {
+        let a = TruthTable::variable(3, 0).unwrap();
+        let b = TruthTable::variable(3, 2).unwrap();
+        let and = a.clone() & b.clone();
+        let or = a.clone() | b.clone();
+        let xor = a.clone() ^ b.clone();
+        for m in 0..8 {
+            let av = m & 1 == 1;
+            let bv = (m >> 2) & 1 == 1;
+            assert_eq!(and.bit(m), av & bv);
+            assert_eq!(or.bit(m), av | bv);
+            assert_eq!(xor.bit(m), av ^ bv);
+        }
+    }
+
+    #[test]
+    fn not_masks_tail() {
+        let f = TruthTable::constant(2, false).unwrap();
+        let t = !f;
+        assert_eq!(t.words()[0], 0b1111);
+        assert_eq!(t.count_ones(), 4);
+    }
+
+    #[test]
+    fn eval_agrees_with_bit() {
+        let tt = TruthTable::from_hex(4, "6996").unwrap();
+        for m in 0..16 {
+            let assign: Vec<bool> = (0..4).map(|i| (m >> i) & 1 == 1).collect();
+            assert_eq!(tt.eval(&assign), tt.bit(m));
+        }
+    }
+
+    #[test]
+    fn cofactor_small_vars() {
+        // f = a XOR b: cofactor a=1 is !b, a=0 is b.
+        let a = TruthTable::variable(2, 0).unwrap();
+        let b = TruthTable::variable(2, 1).unwrap();
+        let f = a ^ b.clone();
+        assert_eq!(f.cofactor(0, true), !b.clone());
+        assert_eq!(f.cofactor(0, false), b);
+    }
+
+    #[test]
+    fn cofactor_large_vars() {
+        // 7-variable function depending on variable 6.
+        let v6 = TruthTable::variable(7, 6).unwrap();
+        let v0 = TruthTable::variable(7, 0).unwrap();
+        let f = v6.clone() & v0.clone();
+        assert_eq!(f.cofactor(6, true), v0);
+        assert_eq!(f.cofactor(6, false), TruthTable::constant(7, false).unwrap());
+    }
+
+    #[test]
+    fn support_and_depends_on() {
+        let a = TruthTable::variable(4, 0).unwrap();
+        let c = TruthTable::variable(4, 2).unwrap();
+        let f = a & c;
+        assert_eq!(f.support(), vec![0, 2]);
+        assert!(f.depends_on(0));
+        assert!(!f.depends_on(1));
+        assert!(!f.depends_on(3));
+    }
+
+    #[test]
+    fn flip_input_is_involution() {
+        let tt = TruthTable::from_hex(4, "cafe").unwrap();
+        for v in 0..4 {
+            assert_eq!(tt.flip_input(v).flip_input(v), tt);
+        }
+    }
+
+    #[test]
+    fn flip_input_large_var() {
+        let tt = TruthTable::variable(7, 6).unwrap();
+        assert_eq!(tt.flip_input(6), !TruthTable::variable(7, 6).unwrap());
+    }
+
+    #[test]
+    fn permute_identity_and_swap() {
+        let tt = TruthTable::from_hex(3, "d8").unwrap();
+        assert_eq!(tt.permute(&[0, 1, 2]).unwrap(), tt);
+        let swapped = tt.permute(&[1, 0, 2]).unwrap();
+        // Swapping twice restores.
+        assert_eq!(swapped.permute(&[1, 0, 2]).unwrap(), tt);
+        // Semantics: new var 0 reads old var 1.
+        for m in 0..8usize {
+            let assign: Vec<bool> = (0..3).map(|i| (m >> i) & 1 == 1).collect();
+            let old = [assign[1], assign[0], assign[2]];
+            assert_eq!(swapped.eval(&assign), tt.eval(&old));
+        }
+    }
+
+    #[test]
+    fn permute_rejects_non_permutations() {
+        let tt = TruthTable::constant(3, false).unwrap();
+        assert!(tt.permute(&[0, 0, 1]).is_err());
+        assert!(tt.permute(&[0, 1]).is_err());
+        assert!(tt.permute(&[0, 1, 3]).is_err());
+    }
+
+    #[test]
+    fn trivial_functions_detected() {
+        assert!(TruthTable::constant(3, true).unwrap().is_trivial());
+        assert!(TruthTable::constant(3, false).unwrap().is_trivial());
+        assert!(TruthTable::variable(3, 1).unwrap().is_trivial());
+        assert!((!TruthTable::variable(3, 1).unwrap()).is_trivial());
+        let a = TruthTable::variable(3, 0).unwrap();
+        let b = TruthTable::variable(3, 1).unwrap();
+        assert!(!(a & b).is_trivial());
+    }
+
+    #[test]
+    fn extend_and_shrink() {
+        let a2 = TruthTable::variable(2, 0).unwrap();
+        let a4 = a2.extend_to(4).unwrap();
+        assert_eq!(a4, TruthTable::variable(4, 0).unwrap());
+        assert_eq!(a4.shrink_to(2).unwrap(), a2);
+        // Shrinking away a support variable fails.
+        let d = TruthTable::variable(4, 3).unwrap();
+        assert!(d.shrink_to(2).is_err());
+    }
+
+    #[test]
+    fn binary_op_arity_mismatch() {
+        let a = TruthTable::constant(2, true).unwrap();
+        let b = TruthTable::constant(3, true).unwrap();
+        assert!(a.binary_op(0b1000, &b).is_err());
+    }
+
+    #[test]
+    fn from_fn_matches_direct_construction() {
+        let maj = TruthTable::from_fn(3, |a| {
+            (a[0] as u8 + a[1] as u8 + a[2] as u8) >= 2
+        })
+        .unwrap();
+        assert_eq!(maj.to_hex(), "e8");
+    }
+
+    #[test]
+    fn count_ones_examples() {
+        assert_eq!(TruthTable::from_hex(4, "8ff8").unwrap().count_ones(), 10);
+        assert_eq!(TruthTable::variable(6, 3).unwrap().count_ones(), 32);
+    }
+
+    #[test]
+    fn too_many_variables_rejected() {
+        assert!(TruthTable::constant(MAX_VARS + 1, false).is_err());
+        assert!(TruthTable::from_u64(7, 0).is_err());
+    }
+
+    #[test]
+    fn single_variable_table() {
+        let x = TruthTable::variable(1, 0).unwrap();
+        assert_eq!(x.words()[0], 0b10);
+        assert_eq!(x.to_hex(), "2");
+        // One variable, two minterms, one hex digit.
+        assert_eq!(TruthTable::from_hex(1, "2").unwrap(), x);
+    }
+
+    #[test]
+    fn zero_variable_table() {
+        let t = TruthTable::constant(0, true).unwrap();
+        assert_eq!(t.num_bits(), 1);
+        assert!(t.bit(0));
+        assert_eq!(t.to_hex(), "1");
+        assert!(t.eval(&[]));
+    }
+}

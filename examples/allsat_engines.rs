@@ -1,0 +1,102 @@
+//! Two AllSAT engines, one answer: the STP canonical-form solver vs the
+//! CDCL solver with blocking clauses.
+//!
+//! The paper's circuit solver builds on the authors' STP AllSAT work
+//! (its ref. [14]); this example runs the same CNF formulas through the
+//! STP route (conjoin clause canonical forms, read all `[1 0]^T`
+//! columns) and through the CDCL route (solve + block, repeat), and
+//! checks that both enumerate identical model sets.
+//!
+//! Run with: `cargo run --release --example allsat_engines`
+
+use std::error::Error;
+use std::time::Instant;
+
+use stp_repro::matrix::{solve_cnf_all, CnfLit};
+use stp_repro::sat::{Lit, Solver, Var};
+
+/// Pigeonhole clauses: `p` pigeons into `h` holes (variable `h·i + j` =
+/// pigeon `i` in hole `j`).
+fn pigeonhole(p: usize, h: usize) -> (usize, Vec<Vec<(usize, bool)>>) {
+    let mut clauses = Vec::new();
+    for i in 0..p {
+        clauses.push((0..h).map(|j| (h * i + j, true)).collect());
+    }
+    for j in 0..h {
+        for i1 in 0..p {
+            for i2 in (i1 + 1)..p {
+                clauses.push(vec![(h * i1 + j, false), (h * i2 + j, false)]);
+            }
+        }
+    }
+    (p * h, clauses)
+}
+
+fn run(name: &str, num_vars: usize, clauses: &[Vec<(usize, bool)>]) -> Result<(), Box<dyn Error>> {
+    // STP route.
+    let stp_clauses: Vec<Vec<CnfLit>> = clauses
+        .iter()
+        .map(|c| c.iter().map(|&(v, pos)| CnfLit { var: v, positive: pos }).collect())
+        .collect();
+    let t0 = Instant::now();
+    let stp = solve_cnf_all(&stp_clauses, num_vars)?;
+    let stp_time = t0.elapsed();
+
+    // CDCL route.
+    let t0 = Instant::now();
+    let mut solver = Solver::new();
+    let vars: Vec<Var> = (0..num_vars).map(|_| solver.new_var()).collect();
+    for c in clauses {
+        let lits: Vec<Lit> = c.iter().map(|&(v, pos)| Lit::with_polarity(vars[v], pos)).collect();
+        solver.add_clause(&lits);
+    }
+    let mut cdcl_models = Vec::new();
+    solver.solve_all(|m| {
+        let bits: Vec<bool> = vars.iter().map(|v| m[v.index()]).collect();
+        cdcl_models.push(bits);
+        true
+    });
+    let cdcl_time = t0.elapsed();
+
+    cdcl_models.sort();
+    assert_eq!(
+        stp.solutions, cdcl_models,
+        "the two engines must enumerate identical model sets"
+    );
+    println!(
+        "{name:<28} {:>6} models | STP {:>10.3?} | CDCL {:>10.3?}",
+        stp.len(),
+        stp_time,
+        cdcl_time
+    );
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn Error>> {
+    println!("formula                      models   STP canonical      CDCL+blocking\n");
+    // Three pigeons, three holes: 6 models (the permutations).
+    let (nv, cls) = pigeonhole(3, 3);
+    run("pigeonhole(3,3)", nv, &cls)?;
+    // Four pigeons, three holes: UNSAT, 0 models.
+    let (nv, cls) = pigeonhole(4, 3);
+    run("pigeonhole(4,3) [UNSAT]", nv, &cls)?;
+    // XOR chain over 10 variables: 512 models.
+    let n = 10usize;
+    let mut clauses = Vec::new();
+    for i in 0..(n - 1) {
+        // t_{i+1} = t_i ^ x_{i+1} encoded directly over x's is complex;
+        // instead constrain overall parity via all odd-weight clauses of
+        // a compact ladder: x_i ^ x_{i+1} ∨ … — use simple pairwise
+        // encoding: (x_i ∨ x_{i+1}) ∧ (¬x_i ∨ ¬x_{i+1}) chains force
+        // alternation: exactly 2 models.
+        clauses.push(vec![(i, true), (i + 1, true)]);
+        clauses.push(vec![(i, false), (i + 1, false)]);
+    }
+    run("alternation ladder (10)", n, &clauses)?;
+    println!(
+        "\nthe STP engine computes the whole solution set in one canonical form;\n\
+         the CDCL engine re-solves once per model — the contrast behind the\n\
+         paper's one-pass AllSAT claim."
+    );
+    Ok(())
+}

@@ -1,0 +1,87 @@
+//! DSD workloads: the FDSD/PDSD contrast that drives Table I.
+//!
+//! Generates fully- and partially-DSD-decomposable 6-input functions
+//! (the paper's FDSD6 / PDSD6 suites) and races the STP engine against
+//! the BMS CNF baseline on each, showing why STP excels on DSD
+//! structure: the quartering factorization walks straight down a
+//! decomposable function, while CNF search must rediscover the
+//! structure clause by clause.
+//!
+//! Run with: `cargo run --release --example dsd_workloads`
+
+use std::error::Error;
+use std::time::{Duration, Instant};
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use stp_repro::baselines::{bms_synthesize, BaselineConfig, BaselineError};
+use stp_repro::synth::{synthesize, SynthesisConfig, SynthesisError};
+use stp_repro::tt::{is_full_dsd, random_fdsd, random_pdsd, TruthTable};
+
+const TIMEOUT: Duration = Duration::from_secs(10);
+
+fn race(label: &str, spec: &TruthTable) -> Result<(), Box<dyn Error>> {
+    println!("\n{label}: f = 0x{} (full DSD: {})", spec.to_hex(), is_full_dsd(spec));
+
+    let t0 = Instant::now();
+    let stp = synthesize(
+        spec,
+        &SynthesisConfig { deadline: Some(t0 + TIMEOUT), ..SynthesisConfig::default() },
+    );
+    let stp_time = t0.elapsed();
+    match &stp {
+        Ok(r) => println!(
+            "  STP : {:>9.3?}  {} gates, {} solutions",
+            stp_time,
+            r.gate_count,
+            r.chains.len()
+        ),
+        Err(SynthesisError::Timeout) => println!("  STP : timeout after {TIMEOUT:?}"),
+        Err(e) => println!("  STP : error: {e}"),
+    }
+
+    let t0 = Instant::now();
+    let bms = bms_synthesize(
+        spec,
+        &BaselineConfig { deadline: Some(t0 + TIMEOUT), ..BaselineConfig::default() },
+    );
+    let bms_time = t0.elapsed();
+    match &bms {
+        Ok(r) => println!("  BMS : {:>9.3?}  {} gates, 1 solution", bms_time, r.gate_count),
+        Err(BaselineError::Timeout) => println!("  BMS : timeout after {TIMEOUT:?}"),
+        Err(e) => println!("  BMS : error: {e}"),
+    }
+
+    if let (Ok(s), Ok(b)) = (&stp, &bms) {
+        if s.gate_count == b.gate_count {
+            println!("  both engines agree on the optimum: {} gates", s.gate_count);
+        } else {
+            println!(
+                "  note: STP found {} gates within its topology family, BMS found {}",
+                s.gate_count, b.gate_count
+            );
+        }
+    }
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let mut rng = SmallRng::seed_from_u64(2023);
+
+    println!("=== fully-DSD 6-input functions (the paper's FDSD6) ===");
+    for i in 0..3 {
+        race(&format!("FDSD6 #{}", i + 1), &random_fdsd(6, &mut rng))?;
+    }
+
+    println!("\n=== partially-DSD 6-input functions (the paper's PDSD6) ===");
+    for i in 0..2 {
+        race(&format!("PDSD6 #{}", i + 1), &random_pdsd(6, 3, &mut rng))?;
+    }
+
+    println!(
+        "\nFDSD functions factor straight through the STP quartering test;\n\
+         PDSD functions embed a prime block, forcing shared-variable splits\n\
+         (the paper's M_r case) and narrowing STP's edge — the Table I shape."
+    );
+    Ok(())
+}

@@ -1,0 +1,57 @@
+//! NPN4 survey: synthesize every 4-input NPN class with the STP engine.
+//!
+//! Reproduces the flavour of the paper's NPN4 row of Table I on one
+//! suite: all 222 classes are solved, and the example prints the
+//! distribution of optimum gate counts and of solution-set sizes (the
+//! paper reports an average of 24 solutions per NPN4 instance).
+//!
+//! Run with: `cargo run --release --example npn4_survey`
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::time::Instant;
+
+use stp_repro::synth::synthesize_default;
+use stp_repro::tt::npn_classes;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let classes = npn_classes(4);
+    println!("NPN4: {} classes", classes.len());
+
+    let start = Instant::now();
+    let mut by_gates: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut total_solutions = 0usize;
+    let mut hardest = (0usize, String::new());
+    for tt in &classes {
+        let t0 = Instant::now();
+        let result = synthesize_default(tt)?;
+        let dt = t0.elapsed();
+        *by_gates.entry(result.gate_count).or_default() += 1;
+        total_solutions += result.chains.len();
+        if result.gate_count > hardest.0 {
+            hardest = (result.gate_count, format!("0x{}", tt.to_hex()));
+        }
+        // Every returned chain must simulate to the class representative.
+        for chain in &result.chains {
+            assert_eq!(chain.simulate_outputs()?[0], *tt);
+        }
+        if dt.as_secs() >= 2 {
+            println!("  slow class 0x{}: {:?} ({} gates)", tt.to_hex(), dt, result.gate_count);
+        }
+    }
+    let elapsed = start.elapsed();
+
+    println!("\noptimum gate-count distribution:");
+    for (gates, count) in &by_gates {
+        println!("  {gates} gates: {count:>3} classes  {}", "#".repeat(*count / 2));
+    }
+    println!(
+        "\nmean solutions per class: {:.1}   (paper reports 24 for its coupled factorization;\n\
+         this engine enumerates the full AllSAT superset — see DESIGN.md)",
+        total_solutions as f64 / classes.len() as f64
+    );
+    println!("hardest class: {} with {} gates", hardest.1, hardest.0);
+    println!("total wall-clock: {elapsed:?} ({:.3} s/class mean)",
+        elapsed.as_secs_f64() / classes.len() as f64);
+    Ok(())
+}

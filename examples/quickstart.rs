@@ -1,0 +1,58 @@
+//! Quickstart: STP-based exact synthesis of the paper's running example.
+//!
+//! Synthesizes `f = 0x8ff8` (Example 7), prints **all** optimum 2-LUT
+//! chains found in one pass, verifies each with the STP circuit AllSAT
+//! solver (Example 8), and demonstrates cost-aware solution selection.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use std::collections::HashMap;
+use std::error::Error;
+
+use stp_repro::chain::CostModel;
+use stp_repro::synth::{solve_circuit, synthesize_default};
+use stp_repro::tt::TruthTable;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let spec = TruthTable::from_hex(4, "8ff8")?;
+    println!("specification: {spec} (4 inputs, {} ON-minterms)", spec.count_ones());
+
+    let result = synthesize_default(&spec)?;
+    println!(
+        "\noptimum gate count: {} ({} solutions in one pass, {} topologies explored)",
+        result.gate_count,
+        result.chains.len(),
+        result.shapes_explored
+    );
+
+    for (i, chain) in result.chains.iter().enumerate() {
+        println!("\nsolution {}:", i + 1);
+        print!("{chain}");
+        // Verify with the circuit AllSAT solver (the paper's step iv /
+        // Example 8).
+        let solutions = solve_circuit(chain, &[true]);
+        let f_s = solutions.to_truth_table()?;
+        println!(
+            "  circuit solver: {} satisfying assignments, f_s = {f_s} ({})",
+            solutions.full_assignments().len(),
+            if f_s == spec { "matches spec" } else { "MISMATCH" }
+        );
+    }
+
+    // Because all solutions are generic 2-LUTs, downstream cost models
+    // can pick different winners (the flexibility the paper advertises).
+    let by_depth = result.best_by(&CostModel::Depth).expect("solutions exist");
+    println!("\nminimum depth among solutions: {}", by_depth.depth());
+
+    let mut xor_is_expensive = HashMap::new();
+    xor_is_expensive.insert(0x6u8, 5u64);
+    xor_is_expensive.insert(0x9u8, 5u64);
+    let model = CostModel::WeightedOps { weights: xor_is_expensive, default: 1 };
+    let cheap = result.best_by(&model).expect("solutions exist");
+    println!(
+        "cheapest under XOR-costs-5 model: cost {} using ops {:?}",
+        cheap.cost(&model),
+        cheap.gates().iter().map(|g| format!("0x{:x}", g.tt2)).collect::<Vec<_>>()
+    );
+    Ok(())
+}

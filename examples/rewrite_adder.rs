@@ -1,0 +1,76 @@
+//! DAG-aware rewriting with STP exact synthesis — the paper's
+//! motivating application (its ref. [2], DATE'19).
+//!
+//! Builds textbook circuits (ripple-carry adder, comparator, mux tree),
+//! rewrites them by replacing 4-cut cones with exact-synthesis optima
+//! (cached per NPN class), and verifies functional equivalence by
+//! exhaustive simulation.
+//!
+//! Run with: `cargo run --release --example rewrite_adder`
+
+use std::error::Error;
+use std::time::Instant;
+
+use stp_repro::network::{
+    equality_comparator, mux_tree, rewrite, ripple_carry_adder, ripple_carry_adder_sop, Network,
+    RewriteConfig, SynthesisCache,
+};
+
+fn optimize(name: &str, net: &Network, cache: &mut SynthesisCache) -> Result<(), Box<dyn Error>> {
+    let before = net.simulate_outputs()?;
+    let t0 = Instant::now();
+    let result = rewrite(net, &RewriteConfig::default(), cache)?;
+    let after = result.network.simulate_outputs()?;
+    assert_eq!(before, after, "rewriting must preserve functionality");
+    println!(
+        "{name:<22} {:>4} -> {:>4} gates ({} replacements, {} passes, {:?})",
+        result.gates_before,
+        result.gates_after,
+        result.replacements.len(),
+        result.passes,
+        t0.elapsed()
+    );
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // The NPN-class cache is shared across all circuits: exact
+    // synthesis runs once per class, exactly the economics the paper's
+    // speedups target.
+    let mut cache = SynthesisCache::new();
+
+    println!("circuit                before   after");
+    for bits in [2usize, 3, 4] {
+        optimize(
+            &format!("ripple_carry_adder({bits})"),
+            &ripple_carry_adder(bits)?,
+            &mut cache,
+        )?;
+    }
+    for bits in [2usize, 3] {
+        optimize(
+            &format!("adder_sop({bits})"),
+            &ripple_carry_adder_sop(bits)?,
+            &mut cache,
+        )?;
+    }
+    for bits in [3usize, 4] {
+        optimize(
+            &format!("equality_comparator({bits})"),
+            &equality_comparator(bits)?,
+            &mut cache,
+        )?;
+    }
+    optimize("mux_tree(2)", &mux_tree(2)?, &mut cache)?;
+
+    println!(
+        "\nsynthesis cache: {} NPN classes synthesized, {} cache hits",
+        cache.misses(),
+        cache.hits()
+    );
+    println!(
+        "every cut function after the first in a class is served from cache —\n\
+         the regime where the paper's per-call speedups compound."
+    );
+    Ok(())
+}

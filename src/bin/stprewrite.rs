@@ -1,0 +1,98 @@
+//! `stprewrite` — optimize a BLIF network with exact-synthesis
+//! rewriting.
+//!
+//! ```text
+//! Usage: stprewrite <input.blif> [-o <output.blif>] [--passes <n>]
+//! ```
+//!
+//! Reads a 2-LUT BLIF network, rewrites it by replacing 4-cut cones
+//! with STP-exact-synthesis optima (cached per NPN class), verifies
+//! functional equivalence by exhaustive simulation when the input count
+//! allows it, and writes the optimized BLIF.
+
+use std::process::ExitCode;
+
+use stp_repro::network::{rewrite, Network, RewriteConfig, SynthesisCache};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: stprewrite <input.blif> [-o <output.blif>] [--passes <n>]");
+        return ExitCode::FAILURE;
+    }
+    let input = &args[0];
+    let mut output: Option<String> = None;
+    let mut config = RewriteConfig::default();
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "-o" => output = it.next().cloned(),
+            "--passes" => {
+                if let Some(v) = it.next().and_then(|v| v.parse().ok()) {
+                    config.max_passes = v;
+                }
+            }
+            other => {
+                eprintln!("unknown option {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let text = match std::fs::read_to_string(input) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error reading {input}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let net = match Network::from_blif(&text) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("error parsing {input}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let checkable = net.num_inputs() <= 16;
+    let before = if checkable { net.simulate_outputs().ok() } else { None };
+    let mut cache = SynthesisCache::new();
+    let result = match rewrite(&net, &config, &mut cache) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("rewriting failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(before) = before {
+        match result.network.simulate_outputs() {
+            Ok(after) if after == before => eprintln!("equivalence: verified exhaustively"),
+            Ok(_) => {
+                eprintln!("equivalence check FAILED — refusing to write output");
+                return ExitCode::FAILURE;
+            }
+            Err(e) => eprintln!("equivalence check skipped: {e}"),
+        }
+    } else {
+        eprintln!("equivalence check skipped: more than 16 inputs");
+    }
+    eprintln!(
+        "gates: {} -> {} ({} replacements, {} passes; {} classes synthesized, {} cache hits)",
+        result.gates_before,
+        result.gates_after,
+        result.replacements.len(),
+        result.passes,
+        cache.misses(),
+        cache.hits()
+    );
+    let blif = result.network.to_blif("rewritten");
+    match output {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, blif) {
+                eprintln!("error writing {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {path}");
+        }
+        None => print!("{blif}"),
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,135 @@
+//! `stpsynth` — command-line STP exact synthesis.
+//!
+//! ```text
+//! Usage: stpsynth <hex-truth-table> <num-vars> [options]
+//!
+//! Options:
+//!   --all              print every optimum chain (default: first only)
+//!   --engine <name>    stp | stp-npn | bms | fen | abc   (default stp)
+//!   --timeout <secs>   per-instance timeout (default 60)
+//!   --verilog          emit structural Verilog for the chosen chain
+//!   --dot              emit Graphviz DOT for the chosen chain
+//! ```
+//!
+//! Example: `stpsynth 8ff8 4 --all` reproduces the paper's Example 7.
+
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use stp_repro::baselines::{abc_synthesize, bms_synthesize, fen_synthesize, BaselineConfig};
+use stp_repro::synth::{synthesize, synthesize_npn, SynthesisConfig};
+use stp_repro::tt::TruthTable;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: stpsynth <hex-truth-table> <num-vars> [--all] [--engine stp|stp-npn|bms|fen|abc] \
+         [--timeout <secs>] [--verilog] [--dot]"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 2 {
+        return usage();
+    }
+    let hex = &args[0];
+    let Ok(num_vars) = args[1].parse::<usize>() else {
+        return usage();
+    };
+    let spec = match TruthTable::from_hex(num_vars, hex.trim_start_matches("0x")) {
+        Ok(tt) => tt,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut engine = "stp".to_string();
+    let mut all = false;
+    let mut timeout = 60.0f64;
+    let mut emit_verilog = false;
+    let mut emit_dot = false;
+    let mut it = args[2..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--all" => all = true,
+            "--verilog" => emit_verilog = true,
+            "--dot" => emit_dot = true,
+            "--engine" => engine = it.next().cloned().unwrap_or_default(),
+            "--timeout" => {
+                timeout = it.next().and_then(|v| v.parse().ok()).unwrap_or(timeout);
+            }
+            other => {
+                eprintln!("unknown option {other}");
+                return usage();
+            }
+        }
+    }
+    let start = Instant::now();
+    let deadline = Some(start + Duration::from_secs_f64(timeout));
+
+    let chains = match engine.as_str() {
+        "stp" | "stp-npn" => {
+            let config = SynthesisConfig { deadline, ..SynthesisConfig::default() };
+            let result = if engine == "stp" {
+                synthesize(&spec, &config)
+            } else {
+                synthesize_npn(&spec, &config)
+            };
+            match result {
+                Ok(r) => {
+                    println!(
+                        "optimum: {} gates, {} solution(s), {:.3} s",
+                        r.gate_count,
+                        r.chains.len(),
+                        start.elapsed().as_secs_f64()
+                    );
+                    r.chains
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        "bms" | "fen" | "abc" => {
+            let config = BaselineConfig { deadline, ..BaselineConfig::default() };
+            let result = match engine.as_str() {
+                "bms" => bms_synthesize(&spec, &config),
+                "fen" => fen_synthesize(&spec, &config),
+                _ => abc_synthesize(&spec, &config),
+            };
+            match result {
+                Ok(r) => {
+                    println!(
+                        "optimum: {} gates (single solution), {:.3} s",
+                        r.gate_count,
+                        start.elapsed().as_secs_f64()
+                    );
+                    vec![r.chain]
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        other => {
+            eprintln!("unknown engine {other}");
+            return usage();
+        }
+    };
+
+    let shown: &[_] = if all { &chains } else { &chains[..1.min(chains.len())] };
+    for (i, chain) in shown.iter().enumerate() {
+        println!("\nsolution {}:", i + 1);
+        print!("{chain}");
+        if emit_verilog {
+            println!("{}", chain.to_verilog(&format!("sol{}", i + 1)));
+        }
+        if emit_dot {
+            println!("{}", chain.to_dot(&format!("sol{}", i + 1)));
+        }
+    }
+    ExitCode::SUCCESS
+}

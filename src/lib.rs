@@ -1,0 +1,28 @@
+//! Umbrella crate for the reproduction of *"Exact Synthesis Based on
+//! Semi-Tensor Product Circuit Solver"* (Pan & Chu, DATE 2023).
+//!
+//! Re-exports every workspace crate under one namespace so the examples
+//! and integration tests can depend on a single package:
+//!
+//! * [`matrix`] — semi-tensor product, logic matrices, canonical forms.
+//! * [`tt`] — truth tables, NPN classification, DSD workload generators.
+//! * [`chain`] — Boolean chains of 2-input LUT nodes.
+//! * [`fence`] — Boolean fence topology families and DAG generation.
+//! * [`network`] — multi-output 2-LUT networks, cut enumeration, and
+//!   exact-synthesis rewriting.
+//! * [`sat`] — the CDCL SAT solver used by the CNF baselines.
+//! * [`synth`] — the paper's STP-based exact synthesis engine.
+//! * [`baselines`] — the BMS / FEN / ABC-like CNF baselines.
+//!
+//! See `README.md` for a tour and `DESIGN.md` for the system inventory.
+
+#![forbid(unsafe_code)]
+
+pub use stp_baselines as baselines;
+pub use stp_chain as chain;
+pub use stp_fence as fence;
+pub use stp_matrix as matrix;
+pub use stp_network as network;
+pub use stp_sat as sat;
+pub use stp_synth as synth;
+pub use stp_tt as tt;

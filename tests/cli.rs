@@ -1,0 +1,97 @@
+//! End-to-end tests of the command-line binaries.
+
+use std::process::Command;
+
+#[test]
+fn stpsynth_reproduces_example7() {
+    let out = Command::new(env!("CARGO_BIN_EXE_stpsynth"))
+        .args(["8ff8", "4", "--all"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("optimum: 3 gates"), "stdout: {text}");
+    assert!(text.contains("solution 1:"));
+    // Both paper solutions appear among the printed chains.
+    assert!(text.contains("0xe(") || text.contains("0x7("));
+}
+
+#[test]
+fn stpsynth_baseline_engines() {
+    for engine in ["bms", "fen", "abc", "stp-npn"] {
+        let out = Command::new(env!("CARGO_BIN_EXE_stpsynth"))
+            .args(["e8", "3", "--engine", engine, "--timeout", "60"])
+            .output()
+            .expect("binary runs");
+        assert!(out.status.success(), "engine {engine}");
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(text.contains("optimum: 4 gates"), "engine {engine}: {text}");
+    }
+}
+
+#[test]
+fn stpsynth_emits_verilog() {
+    let out = Command::new(env!("CARGO_BIN_EXE_stpsynth"))
+        .args(["8", "2", "--verilog"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("module sol1"));
+    assert!(text.contains("endmodule"));
+}
+
+#[test]
+fn stpsynth_rejects_bad_input() {
+    let out = Command::new(env!("CARGO_BIN_EXE_stpsynth"))
+        .args(["zzzz", "4"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn stprewrite_optimizes_blif() {
+    // A wasteful XOR in BLIF.
+    let dir = std::env::temp_dir().join(format!("stprewrite_test_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let input = dir.join("in.blif");
+    let output = dir.join("out.blif");
+    std::fs::write(
+        &input,
+        "\
+.model waste
+.inputs a b
+.outputs f
+.names a b t1
+10 1
+.names a b t2
+01 1
+.names t1 t2 f
+1- 1
+-1 1
+.end
+",
+    )
+    .expect("write input");
+    let out = Command::new(env!("CARGO_BIN_EXE_stprewrite"))
+        .args([
+            input.to_str().expect("utf8 path"),
+            "-o",
+            output.to_str().expect("utf8 path"),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("equivalence: verified"), "stderr: {stderr}");
+    let written = std::fs::read_to_string(&output).expect("output exists");
+    // The rewritten network is the single-gate XOR.
+    let reparsed = stp_repro::network::Network::from_blif(&written).expect("valid blif");
+    assert_eq!(reparsed.live_gate_count(), 1);
+    assert_eq!(
+        reparsed.simulate_outputs().expect("simulable")[0].to_hex(),
+        "6"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

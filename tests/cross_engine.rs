@@ -1,0 +1,140 @@
+//! Cross-engine agreement: the STP engine against the three CNF
+//! baselines.
+//!
+//! * On fully-DSD functions all four engines must report the same
+//!   optimum gate count (tree topologies are sufficient there).
+//! * On arbitrary functions the STP optimum can exceed the CNF optimum
+//!   only because STP optimality is relative to its topology family
+//!   (the paper's "current topological constraints") — never the other
+//!   way around, and every STP chain must simulate to the spec.
+
+use std::time::{Duration, Instant};
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use stp_repro::baselines::{abc_synthesize, bms_synthesize, fen_synthesize, BaselineConfig};
+use stp_repro::synth::{synthesize, SynthesisConfig};
+use stp_repro::tt::{random_fdsd, TruthTable};
+
+fn deadline(secs: u64) -> Option<Instant> {
+    Some(Instant::now() + Duration::from_secs(secs))
+}
+
+#[test]
+fn engines_agree_on_fdsd_functions() {
+    let mut rng = SmallRng::seed_from_u64(99);
+    for n in [3usize, 4, 5] {
+        for _ in 0..4 {
+            let spec = random_fdsd(n, &mut rng);
+            let stp = synthesize(
+                &spec,
+                &SynthesisConfig { deadline: deadline(60), ..SynthesisConfig::default() },
+            )
+            .expect("STP solves FDSD functions");
+            let bms = bms_synthesize(
+                &spec,
+                &BaselineConfig { deadline: deadline(60), ..BaselineConfig::default() },
+            )
+            .expect("BMS solves FDSD functions");
+            assert_eq!(
+                stp.gate_count,
+                bms.gate_count,
+                "optimum mismatch on FDSD 0x{} ({n} inputs)",
+                spec.to_hex()
+            );
+            // FDSD over n distinct variables needs exactly n − 1 gates.
+            assert_eq!(stp.gate_count, n - 1);
+        }
+    }
+}
+
+#[test]
+fn stp_chains_always_simulate_to_spec() {
+    let mut rng = SmallRng::seed_from_u64(1234);
+    for _ in 0..12 {
+        let bits: u64 = rng.random_range(1..0xffff);
+        let spec = TruthTable::from_u64(4, bits).unwrap();
+        let result = synthesize(
+            &spec,
+            &SynthesisConfig { deadline: deadline(60), ..SynthesisConfig::default() },
+        );
+        if let Ok(r) = result {
+            assert!(!r.chains.is_empty());
+            for chain in &r.chains {
+                assert_eq!(
+                    chain.simulate_outputs().unwrap()[0],
+                    spec,
+                    "chain must realize 0x{}",
+                    spec.to_hex()
+                );
+                assert_eq!(chain.num_gates(), r.gate_count);
+            }
+        }
+    }
+}
+
+#[test]
+fn stp_never_beats_the_unrestricted_optimum() {
+    // The CNF optimum is the true optimum (unrestricted DAGs); STP's
+    // topology family can only match or exceed it.
+    let mut rng = SmallRng::seed_from_u64(777);
+    for _ in 0..8 {
+        let bits: u64 = rng.random_range(1..0xffff);
+        let spec = TruthTable::from_u64(4, bits).unwrap();
+        let stp = synthesize(
+            &spec,
+            &SynthesisConfig { deadline: deadline(60), ..SynthesisConfig::default() },
+        );
+        let bms = bms_synthesize(
+            &spec,
+            &BaselineConfig { deadline: deadline(60), ..BaselineConfig::default() },
+        );
+        if let (Ok(s), Ok(b)) = (stp, bms) {
+            assert!(
+                s.gate_count >= b.gate_count,
+                "STP reported {} gates below the true optimum {} on 0x{}",
+                s.gate_count,
+                b.gate_count,
+                spec.to_hex()
+            );
+        }
+    }
+}
+
+#[test]
+fn baselines_agree_with_each_other() {
+    let mut rng = SmallRng::seed_from_u64(31337);
+    for _ in 0..6 {
+        let bits: u64 = rng.random_range(1..0xff);
+        let spec = TruthTable::from_u64(3, bits).unwrap();
+        let cfg = BaselineConfig { deadline: deadline(60), ..BaselineConfig::default() };
+        let bms = bms_synthesize(&spec, &cfg).expect("3-input functions are easy");
+        let fen = fen_synthesize(&spec, &cfg).expect("3-input functions are easy");
+        let abc = abc_synthesize(&spec, &cfg).expect("3-input functions are easy");
+        assert_eq!(bms.gate_count, abc.gate_count, "BMS vs ABC on 0x{}", spec.to_hex());
+        // FEN searches the pruned fence family; like STP it may exceed
+        // the unrestricted optimum but never beat it.
+        assert!(fen.gate_count >= bms.gate_count, "FEN beat BMS on 0x{}", spec.to_hex());
+        for r in [&bms, &fen, &abc] {
+            assert_eq!(r.chain.simulate_outputs().unwrap()[0], spec);
+        }
+    }
+}
+
+#[test]
+fn all_four_engines_on_paper_example() {
+    let spec = TruthTable::from_hex(4, "8ff8").unwrap();
+    let cfg = BaselineConfig { deadline: deadline(60), ..BaselineConfig::default() };
+    let stp = synthesize(
+        &spec,
+        &SynthesisConfig { deadline: deadline(60), ..SynthesisConfig::default() },
+    )
+    .unwrap();
+    let counts = [
+        stp.gate_count,
+        bms_synthesize(&spec, &cfg).unwrap().gate_count,
+        fen_synthesize(&spec, &cfg).unwrap().gate_count,
+        abc_synthesize(&spec, &cfg).unwrap().gate_count,
+    ];
+    assert_eq!(counts, [3, 3, 3, 3]);
+}

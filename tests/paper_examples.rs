@@ -1,0 +1,232 @@
+//! Pins every worked example, figure, and numbered property of the
+//! paper to executable checks.
+
+use stp_repro::chain::{Chain, OutputRef};
+use stp_repro::fence::{all_fences, dags_for_fence, pruned_fences, Fence};
+use stp_repro::matrix::{
+    power_reducing_matrix, search_tree, solve_all, stp, variable_swap_matrix, Expr, LogicMatrix,
+    Mat,
+};
+use stp_repro::synth::{solve_circuit, synthesize_default, Factorizer, FactorConfig};
+use stp_repro::tt::TruthTable;
+
+/// Example 1: the structural matrix of negation.
+#[test]
+fn example1_negation_structural_matrix() {
+    let mn = LogicMatrix::structural_not();
+    assert_eq!(mn, Mat::from_rows(&[&[0, 1], &[1, 0]]).unwrap());
+    // ¬a = M_n ⋉ a for both Boolean vectors.
+    let t = Mat::from_rows(&[&[1], &[0]]).unwrap();
+    let f = Mat::from_rows(&[&[0], &[1]]).unwrap();
+    assert_eq!(stp(&mn, &t), f);
+    assert_eq!(stp(&mn, &f), t);
+}
+
+/// Example 2: `a → b = ¬a ∨ b`, proved by `M_d · M_n = M_i`.
+#[test]
+fn example2_implication_identity() {
+    let md = LogicMatrix::structural_or().to_mat();
+    let mn = LogicMatrix::structural_not();
+    let mi = LogicMatrix::structural_implies().to_mat();
+    assert_eq!(stp(&md, &mn), mi);
+    // And at the expression level.
+    let lhs = Expr::bin(stp_repro::matrix::BinOp::Implies, Expr::var(0), Expr::var(1));
+    let rhs = Expr::or(Expr::var(0).not(), Expr::var(1));
+    assert_eq!(
+        lhs.canonical_form(2).unwrap(),
+        rhs.canonical_form(2).unwrap()
+    );
+}
+
+/// Example 3 / eqs. (3)–(4): `a² = M_r a` and `M_w b a = a b`.
+#[test]
+fn example3_power_reduce_and_swap() {
+    let mr = power_reducing_matrix();
+    assert_eq!(
+        mr,
+        Mat::from_rows(&[&[1, 0], &[0, 0], &[0, 0], &[0, 1]]).unwrap()
+    );
+    let mw = variable_swap_matrix();
+    assert_eq!(
+        mw,
+        Mat::from_rows(&[
+            &[1, 0, 0, 0],
+            &[0, 0, 1, 0],
+            &[0, 1, 0, 0],
+            &[0, 0, 0, 1]
+        ])
+        .unwrap()
+    );
+    for a_true in [true, false] {
+        let a = if a_true {
+            Mat::from_rows(&[&[1], &[0]]).unwrap()
+        } else {
+            Mat::from_rows(&[&[0], &[1]]).unwrap()
+        };
+        assert_eq!(stp(&a, &a), stp(&mr, &a), "a² = M_r a");
+        for b_true in [true, false] {
+            let b = if b_true {
+                Mat::from_rows(&[&[1], &[0]]).unwrap()
+            } else {
+                Mat::from_rows(&[&[0], &[1]]).unwrap()
+            };
+            assert_eq!(stp(&stp(&mw, &b), &a), stp(&a, &b), "M_w b a = a b");
+        }
+    }
+}
+
+fn liar_puzzle_formula() -> Expr {
+    let (a, b, c) = (Expr::var(0), Expr::var(1), Expr::var(2));
+    Expr::and(
+        Expr::and(
+            Expr::equiv(a.clone(), b.clone().not()),
+            Expr::equiv(b.clone(), c.clone().not()),
+        ),
+        Expr::equiv(c, Expr::and(a.not(), b.not())),
+    )
+}
+
+/// Example 4: the liar-puzzle canonical form and its unique solution.
+#[test]
+fn example4_liar_puzzle() {
+    let phi = liar_puzzle_formula();
+    let m = phi.canonical_form(3).unwrap();
+    // M_Φ = [0 0 0 0 0 1 0 0 / 1 1 1 1 1 0 1 1].
+    assert_eq!(
+        m.top_row_bits(),
+        vec![false, false, false, false, false, true, false, false]
+    );
+    // The STP matrix route computes the same canonical form.
+    assert_eq!(phi.canonical_form_via_stp(3).unwrap(), m);
+    // Unique solution: a liar, b honest, c liar.
+    let result = solve_all(&m);
+    assert_eq!(result.solutions, vec![vec![false, true, false]]);
+}
+
+/// Fig. 1: the decision tree prunes the a = True branch immediately and
+/// reaches exactly one solution.
+#[test]
+fn fig1_decision_tree() {
+    let m = liar_puzzle_formula().canonical_form(3).unwrap();
+    let tree = search_tree(&m);
+    assert_eq!(tree.solution_count(), 1);
+    assert!(tree.on_true.as_ref().unwrap().pruned, "a = True is pruned");
+    assert!(!tree.on_false.as_ref().unwrap().pruned);
+}
+
+/// Fig. 2: F_3 has four fences; pruning keeps (2,1) and (1,1,1).
+#[test]
+fn fig2_fences_of_f3() {
+    assert_eq!(all_fences(3).len(), 4);
+    let pruned = pruned_fences(3);
+    let levels: Vec<&[usize]> = pruned.iter().map(|f| f.levels()).collect();
+    assert_eq!(levels, vec![&[2, 1][..], &[1, 1, 1][..]]);
+}
+
+/// Fig. 3: the valid connectivity-annotated DAGs of pruned F_3 — the
+/// balanced tree plus the two chain variants.
+#[test]
+fn fig3_valid_dags_of_f3() {
+    let fences = pruned_fences(3);
+    let balanced = dags_for_fence(&fences[0]);
+    assert_eq!(balanced.len(), 1);
+    assert_eq!(balanced[0].open_input_count(), 4);
+    let chains = dags_for_fence(&fences[1]);
+    assert_eq!(chains.len(), 2);
+    let total: usize = fences.iter().map(|f| dags_for_fence(f).len()).sum();
+    assert_eq!(total, 3);
+}
+
+/// Example 5.2: a quartered matrix with three unique parts cannot be
+/// factored.
+#[test]
+fn example5_three_unique_parts_do_not_factor() {
+    // Build f whose quarters (by the first two STP variables) are three
+    // distinct sub-functions: no 2-input top gate exists over that
+    // bipartition.  f(a,b,c,d) with quarters AND/OR/XOR/AND of (c,d).
+    let f = TruthTable::from_fn(4, |x| {
+        let (a, b, c, d) = (x[0], x[1], x[2], x[3]);
+        match (a, b) {
+            (true, true) => c & d,
+            (true, false) => c | d,
+            (false, true) => c ^ d,
+            (false, false) => c & d,
+        }
+    })
+    .unwrap();
+    // The Ashenhurst test on the split A = {a,b} must fail…
+    assert!(stp_repro::tt::try_top_decomposition(&f, 0b0011).is_none());
+    // …so no 3-gate balanced-tree factorization exists.
+    let mut engine = Factorizer::new(FactorConfig::default());
+    let leaf = stp_repro::fence::TreeShape::Leaf;
+    let pair = stp_repro::fence::TreeShape::node(leaf.clone(), leaf);
+    let balanced = stp_repro::fence::TreeShape::node(pair.clone(), pair);
+    assert!(engine.chains_on_shape(&f, &balanced).unwrap().is_empty());
+}
+
+/// Example 7: both printed chains for 0x8ff8 are found, on the Fig. 3(a)
+/// topology, at the optimum of three gates.
+#[test]
+fn example7_running_example() {
+    let spec = TruthTable::from_hex(4, "8ff8").unwrap();
+    let result = synthesize_default(&spec).unwrap();
+    assert_eq!(result.gate_count, 3);
+    let mut op_sets: Vec<Vec<u8>> = result
+        .chains
+        .iter()
+        .map(|c| {
+            let mut ops: Vec<u8> = c.gates().iter().map(|g| g.tt2).collect();
+            ops.sort_unstable();
+            ops
+        })
+        .collect();
+    op_sets.sort();
+    assert!(op_sets.contains(&vec![0x6, 0x8, 0xe]), "paper solution 1");
+    assert!(op_sets.contains(&vec![0x7, 0x7, 0x9]), "paper solution 2");
+}
+
+/// Example 8: the circuit solver finds the ten satisfying assignments
+/// of the Example 7 chain and simulates them back to f = 0x8ff8.
+#[test]
+fn example8_circuit_solver() {
+    let mut chain = Chain::new(4);
+    let x5 = chain.add_gate(2, 3, 0x6).unwrap();
+    let x6 = chain.add_gate(0, 1, 0x8).unwrap();
+    let x7 = chain.add_gate(x5, x6, 0xe).unwrap();
+    chain.add_output(OutputRef::signal(x7));
+    let solutions = solve_circuit(&chain, &[true]);
+    assert_eq!(solutions.full_assignments().len(), 10);
+    assert_eq!(
+        solutions.to_truth_table().unwrap(),
+        TruthTable::from_hex(4, "8ff8").unwrap()
+    );
+}
+
+/// Definition 3 / Example 1: the structural matrices printed in the
+/// paper.
+#[test]
+fn structural_matrices_match_paper() {
+    assert_eq!(format!("{}", LogicMatrix::structural_or()), "[1 1 1 0 / 0 0 0 1]");
+    assert_eq!(
+        format!("{}", LogicMatrix::structural_implies()),
+        "[1 0 1 1 / 0 1 0 0]"
+    );
+}
+
+/// §III step (i): the gate constraint starts at the input count minus
+/// one (checked through the reported optimum for a function needing
+/// exactly that).
+#[test]
+fn step_i_initial_constraint() {
+    // AND4 needs exactly 3 = 4 − 1 gates.
+    let and4 = TruthTable::from_fn(4, |a| a.iter().all(|&b| b)).unwrap();
+    let result = synthesize_default(&and4).unwrap();
+    assert_eq!(result.gate_count, 3);
+}
+
+/// The fence type rejects malformed level lists (defensive check used
+/// throughout §III-A).
+#[test]
+fn fences_reject_empty_levels() {
+    assert!(Fence::new(vec![1, 0, 1]).is_none());
+}

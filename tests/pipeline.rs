@@ -1,0 +1,83 @@
+//! End-to-end pipeline: BLIF in → exact-synthesis rewriting → SAT
+//! equivalence → netlist out. Exercises every layer of the workspace in
+//! one flow, the way a downstream user would compose it.
+
+use std::time::Duration;
+
+use stp_repro::network::{
+    equivalent_exhaustive, equivalent_sat, exact_network, rewrite, ripple_carry_adder_sop,
+    EquivResult, Network, RewriteConfig, SynthesisCache,
+};
+use stp_repro::tt::TruthTable;
+
+#[test]
+fn blif_rewrite_verify_export_round_trip() {
+    // 1. Start from a redundant circuit, serialized to BLIF.
+    let original = ripple_carry_adder_sop(2).expect("construction succeeds");
+    let blif = original.to_blif("adder");
+
+    // 2. Parse it back (as a user with a BLIF file would).
+    let parsed = Network::from_blif(&blif).expect("writer output parses");
+    assert!(equivalent_exhaustive(&original, &parsed).expect("simulable"));
+
+    // 3. Rewrite with exact synthesis.
+    let mut cache = SynthesisCache::new();
+    let result = rewrite(&parsed, &RewriteConfig::default(), &mut cache).expect("rewrite runs");
+    assert!(
+        result.gates_after < result.gates_before,
+        "the SOP adder must shrink ({} -> {})",
+        result.gates_before,
+        result.gates_after
+    );
+
+    // 4. Verify with both the exhaustive and the SAT miter checkers.
+    assert!(equivalent_exhaustive(&parsed, &result.network).expect("simulable"));
+    assert_eq!(
+        equivalent_sat(&parsed, &result.network, None).expect("interfaces match"),
+        EquivResult::Equivalent
+    );
+
+    // 5. Export and re-import the optimized network.
+    let out_blif = result.network.to_blif("optimized");
+    let reparsed = Network::from_blif(&out_blif).expect("valid blif");
+    assert!(equivalent_exhaustive(&result.network, &reparsed).expect("simulable"));
+}
+
+#[test]
+fn exact_network_feeds_rewriting_fixpoint() {
+    // A multi-output spec built by exact synthesis is already optimal
+    // per-cone; rewriting must not change its size or function.
+    let sum = TruthTable::from_fn(3, |x| x[0] ^ x[1] ^ x[2]).expect("3 vars");
+    let carry =
+        TruthTable::from_fn(3, |x| (x[0] as u8 + x[1] as u8 + x[2] as u8) >= 2).expect("3 vars");
+    let mut cache = SynthesisCache::new();
+    let net = exact_network(&[sum, carry], &mut cache, Duration::from_secs(30))
+        .expect("synthesis succeeds");
+    let result = rewrite(&net, &RewriteConfig::default(), &mut cache).expect("rewrite runs");
+    assert!(result.gates_after <= result.gates_before);
+    assert!(equivalent_exhaustive(&net, &result.network).expect("simulable"));
+}
+
+#[test]
+fn chains_from_synthesis_splice_into_networks() {
+    // Synthesize all solutions of the paper's running example, splice
+    // each into a network, and confirm the strashed union is no larger
+    // than the solutions combined (sharing must kick in).
+    let spec = TruthTable::from_hex(4, "8ff8").expect("valid hex");
+    let result = stp_repro::synth::synthesize_default(&spec).expect("synthesizable");
+    let mut net = Network::new(4);
+    let inputs: Vec<_> = (0..4).map(|i| net.input(i)).collect();
+    for chain in &result.chains {
+        let sig = net.add_chain(chain, &inputs).expect("splice succeeds");
+        net.add_output(sig);
+    }
+    // Every output computes the same function.
+    for tt in net.simulate_outputs().expect("simulable") {
+        assert_eq!(tt, spec);
+    }
+    let total_gates: usize = result.chains.iter().map(|c| c.num_gates()).sum();
+    assert!(
+        net.gates().len() <= total_gates,
+        "strashing must never exceed the naive union"
+    );
+}

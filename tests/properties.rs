@@ -1,0 +1,180 @@
+//! Property-based tests over the whole stack (proptest).
+
+use proptest::prelude::*;
+use stp_repro::chain::{Chain, OutputRef};
+use stp_repro::matrix::{solve_all, stp, swap_matrix, Expr, LogicMatrix, Mat};
+use stp_repro::synth::{solve_circuit, verify_chain};
+use stp_repro::tt::{canonicalize, is_full_dsd, project_to_vars, NpnTransform, TruthTable};
+
+/// An arbitrary small dense matrix.
+fn mat_strategy(max_dim: usize) -> impl Strategy<Value = Mat> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-3i64..=3, r * c)
+            .prop_map(move |data| Mat::from_vec(r, c, data).expect("shape matches"))
+    })
+}
+
+/// An arbitrary 4-input truth table.
+fn tt4_strategy() -> impl Strategy<Value = TruthTable> {
+    any::<u16>().prop_map(|bits| TruthTable::from_u64(4, bits as u64).expect("4 inputs fit"))
+}
+
+/// An arbitrary small expression over `n` variables.
+fn expr_strategy(n: usize, depth: u32) -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (0..n).prop_map(Expr::var),
+        any::<bool>().prop_map(Expr::constant),
+    ];
+    leaf.prop_recursive(depth, 24, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| e.not()),
+            (inner.clone(), inner).prop_map(|(a, b)| Expr::and(a, b)),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Definition 1: the STP is associative for arbitrary shapes.
+    #[test]
+    fn stp_is_associative(a in mat_strategy(4), b in mat_strategy(4), c in mat_strategy(4)) {
+        let left = stp(&stp(&a, &b), &c);
+        let right = stp(&a, &stp(&b, &c));
+        prop_assert_eq!(left, right);
+    }
+
+    /// The STP generalizes the matrix product.
+    #[test]
+    fn stp_extends_matrix_product(a in mat_strategy(4), b in mat_strategy(4)) {
+        if a.cols() == b.rows() {
+            prop_assert_eq!(stp(&a, &b), a.mul(&b).unwrap());
+        }
+    }
+
+    /// Property 1 (row-vector form): X ⋉ Z_r = Z_r ⋉ (I_t ⊗ X).
+    #[test]
+    fn property1_row_swap(x in mat_strategy(3), z in proptest::collection::vec(-3i64..=3, 1..=4)) {
+        let t = z.len();
+        let zr = Mat::from_vec(1, t, z).unwrap();
+        let lhs = stp(&x, &zr);
+        let rhs = stp(&zr, &Mat::identity(t).kron(&x));
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    /// Swap matrices are permutation matrices that square to identity
+    /// when both sides have equal dimension.
+    #[test]
+    fn swap_matrix_involution(m in 1usize..=4) {
+        let w = swap_matrix(m, m);
+        prop_assert_eq!(w.mul(&w).unwrap(), Mat::identity(m * m));
+    }
+
+    /// Property 2: the canonical form computed by real STP arithmetic
+    /// equals direct evaluation, for arbitrary expressions.
+    #[test]
+    fn canonical_form_routes_agree(e in expr_strategy(3, 3)) {
+        let fast = e.canonical_form(3).unwrap();
+        let via = e.canonical_form_via_stp(3).unwrap();
+        prop_assert_eq!(fast, via);
+    }
+
+    /// Canonical-form AllSAT returns exactly the ON-set.
+    #[test]
+    fn allsat_matches_on_set(bits in any::<u8>()) {
+        let m = LogicMatrix::from_tt_words(&[bits as u64], 3).unwrap();
+        let result = solve_all(&m);
+        prop_assert_eq!(result.len(), m.count_true());
+        for sol in &result.solutions {
+            prop_assert!(m.value(sol));
+        }
+    }
+
+    /// NPN canonization is idempotent and the transform reproduces the
+    /// representative.
+    #[test]
+    fn npn_canonization_invariants(tt in tt4_strategy()) {
+        let canon = canonicalize(&tt);
+        prop_assert_eq!(canon.transform.apply(&tt).unwrap(), canon.representative.clone());
+        let again = canonicalize(&canon.representative);
+        prop_assert_eq!(again.representative, canon.representative);
+    }
+
+    /// NPN class membership is invariant under random NPN transforms.
+    #[test]
+    fn npn_class_invariance(
+        tt in tt4_strategy(),
+        negs in 0u32..16,
+        out_neg in any::<bool>(),
+        perm_seed in 0usize..24,
+    ) {
+        // Decode a permutation of 0..4 from its factorial-number index.
+        let mut pool: Vec<usize> = (0..4).collect();
+        let mut perm = Vec::new();
+        let mut idx = perm_seed;
+        for radix in (1..=4).rev() {
+            let fact: usize = (1..radix).product();
+            perm.push(pool.remove(idx / fact));
+            idx %= fact;
+        }
+        let t = NpnTransform { perm, input_negations: negs, output_negated: out_neg };
+        let transformed = t.apply(&tt).unwrap();
+        prop_assert_eq!(
+            canonicalize(&tt).representative,
+            canonicalize(&transformed).representative
+        );
+    }
+
+    /// Truth-table cofactor/flip identities.
+    #[test]
+    fn cofactor_shannon_expansion(tt in tt4_strategy(), var in 0usize..4) {
+        // f = x·f_x + ¬x·f_¬x.
+        let pos = tt.cofactor(var, true);
+        let neg = tt.cofactor(var, false);
+        let x = TruthTable::variable(4, var).unwrap();
+        let rebuilt = (x.clone() & pos) | ((!x) & neg);
+        prop_assert_eq!(rebuilt, tt);
+    }
+
+    /// Projection onto the support preserves full DSD status.
+    #[test]
+    fn support_projection_preserves_dsd(tt in tt4_strategy()) {
+        let sup = tt.support();
+        if sup.len() >= 2 {
+            let reduced = project_to_vars(&tt, &sup);
+            prop_assert_eq!(is_full_dsd(&tt), is_full_dsd(&reduced));
+        }
+    }
+
+    /// The circuit AllSAT solver agrees with bit-parallel simulation on
+    /// random chains.
+    #[test]
+    fn circuit_solver_agrees_with_simulation(
+        ops in proptest::collection::vec(0usize..10, 1..5),
+        fanin_seed in any::<u64>(),
+    ) {
+        let n = 4usize;
+        let mut chain = Chain::new(n);
+        let mut seed = fanin_seed | 1;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for &op_idx in &ops {
+            let avail = chain.num_signals();
+            let a = (next() as usize) % avail;
+            let mut b = (next() as usize) % avail;
+            if b == a { b = (b + 1) % avail; }
+            chain
+                .add_gate(a.min(b), a.max(b), stp_repro::tt::NONTRIVIAL_OPS[op_idx])
+                .unwrap();
+        }
+        chain.add_output(OutputRef::signal(chain.num_signals() - 1));
+        let spec = chain.simulate_outputs().unwrap()[0].clone();
+        prop_assert!(verify_chain(&chain, &spec).unwrap());
+        let solutions = solve_circuit(&chain, &[true]);
+        prop_assert_eq!(solutions.full_assignments().len(), spec.count_ones());
+    }
+}
