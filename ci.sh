@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Local CI gate — the same three checks .github/workflows/ci.yml runs.
+# Everything is --offline: the workspace has no registry dependencies
+# (rand/proptest/criterion are vendored in vendor/), so a network-less
+# container must build and test cleanly.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> cargo test"
+cargo test -q --workspace --offline
+
+echo "CI OK"

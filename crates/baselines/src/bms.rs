@@ -49,7 +49,13 @@ pub fn bms_synthesize(
     #[allow(clippy::explicit_counter_loop)]
     for r in start..=config.gate_limit() {
         check_deadline(config.deadline)?;
-        let mut inst = SsvInstance::build_with_options(spec, r, |i| unrestricted_pairs(n, i), &all_minterms, SsvOptions::UNRESTRICTED);
+        let mut inst = SsvInstance::build_with_options(
+            spec,
+            r,
+            |i| unrestricted_pairs(n, i),
+            &all_minterms,
+            SsvOptions::UNRESTRICTED,
+        );
         solver_calls += 1;
         let result = solve_under_deadline(&mut inst.solver, config.deadline);
         conflicts += inst.solver.stats().conflicts;

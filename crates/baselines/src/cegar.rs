@@ -56,7 +56,13 @@ pub fn abc_synthesize(
         let on = (0..spec.num_bits()).find(|&t| spec.bit(t));
         let off = (0..spec.num_bits()).find(|&t| !spec.bit(t));
         let seeds: Vec<usize> = on.into_iter().chain(off).collect();
-        let mut inst = SsvInstance::build_with_options(spec, r, |i| unrestricted_pairs(n, i), &seeds, SsvOptions::UNRESTRICTED);
+        let mut inst = SsvInstance::build_with_options(
+            spec,
+            r,
+            |i| unrestricted_pairs(n, i),
+            &seeds,
+            SsvOptions::UNRESTRICTED,
+        );
         #[allow(clippy::mut_range_bound)]
         let feasible = loop {
             solver_calls += 1;

@@ -73,8 +73,6 @@ mod tests {
     #[test]
     fn display_messages() {
         assert!(BaselineError::Timeout.to_string().contains("deadline"));
-        assert!(BaselineError::GateLimitExceeded { max_gates: 9 }
-            .to_string()
-            .contains('9'));
+        assert!(BaselineError::GateLimitExceeded { max_gates: 9 }.to_string().contains('9'));
     }
 }

@@ -43,23 +43,14 @@ pub struct SsvOptions {
 
 impl SsvOptions {
     /// No reductions (the plain encoding).
-    pub const PLAIN: SsvOptions = SsvOptions {
-        normal_gates: false,
-        colex_symmetry: false,
-        require_usage: false,
-    };
+    pub const PLAIN: SsvOptions =
+        SsvOptions { normal_gates: false, colex_symmetry: false, require_usage: false };
     /// The reductions valid for the unrestricted topology space.
-    pub const UNRESTRICTED: SsvOptions = SsvOptions {
-        normal_gates: true,
-        colex_symmetry: true,
-        require_usage: true,
-    };
+    pub const UNRESTRICTED: SsvOptions =
+        SsvOptions { normal_gates: true, colex_symmetry: true, require_usage: true };
     /// The reductions valid under a fence's level pinning.
-    pub const LEVELED: SsvOptions = SsvOptions {
-        normal_gates: true,
-        colex_symmetry: false,
-        require_usage: true,
-    };
+    pub const LEVELED: SsvOptions =
+        SsvOptions { normal_gates: true, colex_symmetry: false, require_usage: true };
 }
 
 /// Shared configuration for the baseline synthesizers.
@@ -134,17 +125,25 @@ pub fn solve_under_deadline(
     deadline: Option<Instant>,
 ) -> Result<SolveResult, BaselineError> {
     const SLICE: u64 = 2000;
-    loop {
-        check_deadline(deadline)?;
+    let _solve = stp_telemetry::span!("baseline.sat_solve");
+    let conflicts_before = solver.stats().conflicts;
+    let result = loop {
+        if let Err(timeout) = check_deadline(deadline) {
+            solver.set_conflict_budget(None);
+            break Err(timeout);
+        }
         solver.set_conflict_budget(Some(SLICE));
         match solver.solve() {
             SolveResult::Unknown => continue,
             done => {
                 solver.set_conflict_budget(None);
-                return Ok(done);
+                break Ok(done);
             }
         }
-    }
+    };
+    stp_telemetry::counter!("baseline.sat_conflicts")
+        .add(solver.stats().conflicts - conflicts_before);
+    result
 }
 
 impl SsvInstance {
@@ -193,18 +192,10 @@ impl SsvInstance {
         let negate_output = options.normal_gates && spec.bit(0);
         let goal = if negate_output { !spec.clone() } else { spec.clone() };
         let mut solver = Solver::new();
-        let x: Vec<Vec<Var>> = (0..r)
-            .map(|_| (0..spec.num_bits()).map(|_| solver.new_var()).collect())
-            .collect();
+        let x: Vec<Vec<Var>> =
+            (0..r).map(|_| (0..spec.num_bits()).map(|_| solver.new_var()).collect()).collect();
         let op: Vec<[Var; 4]> = (0..r)
-            .map(|_| {
-                [
-                    solver.new_var(),
-                    solver.new_var(),
-                    solver.new_var(),
-                    solver.new_var(),
-                ]
-            })
+            .map(|_| [solver.new_var(), solver.new_var(), solver.new_var(), solver.new_var()])
             .collect();
         if options.normal_gates {
             for bits in &op {
@@ -222,10 +213,8 @@ impl SsvInstance {
         let mut sel = Vec::with_capacity(r);
         for i in 0..r {
             let pairs = allowed_pairs(i);
-            let vars: Vec<(usize, usize, Var)> = pairs
-                .into_iter()
-                .map(|(j, k)| (j, k, solver.new_var()))
-                .collect();
+            let vars: Vec<(usize, usize, Var)> =
+                pairs.into_iter().map(|(j, k)| (j, k, solver.new_var())).collect();
             // Exactly-one selection.
             let all: Vec<Lit> = vars.iter().map(|&(_, _, v)| v.pos()).collect();
             solver.add_clause(&all);
@@ -286,6 +275,9 @@ impl SsvInstance {
         for &t in initial_minterms {
             inst.constrain_minterm(t);
         }
+        stp_telemetry::counter!("baseline.cnf_builds").inc();
+        stp_telemetry::counter!("baseline.cnf_vars").add(inst.solver.num_vars() as u64);
+        stp_telemetry::counter!("baseline.cnf_clauses").add(inst.solver.num_clauses() as u64);
         inst
     }
 
@@ -501,10 +493,7 @@ mod tests {
         let c = trivial_chain(&TruthTable::constant(3, true).unwrap()).unwrap();
         assert_eq!(c.num_gates(), 0);
         let p = trivial_chain(&TruthTable::variable(3, 1).unwrap()).unwrap();
-        assert_eq!(
-            p.simulate_outputs().unwrap()[0],
-            TruthTable::variable(3, 1).unwrap()
-        );
+        assert_eq!(p.simulate_outputs().unwrap()[0], TruthTable::variable(3, 1).unwrap());
         assert!(trivial_chain(&TruthTable::from_hex(2, "8").unwrap()).is_none());
     }
 

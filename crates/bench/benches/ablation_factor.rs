@@ -19,12 +19,7 @@ fn brute_force_balanced3(spec: &TruthTable) -> usize {
     let n = spec.num_vars();
     let mut found = 0usize;
     for leaves in 0..(n * n * n * n) {
-        let l = [
-            leaves % n,
-            (leaves / n) % n,
-            (leaves / (n * n)) % n,
-            (leaves / (n * n * n)) % n,
-        ];
+        let l = [leaves % n, (leaves / n) % n, (leaves / (n * n)) % n, (leaves / (n * n * n)) % n];
         if l[0] == l[1] || l[2] == l[3] {
             continue;
         }

@@ -31,10 +31,5 @@ fn bench_dag_generation(c: &mut Criterion) {
     }
 }
 
-criterion_group!(
-    fences,
-    bench_fence_enumeration,
-    bench_shape_enumeration,
-    bench_dag_generation
-);
+criterion_group!(fences, bench_fence_enumeration, bench_shape_enumeration, bench_dag_generation);
 criterion_main!(fences);

@@ -13,10 +13,8 @@ use stp_network::{rewrite, ripple_carry_adder_sop, RewriteConfig, SynthesisCache
 
 fn bench_rewrite(c: &mut Criterion) {
     let net = ripple_carry_adder_sop(2).unwrap();
-    let config = RewriteConfig {
-        synthesis_budget: Duration::from_millis(500),
-        ..RewriteConfig::default()
-    };
+    let config =
+        RewriteConfig { synthesis_budget: Duration::from_millis(500), ..RewriteConfig::default() };
     let mut group = c.benchmark_group("rewrite_adder_sop2");
     group.sample_size(10);
     group.bench_function("cold_cache", |b| {
@@ -29,9 +27,7 @@ fn bench_rewrite(c: &mut Criterion) {
     let mut warm = SynthesisCache::new();
     let _ = rewrite(&net, &config, &mut warm).unwrap();
     group.bench_function("warm_cache", |b| {
-        b.iter(|| {
-            black_box(rewrite(&net, &config, &mut warm).unwrap().gates_after)
-        })
+        b.iter(|| black_box(rewrite(&net, &config, &mut warm).unwrap().gates_after))
     });
     group.finish();
 }

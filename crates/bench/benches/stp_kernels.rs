@@ -12,10 +12,7 @@ use stp_tt::TruthTable;
 fn liar_puzzle() -> Expr {
     let (a, b, c) = (Expr::var(0), Expr::var(1), Expr::var(2));
     Expr::and(
-        Expr::and(
-            Expr::equiv(a.clone(), b.clone().not()),
-            Expr::equiv(b.clone(), c.clone().not()),
-        ),
+        Expr::and(Expr::equiv(a.clone(), b.clone().not()), Expr::equiv(b.clone(), c.clone().not())),
         Expr::equiv(c, Expr::and(a.not(), b.not())),
     )
 }
@@ -32,9 +29,7 @@ fn example7_chain() -> Chain {
 fn bench_stp_product(c: &mut Criterion) {
     let w = swap_matrix(8, 8);
     let m = Mat::identity(8).kron(&Mat::from_rows(&[&[1, 2], &[3, 4]]).unwrap());
-    c.bench_function("stp_product_64x64", |b| {
-        b.iter(|| stp(black_box(&w), black_box(&m)))
-    });
+    c.bench_function("stp_product_64x64", |b| b.iter(|| stp(black_box(&w), black_box(&m))));
 }
 
 fn bench_canonical_form(c: &mut Criterion) {
@@ -49,15 +44,11 @@ fn bench_canonical_form(c: &mut Criterion) {
 
 fn bench_canonical_allsat(c: &mut Criterion) {
     let m8 = LogicMatrix::from_tt_words(
-        TruthTable::from_fn(8, |a| a.iter().filter(|&&b| b).count() % 3 == 0)
-            .unwrap()
-            .words(),
+        TruthTable::from_fn(8, |a| a.iter().filter(|&&b| b).count() % 3 == 0).unwrap().words(),
         8,
     )
     .unwrap();
-    c.bench_function("canonical_allsat_8var", |b| {
-        b.iter(|| solve_all(black_box(&m8)).len())
-    });
+    c.bench_function("canonical_allsat_8var", |b| b.iter(|| solve_all(black_box(&m8)).len()));
 }
 
 fn bench_circuit_solver(c: &mut Criterion) {

@@ -5,8 +5,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use std::time::Duration;
-use stp_bench::{run_instance, Algorithm};
 use stp_bench::suites::{fdsd, npn4, pdsd};
+use stp_bench::{run_instance, Algorithm};
 
 fn bench_suite_samples(c: &mut Criterion) {
     let npn = npn4();

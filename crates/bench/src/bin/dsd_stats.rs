@@ -9,7 +9,10 @@
 //! trivial / fully-DSD / partially-or-non-DSD, and prints the
 //! distribution.
 //!
-//! Usage: `dsd_stats`
+//! Usage: `dsd_stats [--log <level>]`
+//!
+//! Output goes through the telemetry reporter at `info` (the default
+//! level, so output is unchanged by default); `--log off` silences it.
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -17,6 +20,7 @@ use stp_network::{
     cut_function, enumerate_cuts, equality_comparator, mux_tree, random_network,
     ripple_carry_adder, ripple_carry_adder_sop, Network,
 };
+use stp_telemetry::report;
 use stp_tt::{is_full_dsd, project_to_vars};
 
 fn census(name: &str, net: &Network) {
@@ -49,10 +53,10 @@ fn census(name: &str, net: &Network) {
     }
     let total = trivial + full + partial;
     if total == 0 {
-        println!("{name:<24} (no cuts)");
+        report!("{name:<24} (no cuts)");
         return;
     }
-    println!(
+    report!(
         "{name:<24} {total:>5} cuts | trivial {:>5.1}% | full-DSD {:>5.1}% | prime/partial {:>5.1}%",
         100.0 * trivial as f64 / total as f64,
         100.0 * full as f64 / total as f64,
@@ -61,17 +65,24 @@ fn census(name: &str, net: &Network) {
 }
 
 fn main() {
-    println!("DSD composition of 4-cut functions (the paper's FDSD-dominance premise):\n");
+    stp_telemetry::init_from_env();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--log" {
+            if let Some(level) = it.next().and_then(|v| stp_telemetry::Level::parse(v)) {
+                stp_telemetry::set_level(level);
+            }
+        }
+    }
+    report!("DSD composition of 4-cut functions (the paper's FDSD-dominance premise):\n");
     census("ripple_carry_adder(4)", &ripple_carry_adder(4).expect("construction"));
     census("adder_sop(3)", &ripple_carry_adder_sop(3).expect("construction"));
     census("equality_comparator(4)", &equality_comparator(4).expect("construction"));
     census("mux_tree(3)", &mux_tree(3).expect("construction"));
     let mut rng = SmallRng::seed_from_u64(7);
-    census(
-        "random_network(8,40)",
-        &random_network(8, 40, 4, &mut rng).expect("construction"),
-    );
-    println!(
+    census("random_network(8,40)", &random_network(8, 40, 4, &mut rng).expect("construction"));
+    report!(
         "\nfully-DSD cut functions are where the STP factorization walks straight\n\
          down the structure — the suites FDSD6/FDSD8 model exactly this regime."
     );

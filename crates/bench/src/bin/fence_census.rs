@@ -1,11 +1,17 @@
 //! Prints the fence families of Fig. 2 and the valid partial DAGs of
 //! Fig. 3.
 //!
-//! Usage: `fence_census [--max-k <k>] [--dags]`
+//! Usage: `fence_census [--max-k <k>] [--dags] [--log <level>]`
+//!
+//! Output goes through the telemetry reporter: the census itself is
+//! emitted at `info` (the default level, so output is unchanged unless
+//! the level is lowered), and `--log off` silences it entirely.
 
 use stp_fence::{all_fences, dags_for_fence, pruned_fences};
+use stp_telemetry::report;
 
 fn main() {
+    stp_telemetry::init_from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut max_k = 6usize;
     let show_dags = args.iter().any(|a| a == "--dags");
@@ -15,28 +21,38 @@ fn main() {
             if let Some(v) = it.next() {
                 max_k = v.parse().unwrap_or(max_k);
             }
+        } else if a == "--log" {
+            if let Some(level) = it.next().and_then(|v| stp_telemetry::Level::parse(v)) {
+                stp_telemetry::set_level(level);
+            }
         }
     }
     for k in 1..=max_k {
         let full = all_fences(k);
         let pruned = pruned_fences(k);
-        println!("F_{k}: {} fences, {} after pruning (Fig. 2)", full.len(), pruned.len());
-        println!("  full family:   {}", full.iter().map(|f| f.to_string()).collect::<Vec<_>>().join(" "));
-        println!("  pruned family: {}", pruned.iter().map(|f| f.to_string()).collect::<Vec<_>>().join(" "));
+        report!("F_{k}: {} fences, {} after pruning (Fig. 2)", full.len(), pruned.len());
+        report!(
+            "  full family:   {}",
+            full.iter().map(|f| f.to_string()).collect::<Vec<_>>().join(" ")
+        );
+        report!(
+            "  pruned family: {}",
+            pruned.iter().map(|f| f.to_string()).collect::<Vec<_>>().join(" ")
+        );
         if show_dags || k == 3 {
             let mut total = 0usize;
             for fence in &pruned {
                 let dags = dags_for_fence(fence);
-                println!("  fence {fence}: {} valid DAG(s) (Fig. 3)", dags.len());
+                report!("  fence {fence}: {} valid DAG(s) (Fig. 3)", dags.len());
                 for dag in &dags {
                     for line in dag.to_string().lines() {
-                        println!("    {line}");
+                        report!("    {line}");
                     }
-                    println!("    --");
+                    report!("    --");
                     total += 1;
                 }
             }
-            println!("  total valid DAGs over pruned F_{k}: {total}");
+            report!("  total valid DAGs over pruned F_{k}: {total}");
         }
     }
 }

@@ -1,21 +1,26 @@
 //! Regenerates Table I of the paper.
 //!
-//! Usage: `table1 [--full] [--timeout <seconds>] [--suite <name>]...`
+//! Usage: `table1 [--full] [--timeout <seconds>] [--suite <name>]...
+//!                [--counters] [--log <level>]`
 //!
 //! The default (quick) profile uses reduced instance counts and a short
 //! per-instance timeout so the whole table runs in minutes; `--full`
 //! switches to the paper's counts (222/1000/100/1000/100) and a
-//! 180-second timeout.
+//! 180-second timeout. `--counters` appends the aggregated telemetry
+//! counters per (suite, algorithm) cell; `--log` sets the stderr
+//! diagnostic level (also via `STP_LOG`).
 
 use std::time::Duration;
 
-use stp_bench::{render_headlines, render_table, run_suite, Algorithm, Scale};
+use stp_bench::{render_counters, render_headlines, render_table, run_suite, Algorithm, Scale};
 
 fn main() {
+    stp_telemetry::init_from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
     let mut timeout = if full { 180.0f64 } else { 10.0 };
     let mut only_suites: Vec<String> = Vec::new();
+    let mut counters = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -27,6 +32,12 @@ fn main() {
             "--suite" => {
                 if let Some(v) = it.next() {
                     only_suites.push(v.to_uppercase());
+                }
+            }
+            "--counters" => counters = true,
+            "--log" => {
+                if let Some(level) = it.next().and_then(|v| stp_telemetry::Level::parse(v)) {
+                    stp_telemetry::set_level(level);
                 }
             }
             _ => {}
@@ -53,4 +64,8 @@ fn main() {
     }
     println!("{}", render_table(&reports));
     println!("{}", render_headlines(&reports));
+    if counters {
+        println!("telemetry counters (summed per cell):");
+        println!("{}", render_counters(&reports));
+    }
 }

@@ -6,9 +6,12 @@
 //! timeouts (`#t/o`), the number solved (`#ok`), and — for STP — the
 //! per-solution mean time and the average solution count.
 
+use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
-use stp_baselines::{abc_synthesize, bms_synthesize, fen_synthesize, BaselineConfig, BaselineError};
+use stp_baselines::{
+    abc_synthesize, bms_synthesize, fen_synthesize, BaselineConfig, BaselineError,
+};
 use stp_synth::{synthesize, SynthesisConfig, SynthesisError};
 use stp_tt::TruthTable;
 
@@ -29,7 +32,8 @@ pub enum Algorithm {
 
 impl Algorithm {
     /// All four, in the paper's column order.
-    pub const ALL: [Algorithm; 4] = [Algorithm::Bms, Algorithm::Fen, Algorithm::Abc, Algorithm::Stp];
+    pub const ALL: [Algorithm; 4] =
+        [Algorithm::Bms, Algorithm::Fen, Algorithm::Abc, Algorithm::Stp];
 
     /// Column label used in the rendered table.
     pub fn label(self) -> &'static str {
@@ -54,6 +58,9 @@ pub struct InstanceOutcome {
     pub num_solutions: usize,
     /// Whether the instance was solved before the timeout.
     pub solved: bool,
+    /// Telemetry counter deltas attributable to this run (non-zero
+    /// deltas of the global registry between entry and exit).
+    pub counters: BTreeMap<String, u64>,
 }
 
 /// Runs one instance under a timeout.
@@ -61,6 +68,7 @@ pub struct InstanceOutcome {
 /// Gate limits and other failures are folded into `solved = false`, as
 /// a bench harness should never abort the whole table on one instance.
 pub fn run_instance(algorithm: Algorithm, spec: &TruthTable, timeout: Duration) -> InstanceOutcome {
+    let metrics_before = stp_telemetry::metrics_global().snapshot();
     let start = Instant::now();
     let deadline = Some(start + timeout);
     let (solved, gate_count, num_solutions) = match algorithm {
@@ -87,7 +95,9 @@ pub fn run_instance(algorithm: Algorithm, spec: &TruthTable, timeout: Duration) 
             }
         }
     };
-    InstanceOutcome { elapsed: start.elapsed(), gate_count, num_solutions, solved }
+    let elapsed = start.elapsed();
+    let counters = stp_telemetry::metrics_global().snapshot().delta_since(&metrics_before).counters;
+    InstanceOutcome { elapsed, gate_count, num_solutions, solved, counters }
 }
 
 /// Aggregated results of one algorithm over one suite — one cell group
@@ -113,15 +123,15 @@ pub struct SuiteReport {
     /// Optimum gate counts per solved instance (index-aligned with the
     /// suite, `None` for unsolved) — used by the cross-checks.
     pub gate_counts: Vec<Option<usize>>,
+    /// Telemetry counters summed over every instance (solved or not).
+    pub counters: BTreeMap<String, u64>,
 }
 
 impl SuiteReport {
     /// Mean time per solution (the STP `mean` column).
     pub fn mean_time_per_solution(&self) -> Duration {
         if self.mean_solutions > 0.0 && self.solved > 0 {
-            Duration::from_secs_f64(
-                self.mean_time.as_secs_f64() / self.mean_solutions,
-            )
+            Duration::from_secs_f64(self.mean_time.as_secs_f64() / self.mean_solutions)
         } else {
             Duration::ZERO
         }
@@ -135,6 +145,7 @@ pub fn run_suite(algorithm: Algorithm, suite: &Suite, timeout: Duration) -> Suit
     let mut solved = 0usize;
     let mut solutions_sum = 0usize;
     let mut gate_counts = Vec::with_capacity(suite.functions.len());
+    let mut counters: BTreeMap<String, u64> = BTreeMap::new();
     for spec in &suite.functions {
         let outcome = run_instance(algorithm, spec, timeout);
         if outcome.solved {
@@ -144,18 +155,13 @@ pub fn run_suite(algorithm: Algorithm, suite: &Suite, timeout: Duration) -> Suit
         } else {
             timeouts += 1;
         }
+        for (name, delta) in &outcome.counters {
+            *counters.entry(name.clone()).or_insert(0) += delta;
+        }
         gate_counts.push(outcome.gate_count);
     }
-    let mean_time = if solved > 0 {
-        total / (solved as u32)
-    } else {
-        Duration::ZERO
-    };
-    let mean_solutions = if solved > 0 {
-        solutions_sum as f64 / solved as f64
-    } else {
-        0.0
-    };
+    let mean_time = if solved > 0 { total / (solved as u32) } else { Duration::ZERO };
+    let mean_solutions = if solved > 0 { solutions_sum as f64 / solved as f64 } else { 0.0 };
     SuiteReport {
         algorithm,
         suite: suite.name,
@@ -165,6 +171,7 @@ pub fn run_suite(algorithm: Algorithm, suite: &Suite, timeout: Duration) -> Suit
         total_time: total,
         mean_solutions,
         gate_counts,
+        counters,
     }
 }
 
@@ -180,6 +187,9 @@ mod tests {
         assert!(out.solved);
         assert_eq!(out.gate_count, Some(3));
         assert!(out.num_solutions >= 2);
+        // The run must attribute pipeline counters to the instance.
+        assert!(out.counters.contains_key("synth.rounds"));
+        assert!(out.counters.contains_key("fence.fences_generated"));
     }
 
     #[test]
@@ -213,5 +223,6 @@ mod tests {
         assert_eq!(report.gate_counts.len(), 10);
         assert!(report.solved > 0);
         assert!(report.mean_solutions >= 1.0);
+        assert!(*report.counters.get("solver.queries").unwrap_or(&0) > 0);
     }
 }

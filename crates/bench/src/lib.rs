@@ -27,5 +27,5 @@ pub mod report;
 pub mod suites;
 
 pub use harness::{run_instance, run_suite, Algorithm, InstanceOutcome, SuiteReport};
-pub use report::{render_headlines, render_table};
+pub use report::{render_counters, render_headlines, render_table};
 pub use suites::{fdsd, npn4, pdsd, standard_suites, Scale, Suite};

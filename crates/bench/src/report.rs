@@ -81,17 +81,36 @@ pub fn render_table(reports: &[SuiteReport]) -> String {
     out
 }
 
+/// Renders the telemetry counters aggregated per (suite, algorithm) —
+/// the per-instance deltas summed by [`run_suite`](crate::run_suite).
+///
+/// Rows with no recorded counters are skipped; an all-empty input
+/// yields a placeholder line so callers can print unconditionally.
+pub fn render_counters(reports: &[SuiteReport]) -> String {
+    let mut out = String::new();
+    for r in reports {
+        if r.counters.is_empty() {
+            continue;
+        }
+        let _ = writeln!(out, "{} on {}:", r.algorithm.label(), r.suite);
+        for (name, value) in &r.counters {
+            let _ = writeln!(out, "  {name:<32} {value:>12}");
+        }
+    }
+    if out.is_empty() {
+        out.push_str("(no telemetry counters recorded)\n");
+    }
+    out
+}
+
 /// Renders the headline comparisons the paper derives from Table I: the
 /// speedup of STP over each baseline (ratio of mean solve times, best
 /// across suites) and the timeout reduction on the suite with the most
 /// baseline timeouts.
 pub fn render_headlines(reports: &[SuiteReport]) -> String {
     let mut out = String::new();
-    let stp: HashMap<&'static str, &SuiteReport> = reports
-        .iter()
-        .filter(|r| r.algorithm == Algorithm::Stp)
-        .map(|r| (r.suite, r))
-        .collect();
+    let stp: HashMap<&'static str, &SuiteReport> =
+        reports.iter().filter(|r| r.algorithm == Algorithm::Stp).map(|r| (r.suite, r)).collect();
     for algo in [Algorithm::Bms, Algorithm::Fen, Algorithm::Abc] {
         let mut best: Option<(&'static str, f64)> = None;
         let mut timeout_cut: Option<(&'static str, usize, usize)> = None;
@@ -154,6 +173,7 @@ mod tests {
             total_time: Duration::from_millis(mean_ms * solved as u64),
             mean_solutions,
             gate_counts: Vec::new(),
+            counters: Default::default(),
         }
     }
 
@@ -178,6 +198,19 @@ mod tests {
         let table = render_table(&reports);
         assert!(table.contains('-'));
         assert!(table.contains("192.0"));
+    }
+
+    #[test]
+    fn counters_render_per_cell() {
+        let mut with = fake_report("NPN4", Algorithm::Stp, 136, 0, 222, 24.0);
+        with.counters.insert("synth.rounds".to_string(), 700);
+        with.counters.insert("solver.queries".to_string(), 5000);
+        let text = render_counters(&[with]);
+        assert!(text.contains("STP on NPN4:"));
+        assert!(text.contains("synth.rounds"));
+        assert!(text.contains("5000"));
+        let empty = render_counters(&[fake_report("NPN4", Algorithm::Bms, 1, 0, 1, 1.0)]);
+        assert!(empty.contains("no telemetry counters"));
     }
 
     #[test]

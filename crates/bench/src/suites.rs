@@ -46,10 +46,7 @@ pub fn npn4() -> Suite {
 pub fn fdsd(num_vars: usize, count: usize, seed_offset: u64) -> Suite {
     let mut rng = SmallRng::seed_from_u64(SEED ^ seed_offset);
     let functions = (0..count).map(|_| random_fdsd(num_vars, &mut rng)).collect();
-    Suite {
-        name: if num_vars == 6 { "FDSD6" } else { "FDSD8" },
-        functions,
-    }
+    Suite { name: if num_vars == 6 { "FDSD6" } else { "FDSD8" }, functions }
 }
 
 /// A partially-DSD suite of `count` functions over `num_vars` inputs.
@@ -63,10 +60,7 @@ pub fn pdsd(num_vars: usize, count: usize, seed_offset: u64) -> Suite {
     let functions = (0..count)
         .map(|i| random_pdsd(num_vars, if i % 2 == 0 { 3 } else { 4 }, &mut rng))
         .collect();
-    Suite {
-        name: if num_vars == 6 { "PDSD6" } else { "PDSD8" },
-        functions,
-    }
+    Suite { name: if num_vars == 6 { "PDSD6" } else { "PDSD8" }, functions }
 }
 
 /// The five Table I suites at the requested scale.
@@ -75,13 +69,7 @@ pub fn standard_suites(scale: Scale) -> Vec<Suite> {
         Scale::Quick => (40, 8, 20, 4),
         Scale::Full => (1000, 100, 1000, 100),
     };
-    vec![
-        npn4(),
-        fdsd(6, fdsd6_n, 6),
-        fdsd(8, fdsd8_n, 8),
-        pdsd(6, pdsd6_n, 6),
-        pdsd(8, pdsd8_n, 8),
-    ]
+    vec![npn4(), fdsd(6, fdsd6_n, 6), fdsd(8, fdsd8_n, 8), pdsd(6, pdsd6_n, 6), pdsd(8, pdsd8_n, 8)]
 }
 
 #[cfg(test)]

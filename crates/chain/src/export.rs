@@ -53,13 +53,9 @@ impl Chain {
     pub fn to_verilog(&self, module: &str) -> String {
         let mut out = String::new();
         let inputs: Vec<String> = (0..self.num_inputs()).map(|i| format!("x{}", i + 1)).collect();
-        let outputs: Vec<String> = (0..self.outputs().len()).map(|k| format!("f{}", k + 1)).collect();
-        let _ = writeln!(
-            out,
-            "module {module}({}, {});",
-            inputs.join(", "),
-            outputs.join(", ")
-        );
+        let outputs: Vec<String> =
+            (0..self.outputs().len()).map(|k| format!("f{}", k + 1)).collect();
+        let _ = writeln!(out, "module {module}({}, {});", inputs.join(", "), outputs.join(", "));
         let _ = writeln!(out, "  input {};", inputs.join(", "));
         let _ = writeln!(out, "  output {};", outputs.join(", "));
         let signal = |s: usize| {
@@ -156,10 +152,7 @@ mod tests {
         let v = chain.to_verilog("and2");
         assert!(v.contains("assign w3 = (x1 & x2);"));
         // And the chain still simulates correctly.
-        assert_eq!(
-            chain.simulate_outputs().unwrap()[0],
-            TruthTable::from_hex(2, "8").unwrap()
-        );
+        assert_eq!(chain.simulate_outputs().unwrap()[0], TruthTable::from_hex(2, "8").unwrap());
     }
 
     #[test]

@@ -303,6 +303,7 @@ impl Chain {
     ///
     /// Same conditions as [`Chain::simulate`].
     pub fn simulate_outputs(&self) -> Result<Vec<TruthTable>, ChainError> {
+        stp_telemetry::counter!("chain.simulations").inc();
         let signals = self.simulate()?;
         let mut out = Vec::with_capacity(self.outputs.len());
         for tap in &self.outputs {
@@ -348,11 +349,9 @@ impl Chain {
         match model {
             CostModel::GateCount => self.gates.len() as u64,
             CostModel::Depth => self.depth() as u64,
-            CostModel::WeightedOps { weights, default } => self
-                .gates
-                .iter()
-                .map(|g| weights.get(&g.tt2).copied().unwrap_or(*default))
-                .sum(),
+            CostModel::WeightedOps { weights, default } => {
+                self.gates.iter().map(|g| weights.get(&g.tt2).copied().unwrap_or(*default)).sum()
+            }
         }
     }
 
@@ -514,20 +513,14 @@ mod tests {
             chain.add_gate(0, 2, 0x8),
             Err(ChainError::FaninOutOfRange { fanin: 2, available: 2 })
         ));
-        assert!(matches!(
-            chain.add_gate(1, 1, 0x8),
-            Err(ChainError::DuplicateFanin { fanin: 1 })
-        ));
+        assert!(matches!(chain.add_gate(1, 1, 0x8), Err(ChainError::DuplicateFanin { fanin: 1 })));
     }
 
     #[test]
     fn validate_catches_bad_outputs() {
         let mut chain = Chain::new(2);
         chain.add_output(OutputRef::signal(5));
-        assert!(matches!(
-            chain.validate(),
-            Err(ChainError::OutputOutOfRange { index: 5, .. })
-        ));
+        assert!(matches!(chain.validate(), Err(ChainError::OutputOutOfRange { index: 5, .. })));
     }
 
     #[test]
@@ -632,9 +625,8 @@ mod tests {
         let got = mapped.simulate_outputs().unwrap()[0].clone();
         // C'(z) = C(y) ^ 1 with y_i = z_{perm[i]} ^ neg(perm[i]).
         let expected = TruthTable::from_fn(4, |z| {
-            let y: Vec<bool> = (0..4)
-                .map(|i| z[perm[i]] ^ ((0b0010u32 >> perm[i]) & 1 == 1))
-                .collect();
+            let y: Vec<bool> =
+                (0..4).map(|i| z[perm[i]] ^ ((0b0010u32 >> perm[i]) & 1 == 1)).collect();
             !spec.eval(&y)
         })
         .unwrap();
@@ -645,10 +637,7 @@ mod tests {
     fn permute_negate_identity_is_noop() {
         let chain = example7_chain();
         let same = chain.permute_negate(&[0, 1, 2, 3], 0, false).unwrap();
-        assert_eq!(
-            same.simulate_outputs().unwrap()[0],
-            chain.simulate_outputs().unwrap()[0]
-        );
+        assert_eq!(same.simulate_outputs().unwrap()[0], chain.simulate_outputs().unwrap()[0]);
     }
 
     #[test]

@@ -46,11 +46,8 @@ impl CircuitSolutions {
     pub fn full_assignments(&self) -> BTreeSet<usize> {
         let mut out = BTreeSet::new();
         for partial in &self.partial_solutions {
-            let free: Vec<usize> = partial
-                .iter()
-                .enumerate()
-                .filter_map(|(i, v)| v.is_none().then_some(i))
-                .collect();
+            let free: Vec<usize> =
+                partial.iter().enumerate().filter_map(|(i, v)| v.is_none().then_some(i)).collect();
             let base: usize = partial
                 .iter()
                 .enumerate()
@@ -91,6 +88,17 @@ impl CircuitSolutions {
     }
 }
 
+/// Local tallies for one [`solve_circuit`] query, flushed to the global
+/// metrics in a single batch (the recursion is far too hot for per-node
+/// atomic updates).
+#[derive(Default)]
+struct SolveStats {
+    /// Signals visited by [`traverse`] (Algorithm 2 invocations).
+    propagation_steps: u64,
+    /// [`merge`] attempts, including conflicting ones.
+    merges: u64,
+}
+
 /// Merges two partial assignments; `None` when they conflict.
 fn merge(a: &PartialAssignment, b: &PartialAssignment) -> Option<PartialAssignment> {
     let mut out = a.clone();
@@ -105,7 +113,13 @@ fn merge(a: &PartialAssignment, b: &PartialAssignment) -> Option<PartialAssignme
 }
 
 /// Enumerates the assignments under which `signal` takes `target`.
-fn traverse(chain: &Chain, signal: usize, target: bool) -> Vec<PartialAssignment> {
+fn traverse(
+    chain: &Chain,
+    signal: usize,
+    target: bool,
+    stats: &mut SolveStats,
+) -> Vec<PartialAssignment> {
+    stats.propagation_steps += 1;
     let n = chain.num_inputs();
     if signal < n {
         // Algorithm 2, lines 2–4: a PI consumes the target directly.
@@ -122,11 +136,12 @@ fn traverse(chain: &Chain, signal: usize, target: bool) -> Vec<PartialAssignment
             if gate.apply(a, b) != target {
                 continue;
             }
-            let left = traverse(chain, gate.fanin[0], a);
+            let left = traverse(chain, gate.fanin[0], a, stats);
             if left.is_empty() {
                 continue;
             }
-            let right = traverse(chain, gate.fanin[1], b);
+            let right = traverse(chain, gate.fanin[1], b, stats);
+            stats.merges += (left.len() * right.len()) as u64;
             for l in &left {
                 for r in &right {
                     if let Some(m) = merge(l, r) {
@@ -169,19 +184,16 @@ fn traverse(chain: &Chain, signal: usize, target: bool) -> Vec<PartialAssignment
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn solve_circuit(chain: &Chain, targets: &[bool]) -> CircuitSolutions {
-    assert_eq!(
-        targets.len(),
-        chain.outputs().len(),
-        "one target per primary output"
-    );
+    assert_eq!(targets.len(), chain.outputs().len(), "one target per primary output");
     let n = chain.num_inputs();
+    let mut stats = SolveStats::default();
     // Algorithm 1: S starts as the single all-unassigned solution and is
     // merged with each output's solution set in turn.
     let mut solutions: Vec<PartialAssignment> = vec![vec![None; n]];
     for (out, &target) in chain.outputs().iter().zip(targets) {
         let s_i = match out {
             OutputRef::Signal { index, negated } => {
-                traverse(chain, *index, target ^ *negated)
+                traverse(chain, *index, target ^ *negated, &mut stats)
             }
             OutputRef::Constant(v) => {
                 if *v == target {
@@ -192,6 +204,7 @@ pub fn solve_circuit(chain: &Chain, targets: &[bool]) -> CircuitSolutions {
             }
         };
         let mut merged = Vec::new();
+        stats.merges += (solutions.len() * s_i.len()) as u64;
         for s in &solutions {
             for t in &s_i {
                 if let Some(m) = merge(s, t) {
@@ -206,6 +219,9 @@ pub fn solve_circuit(chain: &Chain, targets: &[bool]) -> CircuitSolutions {
             break;
         }
     }
+    stp_telemetry::counter!("solver.queries").inc();
+    stp_telemetry::counter!("solver.propagation_steps").add(stats.propagation_steps);
+    stp_telemetry::counter!("solver.merges").add(stats.merges);
     CircuitSolutions { num_inputs: n, partial_solutions: solutions }
 }
 
@@ -219,11 +235,18 @@ pub fn solve_circuit(chain: &Chain, targets: &[bool]) -> CircuitSolutions {
 /// count out of range).
 pub fn verify_chain(chain: &Chain, spec: &TruthTable) -> Result<bool, SynthesisError> {
     if chain.num_inputs() != spec.num_vars() {
+        stp_telemetry::counter!("solver.candidates_rejected").inc();
         return Ok(false);
     }
     let solutions = solve_circuit(chain, &[true]);
     let f_s = solutions.to_truth_table()?;
-    Ok(f_s == *spec)
+    let accepted = f_s == *spec;
+    if accepted {
+        stp_telemetry::counter!("solver.candidates_verified").inc();
+    } else {
+        stp_telemetry::counter!("solver.candidates_rejected").inc();
+    }
+    Ok(accepted)
 }
 
 #[cfg(test)]

@@ -75,8 +75,6 @@ mod tests {
     #[test]
     fn display_messages() {
         assert_eq!(SynthesisError::Timeout.to_string(), "synthesis deadline expired");
-        assert!(SynthesisError::GateLimitExceeded { max_gates: 7 }
-            .to_string()
-            .contains('7'));
+        assert!(SynthesisError::GateLimitExceeded { max_gates: 7 }.to_string().contains('7'));
     }
 }

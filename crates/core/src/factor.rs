@@ -78,17 +78,24 @@ pub struct Factorizer {
     memo: HashMap<(Vec<u64>, TreeShape), Rc<Vec<Rc<RealTree>>>>,
     /// Number of factorization nodes explored (for the harness).
     nodes_explored: u64,
+    /// Number of memo-table hits across [`Factorizer::realize`] calls.
+    memo_hits: u64,
 }
 
 impl Factorizer {
     /// Creates an engine with the given configuration.
     pub fn new(config: FactorConfig) -> Self {
-        Factorizer { config, memo: HashMap::new(), nodes_explored: 0 }
+        Factorizer { config, memo: HashMap::new(), nodes_explored: 0, memo_hits: 0 }
     }
 
     /// Number of (function, shape) factorization subproblems examined.
     pub fn nodes_explored(&self) -> u64 {
         self.nodes_explored
+    }
+
+    /// Number of memo-table hits (subproblems answered without search).
+    pub fn memo_hits(&self) -> u64 {
+        self.memo_hits
     }
 
     /// Enumerates every chain realizing `spec` on the given tree shape
@@ -114,7 +121,13 @@ impl Factorizer {
             // handled by the synthesis driver, not by factorization.
             return Ok(Vec::new());
         }
-        let trees = self.realize(spec, shape)?;
+        let (nodes_before, hits_before) = (self.nodes_explored, self.memo_hits);
+        let result = self.realize(spec, shape);
+        // Flush this call's exploration to the global metrics (batched —
+        // the recursion itself touches only the engine-local tallies).
+        stp_telemetry::counter!("factor.subproblems").add(self.nodes_explored - nodes_before);
+        stp_telemetry::counter!("factor.memo_hits").add(self.memo_hits - hits_before);
+        let trees = result?;
         let mut chains = Vec::with_capacity(trees.len());
         let mut seen = HashSet::new();
         for tree in trees.iter() {
@@ -144,6 +157,7 @@ impl Factorizer {
     ) -> Result<Rc<Vec<Rc<RealTree>>>, SynthesisError> {
         let key = (h.words().to_vec(), shape.clone());
         if let Some(hit) = self.memo.get(&key) {
+            self.memo_hits += 1;
             return Ok(Rc::clone(hit));
         }
         self.check_deadline()?;
@@ -192,9 +206,12 @@ impl Factorizer {
         let mut split = vec![0u8; d];
         'splits: loop {
             self.check_deadline()?;
-            let a_vars: Vec<usize> = (0..d).filter(|&i| split[i] == 0).map(|i| support[i]).collect();
-            let b_vars: Vec<usize> = (0..d).filter(|&i| split[i] == 1).map(|i| support[i]).collect();
-            let s_vars: Vec<usize> = (0..d).filter(|&i| split[i] == 2).map(|i| support[i]).collect();
+            let a_vars: Vec<usize> =
+                (0..d).filter(|&i| split[i] == 0).map(|i| support[i]).collect();
+            let b_vars: Vec<usize> =
+                (0..d).filter(|&i| split[i] == 1).map(|i| support[i]).collect();
+            let s_vars: Vec<usize> =
+                (0..d).filter(|&i| split[i] == 2).map(|i| support[i]).collect();
             let feasible = a_vars.len() + s_vars.len() >= 1
                 && b_vars.len() + s_vars.len() >= 1
                 && a_vars.len() + s_vars.len() <= l1
@@ -329,8 +346,10 @@ impl Factorizer {
             let mut choice = vec![0usize; shared];
             'combos: loop {
                 self.check_deadline()?;
-                let h1 = build_operand(n, a_vars, s_vars, &row_options, &pairs_per_s, &choice, true);
-                let h2 = build_operand(n, b_vars, s_vars, &col_options, &pairs_per_s, &choice, false);
+                let h1 =
+                    build_operand(n, a_vars, s_vars, &row_options, &pairs_per_s, &choice, true);
+                let h2 =
+                    build_operand(n, b_vars, s_vars, &col_options, &pairs_per_s, &choice, false);
                 // Canonical split: the operands must depend on exactly
                 // their assigned variables (otherwise the same triple is
                 // found under a smaller split).
@@ -437,13 +456,7 @@ fn two_pattern_labels(
     let (count, other) = if by_rows { (rows, cols) } else { (cols, rows) };
     let pattern = |i: usize| -> Vec<bool> {
         (0..other)
-            .map(|j| {
-                if by_rows {
-                    chart[i * cols + j]
-                } else {
-                    chart[j * cols + i]
-                }
-            })
+            .map(|j| if by_rows { chart[i * cols + j] } else { chart[j * cols + i] })
             .collect()
     };
     let first = pattern(0);
@@ -474,7 +487,14 @@ fn two_pattern_labels(
 }
 
 /// Checks `chart[a][b] == g(rl[a], cl[b])` for every cell.
-fn chart_consistent(chart: &[bool], rows: usize, cols: usize, g: u8, rl: &[bool], cl: &[bool]) -> bool {
+fn chart_consistent(
+    chart: &[bool],
+    rows: usize,
+    cols: usize,
+    g: u8,
+    rl: &[bool],
+    cl: &[bool],
+) -> bool {
     for r in 0..rows {
         for c in 0..cols {
             let v = (g >> ((rl[r] as u8) + 2 * (cl[c] as u8))) & 1 == 1;

@@ -41,12 +41,7 @@ pub struct SynthesisConfig {
 
 impl Default for SynthesisConfig {
     fn default() -> Self {
-        SynthesisConfig {
-            fence_pruning: true,
-            max_gates: 20,
-            deadline: None,
-            max_solutions: 4096,
-        }
+        SynthesisConfig { fence_pruning: true, max_gates: 20, deadline: None, max_solutions: 4096 }
     }
 }
 
@@ -122,6 +117,7 @@ pub fn synthesize(
     let n = spec.num_vars();
     // Trivial specifications need no gates.
     if let Some(chain) = trivial_chain(spec) {
+        stp_telemetry::counter!("synth.trivial_hits").inc();
         return Ok(SynthesisResult {
             chains: vec![chain],
             gate_count: 0,
@@ -141,24 +137,39 @@ pub fn synthesize(
     let mut shapes_explored = 0usize;
     let mut fences_explored = 0usize;
     for r in start..=config.max_gates {
-        let shape_groups: Vec<Vec<TreeShape>> = if config.fence_pruning {
-            pruned_fences(r)
-                .iter()
-                .map(|f| {
-                    fences_explored += 1;
-                    shapes_for_fence(f)
-                })
-                .collect()
-        } else {
-            vec![shapes_with_gates(r)]
+        let _round = stp_telemetry::span!("synth.round.r{}", r);
+        stp_telemetry::counter!("synth.rounds").inc();
+        let shape_groups: Vec<Vec<TreeShape>> = {
+            let _enum = stp_telemetry::span!("phase.fence_enum");
+            if config.fence_pruning {
+                pruned_fences(r)
+                    .iter()
+                    .map(|f| {
+                        fences_explored += 1;
+                        shapes_for_fence(f)
+                    })
+                    .collect()
+            } else {
+                vec![shapes_with_gates(r)]
+            }
         };
+        stp_telemetry::debug!(
+            "synth: r={r}, {} shape groups, {} shapes",
+            shape_groups.len(),
+            shape_groups.iter().map(Vec::len).sum::<usize>()
+        );
         let mut solutions: Vec<Chain> = Vec::new();
         for group in &shape_groups {
             for shape in group {
                 shapes_explored += 1;
-                let candidates = engine.chains_on_shape(spec, shape)?;
+                let candidates = {
+                    let _factor = stp_telemetry::span!("phase.factorize");
+                    engine.chains_on_shape(spec, shape)?
+                };
+                stp_telemetry::counter!("synth.candidates").add(candidates.len() as u64);
                 // Paper step (iv): verify each candidate with the
                 // circuit AllSAT solver before accepting it.
+                let _verify = stp_telemetry::span!("phase.verify");
                 for chain in candidates {
                     if crate::circuit_solver::verify_chain(&chain, spec)? {
                         solutions.push(chain);
@@ -173,6 +184,7 @@ pub fn synthesize(
             }
         }
         if !solutions.is_empty() {
+            stp_telemetry::counter!("synth.solutions").add(solutions.len() as u64);
             return Ok(SynthesisResult {
                 chains: solutions,
                 gate_count: r,
@@ -247,6 +259,7 @@ fn synthesize_min_depth(
     config: &SynthesisConfig,
 ) -> Result<SynthesisResult, SynthesisError> {
     if let Some(chain) = trivial_chain(spec) {
+        stp_telemetry::counter!("synth.trivial_hits").inc();
         return Ok(SynthesisResult {
             chains: vec![chain],
             gate_count: 0,
@@ -270,16 +283,22 @@ fn synthesize_min_depth(
         // counts cannot appear at this depth.
         let r_cap = ((1usize << depth.min(24)) - 1).min(config.max_gates);
         for r in min_gates..=r_cap {
+            let _round = stp_telemetry::span!("synth.round.r{}", r);
+            stp_telemetry::counter!("synth.rounds").inc();
             let mut solutions: Vec<Chain> = Vec::new();
             for shape in shapes_with_gates(r) {
                 if shape.height() > depth {
                     continue;
                 }
                 shapes_explored += 1;
-                let candidates = engine.chains_on_shape(spec, &shape)?;
+                let candidates = {
+                    let _factor = stp_telemetry::span!("phase.factorize");
+                    engine.chains_on_shape(spec, &shape)?
+                };
+                stp_telemetry::counter!("synth.candidates").add(candidates.len() as u64);
+                let _verify = stp_telemetry::span!("phase.verify");
                 for chain in candidates {
-                    if chain.depth() <= depth
-                        && crate::circuit_solver::verify_chain(&chain, spec)?
+                    if chain.depth() <= depth && crate::circuit_solver::verify_chain(&chain, spec)?
                     {
                         solutions.push(chain);
                         if solutions.len() >= config.max_solutions {
@@ -323,7 +342,10 @@ pub fn synthesize_npn(
     spec: &TruthTable,
     config: &SynthesisConfig,
 ) -> Result<SynthesisResult, SynthesisError> {
-    let canon = stp_tt::canonicalize(spec);
+    let canon = {
+        let _npn = stp_telemetry::span!("phase.npn_canonicalize");
+        stp_tt::canonicalize(spec)
+    };
     let inner = synthesize(&canon.representative, config)?;
     let t = &canon.transform;
     let mut chains = Vec::with_capacity(inner.chains.len());
@@ -447,11 +469,8 @@ mod tests {
     #[test]
     fn gate_limit_is_reported() {
         let maj = TruthTable::from_hex(3, "e8").unwrap();
-        let err = synthesize(
-            &maj,
-            &SynthesisConfig { max_gates: 3, ..SynthesisConfig::default() },
-        )
-        .unwrap_err();
+        let err = synthesize(&maj, &SynthesisConfig { max_gates: 3, ..SynthesisConfig::default() })
+            .unwrap_err();
         assert!(matches!(err, SynthesisError::GateLimitExceeded { max_gates: 3 }));
     }
 
@@ -480,15 +499,12 @@ mod tests {
         let mut weights = std::collections::HashMap::new();
         weights.insert(0x6u8, 100u64);
         weights.insert(0x9u8, 100u64);
-        assert!(result
-            .best_by(&CostModel::WeightedOps { weights, default: 1 })
-            .is_some());
+        assert!(result.best_by(&CostModel::WeightedOps { weights, default: 1 }).is_some());
     }
 
     #[test]
     fn five_input_dsd_function() {
-        let spec =
-            TruthTable::from_fn(5, |a| ((a[0] & a[1]) ^ a[2]) | (a[3] & a[4])).unwrap();
+        let spec = TruthTable::from_fn(5, |a| ((a[0] & a[1]) ^ a[2]) | (a[3] & a[4])).unwrap();
         let result = synthesize_default(&spec).unwrap();
         assert_eq!(result.gate_count, 4);
         for chain in &result.chains {
@@ -539,12 +555,8 @@ mod tests {
     fn objective_min_gates_matches_synthesize() {
         let spec = TruthTable::from_hex(4, "8ff8").unwrap();
         let a = synthesize_default(&spec).unwrap();
-        let b = synthesize_with_objective(
-            &spec,
-            Objective::MinGates,
-            &SynthesisConfig::default(),
-        )
-        .unwrap();
+        let b = synthesize_with_objective(&spec, Objective::MinGates, &SynthesisConfig::default())
+            .unwrap();
         assert_eq!(a.gate_count, b.gate_count);
         assert_eq!(a.chains.len(), b.chains.len());
     }

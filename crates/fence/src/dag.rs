@@ -179,9 +179,8 @@ pub fn dags_for_fence(fence: &Fence) -> Vec<FenceDag> {
         }
         break;
     }
-    out.into_iter()
-        .map(|nodes| FenceDag { fence: fence.clone(), nodes })
-        .collect()
+    stp_telemetry::counter!("fence.dags_generated").add(out.len() as u64);
+    out.into_iter().map(|nodes| FenceDag { fence: fence.clone(), nodes }).collect()
 }
 
 fn fanouts_ok(nodes: &[DagNode]) -> bool {
@@ -227,10 +226,8 @@ fn canonical_signature(fence: &Fence, nodes: &[DagNode]) -> Vec<DagNode> {
                 map[start + offset] = start + p;
             }
         }
-        let mut relabeled: Vec<DagNode> = vec![
-            DagNode { level: 0, fanin: [Fanin::OpenInput, Fanin::OpenInput] };
-            nodes.len()
-        ];
+        let mut relabeled: Vec<DagNode> =
+            vec![DagNode { level: 0, fanin: [Fanin::OpenInput, Fanin::OpenInput] }; nodes.len()];
         for (i, node) in nodes.iter().enumerate() {
             let mut fanin = node.fanin.map(|f| match f {
                 Fanin::Node(j) => Fanin::Node(map[j]),
@@ -239,10 +236,7 @@ fn canonical_signature(fence: &Fence, nodes: &[DagNode]) -> Vec<DagNode> {
             fanin.sort();
             relabeled[map[i]] = DagNode { level: node.level, fanin };
         }
-        let key: Vec<_> = relabeled
-            .iter()
-            .map(|n| (n.level, n.fanin))
-            .collect();
+        let key: Vec<_> = relabeled.iter().map(|n| (n.level, n.fanin)).collect();
         let better = match &best {
             None => true,
             Some(b) => {
@@ -292,10 +286,7 @@ fn permutations(n: usize) -> Vec<Vec<usize>> {
 /// Generates all valid partial DAGs across the pruned fence family of
 /// `k` nodes — the paper's Fig. 3 family for `k = 3`.
 pub fn dags_for_pruned_fences(k: usize) -> Vec<FenceDag> {
-    crate::fence::pruned_fences(k)
-        .iter()
-        .flat_map(dags_for_fence)
-        .collect()
+    crate::fence::pruned_fences(k).iter().flat_map(dags_for_fence).collect()
 }
 
 #[cfg(test)]
@@ -316,8 +307,7 @@ mod tests {
         // (1,1,1): the open chain and the reconvergent chain.
         let chains = dags_for_fence(&fences[1]);
         assert_eq!(chains.len(), 2);
-        let open_counts: BTreeSet<usize> =
-            chains.iter().map(FenceDag::open_input_count).collect();
+        let open_counts: BTreeSet<usize> = chains.iter().map(FenceDag::open_input_count).collect();
         assert_eq!(open_counts, BTreeSet::from([3, 4]));
         // Exactly one of them is a tree.
         assert_eq!(chains.iter().filter(|d| d.is_tree()).count(), 1);
@@ -331,7 +321,8 @@ mod tests {
                 for (i, node) in nodes.iter().enumerate() {
                     // Distinct fanins.
                     assert!(
-                        !((node.fanin[0] == node.fanin[1]) && matches!(node.fanin[0], Fanin::Node(_))),
+                        !((node.fanin[0] == node.fanin[1])
+                            && matches!(node.fanin[0], Fanin::Node(_))),
                         "node {i} has duplicate gate fanins"
                     );
                     // Fanins strictly earlier.

@@ -57,11 +57,7 @@ impl Fence {
     /// `true` when the fence survives the paper's pruning: a single top
     /// node and each level at most twice the size of the level above.
     pub fn is_pruned_valid(&self) -> bool {
-        self.top_count() == 1
-            && self
-                .levels
-                .windows(2)
-                .all(|w| w[0] <= 2 * w[1])
+        self.top_count() == 1 && self.levels.windows(2).all(|w| w[0] <= 2 * w[1])
     }
 }
 
@@ -105,6 +101,7 @@ pub fn fences_with_levels(k: usize, l: usize) -> Vec<Fence> {
         }
     }
     recurse(k, l, &mut cur, &mut out);
+    stp_telemetry::counter!("fence.fences_generated").add(out.len() as u64);
     out
 }
 
@@ -117,10 +114,11 @@ pub fn all_fences(k: usize) -> Vec<Fence> {
 /// Enumerates the pruned family used by the paper (Fig. 2b for `k = 3`):
 /// single top node, each level at most twice the level above.
 pub fn pruned_fences(k: usize) -> Vec<Fence> {
-    all_fences(k)
-        .into_iter()
-        .filter(Fence::is_pruned_valid)
-        .collect()
+    let full = all_fences(k);
+    let total = full.len();
+    let kept: Vec<Fence> = full.into_iter().filter(Fence::is_pruned_valid).collect();
+    stp_telemetry::counter!("fence.fences_pruned").add((total - kept.len()) as u64);
+    kept
 }
 
 #[cfg(test)]

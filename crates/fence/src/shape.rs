@@ -110,7 +110,9 @@ impl fmt::Display for TreeShape {
 /// Wedderburn–Etherington numbers: 1, 1, 2, 3, 6, 11, 23, … shapes for
 /// 1, 2, 3, … gates.
 pub fn shapes_with_gates(gates: usize) -> Vec<TreeShape> {
-    shapes_with_leaves(gates + 1)
+    let out = shapes_with_leaves(gates + 1);
+    stp_telemetry::counter!("fence.shapes_generated").add(out.len() as u64);
+    out
 }
 
 fn shapes_with_leaves(leaves: usize) -> Vec<TreeShape> {
@@ -162,12 +164,7 @@ mod tests {
         // Shapes with n leaves: 1, 1, 1, 2, 3, 6, 11, 23, 46, 98.
         let expected = [1usize, 1, 2, 3, 6, 11, 23, 46, 98];
         for (gates, &count) in expected.iter().enumerate() {
-            assert_eq!(
-                shapes_with_gates(gates + 1).len(),
-                count,
-                "gates = {}",
-                gates + 1
-            );
+            assert_eq!(shapes_with_gates(gates + 1).len(), count, "gates = {}", gates + 1);
         }
     }
 

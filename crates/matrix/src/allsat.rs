@@ -55,9 +55,9 @@ pub fn solve_all(m: &LogicMatrix) -> AllSatResult {
     let mut solutions = Vec::with_capacity(m.count_true());
     let mut assign = vec![false; m.arity()];
     let mut stack = vec![(0usize, 0usize)]; // (depth, column prefix)
-    // Depth-first search mirroring Fig. 1. The column prefix accumulates
-    // the high bits chosen so far (False contributes a 1 bit, matching the
-    // logic-matrix column order).
+                                            // Depth-first search mirroring Fig. 1. The column prefix accumulates
+                                            // the high bits chosen so far (False contributes a 1 bit, matching the
+                                            // logic-matrix column order).
     while let Some((depth, prefix)) = stack.pop() {
         let lo = prefix << (m.arity() - depth);
         let hi = lo + (1usize << (m.arity() - depth));
@@ -130,11 +130,7 @@ impl TraceNode {
             .enumerate()
             .map(|(i, &v)| format!("x{}={}", i + 1, v as u8))
             .collect();
-        let label = if label.is_empty() {
-            "(root)".to_string()
-        } else {
-            label.join(" ")
-        };
+        let label = if label.is_empty() { "(root)".to_string() } else { label.join(" ") };
         let status = if self.pruned {
             " ✗ pruned"
         } else if self.on_true.is_none() && self.on_false.is_none() {
@@ -142,11 +138,7 @@ impl TraceNode {
         } else {
             ""
         };
-        let _ = writeln!(
-            out,
-            "{label}: {} true column(s){status}",
-            self.true_columns
-        );
+        let _ = writeln!(out, "{label}: {} true column(s){status}", self.true_columns);
         if let Some(t) = &self.on_true {
             t.render_into(out, indent + 1);
         }
@@ -180,14 +172,7 @@ pub fn search_tree(m: &LogicMatrix) -> TraceNode {
                 Some(Box::new(recurse(m, depth + 1, (prefix << 1) | 1, pf))),
             )
         };
-        TraceNode {
-            depth,
-            partial,
-            true_columns,
-            pruned,
-            on_true,
-            on_false,
-        }
+        TraceNode { depth, partial, true_columns, pruned, on_true, on_false }
     }
     recurse(m, 0, 0, Vec::new())
 }
@@ -239,11 +224,7 @@ mod tests {
 
     #[test]
     fn solutions_match_matrix_values() {
-        let e = Expr::bin(
-            BinOp::Xor,
-            Expr::var(0),
-            Expr::and(Expr::var(1), Expr::var(2)),
-        );
+        let e = Expr::bin(BinOp::Xor, Expr::var(0), Expr::and(Expr::var(1), Expr::var(2)));
         let m = e.canonical_form(3).unwrap();
         let result = solve_all(&m);
         assert_eq!(result.len(), m.count_true());

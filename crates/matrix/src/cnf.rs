@@ -58,9 +58,7 @@ pub fn clause_canonical_form(clause: &[CnfLit], n: usize) -> Result<LogicMatrix,
             return Err(MatrixError::VariableOutOfRange { var: lit.var, count: n });
         }
     }
-    LogicMatrix::from_fn(n, |assign| {
-        clause.iter().any(|lit| assign[lit.var] == lit.positive)
-    })
+    LogicMatrix::from_fn(n, |assign| clause.iter().any(|lit| assign[lit.var] == lit.positive))
 }
 
 /// Computes the canonical form of a CNF formula by conjoining clause
@@ -197,19 +195,14 @@ mod tests {
             let clauses: Vec<Vec<CnfLit>> = (0..nc)
                 .map(|_| {
                     (0..1 + (next() as usize) % 3)
-                        .map(|_| CnfLit {
-                            var: (next() as usize) % n,
-                            positive: next() % 2 == 0,
-                        })
+                        .map(|_| CnfLit { var: (next() as usize) % n, positive: next() % 2 == 0 })
                         .collect()
                 })
                 .collect();
             let result = solve_cnf_all(&clauses, n).unwrap();
             let brute = (0..(1u32 << n))
                 .filter(|m| {
-                    clauses.iter().all(|c| {
-                        c.iter().any(|l| ((m >> l.var) & 1 == 1) == l.positive)
-                    })
+                    clauses.iter().all(|c| c.iter().any(|l| ((m >> l.var) & 1 == 1) == l.positive))
                 })
                 .count();
             assert_eq!(result.len(), brute);

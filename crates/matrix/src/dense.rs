@@ -38,11 +38,7 @@ impl Mat {
     /// Panics if `rows` or `cols` is zero.
     pub fn zeros(rows: usize, cols: usize) -> Self {
         assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
-        Mat {
-            rows,
-            cols,
-            data: vec![0; rows * cols],
-        }
+        Mat { rows, cols, data: vec![0; rows * cols] }
     }
 
     /// Creates the `n × n` identity matrix.
@@ -81,11 +77,7 @@ impl Mat {
             }
             data.extend_from_slice(r);
         }
-        Ok(Mat {
-            rows: nrows,
-            cols: ncols,
-            data,
-        })
+        Ok(Mat { rows: nrows, cols: ncols, data })
     }
 
     /// Builds a matrix from a flat row-major buffer.
@@ -99,10 +91,7 @@ impl Mat {
             return Err(MatrixError::Empty);
         }
         if data.len() != rows * cols {
-            return Err(MatrixError::ShapeMismatch {
-                expected: rows * cols,
-                got: data.len(),
-            });
+            return Err(MatrixError::ShapeMismatch { expected: rows * cols, got: data.len() });
         }
         Ok(Mat { rows, cols, data })
     }
@@ -150,10 +139,7 @@ impl Mat {
     /// product.
     pub fn mul(&self, rhs: &Mat) -> Result<Mat, MatrixError> {
         if self.cols != rhs.rows {
-            return Err(MatrixError::DimMismatch {
-                left: self.shape(),
-                right: rhs.shape(),
-            });
+            return Err(MatrixError::DimMismatch { left: self.shape(), right: rhs.shape() });
         }
         let mut out = Mat::zeros(self.rows, rhs.cols);
         for i in 0..self.rows {
@@ -326,10 +312,7 @@ mod tests {
         let b = Mat::from_rows(&[&[0, 1], &[1, 0]]).unwrap();
         let k = a.kron(&b);
         assert_eq!(k.shape(), (2, 4));
-        assert_eq!(
-            k,
-            Mat::from_rows(&[&[0, 1, 0, 2], &[1, 0, 2, 0]]).unwrap()
-        );
+        assert_eq!(k, Mat::from_rows(&[&[0, 1, 0, 2], &[1, 0, 2, 0]]).unwrap());
     }
 
     #[test]
@@ -359,10 +342,7 @@ mod tests {
 
     #[test]
     fn ragged_rows_rejected() {
-        assert!(matches!(
-            Mat::from_rows(&[&[1, 2][..], &[3][..]]),
-            Err(MatrixError::RaggedRows)
-        ));
+        assert!(matches!(Mat::from_rows(&[&[1, 2][..], &[3][..]]), Err(MatrixError::RaggedRows)));
     }
 
     #[test]

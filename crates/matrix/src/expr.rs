@@ -278,10 +278,7 @@ impl Expr {
             Expr::Var(i) => (Mat::identity(2), vec![*i]),
             Expr::Const(v) => {
                 let col = if *v { &[1i64, 0][..] } else { &[0, 1][..] };
-                (
-                    Mat::from_vec(2, 1, col.to_vec()).expect("static shape is valid"),
-                    Vec::new(),
-                )
+                (Mat::from_vec(2, 1, col.to_vec()).expect("static shape is valid"), Vec::new())
             }
             Expr::Not(e) => {
                 let (m, vars) = e.compile_prefix();
@@ -317,10 +314,7 @@ mod tests {
     use super::*;
 
     fn both_routes(e: &Expr, n: usize) -> (LogicMatrix, LogicMatrix) {
-        (
-            e.canonical_form(n).unwrap(),
-            e.canonical_form_via_stp(n).unwrap(),
-        )
+        (e.canonical_form(n).unwrap(), e.canonical_form_via_stp(n).unwrap())
     }
 
     #[test]
@@ -377,10 +371,7 @@ mod tests {
         );
         let m = phi.canonical_form(3).unwrap();
         // Example 4: M_Φ = [0 0 0 0 0 1 0 0 / 1 1 1 1 1 0 1 1].
-        assert_eq!(
-            m.top_row_bits(),
-            vec![false, false, false, false, false, true, false, false]
-        );
+        assert_eq!(m.top_row_bits(), vec![false, false, false, false, false, true, false, false]);
         // The unique satisfying column is 5 = (a=F, b=T, c=F): b is honest.
         let assign = m.assignment_for_column(5);
         assert_eq!(assign, vec![false, true, false]);
@@ -413,14 +404,8 @@ mod tests {
     #[test]
     fn variable_out_of_range_is_error() {
         let e = Expr::var(3);
-        assert!(matches!(
-            e.canonical_form(2),
-            Err(MatrixError::VariableOutOfRange { .. })
-        ));
-        assert!(matches!(
-            e.canonical_form_via_stp(2),
-            Err(MatrixError::VariableOutOfRange { .. })
-        ));
+        assert!(matches!(e.canonical_form(2), Err(MatrixError::VariableOutOfRange { .. })));
+        assert!(matches!(e.canonical_form_via_stp(2), Err(MatrixError::VariableOutOfRange { .. })));
     }
 
     #[test]

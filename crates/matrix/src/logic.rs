@@ -150,13 +150,14 @@ impl LogicMatrix {
     pub fn from_top_row_bits(bits: &[bool]) -> Result<Self, MatrixError> {
         let cols = bits.len();
         if !cols.is_power_of_two() {
-            return Err(MatrixError::ShapeMismatch { expected: cols.next_power_of_two(), got: cols });
+            return Err(MatrixError::ShapeMismatch {
+                expected: cols.next_power_of_two(),
+                got: cols,
+            });
         }
         let arity = cols.trailing_zeros() as usize;
         Self::check_arity(arity)?;
-        Self::from_fn(arity, |assign| {
-            bits[Self::column_for_assignment(assign)]
-        })
+        Self::from_fn(arity, |assign| bits[Self::column_for_assignment(assign)])
     }
 
     /// Builds a canonical form from an **LSB-first truth table**: bit `m`
@@ -520,18 +521,9 @@ mod tests {
 
     #[test]
     fn structural_and_equiv_xor() {
-        assert_eq!(
-            LogicMatrix::structural_and().top_row_bits(),
-            vec![true, false, false, false]
-        );
-        assert_eq!(
-            LogicMatrix::structural_equiv().top_row_bits(),
-            vec![true, false, false, true]
-        );
-        assert_eq!(
-            LogicMatrix::structural_xor().top_row_bits(),
-            vec![false, true, true, false]
-        );
+        assert_eq!(LogicMatrix::structural_and().top_row_bits(), vec![true, false, false, false]);
+        assert_eq!(LogicMatrix::structural_equiv().top_row_bits(), vec![true, false, false, true]);
+        assert_eq!(LogicMatrix::structural_xor().top_row_bits(), vec![false, true, true, false]);
     }
 
     #[test]

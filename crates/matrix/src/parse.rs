@@ -98,7 +98,12 @@ impl<'a> Parser<'a> {
         loop {
             self.skip_ws();
             // "|" but not part of "||" (accept both).
-            if self.eat("||") || (self.peek() == Some(b'|') && { self.pos += 1; true }) {
+            if self.eat("||")
+                || (self.peek() == Some(b'|') && {
+                    self.pos += 1;
+                    true
+                })
+            {
                 let rhs = self.xor()?;
                 lhs = Expr::or(lhs, rhs);
             } else {
@@ -121,7 +126,12 @@ impl<'a> Parser<'a> {
         let mut lhs = self.unary()?;
         loop {
             self.skip_ws();
-            if self.eat("&&") || (self.peek() == Some(b'&') && { self.pos += 1; true }) {
+            if self.eat("&&")
+                || (self.peek() == Some(b'&') && {
+                    self.pos += 1;
+                    true
+                })
+            {
                 let rhs = self.unary()?;
                 lhs = Expr::and(lhs, rhs);
             } else {
@@ -170,11 +180,10 @@ impl<'a> Parser<'a> {
                     // A bare `x` is the letter variable x0 + ('x' - 'a').
                     Ok(Expr::var((b'x' - b'a') as usize))
                 } else {
-                    let digits = std::str::from_utf8(&self.text[start..self.pos])
-                        .expect("digits are ascii");
-                    let idx: usize = digits
-                        .parse()
-                        .map_err(|_| self.error("variable index out of range"))?;
+                    let digits =
+                        std::str::from_utf8(&self.text[start..self.pos]).expect("digits are ascii");
+                    let idx: usize =
+                        digits.parse().map_err(|_| self.error("variable index out of range"))?;
                     Ok(Expr::var(idx))
                 }
             }
@@ -272,10 +281,7 @@ mod tests {
     fn liar_puzzle_parses() {
         let phi = parse_expr("(a <-> !b) & (b <-> !c) & (c <-> !a & !b)").unwrap();
         let m = phi.canonical_form(3).unwrap();
-        assert_eq!(
-            m.top_row_bits(),
-            vec![false, false, false, false, false, true, false, false]
-        );
+        assert_eq!(m.top_row_bits(), vec![false, false, false, false, false, true, false, false]);
     }
 
     #[test]

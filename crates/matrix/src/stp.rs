@@ -57,10 +57,17 @@ pub fn stp(x: &Mat, y: &Mat) -> Mat {
     let n = x.cols();
     let p = y.rows();
     let t = lcm(n, p);
+    #[cfg(feature = "telemetry")]
+    {
+        stp_telemetry::counter!("matrix.stp_mults").inc();
+        if t != n || t != p {
+            stp_telemetry::counter!("matrix.kron_lifts").inc();
+        }
+        stp_telemetry::counter!("matrix.stp_lift_dim_max").record_max(t as u64);
+    }
     let left = if t == n { x.clone() } else { x.kron(&Mat::identity(t / n)) };
     let right = if t == p { y.clone() } else { y.kron(&Mat::identity(t / p)) };
-    left.mul(&right)
-        .expect("semi-tensor lifts guarantee matching inner dimensions")
+    left.mul(&right).expect("semi-tensor lifts guarantee matching inner dimensions")
 }
 
 /// Computes the STP of a sequence of factors, left to right.
@@ -102,8 +109,7 @@ pub fn swap_matrix(m: usize, n: usize) -> Mat {
 /// The power-reducing matrix `M_r` (eq. 3): `a ⋉ a = M_r ⋉ a` for every
 /// Boolean vector `a ∈ S_V`.
 pub fn power_reducing_matrix() -> Mat {
-    Mat::from_rows(&[&[1, 0], &[0, 0], &[0, 0], &[0, 1]])
-        .expect("static shape is valid")
+    Mat::from_rows(&[&[1, 0], &[0, 0], &[0, 0], &[0, 1]]).expect("static shape is valid")
 }
 
 /// The variable swap matrix `M_w` (eq. 4): `M_w ⋉ b ⋉ a = a ⋉ b`.
@@ -221,13 +227,8 @@ mod tests {
     #[test]
     fn variable_swap_matrix_matches_paper() {
         let mw = variable_swap_matrix();
-        let expected = Mat::from_rows(&[
-            &[1, 0, 0, 0],
-            &[0, 0, 1, 0],
-            &[0, 1, 0, 0],
-            &[0, 0, 0, 1],
-        ])
-        .unwrap();
+        let expected =
+            Mat::from_rows(&[&[1, 0, 0, 0], &[0, 0, 1, 0], &[0, 1, 0, 0], &[0, 0, 0, 1]]).unwrap();
         assert_eq!(mw, expected);
         // M_w b a = a b  (Example 3).
         for a in [tv(), fv()] {

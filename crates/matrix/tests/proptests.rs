@@ -19,10 +19,7 @@ fn logic_matrix_strategy(n: usize) -> impl Strategy<Value = LogicMatrix> {
 }
 
 fn expr_strategy(n: usize) -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        (0..n).prop_map(Expr::var),
-        any::<bool>().prop_map(Expr::constant),
-    ];
+    let leaf = prop_oneof![(0..n).prop_map(Expr::var), any::<bool>().prop_map(Expr::constant),];
     leaf.prop_recursive(3, 20, 2, |inner| {
         prop_oneof![
             inner.clone().prop_map(|e| e.not()),

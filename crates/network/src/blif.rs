@@ -160,7 +160,8 @@ impl Network {
         let mut inputs: Vec<String> = Vec::new();
         let mut outputs: Vec<String> = Vec::new();
         // (inputs, output, cubes)
-        let mut tables: Vec<(Vec<String>, String, Vec<(String, char)>)> = Vec::new();
+        type Table = (Vec<String>, String, Vec<(String, char)>);
+        let mut tables: Vec<Table> = Vec::new();
         let mut i = 0usize;
         let mut saw_model = false;
         while i < lines.len() {
@@ -179,10 +180,7 @@ impl Network {
                     let output = names.last().expect("non-empty").clone();
                     let ins = names[..names.len() - 1].to_vec();
                     if ins.len() > 2 {
-                        return Err(ParseBlifError::TooManyInputs {
-                            output,
-                            inputs: ins.len(),
-                        });
+                        return Err(ParseBlifError::TooManyInputs { output, inputs: ins.len() });
                     }
                     let mut cubes = Vec::new();
                     while i + 1 < lines.len() && !lines[i + 1].starts_with('.') {
@@ -313,10 +311,7 @@ mod tests {
     fn round_trip_preserves_functions() {
         let net = sample();
         let parsed = Network::from_blif(&net.to_blif("t")).unwrap();
-        assert_eq!(
-            parsed.simulate_outputs().unwrap(),
-            net.simulate_outputs().unwrap()
-        );
+        assert_eq!(parsed.simulate_outputs().unwrap(), net.simulate_outputs().unwrap());
     }
 
     #[test]
@@ -394,7 +389,9 @@ mod tests {
             Err(ParseBlifError::UnsupportedDirective { .. })
         ));
         assert!(matches!(
-            Network::from_blif(".model t\n.inputs a b c\n.outputs f\n.names a b c f\n111 1\n.end\n"),
+            Network::from_blif(
+                ".model t\n.inputs a b c\n.outputs f\n.names a b c f\n111 1\n.end\n"
+            ),
             Err(ParseBlifError::TooManyInputs { .. })
         ));
         assert!(matches!(

@@ -199,10 +199,7 @@ mod tests {
         let bits = 2;
         let sop = ripple_carry_adder_sop(bits).unwrap();
         let fast = ripple_carry_adder(bits).unwrap();
-        assert_eq!(
-            sop.simulate_outputs().unwrap(),
-            fast.simulate_outputs().unwrap()
-        );
+        assert_eq!(sop.simulate_outputs().unwrap(), fast.simulate_outputs().unwrap());
         assert!(sop.live_gate_count() > fast.live_gate_count());
     }
 
@@ -233,10 +230,7 @@ mod tests {
     fn random_network_is_reproducible() {
         let a = random_network(4, 10, 2, &mut SmallRng::seed_from_u64(1)).unwrap();
         let b = random_network(4, 10, 2, &mut SmallRng::seed_from_u64(1)).unwrap();
-        assert_eq!(
-            a.simulate_outputs().unwrap(),
-            b.simulate_outputs().unwrap()
-        );
+        assert_eq!(a.simulate_outputs().unwrap(), b.simulate_outputs().unwrap());
         assert!(a.live_gate_count() > 0);
     }
 }

@@ -111,6 +111,8 @@ pub fn enumerate_cuts(net: &Network, k: usize, limit: usize) -> CutSet {
         mine.push(Cut::trivial(s));
         cuts.push(mine);
     }
+    stp_telemetry::counter!("network.cuts_enumerated")
+        .add(cuts.iter().map(Vec::len).sum::<usize>() as u64);
     CutSet { cuts }
 }
 

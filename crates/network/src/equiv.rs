@@ -143,9 +143,7 @@ pub fn equivalent_sat(
         SolveResult::Unknown => EquivResult::Unknown,
         SolveResult::Sat => {
             let model = solver.model();
-            EquivResult::Counterexample(
-                inputs.iter().map(|v| model[v.index()]).collect(),
-            )
+            EquivResult::Counterexample(inputs.iter().map(|v| model[v.index()]).collect())
         }
     })
 }
@@ -244,10 +242,7 @@ mod tests {
         let result =
             crate::rewrite::rewrite(&net, &crate::rewrite::RewriteConfig::default(), &mut cache)
                 .unwrap();
-        assert_eq!(
-            equivalent_sat(&net, &result.network, None).unwrap(),
-            EquivResult::Equivalent
-        );
+        assert_eq!(equivalent_sat(&net, &result.network, None).unwrap(), EquivResult::Equivalent);
     }
 
     #[test]

@@ -85,8 +85,6 @@ mod tests {
         assert!(NetworkError::SignalOutOfRange { signal: 9, available: 3 }
             .to_string()
             .contains('9'));
-        assert!(NetworkError::TooManyInputsForSimulation { inputs: 40 }
-            .to_string()
-            .contains("40"));
+        assert!(NetworkError::TooManyInputsForSimulation { inputs: 40 }.to_string().contains("40"));
     }
 }

@@ -47,10 +47,10 @@ mod error;
 mod network;
 mod rewrite;
 
+pub use blif::ParseBlifError;
 pub use circuits::{
     equality_comparator, mux_tree, random_network, ripple_carry_adder, ripple_carry_adder_sop,
 };
-pub use blif::ParseBlifError;
 pub use cuts::{cut_function, enumerate_cuts, Cut, CutSet};
 pub use equiv::{equivalent_exhaustive, equivalent_sat, EquivResult};
 pub use error::NetworkError;

@@ -112,12 +112,7 @@ fn swap_operands(tt2: u8) -> u8 {
 impl Network {
     /// Creates a network with `num_inputs` primary inputs.
     pub fn new(num_inputs: usize) -> Self {
-        Network {
-            num_inputs,
-            gates: Vec::new(),
-            outputs: Vec::new(),
-            strash: HashMap::new(),
-        }
+        Network { num_inputs, gates: Vec::new(), outputs: Vec::new(), strash: HashMap::new() }
     }
 
     /// Number of primary inputs.
@@ -378,11 +373,7 @@ impl Network {
     /// Network depth: maximum output level.
     pub fn depth(&self) -> usize {
         let levels = self.levels();
-        self.outputs
-            .iter()
-            .map(|s| levels[s.index()])
-            .max()
-            .unwrap_or(0)
+        self.outputs.iter().map(|s| levels[s.index()]).max().unwrap_or(0)
     }
 
     /// Simulates every signal exhaustively (inputs ≤
@@ -513,10 +504,7 @@ mod tests {
         assert_eq!(tts[0], TruthTable::constant(2, false).unwrap());
         assert_eq!(tts[1], TruthTable::variable(2, 0).unwrap());
         net.add_output(Sig::TRUE);
-        assert_eq!(
-            net.simulate_outputs().unwrap()[0],
-            TruthTable::constant(2, true).unwrap()
-        );
+        assert_eq!(net.simulate_outputs().unwrap()[0], TruthTable::constant(2, true).unwrap());
     }
 
     #[test]
@@ -576,10 +564,7 @@ mod tests {
         let m = net.mux(s, t, e).unwrap();
         net.add_output(m);
         let tt = net.simulate_outputs().unwrap()[0].clone();
-        assert_eq!(
-            tt,
-            TruthTable::from_fn(3, |x| if x[0] { x[1] } else { x[2] }).unwrap()
-        );
+        assert_eq!(tt, TruthTable::from_fn(3, |x| if x[0] { x[1] } else { x[2] }).unwrap());
     }
 
     #[test]
@@ -593,10 +578,7 @@ mod tests {
         let inputs: Vec<Sig> = (0..4).map(|i| net.input(i)).collect();
         let out = net.add_chain(&chain, &inputs).unwrap();
         net.add_output(out);
-        assert_eq!(
-            net.simulate_outputs().unwrap()[0],
-            TruthTable::from_hex(4, "8ff8").unwrap()
-        );
+        assert_eq!(net.simulate_outputs().unwrap()[0], TruthTable::from_hex(4, "8ff8").unwrap());
         assert_eq!(net.live_gate_count(), 3);
     }
 

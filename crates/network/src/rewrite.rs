@@ -87,10 +87,12 @@ impl SynthesisCache {
         let rep_chain = match self.entries.get(&canon.representative) {
             Some(hit) => {
                 self.hits += 1;
+                stp_telemetry::counter!("network.synth_cache_hits").inc();
                 hit.clone()
             }
             None => {
                 self.misses += 1;
+                stp_telemetry::counter!("network.synth_cache_misses").inc();
                 let config = SynthesisConfig {
                     deadline: Some(Instant::now() + budget),
                     max_solutions: 1,
@@ -139,10 +141,7 @@ pub fn exact_network(
 ) -> Result<Network, NetworkError> {
     assert!(!specs.is_empty(), "need at least one output");
     let n = specs[0].num_vars();
-    assert!(
-        specs.iter().all(|s| s.num_vars() == n),
-        "all outputs share one input space"
-    );
+    assert!(specs.iter().all(|s| s.num_vars() == n), "all outputs share one input space");
     let mut net = Network::new(n);
     let inputs: Vec<Sig> = (0..n).map(|i| net.input(i)).collect();
     for spec in specs {
@@ -214,13 +213,7 @@ pub struct RewriteResult {
 /// gates that die if `root` is replaced by new logic over the cut
 /// leaves.
 fn mffc_size(net: &Network, root: usize, cut: &Cut, refs: &[usize]) -> usize {
-    fn deref(
-        net: &Network,
-        s: usize,
-        cut: &Cut,
-        refs: &mut Vec<usize>,
-        count: &mut usize,
-    ) {
+    fn deref(net: &Network, s: usize, cut: &Cut, refs: &mut Vec<usize>, count: &mut usize) {
         if cut.leaves.binary_search(&s).is_ok() || !net.is_gate(s) {
             return;
         }
@@ -270,6 +263,11 @@ pub fn rewrite(
         }
     }
     let gates_after = current.live_gate_count();
+    stp_telemetry::counter!("network.rewrite_replacements").add(all_replacements.len() as u64);
+    stp_telemetry::debug!(
+        "rewrite: {gates_before} -> {gates_after} gates over {passes} passes ({} replacements)",
+        all_replacements.len()
+    );
     Ok(RewriteResult {
         network: current,
         gates_before,
@@ -284,6 +282,7 @@ fn rewrite_pass(
     config: &RewriteConfig,
     cache: &mut SynthesisCache,
 ) -> Result<(Network, Vec<Replacement>), NetworkError> {
+    let _pass = stp_telemetry::span!("rewrite.pass");
     let cuts = enumerate_cuts(net, config.cut_size, config.cut_limit);
     let refs = net.reference_counts();
 
@@ -410,17 +409,11 @@ mod tests {
     fn exact_network_realizes_all_outputs() {
         // Full adder: sum and carry over (a, b, cin).
         let sum = TruthTable::from_fn(3, |x| x[0] ^ x[1] ^ x[2]).unwrap();
-        let carry = TruthTable::from_fn(3, |x| {
-            (x[0] as u8 + x[1] as u8 + x[2] as u8) >= 2
-        })
-        .unwrap();
+        let carry =
+            TruthTable::from_fn(3, |x| (x[0] as u8 + x[1] as u8 + x[2] as u8) >= 2).unwrap();
         let mut cache = SynthesisCache::new();
-        let net = exact_network(
-            &[sum.clone(), carry.clone()],
-            &mut cache,
-            Duration::from_secs(30),
-        )
-        .unwrap();
+        let net = exact_network(&[sum.clone(), carry.clone()], &mut cache, Duration::from_secs(30))
+            .unwrap();
         let outs = net.simulate_outputs().unwrap();
         assert_eq!(outs[0], sum);
         assert_eq!(outs[1], carry);
@@ -447,7 +440,7 @@ mod tests {
         // Shannon fallback — the result must still be correct.
         let spec = TruthTable::from_hex(4, "8ff8").unwrap();
         let mut cache = SynthesisCache::new();
-        let net = exact_network(&[spec.clone()], &mut cache, Duration::ZERO).unwrap();
+        let net = exact_network(std::slice::from_ref(&spec), &mut cache, Duration::ZERO).unwrap();
         assert_eq!(net.simulate_outputs().unwrap()[0], spec);
     }
 
@@ -534,9 +527,6 @@ mod tests {
         let mut cache = SynthesisCache::new();
         let result = rewrite(&net, &RewriteConfig::default(), &mut cache).unwrap();
         assert_eq!(result.gates_after, 1);
-        assert_eq!(
-            result.network.simulate_outputs().unwrap(),
-            net.simulate_outputs().unwrap()
-        );
+        assert_eq!(result.network.simulate_outputs().unwrap(), net.simulate_outputs().unwrap());
     }
 }

@@ -44,7 +44,9 @@ impl fmt::Display for ParseDimacsError {
             ParseDimacsError::LiteralOutOfRange { var, declared } => {
                 write!(f, "literal references variable {var} but only {declared} are declared")
             }
-            ParseDimacsError::UnterminatedClause => write!(f, "missing 0 terminator on final clause"),
+            ParseDimacsError::UnterminatedClause => {
+                write!(f, "missing 0 terminator on final clause")
+            }
         }
     }
 }
@@ -87,9 +89,8 @@ impl Cnf {
                 }
                 continue;
             }
-            let declared = num_vars.ok_or(ParseDimacsError::BadHeader {
-                line: line.to_string(),
-            })?;
+            let declared =
+                num_vars.ok_or(ParseDimacsError::BadHeader { line: line.to_string() })?;
             for token in line.split_whitespace() {
                 let value: i64 = token
                     .parse()
@@ -182,14 +183,8 @@ mod tests {
 
     #[test]
     fn parse_errors() {
-        assert!(matches!(
-            Cnf::parse("p cnf x 1\n"),
-            Err(ParseDimacsError::BadHeader { .. })
-        ));
-        assert!(matches!(
-            Cnf::parse("1 0\n"),
-            Err(ParseDimacsError::BadHeader { .. })
-        ));
+        assert!(matches!(Cnf::parse("p cnf x 1\n"), Err(ParseDimacsError::BadHeader { .. })));
+        assert!(matches!(Cnf::parse("1 0\n"), Err(ParseDimacsError::BadHeader { .. })));
         assert!(matches!(
             Cnf::parse("p cnf 1 1\nfoo 0\n"),
             Err(ParseDimacsError::BadLiteral { .. })

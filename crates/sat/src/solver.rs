@@ -507,9 +507,7 @@ impl Solver {
             let keep = match self.reason[v.index()] {
                 None => true,
                 Some(ci) => self.clauses[ci as usize].lits.iter().any(|&q| {
-                    q.var() != v
-                        && !self.seen[q.var().index()]
-                        && self.level[q.var().index()] > 0
+                    q.var() != v && !self.seen[q.var().index()] && self.level[q.var().index()] > 0
                 }),
             };
             if keep {
@@ -573,9 +571,7 @@ impl Solver {
             .clauses
             .iter()
             .enumerate()
-            .filter(|(i, c)| {
-                c.learnt && !c.deleted && c.lits.len() > 2 && !is_locked(*i as u32)
-            })
+            .filter(|(i, c)| c.learnt && !c.deleted && c.lits.len() > 2 && !is_locked(*i as u32))
             .map(|(i, c)| (i as u32, c.activity))
             .collect();
         cand.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
@@ -615,11 +611,17 @@ impl Solver {
         if !self.ok {
             return SolveResult::Unsat;
         }
+        let before = self.stats;
         let result = self.search(assumptions);
         if result == SolveResult::Sat {
             self.model = self.assigns.iter().map(|&a| a == 1).collect();
         }
         self.backtrack_to(0);
+        stp_telemetry::counter!("sat.solve_calls").inc();
+        stp_telemetry::counter!("sat.conflicts").add(self.stats.conflicts - before.conflicts);
+        stp_telemetry::counter!("sat.decisions").add(self.stats.decisions - before.decisions);
+        stp_telemetry::counter!("sat.propagations")
+            .add(self.stats.propagations - before.propagations);
         result
     }
 
@@ -842,10 +844,7 @@ mod tests {
         s.add_clause(&[vs[0].pos(), vs[1].pos()]);
         assert_eq!(s.solve_with_assumptions(&[vs[0].neg()]), SolveResult::Sat);
         assert_eq!(s.value(vs[1]), Some(true));
-        assert_eq!(
-            s.solve_with_assumptions(&[vs[0].neg(), vs[1].neg()]),
-            SolveResult::Unsat
-        );
+        assert_eq!(s.solve_with_assumptions(&[vs[0].neg(), vs[1].neg()]), SolveResult::Unsat);
         // The formula itself is still satisfiable.
         assert_eq!(s.solve(), SolveResult::Sat);
     }
@@ -980,10 +979,9 @@ mod tests {
                 s.add_clause(&lits);
             }
             let brute_sat = (0..(1u32 << nv)).any(|m| {
-                clauses.iter().all(|c| {
-                    c.iter()
-                        .any(|l| ((m >> l.var().index()) & 1 == 1) == l.is_positive())
-                })
+                clauses
+                    .iter()
+                    .all(|c| c.iter().any(|l| ((m >> l.var().index()) & 1 == 1) == l.is_positive()))
             });
             let got = s.solve();
             assert_eq!(
@@ -1022,8 +1020,7 @@ mod tests {
             let brute: u64 = (0..(1u32 << nv))
                 .filter(|m| {
                     clauses.iter().all(|c| {
-                        c.iter()
-                            .any(|l| ((m >> l.var().index()) & 1 == 1) == l.is_positive())
+                        c.iter().any(|l| ((m >> l.var().index()) & 1 == 1) == l.is_positive())
                     })
                 })
                 .count() as u64;

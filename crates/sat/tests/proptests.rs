@@ -22,9 +22,7 @@ fn cnf_strategy(max_vars: usize, max_clauses: usize) -> impl Strategy<Value = Ra
 fn brute_force_models(cnf: &RandomCnf) -> Vec<u32> {
     (0..(1u32 << cnf.num_vars))
         .filter(|m| {
-            cnf.clauses.iter().all(|c| {
-                c.iter().any(|&(v, pos)| ((m >> v) & 1 == 1) == pos)
-            })
+            cnf.clauses.iter().all(|c| c.iter().any(|&(v, pos)| ((m >> v) & 1 == 1) == pos))
         })
         .collect()
 }
@@ -33,10 +31,8 @@ fn load(cnf: &RandomCnf) -> (Solver, Vec<Var>) {
     let mut solver = Solver::new();
     let vars: Vec<Var> = (0..cnf.num_vars).map(|_| solver.new_var()).collect();
     for clause in &cnf.clauses {
-        let lits: Vec<Lit> = clause
-            .iter()
-            .map(|&(v, pos)| Lit::with_polarity(vars[v], pos))
-            .collect();
+        let lits: Vec<Lit> =
+            clause.iter().map(|&(v, pos)| Lit::with_polarity(vars[v], pos)).collect();
         solver.add_clause(&lits);
     }
     (solver, vars)

@@ -1,0 +1,196 @@
+//! Leveled stderr logging plus a stdout "report" channel.
+//!
+//! One process-global level gates both channels. Diagnostics
+//! (`error!` … `trace!`) go to stderr with a `[level]` prefix; program
+//! output that tools want to keep machine-greppable (`report!`) goes to
+//! stdout with no prefix and is shown at the default level, so routing a
+//! binary's `println!` calls through `report!` leaves its default output
+//! byte-identical while still letting `--log error` silence it.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Verbosity levels, in increasing order of chattiness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// Suppress everything, including `report!` output.
+    Off = 0,
+    /// Unrecoverable problems.
+    Error = 1,
+    /// Suspicious conditions the run survived.
+    Warn = 2,
+    /// Program output and high-level progress. The default.
+    Info = 3,
+    /// Per-phase diagnostics.
+    Debug = 4,
+    /// Per-span timings and inner-loop detail.
+    Trace = 5,
+}
+
+impl Level {
+    /// Parses a level name (case-insensitive).
+    pub fn parse(text: &str) -> Option<Level> {
+        match text.to_ascii_lowercase().as_str() {
+            "off" | "none" | "quiet" => Some(Level::Off),
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            "trace" => Some(Level::Trace),
+            _ => None,
+        }
+    }
+
+    /// The lowercase name used in log prefixes and flag values.
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Off => "off",
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+
+    fn from_u8(v: u8) -> Level {
+        match v {
+            0 => Level::Off,
+            1 => Level::Error,
+            2 => Level::Warn,
+            3 => Level::Info,
+            4 => Level::Debug,
+            _ => Level::Trace,
+        }
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+static LEVEL: AtomicU8 = AtomicU8::new(Level::Info as u8);
+
+/// Sets the global log level.
+pub fn set_level(level: Level) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// The current global log level.
+pub fn level() -> Level {
+    Level::from_u8(LEVEL.load(Ordering::Relaxed))
+}
+
+/// Whether messages at `at` are currently emitted.
+#[inline]
+pub fn enabled(at: Level) -> bool {
+    at as u8 <= LEVEL.load(Ordering::Relaxed)
+}
+
+/// Applies the `STP_LOG` environment variable, if set to a valid level.
+/// Returns the resulting global level.
+pub fn init_from_env() -> Level {
+    if let Ok(raw) = std::env::var("STP_LOG") {
+        if let Some(parsed) = Level::parse(&raw) {
+            set_level(parsed);
+        }
+    }
+    level()
+}
+
+#[doc(hidden)]
+pub fn __emit(at: Level, args: fmt::Arguments<'_>) {
+    eprintln!("[{}] {}", at.name(), args);
+}
+
+/// Logs at [`Level::Error`] to stderr.
+#[macro_export]
+macro_rules! error {
+    ($($arg:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::Error) {
+            $crate::log::__emit($crate::log::Level::Error, format_args!($($arg)*));
+        }
+    };
+}
+
+/// Logs at [`Level::Warn`] to stderr.
+#[macro_export]
+macro_rules! warn {
+    ($($arg:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::Warn) {
+            $crate::log::__emit($crate::log::Level::Warn, format_args!($($arg)*));
+        }
+    };
+}
+
+/// Logs at [`Level::Info`] to stderr.
+#[macro_export]
+macro_rules! info {
+    ($($arg:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::Info) {
+            $crate::log::__emit($crate::log::Level::Info, format_args!($($arg)*));
+        }
+    };
+}
+
+/// Logs at [`Level::Debug`] to stderr.
+#[macro_export]
+macro_rules! debug {
+    ($($arg:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::Debug) {
+            $crate::log::__emit($crate::log::Level::Debug, format_args!($($arg)*));
+        }
+    };
+}
+
+/// Logs at [`Level::Trace`] to stderr.
+#[macro_export]
+macro_rules! trace {
+    ($($arg:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::Trace) {
+            $crate::log::__emit($crate::log::Level::Trace, format_args!($($arg)*));
+        }
+    };
+}
+
+/// Prints program output to stdout, unprefixed, gated at [`Level::Info`].
+///
+/// `report!()` with no arguments prints an empty line.
+#[macro_export]
+macro_rules! report {
+    () => {
+        if $crate::log::enabled($crate::log::Level::Info) {
+            println!();
+        }
+    };
+    ($($arg:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::Info) {
+            println!($($arg)*);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_names() {
+        assert_eq!(Level::parse("TRACE"), Some(Level::Trace));
+        assert_eq!(Level::parse("warning"), Some(Level::Warn));
+        assert_eq!(Level::parse("quiet"), Some(Level::Off));
+        assert_eq!(Level::parse("bogus"), None);
+    }
+
+    #[test]
+    fn ordering_matches_verbosity() {
+        assert!(Level::Error < Level::Trace);
+        assert!(Level::Off < Level::Error);
+        for l in [Level::Off, Level::Error, Level::Warn, Level::Info, Level::Debug, Level::Trace] {
+            assert_eq!(Level::parse(l.name()), Some(l));
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! Structured end-of-run reports.
+//!
+//! A [`RunReport`] is the machine-readable summary a tool prints under
+//! `--stats`: what ran, how long it took, every counter, and a
+//! per-phase wall-time table derived from span histograms. It
+//! serializes through the in-crate [`Json`] type and parses back, so
+//! downstream scripts (and this workspace's own integration tests) can
+//! consume it without external dependencies.
+
+use std::collections::BTreeMap;
+
+use crate::json::Json;
+use crate::metrics::MetricsSnapshot;
+
+/// Wall-time statistics for one span name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseStats {
+    /// Span name, e.g. `phase.verify`.
+    pub name: String,
+    /// Number of completed spans.
+    pub calls: u64,
+    /// Total time across calls, seconds.
+    pub total_s: f64,
+    /// Mean time per call, seconds.
+    pub mean_s: f64,
+    /// Fastest call, seconds.
+    pub min_s: f64,
+    /// Slowest call, seconds.
+    pub max_s: f64,
+}
+
+/// A structured summary of one tool invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Tool name, e.g. `stpsynth`.
+    pub tool: String,
+    /// Arguments after the program name.
+    pub args: Vec<String>,
+    /// Coarse outcome: `ok`, `timeout`, `error`, ...
+    pub outcome: String,
+    /// End-to-end wall time, seconds.
+    pub wall_s: f64,
+    /// Every counter with a non-zero value.
+    pub counters: BTreeMap<String, u64>,
+    /// Per-span wall-time stats, sorted by descending total time.
+    pub phases: Vec<PhaseStats>,
+    /// Tool-specific extras (gate counts, solution counts, ...).
+    pub extra: Vec<(String, Json)>,
+}
+
+impl RunReport {
+    /// Builds a report from a metrics snapshot. Histograms become
+    /// [`PhaseStats`]; zero counters are dropped.
+    pub fn from_snapshot(
+        tool: &str,
+        args: &[String],
+        outcome: &str,
+        wall_s: f64,
+        snapshot: &MetricsSnapshot,
+    ) -> RunReport {
+        let counters = snapshot
+            .counters
+            .iter()
+            .filter(|(_, v)| **v > 0)
+            .map(|(k, v)| (k.clone(), *v))
+            .collect();
+        let mut phases: Vec<PhaseStats> = snapshot
+            .histograms
+            .iter()
+            .filter(|(_, h)| h.count > 0)
+            .map(|(name, h)| PhaseStats {
+                name: name.clone(),
+                calls: h.count,
+                total_s: h.total_s(),
+                mean_s: h.mean_s(),
+                min_s: h.min_ns as f64 / 1e9,
+                max_s: h.max_ns as f64 / 1e9,
+            })
+            .collect();
+        phases.sort_by(|a, b| b.total_s.total_cmp(&a.total_s).then(a.name.cmp(&b.name)));
+        RunReport {
+            tool: tool.to_string(),
+            args: args.to_vec(),
+            outcome: outcome.to_string(),
+            wall_s,
+            counters,
+            phases,
+            extra: Vec::new(),
+        }
+    }
+
+    /// Attaches a tool-specific extra field.
+    pub fn with_extra(mut self, key: &str, value: Json) -> RunReport {
+        self.extra.push((key.to_string(), value));
+        self
+    }
+
+    /// The report as a JSON value.
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("tool".to_string(), Json::Str(self.tool.clone())),
+            (
+                "args".to_string(),
+                Json::Arr(self.args.iter().map(|a| Json::Str(a.clone())).collect()),
+            ),
+            ("outcome".to_string(), Json::Str(self.outcome.clone())),
+            ("wall_s".to_string(), Json::Num(self.wall_s)),
+            (
+                "counters".to_string(),
+                Json::Obj(self.counters.iter().map(|(k, v)| (k.clone(), Json::UInt(*v))).collect()),
+            ),
+            (
+                "phases".to_string(),
+                Json::Arr(
+                    self.phases
+                        .iter()
+                        .map(|p| {
+                            Json::obj(vec![
+                                ("name", Json::Str(p.name.clone())),
+                                ("calls", Json::UInt(p.calls)),
+                                ("total_s", Json::Num(p.total_s)),
+                                ("mean_s", Json::Num(p.mean_s)),
+                                ("min_s", Json::Num(p.min_s)),
+                                ("max_s", Json::Num(p.max_s)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ];
+        for (k, v) in &self.extra {
+            fields.push((k.clone(), v.clone()));
+        }
+        Json::Obj(fields)
+    }
+
+    /// The report as a single-line JSON string.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_string()
+    }
+
+    /// Parses a report previously produced by [`RunReport::to_json_string`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first missing or mistyped field.
+    pub fn parse(text: &str) -> Result<RunReport, String> {
+        let doc = Json::parse(text).map_err(|e| e.to_string())?;
+        let str_field = |key: &str| -> Result<String, String> {
+            doc.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing string field '{key}'"))
+        };
+        let tool = str_field("tool")?;
+        let outcome = str_field("outcome")?;
+        let wall_s =
+            doc.get("wall_s").and_then(Json::as_f64).ok_or("missing number field 'wall_s'")?;
+        let args = doc
+            .get("args")
+            .and_then(Json::as_arr)
+            .ok_or("missing array field 'args'")?
+            .iter()
+            .filter_map(|a| a.as_str().map(str::to_string))
+            .collect();
+        let counters = doc
+            .get("counters")
+            .and_then(Json::as_obj)
+            .ok_or("missing object field 'counters'")?
+            .iter()
+            .filter_map(|(k, v)| v.as_u64().map(|v| (k.clone(), v)))
+            .collect();
+        let phases = doc
+            .get("phases")
+            .and_then(Json::as_arr)
+            .ok_or("missing array field 'phases'")?
+            .iter()
+            .map(|p| -> Result<PhaseStats, String> {
+                let num = |key: &str| -> Result<f64, String> {
+                    p.get(key)
+                        .and_then(Json::as_f64)
+                        .ok_or_else(|| format!("phase missing number '{key}'"))
+                };
+                Ok(PhaseStats {
+                    name: p
+                        .get("name")
+                        .and_then(Json::as_str)
+                        .ok_or("phase missing 'name'")?
+                        .to_string(),
+                    calls: p.get("calls").and_then(Json::as_u64).ok_or("phase missing 'calls'")?,
+                    total_s: num("total_s")?,
+                    mean_s: num("mean_s")?,
+                    min_s: num("min_s")?,
+                    max_s: num("max_s")?,
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let known = ["tool", "args", "outcome", "wall_s", "counters", "phases"];
+        let extra = doc
+            .as_obj()
+            .expect("parse() object-checked above")
+            .iter()
+            .filter(|(k, _)| !known.contains(&k.as_str()))
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        Ok(RunReport { tool, args, outcome, wall_s, counters, phases, extra })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Metrics;
+    use std::time::Duration;
+
+    fn sample_snapshot() -> MetricsSnapshot {
+        let m = Metrics::new();
+        m.counter("fence.shapes_generated").add(17);
+        m.counter("unused").add(0);
+        m.histogram("phase.verify").record(Duration::from_millis(2));
+        m.histogram("phase.verify").record(Duration::from_millis(4));
+        m.snapshot()
+    }
+
+    #[test]
+    fn roundtrips_through_json() {
+        let args = vec!["8ff8".to_string(), "4".to_string()];
+        let report = RunReport::from_snapshot("stpsynth", &args, "ok", 0.25, &sample_snapshot())
+            .with_extra("gate_count", Json::UInt(5));
+        let text = report.to_json_string();
+        let back = RunReport::parse(&text).unwrap();
+        assert_eq!(back, report);
+        assert_eq!(back.counters["fence.shapes_generated"], 17);
+        assert!(!back.counters.contains_key("unused"), "zero counters dropped");
+        assert_eq!(back.phases[0].name, "phase.verify");
+        assert_eq!(back.phases[0].calls, 2);
+        assert!(back.phases[0].total_s >= 0.006 - 1e-9);
+        assert_eq!(back.extra[0], ("gate_count".to_string(), Json::UInt(5)));
+    }
+
+    #[test]
+    fn phases_sorted_by_total_time() {
+        let m = Metrics::new();
+        m.histogram("fast").record(Duration::from_micros(1));
+        m.histogram("slow").record(Duration::from_millis(10));
+        let report = RunReport::from_snapshot("t", &[], "ok", 0.0, &m.snapshot());
+        assert_eq!(report.phases[0].name, "slow");
+        assert_eq!(report.phases[1].name, "fast");
+    }
+
+    #[test]
+    fn parse_rejects_missing_fields() {
+        assert!(RunReport::parse("{}").is_err());
+        assert!(RunReport::parse("not json").is_err());
+        assert!(RunReport::parse(r#"{"tool":"t","outcome":"ok","wall_s":1}"#).is_err());
+    }
+}

@@ -1,0 +1,130 @@
+//! RAII timing spans.
+//!
+//! A [`Span`] starts a stopwatch on creation and, when dropped, records
+//! the elapsed time into the histogram of the same name, emits a JSONL
+//! trace event if a trace writer is installed, and logs at
+//! [`Level::Trace`](crate::log::Level). Spans nest: a thread-local depth
+//! counter tracks lexical nesting, which the trace sink records so
+//! flame-style views can be reconstructed offline.
+
+use std::borrow::Cow;
+use std::cell::Cell;
+use std::time::Instant;
+
+use crate::metrics;
+use crate::trace;
+
+thread_local! {
+    static DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+/// The current thread's span nesting depth (0 outside any span).
+pub fn current_depth() -> u32 {
+    DEPTH.with(|d| d.get())
+}
+
+/// A running stopwatch tied to a named histogram; see the module docs.
+#[must_use = "a span measures until it is dropped; binding it to `_` drops it immediately"]
+pub struct Span {
+    name: Cow<'static, str>,
+    start: Instant,
+    depth: u32,
+}
+
+impl Span {
+    /// Starts a span with a static name (the common, zero-alloc case).
+    pub fn enter(name: &'static str) -> Span {
+        Span::start(Cow::Borrowed(name))
+    }
+
+    /// Starts a span with a computed name, e.g. one per gate count.
+    pub fn enter_owned(name: String) -> Span {
+        Span::start(Cow::Owned(name))
+    }
+
+    fn start(name: Cow<'static, str>) -> Span {
+        let depth = DEPTH.with(|d| {
+            let v = d.get();
+            d.set(v + 1);
+            v
+        });
+        Span { name, start: Instant::now(), depth }
+    }
+
+    /// The span's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Elapsed time so far, without ending the span.
+    pub fn elapsed(&self) -> std::time::Duration {
+        self.start.elapsed()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let elapsed = self.start.elapsed();
+        DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        metrics::global().histogram(&self.name).record(elapsed);
+        if trace::trace_enabled() {
+            trace::emit_span(&self.name, self.start, elapsed, self.depth);
+        }
+        crate::trace!("span {} {:.6}s (depth {})", self.name, elapsed.as_secs_f64(), self.depth);
+    }
+}
+
+/// Starts a [`Span`]; accepts a `'static` name or a format string.
+///
+/// ```
+/// let _guard = stp_telemetry::span!("phase.fence_enum");
+/// let _per_round = stp_telemetry::span!("synth.round.r{}", 3);
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:literal) => {
+        $crate::span::Span::enter($name)
+    };
+    ($($arg:tt)*) => {
+        $crate::span::Span::enter_owned(format!($($arg)*))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_record_into_histograms() {
+        {
+            let _s = Span::enter("telemetry.test.span");
+        }
+        let snap = metrics::global().snapshot();
+        assert!(snap.histograms["telemetry.test.span"].count >= 1);
+    }
+
+    #[test]
+    fn spans_nest_and_unwind() {
+        assert_eq!(current_depth(), 0);
+        let outer = Span::enter("telemetry.test.outer");
+        assert_eq!(current_depth(), 1);
+        assert_eq!(outer.depth, 0);
+        {
+            let inner = Span::enter("telemetry.test.inner");
+            assert_eq!(current_depth(), 2);
+            assert_eq!(inner.depth, 1);
+        }
+        assert_eq!(current_depth(), 1);
+        drop(outer);
+        assert_eq!(current_depth(), 0);
+    }
+
+    #[test]
+    fn span_macro_accepts_both_forms() {
+        let a = crate::span!("telemetry.test.lit");
+        let b = crate::span!("telemetry.test.dyn.r{}", 7);
+        assert_eq!(a.name(), "telemetry.test.lit");
+        assert_eq!(b.name(), "telemetry.test.dyn.r7");
+        assert!(b.elapsed().as_nanos() < u128::MAX);
+    }
+}

@@ -1,0 +1,133 @@
+//! JSONL trace-event sink.
+//!
+//! When installed (CLI flag `--trace-json <path>`), every completed
+//! [`Span`](crate::span::Span) appends one line in the Chrome
+//! trace-event style: `ph:"X"` complete events with microsecond
+//! timestamps relative to the first event, plus the span's nesting
+//! depth and thread id. [`finish`] appends a final `ph:"C"` event
+//! carrying the counter snapshot and flushes. Lines are valid JSON
+//! documents, so the file is both `jq`-able line-by-line and easy to
+//! wrap into a `{"traceEvents": [...]}` envelope for viewers.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::json::Json;
+use crate::metrics;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static SINK: Mutex<Option<BufWriter<File>>> = Mutex::new(None);
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+fn epoch() -> Instant {
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Whether a trace writer is installed (fast path for instruments).
+#[inline]
+pub fn trace_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Installs a JSONL trace writer at `path`, truncating any existing
+/// file.
+///
+/// # Errors
+///
+/// Propagates the file-creation error.
+pub fn install_writer(path: &Path) -> std::io::Result<()> {
+    let file = File::create(path)?;
+    epoch(); // Anchor timestamps no later than installation.
+    *SINK.lock().expect("trace sink lock") = Some(BufWriter::new(file));
+    ENABLED.store(true, Ordering::Relaxed);
+    Ok(())
+}
+
+fn thread_id_json() -> Json {
+    // ThreadId has no stable numeric accessor; its Debug form
+    // "ThreadId(N)" is stable enough for a diagnostic field.
+    Json::Str(format!("{:?}", std::thread::current().id()))
+}
+
+fn write_line(doc: &Json) {
+    let mut guard = SINK.lock().expect("trace sink lock");
+    if let Some(w) = guard.as_mut() {
+        // A full disk is not worth panicking the synthesis run over.
+        let _ = writeln!(w, "{doc}");
+    }
+}
+
+/// Appends a complete ("X") event for a finished span.
+pub fn emit_span(name: &str, start: Instant, elapsed: std::time::Duration, depth: u32) {
+    let ts_us = start.duration_since(epoch()).as_micros().min(u64::MAX as u128) as u64;
+    let dur_us = elapsed.as_micros().min(u64::MAX as u128) as u64;
+    write_line(&Json::obj(vec![
+        ("name", Json::Str(name.to_string())),
+        ("ph", Json::Str("X".to_string())),
+        ("ts", Json::UInt(ts_us)),
+        ("dur", Json::UInt(dur_us)),
+        ("depth", Json::UInt(depth as u64)),
+        ("tid", thread_id_json()),
+    ]));
+}
+
+/// Appends a counter ("C") event with the current global counter
+/// values and flushes the sink. Call once before process exit; safe to
+/// call when no writer is installed.
+pub fn finish() {
+    if !trace_enabled() {
+        return;
+    }
+    let counters = metrics::global()
+        .snapshot()
+        .counters
+        .into_iter()
+        .map(|(k, v)| (k, Json::UInt(v)))
+        .collect();
+    let ts_us = epoch().elapsed().as_micros().min(u64::MAX as u128) as u64;
+    write_line(&Json::obj(vec![
+        ("name", Json::Str("counters".to_string())),
+        ("ph", Json::Str("C".to_string())),
+        ("ts", Json::UInt(ts_us)),
+        ("args", Json::Obj(counters)),
+    ]));
+    if let Some(w) = SINK.lock().expect("trace sink lock").as_mut() {
+        let _ = w.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One combined test: the sink is process-global, so splitting
+    /// install/emit/finish across tests would interleave.
+    #[test]
+    fn writes_parseable_jsonl() {
+        let path = std::env::temp_dir()
+            .join(format!("stp-telemetry-trace-test-{}.jsonl", std::process::id()));
+        install_writer(&path).unwrap();
+        assert!(trace_enabled());
+        {
+            let _s = crate::span!("telemetry.test.traced");
+        }
+        metrics::global().counter("telemetry.test.trace_counter").inc();
+        finish();
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines.len() >= 2, "span event + counter event, got: {text}");
+        let span_event = Json::parse(lines[0]).unwrap();
+        assert_eq!(span_event.get("ph").unwrap().as_str(), Some("X"));
+        assert_eq!(span_event.get("name").unwrap().as_str(), Some("telemetry.test.traced"));
+        assert!(span_event.get("dur").unwrap().as_u64().is_some());
+        let counter_event = Json::parse(lines.last().unwrap()).unwrap();
+        assert_eq!(counter_event.get("ph").unwrap().as_str(), Some("C"));
+        assert!(counter_event.get("args").unwrap().get("telemetry.test.trace_counter").is_some());
+        let _ = std::fs::remove_file(&path);
+    }
+}

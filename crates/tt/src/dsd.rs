@@ -245,10 +245,10 @@ pub fn try_top_decomposition(
         }
     }
     let second = second?; // exactly one distinct row means f ignores A
-    // …and at most two distinct column values given the two row classes.
-    // Columns are pairs (first[c], second[c]); for g to be a function of
-    // (h₁, h₂) with h₂ binary, the columns must take at most two distinct
-    // pair values.
+                          // …and at most two distinct column values given the two row classes.
+                          // Columns are pairs (first[c], second[c]); for g to be a function of
+                          // (h₁, h₂) with h₂ binary, the columns must take at most two distinct
+                          // pair values.
     let mut col_class = vec![false; cols];
     let first_pair = (first[0], second[0]);
     let mut second_pair: Option<(bool, bool)> = None;
@@ -317,8 +317,7 @@ pub fn try_top_decomposition(
 /// Panics if `num_vars == 0` or `num_vars > MAX_VARS`.
 pub fn random_fdsd<R: Rng>(num_vars: usize, rng: &mut R) -> TruthTable {
     let tree = random_fdsd_tree(num_vars, rng);
-    tree.to_truth_table(num_vars)
-        .expect("generated tree references only declared variables")
+    tree.to_truth_table(num_vars).expect("generated tree references only declared variables")
 }
 
 /// Generates the [`DsdNode`] tree behind [`random_fdsd`] (useful when the
@@ -330,10 +329,7 @@ pub fn random_fdsd<R: Rng>(num_vars: usize, rng: &mut R) -> TruthTable {
 /// Panics if `num_vars == 0` or `num_vars > MAX_VARS`.
 pub fn random_fdsd_tree<R: Rng>(num_vars: usize, rng: &mut R) -> DsdNode {
     assert!(num_vars >= 1, "need at least one variable");
-    assert!(
-        num_vars <= crate::truth_table::MAX_VARS,
-        "variable count exceeds MAX_VARS"
-    );
+    assert!(num_vars <= crate::truth_table::MAX_VARS, "variable count exceeds MAX_VARS");
     // Random variable order.
     let mut vars: Vec<usize> = (0..num_vars).collect();
     for i in (1..vars.len()).rev() {
@@ -423,10 +419,8 @@ mod tests {
     fn tree_functions_are_full_dsd() {
         let f = TruthTable::from_fn(4, |x| (x[0] & x[1]) ^ (x[2] | x[3])).unwrap();
         assert!(is_full_dsd(&f));
-        let g = TruthTable::from_fn(6, |x| {
-            ((x[0] ^ x[1]) & (x[2] | x[3])) | (x[4] & x[5])
-        })
-        .unwrap();
+        let g =
+            TruthTable::from_fn(6, |x| ((x[0] ^ x[1]) & (x[2] | x[3])) | (x[4] & x[5])).unwrap();
         assert!(is_full_dsd(&g));
     }
 
@@ -526,11 +520,7 @@ mod tests {
 
     #[test]
     fn dsd_tree_rejects_out_of_range_vars() {
-        let tree = DsdNode::Gate(
-            0b1000,
-            Box::new(DsdNode::Leaf(0)),
-            Box::new(DsdNode::Leaf(5)),
-        );
+        let tree = DsdNode::Gate(0b1000, Box::new(DsdNode::Leaf(0)), Box::new(DsdNode::Leaf(5)));
         assert!(tree.to_truth_table(3).is_err());
     }
 

@@ -34,11 +34,7 @@ pub struct NpnTransform {
 impl NpnTransform {
     /// The identity transform on `n` variables.
     pub fn identity(n: usize) -> Self {
-        NpnTransform {
-            perm: (0..n).collect(),
-            input_negations: 0,
-            output_negated: false,
-        }
+        NpnTransform { perm: (0..n).collect(), input_negations: 0, output_negated: false }
     }
 
     /// Applies the transform to a truth table.
@@ -118,6 +114,7 @@ fn permutations(n: usize) -> Vec<Vec<usize>> {
 /// # Ok::<(), stp_tt::TruthTableError>(())
 /// ```
 pub fn canonicalize(tt: &TruthTable) -> NpnCanonical {
+    stp_telemetry::counter!("tt.npn_canonicalizations").inc();
     let n = tt.num_vars();
     let mut best: Option<(TruthTable, NpnTransform)> = None;
     for perm in permutations(n) {
@@ -132,11 +129,7 @@ pub fn canonicalize(tt: &TruthTable) -> NpnCanonical {
             }
             let permuted = base.permute(&perm).expect("perm is a valid permutation");
             for out_neg in [false, true] {
-                let candidate = if out_neg {
-                    !permuted.clone()
-                } else {
-                    permuted.clone()
-                };
+                let candidate = if out_neg { !permuted.clone() } else { permuted.clone() };
                 let better = match &best {
                     None => true,
                     Some((b, _)) => candidate < *b,

@@ -162,7 +162,10 @@ impl TruthTable {
         let digits = ((1usize << num_vars) / 4).max(1);
         if hex.len() != digits {
             return Err(TruthTableError::ParseHex {
-                reason: format!("expected {digits} hex digits for {num_vars} variables, got {}", hex.len()),
+                reason: format!(
+                    "expected {digits} hex digits for {num_vars} variables, got {}",
+                    hex.len()
+                ),
             });
         }
         let mut words = vec![0u64; words_for(num_vars)];
@@ -354,8 +357,8 @@ impl TruthTable {
             }
             seen[p] = true;
         }
-        let mut out = TruthTable::constant(self.num_vars, false)
-            .expect("same variable count is valid");
+        let mut out =
+            TruthTable::constant(self.num_vars, false).expect("same variable count is valid");
         for m in 0..self.num_bits() {
             if self.bit(m) {
                 // Minterm m assigns old variable j the bit (m >> j) & 1;
@@ -715,10 +718,7 @@ mod tests {
 
     #[test]
     fn from_fn_matches_direct_construction() {
-        let maj = TruthTable::from_fn(3, |a| {
-            (a[0] as u8 + a[1] as u8 + a[2] as u8) >= 2
-        })
-        .unwrap();
+        let maj = TruthTable::from_fn(3, |a| (a[0] as u8 + a[1] as u8 + a[2] as u8) >= 2).unwrap();
         assert_eq!(maj.to_hex(), "e8");
     }
 

@@ -59,10 +59,7 @@ fn run(name: &str, num_vars: usize, clauses: &[Vec<(usize, bool)>]) -> Result<()
     let cdcl_time = t0.elapsed();
 
     cdcl_models.sort();
-    assert_eq!(
-        stp.solutions, cdcl_models,
-        "the two engines must enumerate identical model sets"
-    );
+    assert_eq!(stp.solutions, cdcl_models, "the two engines must enumerate identical model sets");
     println!(
         "{name:<28} {:>6} models | STP {:>10.3?} | CDCL {:>10.3?}",
         stp.len(),

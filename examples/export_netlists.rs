@@ -18,11 +18,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     let maj = TruthTable::from_hex(3, "e8")?;
     println!("synthesizing MAJ3 (full-adder carry), 0x{}", maj.to_hex());
     let result = synthesize_default(&maj)?;
-    println!(
-        "optimum: {} gates, {} solutions",
-        result.gate_count,
-        result.chains.len()
-    );
+    println!("optimum: {} gates, {} solutions", result.gate_count, result.chains.len());
 
     let dir = std::path::Path::new("target/netlists");
     fs::create_dir_all(dir)?;

@@ -18,10 +18,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     // Φ(a,b,c) = (a ↔ ¬b) ∧ (b ↔ ¬c) ∧ (c ↔ ¬a ∧ ¬b)   (eq. 5)
     let (a, b, c) = (Expr::var(0), Expr::var(1), Expr::var(2));
     let phi = Expr::and(
-        Expr::and(
-            Expr::equiv(a.clone(), b.clone().not()),
-            Expr::equiv(b.clone(), c.clone().not()),
-        ),
+        Expr::and(Expr::equiv(a.clone(), b.clone().not()), Expr::equiv(b.clone(), c.clone().not())),
         Expr::equiv(c, Expr::and(a.not(), b.not())),
     );
     println!("Φ(a,b,c) = {phi}\n");

@@ -51,7 +51,9 @@ fn main() -> Result<(), Box<dyn Error>> {
         total_solutions as f64 / classes.len() as f64
     );
     println!("hardest class: {} with {} gates", hardest.1, hardest.0);
-    println!("total wall-clock: {elapsed:?} ({:.3} s/class mean)",
-        elapsed.as_secs_f64() / classes.len() as f64);
+    println!(
+        "total wall-clock: {elapsed:?} ({:.3} s/class mean)",
+        elapsed.as_secs_f64() / classes.len() as f64
+    );
     Ok(())
 }

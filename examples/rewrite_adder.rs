@@ -41,25 +41,13 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     println!("circuit                before   after");
     for bits in [2usize, 3, 4] {
-        optimize(
-            &format!("ripple_carry_adder({bits})"),
-            &ripple_carry_adder(bits)?,
-            &mut cache,
-        )?;
+        optimize(&format!("ripple_carry_adder({bits})"), &ripple_carry_adder(bits)?, &mut cache)?;
     }
     for bits in [2usize, 3] {
-        optimize(
-            &format!("adder_sop({bits})"),
-            &ripple_carry_adder_sop(bits)?,
-            &mut cache,
-        )?;
+        optimize(&format!("adder_sop({bits})"), &ripple_carry_adder_sop(bits)?, &mut cache)?;
     }
     for bits in [3usize, 4] {
-        optimize(
-            &format!("equality_comparator({bits})"),
-            &equality_comparator(bits)?,
-            &mut cache,
-        )?;
+        optimize(&format!("equality_comparator({bits})"), &equality_comparator(bits)?, &mut cache)?;
     }
     optimize("mux_tree(2)", &mux_tree(2)?, &mut cache)?;
 

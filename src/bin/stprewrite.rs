@@ -3,26 +3,61 @@
 //!
 //! ```text
 //! Usage: stprewrite <input.blif> [-o <output.blif>] [--passes <n>]
+//!                   [--log <level>] [--stats] [--trace-json <path>]
 //! ```
 //!
 //! Reads a 2-LUT BLIF network, rewrites it by replacing 4-cut cones
 //! with STP-exact-synthesis optima (cached per NPN class), verifies
 //! functional equivalence by exhaustive simulation when the input count
 //! allows it, and writes the optimized BLIF.
+//!
+//! `--stats` appends a JSON [`RunReport`](stp_telemetry::RunReport) as
+//! the final stdout line; `--trace-json` records span events; `--log`
+//! sets the stderr diagnostic level (also via `STP_LOG`).
 
 use std::process::ExitCode;
+use std::time::Instant;
 
 use stp_repro::network::{rewrite, Network, RewriteConfig, SynthesisCache};
+use stp_telemetry::{Json, RunReport};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: stprewrite <input.blif> [-o <output.blif>] [--passes <n>] [--log <level>] \
+         [--stats] [--trace-json <path>]"
+    );
+    ExitCode::FAILURE
+}
+
+/// Emits the RunReport (when requested) and flushes the trace sink.
+fn finish(stats: bool, args: &[String], outcome: &str, start: Instant, extra: Vec<(String, Json)>) {
+    if stats {
+        let snapshot = stp_telemetry::metrics_global().snapshot();
+        let mut report = RunReport::from_snapshot(
+            "stprewrite",
+            args,
+            outcome,
+            start.elapsed().as_secs_f64(),
+            &snapshot,
+        );
+        for (key, value) in extra {
+            report = report.with_extra(&key, value);
+        }
+        println!("{}", report.to_json_string());
+    }
+    stp_telemetry::trace::finish();
+}
 
 fn main() -> ExitCode {
+    stp_telemetry::init_from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
-        eprintln!("usage: stprewrite <input.blif> [-o <output.blif>] [--passes <n>]");
-        return ExitCode::FAILURE;
+        return usage();
     }
     let input = &args[0];
     let mut output: Option<String> = None;
     let mut config = RewriteConfig::default();
+    let mut stats = false;
     let mut it = args[1..].iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -32,12 +67,31 @@ fn main() -> ExitCode {
                     config.max_passes = v;
                 }
             }
+            "--stats" => stats = true,
+            "--log" => {
+                let Some(level) = it.next().and_then(|v| stp_telemetry::Level::parse(v)) else {
+                    eprintln!("--log expects off|error|warn|info|debug|trace");
+                    return usage();
+                };
+                stp_telemetry::set_level(level);
+            }
+            "--trace-json" => {
+                let Some(path) = it.next() else {
+                    eprintln!("--trace-json expects a path");
+                    return usage();
+                };
+                if let Err(e) = stp_telemetry::trace::install_writer(path.as_ref()) {
+                    eprintln!("error opening trace file {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
             other => {
                 eprintln!("unknown option {other}");
-                return ExitCode::FAILURE;
+                return usage();
             }
         }
     }
+    let start = Instant::now();
     let text = match std::fs::read_to_string(input) {
         Ok(t) => t,
         Err(e) => {
@@ -49,6 +103,7 @@ fn main() -> ExitCode {
         Ok(n) => n,
         Err(e) => {
             eprintln!("error parsing {input}: {e}");
+            finish(stats, &args, &format!("parse error: {e}"), start, Vec::new());
             return ExitCode::FAILURE;
         }
     };
@@ -59,6 +114,7 @@ fn main() -> ExitCode {
         Ok(r) => r,
         Err(e) => {
             eprintln!("rewriting failed: {e}");
+            finish(stats, &args, &format!("error: {e}"), start, Vec::new());
             return ExitCode::FAILURE;
         }
     };
@@ -67,6 +123,7 @@ fn main() -> ExitCode {
             Ok(after) if after == before => eprintln!("equivalence: verified exhaustively"),
             Ok(_) => {
                 eprintln!("equivalence check FAILED — refusing to write output");
+                finish(stats, &args, "equivalence check failed", start, Vec::new());
                 return ExitCode::FAILURE;
             }
             Err(e) => eprintln!("equivalence check skipped: {e}"),
@@ -94,5 +151,17 @@ fn main() -> ExitCode {
         }
         None => print!("{blif}"),
     }
+    finish(
+        stats,
+        &args,
+        "ok",
+        start,
+        vec![
+            ("gates_before".to_string(), Json::UInt(result.gates_before as u64)),
+            ("gates_after".to_string(), Json::UInt(result.gates_after as u64)),
+            ("replacements".to_string(), Json::UInt(result.replacements.len() as u64)),
+            ("passes".to_string(), Json::UInt(result.passes as u64)),
+        ],
+    );
     ExitCode::SUCCESS
 }

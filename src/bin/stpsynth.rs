@@ -9,6 +9,10 @@
 //!   --timeout <secs>   per-instance timeout (default 60)
 //!   --verilog          emit structural Verilog for the chosen chain
 //!   --dot              emit Graphviz DOT for the chosen chain
+//!   --log <level>      off|error|warn|info|debug|trace (default info,
+//!                      or the STP_LOG environment variable)
+//!   --stats            append a JSON RunReport as the final stdout line
+//!   --trace-json <p>   write Chrome-trace-style span events to <p>
 //! ```
 //!
 //! Example: `stpsynth 8ff8 4 --all` reproduces the paper's Example 7.
@@ -19,16 +23,38 @@ use std::time::{Duration, Instant};
 use stp_repro::baselines::{abc_synthesize, bms_synthesize, fen_synthesize, BaselineConfig};
 use stp_repro::synth::{synthesize, synthesize_npn, SynthesisConfig};
 use stp_repro::tt::TruthTable;
+use stp_telemetry::{Json, RunReport};
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: stpsynth <hex-truth-table> <num-vars> [--all] [--engine stp|stp-npn|bms|fen|abc] \
-         [--timeout <secs>] [--verilog] [--dot]"
+         [--timeout <secs>] [--verilog] [--dot] [--log <level>] [--stats] [--trace-json <path>]"
     );
     ExitCode::FAILURE
 }
 
+/// Emits the RunReport (when requested) and flushes the trace sink.
+/// Called on every exit path so `--stats` reports failures too.
+fn finish(stats: bool, args: &[String], outcome: &str, start: Instant, extra: Vec<(String, Json)>) {
+    if stats {
+        let snapshot = stp_telemetry::metrics_global().snapshot();
+        let mut report = RunReport::from_snapshot(
+            "stpsynth",
+            args,
+            outcome,
+            start.elapsed().as_secs_f64(),
+            &snapshot,
+        );
+        for (key, value) in extra {
+            report = report.with_extra(&key, value);
+        }
+        println!("{}", report.to_json_string());
+    }
+    stp_telemetry::trace::finish();
+}
+
 fn main() -> ExitCode {
+    stp_telemetry::init_from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.len() < 2 {
         return usage();
@@ -37,27 +63,39 @@ fn main() -> ExitCode {
     let Ok(num_vars) = args[1].parse::<usize>() else {
         return usage();
     };
-    let spec = match TruthTable::from_hex(num_vars, hex.trim_start_matches("0x")) {
-        Ok(tt) => tt,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
     let mut engine = "stp".to_string();
     let mut all = false;
     let mut timeout = 60.0f64;
     let mut emit_verilog = false;
     let mut emit_dot = false;
+    let mut stats = false;
     let mut it = args[2..].iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--all" => all = true,
             "--verilog" => emit_verilog = true,
             "--dot" => emit_dot = true,
+            "--stats" => stats = true,
             "--engine" => engine = it.next().cloned().unwrap_or_default(),
             "--timeout" => {
                 timeout = it.next().and_then(|v| v.parse().ok()).unwrap_or(timeout);
+            }
+            "--log" => {
+                let Some(level) = it.next().and_then(|v| stp_telemetry::Level::parse(v)) else {
+                    eprintln!("--log expects off|error|warn|info|debug|trace");
+                    return usage();
+                };
+                stp_telemetry::set_level(level);
+            }
+            "--trace-json" => {
+                let Some(path) = it.next() else {
+                    eprintln!("--trace-json expects a path");
+                    return usage();
+                };
+                if let Err(e) = stp_telemetry::trace::install_writer(path.as_ref()) {
+                    eprintln!("error opening trace file {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
             }
             other => {
                 eprintln!("unknown option {other}");
@@ -65,10 +103,17 @@ fn main() -> ExitCode {
             }
         }
     }
+    let spec = match TruthTable::from_hex(num_vars, hex.trim_start_matches("0x")) {
+        Ok(tt) => tt,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let start = Instant::now();
     let deadline = Some(start + Duration::from_secs_f64(timeout));
 
-    let chains = match engine.as_str() {
+    let (chains, gate_count) = match engine.as_str() {
         "stp" | "stp-npn" => {
             let config = SynthesisConfig { deadline, ..SynthesisConfig::default() };
             let result = if engine == "stp" {
@@ -84,10 +129,11 @@ fn main() -> ExitCode {
                         r.chains.len(),
                         start.elapsed().as_secs_f64()
                     );
-                    r.chains
+                    (r.chains, r.gate_count)
                 }
                 Err(e) => {
                     eprintln!("error: {e}");
+                    finish(stats, &args, &format!("error: {e}"), start, Vec::new());
                     return ExitCode::FAILURE;
                 }
             }
@@ -106,10 +152,12 @@ fn main() -> ExitCode {
                         r.gate_count,
                         start.elapsed().as_secs_f64()
                     );
-                    vec![r.chain]
+                    let gates = r.gate_count;
+                    (vec![r.chain], gates)
                 }
                 Err(e) => {
                     eprintln!("error: {e}");
+                    finish(stats, &args, &format!("error: {e}"), start, Vec::new());
                     return ExitCode::FAILURE;
                 }
             }
@@ -131,5 +179,15 @@ fn main() -> ExitCode {
             println!("{}", chain.to_dot(&format!("sol{}", i + 1)));
         }
     }
+    finish(
+        stats,
+        &args,
+        "ok",
+        start,
+        vec![
+            ("gate_count".to_string(), Json::UInt(gate_count as u64)),
+            ("num_solutions".to_string(), Json::UInt(chains.len() as u64)),
+        ],
+    );
     ExitCode::SUCCESS
 }

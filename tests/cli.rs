@@ -51,6 +51,114 @@ fn stpsynth_rejects_bad_input() {
 }
 
 #[test]
+fn stpsynth_stats_emits_parseable_run_report() {
+    let out = Command::new(env!("CARGO_BIN_EXE_stpsynth"))
+        .args(["8ff8", "4", "--stats"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    // The RunReport is the final stdout line.
+    let json_line = text.lines().last().expect("non-empty stdout");
+    let report = stp_telemetry::RunReport::parse(json_line)
+        .unwrap_or_else(|e| panic!("invalid RunReport ({e}): {json_line}"));
+    assert_eq!(report.tool, "stpsynth");
+    assert_eq!(report.outcome, "ok");
+    assert!(report.wall_s > 0.0);
+    // The documented counters for each pipeline stage must be present:
+    // fence enumeration, STP factorization, and AllSAT verification.
+    for key in [
+        "fence.fences_generated",
+        "fence.shapes_generated",
+        "factor.subproblems",
+        "solver.queries",
+        "solver.candidates_verified",
+        "synth.solutions",
+    ] {
+        assert!(
+            report.counters.get(key).is_some_and(|v| *v > 0),
+            "missing counter {key}: {json_line}"
+        );
+    }
+    // Per-phase wall times for the paper's pipeline stages.
+    for phase in ["phase.fence_enum", "phase.factorize", "phase.verify"] {
+        assert!(
+            report.phases.iter().any(|p| p.name == phase && p.calls > 0),
+            "missing phase {phase}: {json_line}"
+        );
+    }
+    // Tool-specific extras round-trip through the parser.
+    let extras: std::collections::HashMap<_, _> =
+        report.extra.iter().map(|(k, v)| (k.as_str(), v)).collect();
+    assert_eq!(extras["gate_count"].as_u64(), Some(3));
+    assert!(extras["num_solutions"].as_u64().unwrap_or(0) >= 2);
+}
+
+#[test]
+fn stpsynth_trace_json_writes_span_events() {
+    let dir = std::env::temp_dir().join(format!("stpsynth_trace_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let trace_path = dir.join("trace.jsonl");
+    let out = Command::new(env!("CARGO_BIN_EXE_stpsynth"))
+        .args(["8ff8", "4", "--trace-json", trace_path.to_str().expect("utf8 path")])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let trace = std::fs::read_to_string(&trace_path).expect("trace file written");
+    let events: Vec<stp_telemetry::Json> = trace
+        .lines()
+        .map(|l| {
+            stp_telemetry::Json::parse(l).unwrap_or_else(|e| panic!("bad trace line ({e:?}): {l}"))
+        })
+        .collect();
+    assert!(
+        events.iter().any(|e| {
+            e.get("ph").and_then(|p| p.as_str()) == Some("X")
+                && e.get("name").and_then(|n| n.as_str()) == Some("phase.factorize")
+        }),
+        "no phase.factorize span event in: {trace}"
+    );
+    // The final event carries the counter totals.
+    let last = events.last().expect("at least one event");
+    assert_eq!(last.get("ph").and_then(|p| p.as_str()), Some("C"));
+    assert!(last
+        .get("args")
+        .and_then(|a| a.get("synth.solutions"))
+        .and_then(|v| v.as_u64())
+        .is_some_and(|v| v > 0));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn stprewrite_stats_emits_parseable_run_report() {
+    let dir = std::env::temp_dir().join(format!("stprewrite_stats_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let input = dir.join("in.blif");
+    std::fs::write(
+        &input,
+        ".model m\n.inputs a b c\n.outputs f\n.names a b t\n11 1\n.names t c f\n11 1\n.end\n",
+    )
+    .expect("write input");
+    let out = Command::new(env!("CARGO_BIN_EXE_stprewrite"))
+        .args([input.to_str().expect("utf8 path"), "--stats"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    let json_line = text.lines().last().expect("non-empty stdout");
+    let report = stp_telemetry::RunReport::parse(json_line)
+        .unwrap_or_else(|e| panic!("invalid RunReport ({e}): {json_line}"));
+    assert_eq!(report.tool, "stprewrite");
+    assert_eq!(report.outcome, "ok");
+    assert!(report.counters.get("network.cuts_enumerated").is_some_and(|v| *v > 0));
+    let extras: std::collections::HashMap<_, _> =
+        report.extra.iter().map(|(k, v)| (k.as_str(), v)).collect();
+    assert!(extras.contains_key("gates_before"));
+    assert!(extras.contains_key("gates_after"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn stprewrite_optimizes_blif() {
     // A wasteful XOR in BLIF.
     let dir = std::env::temp_dir().join(format!("stprewrite_test_{}", std::process::id()));
@@ -75,11 +183,7 @@ fn stprewrite_optimizes_blif() {
     )
     .expect("write input");
     let out = Command::new(env!("CARGO_BIN_EXE_stprewrite"))
-        .args([
-            input.to_str().expect("utf8 path"),
-            "-o",
-            output.to_str().expect("utf8 path"),
-        ])
+        .args([input.to_str().expect("utf8 path"), "-o", output.to_str().expect("utf8 path")])
         .output()
         .expect("binary runs");
     assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
@@ -89,9 +193,6 @@ fn stprewrite_optimizes_blif() {
     // The rewritten network is the single-gate XOR.
     let reparsed = stp_repro::network::Network::from_blif(&written).expect("valid blif");
     assert_eq!(reparsed.live_gate_count(), 1);
-    assert_eq!(
-        reparsed.simulate_outputs().expect("simulable")[0].to_hex(),
-        "6"
-    );
+    assert_eq!(reparsed.simulate_outputs().expect("simulable")[0].to_hex(), "6");
     let _ = std::fs::remove_dir_all(&dir);
 }

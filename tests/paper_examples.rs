@@ -7,7 +7,7 @@ use stp_repro::matrix::{
     power_reducing_matrix, search_tree, solve_all, stp, variable_swap_matrix, Expr, LogicMatrix,
     Mat,
 };
-use stp_repro::synth::{solve_circuit, synthesize_default, Factorizer, FactorConfig};
+use stp_repro::synth::{solve_circuit, synthesize_default, FactorConfig, Factorizer};
 use stp_repro::tt::TruthTable;
 
 /// Example 1: the structural matrix of negation.
@@ -32,30 +32,18 @@ fn example2_implication_identity() {
     // And at the expression level.
     let lhs = Expr::bin(stp_repro::matrix::BinOp::Implies, Expr::var(0), Expr::var(1));
     let rhs = Expr::or(Expr::var(0).not(), Expr::var(1));
-    assert_eq!(
-        lhs.canonical_form(2).unwrap(),
-        rhs.canonical_form(2).unwrap()
-    );
+    assert_eq!(lhs.canonical_form(2).unwrap(), rhs.canonical_form(2).unwrap());
 }
 
 /// Example 3 / eqs. (3)–(4): `a² = M_r a` and `M_w b a = a b`.
 #[test]
 fn example3_power_reduce_and_swap() {
     let mr = power_reducing_matrix();
-    assert_eq!(
-        mr,
-        Mat::from_rows(&[&[1, 0], &[0, 0], &[0, 0], &[0, 1]]).unwrap()
-    );
+    assert_eq!(mr, Mat::from_rows(&[&[1, 0], &[0, 0], &[0, 0], &[0, 1]]).unwrap());
     let mw = variable_swap_matrix();
     assert_eq!(
         mw,
-        Mat::from_rows(&[
-            &[1, 0, 0, 0],
-            &[0, 0, 1, 0],
-            &[0, 1, 0, 0],
-            &[0, 0, 0, 1]
-        ])
-        .unwrap()
+        Mat::from_rows(&[&[1, 0, 0, 0], &[0, 0, 1, 0], &[0, 1, 0, 0], &[0, 0, 0, 1]]).unwrap()
     );
     for a_true in [true, false] {
         let a = if a_true {
@@ -78,10 +66,7 @@ fn example3_power_reduce_and_swap() {
 fn liar_puzzle_formula() -> Expr {
     let (a, b, c) = (Expr::var(0), Expr::var(1), Expr::var(2));
     Expr::and(
-        Expr::and(
-            Expr::equiv(a.clone(), b.clone().not()),
-            Expr::equiv(b.clone(), c.clone().not()),
-        ),
+        Expr::and(Expr::equiv(a.clone(), b.clone().not()), Expr::equiv(b.clone(), c.clone().not())),
         Expr::equiv(c, Expr::and(a.not(), b.not())),
     )
 }
@@ -92,10 +77,7 @@ fn example4_liar_puzzle() {
     let phi = liar_puzzle_formula();
     let m = phi.canonical_form(3).unwrap();
     // M_Φ = [0 0 0 0 0 1 0 0 / 1 1 1 1 1 0 1 1].
-    assert_eq!(
-        m.top_row_bits(),
-        vec![false, false, false, false, false, true, false, false]
-    );
+    assert_eq!(m.top_row_bits(), vec![false, false, false, false, false, true, false, false]);
     // The STP matrix route computes the same canonical form.
     assert_eq!(phi.canonical_form_via_stp(3).unwrap(), m);
     // Unique solution: a liar, b honest, c liar.
@@ -196,10 +178,7 @@ fn example8_circuit_solver() {
     chain.add_output(OutputRef::signal(x7));
     let solutions = solve_circuit(&chain, &[true]);
     assert_eq!(solutions.full_assignments().len(), 10);
-    assert_eq!(
-        solutions.to_truth_table().unwrap(),
-        TruthTable::from_hex(4, "8ff8").unwrap()
-    );
+    assert_eq!(solutions.to_truth_table().unwrap(), TruthTable::from_hex(4, "8ff8").unwrap());
 }
 
 /// Definition 3 / Example 1: the structural matrices printed in the
@@ -207,10 +186,7 @@ fn example8_circuit_solver() {
 #[test]
 fn structural_matrices_match_paper() {
     assert_eq!(format!("{}", LogicMatrix::structural_or()), "[1 1 1 0 / 0 0 0 1]");
-    assert_eq!(
-        format!("{}", LogicMatrix::structural_implies()),
-        "[1 0 1 1 / 0 1 0 0]"
-    );
+    assert_eq!(format!("{}", LogicMatrix::structural_implies()), "[1 0 1 1 / 0 1 0 0]");
 }
 
 /// §III step (i): the gate constraint starts at the input count minus

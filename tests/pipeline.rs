@@ -76,8 +76,5 @@ fn chains_from_synthesis_splice_into_networks() {
         assert_eq!(tt, spec);
     }
     let total_gates: usize = result.chains.iter().map(|c| c.num_gates()).sum();
-    assert!(
-        net.gates().len() <= total_gates,
-        "strashing must never exceed the naive union"
-    );
+    assert!(net.gates().len() <= total_gates, "strashing must never exceed the naive union");
 }

@@ -21,10 +21,7 @@ fn tt4_strategy() -> impl Strategy<Value = TruthTable> {
 
 /// An arbitrary small expression over `n` variables.
 fn expr_strategy(n: usize, depth: u32) -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        (0..n).prop_map(Expr::var),
-        any::<bool>().prop_map(Expr::constant),
-    ];
+    let leaf = prop_oneof![(0..n).prop_map(Expr::var), any::<bool>().prop_map(Expr::constant),];
     leaf.prop_recursive(depth, 24, 2, |inner| {
         prop_oneof![
             inner.clone().prop_map(|e| e.not()),
