@@ -12,7 +12,10 @@ cargo fmt --all --check
 echo "==> cargo clippy (deny warnings)"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
-echo "==> cargo test"
-cargo test -q --workspace --offline
+echo "==> cargo test (STP_JOBS=1, sequential default)"
+STP_JOBS=1 cargo test -q --workspace --offline
+
+echo "==> cargo test (STP_JOBS=$(nproc), parallel default)"
+STP_JOBS="$(nproc)" cargo test -q --workspace --offline
 
 echo "CI OK"

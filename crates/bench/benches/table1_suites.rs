@@ -21,7 +21,7 @@ fn bench_suite_samples(c: &mut Criterion) {
         group.bench_function(BenchmarkId::from_parameter(algo.label()), |b| {
             b.iter(|| {
                 for tt in &samples {
-                    black_box(run_instance(algo, tt, Duration::from_secs(2)));
+                    black_box(run_instance(algo, tt, Duration::from_secs(2), 1));
                 }
             })
         });
@@ -36,7 +36,7 @@ fn bench_suite_samples(c: &mut Criterion) {
         group.bench_function(BenchmarkId::from_parameter(algo.label()), |b| {
             b.iter(|| {
                 for tt in &fdsd6.functions {
-                    black_box(run_instance(algo, tt, Duration::from_secs(2)));
+                    black_box(run_instance(algo, tt, Duration::from_secs(2), 1));
                 }
             })
         });
@@ -51,7 +51,7 @@ fn bench_suite_samples(c: &mut Criterion) {
         group.bench_function(BenchmarkId::from_parameter(algo.label()), |b| {
             b.iter(|| {
                 for tt in &pdsd6.functions {
-                    black_box(run_instance(algo, tt, Duration::from_secs(2)));
+                    black_box(run_instance(algo, tt, Duration::from_secs(2), 1));
                 }
             })
         });

@@ -1,14 +1,16 @@
 //! Regenerates Table I of the paper.
 //!
 //! Usage: `table1 [--full] [--timeout <seconds>] [--suite <name>]...
-//!                [--counters] [--log <level>]`
+//!                [--jobs <n>] [--counters] [--log <level>]`
 //!
 //! The default (quick) profile uses reduced instance counts and a short
 //! per-instance timeout so the whole table runs in minutes; `--full`
 //! switches to the paper's counts (222/1000/100/1000/100) and a
-//! 180-second timeout. `--counters` appends the aggregated telemetry
-//! counters per (suite, algorithm) cell; `--log` sets the stderr
-//! diagnostic level (also via `STP_LOG`).
+//! 180-second timeout. `--jobs` sets the STP engine's worker-thread
+//! count (`0` = one per CPU; default from `STP_JOBS`, else 1) — the
+//! CNF baselines are single-threaded and ignore it. `--counters`
+//! appends the aggregated telemetry counters per (suite, algorithm)
+//! cell; `--log` sets the stderr diagnostic level (also via `STP_LOG`).
 
 use std::time::Duration;
 
@@ -21,12 +23,18 @@ fn main() {
     let mut timeout = if full { 180.0f64 } else { 10.0 };
     let mut only_suites: Vec<String> = Vec::new();
     let mut counters = false;
+    let mut jobs = stp_synth::jobs_from_env();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--timeout" => {
                 if let Some(v) = it.next() {
                     timeout = v.parse().unwrap_or(timeout);
+                }
+            }
+            "--jobs" => {
+                if let Some(v) = it.next() {
+                    jobs = v.parse().unwrap_or(jobs);
                 }
             }
             "--suite" => {
@@ -59,7 +67,7 @@ fn main() {
                 suite.functions.len(),
                 timeout
             );
-            reports.push(run_suite(algo, suite, timeout));
+            reports.push(run_suite(algo, suite, timeout, jobs));
         }
     }
     println!("{}", render_table(&reports));

@@ -65,15 +65,23 @@ pub struct InstanceOutcome {
 
 /// Runs one instance under a timeout.
 ///
-/// Gate limits and other failures are folded into `solved = false`, as
-/// a bench harness should never abort the whole table on one instance.
-pub fn run_instance(algorithm: Algorithm, spec: &TruthTable, timeout: Duration) -> InstanceOutcome {
+/// `jobs` is the STP engine's worker-thread knob (`0` = one per CPU,
+/// `1` = sequential); the CNF baselines are single-threaded and ignore
+/// it. Gate limits and other failures are folded into `solved = false`,
+/// as a bench harness should never abort the whole table on one
+/// instance.
+pub fn run_instance(
+    algorithm: Algorithm,
+    spec: &TruthTable,
+    timeout: Duration,
+    jobs: usize,
+) -> InstanceOutcome {
     let metrics_before = stp_telemetry::metrics_global().snapshot();
     let start = Instant::now();
     let deadline = Some(start + timeout);
     let (solved, gate_count, num_solutions) = match algorithm {
         Algorithm::Stp => {
-            let config = SynthesisConfig { deadline, ..SynthesisConfig::default() };
+            let config = SynthesisConfig { deadline, jobs, ..SynthesisConfig::default() };
             match synthesize(spec, &config) {
                 Ok(result) => (true, Some(result.gate_count), result.chains.len()),
                 Err(SynthesisError::Timeout) => (false, None, 0),
@@ -138,8 +146,14 @@ impl SuiteReport {
     }
 }
 
-/// Runs one algorithm over a whole suite.
-pub fn run_suite(algorithm: Algorithm, suite: &Suite, timeout: Duration) -> SuiteReport {
+/// Runs one algorithm over a whole suite; `jobs` as in
+/// [`run_instance`].
+pub fn run_suite(
+    algorithm: Algorithm,
+    suite: &Suite,
+    timeout: Duration,
+    jobs: usize,
+) -> SuiteReport {
     let mut total = Duration::ZERO;
     let mut timeouts = 0usize;
     let mut solved = 0usize;
@@ -147,7 +161,7 @@ pub fn run_suite(algorithm: Algorithm, suite: &Suite, timeout: Duration) -> Suit
     let mut gate_counts = Vec::with_capacity(suite.functions.len());
     let mut counters: BTreeMap<String, u64> = BTreeMap::new();
     for spec in &suite.functions {
-        let outcome = run_instance(algorithm, spec, timeout);
+        let outcome = run_instance(algorithm, spec, timeout, jobs);
         if outcome.solved {
             solved += 1;
             total += outcome.elapsed;
@@ -183,7 +197,7 @@ mod tests {
     #[test]
     fn stp_solves_running_example_quickly() {
         let spec = TruthTable::from_hex(4, "8ff8").unwrap();
-        let out = run_instance(Algorithm::Stp, &spec, Duration::from_secs(30));
+        let out = run_instance(Algorithm::Stp, &spec, Duration::from_secs(30), 1);
         assert!(out.solved);
         assert_eq!(out.gate_count, Some(3));
         assert!(out.num_solutions >= 2);
@@ -198,7 +212,7 @@ mod tests {
             let spec = TruthTable::from_hex(4, hex).unwrap();
             let mut counts = Vec::new();
             for algo in Algorithm::ALL {
-                let out = run_instance(algo, &spec, Duration::from_secs(60));
+                let out = run_instance(algo, &spec, Duration::from_secs(60), 1);
                 assert!(out.solved, "{} on {hex}", algo.label());
                 counts.push(out.gate_count.unwrap());
             }
@@ -209,7 +223,7 @@ mod tests {
     #[test]
     fn zero_timeout_reports_unsolved() {
         let spec = TruthTable::from_hex(4, "1ee1").unwrap();
-        let out = run_instance(Algorithm::Stp, &spec, Duration::ZERO);
+        let out = run_instance(Algorithm::Stp, &spec, Duration::ZERO, 1);
         assert!(!out.solved);
         assert_eq!(out.gate_count, None);
     }
@@ -218,7 +232,7 @@ mod tests {
     fn suite_report_aggregates() {
         let mut suite = npn4();
         suite.functions.truncate(10);
-        let report = run_suite(Algorithm::Stp, &suite, Duration::from_secs(20));
+        let report = run_suite(Algorithm::Stp, &suite, Duration::from_secs(20), 1);
         assert_eq!(report.solved + report.timeouts, 10);
         assert_eq!(report.gate_counts.len(), 10);
         assert!(report.solved > 0);

@@ -1,0 +1,96 @@
+//! Parallel-vs-sequential determinism and cancellation, end to end.
+//!
+//! The scheduler in `stp-synth` promises byte-identical output for any
+//! worker count: the parallel merge emits per-shape solution vectors in
+//! shape-index order and truncates to `max_solutions`, which is exactly
+//! the sequential prefix. These tests pin that promise over real suites
+//! (a slice of the NPN4 representatives plus the paper's running
+//! example) and prove that a deadline propagates through the
+//! cooperative cancellation flag instead of letting workers run on.
+
+use std::time::{Duration, Instant};
+
+use stp_bench::{npn4, pdsd};
+use stp_synth::{synthesize, SynthesisConfig, SynthesisError};
+use stp_tt::TruthTable;
+
+/// Renders a result as a comparable transcript: gate count plus every
+/// chain in order. Chain `Display` includes operands and operators, so
+/// equal transcripts mean equal solution *sequences*, not just sets.
+fn transcript(spec: &TruthTable, jobs: usize) -> String {
+    let config = SynthesisConfig { jobs, ..SynthesisConfig::default() };
+    let result = synthesize(spec, &config).expect("instance should solve");
+    let mut out = format!("gates={}\n", result.gate_count);
+    for chain in &result.chains {
+        out.push_str(&chain.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn npn4_representatives_match_across_worker_counts() {
+    // A slice keeps the suite fast in debug builds; the slice still
+    // spans multiple gate counts and fence families.
+    let mut suite = npn4();
+    suite.functions.truncate(24);
+    for spec in &suite.functions {
+        let sequential = transcript(spec, 1);
+        for jobs in [2, 4] {
+            let parallel = transcript(spec, jobs);
+            assert_eq!(sequential, parallel, "jobs={jobs} diverged from sequential on {spec:?}");
+        }
+    }
+}
+
+#[test]
+fn running_example_matches_across_worker_counts() {
+    let spec = TruthTable::from_hex(4, "8ff8").unwrap();
+    let sequential = transcript(&spec, 1);
+    assert!(sequential.starts_with("gates=3\n"));
+    for jobs in [0, 2, 3, 8] {
+        assert_eq!(sequential, transcript(&spec, jobs), "jobs={jobs}");
+    }
+}
+
+#[test]
+fn capped_runs_match_across_worker_counts() {
+    let spec = TruthTable::from_hex(4, "6996").unwrap();
+    for cap in [1, 2] {
+        let run = |jobs: usize| {
+            let config = SynthesisConfig { jobs, max_solutions: cap, ..SynthesisConfig::default() };
+            let result = synthesize(&spec, &config).unwrap();
+            assert_eq!(result.chains.len(), cap, "cap must bind exactly at jobs={jobs}");
+            result.chains.iter().map(|c| c.to_string()).collect::<Vec<_>>()
+        };
+        let sequential = run(1);
+        assert_eq!(sequential, run(4), "cap={cap}");
+    }
+}
+
+#[test]
+fn deadline_cancellation_propagates_to_workers() {
+    // An 8-variable PDSD instance is far too hard for a 50 ms budget,
+    // so the deadline must fire *inside* the factorization loops. If
+    // the cancellation flag failed to propagate, the workers would grind
+    // through the whole round and the elapsed time would blow past the
+    // assertion bound by orders of magnitude.
+    let suite = pdsd(8, 1, 8);
+    let spec = &suite.functions[0];
+    let budget = Duration::from_millis(50);
+    for jobs in [1, 4] {
+        let config = SynthesisConfig {
+            jobs,
+            deadline: Some(Instant::now() + budget),
+            ..SynthesisConfig::default()
+        };
+        let start = Instant::now();
+        let err = synthesize(spec, &config).unwrap_err();
+        let elapsed = start.elapsed();
+        assert!(matches!(err, SynthesisError::Timeout), "jobs={jobs}: got {err:?}");
+        assert!(
+            elapsed < Duration::from_secs(10),
+            "jobs={jobs}: cancellation took {elapsed:?}, flag did not propagate"
+        );
+    }
+}

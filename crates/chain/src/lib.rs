@@ -478,6 +478,19 @@ impl fmt::Display for Chain {
 mod tests {
     use super::*;
 
+    // The parallel synthesis layer (stp-synth) moves these across
+    // worker threads; keep them free of interior mutability.
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn chain_types_are_send_and_sync() {
+        assert_send_sync::<Chain>();
+        assert_send_sync::<Gate>();
+        assert_send_sync::<OutputRef>();
+        assert_send_sync::<CostModel>();
+        assert_send_sync::<ChainError>();
+    }
+
     fn example7_chain() -> Chain {
         let mut chain = Chain::new(4);
         let x5 = chain.add_gate(2, 3, 0x6).unwrap();

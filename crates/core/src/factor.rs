@@ -29,7 +29,8 @@
 //! `M_r`/`M_w` calculus.
 
 use std::collections::{HashMap, HashSet};
-use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use stp_chain::{Chain, OutputRef};
@@ -49,20 +50,29 @@ pub struct FactorConfig {
     /// Optional wall-clock deadline; factorization aborts with
     /// [`SynthesisError::Timeout`] once it passes.
     pub deadline: Option<Instant>,
+    /// Optional cooperative cancellation flag, shared with the parallel
+    /// search driver: once set, the engine aborts at its next deadline
+    /// checkpoint (reported as [`SynthesisError::Timeout`], which the
+    /// driver reinterprets — see `parallel.rs`).
+    pub cancel: Option<Arc<AtomicBool>>,
 }
 
 impl Default for FactorConfig {
     fn default() -> Self {
-        FactorConfig { max_realizations: 4096, deadline: None }
+        FactorConfig { max_realizations: 4096, deadline: None, cancel: None }
     }
 }
 
 /// A realization of a function on a tree shape: leaves carry primary
 /// input indices, internal nodes carry 4-bit gate truth tables.
+///
+/// Subtrees are shared through [`Arc`] (not `Rc`) so a [`Factorizer`]
+/// — and the realization forests inside its memo table — can move
+/// between the worker threads of the parallel search driver.
 #[derive(Debug, PartialEq, Eq, Hash)]
 enum RealTree {
     Leaf(usize),
-    Node(u8, Rc<RealTree>, Rc<RealTree>),
+    Node(u8, Arc<RealTree>, Arc<RealTree>),
 }
 
 /// The factorization engine with its memo table.
@@ -75,7 +85,7 @@ enum RealTree {
 #[allow(clippy::type_complexity)]
 pub struct Factorizer {
     config: FactorConfig,
-    memo: HashMap<(Vec<u64>, TreeShape), Rc<Vec<Rc<RealTree>>>>,
+    memo: HashMap<(Vec<u64>, TreeShape), Arc<Vec<Arc<RealTree>>>>,
     /// Number of factorization nodes explored (for the harness).
     nodes_explored: u64,
     /// Number of memo-table hits across [`Factorizer::realize`] calls.
@@ -146,6 +156,11 @@ impl Factorizer {
                 return Err(SynthesisError::Timeout);
             }
         }
+        if let Some(flag) = &self.config.cancel {
+            if flag.load(Ordering::SeqCst) {
+                return Err(SynthesisError::Timeout);
+            }
+        }
         Ok(())
     }
 
@@ -154,11 +169,11 @@ impl Factorizer {
         &mut self,
         h: &TruthTable,
         shape: &TreeShape,
-    ) -> Result<Rc<Vec<Rc<RealTree>>>, SynthesisError> {
+    ) -> Result<Arc<Vec<Arc<RealTree>>>, SynthesisError> {
         let key = (h.words().to_vec(), shape.clone());
         if let Some(hit) = self.memo.get(&key) {
             self.memo_hits += 1;
-            return Ok(Rc::clone(hit));
+            return Ok(Arc::clone(hit));
         }
         self.check_deadline()?;
         self.nodes_explored += 1;
@@ -172,7 +187,7 @@ impl Factorizer {
                     let v = sup[0];
                     if let Ok(proj) = TruthTable::variable(h.num_vars(), v) {
                         if *h == proj {
-                            out.push(Rc::new(RealTree::Leaf(v)));
+                            out.push(Arc::new(RealTree::Leaf(v)));
                         }
                     }
                 }
@@ -180,8 +195,8 @@ impl Factorizer {
             }
             TreeShape::Node(s1, s2) => self.realize_node(h, s1, s2)?,
         };
-        let rc = Rc::new(result);
-        self.memo.insert(key, Rc::clone(&rc));
+        let rc = Arc::new(result);
+        self.memo.insert(key, Arc::clone(&rc));
         Ok(rc)
     }
 
@@ -190,13 +205,13 @@ impl Factorizer {
         h: &TruthTable,
         s1: &TreeShape,
         s2: &TreeShape,
-    ) -> Result<Vec<Rc<RealTree>>, SynthesisError> {
+    ) -> Result<Vec<Arc<RealTree>>, SynthesisError> {
         let support = h.support();
         let d = support.len();
         let l1 = s1.leaf_count();
         let l2 = s2.leaf_count();
         let symmetric = s1 == s2;
-        let mut out: Vec<Rc<RealTree>> = Vec::new();
+        let mut out: Vec<Arc<RealTree>> = Vec::new();
         if d > l1 + l2 || d == 0 {
             return Ok(out);
         }
@@ -262,7 +277,7 @@ impl Factorizer {
         s2: &TreeShape,
         symmetric: bool,
         seen_triples: &mut HashSet<(u8, Vec<u64>, Vec<u64>)>,
-        out: &mut Vec<Rc<RealTree>>,
+        out: &mut Vec<Arc<RealTree>>,
     ) -> Result<(), SynthesisError> {
         let n = h.num_vars();
         let rows = 1usize << a_vars.len();
@@ -383,10 +398,10 @@ impl Factorizer {
                                             continue;
                                         }
                                     }
-                                    out.push(Rc::new(RealTree::Node(
+                                    out.push(Arc::new(RealTree::Node(
                                         g,
-                                        Rc::clone(t1),
-                                        Rc::clone(t2),
+                                        Arc::clone(t1),
+                                        Arc::clone(t2),
                                     )));
                                     if out.len() >= self.config.max_realizations {
                                         return Ok(());
@@ -686,6 +701,25 @@ mod tests {
         let mut engine = Factorizer::new(config);
         let result = engine.chains_on_shape(&spec, &balanced3());
         assert!(matches!(result, Err(SynthesisError::Timeout)));
+    }
+
+    #[test]
+    fn cancel_flag_aborts_search() {
+        let spec = TruthTable::from_hex(4, "1ee1").unwrap();
+        let flag = Arc::new(AtomicBool::new(true));
+        let config = FactorConfig { cancel: Some(Arc::clone(&flag)), ..FactorConfig::default() };
+        let mut engine = Factorizer::new(config);
+        let result = engine.chains_on_shape(&spec, &balanced3());
+        assert!(matches!(result, Err(SynthesisError::Timeout)));
+    }
+
+    #[test]
+    fn factorizer_moves_between_threads() {
+        // The parallel driver hands each worker its own engine; the
+        // memoized realization forests must therefore be `Send`.
+        fn assert_send<T: Send>() {}
+        assert_send::<Factorizer>();
+        assert_send::<FactorConfig>();
     }
 
     #[test]

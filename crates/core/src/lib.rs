@@ -39,12 +39,14 @@ mod circuit_solver;
 mod encode;
 mod error;
 mod factor;
+mod parallel;
 mod synth;
 
 pub use circuit_solver::{solve_circuit, verify_chain, CircuitSolutions, PartialAssignment};
 pub use encode::{decode_canonical_form, encode_canonical_form};
 pub use error::SynthesisError;
 pub use factor::{FactorConfig, Factorizer};
+pub use parallel::{jobs_from_env, resolve_jobs};
 pub use synth::{
     synthesize, synthesize_default, synthesize_npn, synthesize_with_objective, Objective,
     SynthesisConfig, SynthesisResult,

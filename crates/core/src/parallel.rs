@@ -1,0 +1,357 @@
+//! Deterministic work-stealing execution of one synthesis round.
+//!
+//! The paper's one-pass search (§III steps ii–iv) is embarrassingly
+//! parallel across tree shapes: each `(shape → factorize → verify)`
+//! unit touches only the specification, one topology, and a
+//! per-worker [`Factorizer`]. This module distributes those units over
+//! a `std::thread::scope` worker pool with work stealing, while keeping
+//! the output **byte-identical** to the sequential search:
+//!
+//! * every shape is an indexed task; workers deal themselves the tasks
+//!   round-robin and steal from the back of a victim's deque when their
+//!   own runs dry;
+//! * each worker owns its own `Factorizer` (worker-local memo table —
+//!   see `DESIGN.md` for the trade-off against a shared memo), so the
+//!   factorization enumeration per shape is exactly the sequential one;
+//! * per-shape solution vectors land in index-addressed slots and are
+//!   merged **in shape order**, then truncated to `max_solutions` — the
+//!   same prefix the sequential loop materializes;
+//! * a shared *completed-prefix* tracker notices as soon as the tasks
+//!   `0..k` (all finished) already hold `max_solutions` verified chains
+//!   and trips the cooperative cancellation flag: later tasks would be
+//!   truncated away anyway, so aborting them cannot change the result.
+//!
+//! The same flag implements deadline propagation: a worker whose engine
+//! reports [`SynthesisError::Timeout`] (and no satisfied prefix exists)
+//! records the error and cancels every other worker.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use stp_chain::Chain;
+use stp_fence::TreeShape;
+use stp_tt::TruthTable;
+
+use crate::error::SynthesisError;
+use crate::factor::Factorizer;
+
+/// Result of one shape task: the verified chains of that shape, in
+/// candidate order, capped at `max_solutions`.
+type TaskResult = Result<Vec<Chain>, SynthesisError>;
+
+/// Outcome of one gate-count round (sequential or parallel).
+pub(crate) struct RoundOutcome {
+    /// Verified chains in shape-index order, at most `max_solutions`.
+    pub solutions: Vec<Chain>,
+    /// Shapes whose factorization ran to completion. Under the solution
+    /// cap or a deadline this is a lower bound on the sequential count
+    /// (cancelled workers stop counting), so it is a statistic, not part
+    /// of the determinism guarantee.
+    pub shapes_explored: usize,
+}
+
+/// Parses the `STP_JOBS` environment variable: the default worker count
+/// for [`crate::SynthesisConfig`] (`1` when unset or unparsable).
+pub fn jobs_from_env() -> usize {
+    std::env::var("STP_JOBS").ok().and_then(|v| v.parse().ok()).unwrap_or(1)
+}
+
+/// Resolves a `jobs` knob: `0` means one worker per available CPU.
+pub fn resolve_jobs(jobs: usize) -> usize {
+    match jobs {
+        0 => std::thread::available_parallelism().map(usize::from).unwrap_or(1),
+        j => j,
+    }
+}
+
+/// The sequential round: shapes in order, verified chains accumulated
+/// until the cap binds. The parallel path reproduces this output
+/// exactly; both live here so the cap/deadline semantics stay in one
+/// place.
+pub(crate) fn run_round_sequential(
+    spec: &TruthTable,
+    shapes: &[TreeShape],
+    engine: &mut Factorizer,
+    max_solutions: usize,
+    max_depth: Option<usize>,
+) -> Result<RoundOutcome, SynthesisError> {
+    let mut solutions: Vec<Chain> = Vec::new();
+    let mut shapes_explored = 0usize;
+    'shapes: for shape in shapes {
+        shapes_explored += 1;
+        let candidates = {
+            let _factor = stp_telemetry::span!("phase.factorize");
+            engine.chains_on_shape(spec, shape)?
+        };
+        stp_telemetry::counter!("synth.candidates").add(candidates.len() as u64);
+        // Paper step (iv): verify each candidate with the circuit
+        // AllSAT solver before accepting it.
+        let _verify = stp_telemetry::span!("phase.verify");
+        for chain in candidates {
+            if solutions.len() >= max_solutions {
+                break 'shapes;
+            }
+            if max_depth.is_some_and(|d| chain.depth() > d) {
+                continue;
+            }
+            if crate::circuit_solver::verify_chain(&chain, spec)? {
+                solutions.push(chain);
+            }
+        }
+        if solutions.len() >= max_solutions {
+            break 'shapes;
+        }
+    }
+    Ok(RoundOutcome { solutions, shapes_explored })
+}
+
+/// One shape task: factorize, then verify candidates in order. The
+/// worker checks the cancellation flag between candidates so a deadline
+/// or a satisfied solution cap interrupts long verify streaks too.
+fn process_task(
+    spec: &TruthTable,
+    shape: &TreeShape,
+    engine: &mut Factorizer,
+    max_solutions: usize,
+    max_depth: Option<usize>,
+    cancel: &AtomicBool,
+) -> TaskResult {
+    let candidates = {
+        let _factor = stp_telemetry::span!("phase.factorize");
+        engine.chains_on_shape(spec, shape)?
+    };
+    stp_telemetry::counter!("synth.candidates").add(candidates.len() as u64);
+    let _verify = stp_telemetry::span!("phase.verify");
+    let mut solutions = Vec::new();
+    for chain in candidates {
+        if cancel.load(Ordering::SeqCst) {
+            return Err(SynthesisError::Timeout);
+        }
+        if solutions.len() >= max_solutions {
+            break;
+        }
+        if max_depth.is_some_and(|d| chain.depth() > d) {
+            continue;
+        }
+        if crate::circuit_solver::verify_chain(&chain, spec)? {
+            solutions.push(chain);
+        }
+    }
+    Ok(solutions)
+}
+
+/// The contiguous prefix of completed tasks and its solution tally.
+struct Prefix {
+    next: usize,
+    cum: usize,
+}
+
+/// Advances the completed prefix past `results` slots that are filled
+/// with `Ok`; once the prefix holds `max_solutions` chains, cancels the
+/// round (ordering matters: `cap_reached` is published before `cancel`
+/// so a worker that observes the cancellation also observes its cause).
+fn advance_prefix(
+    prefix: &Mutex<Prefix>,
+    results: &[OnceLock<TaskResult>],
+    max_solutions: usize,
+    cap_reached: &AtomicBool,
+    cancel: &AtomicBool,
+) {
+    let mut p = prefix.lock().expect("prefix lock poisoned");
+    while p.next < results.len() {
+        match results[p.next].get() {
+            Some(Ok(sols)) => {
+                p.cum += sols.len();
+                p.next += 1;
+                if p.cum >= max_solutions {
+                    cap_reached.store(true, Ordering::SeqCst);
+                    cancel.store(true, Ordering::SeqCst);
+                    stp_telemetry::counter!("par.cap_cutoffs").inc();
+                    return;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Pops the next task: own deque from the front (lowest indices first,
+/// which feeds the completed-prefix tracker), then victims from the
+/// back.
+fn next_task(w: usize, queues: &[Mutex<VecDeque<usize>>]) -> Option<usize> {
+    if let Some(idx) = queues[w].lock().expect("queue lock poisoned").pop_front() {
+        return Some(idx);
+    }
+    let n = queues.len();
+    for off in 1..n {
+        let victim = (w + off) % n;
+        let stolen = queues[victim].lock().expect("queue lock poisoned").pop_back();
+        if let Some(idx) = stolen {
+            stp_telemetry::counter!("par.tasks_stolen").inc();
+            return Some(idx);
+        }
+    }
+    None
+}
+
+/// Shared state of one parallel round (everything the workers touch).
+struct RoundState<'a> {
+    spec: &'a TruthTable,
+    shapes: &'a [TreeShape],
+    queues: Vec<Mutex<VecDeque<usize>>>,
+    results: Vec<OnceLock<TaskResult>>,
+    prefix: Mutex<Prefix>,
+    cancel: &'a AtomicBool,
+    cap_reached: AtomicBool,
+    first_error: Mutex<Option<(usize, SynthesisError)>>,
+    shapes_done: AtomicUsize,
+    max_solutions: usize,
+    max_depth: Option<usize>,
+}
+
+fn worker_loop(w: usize, engine: &mut Factorizer, state: &RoundState<'_>) {
+    loop {
+        if state.cancel.load(Ordering::SeqCst) {
+            return;
+        }
+        let Some(idx) = next_task(w, &state.queues) else {
+            return;
+        };
+        stp_telemetry::counter!("par.tasks_run").inc();
+        let outcome = {
+            let _busy = stp_telemetry::span!("par.worker_busy");
+            process_task(
+                state.spec,
+                &state.shapes[idx],
+                engine,
+                state.max_solutions,
+                state.max_depth,
+                state.cancel,
+            )
+        };
+        match outcome {
+            Ok(solutions) => {
+                state.shapes_done.fetch_add(1, Ordering::SeqCst);
+                let _ = state.results[idx].set(Ok(solutions));
+                advance_prefix(
+                    &state.prefix,
+                    &state.results,
+                    state.max_solutions,
+                    &state.cap_reached,
+                    state.cancel,
+                );
+            }
+            Err(e) => {
+                if state.cap_reached.load(Ordering::SeqCst) {
+                    // Induced abort: the satisfied prefix precedes this
+                    // task, so its (discarded) result is immaterial.
+                    stp_telemetry::counter!("par.tasks_cancelled").inc();
+                    let _ = state.results[idx].set(Ok(Vec::new()));
+                } else {
+                    let mut slot = state.first_error.lock().expect("error lock poisoned");
+                    match &*slot {
+                        Some((i, _)) if *i <= idx => {}
+                        _ => *slot = Some((idx, e.clone())),
+                    }
+                    drop(slot);
+                    let _ = state.results[idx].set(Err(e));
+                    state.cancel.store(true, Ordering::SeqCst);
+                }
+            }
+        }
+    }
+}
+
+/// Runs one round across `engines.len()` workers (falling back to the
+/// sequential path when one worker — or one task — makes stealing
+/// pointless). `cancel` must be freshly cleared; it is left set when the
+/// round was cut off (solution cap or error).
+pub(crate) fn run_round_parallel(
+    spec: &TruthTable,
+    shapes: &[TreeShape],
+    engines: &mut [Factorizer],
+    max_solutions: usize,
+    max_depth: Option<usize>,
+    cancel: &AtomicBool,
+) -> Result<RoundOutcome, SynthesisError> {
+    let n_tasks = shapes.len();
+    let workers = engines.len().min(n_tasks);
+    if workers <= 1 {
+        let engine = engines.first_mut().expect("at least one engine");
+        return run_round_sequential(spec, shapes, engine, max_solutions, max_depth);
+    }
+    let state = RoundState {
+        spec,
+        shapes,
+        // Round-robin deal: worker w owns tasks w, w+workers, … so the
+        // lowest indices complete early and the prefix tracker can cut
+        // the round off as soon as the cap is provably reached.
+        queues: (0..workers).map(|w| Mutex::new((w..n_tasks).step_by(workers).collect())).collect(),
+        results: (0..n_tasks).map(|_| OnceLock::new()).collect(),
+        prefix: Mutex::new(Prefix { next: 0, cum: 0 }),
+        cancel,
+        cap_reached: AtomicBool::new(false),
+        first_error: Mutex::new(None),
+        shapes_done: AtomicUsize::new(0),
+        max_solutions,
+        max_depth,
+    };
+    std::thread::scope(|scope| {
+        for (w, engine) in engines[..workers].iter_mut().enumerate() {
+            let state = &state;
+            scope.spawn(move || worker_loop(w, engine, state));
+        }
+    });
+    let cap_reached = state.cap_reached.load(Ordering::SeqCst);
+    if !cap_reached {
+        if let Some((_, e)) = state.first_error.into_inner().expect("error lock poisoned") {
+            return Err(e);
+        }
+    }
+    // Merge in shape-index order and truncate: byte-identical to the
+    // sequential accumulation. When the cap cut the round off, every
+    // slot up to the satisfying prefix is filled, so the loop below
+    // reaches the cap before it can meet an unfilled slot.
+    let mut solutions: Vec<Chain> = Vec::new();
+    for slot in state.results {
+        if solutions.len() >= max_solutions {
+            break;
+        }
+        if let Some(Ok(sols)) = slot.into_inner() {
+            let room = max_solutions - solutions.len();
+            solutions.extend(sols.into_iter().take(room));
+        }
+    }
+    debug_assert!(solutions.len() <= max_solutions);
+    Ok(RoundOutcome { solutions, shapes_explored: state.shapes_done.load(Ordering::SeqCst) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Compile-time audit: everything the scoped workers share or own
+    /// must cross thread boundaries.
+    #[test]
+    fn shared_types_are_send_and_sync() {
+        fn assert_send<T: Send>() {}
+        fn assert_sync<T: Sync>() {}
+        assert_send::<Factorizer>();
+        assert_send::<TruthTable>();
+        assert_sync::<TruthTable>();
+        assert_send::<TreeShape>();
+        assert_sync::<TreeShape>();
+        assert_send::<Chain>();
+        assert_sync::<Chain>();
+        assert_send::<SynthesisError>();
+        assert_sync::<SynthesisError>();
+    }
+
+    #[test]
+    fn resolve_jobs_maps_zero_to_cpu_count() {
+        assert!(resolve_jobs(0) >= 1);
+        assert_eq!(resolve_jobs(1), 1);
+        assert_eq!(resolve_jobs(7), 7);
+    }
+}

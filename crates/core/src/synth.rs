@@ -15,6 +15,9 @@
 //!    ([`crate::verify_chain`]) and return **all** verified optimum
 //!    chains in one pass.
 
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use stp_chain::{Chain, CostModel, OutputRef};
@@ -23,6 +26,7 @@ use stp_tt::TruthTable;
 
 use crate::error::SynthesisError;
 use crate::factor::{FactorConfig, Factorizer};
+use crate::parallel::{self, RoundOutcome};
 
 /// Configuration for [`synthesize`].
 #[derive(Debug, Clone)]
@@ -37,11 +41,23 @@ pub struct SynthesisConfig {
     pub deadline: Option<Instant>,
     /// Cap on the number of solutions materialized.
     pub max_solutions: usize,
+    /// Worker threads for the shape/factorize/verify pipeline: `1`
+    /// searches sequentially, `0` uses one worker per available CPU.
+    /// The default comes from the `STP_JOBS` environment variable
+    /// (falling back to `1`). Any value produces byte-identical
+    /// solution sets (see `DESIGN.md`, *Threading model*).
+    pub jobs: usize,
 }
 
 impl Default for SynthesisConfig {
     fn default() -> Self {
-        SynthesisConfig { fence_pruning: true, max_gates: 20, deadline: None, max_solutions: 4096 }
+        SynthesisConfig {
+            fence_pruning: true,
+            max_gates: 20,
+            deadline: None,
+            max_solutions: 4096,
+            jobs: parallel::jobs_from_env(),
+        }
     }
 }
 
@@ -53,9 +69,16 @@ pub struct SynthesisResult {
     pub chains: Vec<Chain>,
     /// The optimum gate count.
     pub gate_count: usize,
-    /// Number of tree topologies examined.
+    /// Number of tree topologies examined. Under a solution cap or
+    /// deadline, parallel runs may examine fewer shapes than sequential
+    /// ones (cancelled workers stop counting); the chains themselves are
+    /// identical either way.
     pub shapes_explored: usize,
-    /// Number of fences examined.
+    /// Number of fence patterns whose shape families were examined.
+    /// With fence pruning this counts the pruned fence family per
+    /// round; search paths that enumerate shapes directly (pruning
+    /// disabled, or the depth objective) count the distinct fences of
+    /// the examined shapes.
     pub fences_explored: usize,
     /// Number of factorization subproblems solved.
     pub factor_nodes: u64,
@@ -114,7 +137,6 @@ pub fn synthesize(
     spec: &TruthTable,
     config: &SynthesisConfig,
 ) -> Result<SynthesisResult, SynthesisError> {
-    let n = spec.num_vars();
     // Trivial specifications need no gates.
     if let Some(chain) = trivial_chain(spec) {
         stp_telemetry::counter!("synth.trivial_hits").inc();
@@ -130,74 +152,90 @@ pub fn synthesize(
     // Paper step (i): a function of k support variables needs at least
     // k − 1 binary gates.
     let start = support.len().saturating_sub(1).max(1);
-    let mut engine = Factorizer::new(FactorConfig {
-        max_realizations: config.max_solutions,
-        deadline: config.deadline,
-    });
+    let jobs = parallel::resolve_jobs(config.jobs);
+    let cancel = Arc::new(AtomicBool::new(false));
+    let mut engines = build_engines(config, jobs, &cancel);
     let mut shapes_explored = 0usize;
     let mut fences_explored = 0usize;
     for r in start..=config.max_gates {
         let _round = stp_telemetry::span!("synth.round.r{}", r);
         stp_telemetry::counter!("synth.rounds").inc();
-        let shape_groups: Vec<Vec<TreeShape>> = {
+        // Flatten the fence groups into one shape-indexed work list; the
+        // group boundaries carry no search semantics, only the fence
+        // tally.
+        let shapes: Vec<TreeShape> = {
             let _enum = stp_telemetry::span!("phase.fence_enum");
             if config.fence_pruning {
-                pruned_fences(r)
-                    .iter()
-                    .map(|f| {
-                        fences_explored += 1;
-                        shapes_for_fence(f)
-                    })
-                    .collect()
+                let mut flat = Vec::new();
+                for fence in &pruned_fences(r) {
+                    fences_explored += 1;
+                    flat.extend(shapes_for_fence(fence));
+                }
+                flat
             } else {
-                vec![shapes_with_gates(r)]
+                let flat = shapes_with_gates(r);
+                fences_explored += distinct_fence_count(&flat);
+                flat
             }
         };
-        stp_telemetry::debug!(
-            "synth: r={r}, {} shape groups, {} shapes",
-            shape_groups.len(),
-            shape_groups.iter().map(Vec::len).sum::<usize>()
-        );
-        let mut solutions: Vec<Chain> = Vec::new();
-        for group in &shape_groups {
-            for shape in group {
-                shapes_explored += 1;
-                let candidates = {
-                    let _factor = stp_telemetry::span!("phase.factorize");
-                    engine.chains_on_shape(spec, shape)?
-                };
-                stp_telemetry::counter!("synth.candidates").add(candidates.len() as u64);
-                // Paper step (iv): verify each candidate with the
-                // circuit AllSAT solver before accepting it.
-                let _verify = stp_telemetry::span!("phase.verify");
-                for chain in candidates {
-                    if crate::circuit_solver::verify_chain(&chain, spec)? {
-                        solutions.push(chain);
-                        if solutions.len() >= config.max_solutions {
-                            break;
-                        }
-                    }
-                }
-                if solutions.len() >= config.max_solutions {
-                    break;
-                }
-            }
-        }
-        if !solutions.is_empty() {
-            stp_telemetry::counter!("synth.solutions").add(solutions.len() as u64);
+        stp_telemetry::debug!("synth: r={r}, {} shapes, {jobs} worker(s)", shapes.len());
+        let outcome = run_round(spec, &shapes, &mut engines, config.max_solutions, None, &cancel)?;
+        shapes_explored += outcome.shapes_explored;
+        if !outcome.solutions.is_empty() {
+            stp_telemetry::counter!("synth.solutions").add(outcome.solutions.len() as u64);
             return Ok(SynthesisResult {
-                chains: solutions,
+                chains: outcome.solutions,
                 gate_count: r,
                 shapes_explored,
                 fences_explored,
-                factor_nodes: engine.nodes_explored(),
+                factor_nodes: engines.iter().map(Factorizer::nodes_explored).sum(),
             });
-        }
-        if n >= stp_tt::MAX_VARS {
-            break;
         }
     }
     Err(SynthesisError::GateLimitExceeded { max_gates: config.max_gates })
+}
+
+/// Builds the per-worker factorization engines for one synthesis run.
+/// The engines persist across gate-count rounds so each worker keeps its
+/// memo table for the whole search.
+fn build_engines(
+    config: &SynthesisConfig,
+    jobs: usize,
+    cancel: &Arc<AtomicBool>,
+) -> Vec<Factorizer> {
+    let factor_config = FactorConfig {
+        max_realizations: config.max_solutions,
+        deadline: config.deadline,
+        cancel: Some(Arc::clone(cancel)),
+    };
+    (0..jobs.max(1)).map(|_| Factorizer::new(factor_config.clone())).collect()
+}
+
+/// Dispatches one round to the sequential or work-stealing path; the
+/// cancellation flag is re-armed per round (a previous round may have
+/// tripped it when its solution cap was reached).
+fn run_round(
+    spec: &TruthTable,
+    shapes: &[TreeShape],
+    engines: &mut [Factorizer],
+    max_solutions: usize,
+    max_depth: Option<usize>,
+    cancel: &AtomicBool,
+) -> Result<RoundOutcome, SynthesisError> {
+    cancel.store(false, Ordering::SeqCst);
+    if engines.len() <= 1 {
+        let engine = engines.first_mut().expect("at least one engine");
+        parallel::run_round_sequential(spec, shapes, engine, max_solutions, max_depth)
+    } else {
+        parallel::run_round_parallel(spec, shapes, engines, max_solutions, max_depth, cancel)
+    }
+}
+
+/// Number of distinct fences among `shapes`: the honest `fences_explored`
+/// tally for search paths that enumerate shapes directly instead of
+/// walking the fence family.
+fn distinct_fence_count(shapes: &[TreeShape]) -> usize {
+    shapes.iter().filter_map(TreeShape::fence).collect::<HashSet<_>>().len()
 }
 
 /// Synthesis objective for [`synthesize_with_objective`].
@@ -272,11 +310,11 @@ fn synthesize_min_depth(
     let min_gates = support.len().saturating_sub(1).max(1);
     // Depth lower bound: a binary tree of depth d covers ≤ 2^d leaves.
     let min_depth = support.len().next_power_of_two().trailing_zeros() as usize;
-    let mut engine = Factorizer::new(FactorConfig {
-        max_realizations: config.max_solutions,
-        deadline: config.deadline,
-    });
+    let jobs = parallel::resolve_jobs(config.jobs);
+    let cancel = Arc::new(AtomicBool::new(false));
+    let mut engines = build_engines(config, jobs, &cancel);
     let mut shapes_explored = 0usize;
+    let mut fences_explored = 0usize;
     let max_depth = config.max_gates.max(min_depth);
     for depth in min_depth.max(1)..=max_depth {
         // A depth-d binary tree has at most 2^d − 1 gates; larger gate
@@ -285,38 +323,19 @@ fn synthesize_min_depth(
         for r in min_gates..=r_cap {
             let _round = stp_telemetry::span!("synth.round.r{}", r);
             stp_telemetry::counter!("synth.rounds").inc();
-            let mut solutions: Vec<Chain> = Vec::new();
-            for shape in shapes_with_gates(r) {
-                if shape.height() > depth {
-                    continue;
-                }
-                shapes_explored += 1;
-                let candidates = {
-                    let _factor = stp_telemetry::span!("phase.factorize");
-                    engine.chains_on_shape(spec, &shape)?
-                };
-                stp_telemetry::counter!("synth.candidates").add(candidates.len() as u64);
-                let _verify = stp_telemetry::span!("phase.verify");
-                for chain in candidates {
-                    if chain.depth() <= depth && crate::circuit_solver::verify_chain(&chain, spec)?
-                    {
-                        solutions.push(chain);
-                        if solutions.len() >= config.max_solutions {
-                            break;
-                        }
-                    }
-                }
-                if solutions.len() >= config.max_solutions {
-                    break;
-                }
-            }
-            if !solutions.is_empty() {
+            let shapes: Vec<TreeShape> =
+                shapes_with_gates(r).into_iter().filter(|shape| shape.height() <= depth).collect();
+            fences_explored += distinct_fence_count(&shapes);
+            let outcome =
+                run_round(spec, &shapes, &mut engines, config.max_solutions, Some(depth), &cancel)?;
+            shapes_explored += outcome.shapes_explored;
+            if !outcome.solutions.is_empty() {
                 return Ok(SynthesisResult {
-                    chains: solutions,
+                    chains: outcome.solutions,
                     gate_count: r,
                     shapes_explored,
-                    fences_explored: 0,
-                    factor_nodes: engine.nodes_explored(),
+                    fences_explored,
+                    factor_nodes: engines.iter().map(Factorizer::nodes_explored).sum(),
                 });
             }
         }
@@ -587,6 +606,134 @@ mod tests {
         assert_eq!(b.gate_count, 1);
         assert_eq!(a.chains[0].simulate_outputs().unwrap()[0], and2);
         assert_eq!(b.chains[0].simulate_outputs().unwrap()[0], nor2);
+    }
+
+    #[test]
+    fn sixteen_var_spec_searches_past_first_round() {
+        // Regression: an `n >= MAX_VARS` guard used to abort the
+        // gate-count loop after the first round for 16-variable specs,
+        // misreporting `GateLimitExceeded` for anything needing more
+        // than `support − 1` gates.
+        let spec =
+            TruthTable::from_fn(16, |a| (a[0] & a[1]) | (a[1] & a[15]) | (a[0] & a[15])).unwrap();
+        let result =
+            synthesize(&spec, &SynthesisConfig { max_gates: 5, ..SynthesisConfig::default() })
+                .unwrap();
+        assert_eq!(result.gate_count, 4, "MAJ3 embedded in 16 vars needs 4 gates");
+        for chain in &result.chains {
+            assert_eq!(chain.simulate_outputs().unwrap()[0], spec);
+        }
+    }
+
+    #[test]
+    fn max_solutions_cap_is_exact_across_fence_groups() {
+        // Regression: reaching the cap used to break only the
+        // shape loop, so every later fence group pushed one verified
+        // chain past the cap. Parity-4 has solutions in two fence
+        // families (the balanced tree and the gate chain).
+        let spec = TruthTable::from_hex(4, "6996").unwrap();
+        for max_solutions in [1usize, 2, 3] {
+            let result =
+                synthesize(&spec, &SynthesisConfig { max_solutions, ..SynthesisConfig::default() })
+                    .unwrap();
+            assert_eq!(result.chains.len(), max_solutions, "cap {max_solutions} must bind exactly");
+        }
+    }
+
+    #[test]
+    fn max_solutions_cap_is_exact_for_depth_objective() {
+        let spec = TruthTable::from_hex(4, "6996").unwrap();
+        let result = synthesize_with_objective(
+            &spec,
+            Objective::MinDepthThenGates,
+            &SynthesisConfig { max_solutions: 1, ..SynthesisConfig::default() },
+        )
+        .unwrap();
+        assert_eq!(result.chains.len(), 1);
+    }
+
+    #[test]
+    fn min_depth_reports_real_fence_count() {
+        // Regression: `synthesize_min_depth` used to hard-code
+        // `fences_explored: 0` even though it examines whole shape
+        // families.
+        let spec = TruthTable::from_hex(4, "8ff8").unwrap();
+        let result = synthesize_with_objective(
+            &spec,
+            Objective::MinDepthThenGates,
+            &SynthesisConfig::default(),
+        )
+        .unwrap();
+        assert!(result.fences_explored > 0, "depth search examined shapes, hence fences");
+    }
+
+    #[test]
+    fn parallel_search_matches_sequential_output() {
+        for hex in ["8ff8", "6996", "cafe", "e8e8"] {
+            let spec = TruthTable::from_hex(4, hex).unwrap();
+            let seq = synthesize(&spec, &SynthesisConfig { jobs: 1, ..SynthesisConfig::default() })
+                .unwrap();
+            let par = synthesize(&spec, &SynthesisConfig { jobs: 4, ..SynthesisConfig::default() })
+                .unwrap();
+            assert_eq!(seq.gate_count, par.gate_count, "hex {hex}");
+            let seq_chains: Vec<String> = seq.chains.iter().map(|c| format!("{c}")).collect();
+            let par_chains: Vec<String> = par.chains.iter().map(|c| format!("{c}")).collect();
+            assert_eq!(seq_chains, par_chains, "hex {hex}: chain sets and order must match");
+        }
+    }
+
+    #[test]
+    fn parallel_search_respects_exact_cap() {
+        let spec = TruthTable::from_hex(4, "6996").unwrap();
+        let seq = synthesize(
+            &spec,
+            &SynthesisConfig { jobs: 1, max_solutions: 1, ..SynthesisConfig::default() },
+        )
+        .unwrap();
+        let par = synthesize(
+            &spec,
+            &SynthesisConfig { jobs: 4, max_solutions: 1, ..SynthesisConfig::default() },
+        )
+        .unwrap();
+        assert_eq!(seq.chains.len(), 1);
+        assert_eq!(par.chains.len(), 1);
+        assert_eq!(format!("{}", seq.chains[0]), format!("{}", par.chains[0]));
+    }
+
+    #[test]
+    fn parallel_timeout_is_reported() {
+        let spec = TruthTable::from_hex(4, "1ee1").unwrap();
+        let err = synthesize(
+            &spec,
+            &SynthesisConfig {
+                jobs: 4,
+                deadline: Some(Instant::now() - std::time::Duration::from_millis(1)),
+                ..SynthesisConfig::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, SynthesisError::Timeout));
+    }
+
+    #[test]
+    fn depth_objective_parallel_matches_sequential() {
+        let spec = TruthTable::from_fn(4, |a| a.iter().fold(false, |x, &b| x ^ b)).unwrap();
+        let seq = synthesize_with_objective(
+            &spec,
+            Objective::MinDepthThenGates,
+            &SynthesisConfig { jobs: 1, ..SynthesisConfig::default() },
+        )
+        .unwrap();
+        let par = synthesize_with_objective(
+            &spec,
+            Objective::MinDepthThenGates,
+            &SynthesisConfig { jobs: 3, ..SynthesisConfig::default() },
+        )
+        .unwrap();
+        assert_eq!(seq.gate_count, par.gate_count);
+        let seq_chains: Vec<String> = seq.chains.iter().map(|c| format!("{c}")).collect();
+        let par_chains: Vec<String> = par.chains.iter().map(|c| format!("{c}")).collect();
+        assert_eq!(seq_chains, par_chains);
     }
 
     #[test]

@@ -61,3 +61,24 @@ pub use expr::{BinOp, Expr};
 pub use logic::{LogicMatrix, FALSE_VEC, MAX_ARITY, TRUE_VEC};
 pub use parse::{parse_expr, ParseExprError};
 pub use stp::{lcm, power_reducing_matrix, stp, stp_all, swap_matrix, variable_swap_matrix};
+
+#[cfg(test)]
+mod thread_safety {
+    use super::*;
+
+    // The parallel synthesis layer (stp-synth) moves these across
+    // worker threads; keep them free of interior mutability.
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn matrix_types_are_send_and_sync() {
+        assert_send_sync::<Mat>();
+        assert_send_sync::<LogicMatrix>();
+        assert_send_sync::<Expr>();
+        assert_send_sync::<BinOp>();
+        assert_send_sync::<CnfLit>();
+        assert_send_sync::<AllSatResult>();
+        assert_send_sync::<TraceNode>();
+        assert_send_sync::<MatrixError>();
+    }
+}

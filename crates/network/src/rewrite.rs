@@ -30,6 +30,10 @@ pub struct RewriteConfig {
     pub synthesis_budget: Duration,
     /// Maximum rewriting passes.
     pub max_passes: usize,
+    /// Worker threads per exact-synthesis call (`0` = one per CPU,
+    /// `1` = sequential; see [`stp_synth::SynthesisConfig::jobs`]).
+    /// Defaults to the `STP_JOBS` environment variable (or `1`).
+    pub jobs: usize,
 }
 
 impl Default for RewriteConfig {
@@ -39,6 +43,7 @@ impl Default for RewriteConfig {
             cut_limit: 8,
             synthesis_budget: Duration::from_secs(2),
             max_passes: 4,
+            jobs: stp_synth::jobs_from_env(),
         }
     }
 }
@@ -82,6 +87,7 @@ impl SynthesisCache {
         &mut self,
         spec: &TruthTable,
         budget: Duration,
+        jobs: usize,
     ) -> Result<Option<Chain>, NetworkError> {
         let canon = canonicalize(spec);
         let rep_chain = match self.entries.get(&canon.representative) {
@@ -96,6 +102,7 @@ impl SynthesisCache {
                 let config = SynthesisConfig {
                     deadline: Some(Instant::now() + budget),
                     max_solutions: 1,
+                    jobs,
                     ..SynthesisConfig::default()
                 };
                 let result = match synthesize(&canon.representative, &config) {
@@ -142,10 +149,11 @@ pub fn exact_network(
     assert!(!specs.is_empty(), "need at least one output");
     let n = specs[0].num_vars();
     assert!(specs.iter().all(|s| s.num_vars() == n), "all outputs share one input space");
+    let jobs = stp_synth::jobs_from_env();
     let mut net = Network::new(n);
     let inputs: Vec<Sig> = (0..n).map(|i| net.input(i)).collect();
     for spec in specs {
-        let sig = build_function(&mut net, &inputs, spec, cache, budget)?;
+        let sig = build_function(&mut net, &inputs, spec, cache, budget, jobs)?;
         net.add_output(sig);
     }
     Ok(net)
@@ -157,6 +165,7 @@ fn build_function(
     spec: &TruthTable,
     cache: &mut SynthesisCache,
     budget: Duration,
+    jobs: usize,
 ) -> Result<Sig, NetworkError> {
     // Trivial cases first.
     let ones = spec.count_ones();
@@ -172,14 +181,14 @@ fn build_function(
         let proj = TruthTable::variable(spec.num_vars(), v)?;
         return Ok(if *spec == proj { inputs[v] } else { inputs[v].not() });
     }
-    if let Some(chain) = cache.optimum_chain(spec, budget)? {
+    if let Some(chain) = cache.optimum_chain(spec, budget, jobs)? {
         return net.add_chain(&chain, inputs);
     }
     // Budget exceeded: Shannon-decompose on the last support variable
     // and recurse (each cofactor has strictly smaller support).
     let v = *support.last().expect("non-trivial support");
-    let hi = build_function(net, inputs, &spec.cofactor(v, true), cache, budget)?;
-    let lo = build_function(net, inputs, &spec.cofactor(v, false), cache, budget)?;
+    let hi = build_function(net, inputs, &spec.cofactor(v, true), cache, budget, jobs)?;
+    let lo = build_function(net, inputs, &spec.cofactor(v, false), cache, budget, jobs)?;
     net.mux(inputs[v], hi, lo)
 }
 
@@ -306,7 +315,7 @@ fn rewrite_pass(
             if f.is_trivial() {
                 continue;
             }
-            let Some(chain) = cache.optimum_chain(&f, config.synthesis_budget)? else {
+            let Some(chain) = cache.optimum_chain(&f, config.synthesis_budget, config.jobs)? else {
                 continue;
             };
             let old_cost = mffc_size(net, s, cut, &refs);

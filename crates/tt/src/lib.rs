@@ -42,3 +42,21 @@ pub use dsd::{
 pub use error::TruthTableError;
 pub use npn::{canonicalize, npn_classes, NpnCanonical, NpnTransform};
 pub use truth_table::{TruthTable, MAX_VARS};
+
+#[cfg(test)]
+mod thread_safety {
+    use super::*;
+
+    // The parallel synthesis layer (stp-synth) moves these across
+    // worker threads; keep them free of interior mutability.
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn tt_types_are_send_and_sync() {
+        assert_send_sync::<TruthTable>();
+        assert_send_sync::<DsdNode>();
+        assert_send_sync::<NpnCanonical>();
+        assert_send_sync::<NpnTransform>();
+        assert_send_sync::<TruthTableError>();
+    }
+}

@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! Usage: stprewrite <input.blif> [-o <output.blif>] [--passes <n>]
-//!                   [--log <level>] [--stats] [--trace-json <path>]
+//!                   [--jobs <n>] [--log <level>] [--stats]
+//!                   [--trace-json <path>]
 //! ```
 //!
 //! Reads a 2-LUT BLIF network, rewrites it by replacing 4-cut cones
@@ -23,8 +24,8 @@ use stp_telemetry::{Json, RunReport};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: stprewrite <input.blif> [-o <output.blif>] [--passes <n>] [--log <level>] \
-         [--stats] [--trace-json <path>]"
+        "usage: stprewrite <input.blif> [-o <output.blif>] [--passes <n>] [--jobs <n>] \
+         [--log <level>] [--stats] [--trace-json <path>]"
     );
     ExitCode::FAILURE
 }
@@ -65,6 +66,11 @@ fn main() -> ExitCode {
             "--passes" => {
                 if let Some(v) = it.next().and_then(|v| v.parse().ok()) {
                     config.max_passes = v;
+                }
+            }
+            "--jobs" => {
+                if let Some(v) = it.next().and_then(|v| v.parse().ok()) {
+                    config.jobs = v;
                 }
             }
             "--stats" => stats = true,

@@ -7,6 +7,8 @@
 //!   --all              print every optimum chain (default: first only)
 //!   --engine <name>    stp | stp-npn | bms | fen | abc   (default stp)
 //!   --timeout <secs>   per-instance timeout (default 60)
+//!   --jobs <n>         STP worker threads; 0 = one per CPU (default
+//!                      from STP_JOBS, else 1; baselines ignore it)
 //!   --verilog          emit structural Verilog for the chosen chain
 //!   --dot              emit Graphviz DOT for the chosen chain
 //!   --log <level>      off|error|warn|info|debug|trace (default info,
@@ -28,7 +30,8 @@ use stp_telemetry::{Json, RunReport};
 fn usage() -> ExitCode {
     eprintln!(
         "usage: stpsynth <hex-truth-table> <num-vars> [--all] [--engine stp|stp-npn|bms|fen|abc] \
-         [--timeout <secs>] [--verilog] [--dot] [--log <level>] [--stats] [--trace-json <path>]"
+         [--timeout <secs>] [--jobs <n>] [--verilog] [--dot] [--log <level>] [--stats] \
+         [--trace-json <path>]"
     );
     ExitCode::FAILURE
 }
@@ -66,6 +69,7 @@ fn main() -> ExitCode {
     let mut engine = "stp".to_string();
     let mut all = false;
     let mut timeout = 60.0f64;
+    let mut jobs = stp_repro::synth::jobs_from_env();
     let mut emit_verilog = false;
     let mut emit_dot = false;
     let mut stats = false;
@@ -79,6 +83,9 @@ fn main() -> ExitCode {
             "--engine" => engine = it.next().cloned().unwrap_or_default(),
             "--timeout" => {
                 timeout = it.next().and_then(|v| v.parse().ok()).unwrap_or(timeout);
+            }
+            "--jobs" => {
+                jobs = it.next().and_then(|v| v.parse().ok()).unwrap_or(jobs);
             }
             "--log" => {
                 let Some(level) = it.next().and_then(|v| stp_telemetry::Level::parse(v)) else {
@@ -115,7 +122,7 @@ fn main() -> ExitCode {
 
     let (chains, gate_count) = match engine.as_str() {
         "stp" | "stp-npn" => {
-            let config = SynthesisConfig { deadline, ..SynthesisConfig::default() };
+            let config = SynthesisConfig { deadline, jobs, ..SynthesisConfig::default() };
             let result = if engine == "stp" {
                 synthesize(&spec, &config)
             } else {
