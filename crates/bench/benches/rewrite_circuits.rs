@@ -19,15 +19,15 @@ fn bench_rewrite(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("cold_cache", |b| {
         b.iter(|| {
-            let mut cache = SynthesisCache::new();
-            black_box(rewrite(&net, &config, &mut cache).unwrap().gates_after)
+            let cache = SynthesisCache::new();
+            black_box(rewrite(&net, &config, &cache).unwrap().gates_after)
         })
     });
     // Warm cache shared across iterations.
-    let mut warm = SynthesisCache::new();
-    let _ = rewrite(&net, &config, &mut warm).unwrap();
+    let warm = SynthesisCache::new();
+    let _ = rewrite(&net, &config, &warm).unwrap();
     group.bench_function("warm_cache", |b| {
-        b.iter(|| black_box(rewrite(&net, &config, &mut warm).unwrap().gates_after))
+        b.iter(|| black_box(rewrite(&net, &config, &warm).unwrap().gates_after))
     });
     group.finish();
 }

@@ -1,20 +1,30 @@
 //! Regenerates Table I of the paper.
 //!
 //! Usage: `table1 [--full] [--timeout <seconds>] [--suite <name>]...
-//!                [--jobs <n>] [--counters] [--log <level>]`
+//!                [--jobs <n>] [--store <path>] [--warm-npn4]
+//!                [--counters] [--log <level>]`
 //!
 //! The default (quick) profile uses reduced instance counts and a short
 //! per-instance timeout so the whole table runs in minutes; `--full`
 //! switches to the paper's counts (222/1000/100/1000/100) and a
 //! 180-second timeout. `--jobs` sets the STP engine's worker-thread
 //! count (`0` = one per CPU; default from `STP_JOBS`, else 1) — the
-//! CNF baselines are single-threaded and ignore it. `--counters`
-//! appends the aggregated telemetry counters per (suite, algorithm)
-//! cell; `--log` sets the stderr diagnostic level (also via `STP_LOG`).
+//! CNF baselines are single-threaded and ignore it. `--store <path>`
+//! loads the persistent NPN solution store (when the file exists) and
+//! saves it back after the run; `--warm-npn4` pre-synthesizes every
+//! NPN class of arity ≤ 4 first, so the STP column of the NPN4 suite
+//! answers entirely from the store (the baselines never use it).
+//! `--counters` appends the aggregated telemetry counters per (suite,
+//! algorithm) cell; `--log` sets the stderr diagnostic level (also via
+//! `STP_LOG`).
 
 use std::time::Duration;
 
-use stp_bench::{render_counters, render_headlines, render_table, run_suite, Algorithm, Scale};
+use stp_bench::{
+    render_counters, render_headlines, render_table, run_suite_with_store, Algorithm, Scale,
+};
+use stp_store::Store;
+use stp_synth::{warm_npn4, SynthesisConfig};
 
 fn main() {
     stp_telemetry::init_from_env();
@@ -24,6 +34,8 @@ fn main() {
     let mut only_suites: Vec<String> = Vec::new();
     let mut counters = false;
     let mut jobs = stp_synth::jobs_from_env();
+    let mut store_path: Option<String> = None;
+    let mut warm = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -42,6 +54,8 @@ fn main() {
                     only_suites.push(v.to_uppercase());
                 }
             }
+            "--store" => store_path = it.next().cloned(),
+            "--warm-npn4" => warm = true,
             "--counters" => counters = true,
             "--log" => {
                 if let Some(level) = it.next().and_then(|v| stp_telemetry::Level::parse(v)) {
@@ -53,6 +67,38 @@ fn main() {
     }
     let scale = if full { Scale::Full } else { Scale::Quick };
     let timeout = Duration::from_secs_f64(timeout);
+    // The optional shared NPN solution store for the STP column.
+    let store = if store_path.is_some() || warm {
+        let store = match &store_path {
+            Some(p) if std::path::Path::new(p).exists() => match Store::load(p) {
+                Ok(s) => {
+                    eprintln!("store: loaded {} classes from {p}", s.len());
+                    s
+                }
+                Err(e) => {
+                    eprintln!("error loading store {p}: {e}");
+                    std::process::exit(1);
+                }
+            },
+            _ => Store::new(),
+        };
+        if warm {
+            let config = SynthesisConfig { jobs, ..SynthesisConfig::default() };
+            match warm_npn4(&store, &config, Some(timeout)) {
+                Ok(r) => eprintln!(
+                    "store: warmed {} classes ({} solved, {} cached, {} exhausted)",
+                    r.classes, r.solved, r.cached, r.exhausted
+                ),
+                Err(e) => {
+                    eprintln!("error warming store: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        Some(store)
+    } else {
+        None
+    };
     let suites = stp_bench::standard_suites(scale);
     let mut reports = Vec::new();
     for suite in &suites {
@@ -67,7 +113,16 @@ fn main() {
                 suite.functions.len(),
                 timeout
             );
-            reports.push(run_suite(algo, suite, timeout, jobs));
+            reports.push(run_suite_with_store(algo, suite, timeout, jobs, store.as_ref()));
+        }
+    }
+    if let (Some(store), Some(p)) = (&store, &store_path) {
+        match store.save(p) {
+            Ok(()) => eprintln!("store: saved {} classes to {p}", store.len()),
+            Err(e) => {
+                eprintln!("error saving store {p}: {e}");
+                std::process::exit(1);
+            }
         }
     }
     println!("{}", render_table(&reports));

@@ -12,7 +12,8 @@ use std::time::{Duration, Instant};
 use stp_baselines::{
     abc_synthesize, bms_synthesize, fen_synthesize, BaselineConfig, BaselineError,
 };
-use stp_synth::{synthesize, SynthesisConfig, SynthesisError};
+use stp_store::Store;
+use stp_synth::{synthesize, synthesize_npn_with_store, SynthesisConfig, SynthesisError};
 use stp_tt::TruthTable;
 
 use crate::suites::Suite;
@@ -76,13 +77,34 @@ pub fn run_instance(
     timeout: Duration,
     jobs: usize,
 ) -> InstanceOutcome {
+    run_instance_with_store(algorithm, spec, timeout, jobs, None)
+}
+
+/// [`run_instance`] with an optional shared NPN solution store.
+///
+/// With `Some(store)` the STP engine routes through
+/// [`synthesize_npn_with_store`]: repeated (or pre-warmed) NPN classes
+/// answer from the store instead of re-running the search. The CNF
+/// baselines never use the store — their columns measure raw solver
+/// time.
+pub fn run_instance_with_store(
+    algorithm: Algorithm,
+    spec: &TruthTable,
+    timeout: Duration,
+    jobs: usize,
+    store: Option<&Store>,
+) -> InstanceOutcome {
     let metrics_before = stp_telemetry::metrics_global().snapshot();
     let start = Instant::now();
     let deadline = Some(start + timeout);
     let (solved, gate_count, num_solutions) = match algorithm {
         Algorithm::Stp => {
             let config = SynthesisConfig { deadline, jobs, ..SynthesisConfig::default() };
-            match synthesize(spec, &config) {
+            let result = match store {
+                Some(store) => synthesize_npn_with_store(spec, &config, store),
+                None => synthesize(spec, &config),
+            };
+            match result {
                 Ok(result) => (true, Some(result.gate_count), result.chains.len()),
                 Err(SynthesisError::Timeout) => (false, None, 0),
                 Err(_) => (false, None, 0),
@@ -154,6 +176,18 @@ pub fn run_suite(
     timeout: Duration,
     jobs: usize,
 ) -> SuiteReport {
+    run_suite_with_store(algorithm, suite, timeout, jobs, None)
+}
+
+/// [`run_suite`] with an optional shared NPN solution store (see
+/// [`run_instance_with_store`]).
+pub fn run_suite_with_store(
+    algorithm: Algorithm,
+    suite: &Suite,
+    timeout: Duration,
+    jobs: usize,
+    store: Option<&Store>,
+) -> SuiteReport {
     let mut total = Duration::ZERO;
     let mut timeouts = 0usize;
     let mut solved = 0usize;
@@ -161,7 +195,7 @@ pub fn run_suite(
     let mut gate_counts = Vec::with_capacity(suite.functions.len());
     let mut counters: BTreeMap<String, u64> = BTreeMap::new();
     for spec in &suite.functions {
-        let outcome = run_instance(algorithm, spec, timeout, jobs);
+        let outcome = run_instance_with_store(algorithm, spec, timeout, jobs, store);
         if outcome.solved {
             solved += 1;
             total += outcome.elapsed;

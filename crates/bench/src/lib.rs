@@ -26,6 +26,9 @@ pub mod harness;
 pub mod report;
 pub mod suites;
 
-pub use harness::{run_instance, run_suite, Algorithm, InstanceOutcome, SuiteReport};
+pub use harness::{
+    run_instance, run_instance_with_store, run_suite, run_suite_with_store, Algorithm,
+    InstanceOutcome, SuiteReport,
+};
 pub use report::{render_counters, render_headlines, render_table};
 pub use suites::{fdsd, npn4, pdsd, standard_suites, Scale, Suite};

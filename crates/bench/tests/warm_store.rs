@@ -1,0 +1,154 @@
+//! The persistent NPN solution store, end to end.
+//!
+//! Pins the contract of the store refactor: a warmed store answers a
+//! full NPN4-suite synthesis run with **zero** misses (verified by the
+//! store's telemetry counters), store-backed results are byte-identical
+//! to store-free ones, the on-disk format survives a save → load round
+//! trip, and rewriting transcripts stay identical for any worker count
+//! when a shared store is in play.
+
+use std::sync::Arc;
+
+use std::time::Duration;
+
+use stp_bench::{npn4, run_suite_with_store, Algorithm};
+use stp_network::{rewrite, ripple_carry_adder_sop, RewriteConfig, SynthesisCache};
+use stp_store::Store;
+use stp_synth::{synthesize_npn, synthesize_npn_with_store, warm_npn4, SynthesisConfig};
+
+/// A collision-safe scratch path for this process.
+fn temp_store_path(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("stp-warm-store-{tag}-{}.txt", std::process::id()))
+}
+
+/// Renders a rewrite result as a comparable transcript: the output BLIF
+/// plus every replacement in order.
+fn rewrite_transcript(
+    net: &stp_network::Network,
+    config: &RewriteConfig,
+    cache: &SynthesisCache,
+) -> String {
+    let result = rewrite(net, config, cache).expect("rewrite runs");
+    let mut out = result.network.to_blif("transcript");
+    for r in &result.replacements {
+        out.push_str(&format!("root={} leaves={:?} gain={}\n", r.root, r.leaves, r.gain));
+    }
+    out.push_str(&format!("gates={}->{}\n", result.gates_before, result.gates_after));
+    out
+}
+
+/// The CI smoke test: warm a temp store on a small NPN4 slice, persist
+/// it, re-load from disk, and prove the reloaded store answers every
+/// spec — representatives *and* transformed class members — with zero
+/// synthesis calls.
+#[test]
+fn smoke_warm_slice_round_trips_through_disk_with_zero_misses() {
+    let mut suite = npn4();
+    suite.functions.truncate(12);
+    let config = SynthesisConfig::default();
+
+    let store = Store::new();
+    let mut fresh_answers = Vec::new();
+    for spec in &suite.functions {
+        let result = synthesize_npn_with_store(spec, &config, &store).expect("slice solves");
+        fresh_answers.push(result.chains);
+    }
+
+    let path = temp_store_path("smoke");
+    store.save(&path).expect("store saves");
+    let reloaded = Store::load(&path).expect("store loads");
+    std::fs::remove_file(&path).ok();
+    assert_eq!(reloaded.save_to_string(), store.save_to_string(), "round trip is byte-identical");
+
+    for (spec, fresh) in suite.functions.iter().zip(&fresh_answers) {
+        let result =
+            synthesize_npn_with_store(spec, &config, &reloaded).expect("store answers spec");
+        assert_eq!(&result.chains, fresh, "store-backed chains must be byte-identical");
+        // A non-representative member of the same class is answered
+        // from the same entry.
+        let member = !spec.flip_input(0);
+        let mapped =
+            synthesize_npn_with_store(&member, &config, &reloaded).expect("store answers member");
+        for chain in &mapped.chains {
+            assert_eq!(chain.simulate_outputs().unwrap()[0], member);
+        }
+    }
+    assert_eq!(reloaded.misses(), 0, "a warmed store must never re-synthesize the slice");
+    assert!(reloaded.hits() > 0);
+}
+
+/// The acceptance test: after `warm_npn4`, a full NPN4-suite synthesis
+/// run answers entirely from the store (zero misses on the telemetry
+/// counter), and store-backed chains are byte-identical to store-free
+/// `synthesize_npn` output.
+#[test]
+fn warmed_store_answers_full_npn4_suite_with_zero_misses() {
+    let store = Store::new();
+    let config = SynthesisConfig::default();
+    let report = warm_npn4(&store, &config, None).expect("warm pass completes");
+    assert_eq!(report.classes, report.solved + report.cached + report.exhausted);
+    assert_eq!(report.exhausted, 0, "no deadline, so no class may be exhausted");
+    let misses_after_warm = store.misses();
+    assert!(misses_after_warm > 0, "warming must have synthesized something");
+
+    let suite = npn4();
+    assert_eq!(suite.functions.len(), 222);
+    let suite_report = run_suite_with_store(
+        Algorithm::Stp,
+        &suite,
+        Duration::from_secs(120),
+        config.jobs,
+        Some(&store),
+    );
+    assert_eq!(suite_report.solved, 222, "every class must come straight from the store");
+    assert_eq!(suite_report.timeouts, 0);
+    assert_eq!(
+        store.misses(),
+        misses_after_warm,
+        "a full NPN4 suite over a warmed store must add zero store.misses"
+    );
+
+    // Byte-identity of store-backed vs store-free results, sampled over
+    // representatives and transformed class members.
+    for spec in suite.functions.iter().take(12) {
+        let direct = synthesize_npn(spec, &config).expect("direct NPN synthesis");
+        let stored = synthesize_npn_with_store(spec, &config, &store).expect("stored answer");
+        assert_eq!(stored.chains, direct.chains, "store changed the result on {spec:?}");
+        assert_eq!(stored.gate_count, direct.gate_count);
+    }
+    assert_eq!(store.misses(), misses_after_warm, "sampling must stay store-answered");
+}
+
+/// Satellite: rewriting transcripts are identical for any `jobs` when a
+/// shared store is in play — including a second run that answers
+/// entirely from the store the first run populated.
+#[test]
+fn rewrite_transcripts_identical_across_jobs_with_shared_store() {
+    let net = ripple_carry_adder_sop(2).expect("adder builds");
+    let make_config = |jobs: usize| RewriteConfig { jobs, ..RewriteConfig::default() };
+
+    // Store-free baseline at jobs=1.
+    let baseline = rewrite_transcript(&net, &make_config(1), &SynthesisCache::new());
+
+    let shared = Arc::new(Store::new());
+    for jobs in [1usize, 4] {
+        let cache = SynthesisCache::with_store(Arc::clone(&shared));
+        let transcript = rewrite_transcript(&net, &make_config(jobs), &cache);
+        assert_eq!(
+            transcript, baseline,
+            "jobs={jobs} with a shared store diverged from the store-free baseline"
+        );
+    }
+    // The second run reused the first run's entries.
+    assert!(shared.hits() > 0);
+
+    // A store warmed on disk answers the same rewrite with zero
+    // synthesis calls and an identical transcript.
+    let path = temp_store_path("rewrite");
+    shared.save(&path).expect("store saves");
+    let reloaded = Arc::new(Store::load(&path).expect("store loads"));
+    std::fs::remove_file(&path).ok();
+    let cache = SynthesisCache::with_store(Arc::clone(&reloaded));
+    assert_eq!(rewrite_transcript(&net, &make_config(1), &cache), baseline);
+    assert_eq!(reloaded.misses(), 0, "reloaded store must answer every cut");
+}

@@ -431,6 +431,34 @@ impl Chain {
     }
 }
 
+/// Builds the zero-gate chain for constants and (complemented)
+/// projections, or `None` for non-trivial functions.
+///
+/// Every synthesis entry path checks this before paying for NPN
+/// canonicalization or a solution-store round-trip, so trivial cut
+/// functions stay free on the hot rewriting path.
+pub fn trivial_chain(spec: &TruthTable) -> Option<Chain> {
+    let n = spec.num_vars();
+    let ones = spec.count_ones();
+    let mut chain = Chain::new(n);
+    if ones == 0 || ones == spec.num_bits() {
+        chain.add_output(OutputRef::Constant(ones != 0));
+        return Some(chain);
+    }
+    for v in 0..n {
+        let proj = TruthTable::variable(n, v).ok()?;
+        if *spec == proj {
+            chain.add_output(OutputRef::signal(v));
+            return Some(chain);
+        }
+        if *spec == !proj {
+            chain.add_output(OutputRef::negated_signal(v));
+            return Some(chain);
+        }
+    }
+    None
+}
+
 /// Flips one operand of a 2-input truth table (`slot` 0 is the first
 /// fanin): `σ'(a, b) = σ(¬a, b)` or `σ(a, ¬b)`.
 fn flip_operand(tt2: u8, slot: usize) -> u8 {

@@ -48,6 +48,6 @@ pub use error::SynthesisError;
 pub use factor::{FactorConfig, Factorizer};
 pub use parallel::{jobs_from_env, resolve_jobs};
 pub use synth::{
-    synthesize, synthesize_default, synthesize_npn, synthesize_with_objective, Objective,
-    SynthesisConfig, SynthesisResult,
+    synthesize, synthesize_default, synthesize_npn, synthesize_npn_with_store,
+    synthesize_with_objective, warm_npn4, Objective, SynthesisConfig, SynthesisResult, WarmReport,
 };

@@ -18,10 +18,11 @@
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use stp_chain::{Chain, CostModel, OutputRef};
+use stp_chain::{trivial_chain, Chain, CostModel};
 use stp_fence::{pruned_fences, shapes_for_fence, shapes_with_gates, TreeShape};
+use stp_store::{NpnOutcome, RepOutcome, Store};
 use stp_tt::TruthTable;
 
 use crate::error::SynthesisError;
@@ -361,47 +362,128 @@ pub fn synthesize_npn(
     spec: &TruthTable,
     config: &SynthesisConfig,
 ) -> Result<SynthesisResult, SynthesisError> {
-    let canon = {
-        let _npn = stp_telemetry::span!("phase.npn_canonicalize");
-        stp_tt::canonicalize(spec)
-    };
-    let inner = synthesize(&canon.representative, config)?;
-    let t = &canon.transform;
-    let mut chains = Vec::with_capacity(inner.chains.len());
-    for chain in &inner.chains {
-        let mapped = chain.permute_negate(&t.perm, t.input_negations, t.output_negated)?;
-        debug_assert_eq!(
-            mapped.simulate_outputs()?[0],
-            *spec,
-            "NPN-mapped chain must realize the original spec"
-        );
-        chains.push(mapped);
-    }
-    Ok(SynthesisResult { chains, ..inner })
+    synthesize_npn_with_store(spec, config, &Store::new())
 }
 
-/// Builds the zero-gate chain for constants and (complemented)
-/// projections, or `None` for non-trivial functions.
-fn trivial_chain(spec: &TruthTable) -> Option<Chain> {
-    let n = spec.num_vars();
-    let ones = spec.count_ones();
-    let mut chain = Chain::new(n);
-    if ones == 0 || ones == spec.num_bits() {
-        chain.add_output(OutputRef::Constant(ones != 0));
-        return Some(chain);
-    }
-    for v in 0..n {
-        let proj = TruthTable::variable(n, v).ok()?;
-        if *spec == proj {
-            chain.add_output(OutputRef::signal(v));
-            return Some(chain);
+/// [`synthesize_npn`] against a shared [`Store`]: the canonicalize →
+/// lookup-or-synthesize → `permute_negate` map-back pipeline lives in
+/// [`Store::solve_npn`]; this wrapper only adapts the engine to the
+/// store's solver interface.
+///
+/// The store makes repeated traffic O(distinct NPN classes): the first
+/// call per class runs the full engine, every later call (from any
+/// thread, any entry path) answers from the stored representative
+/// chains. A stored answer reports zero `shapes_explored` /
+/// `fences_explored` / `factor_nodes` — no search happened.
+///
+/// Budget semantics: with a [`SynthesisConfig::deadline`] the remaining
+/// wall-clock time is the offered budget; a timeout is recorded as
+/// [`stp_store::Entry::Exhausted`] at that budget and retried only when
+/// a later caller offers strictly more.
+///
+/// # Errors
+///
+/// Same conditions as [`synthesize`]; a stored exhaustion at a budget
+/// at least as large as ours surfaces as [`SynthesisError::Timeout`]
+/// without re-running the engine.
+pub fn synthesize_npn_with_store(
+    spec: &TruthTable,
+    config: &SynthesisConfig,
+    store: &Store,
+) -> Result<SynthesisResult, SynthesisError> {
+    let budget = match config.deadline {
+        Some(deadline) => deadline.saturating_duration_since(Instant::now()),
+        None => Duration::MAX,
+    };
+    // Search statistics only exist when the engine actually ran; a
+    // store hit (or another thread's in-flight solve) reports zeros.
+    let mut stats: Option<(usize, usize, u64)> = None;
+    let outcome = store.solve_npn(spec, budget, |rep| match synthesize(rep, config) {
+        Ok(result) => {
+            stats = Some((result.shapes_explored, result.fences_explored, result.factor_nodes));
+            Ok(RepOutcome::Solved(result.chains))
         }
-        if *spec == !proj {
-            chain.add_output(OutputRef::negated_signal(v));
-            return Some(chain);
+        Err(SynthesisError::Timeout) => Ok(RepOutcome::Exhausted),
+        Err(other) => Err(other),
+    })?;
+    match outcome {
+        NpnOutcome::Trivial(chain) => Ok(SynthesisResult {
+            chains: vec![chain],
+            gate_count: 0,
+            shapes_explored: 0,
+            fences_explored: 0,
+            factor_nodes: 0,
+        }),
+        NpnOutcome::Solved(chains) => {
+            let gate_count = chains[0].num_gates();
+            let (shapes_explored, fences_explored, factor_nodes) = stats.unwrap_or((0, 0, 0));
+            Ok(SynthesisResult {
+                chains,
+                gate_count,
+                shapes_explored,
+                fences_explored,
+                factor_nodes,
+            })
+        }
+        NpnOutcome::Exhausted { .. } => Err(SynthesisError::Timeout),
+    }
+}
+
+/// Outcome tally of [`warm_npn4`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WarmReport {
+    /// NPN class representatives visited (all arities 0–4).
+    pub classes: usize,
+    /// Classes synthesized fresh during this warm pass.
+    pub solved: usize,
+    /// Classes whose synthesis timed out within the per-class budget.
+    pub exhausted: usize,
+    /// Classes already answered by the store (or trivially, with zero
+    /// gates) without running the engine.
+    pub cached: usize,
+}
+
+/// Warms `store` with every NPN class representative of arity 0–4
+/// (the paper's 222 four-input classes plus the smaller arities that
+/// rewriting cuts produce), so subsequent NPN4-suite or rewrite runs
+/// answer entirely from the store.
+///
+/// `per_class_timeout` bounds each class independently (overriding any
+/// deadline in `config`); classes that time out are recorded as
+/// exhausted — and retried on the next warm pass with a larger budget —
+/// rather than aborting the warm-up.
+///
+/// # Errors
+///
+/// Propagates any non-timeout engine failure
+/// (e.g. [`SynthesisError::GateLimitExceeded`]).
+pub fn warm_npn4(
+    store: &Store,
+    config: &SynthesisConfig,
+    per_class_timeout: Option<Duration>,
+) -> Result<WarmReport, SynthesisError> {
+    let _span = stp_telemetry::span!("store.warm_npn4");
+    let mut report = WarmReport::default();
+    for arity in 0..=4 {
+        for rep in stp_tt::npn_classes(arity) {
+            report.classes += 1;
+            let misses_before = store.misses();
+            let mut per_class = config.clone();
+            per_class.deadline = per_class_timeout.map(|t| Instant::now() + t);
+            match synthesize_npn_with_store(&rep, &per_class, store) {
+                Ok(_) => {
+                    if store.misses() > misses_before {
+                        report.solved += 1;
+                    } else {
+                        report.cached += 1;
+                    }
+                }
+                Err(SynthesisError::Timeout) => report.exhausted += 1,
+                Err(other) => return Err(other),
+            }
         }
     }
-    None
+    Ok(report)
 }
 
 #[cfg(test)]

@@ -238,9 +238,9 @@ mod tests {
     #[test]
     fn rewriting_verified_by_sat_miter() {
         let net = crate::circuits::ripple_carry_adder_sop(2).unwrap();
-        let mut cache = crate::rewrite::SynthesisCache::new();
+        let cache = crate::rewrite::SynthesisCache::new();
         let result =
-            crate::rewrite::rewrite(&net, &crate::rewrite::RewriteConfig::default(), &mut cache)
+            crate::rewrite::rewrite(&net, &crate::rewrite::RewriteConfig::default(), &cache)
                 .unwrap();
         assert_eq!(equivalent_sat(&net, &result.network, None).unwrap(), EquivResult::Equivalent);
     }

@@ -30,8 +30,8 @@
 //! let f = net.or(t1, t2)?;
 //! net.add_output(f);
 //!
-//! let mut cache = SynthesisCache::new();
-//! let result = rewrite(&net, &RewriteConfig::default(), &mut cache)?;
+//! let cache = SynthesisCache::new();
+//! let result = rewrite(&net, &RewriteConfig::default(), &cache)?;
 //! assert_eq!(result.gates_after, 1); // XOR is one 2-LUT
 //! # Ok::<(), stp_network::NetworkError>(())
 //! ```

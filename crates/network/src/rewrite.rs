@@ -9,11 +9,13 @@
 //! real cut distributions (the paper's headline) matters.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use stp_chain::Chain;
+use stp_store::{NpnOutcome, RepOutcome, Store};
 use stp_synth::{synthesize, SynthesisConfig, SynthesisError};
-use stp_tt::{canonicalize, TruthTable};
+use stp_tt::TruthTable;
 
 use crate::cuts::{cut_function, enumerate_cuts, Cut};
 use crate::error::NetworkError;
@@ -49,78 +51,89 @@ impl Default for RewriteConfig {
 }
 
 /// A cache of optimum chains per NPN class representative, shared
-/// across rewriting calls (and typically across networks).
-#[derive(Debug, Default)]
+/// across rewriting calls (and typically across networks and threads).
+///
+/// Since the store refactor this is a thin, clonable handle over an
+/// [`stp_store::Store`]: the canonicalize → lookup-or-synthesize →
+/// map-back pipeline lives in [`Store::solve_npn`], shared with
+/// `stp_synth::synthesize_npn`. Wrap a warmed, disk-loaded store with
+/// [`SynthesisCache::with_store`] and rewriting answers every NPN4 cut
+/// without a single synthesis call.
+#[derive(Debug, Clone, Default)]
 pub struct SynthesisCache {
-    /// Representative → optimum chain (`None` when synthesis timed out;
-    /// negative results are cached too so a slow class is attempted
-    /// once).
-    entries: HashMap<TruthTable, Option<Chain>>,
-    hits: u64,
-    misses: u64,
+    store: Arc<Store>,
 }
 
 impl SynthesisCache {
-    /// Creates an empty cache.
+    /// Creates a cache over a fresh private store.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Cache hits so far.
+    /// Wraps an existing (possibly disk-loaded, possibly shared)
+    /// solution store.
+    pub fn with_store(store: Arc<Store>) -> Self {
+        SynthesisCache { store }
+    }
+
+    /// The underlying solution store, e.g. for persisting after a run.
+    pub fn store(&self) -> &Arc<Store> {
+        &self.store
+    }
+
+    /// Cache hits so far (lookups answered from a stored entry).
     pub fn hits(&self) -> u64 {
-        self.hits
+        self.store.hits()
     }
 
     /// Cache misses (synthesis calls) so far.
     pub fn misses(&self) -> u64 {
-        self.misses
+        self.store.misses()
     }
 
     /// Returns an optimum chain for `spec` (through its NPN
     /// representative), synthesizing and caching on first sight.
+    /// Constants and (complemented) projections are answered by the
+    /// store's trivial fast path without paying NPN canonicalization.
+    ///
+    /// A synthesis failure (timeout or gate limit) under `budget` is
+    /// recorded as exhausted at that budget and returns `Ok(None)`; a
+    /// later call offering a strictly larger budget retries.
     ///
     /// # Errors
     ///
-    /// Propagates chain-mapping failures; synthesis timeouts are folded
-    /// into `Ok(None)`.
+    /// Propagates chain-mapping and non-budget synthesis failures.
     pub fn optimum_chain(
-        &mut self,
+        &self,
         spec: &TruthTable,
         budget: Duration,
         jobs: usize,
     ) -> Result<Option<Chain>, NetworkError> {
-        let canon = canonicalize(spec);
-        let rep_chain = match self.entries.get(&canon.representative) {
-            Some(hit) => {
-                self.hits += 1;
-                stp_telemetry::counter!("network.synth_cache_hits").inc();
-                hit.clone()
+        let mut synthesized = false;
+        let outcome = self.store.solve_npn(spec, budget, |rep| {
+            synthesized = true;
+            stp_telemetry::counter!("network.synth_cache_misses").inc();
+            let config = SynthesisConfig {
+                deadline: Some(Instant::now() + budget),
+                max_solutions: 1,
+                jobs,
+                ..SynthesisConfig::default()
+            };
+            match synthesize(rep, &config) {
+                Ok(r) => Ok(RepOutcome::Solved(r.chains)),
+                Err(SynthesisError::Timeout | SynthesisError::GateLimitExceeded { .. }) => {
+                    Ok(RepOutcome::Exhausted)
+                }
+                Err(e) => Err(NetworkError::from(e)),
             }
-            None => {
-                self.misses += 1;
-                stp_telemetry::counter!("network.synth_cache_misses").inc();
-                let config = SynthesisConfig {
-                    deadline: Some(Instant::now() + budget),
-                    max_solutions: 1,
-                    jobs,
-                    ..SynthesisConfig::default()
-                };
-                let result = match synthesize(&canon.representative, &config) {
-                    Ok(r) => r.chains.into_iter().next(),
-                    Err(SynthesisError::Timeout) => None,
-                    Err(SynthesisError::GateLimitExceeded { .. }) => None,
-                    Err(e) => return Err(e.into()),
-                };
-                self.entries.insert(canon.representative.clone(), result.clone());
-                result
-            }
-        };
-        match rep_chain {
-            None => Ok(None),
-            Some(chain) => {
-                let t = &canon.transform;
-                Ok(Some(chain.permute_negate(&t.perm, t.input_negations, t.output_negated)?))
-            }
+        })?;
+        if !synthesized {
+            stp_telemetry::counter!("network.synth_cache_hits").inc();
+        }
+        match outcome {
+            NpnOutcome::Trivial(chain) => Ok(Some(chain)),
+            NpnOutcome::Solved(mut chains) => Ok(Some(chains.swap_remove(0))),
+            NpnOutcome::Exhausted { .. } => Ok(None),
         }
     }
 }
@@ -134,6 +147,11 @@ impl SynthesisCache {
 /// Specifications exceeding the per-call budget fall back to a Shannon
 /// decomposition on their highest support variable.
 ///
+/// `jobs` configures the worker threads of each synthesis call (`0` =
+/// one per CPU, `1` = sequential), exactly like
+/// [`RewriteConfig::jobs`]; pass [`stp_synth::jobs_from_env()`] to keep
+/// the old environment-driven behavior.
+///
 /// # Errors
 ///
 /// Propagates construction and synthesis failures.
@@ -143,13 +161,13 @@ impl SynthesisCache {
 /// Panics when `specs` is empty or the arities disagree.
 pub fn exact_network(
     specs: &[TruthTable],
-    cache: &mut SynthesisCache,
+    cache: &SynthesisCache,
     budget: Duration,
+    jobs: usize,
 ) -> Result<Network, NetworkError> {
     assert!(!specs.is_empty(), "need at least one output");
     let n = specs[0].num_vars();
     assert!(specs.iter().all(|s| s.num_vars() == n), "all outputs share one input space");
-    let jobs = stp_synth::jobs_from_env();
     let mut net = Network::new(n);
     let inputs: Vec<Sig> = (0..n).map(|i| net.input(i)).collect();
     for spec in specs {
@@ -163,7 +181,7 @@ fn build_function(
     net: &mut Network,
     inputs: &[Sig],
     spec: &TruthTable,
-    cache: &mut SynthesisCache,
+    cache: &SynthesisCache,
     budget: Duration,
     jobs: usize,
 ) -> Result<Sig, NetworkError> {
@@ -255,7 +273,7 @@ fn mffc_size(net: &Network, root: usize, cut: &Cut, refs: &[usize]) -> usize {
 pub fn rewrite(
     net: &Network,
     config: &RewriteConfig,
-    cache: &mut SynthesisCache,
+    cache: &SynthesisCache,
 ) -> Result<RewriteResult, NetworkError> {
     let gates_before = net.live_gate_count();
     let mut current = net.clone();
@@ -289,7 +307,7 @@ pub fn rewrite(
 fn rewrite_pass(
     net: &Network,
     config: &RewriteConfig,
-    cache: &mut SynthesisCache,
+    cache: &SynthesisCache,
 ) -> Result<(Network, Vec<Replacement>), NetworkError> {
     let _pass = stp_telemetry::span!("rewrite.pass");
     let cuts = enumerate_cuts(net, config.cut_size, config.cut_limit);
@@ -420,8 +438,8 @@ mod tests {
         let sum = TruthTable::from_fn(3, |x| x[0] ^ x[1] ^ x[2]).unwrap();
         let carry =
             TruthTable::from_fn(3, |x| (x[0] as u8 + x[1] as u8 + x[2] as u8) >= 2).unwrap();
-        let mut cache = SynthesisCache::new();
-        let net = exact_network(&[sum.clone(), carry.clone()], &mut cache, Duration::from_secs(30))
+        let cache = SynthesisCache::new();
+        let net = exact_network(&[sum.clone(), carry.clone()], &cache, Duration::from_secs(30), 1)
             .unwrap();
         let outs = net.simulate_outputs().unwrap();
         assert_eq!(outs[0], sum);
@@ -436,8 +454,8 @@ mod tests {
             TruthTable::variable(2, 1).unwrap(),
             !TruthTable::variable(2, 0).unwrap(),
         ];
-        let mut cache = SynthesisCache::new();
-        let net = exact_network(&specs, &mut cache, Duration::from_secs(5)).unwrap();
+        let cache = SynthesisCache::new();
+        let net = exact_network(&specs, &cache, Duration::from_secs(5), 1).unwrap();
         let outs = net.simulate_outputs().unwrap();
         assert_eq!(outs, specs);
         assert_eq!(net.live_gate_count(), 0);
@@ -448,8 +466,8 @@ mod tests {
         // With no budget every non-trivial spec goes through the
         // Shannon fallback — the result must still be correct.
         let spec = TruthTable::from_hex(4, "8ff8").unwrap();
-        let mut cache = SynthesisCache::new();
-        let net = exact_network(std::slice::from_ref(&spec), &mut cache, Duration::ZERO).unwrap();
+        let cache = SynthesisCache::new();
+        let net = exact_network(std::slice::from_ref(&spec), &cache, Duration::ZERO, 1).unwrap();
         assert_eq!(net.simulate_outputs().unwrap()[0], spec);
     }
 
@@ -469,8 +487,8 @@ mod tests {
         let net = wasteful_xor();
         assert_eq!(net.live_gate_count(), 3);
         let before = net.simulate_outputs().unwrap();
-        let mut cache = SynthesisCache::new();
-        let result = rewrite(&net, &RewriteConfig::default(), &mut cache).unwrap();
+        let cache = SynthesisCache::new();
+        let result = rewrite(&net, &RewriteConfig::default(), &cache).unwrap();
         assert_eq!(result.gates_after, 1, "XOR is a single 2-LUT");
         assert_eq!(result.network.simulate_outputs().unwrap(), before);
         assert!(!result.replacements.is_empty());
@@ -488,21 +506,62 @@ mod tests {
         net.add_output(f1);
         net.add_output(f2.not());
         let before = net.simulate_outputs().unwrap();
-        let mut cache = SynthesisCache::new();
-        let result = rewrite(&net, &RewriteConfig::default(), &mut cache).unwrap();
+        let cache = SynthesisCache::new();
+        let result = rewrite(&net, &RewriteConfig::default(), &cache).unwrap();
         assert_eq!(result.network.simulate_outputs().unwrap(), before);
         assert!(result.gates_after <= result.gates_before);
     }
 
     #[test]
     fn cache_is_reused_across_calls() {
-        let mut cache = SynthesisCache::new();
+        let cache = SynthesisCache::new();
         let net = wasteful_xor();
-        let _ = rewrite(&net, &RewriteConfig::default(), &mut cache).unwrap();
+        let _ = rewrite(&net, &RewriteConfig::default(), &cache).unwrap();
         let misses_first = cache.misses();
-        let _ = rewrite(&wasteful_xor(), &RewriteConfig::default(), &mut cache).unwrap();
+        let _ = rewrite(&wasteful_xor(), &RewriteConfig::default(), &cache).unwrap();
         assert_eq!(cache.misses(), misses_first, "second run must be fully cached");
         assert!(cache.hits() > 0);
+    }
+
+    #[test]
+    fn timeout_is_retried_with_a_larger_budget() {
+        let cache = SynthesisCache::new();
+        let spec = TruthTable::from_hex(4, "8ff8").unwrap();
+        // Zero budget: recorded as exhausted, not as a permanent failure.
+        assert!(cache.optimum_chain(&spec, Duration::ZERO, 1).unwrap().is_none());
+        let misses = cache.misses();
+        // Same budget again: answered from the exhaustion record.
+        assert!(cache.optimum_chain(&spec, Duration::ZERO, 1).unwrap().is_none());
+        assert_eq!(cache.misses(), misses, "equal budget must not re-attempt");
+        // Strictly larger budget: retried and solved.
+        let chain =
+            cache.optimum_chain(&spec, Duration::from_secs(30), 1).unwrap().expect("solvable");
+        assert_eq!(chain.simulate_outputs().unwrap()[0], spec);
+        assert_eq!(cache.misses(), misses + 1);
+    }
+
+    #[test]
+    fn trivial_specs_skip_the_store() {
+        let cache = SynthesisCache::new();
+        let proj = !TruthTable::variable(4, 2).unwrap();
+        let chain = cache.optimum_chain(&proj, Duration::ZERO, 1).unwrap().expect("trivial");
+        assert_eq!(chain.num_gates(), 0);
+        assert_eq!(chain.simulate_outputs().unwrap()[0], proj);
+        assert_eq!(cache.misses(), 0, "no canonicalization, no store round-trip");
+        assert_eq!(cache.store().trivial_hits(), 1);
+        assert!(cache.store().is_empty());
+    }
+
+    #[test]
+    fn caches_share_one_store() {
+        let store = Arc::new(Store::new());
+        let first = SynthesisCache::with_store(Arc::clone(&store));
+        let second = SynthesisCache::with_store(Arc::clone(&store));
+        let _ = rewrite(&wasteful_xor(), &RewriteConfig::default(), &first).unwrap();
+        let misses = store.misses();
+        assert!(misses > 0);
+        let _ = rewrite(&wasteful_xor(), &RewriteConfig::default(), &second).unwrap();
+        assert_eq!(store.misses(), misses, "second cache must reuse the shared store");
     }
 
     #[test]
@@ -533,8 +592,8 @@ mod tests {
         let mut net = Network::new(2);
         let g = net.xor(net.input(0), net.input(1)).unwrap();
         net.add_output(g);
-        let mut cache = SynthesisCache::new();
-        let result = rewrite(&net, &RewriteConfig::default(), &mut cache).unwrap();
+        let cache = SynthesisCache::new();
+        let result = rewrite(&net, &RewriteConfig::default(), &cache).unwrap();
         assert_eq!(result.gates_after, 1);
         assert_eq!(result.network.simulate_outputs().unwrap(), net.simulate_outputs().unwrap());
     }

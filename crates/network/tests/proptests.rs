@@ -69,8 +69,8 @@ proptest! {
     fn rewriting_is_safe(seed: u64, gates in 4usize..16) {
         let net = random_net(seed, 4, gates);
         let before = net.simulate_outputs().unwrap();
-        let mut cache = SynthesisCache::new();
-        let result = rewrite(&net, &RewriteConfig::default(), &mut cache).unwrap();
+        let cache = SynthesisCache::new();
+        let result = rewrite(&net, &RewriteConfig::default(), &cache).unwrap();
         prop_assert_eq!(result.network.simulate_outputs().unwrap(), before);
         prop_assert!(result.gates_after <= result.gates_before);
     }

@@ -1,0 +1,726 @@
+//! `stp-store`: a thread-safe, persistent NPN-class solution database.
+//!
+//! Exact synthesis is called once per cut function by the paper's
+//! headline application (DAG-aware rewriting, its ref. [2]), and the
+//! distribution of cut functions collapses onto a few hundred NPN
+//! classes — all 222 four-input classes in the paper's `NPN4` suite.
+//! Precomputing and sharing the optimum chains per class turns repeated
+//! synthesis traffic from *O(calls)* into *O(distinct classes)*. This
+//! crate is the one store every entry path shares:
+//!
+//! * [`Store`] — a sharded map from NPN class representatives to an
+//!   [`Entry`]: either the full verified solution set
+//!   ([`Entry::Solved`]) or a recorded failure at a known budget
+//!   ([`Entry::Exhausted`], retried only when a caller offers more
+//!   time);
+//! * [`Store::lookup_or_solve`] — concurrent lookup with in-flight
+//!   deduplication: when N threads ask for the same unsolved class,
+//!   exactly one synthesizes while the rest wait on the slot;
+//! * [`Store::solve_npn`] — the shared *canonicalize → lookup-or-solve
+//!   → map-back* helper used by both `stp_synth::synthesize_npn` and
+//!   `stp_network::SynthesisCache`, with a trivial-function fast path
+//!   that never touches canonicalization or the store;
+//! * [`Store::save`] / [`Store::load`] — a versioned, human-readable
+//!   text serialization (see [`persist`]) so a warmed store outlives
+//!   the process.
+//!
+//! The store is deliberately *below* the synthesis engine in the crate
+//! graph: it never synthesizes anything itself, callers pass a closure.
+//! That keeps `stp-synth` free to depend on it without a cycle.
+//!
+//! # Quick start
+//!
+//! ```
+//! use std::time::Duration;
+//! use stp_chain::{Chain, OutputRef};
+//! use stp_store::{NpnOutcome, RepOutcome, Store};
+//! use stp_tt::TruthTable;
+//!
+//! let store = Store::new();
+//! let spec = TruthTable::from_hex(2, "6")?; // XOR
+//! // A stand-in "solver" for the class representative.
+//! let solve = |rep: &TruthTable| -> Result<RepOutcome, stp_chain::ChainError> {
+//!     let mut chain = Chain::new(2);
+//!     let g = chain.add_gate(0, 1, rep.words()[0] as u8 & 0xf)?;
+//!     chain.add_output(OutputRef::signal(g));
+//!     Ok(RepOutcome::Solved(vec![chain]))
+//! };
+//! let NpnOutcome::Solved(chains) = store.solve_npn(&spec, Duration::MAX, solve)? else {
+//!     unreachable!("solver always succeeds");
+//! };
+//! assert_eq!(chains[0].simulate_outputs()?[0], spec);
+//! assert_eq!(store.misses(), 1);
+//! // The whole NPN orbit now answers from the store.
+//! assert!(matches!(
+//!     store.solve_npn(&spec, Duration::MAX, solve)?,
+//!     NpnOutcome::Solved(_)
+//! ));
+//! assert_eq!(store.misses(), 1);
+//! # Ok::<(), stp_chain::ChainError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod persist;
+
+use std::collections::hash_map::{DefaultHasher, Entry as MapEntry};
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use stp_chain::{trivial_chain, Chain, ChainError};
+use stp_tt::{canonicalize, TruthTable};
+
+pub use persist::StoreFileError;
+
+/// One stored fact about an NPN class representative.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Entry {
+    /// The verified optimum chains of the representative, in the
+    /// deterministic order the synthesis engine emits them. Never
+    /// empty.
+    Solved(Vec<Chain>),
+    /// Synthesis gave up (timeout or gate limit) when offered `budget`
+    /// of wall-clock time. A later caller offering strictly more budget
+    /// re-attempts and upgrades the entry; anyone offering the same or
+    /// less is answered negatively from the store.
+    Exhausted {
+        /// The largest budget at which synthesis has failed so far.
+        budget: Duration,
+    },
+}
+
+/// What a caller-supplied solver reports back to
+/// [`Store::lookup_or_solve`].
+#[derive(Debug, Clone)]
+pub enum RepOutcome {
+    /// Synthesis succeeded with these chains (must be non-empty).
+    Solved(Vec<Chain>),
+    /// Synthesis ran out of budget; the store records the offered
+    /// budget as [`Entry::Exhausted`].
+    Exhausted,
+}
+
+/// Resolution of a [`Store::lookup_or_solve`] call, whether answered
+/// from the store or freshly synthesized.
+#[derive(Debug, Clone)]
+pub enum Resolution {
+    /// The representative's chains (unmapped — still in representative
+    /// input order and phase).
+    Solved(Vec<Chain>),
+    /// No chains within `budget`; callers treat this as a timeout.
+    Exhausted {
+        /// The largest budget known to be insufficient.
+        budget: Duration,
+    },
+}
+
+/// Resolution of a [`Store::solve_npn`] call, mapped back to the
+/// original specification.
+#[derive(Debug, Clone)]
+pub enum NpnOutcome {
+    /// The spec is a constant or (complemented) projection: its
+    /// zero-gate chain is built directly, with no canonicalization and
+    /// no store round-trip.
+    Trivial(Chain),
+    /// Chains realizing the *original* spec (NPN-mapped from the class
+    /// representative's solutions). Never empty.
+    Solved(Vec<Chain>),
+    /// The class is exhausted at the recorded budget.
+    Exhausted {
+        /// The largest budget known to be insufficient.
+        budget: Duration,
+    },
+}
+
+/// A slot is either being solved by exactly one thread or holds a
+/// ready entry. Waiters block on the condvar.
+#[derive(Debug)]
+enum SlotState {
+    Pending,
+    Ready(Entry),
+}
+
+#[derive(Debug)]
+struct Slot {
+    state: Mutex<SlotState>,
+    cv: Condvar,
+}
+
+impl Slot {
+    fn pending() -> Self {
+        Slot { state: Mutex::new(SlotState::Pending), cv: Condvar::new() }
+    }
+
+    fn publish(&self, entry: Entry) {
+        *self.state.lock().expect("slot lock poisoned") = SlotState::Ready(entry);
+        self.cv.notify_all();
+    }
+}
+
+/// Re-arms a slot with a fallback entry if the solver diverts (error
+/// return or panic), so waiting threads never deadlock on a slot whose
+/// owner is gone.
+struct PendingGuard<'a> {
+    slot: &'a Slot,
+    fallback: Entry,
+    armed: bool,
+}
+
+impl Drop for PendingGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.slot.publish(self.fallback.clone());
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Shard {
+    map: Mutex<HashMap<TruthTable, Arc<Slot>>>,
+}
+
+/// A thread-safe, sharded NPN-class solution database.
+///
+/// Keys are NPN class representatives (as produced by
+/// [`stp_tt::canonicalize`]); keying by representative means every
+/// member of a class — up to `n! · 2^{n+1}` functions — shares one
+/// entry. The map is split over independently locked shards so
+/// concurrent rewrite workers rarely contend, and each unsolved class
+/// is synthesized exactly once regardless of how many threads ask for
+/// it simultaneously (the rest wait and reuse the published result).
+///
+/// Hit/miss/insert tallies are kept per store (for tests and reports)
+/// and mirrored into the global telemetry counters `store.hits`,
+/// `store.misses`, `store.inserts`, and `store.trivial_hits`.
+#[derive(Debug)]
+pub struct Store {
+    shards: Box<[Shard]>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+    trivial_hits: AtomicU64,
+}
+
+impl Default for Store {
+    fn default() -> Self {
+        Store::new()
+    }
+}
+
+/// Default shard count: enough to keep a machine's worth of rewrite
+/// workers off each other's locks, small enough to stay cache-friendly.
+const DEFAULT_SHARDS: usize = 16;
+
+impl Store {
+    /// Creates an empty store with the default shard count.
+    pub fn new() -> Self {
+        Store::with_shards(DEFAULT_SHARDS)
+    }
+
+    /// Creates an empty store with `shards` independently locked
+    /// shards (clamped to at least one).
+    pub fn with_shards(shards: usize) -> Self {
+        let shards = shards.max(1);
+        Store {
+            shards: (0..shards).map(|_| Shard::default()).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+            trivial_hits: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, rep: &TruthTable) -> &Shard {
+        let mut hasher = DefaultHasher::new();
+        rep.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) % self.shards.len()]
+    }
+
+    /// Lookups answered without synthesizing (solved classes and
+    /// exhausted classes at a sufficient budget).
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that ran the caller's solver (first sight of a class, or
+    /// a retry of an exhausted class at a larger budget).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries published (fresh solutions plus exhaustion records and
+    /// upgrades).
+    pub fn inserts(&self) -> u64 {
+        self.inserts.load(Ordering::Relaxed)
+    }
+
+    /// Trivial functions answered by the fast path, with no
+    /// canonicalization and no store round-trip.
+    pub fn trivial_hits(&self) -> u64 {
+        self.trivial_hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of ready entries (pending in-flight slots are not
+    /// counted).
+    pub fn len(&self) -> usize {
+        self.snapshot().len()
+    }
+
+    /// `true` when the store holds no ready entry.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copies out every ready `(representative, entry)` pair, sorted by
+    /// key (arity first, then table value) so iteration order — and the
+    /// on-disk format built from it — is deterministic.
+    pub fn snapshot(&self) -> Vec<(TruthTable, Entry)> {
+        let mut out = Vec::new();
+        for shard in self.shards.iter() {
+            let map = shard.map.lock().expect("shard lock poisoned");
+            for (rep, slot) in map.iter() {
+                let state = slot.state.lock().expect("slot lock poisoned");
+                if let SlotState::Ready(entry) = &*state {
+                    out.push((rep.clone(), entry.clone()));
+                }
+            }
+        }
+        out.sort_by(|(a, _), (b, _)| a.num_vars().cmp(&b.num_vars()).then_with(|| a.cmp(b)));
+        out
+    }
+
+    /// Directly publishes an entry for `rep`, replacing any existing
+    /// one. Used by the persistence loader and by tests; the synthesis
+    /// paths go through [`Store::lookup_or_solve`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when a [`Entry::Solved`] entry carries no chains — an
+    /// empty solution set is meaningless and unrepresentable on disk.
+    pub fn insert(&self, rep: TruthTable, entry: Entry) {
+        if let Entry::Solved(chains) = &entry {
+            assert!(!chains.is_empty(), "a solved entry must carry at least one chain");
+        }
+        let shard = self.shard(&rep);
+        let mut map = shard.map.lock().expect("shard lock poisoned");
+        let slot = Arc::new(Slot::pending());
+        slot.publish(entry);
+        map.insert(rep, slot);
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+        stp_telemetry::counter!("store.inserts").inc();
+    }
+
+    /// Reads the current entry for `rep`, if any is ready.
+    pub fn get(&self, rep: &TruthTable) -> Option<Entry> {
+        let map = self.shard(rep).map.lock().expect("shard lock poisoned");
+        let slot = map.get(rep)?;
+        let state = slot.state.lock().expect("slot lock poisoned");
+        match &*state {
+            SlotState::Ready(entry) => Some(entry.clone()),
+            SlotState::Pending => None,
+        }
+    }
+
+    /// Returns the chains for `rep`, running `solve` if — and only if —
+    /// the store cannot answer: the class is unseen, or it is exhausted
+    /// at a budget strictly below `budget`. Concurrent callers of the
+    /// same unsolved class run `solve` exactly once; the others block
+    /// until the result is published and share it.
+    ///
+    /// `solve` reports [`RepOutcome::Solved`] with the chains,
+    /// [`RepOutcome::Exhausted`] when it gave up inside `budget` (the
+    /// store records the failed budget so only a richer caller
+    /// retries), or `Err` for real failures — errors are propagated to
+    /// the caller and *not* cached, so the class stays retryable.
+    ///
+    /// # Errors
+    ///
+    /// Whatever `solve` returns as `Err`.
+    pub fn lookup_or_solve<E>(
+        &self,
+        rep: &TruthTable,
+        budget: Duration,
+        solve: impl FnOnce(&TruthTable) -> Result<RepOutcome, E>,
+    ) -> Result<Resolution, E> {
+        let (slot, created) = {
+            let mut map = self.shard(rep).map.lock().expect("shard lock poisoned");
+            match map.entry(rep.clone()) {
+                MapEntry::Occupied(e) => (Arc::clone(e.get()), false),
+                MapEntry::Vacant(v) => {
+                    let slot = Arc::new(Slot::pending());
+                    v.insert(Arc::clone(&slot));
+                    (slot, true)
+                }
+            }
+        };
+        if created {
+            return self.run_solver(rep, &slot, budget, None, solve);
+        }
+        let mut state = slot.state.lock().expect("slot lock poisoned");
+        loop {
+            match &*state {
+                SlotState::Pending => {
+                    state = slot.cv.wait(state).expect("slot lock poisoned");
+                }
+                SlotState::Ready(Entry::Solved(chains)) => {
+                    let chains = chains.clone();
+                    drop(state);
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    stp_telemetry::counter!("store.hits").inc();
+                    return Ok(Resolution::Solved(chains));
+                }
+                SlotState::Ready(Entry::Exhausted { budget: failed }) => {
+                    let failed = *failed;
+                    if budget > failed {
+                        // This caller is richer than every failed
+                        // attempt: take the slot back to pending and
+                        // retry, restoring the old record on failure.
+                        *state = SlotState::Pending;
+                        drop(state);
+                        return self.run_solver(rep, &slot, budget, Some(failed), solve);
+                    }
+                    drop(state);
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    stp_telemetry::counter!("store.hits").inc();
+                    return Ok(Resolution::Exhausted { budget: failed });
+                }
+            }
+        }
+    }
+
+    /// Runs the solver while holding pending ownership of `slot`.
+    /// `prior_budget` is `Some` when retrying an exhausted entry (the
+    /// record restored if the solver errors out or panics).
+    fn run_solver<E>(
+        &self,
+        rep: &TruthTable,
+        slot: &Slot,
+        budget: Duration,
+        prior_budget: Option<Duration>,
+        solve: impl FnOnce(&TruthTable) -> Result<RepOutcome, E>,
+    ) -> Result<Resolution, E> {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        stp_telemetry::counter!("store.misses").inc();
+        // If `solve` panics or errors, waiters must still wake up: the
+        // guard republishes the prior exhaustion record (or a zero
+        // budget, which any real caller immediately retries).
+        let mut guard = PendingGuard {
+            slot,
+            fallback: Entry::Exhausted { budget: prior_budget.unwrap_or(Duration::ZERO) },
+            armed: true,
+        };
+        let outcome = solve(rep);
+        guard.armed = false;
+        match outcome {
+            Ok(RepOutcome::Solved(chains)) => {
+                debug_assert!(!chains.is_empty(), "solver must return at least one chain");
+                slot.publish(Entry::Solved(chains.clone()));
+                self.inserts.fetch_add(1, Ordering::Relaxed);
+                stp_telemetry::counter!("store.inserts").inc();
+                Ok(Resolution::Solved(chains))
+            }
+            Ok(RepOutcome::Exhausted) => {
+                slot.publish(Entry::Exhausted { budget });
+                self.inserts.fetch_add(1, Ordering::Relaxed);
+                stp_telemetry::counter!("store.inserts").inc();
+                Ok(Resolution::Exhausted { budget })
+            }
+            Err(e) => {
+                slot.publish(Entry::Exhausted { budget: prior_budget.unwrap_or(Duration::ZERO) });
+                if prior_budget.is_none() {
+                    // First sight of the class failed outright: forget
+                    // it entirely so the next caller starts fresh.
+                    let mut map = self.shard(rep).map.lock().expect("shard lock poisoned");
+                    if map.get(rep).is_some_and(|s| std::ptr::eq(Arc::as_ptr(s), slot)) {
+                        map.remove(rep);
+                    }
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// The shared *canonicalize → lookup-or-solve → map-back* helper:
+    /// every NPN-cached entry path (`stp_synth::synthesize_npn`,
+    /// `stp_network::SynthesisCache`) routes through this one function.
+    ///
+    /// Constants and (complemented) projections short-circuit to
+    /// [`NpnOutcome::Trivial`] before canonicalization. Otherwise the
+    /// spec is canonicalized, the representative resolved through
+    /// [`Store::lookup_or_solve`], and every solution chain is mapped
+    /// back through the NPN transform (inputs rewired, negations
+    /// absorbed into gate LUTs, output phase fixed) — so the store only
+    /// ever holds one entry per class while callers see chains for
+    /// their own function.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors and chain-mapping failures (the latter
+    /// via `E: From<ChainError>`).
+    pub fn solve_npn<E: From<ChainError>>(
+        &self,
+        spec: &TruthTable,
+        budget: Duration,
+        solve: impl FnOnce(&TruthTable) -> Result<RepOutcome, E>,
+    ) -> Result<NpnOutcome, E> {
+        if let Some(chain) = trivial_chain(spec) {
+            self.trivial_hits.fetch_add(1, Ordering::Relaxed);
+            stp_telemetry::counter!("store.trivial_hits").inc();
+            return Ok(NpnOutcome::Trivial(chain));
+        }
+        let canon = {
+            let _npn = stp_telemetry::span!("phase.npn_canonicalize");
+            canonicalize(spec)
+        };
+        match self.lookup_or_solve(&canon.representative, budget, solve)? {
+            Resolution::Solved(rep_chains) => {
+                let t = &canon.transform;
+                let mut chains = Vec::with_capacity(rep_chains.len());
+                for chain in &rep_chains {
+                    chains.push(
+                        chain
+                            .permute_negate(&t.perm, t.input_negations, t.output_negated)
+                            .map_err(E::from)?,
+                    );
+                }
+                debug_assert!(
+                    chains
+                        .iter()
+                        .all(|c| c.simulate_outputs().map(|o| o[0] == *spec).unwrap_or(false)),
+                    "NPN-mapped chains must realize the original spec"
+                );
+                Ok(NpnOutcome::Solved(chains))
+            }
+            Resolution::Exhausted { budget } => Ok(NpnOutcome::Exhausted { budget }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use stp_chain::OutputRef;
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn store_is_send_and_sync() {
+        assert_send_sync::<Store>();
+        assert_send_sync::<Entry>();
+    }
+
+    fn one_gate_chain(tt2: u8) -> Chain {
+        let mut chain = Chain::new(2);
+        let g = chain.add_gate(0, 1, tt2).unwrap();
+        chain.add_output(OutputRef::signal(g));
+        chain
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let store = Store::new();
+        let rep = TruthTable::from_hex(2, "6").unwrap();
+        let calls = AtomicUsize::new(0);
+        for _ in 0..3 {
+            let res = store
+                .lookup_or_solve(&rep, Duration::MAX, |_| {
+                    calls.fetch_add(1, Ordering::SeqCst);
+                    Ok::<_, ChainError>(RepOutcome::Solved(vec![one_gate_chain(0x6)]))
+                })
+                .unwrap();
+            assert!(matches!(res, Resolution::Solved(ref c) if c.len() == 1));
+        }
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+        assert_eq!(store.misses(), 1);
+        assert_eq!(store.hits(), 2);
+        assert_eq!(store.inserts(), 1);
+    }
+
+    #[test]
+    fn exhausted_is_cached_per_budget_and_retried_when_richer() {
+        let store = Store::new();
+        let rep = TruthTable::from_hex(2, "6").unwrap();
+        let calls = AtomicUsize::new(0);
+        let give_up = |_: &TruthTable| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            Ok::<_, ChainError>(RepOutcome::Exhausted)
+        };
+        // First attempt at 10 ms fails and is recorded.
+        let res = store.lookup_or_solve(&rep, Duration::from_millis(10), give_up).unwrap();
+        assert!(matches!(res, Resolution::Exhausted { budget } if budget.as_millis() == 10));
+        // Same or smaller budget: answered from the store, no retry.
+        for ms in [10, 5] {
+            let res = store.lookup_or_solve(&rep, Duration::from_millis(ms), give_up).unwrap();
+            assert!(matches!(res, Resolution::Exhausted { budget } if budget.as_millis() == 10));
+        }
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+        // A strictly larger budget retries and, on success, upgrades.
+        let res = store
+            .lookup_or_solve(&rep, Duration::from_millis(50), |_| {
+                calls.fetch_add(1, Ordering::SeqCst);
+                Ok::<_, ChainError>(RepOutcome::Solved(vec![one_gate_chain(0x6)]))
+            })
+            .unwrap();
+        assert!(matches!(res, Resolution::Solved(_)));
+        assert_eq!(calls.load(Ordering::SeqCst), 2);
+        assert!(matches!(store.get(&rep), Some(Entry::Solved(_))));
+    }
+
+    #[test]
+    fn failed_retry_keeps_the_larger_budget() {
+        let store = Store::new();
+        let rep = TruthTable::from_hex(2, "6").unwrap();
+        let give_up = |_: &TruthTable| Ok::<_, ChainError>(RepOutcome::Exhausted);
+        store.lookup_or_solve(&rep, Duration::from_millis(10), give_up).unwrap();
+        store.lookup_or_solve(&rep, Duration::from_millis(40), give_up).unwrap();
+        assert!(matches!(
+            store.get(&rep),
+            Some(Entry::Exhausted { budget }) if budget.as_millis() == 40
+        ));
+    }
+
+    #[test]
+    fn solver_errors_are_propagated_and_not_cached() {
+        let store = Store::new();
+        let rep = TruthTable::from_hex(2, "6").unwrap();
+        let err = store
+            .lookup_or_solve(&rep, Duration::MAX, |_| {
+                Err::<RepOutcome, _>(ChainError::DuplicateFanin { fanin: 0 })
+            })
+            .unwrap_err();
+        assert!(matches!(err, ChainError::DuplicateFanin { .. }));
+        // The class was forgotten: the next caller solves afresh.
+        let res = store
+            .lookup_or_solve(&rep, Duration::MAX, |_| {
+                Ok::<_, ChainError>(RepOutcome::Solved(vec![one_gate_chain(0x6)]))
+            })
+            .unwrap();
+        assert!(matches!(res, Resolution::Solved(_)));
+    }
+
+    #[test]
+    fn solve_npn_trivial_fast_path_skips_the_store() {
+        let store = Store::new();
+        for spec in [
+            TruthTable::constant(3, true).unwrap(),
+            TruthTable::constant(3, false).unwrap(),
+            TruthTable::variable(3, 1).unwrap(),
+            !TruthTable::variable(3, 2).unwrap(),
+        ] {
+            let outcome = store
+                .solve_npn(&spec, Duration::MAX, |_| -> Result<RepOutcome, ChainError> {
+                    panic!("trivial specs must never reach the solver")
+                })
+                .unwrap();
+            let NpnOutcome::Trivial(chain) = outcome else {
+                panic!("expected the trivial fast path");
+            };
+            assert_eq!(chain.num_gates(), 0);
+            assert_eq!(chain.simulate_outputs().unwrap()[0], spec);
+        }
+        assert_eq!(store.trivial_hits(), 4);
+        assert_eq!(store.hits() + store.misses(), 0);
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn solve_npn_shares_one_entry_per_class() {
+        let store = Store::new();
+        // AND and NOR are NPN-equivalent: one class, one solve.
+        let and2 = TruthTable::from_hex(2, "8").unwrap();
+        let nor2 = TruthTable::from_hex(2, "1").unwrap();
+        let calls = AtomicUsize::new(0);
+        for spec in [&and2, &nor2, &and2] {
+            let outcome = store
+                .solve_npn(spec, Duration::MAX, |rep| {
+                    calls.fetch_add(1, Ordering::SeqCst);
+                    // Synthesize the representative honestly: it is a
+                    // 2-input non-trivial function, i.e. one gate.
+                    let mut chain = Chain::new(2);
+                    let g = chain.add_gate(0, 1, rep.words()[0] as u8 & 0xf).unwrap();
+                    chain.add_output(OutputRef::signal(g));
+                    Ok::<_, ChainError>(RepOutcome::Solved(vec![chain]))
+                })
+                .unwrap();
+            let NpnOutcome::Solved(chains) = outcome else {
+                panic!("expected solutions");
+            };
+            assert_eq!(chains[0].simulate_outputs().unwrap()[0], *spec);
+        }
+        assert_eq!(calls.load(Ordering::SeqCst), 1, "one synthesis per NPN class");
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_hammering_solves_each_class_exactly_once() {
+        let store = Store::new();
+        let calls = AtomicUsize::new(0);
+        let specs: Vec<TruthTable> =
+            ["6", "8", "e", "9"].iter().map(|h| TruthTable::from_hex(2, h).unwrap()).collect();
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let store = &store;
+                let calls = &calls;
+                let specs = &specs;
+                scope.spawn(move || {
+                    for i in 0..specs.len() {
+                        let spec = &specs[(i + t) % specs.len()];
+                        let outcome = store
+                            .solve_npn(spec, Duration::MAX, |rep| {
+                                calls.fetch_add(1, Ordering::SeqCst);
+                                // Slow solver: overlap is guaranteed.
+                                std::thread::sleep(Duration::from_millis(30));
+                                let mut chain = Chain::new(2);
+                                let g = chain.add_gate(0, 1, rep.words()[0] as u8 & 0xf).unwrap();
+                                chain.add_output(OutputRef::signal(g));
+                                Ok::<_, ChainError>(RepOutcome::Solved(vec![chain]))
+                            })
+                            .unwrap();
+                        let NpnOutcome::Solved(chains) = outcome else {
+                            panic!("expected solutions");
+                        };
+                        assert_eq!(chains[0].simulate_outputs().unwrap()[0], *spec);
+                    }
+                });
+            }
+        });
+        // {XOR} and {AND, OR, NOR} are two NPN classes: exactly two
+        // synthesis calls across all 8 threads × 4 lookups.
+        assert_eq!(calls.load(Ordering::SeqCst), 2);
+        assert_eq!(store.misses(), 2);
+        assert_eq!(store.hits(), 8 * 4 - 2);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_deterministic() {
+        let store = Store::new();
+        for hex in ["6", "8", "1", "e"] {
+            let spec = TruthTable::from_hex(2, hex).unwrap();
+            store
+                .solve_npn(&spec, Duration::MAX, |rep| {
+                    let mut chain = Chain::new(2);
+                    let g = chain.add_gate(0, 1, rep.words()[0] as u8 & 0xf).unwrap();
+                    chain.add_output(OutputRef::signal(g));
+                    Ok::<_, ChainError>(RepOutcome::Solved(vec![chain]))
+                })
+                .unwrap();
+        }
+        let a = store.snapshot();
+        let b = store.snapshot();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 2);
+        assert!(a.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one chain")]
+    fn empty_solved_entry_is_rejected() {
+        let store = Store::new();
+        store.insert(TruthTable::from_hex(2, "6").unwrap(), Entry::Solved(Vec::new()));
+    }
+}

@@ -16,7 +16,7 @@ use stp_repro::network::{
     RewriteConfig, SynthesisCache,
 };
 
-fn optimize(name: &str, net: &Network, cache: &mut SynthesisCache) -> Result<(), Box<dyn Error>> {
+fn optimize(name: &str, net: &Network, cache: &SynthesisCache) -> Result<(), Box<dyn Error>> {
     let before = net.simulate_outputs()?;
     let t0 = Instant::now();
     let result = rewrite(net, &RewriteConfig::default(), cache)?;
@@ -37,19 +37,19 @@ fn main() -> Result<(), Box<dyn Error>> {
     // The NPN-class cache is shared across all circuits: exact
     // synthesis runs once per class, exactly the economics the paper's
     // speedups target.
-    let mut cache = SynthesisCache::new();
+    let cache = SynthesisCache::new();
 
     println!("circuit                before   after");
     for bits in [2usize, 3, 4] {
-        optimize(&format!("ripple_carry_adder({bits})"), &ripple_carry_adder(bits)?, &mut cache)?;
+        optimize(&format!("ripple_carry_adder({bits})"), &ripple_carry_adder(bits)?, &cache)?;
     }
     for bits in [2usize, 3] {
-        optimize(&format!("adder_sop({bits})"), &ripple_carry_adder_sop(bits)?, &mut cache)?;
+        optimize(&format!("adder_sop({bits})"), &ripple_carry_adder_sop(bits)?, &cache)?;
     }
     for bits in [3usize, 4] {
-        optimize(&format!("equality_comparator({bits})"), &equality_comparator(bits)?, &mut cache)?;
+        optimize(&format!("equality_comparator({bits})"), &equality_comparator(bits)?, &cache)?;
     }
-    optimize("mux_tree(2)", &mux_tree(2)?, &mut cache)?;
+    optimize("mux_tree(2)", &mux_tree(2)?, &cache)?;
 
     println!(
         "\nsynthesis cache: {} NPN classes synthesized, {} cache hits",

@@ -3,8 +3,8 @@
 //!
 //! ```text
 //! Usage: stprewrite <input.blif> [-o <output.blif>] [--passes <n>]
-//!                   [--jobs <n>] [--log <level>] [--stats]
-//!                   [--trace-json <path>]
+//!                   [--jobs <n>] [--store <path>] [--warm-npn4]
+//!                   [--log <level>] [--stats] [--trace-json <path>]
 //! ```
 //!
 //! Reads a 2-LUT BLIF network, rewrites it by replacing 4-cut cones
@@ -12,20 +12,28 @@
 //! functional equivalence by exhaustive simulation when the input count
 //! allows it, and writes the optimized BLIF.
 //!
-//! `--stats` appends a JSON [`RunReport`](stp_telemetry::RunReport) as
-//! the final stdout line; `--trace-json` records span events; `--log`
-//! sets the stderr diagnostic level (also via `STP_LOG`).
+//! `--store <path>` loads the persistent NPN solution store from
+//! `<path>` (when it exists) and saves it back afterwards, so every
+//! rewrite run shares one store; `--warm-npn4` pre-synthesizes all NPN
+//! classes of arity ≤ 4 first — a warmed store answers every 4-cut
+//! lookup with zero synthesis calls. `--stats` appends a JSON
+//! [`RunReport`](stp_telemetry::RunReport) as the final stdout line;
+//! `--trace-json` records span events; `--log` sets the stderr
+//! diagnostic level (also via `STP_LOG`).
 
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Instant;
 
 use stp_repro::network::{rewrite, Network, RewriteConfig, SynthesisCache};
+use stp_repro::store::Store;
+use stp_repro::synth::{warm_npn4, SynthesisConfig};
 use stp_telemetry::{Json, RunReport};
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: stprewrite <input.blif> [-o <output.blif>] [--passes <n>] [--jobs <n>] \
-         [--log <level>] [--stats] [--trace-json <path>]"
+         [--store <path>] [--warm-npn4] [--log <level>] [--stats] [--trace-json <path>]"
     );
     ExitCode::FAILURE
 }
@@ -59,10 +67,20 @@ fn main() -> ExitCode {
     let mut output: Option<String> = None;
     let mut config = RewriteConfig::default();
     let mut stats = false;
+    let mut store_path: Option<String> = None;
+    let mut warm = false;
     let mut it = args[1..].iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "-o" => output = it.next().cloned(),
+            "--warm-npn4" => warm = true,
+            "--store" => {
+                let Some(path) = it.next() else {
+                    eprintln!("--store expects a path");
+                    return usage();
+                };
+                store_path = Some(path.clone());
+            }
             "--passes" => {
                 if let Some(v) = it.next().and_then(|v| v.parse().ok()) {
                     config.max_passes = v;
@@ -113,10 +131,42 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // The NPN solution store: loaded from disk when --store names an
+    // existing file, optionally pre-warmed, persisted back after the
+    // run. Without the flags the cache still routes through a private
+    // in-memory store.
+    let store = match &store_path {
+        Some(p) if std::path::Path::new(p).exists() => match Store::load(p) {
+            Ok(store) => {
+                eprintln!("store: loaded {} classes from {p}", store.len());
+                Arc::new(store)
+            }
+            Err(e) => {
+                eprintln!("error loading store {p}: {e}");
+                finish(stats, &args, &format!("store error: {e}"), start, Vec::new());
+                return ExitCode::FAILURE;
+            }
+        },
+        _ => Arc::new(Store::new()),
+    };
+    if warm {
+        let synth_config = SynthesisConfig { jobs: config.jobs, ..SynthesisConfig::default() };
+        match warm_npn4(&store, &synth_config, Some(config.synthesis_budget)) {
+            Ok(r) => eprintln!(
+                "store: warmed {} classes ({} solved, {} cached, {} exhausted)",
+                r.classes, r.solved, r.cached, r.exhausted
+            ),
+            Err(e) => {
+                eprintln!("error warming store: {e}");
+                finish(stats, &args, &format!("store error: {e}"), start, Vec::new());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     let checkable = net.num_inputs() <= 16;
     let before = if checkable { net.simulate_outputs().ok() } else { None };
-    let mut cache = SynthesisCache::new();
-    let result = match rewrite(&net, &config, &mut cache) {
+    let cache = SynthesisCache::with_store(Arc::clone(&store));
+    let result = match rewrite(&net, &config, &cache) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("rewriting failed: {e}");
@@ -146,6 +196,15 @@ fn main() -> ExitCode {
         cache.misses(),
         cache.hits()
     );
+    if let Some(p) = &store_path {
+        match store.save(p) {
+            Ok(()) => eprintln!("store: saved {} classes to {p}", store.len()),
+            Err(e) => {
+                eprintln!("error saving store {p}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     let blif = result.network.to_blif("rewritten");
     match output {
         Some(path) => {

@@ -11,6 +11,13 @@
 //!                      from STP_JOBS, else 1; baselines ignore it)
 //!   --verilog          emit structural Verilog for the chosen chain
 //!   --dot              emit Graphviz DOT for the chosen chain
+//!   --store <path>     load the NPN solution store from <path> (when it
+//!                      exists) and persist it back after the run; the
+//!                      stp/stp-npn engines answer repeated NPN classes
+//!                      from the store
+//!   --warm-npn4        pre-synthesize every NPN class of arity <= 4
+//!                      into the store before solving (implies a store;
+//!                      combine with --store to persist the warmed set)
 //!   --log <level>      off|error|warn|info|debug|trace (default info,
 //!                      or the STP_LOG environment variable)
 //!   --stats            append a JSON RunReport as the final stdout line
@@ -23,17 +30,53 @@ use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
 use stp_repro::baselines::{abc_synthesize, bms_synthesize, fen_synthesize, BaselineConfig};
-use stp_repro::synth::{synthesize, synthesize_npn, SynthesisConfig};
+use stp_repro::store::Store;
+use stp_repro::synth::{
+    synthesize, synthesize_npn, synthesize_npn_with_store, warm_npn4, SynthesisConfig,
+};
 use stp_repro::tt::TruthTable;
 use stp_telemetry::{Json, RunReport};
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: stpsynth <hex-truth-table> <num-vars> [--all] [--engine stp|stp-npn|bms|fen|abc] \
-         [--timeout <secs>] [--jobs <n>] [--verilog] [--dot] [--log <level>] [--stats] \
-         [--trace-json <path>]"
+         [--timeout <secs>] [--jobs <n>] [--verilog] [--dot] [--store <path>] [--warm-npn4] \
+         [--log <level>] [--stats] [--trace-json <path>]"
     );
     ExitCode::FAILURE
+}
+
+/// Loads the store from `path` when given and present, otherwise starts
+/// empty. Returns `None` (and prints the error) on a corrupt file.
+fn open_store(path: Option<&str>) -> Option<Store> {
+    match path {
+        Some(p) if std::path::Path::new(p).exists() => match Store::load(p) {
+            Ok(store) => {
+                eprintln!("store: loaded {} classes from {p}", store.len());
+                Some(store)
+            }
+            Err(e) => {
+                eprintln!("error loading store {p}: {e}");
+                None
+            }
+        },
+        _ => Some(Store::new()),
+    }
+}
+
+/// Persists the store back to `path` when one was requested.
+fn save_store(store: &Store, path: Option<&str>) -> bool {
+    let Some(p) = path else { return true };
+    match store.save(p) {
+        Ok(()) => {
+            eprintln!("store: saved {} classes to {p}", store.len());
+            true
+        }
+        Err(e) => {
+            eprintln!("error saving store {p}: {e}");
+            false
+        }
+    }
 }
 
 /// Emits the RunReport (when requested) and flushes the trace sink.
@@ -73,6 +116,8 @@ fn main() -> ExitCode {
     let mut emit_verilog = false;
     let mut emit_dot = false;
     let mut stats = false;
+    let mut store_path: Option<String> = None;
+    let mut warm = false;
     let mut it = args[2..].iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -80,6 +125,14 @@ fn main() -> ExitCode {
             "--verilog" => emit_verilog = true,
             "--dot" => emit_dot = true,
             "--stats" => stats = true,
+            "--warm-npn4" => warm = true,
+            "--store" => {
+                let Some(path) = it.next() else {
+                    eprintln!("--store expects a path");
+                    return usage();
+                };
+                store_path = Some(path.clone());
+            }
             "--engine" => engine = it.next().cloned().unwrap_or_default(),
             "--timeout" => {
                 timeout = it.next().and_then(|v| v.parse().ok()).unwrap_or(timeout);
@@ -120,13 +173,43 @@ fn main() -> ExitCode {
     let start = Instant::now();
     let deadline = Some(start + Duration::from_secs_f64(timeout));
 
+    // The NPN solution store: loaded from disk when --store names an
+    // existing file, pre-warmed with every arity-<=4 class when
+    // --warm-npn4 is set, and persisted back after the run.
+    let store = if store_path.is_some() || warm {
+        let Some(store) = open_store(store_path.as_deref()) else {
+            return ExitCode::FAILURE;
+        };
+        if warm {
+            let config = SynthesisConfig { jobs, ..SynthesisConfig::default() };
+            match warm_npn4(&store, &config, Some(Duration::from_secs_f64(timeout))) {
+                Ok(r) => eprintln!(
+                    "store: warmed {} classes ({} solved, {} cached, {} exhausted)",
+                    r.classes, r.solved, r.cached, r.exhausted
+                ),
+                Err(e) => {
+                    eprintln!("error warming store: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            // Persist immediately so the warm work survives a failed
+            // instance below.
+            if !save_store(&store, store_path.as_deref()) {
+                return ExitCode::FAILURE;
+            }
+        }
+        Some(store)
+    } else {
+        None
+    };
+
     let (chains, gate_count) = match engine.as_str() {
         "stp" | "stp-npn" => {
             let config = SynthesisConfig { deadline, jobs, ..SynthesisConfig::default() };
-            let result = if engine == "stp" {
-                synthesize(&spec, &config)
-            } else {
-                synthesize_npn(&spec, &config)
+            let result = match &store {
+                Some(store) => synthesize_npn_with_store(&spec, &config, store),
+                None if engine == "stp" => synthesize(&spec, &config),
+                None => synthesize_npn(&spec, &config),
             };
             match result {
                 Ok(r) => {
@@ -174,6 +257,18 @@ fn main() -> ExitCode {
             return usage();
         }
     };
+
+    if let Some(store) = &store {
+        if !save_store(store, store_path.as_deref()) {
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "store: {} hits, {} misses, {} trivial",
+            store.hits(),
+            store.misses(),
+            store.trivial_hits()
+        );
+    }
 
     let shown: &[_] = if all { &chains } else { &chains[..1.min(chains.len())] };
     for (i, chain) in shown.iter().enumerate() {

@@ -11,6 +11,7 @@
 //! * [`network`] — multi-output 2-LUT networks, cut enumeration, and
 //!   exact-synthesis rewriting.
 //! * [`sat`] — the CDCL SAT solver used by the CNF baselines.
+//! * [`store`] — the shared, persistent NPN-class solution store.
 //! * [`synth`] — the paper's STP-based exact synthesis engine.
 //! * [`baselines`] — the BMS / FEN / ABC-like CNF baselines.
 //!
@@ -24,5 +25,6 @@ pub use stp_fence as fence;
 pub use stp_matrix as matrix;
 pub use stp_network as network;
 pub use stp_sat as sat;
+pub use stp_store as store;
 pub use stp_synth as synth;
 pub use stp_tt as tt;

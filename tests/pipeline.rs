@@ -21,8 +21,8 @@ fn blif_rewrite_verify_export_round_trip() {
     assert!(equivalent_exhaustive(&original, &parsed).expect("simulable"));
 
     // 3. Rewrite with exact synthesis.
-    let mut cache = SynthesisCache::new();
-    let result = rewrite(&parsed, &RewriteConfig::default(), &mut cache).expect("rewrite runs");
+    let cache = SynthesisCache::new();
+    let result = rewrite(&parsed, &RewriteConfig::default(), &cache).expect("rewrite runs");
     assert!(
         result.gates_after < result.gates_before,
         "the SOP adder must shrink ({} -> {})",
@@ -50,10 +50,10 @@ fn exact_network_feeds_rewriting_fixpoint() {
     let sum = TruthTable::from_fn(3, |x| x[0] ^ x[1] ^ x[2]).expect("3 vars");
     let carry =
         TruthTable::from_fn(3, |x| (x[0] as u8 + x[1] as u8 + x[2] as u8) >= 2).expect("3 vars");
-    let mut cache = SynthesisCache::new();
-    let net = exact_network(&[sum, carry], &mut cache, Duration::from_secs(30))
+    let cache = SynthesisCache::new();
+    let net = exact_network(&[sum, carry], &cache, Duration::from_secs(30), 1)
         .expect("synthesis succeeds");
-    let result = rewrite(&net, &RewriteConfig::default(), &mut cache).expect("rewrite runs");
+    let result = rewrite(&net, &RewriteConfig::default(), &cache).expect("rewrite runs");
     assert!(result.gates_after <= result.gates_before);
     assert!(equivalent_exhaustive(&net, &result.network).expect("simulable"));
 }
