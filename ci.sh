@@ -18,6 +18,9 @@ STP_JOBS=1 cargo test -q -p stp-bench --offline --test warm_store smoke_warm_sli
 echo "==> warm-store smoke (STP_JOBS=$(nproc))"
 STP_JOBS="$(nproc)" cargo test -q -p stp-bench --offline --test warm_store smoke_warm_slice
 
+echo "==> factor counter baseline (NPN4 slice, jobs=1, vs committed BENCH_factor.json)"
+cargo test -q -p stp-bench --offline --test factor_baseline
+
 echo "==> cargo test (STP_JOBS=1, sequential default)"
 STP_JOBS=1 cargo test -q --workspace --offline
 

@@ -1,0 +1,30 @@
+//! Dumps the full solution transcript (gate count + every chain, in
+//! order) for the NPN4 classes and the quick-profile FDSD6 suite —
+//! the byte-equivalence artifact used when changing the factorization
+//! engine. Run with `--jobs <n>` to exercise the parallel scheduler.
+
+use stp_bench::{fdsd, npn4};
+use stp_synth::{synthesize, SynthesisConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut jobs = 1usize;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--jobs" {
+            if let Some(v) = it.next() {
+                jobs = v.parse().unwrap_or(1);
+            }
+        }
+    }
+    let config = SynthesisConfig { jobs, ..SynthesisConfig::default() };
+    for suite in [npn4(), fdsd(6, 40, 6)] {
+        for spec in &suite.functions {
+            let result = synthesize(spec, &config).expect("suite instance must solve");
+            println!("== {} {spec} gates={}", suite.name, result.gate_count);
+            for chain in &result.chains {
+                print!("{chain}");
+            }
+        }
+    }
+}

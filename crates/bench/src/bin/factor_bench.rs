@@ -1,0 +1,102 @@
+//! Factorization-kernel perf baseline: emits `BENCH_factor.json`.
+//!
+//! Usage: `factor_bench [--jobs <n>] [--timeout <seconds>] [--out <path>]`
+//!
+//! Runs the STP engine **cold** (store-free, straight [`synthesize`]
+//! per instance) over three workloads — the deterministic NPN4 24-class
+//! slice used by the CI drift gate, the full 222-class NPN4 suite, and
+//! the quick-profile FDSD6 suite — and reports per-suite wall-clock
+//! plus the `factor.*` counter deltas. The counter totals at `--jobs 1`
+//! are exact and machine-independent, so the committed
+//! `BENCH_factor.json` doubles as a regression baseline: the
+//! `factor_baseline` integration test re-runs the slice and fails when
+//! the counters drift (wall-clock fields are informational only).
+//!
+//! [`synthesize`]: stp_synth::synthesize
+
+use std::time::{Duration, Instant};
+
+use stp_bench::{fdsd, npn4, run_suite, Algorithm, Suite};
+use stp_telemetry::Json;
+
+/// Counters whose totals are deterministic at `jobs = 1` and therefore
+/// part of the committed baseline contract.
+pub const PINNED_COUNTERS: [&str; 3] =
+    ["factor.subproblems", "factor.memo_hits", "factor.charts_built"];
+
+/// The NPN4 prefix used by the CI drift gate — the same slice as the
+/// `determinism` integration test, fast enough for debug-build CI.
+fn npn4_slice() -> Suite {
+    let mut suite = npn4();
+    suite.functions.truncate(24);
+    Suite { name: "NPN4[0..24]", functions: suite.functions }
+}
+
+fn measure(suite: &Suite, timeout: Duration, jobs: usize) -> Json {
+    let start = Instant::now();
+    let report = run_suite(Algorithm::Stp, suite, timeout, jobs);
+    let wall = start.elapsed();
+    let mut counters: Vec<(String, Json)> = Vec::new();
+    for name in PINNED_COUNTERS {
+        counters.push((name.to_string(), Json::UInt(*report.counters.get(name).unwrap_or(&0))));
+    }
+    Json::obj(vec![
+        ("suite", Json::Str(suite.name.to_string())),
+        ("instances", Json::UInt(suite.functions.len() as u64)),
+        ("solved", Json::UInt(report.solved as u64)),
+        ("timeouts", Json::UInt(report.timeouts as u64)),
+        ("wall_s", Json::Num((wall.as_secs_f64() * 1000.0).round() / 1000.0)),
+        ("counters", Json::Obj(counters)),
+    ])
+}
+
+fn main() {
+    stp_telemetry::init_from_env();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut jobs = stp_synth::jobs_from_env();
+    let mut timeout = 60.0f64;
+    let mut out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--jobs" => {
+                if let Some(v) = it.next() {
+                    jobs = v.parse().unwrap_or(jobs);
+                }
+            }
+            "--timeout" => {
+                if let Some(v) = it.next() {
+                    timeout = v.parse().unwrap_or(timeout);
+                }
+            }
+            "--out" => out = it.next().cloned(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let timeout = Duration::from_secs_f64(timeout);
+    let mut suites = Vec::new();
+    for suite in [npn4_slice(), npn4(), fdsd(6, 40, 6)] {
+        eprintln!("factor_bench: running {} ({} instances)…", suite.name, suite.functions.len());
+        suites.push(measure(&suite, timeout, jobs));
+    }
+    let doc = Json::obj(vec![
+        ("schema", Json::Str("stp-bench-factor v1".to_string())),
+        ("jobs", Json::UInt(jobs as u64)),
+        ("timeout_s", Json::Num(timeout.as_secs_f64())),
+        ("suites", Json::Arr(suites)),
+    ]);
+    let text = format!("{doc}\n");
+    match out {
+        Some(path) => {
+            std::fs::write(&path, &text).unwrap_or_else(|e| {
+                eprintln!("error writing {path}: {e}");
+                std::process::exit(1);
+            });
+            eprintln!("factor_bench: wrote {path}");
+        }
+        None => print!("{text}"),
+    }
+}

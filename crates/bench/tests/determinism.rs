@@ -54,6 +54,43 @@ fn running_example_matches_across_worker_counts() {
 }
 
 #[test]
+fn running_example_transcript_content_is_pinned() {
+    // Byte-for-byte golden transcript of the paper's running example
+    // f = 0x8ff8, captured from the scalar engine before the word-level
+    // factorization kernels landed. Any change to this output — an
+    // extra chain, a missing chain, a different enumeration order —
+    // means the kernels are no longer byte-equivalent to the reference
+    // semantics and must be treated as a bug, not re-pinned.
+    let expected = "gates=3\n\
+                    x5 = 0x6(x3, x4)\n\
+                    x6 = 0x7(x1, x2)\n\
+                    x7 = 0xb(x5, x6)\n\
+                    f1 = x7\n\
+                    x5 = 0x6(x3, x4)\n\
+                    x6 = 0x8(x1, x2)\n\
+                    x7 = 0xe(x5, x6)\n\
+                    f1 = x7\n\
+                    x5 = 0x7(x1, x2)\n\
+                    x6 = 0x9(x3, x4)\n\
+                    x7 = 0x7(x5, x6)\n\
+                    f1 = x7\n\
+                    x5 = 0x8(x1, x2)\n\
+                    x6 = 0x9(x3, x4)\n\
+                    x7 = 0xb(x5, x6)\n\
+                    f1 = x7\n";
+    let spec = TruthTable::from_hex(4, "8ff8").unwrap();
+    for jobs in [1, 4] {
+        let config = SynthesisConfig { jobs, ..SynthesisConfig::default() };
+        let result = synthesize(&spec, &config).unwrap();
+        let mut got = format!("gates={}\n", result.gate_count);
+        for chain in &result.chains {
+            got.push_str(&chain.to_string());
+        }
+        assert_eq!(got, expected, "jobs={jobs}: 0x8ff8 transcript drifted from the golden run");
+    }
+}
+
+#[test]
 fn capped_runs_match_across_worker_counts() {
     let spec = TruthTable::from_hex(4, "6996").unwrap();
     for cap in [1, 2] {

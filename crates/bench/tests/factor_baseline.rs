@@ -1,0 +1,75 @@
+//! CI drift gate for the committed factorization perf baseline.
+//!
+//! `BENCH_factor.json` (repo root, written by the `factor_bench` binary
+//! at `--jobs 1`) records per-suite wall-clock **and** the
+//! deterministic `factor.*` counter totals. Wall-clock is
+//! machine-dependent and informational; the counters are exact: at one
+//! worker the factorization engine explores a fixed subproblem set, so
+//! `factor.subproblems`, `factor.memo_hits`, and `factor.charts_built`
+//! must reproduce to the last digit. This test re-runs the NPN4 24-class
+//! slice and fails when any pinned counter drifts from the committed
+//! baseline — catching both accidental search-space changes (a chain
+//! enumeration bug) and silent memoization regressions.
+//!
+//! The test lives in its own integration binary: counter deltas are
+//! measured on the global telemetry registry, so no other test may run
+//! in the same process while the suite executes.
+
+use std::time::Duration;
+
+use stp_bench::{npn4, run_suite, Algorithm, Suite};
+use stp_telemetry::Json;
+
+/// Counters pinned by the committed baseline (must match the
+/// `PINNED_COUNTERS` list in `src/bin/factor_bench.rs`).
+const PINNED_COUNTERS: [&str; 3] =
+    ["factor.subproblems", "factor.memo_hits", "factor.charts_built"];
+
+#[test]
+fn npn4_slice_counters_match_committed_baseline() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_factor.json");
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read committed baseline {path}: {e}"));
+    let doc = Json::parse(&text).expect("BENCH_factor.json must parse");
+    assert_eq!(
+        doc.get("schema").and_then(Json::as_str),
+        Some("stp-bench-factor v1"),
+        "unknown baseline schema"
+    );
+    assert_eq!(
+        doc.get("jobs").and_then(Json::as_u64),
+        Some(1),
+        "the committed baseline must be a --jobs 1 run (counters are only \
+         deterministic at one worker)"
+    );
+    let committed = doc
+        .get("suites")
+        .and_then(Json::as_arr)
+        .and_then(|suites| {
+            suites.iter().find(|s| s.get("suite").and_then(Json::as_str) == Some("NPN4[0..24]"))
+        })
+        .expect("baseline must contain the NPN4[0..24] suite");
+
+    // Re-run the same slice the baseline recorded, sequentially.
+    let mut suite = npn4();
+    suite.functions.truncate(24);
+    let suite = Suite { name: "NPN4[0..24]", functions: suite.functions };
+    let report = run_suite(Algorithm::Stp, &suite, Duration::from_secs(60), 1);
+    assert_eq!(report.solved, 24, "every slice instance must solve");
+
+    for name in PINNED_COUNTERS {
+        let want = committed
+            .get("counters")
+            .and_then(|c| c.get(name))
+            .and_then(Json::as_u64)
+            .unwrap_or_else(|| panic!("baseline is missing counter '{name}'"));
+        let got = *report.counters.get(name).unwrap_or(&0);
+        assert_eq!(
+            got, want,
+            "counter '{name}' drifted from the committed BENCH_factor.json \
+             baseline: re-record it with `cargo run --release -p stp-bench \
+             --bin factor_bench -- --jobs 1 --out BENCH_factor.json` only if \
+             the change in search behaviour is intentional"
+        );
+    }
+}

@@ -125,7 +125,10 @@ fn process_task(
     let _verify = stp_telemetry::span!("phase.verify");
     let mut solutions = Vec::new();
     for chain in candidates {
-        if cancel.load(Ordering::SeqCst) {
+        // Acquire pairs with the SeqCst cancellation store: seeing the
+        // flag also publishes its cause (`cap_reached`). The checkpoint
+        // runs between every candidate, so it must not be a fence.
+        if cancel.load(Ordering::Acquire) {
             return Err(SynthesisError::Timeout);
         }
         if solutions.len() >= max_solutions {
@@ -212,7 +215,7 @@ struct RoundState<'a> {
 
 fn worker_loop(w: usize, engine: &mut Factorizer, state: &RoundState<'_>) {
     loop {
-        if state.cancel.load(Ordering::SeqCst) {
+        if state.cancel.load(Ordering::Acquire) {
             return;
         }
         let Some(idx) = next_task(w, &state.queues) else {

@@ -1,0 +1,81 @@
+//! Allocation regression test for the memo-hit path.
+//!
+//! The factorization memo used to build an owned `(Vec<u64>, TreeShape)`
+//! key for **every** probe — cloning the spec words and the whole shape
+//! tree even when the answer was already memoized. The engine now
+//! interns shapes to dense ids and keys the per-shape map by the table
+//! alone, so a warmed probe borrows both halves of the key and performs
+//! no allocation at all.
+//!
+//! This test pins that with a counting global allocator: after a
+//! warm-up call, re-running `chains_on_shape` on a memoized
+//! (unrealizable) subproblem must not allocate. It lives in its own
+//! integration-test binary so the `#[global_allocator]` cannot
+//! interfere with any other test, and so no parallel test thread can
+//! allocate concurrently with the measured window.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use stp_fence::shapes_with_gates;
+use stp_synth::{FactorConfig, Factorizer};
+use stp_tt::TruthTable;
+
+/// `System`, plus a count of every allocation request (`alloc`,
+/// `alloc_zeroed`, and growth through `realloc`).
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates every operation to `System` unchanged; the counter
+// is a relaxed atomic and allocates nothing itself.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn warmed_memo_probes_do_not_allocate() {
+    // 3-input majority is prime: no 2-gate tree realizes it, so a
+    // warmed engine answers every probe from the memo without building
+    // chains (chain construction for realizable specs allocates by
+    // design — the guarantee under test is the *probe*).
+    let maj = TruthTable::from_hex(3, "e8").unwrap();
+    let shapes = shapes_with_gates(2);
+    let mut engine = Factorizer::new(FactorConfig::default());
+    // Warm-up: fill the memo and intern the telemetry counter handles
+    // (the first `counter!` hit at each site allocates the registry
+    // entry; every later hit is a cached `&'static` add).
+    for _ in 0..2 {
+        for shape in &shapes {
+            assert!(engine.chains_on_shape(&maj, shape).unwrap().is_empty());
+        }
+    }
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..100 {
+        for shape in &shapes {
+            assert!(engine.chains_on_shape(&maj, shape).unwrap().is_empty());
+        }
+    }
+    let delta = ALLOCATIONS.load(Ordering::Relaxed) - before;
+    assert_eq!(delta, 0, "memo-hit path allocated {delta} times across 100 warmed sweeps");
+}

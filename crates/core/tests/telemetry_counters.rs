@@ -1,0 +1,38 @@
+//! End-to-end plumbing check for the factorization telemetry counters.
+//!
+//! The engine batches its tallies locally and flushes them to the
+//! global registry once per `chains_on_shape` call; this test pins that
+//! the flush actually reaches a registry snapshot delta — the contract
+//! the bench harness and the committed `BENCH_factor.json` baseline
+//! rely on. It lives in its own integration binary because it reads the
+//! global registry and must not race other tests' counter traffic.
+
+use stp_fence::TreeShape;
+use stp_synth::{FactorConfig, Factorizer};
+use stp_tt::TruthTable;
+
+#[test]
+fn factor_counters_reach_the_global_registry() {
+    let before = stp_telemetry::metrics_global().snapshot();
+    let spec = TruthTable::from_hex(4, "8ff8").unwrap();
+    let leaf = TreeShape::Leaf;
+    let pair = TreeShape::node(leaf.clone(), leaf.clone());
+    let shape = TreeShape::node(pair.clone(), pair);
+    let mut engine = Factorizer::new(FactorConfig::default());
+    let chains = engine.chains_on_shape(&spec, &shape).unwrap();
+    assert_eq!(chains.len(), 4, "running example must enumerate all four chains");
+    let delta = stp_telemetry::metrics_global().snapshot().delta_since(&before);
+    assert!(*delta.counters.get("factor.subproblems").unwrap_or(&0) > 0);
+    assert!(*delta.counters.get("factor.charts_built").unwrap_or(&0) > 0);
+    // A second, fully memoized pass flushes hits but explores nothing.
+    let before = stp_telemetry::metrics_global().snapshot();
+    let leaf = TreeShape::Leaf;
+    let pair = TreeShape::node(leaf.clone(), leaf.clone());
+    let shape = TreeShape::node(pair.clone(), pair);
+    let again = engine.chains_on_shape(&spec, &shape).unwrap();
+    assert_eq!(again.len(), 4);
+    let delta = stp_telemetry::metrics_global().snapshot().delta_since(&before);
+    assert!(*delta.counters.get("factor.memo_hits").unwrap_or(&0) > 0);
+    assert_eq!(*delta.counters.get("factor.subproblems").unwrap_or(&0), 0);
+    assert_eq!(*delta.counters.get("factor.charts_built").unwrap_or(&0), 0);
+}

@@ -1,0 +1,360 @@
+//! Word-level truth-table kernels over raw `u64` buffers.
+//!
+//! The factorization engine (`stp-synth`) spends its time slicing
+//! decomposition charts out of truth tables — per candidate split, per
+//! shared assignment. Doing that one scalar `eval` per cell costs
+//! `rows × cols × shared` table probes; these kernels do the same work
+//! with a constant number of word shuffles and cofactor masks per
+//! table, on caller-owned buffers, so the hot loops never touch the
+//! heap.
+//!
+//! All functions operate on a packed LSB-first table of `num_vars`
+//! inputs, exactly the [`TruthTable`](crate::TruthTable) word layout:
+//! bit `m` of the buffer is the function value at minterm `m`, buffers
+//! hold `words_len(num_vars)` words, and for fewer than 6 variables the
+//! unused tail bits of word 0 must be zero (every kernel preserves that
+//! invariant). The [`TruthTable`] methods `swap_inputs`, `compact_on`,
+//! `expand_onto` and `support_mask` wrap these kernels for callers that
+//! prefer the owned API.
+
+/// Masks extracting the positive cofactor of variables 0–5 within one
+/// word (the standard "magic numbers" of truth-table manipulation).
+pub const VAR_MASK: [u64; 6] = [
+    0xAAAA_AAAA_AAAA_AAAA,
+    0xCCCC_CCCC_CCCC_CCCC,
+    0xF0F0_F0F0_F0F0_F0F0,
+    0xFF00_FF00_FF00_FF00,
+    0xFFFF_0000_FFFF_0000,
+    0xFFFF_FFFF_0000_0000,
+];
+
+/// Number of `u64` words a `num_vars`-input table occupies.
+pub const fn words_len(num_vars: usize) -> usize {
+    if num_vars <= 6 {
+        1
+    } else {
+        1 << (num_vars - 6)
+    }
+}
+
+/// A mask of the `count` lowest bits (`count ≤ 64`).
+pub const fn low_mask(count: usize) -> u64 {
+    if count >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << count) - 1
+    }
+}
+
+/// Replaces the table with its `var = 0` cofactor, replicated so `var`
+/// becomes a don't-care (same semantics as
+/// [`TruthTable::cofactor`](crate::TruthTable::cofactor) with
+/// `value = false`).
+///
+/// # Panics
+///
+/// Panics if `var >= num_vars` (debug assertion on the buffer length).
+pub fn cofactor0_in_place(words: &mut [u64], num_vars: usize, var: usize) {
+    assert!(var < num_vars, "variable {var} out of range");
+    debug_assert_eq!(words.len(), words_len(num_vars));
+    if var < 6 {
+        let shift = 1usize << var;
+        let mask = VAR_MASK[var];
+        for w in words.iter_mut() {
+            let lo = *w & !mask;
+            *w = lo | (lo << shift);
+        }
+    } else {
+        let stride = 1usize << (var - 6);
+        // Forward order is safe: sources live in even-numbered blocks,
+        // which the loop leaves untouched.
+        for i in 0..words.len() {
+            let block = i / stride;
+            words[i] = words[(block & !1usize) * stride + (i % stride)];
+        }
+    }
+}
+
+/// Swaps input variables `a` and `b` in place — one masked delta-swap
+/// per word (or word pair), never a per-minterm loop.
+///
+/// # Panics
+///
+/// Panics if either variable is `>= num_vars`.
+pub fn swap_in_place(words: &mut [u64], num_vars: usize, a: usize, b: usize) {
+    assert!(a < num_vars && b < num_vars, "variables ({a}, {b}) out of range");
+    debug_assert_eq!(words.len(), words_len(num_vars));
+    if a == b {
+        return;
+    }
+    let (i, j) = if a < b { (a, b) } else { (b, a) };
+    if j < 6 {
+        // Both inside one word: cells with (x_j, x_i) = (1, 0) trade
+        // places with (0, 1), a distance of 2^j − 2^i apart.
+        let shift = (1usize << j) - (1usize << i);
+        let down = VAR_MASK[j] & !VAR_MASK[i];
+        let up = !VAR_MASK[j] & VAR_MASK[i];
+        let keep = !(down | up);
+        for w in words.iter_mut() {
+            *w = (*w & keep) | ((*w & down) >> shift) | ((*w & up) << shift);
+        }
+    } else if i < 6 {
+        // One in-word variable, one word-index variable: exchange the
+        // x_i = 1 half of the low word with the x_i = 0 half of the
+        // high word, shifted by 2^i.
+        let stride = 1usize << (j - 6);
+        let s = 1usize << i;
+        let m = VAR_MASK[i];
+        let mut base = 0;
+        while base < words.len() {
+            for off in base..base + stride {
+                let lo = words[off];
+                let hi = words[off + stride];
+                words[off] = (lo & !m) | ((hi & !m) << s);
+                words[off + stride] = (hi & m) | ((lo & m) >> s);
+            }
+            base += 2 * stride;
+        }
+    } else {
+        // Both are word-index variables: swap whole words.
+        let si = 1usize << (i - 6);
+        let sj = 1usize << (j - 6);
+        for idx in 0..words.len() {
+            if idx & si != 0 && idx & sj == 0 {
+                words.swap(idx, idx ^ si ^ sj);
+            }
+        }
+    }
+}
+
+/// The set of variables the table depends on, as a bitmask (bit `v` set
+/// ⇔ the function's two `v`-cofactors differ). Word-level equivalent of
+/// [`TruthTable::support`](crate::TruthTable::support), without the
+/// `Vec` (and without materializing the cofactors).
+pub fn support_mask(words: &[u64], num_vars: usize) -> u64 {
+    debug_assert_eq!(words.len(), words_len(num_vars));
+    let mut mask = 0u64;
+    for (var, &vm) in VAR_MASK.iter().enumerate().take(num_vars.min(6)) {
+        let shift = 1usize << var;
+        let zeros = !vm & if num_vars < 6 { low_mask(1 << num_vars) } else { u64::MAX };
+        let mut diff = 0u64;
+        for w in words {
+            diff |= ((*w >> shift) ^ *w) & zeros;
+        }
+        if diff != 0 {
+            mask |= 1u64 << var;
+        }
+    }
+    for var in 6..num_vars {
+        let stride = 1usize << (var - 6);
+        let mut diff = 0u64;
+        for i in 0..words.len() {
+            if i & stride == 0 {
+                diff |= words[i] ^ words[i | stride];
+            }
+        }
+        if diff != 0 {
+            mask |= 1u64 << var;
+        }
+    }
+    mask
+}
+
+/// Computes the transposition sequence that moves `vars[k]` to input
+/// position `k` for every `k`, writing `(destination, source)` pairs
+/// into `plan` and returning how many swaps are needed (≤ `vars.len()`).
+///
+/// Applying the swaps front to back performs the reordering; applying
+/// them back to front undoes it (each transposition is an involution).
+/// The plan is a pure function of `(num_vars, vars)`, so a compaction
+/// and the matching expansion agree on the ordering by construction.
+///
+/// # Panics
+///
+/// Panics if `vars` repeats a variable or names one `>= num_vars`
+/// (`num_vars ≤ 64`).
+pub fn front_swap_plan(num_vars: usize, vars: &[usize], plan: &mut [(u8, u8)]) -> usize {
+    assert!(num_vars <= 64, "front_swap_plan supports at most 64 variables");
+    let mut at = [0u8; 64]; // at[p] = variable currently at position p
+    let mut pos = [0u8; 64]; // pos[v] = current position of variable v
+    for p in 0..num_vars {
+        at[p] = p as u8;
+        pos[p] = p as u8;
+    }
+    let mut seen = 0u64;
+    let mut len = 0;
+    for (i, &v) in vars.iter().enumerate() {
+        assert!(v < num_vars, "variable {v} out of range");
+        assert!(seen & (1u64 << v) == 0, "variable {v} listed twice");
+        seen |= 1u64 << v;
+        let p = pos[v] as usize;
+        if p != i {
+            plan[len] = (i as u8, p as u8);
+            len += 1;
+            let displaced = at[i];
+            at[i] = v as u8;
+            at[p] = displaced;
+            pos[v] = i as u8;
+            pos[displaced as usize] = p as u8;
+        }
+    }
+    len
+}
+
+/// Tiles a `k`-variable table across an `num_vars`-variable buffer
+/// (`k ≤ num_vars`): the result equals `compact` on its first `k`
+/// inputs and ignores the rest. This is the word-level replication step
+/// of operand expansion (the inverse of truncating a table whose upper
+/// variables are don't-cares).
+pub fn tile_words(compact: &[u64], k: usize, num_vars: usize, out: &mut [u64]) {
+    debug_assert!(k <= num_vars);
+    debug_assert_eq!(compact.len(), words_len(k));
+    debug_assert_eq!(out.len(), words_len(num_vars));
+    if k >= 6 {
+        let kw = words_len(k);
+        for (i, w) in out.iter_mut().enumerate() {
+            *w = compact[i % kw];
+        }
+    } else {
+        // Double the low 2^k bits until the pattern fills one word (or
+        // the whole table, when num_vars < 6), then copy it everywhere.
+        let mut w = compact[0] & low_mask(1 << k);
+        for j in k..num_vars.min(6) {
+            w |= w << (1usize << j);
+        }
+        for slot in out.iter_mut() {
+            *slot = w;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TruthTable;
+
+    /// A tiny deterministic LCG — the vendored `rand` is fine too, but
+    /// keeping kernel tests self-contained makes them copy-pastable.
+    struct Lcg(u64);
+
+    impl Lcg {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            self.0 >> 11
+        }
+    }
+
+    fn random_table(rng: &mut Lcg, n: usize) -> TruthTable {
+        let words = (0..words_len(n)).map(|_| rng.next() << 11 | rng.next()).collect();
+        TruthTable::from_words(n, words).unwrap()
+    }
+
+    #[test]
+    fn swap_matches_permute_across_arities() {
+        let mut rng = Lcg(0x5eed_0001);
+        for n in 1..=9 {
+            for _ in 0..8 {
+                let tt = random_table(&mut rng, n);
+                let a = (rng.next() as usize) % n;
+                let b = (rng.next() as usize) % n;
+                let mut words = tt.words().to_vec();
+                swap_in_place(&mut words, n, a, b);
+                let mut perm: Vec<usize> = (0..n).collect();
+                perm.swap(a, b);
+                let expected = tt.permute(&perm).unwrap();
+                assert_eq!(words, expected.words(), "n={n} swap({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn cofactor0_matches_cofactor_method() {
+        let mut rng = Lcg(0x5eed_0002);
+        for n in 1..=9 {
+            for _ in 0..8 {
+                let tt = random_table(&mut rng, n);
+                let v = (rng.next() as usize) % n;
+                let mut words = tt.words().to_vec();
+                cofactor0_in_place(&mut words, n, v);
+                assert_eq!(words, tt.cofactor(v, false).words(), "n={n} var={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn support_mask_matches_support() {
+        let mut rng = Lcg(0x5eed_0003);
+        for n in 1..=9 {
+            for _ in 0..8 {
+                let tt = random_table(&mut rng, n);
+                let expected = tt.support().into_iter().fold(0u64, |m, v| m | (1 << v));
+                assert_eq!(support_mask(tt.words(), n), expected, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn front_swap_plan_brings_vars_to_front() {
+        let mut rng = Lcg(0x5eed_0004);
+        for n in 2..=9usize {
+            for _ in 0..8 {
+                let tt = random_table(&mut rng, n);
+                // A random subset in random order.
+                let mut vars: Vec<usize> = (0..n).filter(|_| rng.next() & 1 == 1).collect();
+                if vars.len() >= 2 && rng.next() & 1 == 1 {
+                    let last = vars.len() - 1;
+                    vars.swap(0, last);
+                }
+                let mut plan = [(0u8, 0u8); 64];
+                let len = front_swap_plan(n, &vars, &mut plan);
+                assert!(len <= vars.len());
+                let mut words = tt.words().to_vec();
+                for &(i, p) in &plan[..len] {
+                    swap_in_place(&mut words, n, i as usize, p as usize);
+                }
+                let got = TruthTable::from_words(n, words.clone()).unwrap();
+                // Position k of the reordered table must read vars[k].
+                for m in 0..(1usize << n) {
+                    let assign: Vec<bool> = (0..n).map(|b| (m >> b) & 1 == 1).collect();
+                    let mut orig = vec![false; n];
+                    let mut used = vec![false; n];
+                    for (k, &v) in vars.iter().enumerate() {
+                        orig[v] = assign[k];
+                        used[v] = true;
+                    }
+                    // Unlisted variables land on the remaining
+                    // positions; their values do not matter for the
+                    // check as long as we mirror the plan's placement —
+                    // reverse the swaps on the index instead.
+                    let mut idx = m;
+                    for &(i, p) in plan[..len].iter().rev() {
+                        let (bi, bp) = ((idx >> i) & 1, (idx >> p) & 1);
+                        idx = (idx & !((1 << i) | (1 << p))) | (bp << i) | (bi << p);
+                    }
+                    assert_eq!(got.bit(m), tt.bit(idx), "n={n} vars={vars:?} m={m}");
+                }
+                // Undoing the plan restores the original table.
+                for &(i, p) in plan[..len].iter().rev() {
+                    swap_in_place(&mut words, n, i as usize, p as usize);
+                }
+                assert_eq!(words, tt.words());
+            }
+        }
+    }
+
+    #[test]
+    fn tile_replicates_low_variables() {
+        let mut rng = Lcg(0x5eed_0005);
+        for k in 0..=8usize {
+            for n in k..=9usize {
+                let small = random_table(&mut rng, k);
+                let mut out = vec![0u64; words_len(n)];
+                tile_words(small.words(), k, n, &mut out);
+                let big = TruthTable::from_words(n, out).unwrap();
+                for m in 0..(1usize << n) {
+                    assert_eq!(big.bit(m), small.bit(m & ((1 << k) - 1)), "k={k} n={n} m={m}");
+                }
+            }
+        }
+    }
+}

@@ -11,7 +11,11 @@
 //!   [`npn_classes`]`(4)`;
 //! * [`is_full_dsd`] / [`random_fdsd`] / [`random_pdsd`] — the
 //!   disjoint-support-decomposition machinery behind the `FDSD`/`PDSD`
-//!   suites.
+//!   suites;
+//! * [`kernel`] — word-level table kernels (masked delta-swaps,
+//!   in-place cofactors, compaction plans) that the factorization
+//!   engine uses to slice decomposition charts without per-minterm
+//!   loops.
 //!
 //! # Quick start
 //!
@@ -32,6 +36,7 @@
 
 mod dsd;
 mod error;
+pub mod kernel;
 mod npn;
 mod truth_table;
 

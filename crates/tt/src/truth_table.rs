@@ -10,20 +10,10 @@ use std::fmt;
 use std::ops::{BitAnd, BitOr, BitXor, Not};
 
 use crate::error::TruthTableError;
+use crate::kernel::{self, VAR_MASK};
 
 /// Maximum supported number of variables.
 pub const MAX_VARS: usize = 16;
-
-/// Masks used to extract the positive cofactor of variables 0–5 within a
-/// single word (the standard "magic numbers" of truth-table manipulation).
-const VAR_MASK: [u64; 6] = [
-    0xAAAA_AAAA_AAAA_AAAA,
-    0xCCCC_CCCC_CCCC_CCCC,
-    0xF0F0_F0F0_F0F0_F0F0,
-    0xFF00_FF00_FF00_FF00,
-    0xFFFF_0000_FFFF_0000,
-    0xFFFF_FFFF_0000_0000,
-];
 
 /// A Boolean function of `num_vars` inputs, stored as a packed truth
 /// table.
@@ -308,6 +298,88 @@ impl TruthTable {
     /// The set of variables the function depends on, ascending.
     pub fn support(&self) -> Vec<usize> {
         (0..self.num_vars).filter(|&v| self.depends_on(v)).collect()
+    }
+
+    /// The support as a bitmask (bit `v` set ⇔ the function depends on
+    /// `v`) — the allocation-free form of [`support`](Self::support),
+    /// computed by word-level cofactor comparison.
+    pub fn support_mask(&self) -> u64 {
+        kernel::support_mask(&self.words, self.num_vars)
+    }
+
+    /// Swaps inputs `a` and `b` — equivalent to [`permute`](Self::permute)
+    /// with the transposition `(a b)`, but as masked delta-swaps instead
+    /// of a per-minterm loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either variable is `>= num_vars`.
+    pub fn swap_inputs(&self, a: usize, b: usize) -> TruthTable {
+        let mut out = self.clone();
+        kernel::swap_in_place(&mut out.words, self.num_vars, a, b);
+        out
+    }
+
+    /// Projects the function onto `vars`, which must cover its support:
+    /// the result is a `vars.len()`-input table whose input `k` reads
+    /// what `vars[k]` read in `self`. Variables outside `vars` are fixed
+    /// to `0` (a no-op when `vars` ⊇ support).
+    ///
+    /// This is the word-level compaction primitive behind the
+    /// factorization fast path: compacting a spec onto `B ++ A ++ S`
+    /// turns every decomposition chart of the split `(A, B, S)` into a
+    /// contiguous, power-of-two-aligned bit slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vars` repeats a variable or names one `>= num_vars`.
+    pub fn compact_on(&self, vars: &[usize]) -> TruthTable {
+        let mut words = self.words.clone();
+        let mut listed = 0u64;
+        for &v in vars {
+            assert!(v < self.num_vars, "variable {v} out of range");
+            listed |= 1u64 << v;
+        }
+        for v in 0..self.num_vars {
+            if listed >> v & 1 == 0 {
+                kernel::cofactor0_in_place(&mut words, self.num_vars, v);
+            }
+        }
+        let mut plan = [(0u8, 0u8); MAX_VARS];
+        let len = kernel::front_swap_plan(self.num_vars, vars, &mut plan);
+        for &(i, p) in &plan[..len] {
+            kernel::swap_in_place(&mut words, self.num_vars, i as usize, p as usize);
+        }
+        words.truncate(kernel::words_len(vars.len()));
+        let mut out = TruthTable { num_vars: vars.len(), words };
+        out.mask_tail();
+        out
+    }
+
+    /// The inverse of [`compact_on`](Self::compact_on): expands a
+    /// `self.num_vars()`-input table to `num_vars` inputs so that input
+    /// `vars[k]` of the result reads input `k` of `self` (all other
+    /// variables are don't-cares). Word-level tile-and-unswap, no
+    /// per-minterm loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vars.len() != self.num_vars()`, if `num_vars` exceeds
+    /// [`MAX_VARS`], or if `vars` repeats a variable or names one
+    /// `>= num_vars`.
+    pub fn expand_onto(&self, num_vars: usize, vars: &[usize]) -> TruthTable {
+        assert_eq!(vars.len(), self.num_vars, "vars must map every input of self");
+        assert!(num_vars <= MAX_VARS, "{num_vars} exceeds MAX_VARS");
+        let mut words = vec![0u64; kernel::words_len(num_vars)];
+        kernel::tile_words(&self.words, self.num_vars, num_vars, &mut words);
+        let mut plan = [(0u8, 0u8); MAX_VARS];
+        let len = kernel::front_swap_plan(num_vars, vars, &mut plan);
+        for &(i, p) in plan[..len].iter().rev() {
+            kernel::swap_in_place(&mut words, num_vars, i as usize, p as usize);
+        }
+        let mut out = TruthTable { num_vars, words };
+        out.mask_tail();
+        out
     }
 
     /// Negates input `var` (swaps its cofactors).
@@ -750,5 +822,56 @@ mod tests {
         assert!(t.bit(0));
         assert_eq!(t.to_hex(), "1");
         assert!(t.eval(&[]));
+    }
+
+    #[test]
+    fn swap_inputs_is_a_transposition() {
+        let t = TruthTable::from_hex(4, "8ff8").unwrap();
+        let mut perm = vec![0usize, 1, 2, 3];
+        perm.swap(1, 3);
+        assert_eq!(t.swap_inputs(1, 3), t.permute(&perm).unwrap());
+        assert_eq!(t.swap_inputs(1, 3).swap_inputs(1, 3), t);
+        assert_eq!(t.swap_inputs(2, 2), t);
+    }
+
+    #[test]
+    fn support_mask_matches_support_list() {
+        for (n, hex) in [(4usize, "8ff8"), (4, "00ff"), (3, "e8"), (2, "8")] {
+            let t = TruthTable::from_hex(n, hex).unwrap();
+            let expected = t.support().into_iter().fold(0u64, |m, v| m | (1 << v));
+            assert_eq!(t.support_mask(), expected, "{hex}");
+        }
+    }
+
+    #[test]
+    fn compact_on_matches_scalar_projection() {
+        // 0x8ff8 restricted to x3, x1 (in that order), x0 and x2 fixed
+        // to 0: the compact table's input k must read vars[k].
+        let t = TruthTable::from_hex(4, "8ff8").unwrap();
+        let vars = [3usize, 1];
+        let compact = t.compact_on(&vars);
+        assert_eq!(compact.num_vars(), 2);
+        for m in 0..4usize {
+            let mut assign = vec![false; 4];
+            for (k, &v) in vars.iter().enumerate() {
+                assign[v] = (m >> k) & 1 == 1;
+            }
+            assert_eq!(compact.bit(m), t.eval(&assign), "minterm {m}");
+        }
+    }
+
+    #[test]
+    fn expand_onto_inverts_compact_on() {
+        // A function over a scattered variable subset survives the
+        // round trip compact → expand, including across the word
+        // boundary (7 inputs).
+        for (n, vars) in [(4usize, vec![3usize, 1]), (7, vec![6, 0, 4])] {
+            let spec = TruthTable::from_fn(n, |assign| {
+                assign[vars[0]] ^ (assign[vars[1]] & assign[*vars.last().unwrap()])
+            })
+            .unwrap();
+            let compact = spec.compact_on(&vars);
+            assert_eq!(compact.expand_onto(n, &vars), spec, "n={n} vars={vars:?}");
+        }
     }
 }
