@@ -12,6 +12,9 @@ cargo fmt --all --check
 echo "==> cargo clippy (deny warnings)"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+echo "==> cargo clippy --features faultsim (deny warnings)"
+cargo clippy --workspace --all-targets --offline --features faultsim -- -D warnings
+
 echo "==> warm-store smoke (STP_JOBS=1): warm an NPN4 slice, save, reload, zero misses"
 STP_JOBS=1 cargo test -q -p stp-bench --offline --test warm_store smoke_warm_slice
 
@@ -26,5 +29,11 @@ STP_JOBS=1 cargo test -q --workspace --offline
 
 echo "==> cargo test (STP_JOBS=$(nproc), parallel default)"
 STP_JOBS="$(nproc)" cargo test -q --workspace --offline
+
+echo "==> fault-injection suite (--features faultsim, STP_JOBS=1)"
+STP_JOBS=1 cargo test -q -p stp-store -p stp-synth -p stp-bench --offline --features faultsim
+
+echo "==> fault-injection suite (--features faultsim, STP_JOBS=$(nproc))"
+STP_JOBS="$(nproc)" cargo test -q -p stp-store -p stp-synth -p stp-bench --offline --features faultsim
 
 echo "CI OK"

@@ -50,6 +50,23 @@ fn measure(suite: &Suite, timeout: Duration, jobs: usize) -> Json {
     ])
 }
 
+/// A malformed or missing flag value: report it and exit 2, so scripts
+/// can tell usage errors from bench failures (exit 1).
+fn flag_error(message: String) -> ! {
+    eprintln!("error: {message}");
+    std::process::exit(2);
+}
+
+/// Parses the value of a `--flag <value>` pair, failing loudly: a
+/// missing or unparsable value is an error, never a silent fallback to
+/// the default.
+fn parse_flag_value<T: std::str::FromStr>(flag: &str, value: Option<&String>, expects: &str) -> T {
+    let Some(raw) = value else {
+        flag_error(format!("{flag} expects {expects}"));
+    };
+    raw.parse().unwrap_or_else(|_| flag_error(format!("{flag} expects {expects}, got `{raw}`")))
+}
+
 fn main() {
     stp_telemetry::init_from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -60,19 +77,19 @@ fn main() {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--jobs" => {
-                if let Some(v) = it.next() {
-                    jobs = v.parse().unwrap_or(jobs);
-                }
+                jobs = parse_flag_value(a, it.next(), "a thread count (0 = one per CPU)");
             }
             "--timeout" => {
-                if let Some(v) = it.next() {
-                    timeout = v.parse().unwrap_or(timeout);
-                }
+                timeout = parse_flag_value(a, it.next(), "a number of seconds");
             }
-            "--out" => out = it.next().cloned(),
+            "--out" => {
+                let Some(v) = it.next() else {
+                    flag_error("--out expects a path".to_string());
+                };
+                out = Some(v.clone());
+            }
             other => {
-                eprintln!("unknown argument: {other}");
-                std::process::exit(2);
+                flag_error(format!("unknown option `{other}`"));
             }
         }
     }

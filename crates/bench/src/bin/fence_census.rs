@@ -10,20 +10,38 @@
 use stp_fence::{all_fences, dags_for_fence, pruned_fences};
 use stp_telemetry::report;
 
+/// A malformed or missing flag value: report it and exit 2, so scripts
+/// can tell usage errors from census failures (exit 1).
+fn flag_error(message: String) -> ! {
+    eprintln!("error: {message}");
+    std::process::exit(2);
+}
+
 fn main() {
     stp_telemetry::init_from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut max_k = 6usize;
-    let show_dags = args.iter().any(|a| a == "--dags");
+    let mut show_dags = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
-        if a == "--max-k" {
-            if let Some(v) = it.next() {
-                max_k = v.parse().unwrap_or(max_k);
+        match a.as_str() {
+            "--dags" => show_dags = true,
+            "--max-k" => {
+                let Some(raw) = it.next() else {
+                    flag_error("--max-k expects a fence size".to_string());
+                };
+                max_k = raw.parse().unwrap_or_else(|_| {
+                    flag_error(format!("--max-k expects a fence size, got `{raw}`"))
+                });
             }
-        } else if a == "--log" {
-            if let Some(level) = it.next().and_then(|v| stp_telemetry::Level::parse(v)) {
+            "--log" => {
+                let Some(level) = it.next().and_then(|v| stp_telemetry::Level::parse(v)) else {
+                    flag_error("--log expects off|error|warn|info|debug|trace".to_string());
+                };
                 stp_telemetry::set_level(level);
+            }
+            other => {
+                flag_error(format!("unknown option `{other}`"));
             }
         }
     }

@@ -1,30 +1,51 @@
 //! Regenerates Table I of the paper.
 //!
 //! Usage: `table1 [--full] [--timeout <seconds>] [--suite <name>]...
-//!                [--jobs <n>] [--store <path>] [--warm-npn4]
-//!                [--counters] [--log <level>]`
+//!                [--jobs <n>] [--retries <n>] [--store <path>]
+//!                [--warm-npn4] [--counters] [--log <level>]`
 //!
 //! The default (quick) profile uses reduced instance counts and a short
 //! per-instance timeout so the whole table runs in minutes; `--full`
 //! switches to the paper's counts (222/1000/100/1000/100) and a
 //! 180-second timeout. `--jobs` sets the STP engine's worker-thread
 //! count (`0` = one per CPU; default from `STP_JOBS`, else 1) — the
-//! CNF baselines are single-threaded and ignore it. `--store <path>`
-//! loads the persistent NPN solution store (when the file exists) and
-//! saves it back after the run; `--warm-npn4` pre-synthesizes every
-//! NPN class of arity ≤ 4 first, so the STP column of the NPN4 suite
-//! answers entirely from the store (the baselines never use it).
-//! `--counters` appends the aggregated telemetry counters per (suite,
-//! algorithm) cell; `--log` sets the stderr diagnostic level (also via
-//! `STP_LOG`).
+//! CNF baselines are single-threaded and ignore it. `--retries <n>`
+//! offers each timed-out instance a doubling budget ladder of `n`
+//! rungs (`t, 2t, 4t, …`); with a store attached the ladder composes
+//! with the exhausted-budget cache so each rung re-searches at most
+//! once. `--store <path>` opens the persistent NPN solution store
+//! (snapshot plus crash journal) and saves it back after the run;
+//! `--warm-npn4` pre-synthesizes every NPN class of arity ≤ 4 first,
+//! so the STP column of the NPN4 suite answers entirely from the store
+//! (the baselines never use it). `--counters` appends the aggregated
+//! telemetry counters per (suite, algorithm) cell; `--log` sets the
+//! stderr diagnostic level (also via `STP_LOG`).
 
 use std::time::Duration;
 
 use stp_bench::{
-    render_counters, render_headlines, render_table, run_suite_with_store, Algorithm, Scale,
+    render_counters, render_headlines, render_table, run_suite_with_retry, Algorithm, RetryPolicy,
+    Scale,
 };
 use stp_store::Store;
 use stp_synth::{warm_npn4, SynthesisConfig};
+
+/// A malformed or missing flag value: report it and exit 2, so scripts
+/// can tell usage errors from bench failures (exit 1).
+fn flag_error(message: String) -> ! {
+    eprintln!("error: {message}");
+    std::process::exit(2);
+}
+
+/// Parses the value of a `--flag <value>` pair, failing loudly: a
+/// missing or unparsable value is an error, never a silent fallback to
+/// the default.
+fn parse_flag_value<T: std::str::FromStr>(flag: &str, value: Option<&String>, expects: &str) -> T {
+    let Some(raw) = value else {
+        flag_error(format!("{flag} expects {expects}"));
+    };
+    raw.parse().unwrap_or_else(|_| flag_error(format!("{flag} expects {expects}, got `{raw}`")))
+}
 
 fn main() {
     stp_telemetry::init_from_env();
@@ -34,53 +55,69 @@ fn main() {
     let mut only_suites: Vec<String> = Vec::new();
     let mut counters = false;
     let mut jobs = stp_synth::jobs_from_env();
+    let mut retries = 1usize;
     let mut store_path: Option<String> = None;
     let mut warm = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--full" => {}
             "--timeout" => {
-                if let Some(v) = it.next() {
-                    timeout = v.parse().unwrap_or(timeout);
-                }
+                timeout = parse_flag_value(a, it.next(), "a number of seconds");
             }
             "--jobs" => {
-                if let Some(v) = it.next() {
-                    jobs = v.parse().unwrap_or(jobs);
+                jobs = parse_flag_value(a, it.next(), "a thread count (0 = one per CPU)");
+            }
+            "--retries" => {
+                retries = parse_flag_value(a, it.next(), "a positive attempt count");
+                if retries == 0 {
+                    flag_error("--retries expects a positive attempt count, got `0`".to_string());
                 }
             }
             "--suite" => {
-                if let Some(v) = it.next() {
-                    only_suites.push(v.to_uppercase());
-                }
+                let Some(v) = it.next() else {
+                    flag_error("--suite expects a suite name".to_string());
+                };
+                only_suites.push(v.to_uppercase());
             }
-            "--store" => store_path = it.next().cloned(),
+            "--store" => {
+                let Some(v) = it.next() else {
+                    flag_error("--store expects a path".to_string());
+                };
+                store_path = Some(v.clone());
+            }
             "--warm-npn4" => warm = true,
             "--counters" => counters = true,
             "--log" => {
-                if let Some(level) = it.next().and_then(|v| stp_telemetry::Level::parse(v)) {
-                    stp_telemetry::set_level(level);
-                }
+                let Some(level) = it.next().and_then(|v| stp_telemetry::Level::parse(v)) else {
+                    flag_error("--log expects off|error|warn|info|debug|trace".to_string());
+                };
+                stp_telemetry::set_level(level);
             }
-            _ => {}
+            other => {
+                flag_error(format!("unknown option `{other}`"));
+            }
         }
     }
     let scale = if full { Scale::Full } else { Scale::Quick };
     let timeout = Duration::from_secs_f64(timeout);
+    let policy = RetryPolicy::escalating(timeout, retries);
     // The optional shared NPN solution store for the STP column.
     let store = if store_path.is_some() || warm {
         let store = match &store_path {
-            Some(p) if std::path::Path::new(p).exists() => match Store::load(p) {
+            Some(p) => match Store::open(p) {
                 Ok(s) => {
-                    eprintln!("store: loaded {} classes from {p}", s.len());
+                    if !s.is_empty() {
+                        eprintln!("store: loaded {} classes from {p}", s.len());
+                    }
                     s
                 }
                 Err(e) => {
-                    eprintln!("error loading store {p}: {e}");
+                    eprintln!("error loading store: {e}");
                     std::process::exit(1);
                 }
             },
-            _ => Store::new(),
+            None => Store::new(),
         };
         if warm {
             let config = SynthesisConfig { jobs, ..SynthesisConfig::default() };
@@ -107,20 +144,21 @@ fn main() {
         }
         for algo in Algorithm::ALL {
             eprintln!(
-                "running {} on {} ({} instances, timeout {:?})…",
+                "running {} on {} ({} instances, timeout {:?}, {} attempt(s))…",
                 algo.label(),
                 suite.name,
                 suite.functions.len(),
-                timeout
+                timeout,
+                policy.budgets.len()
             );
-            reports.push(run_suite_with_store(algo, suite, timeout, jobs, store.as_ref()));
+            reports.push(run_suite_with_retry(algo, suite, &policy, jobs, store.as_ref()));
         }
     }
     if let (Some(store), Some(p)) = (&store, &store_path) {
         match store.save(p) {
             Ok(()) => eprintln!("store: saved {} classes to {p}", store.len()),
             Err(e) => {
-                eprintln!("error saving store {p}: {e}");
+                eprintln!("error saving store: {e}");
                 std::process::exit(1);
             }
         }

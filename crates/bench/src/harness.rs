@@ -130,6 +130,75 @@ pub fn run_instance_with_store(
     InstanceOutcome { elapsed, gate_count, num_solutions, solved, counters }
 }
 
+/// A budget-escalation ladder for instances that exhaust their
+/// timeout: each rung is offered in order until one solves (or the
+/// ladder runs out).
+///
+/// The ladder composes with the store's negative cache: a class
+/// recorded as [`stp_store::Entry::Exhausted`] at budget `b` is only
+/// re-attempted by a rung *strictly greater* than `b`, so doubling
+/// rungs each re-run the search exactly once instead of replaying
+/// failed budgets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// The per-attempt wall-clock budgets, offered in order. Never
+    /// empty (see [`RetryPolicy::escalating`]).
+    pub budgets: Vec<Duration>,
+}
+
+impl RetryPolicy {
+    /// A single attempt at `timeout` — the no-retry baseline.
+    pub fn single(timeout: Duration) -> RetryPolicy {
+        RetryPolicy { budgets: vec![timeout] }
+    }
+
+    /// A doubling ladder: `attempts` rungs starting at `base`
+    /// (`[t, 2t, 4t, …]`), clamped to at least one rung.
+    pub fn escalating(base: Duration, attempts: usize) -> RetryPolicy {
+        let budgets =
+            (0..attempts.max(1)).map(|i| base.saturating_mul(1u32 << i.min(31))).collect();
+        RetryPolicy { budgets }
+    }
+}
+
+/// [`run_instance_with_store`] under a [`RetryPolicy`]: rungs are
+/// offered in order until one solves. The reported outcome carries the
+/// *cumulative* elapsed time and counters over every attempt (the cost
+/// actually paid), and the solve status of the last attempt.
+pub fn run_instance_with_retry(
+    algorithm: Algorithm,
+    spec: &TruthTable,
+    policy: &RetryPolicy,
+    jobs: usize,
+    store: Option<&Store>,
+) -> InstanceOutcome {
+    let mut elapsed = Duration::ZERO;
+    let mut counters: BTreeMap<String, u64> = BTreeMap::new();
+    let mut last: Option<InstanceOutcome> = None;
+    for (attempt, &budget) in policy.budgets.iter().enumerate() {
+        if attempt > 0 {
+            stp_telemetry::counter!("bench.retry_attempts").inc();
+        }
+        let outcome = run_instance_with_store(algorithm, spec, budget, jobs, store);
+        elapsed += outcome.elapsed;
+        for (name, delta) in &outcome.counters {
+            *counters.entry(name.clone()).or_insert(0) += delta;
+        }
+        let solved = outcome.solved;
+        last = Some(outcome);
+        if solved {
+            if attempt > 0 {
+                stp_telemetry::counter!("bench.retry_rescues").inc();
+            }
+            break;
+        }
+    }
+    let mut outcome = last.expect("RetryPolicy budgets are never empty");
+    outcome.elapsed = elapsed;
+    outcome.counters = counters;
+    outcome
+}
+
 /// Aggregated results of one algorithm over one suite — one cell group
 /// of Table I.
 #[derive(Debug, Clone)]
@@ -188,6 +257,18 @@ pub fn run_suite_with_store(
     jobs: usize,
     store: Option<&Store>,
 ) -> SuiteReport {
+    run_suite_with_retry(algorithm, suite, &RetryPolicy::single(timeout), jobs, store)
+}
+
+/// [`run_suite_with_store`] under a [`RetryPolicy`] (see
+/// [`run_instance_with_retry`]).
+pub fn run_suite_with_retry(
+    algorithm: Algorithm,
+    suite: &Suite,
+    policy: &RetryPolicy,
+    jobs: usize,
+    store: Option<&Store>,
+) -> SuiteReport {
     let mut total = Duration::ZERO;
     let mut timeouts = 0usize;
     let mut solved = 0usize;
@@ -195,7 +276,7 @@ pub fn run_suite_with_store(
     let mut gate_counts = Vec::with_capacity(suite.functions.len());
     let mut counters: BTreeMap<String, u64> = BTreeMap::new();
     for spec in &suite.functions {
-        let outcome = run_instance_with_store(algorithm, spec, timeout, jobs, store);
+        let outcome = run_instance_with_retry(algorithm, spec, policy, jobs, store);
         if outcome.solved {
             solved += 1;
             total += outcome.elapsed;
@@ -260,6 +341,30 @@ mod tests {
         let out = run_instance(Algorithm::Stp, &spec, Duration::ZERO, 1);
         assert!(!out.solved);
         assert_eq!(out.gate_count, None);
+    }
+
+    #[test]
+    fn retry_policy_ladders_double() {
+        let p = RetryPolicy::escalating(Duration::from_millis(10), 3);
+        assert_eq!(
+            p.budgets,
+            vec![Duration::from_millis(10), Duration::from_millis(20), Duration::from_millis(40)]
+        );
+        assert_eq!(RetryPolicy::escalating(Duration::from_secs(1), 0).budgets.len(), 1);
+    }
+
+    #[test]
+    fn retry_rescues_an_instance_past_an_exhausted_budget() {
+        let spec = TruthTable::from_hex(4, "8ff8").unwrap();
+        let store = Store::new();
+        // Rung 1 (zero budget) fails and is cached as exhausted; rung 2
+        // is strictly richer, so the store re-attempts and solves.
+        let policy = RetryPolicy { budgets: vec![Duration::ZERO, Duration::from_secs(30)] };
+        let out = run_instance_with_retry(Algorithm::Stp, &spec, &policy, 1, Some(&store));
+        assert!(out.solved, "the richer rung must rescue the instance");
+        assert_eq!(out.gate_count, Some(3));
+        // The exhausted entry was upgraded, not duplicated.
+        assert_eq!(store.len(), 1);
     }
 
     #[test]

@@ -27,8 +27,9 @@ pub mod report;
 pub mod suites;
 
 pub use harness::{
-    run_instance, run_instance_with_store, run_suite, run_suite_with_store, Algorithm,
-    InstanceOutcome, SuiteReport,
+    run_instance, run_instance_with_retry, run_instance_with_store, run_suite,
+    run_suite_with_retry, run_suite_with_store, Algorithm, InstanceOutcome, RetryPolicy,
+    SuiteReport,
 };
 pub use report::{render_counters, render_headlines, render_table};
 pub use suites::{fdsd, npn4, pdsd, standard_suites, Scale, Suite};

@@ -1,0 +1,62 @@
+//! Flag-parsing contracts of the bench binaries: a malformed or
+//! missing flag value, or an unknown option, is a loud usage error with
+//! exit code 2 — never a silent fall-back to the default. (Runtime
+//! failures use exit 1, so scripts can tell the two apart.)
+
+use std::process::Command;
+
+/// Runs `bin` with `args` and asserts the exit-2 usage contract.
+fn assert_usage_error(bin: &str, args: &[&str]) {
+    let out = Command::new(bin).args(args).output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(2), "{bin} {args:?}: {:?}", out.status);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("error:"), "{bin} {args:?}: stderr {stderr}");
+}
+
+#[test]
+fn table1_rejects_malformed_flag_values() {
+    let bin = env!("CARGO_BIN_EXE_table1");
+    for args in [
+        &["--timeout", "abc"][..],
+        &["--jobs", "x"],
+        &["--jobs", "-1"],
+        &["--retries", "lots"],
+        &["--retries", "0"],
+        &["--timeout"],
+        &["--suite"],
+        &["--store"],
+        &["--frobnicate"],
+    ] {
+        assert_usage_error(bin, args);
+    }
+}
+
+#[test]
+fn factor_bench_rejects_malformed_flag_values() {
+    let bin = env!("CARGO_BIN_EXE_factor_bench");
+    for args in
+        [&["--jobs", "x"][..], &["--timeout", "abc"], &["--jobs"], &["--out"], &["--unknown-flag"]]
+    {
+        assert_usage_error(bin, args);
+    }
+}
+
+#[test]
+fn fence_census_rejects_malformed_flag_values() {
+    let bin = env!("CARGO_BIN_EXE_fence_census");
+    for args in [&["--max-k", "huge"][..], &["--max-k"], &["--log", "loudest"], &["--surprise"]] {
+        assert_usage_error(bin, args);
+    }
+}
+
+#[test]
+fn fence_census_small_run_still_succeeds() {
+    // The strictness must not break the plain happy path.
+    let out = Command::new(env!("CARGO_BIN_EXE_fence_census"))
+        .args(["--max-k", "3"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{:?}", out.status);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("F_3"), "stdout: {stdout}");
+}

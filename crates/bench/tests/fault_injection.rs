@@ -1,0 +1,142 @@
+//! End-to-end fault injection over the synthesis pipeline.
+//!
+//! Compiled only under `--features faultsim`; run it with
+//! `cargo test -p stp-bench --features faultsim`. Every test serializes
+//! on [`stp_faultsim::test_guard`] because failpoints are
+//! process-global.
+//!
+//! The headline regression pinned here: a shape task that panics
+//! mid-round must not lose the sibling shapes' solutions, the surviving
+//! transcript must be the no-fault transcript minus exactly the faulted
+//! shape's contribution (so the prefix before the fault is
+//! byte-identical), and the damage must be identical at any worker
+//! count.
+
+#![cfg(feature = "faultsim")]
+
+use stp_synth::{synthesize, SynthesisConfig, SynthesisError};
+use stp_tt::TruthTable;
+
+/// Runs the paper's running example and renders each chain as one
+/// comparable string, preserving solution order.
+fn run_chains(jobs: usize) -> Result<Vec<String>, SynthesisError> {
+    let spec = TruthTable::from_hex(4, "8ff8").unwrap();
+    let config = SynthesisConfig { jobs, ..SynthesisConfig::default() };
+    synthesize(&spec, &config).map(|r| r.chains.iter().map(|c| c.to_string()).collect())
+}
+
+/// True when `sub` is an (ordered, possibly non-contiguous) subsequence
+/// of `full`.
+fn is_subsequence(sub: &[String], full: &[String]) -> bool {
+    let mut pos = 0usize;
+    for item in sub {
+        match full[pos..].iter().position(|f| f == item) {
+            Some(offset) => pos += offset + 1,
+            None => return false,
+        }
+    }
+    true
+}
+
+#[test]
+fn panicking_shape_keeps_sibling_solutions_at_any_worker_count() {
+    let _serial = stp_faultsim::test_guard();
+    stp_faultsim::clear_all();
+    let baseline = run_chains(1).expect("no-fault baseline must solve");
+    assert!(!baseline.is_empty());
+    let mut runs_with_survivors = 0usize;
+    // Shape indices are 1-based hit numbers; sweep past the largest
+    // round so at least one index also exercises the "fault never
+    // fires" path.
+    for k in 1..=6u64 {
+        let mut outcomes = Vec::new();
+        for jobs in [1usize, 4] {
+            stp_faultsim::set("parallel.shape", &format!("{k}:panic")).unwrap();
+            outcomes.push(run_chains(jobs));
+            stp_faultsim::clear_all();
+        }
+        let [seq, par] = <[_; 2]>::try_from(outcomes).unwrap();
+        match (&seq, &par) {
+            (Ok(a), Ok(b)) => {
+                assert_eq!(a, b, "k={k}: faulted transcript differs between jobs=1 and jobs=4");
+                assert!(
+                    is_subsequence(a, &baseline),
+                    "k={k}: surviving solutions are not a subsequence of the no-fault run:\n\
+                     faulted:  {a:#?}\nbaseline: {baseline:#?}"
+                );
+                // The shapes before the faulted one are untouched, so
+                // the transcript diverges only by a deletion: the
+                // prefix up to the first missing chain is identical.
+                let common = a.iter().zip(&baseline).take_while(|(x, y)| x == y).count();
+                assert!(
+                    a.len() == baseline.len() || common < baseline.len(),
+                    "k={k}: shortened transcript must differ by deletion only"
+                );
+                if !a.is_empty() {
+                    runs_with_survivors += 1;
+                }
+            }
+            (Err(SynthesisError::JobPanicked { message: m1 }), Err(e2)) => {
+                // The faulted shape was load-bearing for its round:
+                // both worker counts must report the same isolated
+                // panic, naming the shape.
+                assert_eq!(seq, par, "k={k}: error differs between worker counts");
+                assert!(
+                    m1.contains(&format!("shape task {}", k - 1)),
+                    "k={k}: panic message `{m1}` does not name the shape"
+                );
+                let _ = e2;
+            }
+            other => panic!("k={k}: divergent outcomes across worker counts: {other:?}"),
+        }
+    }
+    // The sweep is only meaningful if some shape was expendable.
+    assert!(runs_with_survivors > 0, "every shape index was load-bearing");
+}
+
+#[test]
+fn panic_on_a_non_solution_round_surfaces_as_job_panicked() {
+    let _serial = stp_faultsim::test_guard();
+    stp_faultsim::clear_all();
+    // Hit 1 fires in the very first round (gate count 1), which holds
+    // no solutions for 0x8ff8 — zero survivors there means the panic is
+    // load-bearing and must propagate instead of being swallowed.
+    for jobs in [1usize, 4] {
+        stp_faultsim::set("parallel.shape", "1:panic").unwrap();
+        let err = run_chains(jobs).expect_err("round with no survivors must propagate");
+        stp_faultsim::clear_all();
+        match err {
+            SynthesisError::JobPanicked { message } => {
+                assert!(message.contains("shape task 0"), "jobs={jobs}: message `{message}`");
+                assert!(message.contains("parallel.shape"), "jobs={jobs}: message `{message}`");
+            }
+            other => panic!("jobs={jobs}: expected JobPanicked, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn deadline_failpoint_forces_a_structured_timeout() {
+    let _serial = stp_faultsim::test_guard();
+    stp_faultsim::clear_all();
+    // `factor.deadline=err` makes every deadline check claim expiry, so
+    // synthesis must come back as a Timeout (never a panic or a bogus
+    // solution), at any worker count.
+    for jobs in [1usize, 4] {
+        stp_faultsim::set("factor.deadline", "err").unwrap();
+        let err = run_chains(jobs).expect_err("forced deadline expiry must fail");
+        stp_faultsim::clear_all();
+        assert!(matches!(err, SynthesisError::Timeout), "jobs={jobs}: got {err:?}");
+    }
+}
+
+#[test]
+fn fault_free_runs_are_untouched_by_the_instrumentation() {
+    let _serial = stp_faultsim::test_guard();
+    stp_faultsim::clear_all();
+    // With every point disarmed, the faultsim build must reproduce the
+    // determinism contract verbatim: jobs=1 and jobs=4 byte-identical.
+    let sequential = run_chains(1).expect("must solve");
+    let parallel = run_chains(4).expect("must solve");
+    assert_eq!(sequential, parallel);
+}

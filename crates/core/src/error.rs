@@ -23,6 +23,14 @@ pub enum SynthesisError {
     Chain(ChainError),
     /// A logic-matrix operation failed.
     Matrix(MatrixError),
+    /// A worker job panicked. The panic was caught at the job boundary
+    /// (one tree shape, or one in-flight store solve), so sibling jobs
+    /// and their solutions survive; this error surfaces only when the
+    /// panicking job's result was load-bearing.
+    JobPanicked {
+        /// The panic payload plus job context (e.g. the shape index).
+        message: String,
+    },
 }
 
 impl fmt::Display for SynthesisError {
@@ -35,6 +43,9 @@ impl fmt::Display for SynthesisError {
             SynthesisError::TruthTable(e) => write!(f, "truth table error: {e}"),
             SynthesisError::Chain(e) => write!(f, "chain error: {e}"),
             SynthesisError::Matrix(e) => write!(f, "matrix error: {e}"),
+            SynthesisError::JobPanicked { message } => {
+                write!(f, "synthesis job panicked: {message}")
+            }
         }
     }
 }
@@ -76,5 +87,7 @@ mod tests {
     fn display_messages() {
         assert_eq!(SynthesisError::Timeout.to_string(), "synthesis deadline expired");
         assert!(SynthesisError::GateLimitExceeded { max_gates: 7 }.to_string().contains('7'));
+        let panicked = SynthesisError::JobPanicked { message: "shape task 3: boom".to_string() };
+        assert!(panicked.to_string().contains("shape task 3: boom"));
     }
 }

@@ -238,6 +238,7 @@ impl Factorizer {
     }
 
     fn check_deadline(&mut self) -> Result<(), SynthesisError> {
+        stp_faultsim::fail_point!("factor.deadline", err = Err(SynthesisError::Timeout));
         if let Some(flag) = &self.config.cancel {
             if flag.load(Ordering::Acquire) {
                 return Err(SynthesisError::Timeout);

@@ -24,6 +24,19 @@
 //! The same flag implements deadline propagation: a worker whose engine
 //! reports [`SynthesisError::Timeout`] (and no satisfied prefix exists)
 //! records the error and cancels every other worker.
+//!
+//! # Panic isolation
+//!
+//! Every shape task — sequential or parallel — runs inside
+//! `catch_unwind`. A panicking task is converted into a per-shape
+//! [`SynthesisError::JobPanicked`] (counted as `parallel.jobs_panicked`)
+//! and **does not** cancel the round: the remaining workers keep
+//! draining tasks, and the merge skips the failed slot, so the
+//! surviving solution sequence is exactly the no-fault sequence minus
+//! the panicked shape's contribution (in particular, the prefix before
+//! the failed shape is byte-identical). Only a round whose surviving
+//! shapes produced *no* solutions propagates the panic as an error —
+//! a silently skipped shape could otherwise mask a wrong optimum.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -41,6 +54,7 @@ use crate::factor::Factorizer;
 type TaskResult = Result<Vec<Chain>, SynthesisError>;
 
 /// Outcome of one gate-count round (sequential or parallel).
+#[derive(Debug)]
 pub(crate) struct RoundOutcome {
     /// Verified chains in shape-index order, at most `max_solutions`.
     pub solutions: Vec<Chain>,
@@ -67,43 +81,106 @@ pub fn resolve_jobs(jobs: usize) -> usize {
 
 /// The sequential round: shapes in order, verified chains accumulated
 /// until the cap binds. The parallel path reproduces this output
-/// exactly; both live here so the cap/deadline semantics stay in one
-/// place.
+/// exactly; both run each shape through [`run_shape_task`] so the
+/// cap/deadline/panic semantics stay in one place.
 pub(crate) fn run_round_sequential(
     spec: &TruthTable,
     shapes: &[TreeShape],
     engine: &mut Factorizer,
     max_solutions: usize,
     max_depth: Option<usize>,
+    cancel: &AtomicBool,
 ) -> Result<RoundOutcome, SynthesisError> {
     let mut solutions: Vec<Chain> = Vec::new();
     let mut shapes_explored = 0usize;
-    'shapes: for shape in shapes {
-        shapes_explored += 1;
-        let candidates = {
-            let _factor = stp_telemetry::span!("phase.factorize");
-            engine.chains_on_shape(spec, shape)?
-        };
-        stp_telemetry::counter!("synth.candidates").add(candidates.len() as u64);
-        // Paper step (iv): verify each candidate with the circuit
-        // AllSAT solver before accepting it.
-        let _verify = stp_telemetry::span!("phase.verify");
-        for chain in candidates {
-            if solutions.len() >= max_solutions {
-                break 'shapes;
-            }
-            if max_depth.is_some_and(|d| chain.depth() > d) {
-                continue;
-            }
-            if crate::circuit_solver::verify_chain(&chain, spec)? {
-                solutions.push(chain);
-            }
-        }
+    let mut panicked = 0usize;
+    let mut first_panic: Option<SynthesisError> = None;
+    for (idx, shape) in shapes.iter().enumerate() {
         if solutions.len() >= max_solutions {
-            break 'shapes;
+            break;
+        }
+        // Capping the task at the *remaining* room reproduces the old
+        // accumulate-until-cap loop candidate for candidate.
+        let remaining = max_solutions - solutions.len();
+        match run_shape_task(spec, shape, idx, engine, remaining, max_depth, cancel) {
+            Ok(sols) => {
+                shapes_explored += 1;
+                solutions.extend(sols);
+            }
+            Err(e @ SynthesisError::JobPanicked { .. }) => {
+                panicked += 1;
+                if first_panic.is_none() {
+                    first_panic = Some(e);
+                }
+            }
+            Err(e) => return Err(e),
         }
     }
+    finish_round(solutions, shapes_explored, panicked, first_panic)
+}
+
+/// Shared round epilogue: panics surface as an error only when the
+/// surviving shapes produced nothing (otherwise the merged solutions
+/// stand, minus the failed shape's contribution).
+fn finish_round(
+    solutions: Vec<Chain>,
+    shapes_explored: usize,
+    panicked: usize,
+    first_panic: Option<SynthesisError>,
+) -> Result<RoundOutcome, SynthesisError> {
+    if let Some(e) = first_panic {
+        if solutions.is_empty() {
+            return Err(e);
+        }
+        stp_telemetry::warn!(
+            "round kept {} solution(s) despite {panicked} panicked shape job(s)",
+            solutions.len()
+        );
+    }
     Ok(RoundOutcome { solutions, shapes_explored })
+}
+
+/// Renders a `catch_unwind` payload as text (panics carry either a
+/// `&str` or a formatted `String`).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// One shape task behind the panic boundary: a panic anywhere in the
+/// factorize/verify pipeline is caught here and converted into
+/// [`SynthesisError::JobPanicked`], so sibling shapes survive.
+///
+/// `AssertUnwindSafe` is sound for the engine reference: the factorizer
+/// only publishes memo entries for *completed* subproblems, so an
+/// unwind cannot leave a half-written entry that later queries would
+/// trust.
+fn run_shape_task(
+    spec: &TruthTable,
+    shape: &TreeShape,
+    idx: usize,
+    engine: &mut Factorizer,
+    max_solutions: usize,
+    max_depth: Option<usize>,
+    cancel: &AtomicBool,
+) -> TaskResult {
+    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        // Deterministic crash injection: the hit index is the 1-based
+        // shape index within the round, identical at any worker count.
+        stp_faultsim::fail_point!("parallel.shape", hit = idx as u64 + 1);
+        process_task(spec, shape, engine, max_solutions, max_depth, cancel)
+    }));
+    caught.unwrap_or_else(|payload| {
+        stp_telemetry::counter!("parallel.jobs_panicked").inc();
+        let message = format!("shape task {idx}: {}", panic_message(payload));
+        stp_telemetry::error!("isolated a panicking synthesis job ({message})");
+        Err(SynthesisError::JobPanicked { message })
+    })
 }
 
 /// One shape task: factorize, then verify candidates in order. The
@@ -224,9 +301,10 @@ fn worker_loop(w: usize, engine: &mut Factorizer, state: &RoundState<'_>) {
         stp_telemetry::counter!("par.tasks_run").inc();
         let outcome = {
             let _busy = stp_telemetry::span!("par.worker_busy");
-            process_task(
+            run_shape_task(
                 state.spec,
                 &state.shapes[idx],
+                idx,
                 engine,
                 state.max_solutions,
                 state.max_depth,
@@ -244,6 +322,15 @@ fn worker_loop(w: usize, engine: &mut Factorizer, state: &RoundState<'_>) {
                     &state.cap_reached,
                     state.cancel,
                 );
+            }
+            Err(e @ SynthesisError::JobPanicked { .. }) => {
+                // An isolated panic must NOT cancel the round: park the
+                // error in the slot and keep draining tasks so sibling
+                // shapes' solutions survive. The completed-prefix
+                // tracker stalls at this slot — a later cap cutoff is
+                // forfeited (an optimization, not a correctness
+                // property; the merge still truncates exactly).
+                let _ = state.results[idx].set(Err(e));
             }
             Err(e) => {
                 if state.cap_reached.load(Ordering::SeqCst) {
@@ -282,7 +369,7 @@ pub(crate) fn run_round_parallel(
     let workers = engines.len().min(n_tasks);
     if workers <= 1 {
         let engine = engines.first_mut().expect("at least one engine");
-        return run_round_sequential(spec, shapes, engine, max_solutions, max_depth);
+        return run_round_sequential(spec, shapes, engine, max_solutions, max_depth, cancel);
     }
     let state = RoundState {
         spec,
@@ -315,19 +402,33 @@ pub(crate) fn run_round_parallel(
     // Merge in shape-index order and truncate: byte-identical to the
     // sequential accumulation. When the cap cut the round off, every
     // slot up to the satisfying prefix is filled, so the loop below
-    // reaches the cap before it can meet an unfilled slot.
+    // reaches the cap before it can meet an unfilled slot. `Err` slots
+    // are isolated panics (genuine errors returned above): they are
+    // skipped, exactly as the sequential loop skips a panicked shape.
     let mut solutions: Vec<Chain> = Vec::new();
+    let mut panicked = 0usize;
+    let mut first_panic: Option<SynthesisError> = None;
     for slot in state.results {
         if solutions.len() >= max_solutions {
             break;
         }
-        if let Some(Ok(sols)) = slot.into_inner() {
-            let room = max_solutions - solutions.len();
-            solutions.extend(sols.into_iter().take(room));
+        match slot.into_inner() {
+            Some(Ok(sols)) => {
+                let room = max_solutions - solutions.len();
+                solutions.extend(sols.into_iter().take(room));
+            }
+            Some(Err(e)) => {
+                panicked += 1;
+                if first_panic.is_none() {
+                    first_panic = Some(e);
+                }
+            }
+            None => {}
         }
     }
     debug_assert!(solutions.len() <= max_solutions);
-    Ok(RoundOutcome { solutions, shapes_explored: state.shapes_done.load(Ordering::SeqCst) })
+    let shapes_explored = state.shapes_done.load(Ordering::SeqCst);
+    finish_round(solutions, shapes_explored, panicked, first_panic)
 }
 
 #[cfg(test)]
@@ -356,5 +457,81 @@ mod tests {
         assert!(resolve_jobs(0) >= 1);
         assert_eq!(resolve_jobs(1), 1);
         assert_eq!(resolve_jobs(7), 7);
+    }
+
+    #[test]
+    fn panic_message_downcasts_common_payloads() {
+        assert_eq!(panic_message(Box::new("static str")), "static str");
+        assert_eq!(panic_message(Box::new(String::from("owned"))), "owned");
+        assert_eq!(panic_message(Box::new(42u32)), "non-string panic payload");
+    }
+
+    #[test]
+    fn finish_round_propagates_panic_only_without_survivors() {
+        let panic = SynthesisError::JobPanicked { message: "shape task 0: boom".into() };
+        // No survivors: the panic is load-bearing and must surface.
+        let err = finish_round(Vec::new(), 0, 1, Some(panic.clone())).unwrap_err();
+        assert_eq!(err, panic);
+        // No panic at all: plain success.
+        let ok = finish_round(Vec::new(), 3, 0, None).expect("clean round");
+        assert_eq!(ok.shapes_explored, 3);
+        assert!(ok.solutions.is_empty());
+    }
+
+    /// End-to-end isolation: with the `parallel.shape` failpoint armed
+    /// for the second shape, the sequential round still returns the
+    /// survivors from every other shape and tallies the panic.
+    #[cfg(feature = "faultsim")]
+    #[test]
+    fn sequential_round_survives_a_panicking_shape() {
+        use crate::factor::{FactorConfig, Factorizer};
+        use stp_fence::shapes_with_gates;
+
+        let _guard = stp_faultsim::test_guard();
+        stp_faultsim::clear_all();
+
+        let spec = TruthTable::from_hex(4, "8ff8").expect("valid spec");
+        let shapes = shapes_with_gates(3);
+        assert!(shapes.len() >= 2, "need several shapes for the round");
+        let mut engine = Factorizer::new(FactorConfig::default());
+        let cancel = AtomicBool::new(false);
+
+        let clean = run_round_sequential(&spec, &shapes, &mut engine, usize::MAX, None, &cancel)
+            .expect("clean round");
+        assert!(!clean.solutions.is_empty(), "0x8ff8 must solve at 3 gates");
+        let clean_keys: Vec<String> = clean.solutions.iter().map(|c| format!("{c:?}")).collect();
+
+        // Panic each shape in turn. When survivors exist the round must
+        // succeed with a subsequence of the clean stream; when the
+        // panicked shape carried every solution the error must surface.
+        let mut rounds_with_survivors = 0;
+        for k in 0..shapes.len() {
+            stp_faultsim::set("parallel.shape", &format!("{}:panic", k + 1)).expect("valid spec");
+            let mut engine = Factorizer::new(FactorConfig::default());
+            match run_round_sequential(&spec, &shapes, &mut engine, usize::MAX, None, &cancel) {
+                Ok(faulted) => {
+                    assert_eq!(faulted.shapes_explored + 1, clean.shapes_explored);
+                    // The faulted stream is a subsequence of the clean one.
+                    let mut pos = 0;
+                    for sol in &faulted.solutions {
+                        let key = format!("{sol:?}");
+                        let offset = clean_keys[pos..]
+                            .iter()
+                            .position(|k| *k == key)
+                            .expect("faulted solution missing from clean run");
+                        pos += offset + 1;
+                    }
+                    if !faulted.solutions.is_empty() {
+                        rounds_with_survivors += 1;
+                    }
+                }
+                Err(SynthesisError::JobPanicked { message }) => {
+                    assert!(message.contains(&format!("shape task {k}")));
+                }
+                Err(other) => panic!("unexpected error: {other}"),
+            }
+        }
+        stp_faultsim::clear_all();
+        assert!(rounds_with_survivors > 0, "some shape must be non-load-bearing");
     }
 }

@@ -226,7 +226,7 @@ fn run_round(
     cancel.store(false, Ordering::SeqCst);
     if engines.len() <= 1 {
         let engine = engines.first_mut().expect("at least one engine");
-        parallel::run_round_sequential(spec, shapes, engine, max_solutions, max_depth)
+        parallel::run_round_sequential(spec, shapes, engine, max_solutions, max_depth, cancel)
     } else {
         parallel::run_round_parallel(spec, shapes, engines, max_solutions, max_depth, cancel)
     }
@@ -426,6 +426,7 @@ pub fn synthesize_npn_with_store(
             })
         }
         NpnOutcome::Exhausted { .. } => Err(SynthesisError::Timeout),
+        NpnOutcome::Poisoned { message } => Err(SynthesisError::JobPanicked { message }),
     }
 }
 

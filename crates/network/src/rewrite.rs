@@ -134,6 +134,9 @@ impl SynthesisCache {
             NpnOutcome::Trivial(chain) => Ok(Some(chain)),
             NpnOutcome::Solved(mut chains) => Ok(Some(chains.swap_remove(0))),
             NpnOutcome::Exhausted { .. } => Ok(None),
+            NpnOutcome::Poisoned { message } => {
+                Err(NetworkError::from(SynthesisError::JobPanicked { message }))
+            }
         }
     }
 }

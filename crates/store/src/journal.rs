@@ -1,0 +1,249 @@
+//! Append-only crash journal for [`Store`].
+//!
+//! Snapshots ([`Store::save`]) are atomic but episodic: everything
+//! inserted since the last save dies with the process. The journal
+//! closes that window. When a store is opened through [`Store::open`],
+//! every published entry is also appended — and fsynced — to a sidecar
+//! file `<snapshot>.journal`, so a crash between saves loses nothing
+//! that reached the journal.
+//!
+//! # Format
+//!
+//! The journal is a text file opening with its own header line:
+//!
+//! ```text
+//! stp-store-journal v1
+//! ```
+//!
+//! followed by length-framed records:
+//!
+//! ```text
+//! insert <payload-bytes>
+//! <payload>
+//! ```
+//!
+//! where `<payload>` is exactly `<payload-bytes>` bytes: one `class …`
+//! block in the snapshot text format (see [`crate::persist`]). The
+//! byte-length framing makes a torn final record — the expected result
+//! of crashing mid-append — detectable without checksums: replay stops
+//! at the first record whose frame runs past end-of-file and keeps
+//! everything before it. A *mid-file* record that is structurally
+//! intact but unparsable is real corruption and fails the replay.
+//!
+//! Replay is idempotent: records are applied with insert-as-replace
+//! semantics, so replaying a journal over a snapshot that already
+//! contains some of its records is harmless.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, Write};
+use std::path::{Path, PathBuf};
+
+use crate::persist::{entry_block, io_error};
+use crate::{Entry, Store, StoreFileError};
+
+/// Magic word opening every journal file.
+const MAGIC: &str = "stp-store-journal";
+/// The journal format version this build reads and writes.
+const VERSION: &str = "v1";
+
+/// An open, attached journal: records are appended and fsynced as
+/// entries are published into the owning store.
+#[derive(Debug)]
+pub(crate) struct Journal {
+    path: PathBuf,
+    file: File,
+}
+
+/// The journal sidecar path for a snapshot at `path`.
+pub(crate) fn journal_path(path: &Path) -> PathBuf {
+    let mut os = path.as_os_str().to_owned();
+    os.push(".journal");
+    PathBuf::from(os)
+}
+
+impl Journal {
+    /// Opens `path` for appending, writing (and fsyncing) the header
+    /// when the file is new or empty.
+    pub(crate) fn open_append(path: PathBuf) -> Result<Journal, StoreFileError> {
+        let mut file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| io_error(&path, e))?;
+        let len = file.metadata().map_err(|e| io_error(&path, e))?.len();
+        if len == 0 {
+            file.write_all(format!("{MAGIC} {VERSION}\n").as_bytes())
+                .map_err(|e| io_error(&path, e))?;
+            file.sync_all().map_err(|e| io_error(&path, e))?;
+        }
+        Ok(Journal { path, file })
+    }
+
+    /// Appends one insert record and fsyncs it. The record is durable
+    /// when this returns.
+    pub(crate) fn append(
+        &mut self,
+        rep: &stp_tt::TruthTable,
+        entry: &Entry,
+    ) -> Result<(), StoreFileError> {
+        stp_faultsim::fail_point!(
+            "store.journal.pre_append",
+            err = Err(io_error(&self.path, "failpoint `store.journal.pre_append` triggered"))
+        );
+        let payload = entry_block(rep, entry);
+        let record = format!("insert {}\n{payload}", payload.len());
+        self.file.write_all(record.as_bytes()).map_err(|e| io_error(&self.path, e))?;
+        self.file.sync_all().map_err(|e| io_error(&self.path, e))?;
+        stp_telemetry::counter!("store.journal_records").inc();
+        Ok(())
+    }
+
+    /// Truncates the journal back to a bare header (the snapshot now
+    /// subsumes every journaled record) and fsyncs.
+    pub(crate) fn clear(&mut self) -> Result<(), StoreFileError> {
+        self.file.set_len(0).map_err(|e| io_error(&self.path, e))?;
+        self.file.rewind().map_err(|e| io_error(&self.path, e))?;
+        self.file
+            .write_all(format!("{MAGIC} {VERSION}\n").as_bytes())
+            .map_err(|e| io_error(&self.path, e))?;
+        self.file.sync_all().map_err(|e| io_error(&self.path, e))?;
+        Ok(())
+    }
+
+    /// The journal's own path (used to decide whether a save should
+    /// clear it).
+    pub(crate) fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Replays the journal at `path` into `store`, returning the number of
+/// records applied. A torn final record (the frame runs past
+/// end-of-file) ends the replay with a warning; a structurally intact
+/// but unparsable record is corruption and errors out.
+pub(crate) fn replay(path: &Path, store: &Store) -> Result<usize, StoreFileError> {
+    stp_faultsim::fail_point!(
+        "store.load.pre_replay",
+        err = Err(io_error(path, "failpoint `store.load.pre_replay` triggered"))
+    );
+    let mut text = String::new();
+    File::open(path)
+        .and_then(|mut f| f.read_to_string(&mut text))
+        .map_err(|e| io_error(path, e))?;
+    let Some(rest) = text.strip_prefix(&format!("{MAGIC} {VERSION}\n")) else {
+        let found = text.lines().next().unwrap_or_default();
+        if found.starts_with(MAGIC) {
+            let version = found.split_whitespace().nth(1).unwrap_or_default();
+            return Err(StoreFileError::VersionMismatch { found: version.to_string() });
+        }
+        return Err(StoreFileError::MissingHeader);
+    };
+    let mut applied = 0usize;
+    let mut cursor = rest;
+    while !cursor.is_empty() {
+        let Some((frame, after_frame)) = cursor.split_once('\n') else {
+            stp_telemetry::warn!("journal {}: torn frame line at tail, dropped", path.display());
+            break;
+        };
+        let len: usize = match frame.strip_prefix("insert ").and_then(|n| n.parse().ok()) {
+            Some(len) => len,
+            None => {
+                // A frame line that is complete but malformed is not a
+                // torn write — the newline made it to disk.
+                return Err(StoreFileError::Corrupt {
+                    line: 0,
+                    message: format!("journal: bad record frame `{frame}`"),
+                });
+            }
+        };
+        if after_frame.len() < len {
+            stp_telemetry::warn!("journal {}: torn final record, dropped", path.display());
+            break;
+        }
+        let (payload, rest) = after_frame.split_at(len);
+        // A full-length payload is past the torn-write window: parse it
+        // strictly, reusing the snapshot grammar on a one-block file.
+        let parsed = Store::parse(&format!("stp-store v1\n{payload}")).map_err(|e| match e {
+            StoreFileError::Corrupt { line, message } => StoreFileError::Corrupt {
+                line,
+                message: format!("journal record {}: {message}", applied + 1),
+            },
+            other => other,
+        })?;
+        for (rep, entry) in parsed.snapshot() {
+            store.insert(rep, entry);
+        }
+        applied += 1;
+        stp_telemetry::counter!("store.journal_replayed").inc();
+        cursor = rest;
+    }
+    Ok(applied)
+}
+
+impl Store {
+    /// Opens the store rooted at snapshot `path` with journaling:
+    ///
+    /// 1. loads the snapshot when it exists (otherwise starts empty);
+    /// 2. replays `<path>.journal` over it when one exists, tolerating
+    ///    a torn final record;
+    /// 3. attaches the journal so every subsequently published entry
+    ///    is appended and fsynced.
+    ///
+    /// A missing snapshot *with* a surviving journal — the signature of
+    /// a crash before the first save — still recovers the journaled
+    /// entries. A missing snapshot and no journal yields an empty
+    /// store. Use [`Store::load`] for a strict snapshot-only read.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreFileError`] when the snapshot or journal exists but
+    /// cannot be read, parsed, or opened for appending.
+    pub fn open(path: impl AsRef<Path>) -> Result<Store, StoreFileError> {
+        let path = path.as_ref();
+        let store = if path.exists() { Store::load(path)? } else { Store::new() };
+        let jpath = journal_path(path);
+        if jpath.exists() {
+            let applied = replay(&jpath, &store)?;
+            if applied > 0 {
+                stp_telemetry::warn!(
+                    "store {}: replayed {applied} journal record(s) past the snapshot",
+                    path.display()
+                );
+            }
+        }
+        let journal = Journal::open_append(jpath)?;
+        *store.journal.lock().unwrap_or_else(|e| e.into_inner()) = Some(journal);
+        Ok(store)
+    }
+
+    /// Appends `entry` to the attached journal, if any. Journal write
+    /// failures must not fail the in-memory publish that triggered
+    /// them: they are logged and counted, and the entry stays live in
+    /// memory (the next successful save persists it anyway).
+    pub(crate) fn journal_append(&self, rep: &stp_tt::TruthTable, entry: &Entry) {
+        let mut slot = self.journal.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(journal) = slot.as_mut() {
+            if let Err(e) = journal.append(rep, entry) {
+                stp_telemetry::counter!("store.journal_errors").inc();
+                stp_telemetry::error!("journal append failed: {e}");
+            }
+        }
+    }
+
+    /// Clears the attached journal after a successful snapshot save to
+    /// `path` — but only when the journal actually belongs to that
+    /// snapshot (saving a journaled store to some *other* path must not
+    /// wipe the crash log of its own).
+    pub(crate) fn clear_journal_after_save(&self, path: &Path) {
+        let mut slot = self.journal.lock().unwrap_or_else(|e| e.into_inner());
+        let Some(journal) = slot.as_mut() else { return };
+        if journal.path() != journal_path(path) {
+            return;
+        }
+        stp_faultsim::fail_point!("store.save.pre_journal_clear");
+        if let Err(e) = journal.clear() {
+            stp_telemetry::counter!("store.journal_errors").inc();
+            stp_telemetry::error!("journal clear failed: {e}");
+        }
+    }
+}

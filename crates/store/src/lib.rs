@@ -62,6 +62,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod journal;
 mod persist;
 
 use std::collections::hash_map::{DefaultHasher, Entry as MapEntry};
@@ -116,6 +117,15 @@ pub enum Resolution {
         /// The largest budget known to be insufficient.
         budget: Duration,
     },
+    /// The thread solving this class panicked while this caller was
+    /// waiting on the slot. The class itself was forgotten (a fresh
+    /// call re-attempts it); this resolution is what the *waiters* of
+    /// the doomed attempt observe instead of a silent zero-budget
+    /// retry.
+    Poisoned {
+        /// The panic payload plus class context.
+        message: String,
+    },
 }
 
 /// Resolution of a [`Store::solve_npn`] call, mapped back to the
@@ -134,14 +144,21 @@ pub enum NpnOutcome {
         /// The largest budget known to be insufficient.
         budget: Duration,
     },
+    /// The in-flight solve this caller was waiting on panicked; see
+    /// [`Resolution::Poisoned`].
+    Poisoned {
+        /// The panic payload plus class context.
+        message: String,
+    },
 }
 
-/// A slot is either being solved by exactly one thread or holds a
-/// ready entry. Waiters block on the condvar.
+/// A slot is being solved by exactly one thread, holds a ready entry,
+/// or was poisoned by a panicking solver. Waiters block on the condvar.
 #[derive(Debug)]
 enum SlotState {
     Pending,
     Ready(Entry),
+    Poisoned(String),
 }
 
 #[derive(Debug)]
@@ -159,22 +176,13 @@ impl Slot {
         *self.state.lock().expect("slot lock poisoned") = SlotState::Ready(entry);
         self.cv.notify_all();
     }
-}
 
-/// Re-arms a slot with a fallback entry if the solver diverts (error
-/// return or panic), so waiting threads never deadlock on a slot whose
-/// owner is gone.
-struct PendingGuard<'a> {
-    slot: &'a Slot,
-    fallback: Entry,
-    armed: bool,
-}
-
-impl Drop for PendingGuard<'_> {
-    fn drop(&mut self) {
-        if self.armed {
-            self.slot.publish(self.fallback.clone());
-        }
+    /// Marks the in-flight solve as dead-by-panic and wakes every
+    /// waiter so they observe a structured failure instead of blocking
+    /// forever (or silently retrying).
+    fn poison(&self, message: String) {
+        *self.state.lock().expect("slot lock poisoned") = SlotState::Poisoned(message);
+        self.cv.notify_all();
     }
 }
 
@@ -203,6 +211,9 @@ pub struct Store {
     misses: AtomicU64,
     inserts: AtomicU64,
     trivial_hits: AtomicU64,
+    /// Attached crash journal (see [`Store::open`]); `None` for plain
+    /// in-memory stores.
+    journal: Mutex<Option<journal::Journal>>,
 }
 
 impl Default for Store {
@@ -214,6 +225,17 @@ impl Default for Store {
 /// Default shard count: enough to keep a machine's worth of rewrite
 /// workers off each other's locks, small enough to stay cache-friendly.
 const DEFAULT_SHARDS: usize = 16;
+
+/// Best-effort text of a caught panic payload.
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string panic payload"
+    }
+}
 
 impl Store {
     /// Creates an empty store with the default shard count.
@@ -231,6 +253,7 @@ impl Store {
             misses: AtomicU64::new(0),
             inserts: AtomicU64::new(0),
             trivial_hits: AtomicU64::new(0),
+            journal: Mutex::new(None),
         }
     }
 
@@ -305,6 +328,7 @@ impl Store {
         if let Entry::Solved(chains) = &entry {
             assert!(!chains.is_empty(), "a solved entry must carry at least one chain");
         }
+        self.journal_append(&rep, &entry);
         let shard = self.shard(&rep);
         let mut map = shard.map.lock().expect("shard lock poisoned");
         let slot = Arc::new(Slot::pending());
@@ -321,7 +345,7 @@ impl Store {
         let state = slot.state.lock().expect("slot lock poisoned");
         match &*state {
             SlotState::Ready(entry) => Some(entry.clone()),
-            SlotState::Pending => None,
+            SlotState::Pending | SlotState::Poisoned(_) => None,
         }
     }
 
@@ -373,6 +397,16 @@ impl Store {
                     stp_telemetry::counter!("store.hits").inc();
                     return Ok(Resolution::Solved(chains));
                 }
+                SlotState::Poisoned(message) => {
+                    // The solve this caller was waiting on died. The
+                    // class itself was already forgotten (the panicking
+                    // thread removed the map entry), so a *fresh* call
+                    // will retry; this caller reports the loss.
+                    let message = message.clone();
+                    drop(state);
+                    stp_telemetry::counter!("store.poisoned_waits").inc();
+                    return Ok(Resolution::Poisoned { message });
+                }
                 SlotState::Ready(Entry::Exhausted { budget: failed }) => {
                     let failed = *failed;
                     if budget > failed {
@@ -405,26 +439,38 @@ impl Store {
     ) -> Result<Resolution, E> {
         self.misses.fetch_add(1, Ordering::Relaxed);
         stp_telemetry::counter!("store.misses").inc();
-        // If `solve` panics or errors, waiters must still wake up: the
-        // guard republishes the prior exhaustion record (or a zero
-        // budget, which any real caller immediately retries).
-        let mut guard = PendingGuard {
-            slot,
-            fallback: Entry::Exhausted { budget: prior_budget.unwrap_or(Duration::ZERO) },
-            armed: true,
+        // A panicking solver must neither strand its waiters on a
+        // pending slot nor silently re-arm the class: the panic is
+        // caught at this boundary, the slot is poisoned (waking every
+        // waiter with a structured failure), the class is forgotten so
+        // a fresh caller retries, and the panic resumes on this thread.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| solve(rep)));
+        let outcome = match outcome {
+            Ok(outcome) => outcome,
+            Err(payload) => {
+                let message =
+                    format!("store solver for class {}: {}", rep.to_hex(), panic_text(&*payload));
+                stp_telemetry::counter!("store.solver_panics").inc();
+                stp_telemetry::error!("isolated a panicking store solver ({message})");
+                slot.poison(message);
+                self.forget_slot(rep, slot);
+                std::panic::resume_unwind(payload);
+            }
         };
-        let outcome = solve(rep);
-        guard.armed = false;
         match outcome {
             Ok(RepOutcome::Solved(chains)) => {
                 debug_assert!(!chains.is_empty(), "solver must return at least one chain");
-                slot.publish(Entry::Solved(chains.clone()));
+                let entry = Entry::Solved(chains.clone());
+                self.journal_append(rep, &entry);
+                slot.publish(entry);
                 self.inserts.fetch_add(1, Ordering::Relaxed);
                 stp_telemetry::counter!("store.inserts").inc();
                 Ok(Resolution::Solved(chains))
             }
             Ok(RepOutcome::Exhausted) => {
-                slot.publish(Entry::Exhausted { budget });
+                let entry = Entry::Exhausted { budget };
+                self.journal_append(rep, &entry);
+                slot.publish(entry);
                 self.inserts.fetch_add(1, Ordering::Relaxed);
                 stp_telemetry::counter!("store.inserts").inc();
                 Ok(Resolution::Exhausted { budget })
@@ -434,13 +480,19 @@ impl Store {
                 if prior_budget.is_none() {
                     // First sight of the class failed outright: forget
                     // it entirely so the next caller starts fresh.
-                    let mut map = self.shard(rep).map.lock().expect("shard lock poisoned");
-                    if map.get(rep).is_some_and(|s| std::ptr::eq(Arc::as_ptr(s), slot)) {
-                        map.remove(rep);
-                    }
+                    self.forget_slot(rep, slot);
                 }
                 Err(e)
             }
+        }
+    }
+
+    /// Removes `rep`'s map entry — but only while it still points at
+    /// `slot` (a concurrent insert may have replaced it).
+    fn forget_slot(&self, rep: &TruthTable, slot: &Slot) {
+        let mut map = self.shard(rep).map.lock().expect("shard lock poisoned");
+        if map.get(rep).is_some_and(|s| std::ptr::eq(Arc::as_ptr(s), slot)) {
+            map.remove(rep);
         }
     }
 
@@ -496,6 +548,7 @@ impl Store {
                 Ok(NpnOutcome::Solved(chains))
             }
             Resolution::Exhausted { budget } => Ok(NpnOutcome::Exhausted { budget }),
+            Resolution::Poisoned { message } => Ok(NpnOutcome::Poisoned { message }),
         }
     }
 }
@@ -722,5 +775,54 @@ mod tests {
     fn empty_solved_entry_is_rejected() {
         let store = Store::new();
         store.insert(TruthTable::from_hex(2, "6").unwrap(), Entry::Solved(Vec::new()));
+    }
+
+    #[test]
+    fn panicking_solver_poisons_waiters_and_forgets_the_class() {
+        let store = Store::new();
+        let rep = TruthTable::from_hex(2, "6").unwrap();
+        let barrier = std::sync::Barrier::new(2);
+        std::thread::scope(|scope| {
+            let store = &store;
+            let rep = &rep;
+            let barrier = &barrier;
+            scope.spawn(move || {
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    store.lookup_or_solve(
+                        rep,
+                        Duration::MAX,
+                        |_| -> Result<RepOutcome, ChainError> {
+                            barrier.wait();
+                            // Leave the waiter ample time to attach to the
+                            // slot (it joins ~10 ms after the barrier).
+                            std::thread::sleep(Duration::from_millis(150));
+                            panic!("injected solver failure")
+                        },
+                    )
+                }));
+                assert!(result.is_err(), "the panic must resume on the solving thread");
+            });
+            barrier.wait();
+            std::thread::sleep(Duration::from_millis(10));
+            // This caller joins the in-flight solve and must observe the
+            // panic as a structured resolution, not hang or retry.
+            let res = store
+                .lookup_or_solve(rep, Duration::MAX, |_| -> Result<RepOutcome, ChainError> {
+                    panic!("the waiter must not become the solver")
+                })
+                .unwrap();
+            let Resolution::Poisoned { message } = res else {
+                panic!("expected a poisoned resolution, got {res:?}");
+            };
+            assert!(message.contains("injected solver failure"), "got `{message}`");
+        });
+        // The class was forgotten: a fresh caller re-solves cleanly.
+        assert!(store.get(&rep).is_none());
+        let res = store
+            .lookup_or_solve(&rep, Duration::MAX, |_| {
+                Ok::<_, ChainError>(RepOutcome::Solved(vec![one_gate_chain(0x6)]))
+            })
+            .unwrap();
+        assert!(matches!(res, Resolution::Solved(_)));
     }
 }

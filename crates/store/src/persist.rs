@@ -58,6 +58,8 @@ const VERSION: &str = "v1";
 pub enum StoreFileError {
     /// The underlying file operation failed.
     Io {
+        /// The file or directory the operation was aimed at.
+        path: String,
         /// Operating-system error message.
         message: String,
     },
@@ -81,7 +83,9 @@ pub enum StoreFileError {
 impl fmt::Display for StoreFileError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            StoreFileError::Io { message } => write!(f, "store file I/O error: {message}"),
+            StoreFileError::Io { path, message } => {
+                write!(f, "store file I/O error at {path}: {message}")
+            }
             StoreFileError::MissingHeader => {
                 write!(f, "not a store file: missing `{MAGIC} {VERSION}` header")
             }
@@ -101,6 +105,59 @@ fn corrupt(line: usize, message: impl Into<String>) -> StoreFileError {
     StoreFileError::Corrupt { line, message: message.into() }
 }
 
+/// Wraps an OS error with the path the operation was aimed at, so "No
+/// such file or directory" always says *which* file.
+pub(crate) fn io_error(path: &Path, e: impl fmt::Display) -> StoreFileError {
+    StoreFileError::Io { path: path.display().to_string(), message: e.to_string() }
+}
+
+/// Serializes one `class …` block (the unit shared by the snapshot
+/// format and the journal's record payloads).
+pub(crate) fn entry_block(rep: &TruthTable, entry: &Entry) -> String {
+    let mut out = String::new();
+    match entry {
+        Entry::Solved(chains) => {
+            out.push_str(&format!(
+                "class {} {} solved {}\n",
+                rep.num_vars(),
+                rep.to_hex(),
+                chains.len()
+            ));
+            for chain in chains {
+                out.push_str(&format!("chain {}\n", chain.num_gates()));
+                for gate in chain.gates() {
+                    out.push_str(&format!(
+                        "gate {} {} {:x}\n",
+                        gate.fanin[0], gate.fanin[1], gate.tt2
+                    ));
+                }
+                for tap in chain.outputs() {
+                    match tap {
+                        OutputRef::Signal { index, negated } => {
+                            let sign = if *negated { "!" } else { "" };
+                            out.push_str(&format!("output {sign}x{index}\n"));
+                        }
+                        OutputRef::Constant(v) => {
+                            out.push_str(&format!("output const{}\n", *v as u8));
+                        }
+                    }
+                }
+                out.push_str("endchain\n");
+            }
+        }
+        Entry::Exhausted { budget } => {
+            out.push_str(&format!(
+                "class {} {} exhausted {} {}\n",
+                rep.num_vars(),
+                rep.to_hex(),
+                budget.as_secs(),
+                budget.subsec_nanos()
+            ));
+        }
+    }
+    out
+}
+
 impl Store {
     /// Serializes every ready entry to the versioned text format.
     /// Deterministic: entries are sorted by representative, chains keep
@@ -112,58 +169,51 @@ impl Store {
         out.push_str(VERSION);
         out.push('\n');
         for (rep, entry) in self.snapshot() {
-            match entry {
-                Entry::Solved(chains) => {
-                    out.push_str(&format!(
-                        "class {} {} solved {}\n",
-                        rep.num_vars(),
-                        rep.to_hex(),
-                        chains.len()
-                    ));
-                    for chain in &chains {
-                        out.push_str(&format!("chain {}\n", chain.num_gates()));
-                        for gate in chain.gates() {
-                            out.push_str(&format!(
-                                "gate {} {} {:x}\n",
-                                gate.fanin[0], gate.fanin[1], gate.tt2
-                            ));
-                        }
-                        for tap in chain.outputs() {
-                            match tap {
-                                OutputRef::Signal { index, negated } => {
-                                    let sign = if *negated { "!" } else { "" };
-                                    out.push_str(&format!("output {sign}x{index}\n"));
-                                }
-                                OutputRef::Constant(v) => {
-                                    out.push_str(&format!("output const{}\n", *v as u8));
-                                }
-                            }
-                        }
-                        out.push_str("endchain\n");
-                    }
-                }
-                Entry::Exhausted { budget } => {
-                    out.push_str(&format!(
-                        "class {} {} exhausted {} {}\n",
-                        rep.num_vars(),
-                        rep.to_hex(),
-                        budget.as_secs(),
-                        budget.subsec_nanos()
-                    ));
-                }
-            }
+            out.push_str(&entry_block(&rep, &entry));
         }
         out
     }
 
-    /// Writes the store to `path` (see [`Store::save_to_string`]).
+    /// Writes the store to `path` (see [`Store::save_to_string`])
+    /// crash-safely: the snapshot goes to a temporary sibling first,
+    /// is fsynced, and is atomically renamed over `path` — a crash at
+    /// any point leaves either the old snapshot or the new one, never
+    /// a torn file. When a journal is attached for this snapshot (see
+    /// [`Store::open`]), a successful save truncates it: the snapshot
+    /// now subsumes every journaled record.
     ///
     /// # Errors
     ///
-    /// [`StoreFileError::Io`] when the file cannot be written.
+    /// [`StoreFileError::Io`] (carrying the offending path) when any
+    /// step of the write fails.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), StoreFileError> {
-        std::fs::write(path.as_ref(), self.save_to_string())
-            .map_err(|e| StoreFileError::Io { message: e.to_string() })
+        let path = path.as_ref();
+        stp_faultsim::fail_point!(
+            "store.save.pre_write",
+            err = Err(io_error(path, "failpoint `store.save.pre_write` triggered"))
+        );
+        let tmp = {
+            let mut os = path.as_os_str().to_owned();
+            os.push(".tmp");
+            std::path::PathBuf::from(os)
+        };
+        {
+            use std::io::Write;
+            let mut file = std::fs::File::create(&tmp).map_err(|e| io_error(&tmp, e))?;
+            file.write_all(self.save_to_string().as_bytes()).map_err(|e| io_error(&tmp, e))?;
+            file.sync_all().map_err(|e| io_error(&tmp, e))?;
+        }
+        stp_faultsim::fail_point!("store.save.pre_rename");
+        std::fs::rename(&tmp, path).map_err(|e| io_error(path, e))?;
+        // Persist the rename itself: fsync the parent directory (best
+        // effort — some filesystems refuse directory handles).
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            if let Ok(dir) = std::fs::File::open(parent) {
+                let _ = dir.sync_all();
+            }
+        }
+        self.clear_journal_after_save(path);
+        Ok(())
     }
 
     /// Parses a store from its text serialization.
@@ -260,8 +310,8 @@ impl Store {
     /// [`StoreFileError::Io`] when the file cannot be read, plus every
     /// parse error of [`Store::parse`].
     pub fn load(path: impl AsRef<Path>) -> Result<Store, StoreFileError> {
-        let text = std::fs::read_to_string(path.as_ref())
-            .map_err(|e| StoreFileError::Io { message: e.to_string() })?;
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path).map_err(|e| io_error(path, e))?;
         Store::parse(&text)
     }
 }

@@ -1,0 +1,208 @@
+//! Kill-resilience: fault-injected crashes in the save/journal paths
+//! must never lose acknowledged data. Requires `--features faultsim`.
+
+#![cfg(feature = "faultsim")]
+
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use stp_chain::{Chain, OutputRef};
+use stp_store::{Entry, Store, StoreFileError};
+use stp_tt::TruthTable;
+
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Scratch {
+        let dir = std::env::temp_dir().join(format!("stp-crash-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        Scratch(dir)
+    }
+
+    fn snapshot(&self) -> PathBuf {
+        self.0.join("store.txt")
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.0).ok();
+    }
+}
+
+fn journal_path(snapshot: &Path) -> PathBuf {
+    let mut os = snapshot.as_os_str().to_owned();
+    os.push(".journal");
+    PathBuf::from(os)
+}
+
+fn one_gate_chain(tt2: u8) -> Chain {
+    let mut chain = Chain::new(2);
+    let g = chain.add_gate(0, 1, tt2).unwrap();
+    chain.add_output(OutputRef::signal(g));
+    chain
+}
+
+fn rep(hex: &str) -> TruthTable {
+    TruthTable::from_hex(2, hex).unwrap()
+}
+
+/// The headline scenario: a crash *between the journal appends and the
+/// snapshot rename* loses nothing — reload recovers the old snapshot
+/// plus every journaled record.
+#[test]
+fn crash_before_snapshot_rename_recovers_snapshot_plus_journal() {
+    let _guard = stp_faultsim::test_guard();
+    stp_faultsim::clear_all();
+    let scratch = Scratch::new("pre-rename");
+    let path = scratch.snapshot();
+
+    let store = Store::open(&path).unwrap();
+    store.insert(rep("6"), Entry::Solved(vec![one_gate_chain(0x6)]));
+    store.save(&path).unwrap();
+    // Acknowledged after the save: lives only in the journal.
+    store.insert(rep("8"), Entry::Solved(vec![one_gate_chain(0x8)]));
+
+    stp_faultsim::set("store.save.pre_rename", "panic").unwrap();
+    let crashed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| store.save(&path)));
+    stp_faultsim::clear_all();
+    assert!(crashed.is_err(), "the failpoint must abort the save");
+    drop(store);
+
+    // The old snapshot survives (the rename never happened) and the
+    // journal still holds the post-save insert.
+    let recovered = Store::open(&path).unwrap();
+    assert_eq!(recovered.len(), 2);
+    assert!(matches!(recovered.get(&rep("6")), Some(Entry::Solved(_))));
+    assert!(matches!(recovered.get(&rep("8")), Some(Entry::Solved(_))));
+}
+
+/// A crash before the post-save journal clear leaves the journal
+/// populated over a snapshot that already subsumes it: replay must be
+/// harmless (insert-as-replace).
+#[test]
+fn crash_before_journal_clear_replays_idempotently() {
+    let _guard = stp_faultsim::test_guard();
+    stp_faultsim::clear_all();
+    let scratch = Scratch::new("pre-clear");
+    let path = scratch.snapshot();
+
+    let store = Store::open(&path).unwrap();
+    store.insert(rep("6"), Entry::Solved(vec![one_gate_chain(0x6)]));
+    stp_faultsim::set("store.save.pre_journal_clear", "panic").unwrap();
+    let crashed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| store.save(&path)));
+    stp_faultsim::clear_all();
+    assert!(crashed.is_err());
+    drop(store);
+
+    let journal = std::fs::read_to_string(journal_path(&path)).unwrap();
+    assert!(journal.len() > "stp-store-journal v1\n".len(), "journal was not cleared");
+    let recovered = Store::open(&path).unwrap();
+    assert_eq!(recovered.len(), 1, "snapshot + replay must not duplicate the class");
+}
+
+/// An injected write failure surfaces as a structured, path-carrying
+/// I/O error and leaves the previous snapshot untouched.
+#[test]
+fn failed_save_is_a_structured_error_and_keeps_the_old_snapshot() {
+    let _guard = stp_faultsim::test_guard();
+    stp_faultsim::clear_all();
+    let scratch = Scratch::new("save-err");
+    let path = scratch.snapshot();
+
+    let store = Store::open(&path).unwrap();
+    store.insert(rep("6"), Entry::Solved(vec![one_gate_chain(0x6)]));
+    store.save(&path).unwrap();
+    let before = std::fs::read_to_string(&path).unwrap();
+
+    store.insert(rep("8"), Entry::Solved(vec![one_gate_chain(0x8)]));
+    stp_faultsim::set("store.save.pre_write", "err").unwrap();
+    let err = store.save(&path).unwrap_err();
+    stp_faultsim::clear_all();
+    let StoreFileError::Io { path: err_path, .. } = &err else {
+        panic!("expected Io, got {err:?}");
+    };
+    assert!(err_path.contains("store.txt"));
+    assert_eq!(std::fs::read_to_string(&path).unwrap(), before);
+
+    // The store is still fully usable: the next save persists both.
+    store.save(&path).unwrap();
+    let recovered = Store::open(&path).unwrap();
+    assert_eq!(recovered.len(), 2);
+}
+
+/// A journal append failure must not fail (or roll back) the in-memory
+/// publish: the entry stays live and the next snapshot persists it.
+#[test]
+fn journal_append_failure_does_not_lose_the_in_memory_entry() {
+    let _guard = stp_faultsim::test_guard();
+    stp_faultsim::clear_all();
+    let scratch = Scratch::new("append-err");
+    let path = scratch.snapshot();
+
+    let store = Store::open(&path).unwrap();
+    stp_faultsim::set("store.journal.pre_append", "err").unwrap();
+    store.insert(rep("6"), Entry::Solved(vec![one_gate_chain(0x6)]));
+    stp_faultsim::clear_all();
+
+    assert!(matches!(store.get(&rep("6")), Some(Entry::Solved(_))));
+    store.save(&path).unwrap();
+    let recovered = Store::open(&path).unwrap();
+    assert_eq!(recovered.len(), 1);
+}
+
+/// An injected replay failure surfaces as a structured error from
+/// `Store::open` instead of silently discarding the journal.
+#[test]
+fn replay_failure_surfaces_from_open() {
+    let _guard = stp_faultsim::test_guard();
+    stp_faultsim::clear_all();
+    let scratch = Scratch::new("replay-err");
+    let path = scratch.snapshot();
+    {
+        let store = Store::open(&path).unwrap();
+        store.insert(rep("6"), Entry::Solved(vec![one_gate_chain(0x6)]));
+    }
+    stp_faultsim::set("store.load.pre_replay", "err").unwrap();
+    let err = Store::open(&path).unwrap_err();
+    stp_faultsim::clear_all();
+    assert!(matches!(err, StoreFileError::Io { .. }));
+    // With the fault gone the same open succeeds.
+    assert_eq!(Store::open(&path).unwrap().len(), 1);
+}
+
+/// Budget-escalation interplay: an exhausted entry written through a
+/// journaled store survives a crash and still honors the
+/// strictly-greater-budget retry rule after recovery.
+#[test]
+fn exhausted_entries_survive_crashes_with_their_budgets() {
+    let _guard = stp_faultsim::test_guard();
+    stp_faultsim::clear_all();
+    let scratch = Scratch::new("exhausted");
+    let path = scratch.snapshot();
+    {
+        let store = Store::open(&path).unwrap();
+        store.insert(rep("6"), Entry::Exhausted { budget: Duration::from_millis(40) });
+        // No save: crash relies on the journal alone.
+    }
+    let recovered = Store::open(&path).unwrap();
+    let calls = std::sync::atomic::AtomicUsize::new(0);
+    // Same budget: answered negatively from the recovered entry.
+    let res = recovered
+        .lookup_or_solve(&rep("6"), Duration::from_millis(40), |_| {
+            calls.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            Ok::<_, stp_chain::ChainError>(stp_store::RepOutcome::Exhausted)
+        })
+        .unwrap();
+    assert!(matches!(res, stp_store::Resolution::Exhausted { budget } if budget.as_millis() == 40));
+    assert_eq!(calls.load(std::sync::atomic::Ordering::SeqCst), 0);
+    // Strictly richer: retries.
+    recovered
+        .lookup_or_solve(&rep("6"), Duration::from_millis(80), |_| {
+            calls.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            Ok::<_, stp_chain::ChainError>(stp_store::RepOutcome::Exhausted)
+        })
+        .unwrap();
+    assert_eq!(calls.load(std::sync::atomic::Ordering::SeqCst), 1);
+}

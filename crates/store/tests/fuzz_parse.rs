@@ -1,0 +1,178 @@
+//! Deterministic hostility fuzz of the store's parsers: truncations,
+//! bit flips, splices, and raw garbage must always produce a structured
+//! [`StoreFileError`] or a valid store — never a panic, and never a
+//! partially-applied store (`parse` is all-or-nothing by construction;
+//! these tests pin that down under adversarial input).
+//!
+//! Seeded LCG, no external crates: failures reproduce exactly.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use stp_chain::{Chain, OutputRef};
+use stp_store::{Entry, Store};
+use stp_tt::TruthTable;
+
+/// Minimal LCG (Numerical Recipes constants): deterministic, seedable.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 >> 16
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+}
+
+/// A realistic well-formed store text to mutate.
+fn base_text() -> String {
+    let store = Store::new();
+    for (hex, tt2) in [("6", 0x6u8), ("8", 0x8), ("1", 0x1), ("e", 0xe)] {
+        let mut chain = Chain::new(2);
+        let g = chain.add_gate(0, 1, tt2).unwrap();
+        chain.add_output(OutputRef::signal(g));
+        store.insert(TruthTable::from_hex(2, hex).unwrap(), Entry::Solved(vec![chain]));
+    }
+    store.insert(
+        TruthTable::from_hex(4, "8ff8").unwrap(),
+        Entry::Exhausted { budget: Duration::new(3, 14) },
+    );
+    store.save_to_string()
+}
+
+/// `parse` must return `Ok` or a structured error; the panic boundary
+/// is the test harness itself.
+fn assert_total(text: &str) {
+    match Store::parse(text) {
+        Ok(store) => {
+            // A store that parses must re-serialize and re-parse: no
+            // partially-applied or internally inconsistent result.
+            let round = store.save_to_string();
+            let again = Store::parse(&round).expect("serialized store must re-parse");
+            assert_eq!(again.save_to_string(), round);
+        }
+        Err(e) => {
+            // Structured and displayable.
+            let _ = e.to_string();
+        }
+    }
+}
+
+#[test]
+fn truncation_at_every_byte_is_total() {
+    let text = base_text();
+    for cut in 0..=text.len() {
+        if text.is_char_boundary(cut) {
+            assert_total(&text[..cut]);
+        }
+    }
+}
+
+#[test]
+fn seeded_bit_flips_are_total() {
+    let text = base_text();
+    for seed in 0..200u64 {
+        let mut rng = Lcg(seed.wrapping_mul(0x9e3779b97f4a7c15) + 1);
+        let mut bytes = text.clone().into_bytes();
+        for _ in 0..=rng.below(8) {
+            let at = rng.below(bytes.len());
+            bytes[at] ^= 1 << rng.below(8);
+        }
+        let mutated = String::from_utf8_lossy(&bytes).into_owned();
+        assert_total(&mutated);
+    }
+}
+
+#[test]
+fn seeded_line_splices_are_total() {
+    let text = base_text();
+    let lines: Vec<&str> = text.lines().collect();
+    for seed in 0..200u64 {
+        let mut rng = Lcg(seed ^ 0xdeadbeefcafe);
+        let mut spliced: Vec<&str> = lines.clone();
+        match rng.below(3) {
+            0 => {
+                // Drop a random line.
+                let at = rng.below(spliced.len());
+                spliced.remove(at);
+            }
+            1 => {
+                // Duplicate a random line somewhere else.
+                let from = rng.below(spliced.len());
+                let to = rng.below(spliced.len());
+                let line = spliced[from];
+                spliced.insert(to, line);
+            }
+            _ => {
+                // Swap two random lines.
+                let a = rng.below(spliced.len());
+                let b = rng.below(spliced.len());
+                spliced.swap(a, b);
+            }
+        }
+        assert_total(&(spliced.join("\n") + "\n"));
+    }
+}
+
+#[test]
+fn raw_garbage_is_total() {
+    for seed in 0..100u64 {
+        let mut rng = Lcg(seed.wrapping_add(0x5eed));
+        let len = rng.below(400);
+        let bytes: Vec<u8> = (0..len).map(|_| (rng.next() & 0xff) as u8).collect();
+        let garbage = String::from_utf8_lossy(&bytes).into_owned();
+        assert_total(&garbage);
+    }
+}
+
+#[test]
+fn garbage_journals_never_panic_open() {
+    let dir = std::env::temp_dir().join(format!("stp-fuzz-journal-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let snapshot: PathBuf = dir.join("store.txt");
+    let jpath = {
+        let mut os = snapshot.as_os_str().to_owned();
+        os.push(".journal");
+        PathBuf::from(os)
+    };
+    // Valid journals to mutate: header + two records.
+    let good = {
+        let store = Store::open(&snapshot).unwrap();
+        let mut chain = Chain::new(2);
+        let g = chain.add_gate(0, 1, 0x6).unwrap();
+        chain.add_output(OutputRef::signal(g));
+        store.insert(TruthTable::from_hex(2, "6").unwrap(), Entry::Solved(vec![chain]));
+        store.insert(
+            TruthTable::from_hex(2, "8").unwrap(),
+            Entry::Exhausted { budget: Duration::from_millis(5) },
+        );
+        std::fs::read(&jpath).unwrap()
+    };
+    for seed in 0..150u64 {
+        let mut rng = Lcg(seed ^ 0x1057);
+        let mut bytes = good.clone();
+        match rng.below(3) {
+            0 => bytes.truncate(rng.below(bytes.len() + 1)),
+            1 => {
+                let at = rng.below(bytes.len());
+                bytes[at] ^= 1 << rng.below(8);
+            }
+            _ => {
+                let len = rng.below(200);
+                bytes = (0..len).map(|_| (rng.next() & 0xff) as u8).collect();
+            }
+        }
+        std::fs::write(&jpath, &bytes).unwrap();
+        match Store::open(&snapshot) {
+            Ok(_) => {}
+            Err(e) => {
+                let _ = e.to_string();
+            }
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -38,6 +38,27 @@ fn usage() -> ExitCode {
     ExitCode::FAILURE
 }
 
+/// A malformed or missing flag value: report it and exit 2, so scripts
+/// can tell usage errors from rewrite failures (exit 1).
+fn flag_error(message: String) -> ExitCode {
+    eprintln!("error: {message}");
+    ExitCode::from(2)
+}
+
+/// Parses the value of a `--flag <value>` pair, failing loudly: a
+/// missing or unparsable value is an error, never a silent fallback to
+/// the default.
+fn parse_flag_value<T: std::str::FromStr>(
+    flag: &str,
+    value: Option<&String>,
+    expects: &str,
+) -> Result<T, ExitCode> {
+    let Some(raw) = value else {
+        return Err(flag_error(format!("{flag} expects {expects}")));
+    };
+    raw.parse().map_err(|_| flag_error(format!("{flag} expects {expects}, got `{raw}`")))
+}
+
 /// Emits the RunReport (when requested) and flushes the trace sink.
 fn finish(stats: bool, args: &[String], outcome: &str, start: Instant, extra: Vec<(String, Json)>) {
     if stats {
@@ -82,14 +103,17 @@ fn main() -> ExitCode {
                 store_path = Some(path.clone());
             }
             "--passes" => {
-                if let Some(v) = it.next().and_then(|v| v.parse().ok()) {
-                    config.max_passes = v;
-                }
+                config.max_passes = match parse_flag_value(a, it.next(), "a pass count") {
+                    Ok(v) => v,
+                    Err(code) => return code,
+                };
             }
             "--jobs" => {
-                if let Some(v) = it.next().and_then(|v| v.parse().ok()) {
-                    config.jobs = v;
-                }
+                config.jobs =
+                    match parse_flag_value(a, it.next(), "a thread count (0 = one per CPU)") {
+                        Ok(v) => v,
+                        Err(code) => return code,
+                    };
             }
             "--stats" => stats = true,
             "--log" => {
@@ -131,23 +155,26 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    // The NPN solution store: loaded from disk when --store names an
-    // existing file, optionally pre-warmed, persisted back after the
-    // run. Without the flags the cache still routes through a private
+    // The NPN solution store: opened with its crash journal when
+    // --store names a path (snapshot loaded and journal replayed when
+    // present), optionally pre-warmed, persisted back after the run.
+    // Without the flags the cache still routes through a private
     // in-memory store.
     let store = match &store_path {
-        Some(p) if std::path::Path::new(p).exists() => match Store::load(p) {
+        Some(p) => match Store::open(p) {
             Ok(store) => {
-                eprintln!("store: loaded {} classes from {p}", store.len());
+                if !store.is_empty() {
+                    eprintln!("store: loaded {} classes from {p}", store.len());
+                }
                 Arc::new(store)
             }
             Err(e) => {
-                eprintln!("error loading store {p}: {e}");
+                eprintln!("error loading store: {e}");
                 finish(stats, &args, &format!("store error: {e}"), start, Vec::new());
                 return ExitCode::FAILURE;
             }
         },
-        _ => Arc::new(Store::new()),
+        None => Arc::new(Store::new()),
     };
     if warm {
         let synth_config = SynthesisConfig { jobs: config.jobs, ..SynthesisConfig::default() };

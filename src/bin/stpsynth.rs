@@ -46,21 +46,45 @@ fn usage() -> ExitCode {
     ExitCode::FAILURE
 }
 
-/// Loads the store from `path` when given and present, otherwise starts
-/// empty. Returns `None` (and prints the error) on a corrupt file.
+/// A malformed or missing flag value: report it and exit 2, so scripts
+/// can tell usage errors from synthesis failures (exit 1).
+fn flag_error(message: String) -> ExitCode {
+    eprintln!("error: {message}");
+    ExitCode::from(2)
+}
+
+/// Parses the value of a `--flag <value>` pair, failing loudly: a
+/// missing or unparsable value is an error, never a silent fallback to
+/// the default.
+fn parse_flag_value<T: std::str::FromStr>(
+    flag: &str,
+    value: Option<&String>,
+    expects: &str,
+) -> Result<T, ExitCode> {
+    let Some(raw) = value else {
+        return Err(flag_error(format!("{flag} expects {expects}")));
+    };
+    raw.parse().map_err(|_| flag_error(format!("{flag} expects {expects}, got `{raw}`")))
+}
+
+/// Opens the store rooted at `path` — snapshot plus crash journal (see
+/// `Store::open`) — or a plain in-memory store when no path was given.
+/// Returns `None` (and prints the error) on a corrupt file.
 fn open_store(path: Option<&str>) -> Option<Store> {
     match path {
-        Some(p) if std::path::Path::new(p).exists() => match Store::load(p) {
+        Some(p) => match Store::open(p) {
             Ok(store) => {
-                eprintln!("store: loaded {} classes from {p}", store.len());
+                if !store.is_empty() {
+                    eprintln!("store: loaded {} classes from {p}", store.len());
+                }
                 Some(store)
             }
             Err(e) => {
-                eprintln!("error loading store {p}: {e}");
+                eprintln!("error loading store: {e}");
                 None
             }
         },
-        _ => Some(Store::new()),
+        None => Some(Store::new()),
     }
 }
 
@@ -133,12 +157,23 @@ fn main() -> ExitCode {
                 };
                 store_path = Some(path.clone());
             }
-            "--engine" => engine = it.next().cloned().unwrap_or_default(),
+            "--engine" => {
+                let Some(name) = it.next() else {
+                    return flag_error("--engine expects stp|stp-npn|bms|fen|abc".to_string());
+                };
+                engine = name.clone();
+            }
             "--timeout" => {
-                timeout = it.next().and_then(|v| v.parse().ok()).unwrap_or(timeout);
+                timeout = match parse_flag_value(a, it.next(), "a number of seconds") {
+                    Ok(v) => v,
+                    Err(code) => return code,
+                };
             }
             "--jobs" => {
-                jobs = it.next().and_then(|v| v.parse().ok()).unwrap_or(jobs);
+                jobs = match parse_flag_value(a, it.next(), "a thread count (0 = one per CPU)") {
+                    Ok(v) => v,
+                    Err(code) => return code,
+                };
             }
             "--log" => {
                 let Some(level) = it.next().and_then(|v| stp_telemetry::Level::parse(v)) else {

@@ -42,6 +42,51 @@ fn stpsynth_emits_verilog() {
 }
 
 #[test]
+fn stpsynth_rejects_malformed_flag_values_with_exit_2() {
+    // A malformed or missing flag value must be a loud usage error
+    // (exit 2), never a silent fall-back to the default.
+    for args in [
+        &["8ff8", "4", "--timeout", "abc"][..],
+        &["8ff8", "4", "--jobs", "x"],
+        &["8ff8", "4", "--jobs", "-1"],
+        &["8ff8", "4", "--timeout"],
+        &["8ff8", "4", "--engine"],
+    ] {
+        let out =
+            Command::new(env!("CARGO_BIN_EXE_stpsynth")).args(args).output().expect("binary runs");
+        assert_eq!(out.status.code(), Some(2), "args {args:?}: {:?}", out.status);
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("error:"), "args {args:?}: stderr {stderr}");
+        assert!(stderr.contains("expects"), "args {args:?}: stderr {stderr}");
+    }
+}
+
+#[test]
+fn stprewrite_rejects_malformed_flag_values_with_exit_2() {
+    let dir = std::env::temp_dir().join(format!("stprewrite_flags_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let input = dir.join("in.blif");
+    std::fs::write(&input, ".model m\n.inputs a\n.outputs f\n.names a f\n1 1\n.end\n")
+        .expect("write input");
+    let input = input.to_str().expect("utf8 path");
+    for args in [
+        &[input, "--passes", "many"][..],
+        &[input, "--jobs", "x"],
+        &[input, "--passes"],
+        &[input, "--jobs"],
+    ] {
+        let out = Command::new(env!("CARGO_BIN_EXE_stprewrite"))
+            .args(args)
+            .output()
+            .expect("binary runs");
+        assert_eq!(out.status.code(), Some(2), "args {args:?}: {:?}", out.status);
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("expects"), "args {args:?}: stderr {stderr}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn stpsynth_rejects_bad_input() {
     let out = Command::new(env!("CARGO_BIN_EXE_stpsynth"))
         .args(["zzzz", "4"])
