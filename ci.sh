@@ -15,6 +15,9 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "==> cargo clippy --features faultsim (deny warnings)"
 cargo clippy --workspace --all-targets --offline --features faultsim -- -D warnings
 
+echo "==> cargo clippy --features alloc-profile (deny warnings)"
+cargo clippy --workspace --all-targets --offline --features alloc-profile -- -D warnings
+
 echo "==> warm-store smoke (STP_JOBS=1): warm an NPN4 slice, save, reload, zero misses"
 STP_JOBS=1 cargo test -q -p stp-bench --offline --test warm_store smoke_warm_slice
 
@@ -23,6 +26,18 @@ STP_JOBS="$(nproc)" cargo test -q -p stp-bench --offline --test warm_store smoke
 
 echo "==> factor counter baseline (NPN4 slice, jobs=1, vs committed BENCH_factor.json)"
 cargo test -q -p stp-bench --offline --test factor_baseline
+
+echo "==> profiler smoke + stpprof drift gate (STP_JOBS=1)"
+STP_JOBS=1 cargo test -q -p stp-bench --offline --test profile_smoke --test profile_determinism
+
+echo "==> profiler smoke + stpprof drift gate (STP_JOBS=$(nproc))"
+STP_JOBS="$(nproc)" cargo test -q -p stp-bench --offline --test profile_smoke --test profile_determinism
+
+echo "==> profiler smoke with the counting allocator (--features alloc-profile, STP_JOBS=1)"
+STP_JOBS=1 cargo test -q -p stp-bench --offline --features alloc-profile --test profile_smoke
+
+echo "==> profiler smoke with the counting allocator (--features alloc-profile, STP_JOBS=$(nproc))"
+STP_JOBS="$(nproc)" cargo test -q -p stp-bench --offline --features alloc-profile --test profile_smoke
 
 echo "==> cargo test (STP_JOBS=1, sequential default)"
 STP_JOBS=1 cargo test -q --workspace --offline

@@ -1,6 +1,7 @@
 //! Factorization-kernel perf baseline: emits `BENCH_factor.json`.
 //!
-//! Usage: `factor_bench [--jobs <n>] [--timeout <seconds>] [--out <path>]`
+//! Usage: `factor_bench [--jobs <n>] [--timeout <seconds>] [--out <path>]
+//!                      [--slice] [--profile] [--profile-folded <path>]`
 //!
 //! Runs the STP engine **cold** (store-free, straight [`synthesize`]
 //! per instance) over three workloads — the deterministic NPN4 24-class
@@ -10,19 +11,28 @@
 //! are exact and machine-independent, so the committed
 //! `BENCH_factor.json` doubles as a regression baseline: the
 //! `factor_baseline` integration test re-runs the slice and fails when
-//! the counters drift (wall-clock fields are informational only).
+//! the counters drift (wall-clock fields are informational only), and
+//! `stpprof --drift` renders the same verdict from two documents.
+//!
+//! `--slice` restricts the run to the NPN4 slice — the fast way to
+//! produce a drift-check candidate in CI. `--profile` aggregates the
+//! span profile tree over the whole run and embeds it in the output
+//! document (each suite is a subtree, named by the suite);
+//! `--profile-folded <path>` additionally writes flamegraph-compatible
+//! folded stacks.
 //!
 //! [`synthesize`]: stp_synth::synthesize
 
 use std::time::{Duration, Instant};
 
+use stp_bench::profdiff::PINNED_COUNTERS;
 use stp_bench::{fdsd, npn4, run_suite, Algorithm, Suite};
 use stp_telemetry::Json;
 
-/// Counters whose totals are deterministic at `jobs = 1` and therefore
-/// part of the committed baseline contract.
-pub const PINNED_COUNTERS: [&str; 3] =
-    ["factor.subproblems", "factor.memo_hits", "factor.charts_built"];
+// With --features alloc-profile, heap traffic is attributed to the
+// innermost open profile span (an extra bytes column under --profile).
+#[cfg(feature = "alloc-profile")]
+stp_telemetry::install_alloc_profiler!();
 
 /// The NPN4 prefix used by the CI drift gate — the same slice as the
 /// `determinism` integration test, fast enough for debug-build CI.
@@ -73,6 +83,9 @@ fn main() {
     let mut jobs = stp_synth::jobs_from_env();
     let mut timeout = 60.0f64;
     let mut out: Option<String> = None;
+    let mut slice_only = false;
+    let mut profile = false;
+    let mut folded: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -88,23 +101,41 @@ fn main() {
                 };
                 out = Some(v.clone());
             }
+            "--slice" => slice_only = true,
+            "--profile" => profile = true,
+            "--profile-folded" => {
+                let Some(v) = it.next() else {
+                    flag_error("--profile-folded expects a path".to_string());
+                };
+                folded = Some(v.clone());
+            }
             other => {
                 flag_error(format!("unknown option `{other}`"));
             }
         }
     }
+    if profile || folded.is_some() {
+        stp_telemetry::profile::set_enabled(true);
+    }
     let timeout = Duration::from_secs_f64(timeout);
+    let all =
+        if slice_only { vec![npn4_slice()] } else { vec![npn4_slice(), npn4(), fdsd(6, 40, 6)] };
     let mut suites = Vec::new();
-    for suite in [npn4_slice(), npn4(), fdsd(6, 40, 6)] {
+    for suite in all {
         eprintln!("factor_bench: running {} ({} instances)…", suite.name, suite.functions.len());
         suites.push(measure(&suite, timeout, jobs));
     }
-    let doc = Json::obj(vec![
+    let mut fields = vec![
         ("schema", Json::Str("stp-bench-factor v1".to_string())),
         ("jobs", Json::UInt(jobs as u64)),
         ("timeout_s", Json::Num(timeout.as_secs_f64())),
         ("suites", Json::Arr(suites)),
-    ]);
+    ];
+    if let Some(tree) = stp_telemetry::profile::finish(folded.as_deref().map(std::path::Path::new))
+    {
+        fields.push(("profile", tree.to_json()));
+    }
+    let doc = Json::obj(fields);
     let text = format!("{doc}\n");
     match out {
         Some(path) => {

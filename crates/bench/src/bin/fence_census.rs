@@ -1,14 +1,23 @@
 //! Prints the fence families of Fig. 2 and the valid partial DAGs of
 //! Fig. 3.
 //!
-//! Usage: `fence_census [--max-k <k>] [--dags] [--log <level>]`
+//! Usage: `fence_census [--max-k <k>] [--dags] [--log <level>]
+//!                      [--profile] [--profile-folded <path>]`
 //!
 //! Output goes through the telemetry reporter: the census itself is
 //! emitted at `info` (the default level, so output is unchanged unless
 //! the level is lowered), and `--log off` silences it entirely.
+//! `--profile` prints the aggregated span profile (per fence size `k`)
+//! to stderr after the census; `--profile-folded <path>` writes
+//! flamegraph-compatible folded stacks.
 
 use stp_fence::{all_fences, dags_for_fence, pruned_fences};
 use stp_telemetry::report;
+
+// With --features alloc-profile, heap traffic is attributed to the
+// innermost open profile span (an extra bytes column under --profile).
+#[cfg(feature = "alloc-profile")]
+stp_telemetry::install_alloc_profiler!();
 
 /// A malformed or missing flag value: report it and exit 2, so scripts
 /// can tell usage errors from census failures (exit 1).
@@ -22,10 +31,19 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut max_k = 6usize;
     let mut show_dags = false;
+    let mut folded: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--dags" => show_dags = true,
+            "--profile" => stp_telemetry::profile::set_enabled(true),
+            "--profile-folded" => {
+                let Some(path) = it.next() else {
+                    flag_error("--profile-folded expects a path".to_string());
+                };
+                folded = Some(path.clone());
+                stp_telemetry::profile::set_enabled(true);
+            }
             "--max-k" => {
                 let Some(raw) = it.next() else {
                     flag_error("--max-k expects a fence size".to_string());
@@ -46,6 +64,7 @@ fn main() {
         }
     }
     for k in 1..=max_k {
+        let _k = stp_telemetry::span!("census.k{}", k);
         let full = all_fences(k);
         let pruned = pruned_fences(k);
         report!("F_{k}: {} fences, {} after pruning (Fig. 2)", full.len(), pruned.len());
@@ -72,5 +91,9 @@ fn main() {
             }
             report!("  total valid DAGs over pruned F_{k}: {total}");
         }
+    }
+    if let Some(tree) = stp_telemetry::profile::finish(folded.as_deref().map(std::path::Path::new))
+    {
+        eprint!("{}", tree.render_text());
     }
 }

@@ -2,7 +2,8 @@
 //!
 //! Usage: `table1 [--full] [--timeout <seconds>] [--suite <name>]...
 //!                [--jobs <n>] [--retries <n>] [--store <path>]
-//!                [--warm-npn4] [--counters] [--log <level>]`
+//!                [--warm-npn4] [--counters] [--log <level>]
+//!                [--profile] [--profile-folded <path>]`
 //!
 //! The default (quick) profile uses reduced instance counts and a short
 //! per-instance timeout so the whole table runs in minutes; `--full`
@@ -19,7 +20,10 @@
 //! so the STP column of the NPN4 suite answers entirely from the store
 //! (the baselines never use it). `--counters` appends the aggregated
 //! telemetry counters per (suite, algorithm) cell; `--log` sets the
-//! stderr diagnostic level (also via `STP_LOG`).
+//! stderr diagnostic level (also via `STP_LOG`). `--profile` prints
+//! the aggregated span profile tree (one subtree per suite) to stderr
+//! after the table; `--profile-folded <path>` also writes
+//! flamegraph-compatible folded stacks.
 
 use std::time::Duration;
 
@@ -29,6 +33,11 @@ use stp_bench::{
 };
 use stp_store::Store;
 use stp_synth::{warm_npn4, SynthesisConfig};
+
+// With --features alloc-profile, heap traffic is attributed to the
+// innermost open profile span (an extra bytes column under --profile).
+#[cfg(feature = "alloc-profile")]
+stp_telemetry::install_alloc_profiler!();
 
 /// A malformed or missing flag value: report it and exit 2, so scripts
 /// can tell usage errors from bench failures (exit 1).
@@ -58,10 +67,19 @@ fn main() {
     let mut retries = 1usize;
     let mut store_path: Option<String> = None;
     let mut warm = false;
+    let mut folded: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--full" => {}
+            "--profile" => stp_telemetry::profile::set_enabled(true),
+            "--profile-folded" => {
+                let Some(path) = it.next() else {
+                    flag_error("--profile-folded expects a path".to_string());
+                };
+                folded = Some(path.clone());
+                stp_telemetry::profile::set_enabled(true);
+            }
             "--timeout" => {
                 timeout = parse_flag_value(a, it.next(), "a number of seconds");
             }
@@ -168,5 +186,9 @@ fn main() {
     if counters {
         println!("telemetry counters (summed per cell):");
         println!("{}", render_counters(&reports));
+    }
+    if let Some(tree) = stp_telemetry::profile::finish(folded.as_deref().map(std::path::Path::new))
+    {
+        eprint!("{}", tree.render_text());
     }
 }

@@ -269,6 +269,10 @@ pub fn run_suite_with_retry(
     jobs: usize,
     store: Option<&Store>,
 ) -> SuiteReport {
+    // Suite names are `'static`, so under --profile every suite gets
+    // its own subtree (and the synthesis phases nest beneath it) with
+    // no per-run label allocation.
+    let _suite = stp_telemetry::Span::enter(suite.name);
     let mut total = Duration::ZERO;
     let mut timeouts = 0usize;
     let mut solved = 0usize;

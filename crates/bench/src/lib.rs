@@ -14,7 +14,11 @@
 //!
 //! * `table1` — regenerates Table I (`--full` for paper-scale counts);
 //! * `fence_census` — prints the fence families of Fig. 2 and the DAG
-//!   families of Fig. 3.
+//!   families of Fig. 3;
+//! * `factor_bench` — the factorization perf baseline
+//!   (`BENCH_factor.json`);
+//! * `stpprof` — profile rendering/diffing and the baseline drift
+//!   verdict (see [`profdiff`]).
 //!
 //! Criterion benches cover the Table I suites, fence enumeration, the
 //! STP kernels, and the two design-choice ablations from `DESIGN.md`.
@@ -23,6 +27,7 @@
 #![forbid(unsafe_code)]
 
 pub mod harness;
+pub mod profdiff;
 pub mod report;
 pub mod suites;
 
@@ -31,5 +36,6 @@ pub use harness::{
     run_suite_with_retry, run_suite_with_store, Algorithm, InstanceOutcome, RetryPolicy,
     SuiteReport,
 };
+pub use profdiff::{bench_drift, diff, load_profile, render_diff, DiffRow, DriftReport, DriftRow};
 pub use report::{render_counters, render_headlines, render_table};
 pub use suites::{fdsd, npn4, pdsd, standard_suites, Scale, Suite};

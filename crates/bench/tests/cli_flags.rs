@@ -25,6 +25,7 @@ fn table1_rejects_malformed_flag_values() {
         &["--timeout"],
         &["--suite"],
         &["--store"],
+        &["--profile-folded"],
         &["--frobnicate"],
     ] {
         assert_usage_error(bin, args);
@@ -34,9 +35,14 @@ fn table1_rejects_malformed_flag_values() {
 #[test]
 fn factor_bench_rejects_malformed_flag_values() {
     let bin = env!("CARGO_BIN_EXE_factor_bench");
-    for args in
-        [&["--jobs", "x"][..], &["--timeout", "abc"], &["--jobs"], &["--out"], &["--unknown-flag"]]
-    {
+    for args in [
+        &["--jobs", "x"][..],
+        &["--timeout", "abc"],
+        &["--jobs"],
+        &["--out"],
+        &["--profile-folded"],
+        &["--unknown-flag"],
+    ] {
         assert_usage_error(bin, args);
     }
 }
@@ -44,8 +50,35 @@ fn factor_bench_rejects_malformed_flag_values() {
 #[test]
 fn fence_census_rejects_malformed_flag_values() {
     let bin = env!("CARGO_BIN_EXE_fence_census");
-    for args in [&["--max-k", "huge"][..], &["--max-k"], &["--log", "loudest"], &["--surprise"]] {
+    for args in [
+        &["--max-k", "huge"][..],
+        &["--max-k"],
+        &["--log", "loudest"],
+        &["--profile-folded"],
+        &["--surprise"],
+    ] {
         assert_usage_error(bin, args);
+    }
+}
+
+#[test]
+fn stpprof_rejects_bad_usage_with_exit_2() {
+    // stpprof prints a usage synopsis rather than an "error:" line, but
+    // the exit-2 contract is the same: argument-shape mistakes must be
+    // distinguishable from runtime failures (exit 1).
+    let bin = env!("CARGO_BIN_EXE_stpprof");
+    for args in [
+        &[][..],
+        &["--drift"],
+        &["--drift", "only-one.json"],
+        &["--folded"],
+        &["a.json", "b.json", "c.json"],
+        &["--unknown-mode", "x"],
+    ] {
+        let out = Command::new(bin).args(args).output().expect("binary runs");
+        assert_eq!(out.status.code(), Some(2), "stpprof {args:?}: {:?}", out.status);
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("usage:"), "stpprof {args:?}: stderr {stderr}");
     }
 }
 

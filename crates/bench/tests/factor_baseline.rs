@@ -17,13 +17,9 @@
 
 use std::time::Duration;
 
+use stp_bench::profdiff::PINNED_COUNTERS;
 use stp_bench::{npn4, run_suite, Algorithm, Suite};
 use stp_telemetry::Json;
-
-/// Counters pinned by the committed baseline (must match the
-/// `PINNED_COUNTERS` list in `src/bin/factor_bench.rs`).
-const PINNED_COUNTERS: [&str; 3] =
-    ["factor.subproblems", "factor.memo_hits", "factor.charts_built"];
 
 #[test]
 fn npn4_slice_counters_match_committed_baseline() {

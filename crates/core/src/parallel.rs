@@ -186,6 +186,33 @@ fn run_shape_task(
 /// One shape task: factorize, then verify candidates in order. The
 /// worker checks the cancellation flag between candidates so a deadline
 /// or a satisfied solution cap interrupts long verify streaks too.
+/// Static per-height shape labels, so the per-shape profile span never
+/// formats (and never allocates) in the round's inner loop. Heights
+/// beyond the table share one overflow label; fence heights are bounded
+/// by the gate count, which the roadmap caps far below 16.
+const SHAPE_LABELS: [&str; 16] = [
+    "shape.h0",
+    "shape.h1",
+    "shape.h2",
+    "shape.h3",
+    "shape.h4",
+    "shape.h5",
+    "shape.h6",
+    "shape.h7",
+    "shape.h8",
+    "shape.h9",
+    "shape.h10",
+    "shape.h11",
+    "shape.h12",
+    "shape.h13",
+    "shape.h14",
+    "shape.h15",
+];
+
+fn shape_label(shape: &TreeShape) -> &'static str {
+    SHAPE_LABELS.get(shape.height()).copied().unwrap_or("shape.h16plus")
+}
+
 fn process_task(
     spec: &TruthTable,
     shape: &TreeShape,
@@ -194,6 +221,7 @@ fn process_task(
     max_depth: Option<usize>,
     cancel: &AtomicBool,
 ) -> TaskResult {
+    let _shape = stp_telemetry::Span::enter(shape_label(shape));
     let candidates = {
         let _factor = stp_telemetry::span!("phase.factorize");
         engine.chains_on_shape(spec, shape)?
@@ -300,7 +328,10 @@ fn worker_loop(w: usize, engine: &mut Factorizer, state: &RoundState<'_>) {
         };
         stp_telemetry::counter!("par.tasks_run").inc();
         let outcome = {
-            let _busy = stp_telemetry::span!("par.worker_busy");
+            // Untracked: this span only exists at jobs > 1, so keeping
+            // it out of the profile tree is what makes jobs=1 and
+            // jobs=N trees structurally identical.
+            let _busy = stp_telemetry::Span::enter_untracked("par.worker_busy");
             run_shape_task(
                 state.spec,
                 &state.shapes[idx],
@@ -387,10 +418,18 @@ pub(crate) fn run_round_parallel(
         max_solutions,
         max_depth,
     };
+    // Workers inherit the spawner's open-span path (e.g. the
+    // synth.round.rN frame), so profiled spans on worker threads land
+    // at the same tree position the sequential path records them.
+    let base_path = stp_telemetry::profile::current_path();
     std::thread::scope(|scope| {
         for (w, engine) in engines[..workers].iter_mut().enumerate() {
             let state = &state;
-            scope.spawn(move || worker_loop(w, engine, state));
+            let base_path = base_path.clone();
+            scope.spawn(move || {
+                let _inherit = stp_telemetry::profile::inherit_path(&base_path);
+                worker_loop(w, engine, state)
+            });
         }
     });
     let cap_reached = state.cap_reached.load(Ordering::SeqCst);

@@ -78,4 +78,36 @@ fn warmed_memo_probes_do_not_allocate() {
     }
     let delta = ALLOCATIONS.load(Ordering::Relaxed) - before;
     assert_eq!(delta, 0, "memo-hit path allocated {delta} times across 100 warmed sweeps");
+
+    // Same guarantee with profiling ON: spans around the probes (the
+    // shape of the scheduler's inner loop) must stay allocation-free
+    // once labels are interned and the profile tree nodes exist. This
+    // shares the test fn above deliberately — a second #[test] would
+    // run on a parallel thread and its allocations would pollute the
+    // measured windows.
+    stp_telemetry::profile::reset();
+    stp_telemetry::profile::set_enabled(true);
+    let probe_profiled = |engine: &mut Factorizer| {
+        for shape in &shapes {
+            let _shape = stp_telemetry::Span::enter("memo_alloc.shape");
+            let _factor = stp_telemetry::Span::enter("phase.factorize");
+            assert!(engine.chains_on_shape(&maj, shape).unwrap().is_empty());
+        }
+    };
+    // Warm-up: interns the labels, creates the tree nodes, grows the
+    // thread-local path stack and the span histograms to capacity.
+    for _ in 0..2 {
+        probe_profiled(&mut engine);
+    }
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..100 {
+        probe_profiled(&mut engine);
+    }
+    let delta = ALLOCATIONS.load(Ordering::Relaxed) - before;
+    stp_telemetry::profile::set_enabled(false);
+    assert_eq!(delta, 0, "profiled memo-hit path allocated {delta} times across 100 warmed sweeps");
+    let tree = stp_telemetry::profile::take();
+    let factorize =
+        tree.find(&["memo_alloc.shape", "phase.factorize"]).expect("profiled spans recorded");
+    assert_eq!(factorize.calls as usize, 102 * shapes.len());
 }

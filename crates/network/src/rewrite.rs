@@ -313,7 +313,10 @@ fn rewrite_pass(
     cache: &SynthesisCache,
 ) -> Result<(Network, Vec<Replacement>), NetworkError> {
     let _pass = stp_telemetry::span!("rewrite.pass");
-    let cuts = enumerate_cuts(net, config.cut_size, config.cut_limit);
+    let cuts = {
+        let _enum = stp_telemetry::span!("rewrite.cut_enum");
+        enumerate_cuts(net, config.cut_size, config.cut_limit)
+    };
     let refs = net.reference_counts();
 
     // Collect candidate replacements.
@@ -393,6 +396,7 @@ fn rewrite_pass(
     }
 
     // Rebuild the network, splicing replacements.
+    let _apply = stp_telemetry::span!("rewrite.apply");
     let mut out = Network::new(net.num_inputs());
     let mut map: Vec<Option<Sig>> = vec![None; net.num_signals()];
     map[0] = Some(Sig::FALSE);

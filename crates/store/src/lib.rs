@@ -524,12 +524,14 @@ impl Store {
             stp_telemetry::counter!("store.trivial_hits").inc();
             return Ok(NpnOutcome::Trivial(chain));
         }
+        let _solve = stp_telemetry::span!("store.solve_npn");
         let canon = {
             let _npn = stp_telemetry::span!("phase.npn_canonicalize");
             canonicalize(spec)
         };
         match self.lookup_or_solve(&canon.representative, budget, solve)? {
             Resolution::Solved(rep_chains) => {
+                let _map = stp_telemetry::span!("phase.map_back");
                 let t = &canon.transform;
                 let mut chains = Vec::with_capacity(rep_chains.len());
                 for chain in &rep_chains {

@@ -1,0 +1,158 @@
+//! Counting global allocator for span-level allocation attribution
+//! (`alloc-profile` feature).
+//!
+//! [`SpanProfilingAlloc`] wraps the system allocator and tallies every
+//! allocation into process-wide atomics plus per-thread counters. The
+//! profile layer ([`crate::profile`]) snapshots the thread counters at
+//! span start/drop, so the delta — bytes and allocation count — is
+//! attributed to the innermost open span. That is what turns "the memo
+//! table feels big" into a bytes/entry number in EXPERIMENTS.md.
+//!
+//! The allocator type lives here, but the `#[global_allocator]` item
+//! does **not**: a crate can only have one, and test binaries (e.g.
+//! `crates/core/tests/memo_alloc.rs`) declare their own. Each binary
+//! that wants attribution opts in with
+//! [`install_alloc_profiler!`](crate::install_alloc_profiler), usually
+//! behind its own `alloc-profile` feature:
+//!
+//! ```ignore
+//! #[cfg(feature = "alloc-profile")]
+//! stp_telemetry::install_alloc_profiler!();
+//! ```
+//!
+//! Accounting rules:
+//!
+//! - `alloc` / `alloc_zeroed` count the requested size, once.
+//! - `realloc` counts the *new* size as a fresh allocation (the simple
+//!   rule that keeps growing-vector costs visible; freed bytes are
+//!   never subtracted — totals are cumulative, deltas do the rest).
+//! - `dealloc` is not counted.
+//!
+//! The thread-local counters are `const`-initialized `Cell`s: reading
+//! and bumping them never allocates and never runs a destructor, which
+//! is mandatory inside a global allocator. `try_with` guards the
+//! thread-teardown window where the TLS slot is gone; those late
+//! allocations still reach the process totals.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static TOTAL_BYTES: AtomicU64 = AtomicU64::new(0);
+static TOTAL_ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static THREAD_BYTES: Cell<u64> = const { Cell::new(0) };
+    static THREAD_ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// This thread's cumulative (bytes, allocations) since it started.
+/// Monotone; callers diff two readings to cost a region.
+#[inline]
+pub fn thread_totals() -> (u64, u64) {
+    let bytes = THREAD_BYTES.try_with(Cell::get).unwrap_or(0);
+    let allocs = THREAD_ALLOCS.try_with(Cell::get).unwrap_or(0);
+    (bytes, allocs)
+}
+
+/// Process-wide cumulative (bytes, allocations) across all threads.
+#[inline]
+pub fn process_totals() -> (u64, u64) {
+    (TOTAL_BYTES.load(Ordering::Relaxed), TOTAL_ALLOCS.load(Ordering::Relaxed))
+}
+
+#[inline]
+fn note(size: usize) {
+    let size = size as u64;
+    TOTAL_BYTES.fetch_add(size, Ordering::Relaxed);
+    TOTAL_ALLOCS.fetch_add(1, Ordering::Relaxed);
+    let _ = THREAD_BYTES.try_with(|b| b.set(b.get() + size));
+    let _ = THREAD_ALLOCS.try_with(|a| a.set(a.get() + 1));
+}
+
+/// A [`System`]-backed allocator that counts allocations; see the
+/// module docs for the accounting rules and how to install it.
+pub struct SpanProfilingAlloc;
+
+// SAFETY: every method delegates to `System` with the caller's layout
+// unchanged, so the GlobalAlloc contract is exactly System's. The
+// bookkeeping on the side only touches atomics and const-initialized
+// TLS cells, neither of which can allocate or unwind.
+unsafe impl GlobalAlloc for SpanProfilingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        note(layout.size());
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        note(layout.size());
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        note(new_size);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+/// Installs [`SpanProfilingAlloc`] as the binary's global allocator.
+/// Invoke at most once per binary, at module scope.
+#[macro_export]
+macro_rules! install_alloc_profiler {
+    () => {
+        #[global_allocator]
+        static STP_ALLOC_PROFILER: $crate::alloc::SpanProfilingAlloc =
+            $crate::alloc::SpanProfilingAlloc;
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    //! The test binary for this crate does not install the allocator
+    //! (lib tests share a process; the interesting installed-allocator
+    //! coverage lives in `crates/core/tests/memo_alloc.rs`), so these
+    //! exercise the counting logic directly.
+
+    use super::*;
+
+    #[test]
+    fn note_reaches_thread_and_process_totals() {
+        let (tb0, ta0) = thread_totals();
+        let (pb0, pa0) = process_totals();
+        note(128);
+        note(64);
+        let (tb1, ta1) = thread_totals();
+        let (pb1, pa1) = process_totals();
+        assert_eq!(tb1 - tb0, 192);
+        assert_eq!(ta1 - ta0, 2);
+        assert!(pb1 - pb0 >= 192, "other test threads may add more");
+        assert!(pa1 - pa0 >= 2);
+    }
+
+    #[test]
+    fn allocator_roundtrip_counts_and_preserves_data() {
+        let a = SpanProfilingAlloc;
+        let layout = Layout::from_size_align(64, 8).expect("layout");
+        let (b0, n0) = thread_totals();
+        unsafe {
+            let p = a.alloc(layout);
+            assert!(!p.is_null());
+            p.write(42);
+            let p = a.realloc(p, layout, 128);
+            assert!(!p.is_null());
+            assert_eq!(p.read(), 42);
+            a.dealloc(p, Layout::from_size_align(128, 8).expect("layout"));
+            let z = a.alloc_zeroed(layout);
+            assert!(!z.is_null());
+            assert_eq!(z.read(), 0);
+            a.dealloc(z, layout);
+        }
+        let (b1, n1) = thread_totals();
+        assert_eq!(b1 - b0, 64 + 128 + 64);
+        assert_eq!(n1 - n0, 3, "dealloc is not counted");
+    }
+}

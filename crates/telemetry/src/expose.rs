@@ -1,0 +1,143 @@
+//! Prometheus-style text exposition of the metrics registry.
+//!
+//! One call — [`Metrics::render_prometheus`] — renders every registered
+//! counter and histogram in the Prometheus text exposition format
+//! (version 0.0.4), so a future `stpd` daemon's `/stats` endpoint is a
+//! one-liner and ad-hoc scripts can scrape a run without JSON parsing.
+//!
+//! Mapping: all counters share one metric family `stp_counter`,
+//! distinguished by a `name` label; all span histograms share
+//! `stp_span_seconds`. The log2-nanosecond buckets of
+//! [`Histogram`](crate::metrics::Histogram) become cumulative `le`
+//! buckets with upper bounds `2^(i+1)` ns expressed in seconds, plus
+//! the mandatory `+Inf` bucket, `_sum`, and `_count` series. Output is
+//! sorted by metric name (the registry snapshot is a `BTreeMap`), so
+//! two renders of the same state are byte-identical.
+
+use std::fmt::Write as _;
+
+use crate::metrics::{HistogramSnapshot, Metrics, MetricsSnapshot, HISTOGRAM_BUCKETS};
+
+/// Escapes a label value per the exposition format: backslash, double
+/// quote, and newline must be escaped inside `label="..."`.
+fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The upper bound of log2 bucket `i` in seconds: `2^(i+1)` ns.
+fn bucket_upper_s(i: usize) -> f64 {
+    (1u64 << (i + 1)) as f64 / 1e9
+}
+
+/// Renders a [`MetricsSnapshot`] as Prometheus exposition text.
+pub fn render_prometheus(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    if !snapshot.counters.is_empty() {
+        out.push_str("# HELP stp_counter Event counters from the stp-telemetry registry.\n");
+        out.push_str("# TYPE stp_counter counter\n");
+        for (name, value) in &snapshot.counters {
+            let _ = writeln!(out, "stp_counter{{name=\"{}\"}} {value}", escape_label(name));
+        }
+    }
+    if !snapshot.histograms.is_empty() {
+        out.push_str("# HELP stp_span_seconds Span wall time from the stp-telemetry registry.\n");
+        out.push_str("# TYPE stp_span_seconds histogram\n");
+        for (name, hist) in &snapshot.histograms {
+            render_histogram(&mut out, name, hist);
+        }
+    }
+    out
+}
+
+fn render_histogram(out: &mut String, name: &str, hist: &HistogramSnapshot) {
+    let name = escape_label(name);
+    let mut cumulative = 0u64;
+    for (i, count) in hist.buckets.iter().enumerate().take(HISTOGRAM_BUCKETS) {
+        cumulative += count;
+        let _ = writeln!(
+            out,
+            "stp_span_seconds_bucket{{name=\"{name}\",le=\"{:e}\"}} {cumulative}",
+            bucket_upper_s(i)
+        );
+    }
+    // Observations past the last bucket are clamped into it by
+    // `Histogram::record`, so +Inf always equals the total count.
+    let _ = writeln!(out, "stp_span_seconds_bucket{{name=\"{name}\",le=\"+Inf\"}} {}", hist.count);
+    let _ = writeln!(out, "stp_span_seconds_sum{{name=\"{name}\"}} {}", hist.sum_ns as f64 / 1e9);
+    let _ = writeln!(out, "stp_span_seconds_count{{name=\"{name}\"}} {}", hist.count);
+}
+
+impl Metrics {
+    /// Renders the registry's current state as Prometheus exposition
+    /// text; see the [module docs](crate::expose) for the mapping.
+    pub fn render_prometheus(&self) -> String {
+        render_prometheus(&self.snapshot())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn renders_counters_and_histograms() {
+        let m = Metrics::new();
+        m.counter("expose.a").add(7);
+        m.counter("expose.b").add(1);
+        m.histogram("expose.h").record(Duration::from_nanos(1024));
+        let text = m.render_prometheus();
+        assert!(text.contains("# TYPE stp_counter counter\n"));
+        assert!(text.contains("stp_counter{name=\"expose.a\"} 7\n"));
+        assert!(text.contains("# TYPE stp_span_seconds histogram\n"));
+        assert!(text.contains("stp_span_seconds_count{name=\"expose.h\"} 1\n"));
+        assert!(text.contains("le=\"+Inf\"} 1\n"));
+        // a sorts before b.
+        let a = text.find("expose.a").expect("a present");
+        let b = text.find("expose.b").expect("b present");
+        assert!(a < b);
+    }
+
+    #[test]
+    fn buckets_are_cumulative_and_end_at_count() {
+        let m = Metrics::new();
+        let h = m.histogram("expose.cum");
+        h.record(Duration::from_nanos(1)); // bucket 0
+        h.record(Duration::from_nanos(3)); // bucket 1
+        h.record(Duration::from_nanos(3)); // bucket 1
+        let text = m.render_prometheus();
+        // le="4e-9" is the upper bound of bucket 1: cumulative 3.
+        assert!(text.contains("le=\"2e-9\"} 1\n"), "text: {text}");
+        assert!(text.contains("le=\"4e-9\"} 3\n"), "text: {text}");
+        assert!(text.contains("stp_span_seconds_bucket{name=\"expose.cum\",le=\"+Inf\"} 3\n"));
+        // Every line is `name{labels} value` or a comment — a minimal
+        // validity check for exposition parsers.
+        for line in text.lines() {
+            if line.starts_with('#') {
+                continue;
+            }
+            let (series, value) = line.rsplit_once(' ').expect("series value");
+            assert!(series.ends_with('}'), "series: {series}");
+            assert!(value.parse::<f64>().is_ok(), "value: {value}");
+        }
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        assert_eq!(escape_label("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn empty_registry_renders_empty() {
+        assert_eq!(render_prometheus(&MetricsSnapshot::default()), "");
+    }
+}

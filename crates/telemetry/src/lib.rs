@@ -20,6 +20,13 @@
 //!   printed by `--stats`, both serialized through the hand-rolled
 //!   [`json::Json`] value type (which also parses, so tests and
 //!   scripts can read reports back without serde).
+//! - [`profile`] / [`expose`] / `alloc` — the profiling layer: spans
+//!   aggregate into a deterministic profile tree (`--profile`, folded
+//!   flamegraph export, JSON embedding in reports), the registry
+//!   renders as Prometheus exposition text
+//!   ([`Metrics::render_prometheus`]), and the feature-gated
+//!   `alloc-profile` counting allocator attributes bytes/allocations
+//!   to the innermost open span.
 //!
 //! Instrumentation cost when idle is a relaxed atomic load per
 //! `enabled()` check and a relaxed add per counter bump; the STP matrix
@@ -27,9 +34,13 @@
 //! `telemetry` cargo feature of `stp-matrix` so the inner loops stay
 //! untouched in benchmark builds.
 
+#[cfg(feature = "alloc-profile")]
+pub mod alloc;
+pub mod expose;
 pub mod json;
 pub mod log;
 pub mod metrics;
+pub mod profile;
 pub mod report;
 pub mod span;
 pub mod trace;
@@ -37,6 +48,7 @@ pub mod trace;
 pub use json::Json;
 pub use log::{enabled, init_from_env, level, set_level, Level};
 pub use metrics::{global as metrics_global, Counter, Histogram, Metrics, MetricsSnapshot};
+pub use profile::ProfileNode;
 pub use report::{PhaseStats, RunReport};
 pub use span::Span;
 

@@ -336,6 +336,22 @@ mod tests {
     }
 
     #[test]
+    fn empty_snapshot_stats_are_zero_not_nan() {
+        let s = Histogram::default().snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.total_s(), 0.0);
+        assert_eq!(s.mean_s(), 0.0, "mean of an empty histogram is 0, not 0/0");
+        assert!(!s.mean_s().is_nan());
+        assert!(!s.total_s().is_nan());
+        assert_eq!(s.min_ns, 0, "sentinel min is normalized to 0 when empty");
+        assert_eq!(s.max_ns, 0);
+        // Deltas of empty snapshots stay empty and finite too.
+        let d = s.delta_since(&s);
+        assert_eq!(d.mean_s(), 0.0);
+        assert_eq!(d.total_s(), 0.0);
+    }
+
+    #[test]
     fn snapshot_delta_drops_unchanged() {
         let m = Metrics::new();
         m.counter("a").add(5);

@@ -1,0 +1,566 @@
+//! Aggregated span-tree profiles.
+//!
+//! The second telemetry layer: when profiling is enabled (CLI flag
+//! `--profile` / `--profile-folded`, or [`set_enabled`]), every
+//! completed [`Span`](crate::span::Span) is folded into a global
+//! **profile tree** — one node per distinct label *path* (the stack of
+//! open span labels at the time the span ran), carrying call counts,
+//! total wall time, and (with the `alloc-profile` feature and an
+//! installed [`crate::install_alloc_profiler!`]) bytes and allocation
+//! counts attributed to that span.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Zero cost when disabled.** The only cost a span pays with
+//!    profiling off is one relaxed atomic load. Enabling profiling
+//!    never changes what the pipeline computes — only what is measured.
+//! 2. **Deterministic across workers.** Worker threads inherit the
+//!    spawner's open-span path ([`current_path`] / [`inherit_path`]),
+//!    so a span recorded on a worker lands at the same tree path as the
+//!    sequential execution would record it. All trees merge into one
+//!    global accumulator keyed by interned labels in `BTreeMap`s, so
+//!    structure and counts are identical at any `--jobs` (times and
+//!    bytes are measurements and may of course vary).
+//! 3. **Allocation-free on hot paths once warm.** Labels are interned
+//!    (`&'static str`, see [`intern_label`]), the per-thread path stack
+//!    reuses its buffer, and recording into an existing node performs
+//!    map lookups only — pinned by `crates/core/tests/memo_alloc.rs`.
+//!
+//! Exports: a self/total text table ([`ProfileNode::render_text`]),
+//! flamegraph-compatible folded stacks (`a;b;c <micros>`,
+//! [`ProfileNode::folded`]), and a JSON form embedded in
+//! [`RunReport`](crate::report::RunReport)s under `--stats`
+//! ([`ProfileNode::to_json`] / [`ProfileNode::from_json`]).
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+use crate::json::Json;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Whether spans currently feed the profile tree (fast path for the
+/// span instrumentation: one relaxed load).
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns profile collection on or off. Spans already open keep the
+/// decision made when they started, so toggling mid-span is safe (a
+/// span never pops a path frame it did not push).
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+// ---------------------------------------------------------------------
+// Label interning
+// ---------------------------------------------------------------------
+
+static LABELS: Mutex<BTreeSet<&'static str>> = Mutex::new(BTreeSet::new());
+
+/// Interns `label`, returning a `'static` reference that compares (and
+/// hashes) like the string itself.
+///
+/// Each distinct label leaks exactly once; repeated calls with the same
+/// text perform a lookup and allocate nothing. This caps what dynamic
+/// span labels (`span!("synth.round.r{}", r)`) can allocate: one leak
+/// per unique label for the life of the process, not one `String` per
+/// span kept alive in the profile.
+pub fn intern_label(label: &str) -> &'static str {
+    let mut set = LABELS.lock().expect("label interner lock");
+    if let Some(&interned) = set.get(label) {
+        return interned;
+    }
+    let interned: &'static str = Box::leak(label.to_string().into_boxed_str());
+    set.insert(interned);
+    interned
+}
+
+// ---------------------------------------------------------------------
+// Per-thread open-span path
+// ---------------------------------------------------------------------
+
+thread_local! {
+    static PATH: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The current thread's open-span label path, outermost first. Empty
+/// when profiling is disabled (spans only push while enabled).
+pub fn current_path() -> Vec<&'static str> {
+    PATH.with(|p| p.borrow().clone())
+}
+
+/// Guard returned by [`inherit_path`]; pops the inherited frames when
+/// dropped.
+#[must_use = "the inherited path lasts until the guard is dropped"]
+pub struct PathGuard {
+    frames: usize,
+}
+
+/// Pushes `base` onto this thread's open-span path, so spans recorded
+/// here land under the spawner's tree position. Worker pools call this
+/// once per worker with the path captured (via [`current_path`]) on the
+/// spawning thread — that is what makes `jobs=1` and `jobs=N` profile
+/// trees structurally identical.
+pub fn inherit_path(base: &[&'static str]) -> PathGuard {
+    PATH.with(|p| p.borrow_mut().extend_from_slice(base));
+    PathGuard { frames: base.len() }
+}
+
+impl Drop for PathGuard {
+    fn drop(&mut self) {
+        PATH.with(|p| {
+            let mut path = p.borrow_mut();
+            let keep = path.len().saturating_sub(self.frames);
+            path.truncate(keep);
+        });
+    }
+}
+
+/// Span start hook: extends the thread's path. Called only for spans
+/// that observed `enabled()` at start.
+pub(crate) fn push_label(label: &'static str) {
+    PATH.with(|p| p.borrow_mut().push(label));
+}
+
+/// Span drop hook: pops the thread's path and folds the measurement
+/// into the global tree at the popped position.
+pub(crate) fn pop_and_record(label: &'static str, elapsed_ns: u64, bytes: u64, allocs: u64) {
+    PATH.with(|p| {
+        let mut path = p.borrow_mut();
+        // The span pushed `label` at start; tolerate a mismatch (e.g. a
+        // span crossing threads) by recording at the current position.
+        if path.last() == Some(&label) {
+            path.pop();
+        }
+        record(&path, label, elapsed_ns, bytes, allocs);
+    });
+}
+
+// ---------------------------------------------------------------------
+// Allocation accounting hooks
+// ---------------------------------------------------------------------
+
+/// This thread's cumulative (bytes, allocations) tally from the
+/// counting allocator; `(0, 0)` unless the `alloc-profile` feature is
+/// enabled *and* [`crate::install_alloc_profiler!`] was invoked in the
+/// binary. Spans snapshot it at start and attribute the delta at drop.
+#[inline]
+pub fn alloc_totals() -> (u64, u64) {
+    #[cfg(feature = "alloc-profile")]
+    {
+        crate::alloc::thread_totals()
+    }
+    #[cfg(not(feature = "alloc-profile"))]
+    {
+        (0, 0)
+    }
+}
+
+// ---------------------------------------------------------------------
+// The global tree
+// ---------------------------------------------------------------------
+
+struct Node {
+    calls: u64,
+    total_ns: u64,
+    alloc_bytes: u64,
+    allocs: u64,
+    children: BTreeMap<&'static str, Node>,
+}
+
+impl Node {
+    const fn new() -> Node {
+        Node { calls: 0, total_ns: 0, alloc_bytes: 0, allocs: 0, children: BTreeMap::new() }
+    }
+}
+
+static ROOT: Mutex<Node> = Mutex::new(Node::new());
+
+fn record(path: &[&'static str], label: &'static str, elapsed_ns: u64, bytes: u64, allocs: u64) {
+    let mut root = ROOT.lock().expect("profile tree lock");
+    let mut node = &mut *root;
+    for frame in path {
+        node = node.children.entry(frame).or_insert_with(Node::new);
+    }
+    let leaf = node.children.entry(label).or_insert_with(Node::new);
+    leaf.calls += 1;
+    leaf.total_ns += elapsed_ns;
+    leaf.alloc_bytes += bytes;
+    leaf.allocs += allocs;
+}
+
+/// Clears the collected tree (the enabled flag is untouched).
+pub fn reset() {
+    *ROOT.lock().expect("profile tree lock") = Node::new();
+}
+
+/// Copies the collected tree. The synthetic root is labeled `profile`;
+/// its totals are the sums over its children (top-level spans).
+pub fn snapshot() -> ProfileNode {
+    let root = ROOT.lock().expect("profile tree lock");
+    let mut out = copy_node("profile", &root);
+    out.calls = out.children.iter().map(|c| c.calls).sum();
+    out.total_ns = out.children.iter().map(|c| c.total_ns).sum();
+    out.alloc_bytes = out.children.iter().map(|c| c.alloc_bytes).sum();
+    out.allocs = out.children.iter().map(|c| c.allocs).sum();
+    out
+}
+
+/// [`snapshot`], then [`reset`] — one atomic "harvest" under the tree
+/// lock would be nicer, but profile reads only happen at run boundaries
+/// where no spans are in flight.
+pub fn take() -> ProfileNode {
+    let snap = snapshot();
+    reset();
+    snap
+}
+
+/// Runs `f` with profiling enabled against a fresh tree and returns its
+/// result together with the harvested profile; the enabled flag is
+/// restored afterwards.
+pub fn profiled<R>(f: impl FnOnce() -> R) -> (R, ProfileNode) {
+    let was = enabled();
+    reset();
+    set_enabled(true);
+    let result = f();
+    let profile = take();
+    set_enabled(was);
+    (result, profile)
+}
+
+fn copy_node(label: &str, node: &Node) -> ProfileNode {
+    ProfileNode {
+        label: label.to_string(),
+        calls: node.calls,
+        total_ns: node.total_ns,
+        alloc_bytes: node.alloc_bytes,
+        allocs: node.allocs,
+        children: node.children.iter().map(|(l, n)| copy_node(l, n)).collect(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Snapshot type and exports
+// ---------------------------------------------------------------------
+
+/// Plain-data copy of one profile-tree node (and, recursively, its
+/// subtree). Children are sorted by label, so two structurally equal
+/// trees compare equal with `==`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileNode {
+    /// Span label (the synthetic root is `profile`).
+    pub label: String,
+    /// Completed spans at this path.
+    pub calls: u64,
+    /// Total wall time across those spans, nanoseconds (children
+    /// included — see [`ProfileNode::self_ns`]).
+    pub total_ns: u64,
+    /// Bytes allocated while spans at this path were innermost-or-above
+    /// (children included); 0 without the `alloc-profile` feature.
+    pub alloc_bytes: u64,
+    /// Allocation count, same attribution as `alloc_bytes`.
+    pub allocs: u64,
+    /// Child nodes, sorted by label.
+    pub children: Vec<ProfileNode>,
+}
+
+impl ProfileNode {
+    /// Wall time spent at this node *excluding* its children — the
+    /// flamegraph "self" value.
+    pub fn self_ns(&self) -> u64 {
+        self.total_ns.saturating_sub(self.children.iter().map(|c| c.total_ns).sum())
+    }
+
+    /// Bytes allocated at this node excluding its children — the
+    /// innermost-open-span attribution.
+    pub fn self_alloc_bytes(&self) -> u64 {
+        self.alloc_bytes.saturating_sub(self.children.iter().map(|c| c.alloc_bytes).sum())
+    }
+
+    /// Allocations at this node excluding its children.
+    pub fn self_allocs(&self) -> u64 {
+        self.allocs.saturating_sub(self.children.iter().map(|c| c.allocs).sum())
+    }
+
+    /// Looks up a descendant by label path (children of the root are
+    /// depth 1, so `find(&["a", "b"])` is root → a → b).
+    pub fn find(&self, path: &[&str]) -> Option<&ProfileNode> {
+        let mut node = self;
+        for label in path {
+            node = node.children.iter().find(|c| c.label == *label)?;
+        }
+        Some(node)
+    }
+
+    /// Folded-stack export: one `a;b;c <micros>` line per node
+    /// (self-time microseconds), depth-first in label order — the
+    /// format `flamegraph.pl` / speedscope / inferno consume. The
+    /// synthetic root is omitted from the stacks.
+    pub fn folded(&self) -> String {
+        let mut out = String::new();
+        let mut stack: Vec<&str> = Vec::new();
+        for child in &self.children {
+            child.folded_into(&mut stack, &mut out);
+        }
+        out
+    }
+
+    fn folded_into<'a>(&'a self, stack: &mut Vec<&'a str>, out: &mut String) {
+        stack.push(&self.label);
+        out.push_str(&stack.join(";"));
+        out.push(' ');
+        out.push_str(&(self.self_ns() / 1_000).to_string());
+        out.push('\n');
+        for child in &self.children {
+            child.folded_into(stack, out);
+        }
+        stack.pop();
+    }
+
+    /// Human-readable profile table: one indented row per node with
+    /// calls, total, self (and allocation columns when any were
+    /// recorded), children sorted by descending total time.
+    pub fn render_text(&self) -> String {
+        let has_alloc = self.alloc_bytes > 0;
+        let mut out = String::from(if has_alloc {
+            "calls      total_s     self_s      bytes  span\n"
+        } else {
+            "calls      total_s     self_s  span\n"
+        });
+        self.render_into(0, has_alloc, &mut out);
+        out
+    }
+
+    fn render_into(&self, depth: usize, has_alloc: bool, out: &mut String) {
+        use std::fmt::Write as _;
+        let total = self.total_ns as f64 / 1e9;
+        let self_s = self.self_ns() as f64 / 1e9;
+        if has_alloc {
+            let _ = write!(
+                out,
+                "{:>5} {:>12.6} {:>10.6} {:>10}",
+                self.calls, total, self_s, self.alloc_bytes
+            );
+        } else {
+            let _ = write!(out, "{:>5} {:>12.6} {:>10.6}", self.calls, total, self_s);
+        }
+        let _ = writeln!(out, "  {}{}", "  ".repeat(depth), self.label);
+        let mut children: Vec<&ProfileNode> = self.children.iter().collect();
+        children.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.label.cmp(&b.label)));
+        for child in children {
+            child.render_into(depth + 1, has_alloc, out);
+        }
+    }
+
+    /// The node as a JSON value (`label`, `calls`, `total_ns`,
+    /// `alloc_bytes`, `allocs`, `children`), recursively.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("label", Json::Str(self.label.clone())),
+            ("calls", Json::UInt(self.calls)),
+            ("total_ns", Json::UInt(self.total_ns)),
+            ("alloc_bytes", Json::UInt(self.alloc_bytes)),
+            ("allocs", Json::UInt(self.allocs)),
+            ("children", Json::Arr(self.children.iter().map(ProfileNode::to_json).collect())),
+        ])
+    }
+
+    /// Parses a node serialized by [`ProfileNode::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first missing or mistyped field.
+    pub fn from_json(doc: &Json) -> Result<ProfileNode, String> {
+        let label = doc
+            .get("label")
+            .and_then(Json::as_str)
+            .ok_or("profile node missing string 'label'")?
+            .to_string();
+        let num = |key: &str| -> Result<u64, String> {
+            doc.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("profile node '{label}' missing number '{key}'"))
+        };
+        let calls = num("calls")?;
+        let total_ns = num("total_ns")?;
+        let alloc_bytes = num("alloc_bytes")?;
+        let allocs = num("allocs")?;
+        let children = doc
+            .get("children")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("profile node '{label}' missing array 'children'"))?
+            .iter()
+            .map(ProfileNode::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ProfileNode { label, calls, total_ns, alloc_bytes, allocs, children })
+    }
+
+    /// Structure-and-counts digest: one `path calls=N` line per node,
+    /// depth-first. Two runs of a deterministic pipeline produce equal
+    /// digests at any worker count (times and bytes are excluded).
+    pub fn structure(&self) -> String {
+        let mut out = String::new();
+        let mut stack: Vec<&str> = Vec::new();
+        for child in &self.children {
+            child.structure_into(&mut stack, &mut out);
+        }
+        out
+    }
+
+    fn structure_into<'a>(&'a self, stack: &mut Vec<&'a str>, out: &mut String) {
+        stack.push(&self.label);
+        out.push_str(&stack.join(";"));
+        out.push_str(&format!(" calls={}\n", self.calls));
+        for child in &self.children {
+            child.structure_into(stack, out);
+        }
+        stack.pop();
+    }
+}
+
+/// Harvests the profile at a run boundary: returns `None` when
+/// profiling is disabled; otherwise takes the tree and, when
+/// `folded_path` names a file, writes the folded-stack export there
+/// (errors are reported to stderr, never fatal — a full disk should not
+/// fail the run it measured).
+pub fn finish(folded_path: Option<&std::path::Path>) -> Option<ProfileNode> {
+    if !enabled() {
+        return None;
+    }
+    let tree = take();
+    if let Some(path) = folded_path {
+        if let Err(e) = std::fs::write(path, tree.folded()) {
+            eprintln!("error writing folded profile {}: {e}", path.display());
+        }
+    }
+    Some(tree)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Mutex as StdMutex, OnceLock};
+
+    /// The tree and the enabled flag are process-global; tests touching
+    /// them serialize here.
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        static GATE: OnceLock<StdMutex<()>> = OnceLock::new();
+        GATE.get_or_init(|| StdMutex::new(())).lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn interning_returns_stable_pointers() {
+        let a = intern_label("profile.test.label");
+        let b = intern_label("profile.test.label");
+        assert!(std::ptr::eq(a, b));
+        assert_eq!(a, "profile.test.label");
+    }
+
+    #[test]
+    fn spans_build_a_nested_tree() {
+        let _gate = lock();
+        let (_, tree) = profiled(|| {
+            for _ in 0..3 {
+                let _outer = crate::span!("profile.test.outer");
+                let _inner = crate::span!("profile.test.inner");
+            }
+            let _solo = crate::span!("profile.test.solo");
+        });
+        let outer = tree.find(&["profile.test.outer"]).expect("outer node");
+        assert_eq!(outer.calls, 3);
+        let inner = tree.find(&["profile.test.outer", "profile.test.inner"]).expect("inner node");
+        assert_eq!(inner.calls, 3);
+        assert!(outer.total_ns >= inner.total_ns, "parent total covers child total");
+        assert_eq!(tree.find(&["profile.test.solo"]).expect("solo").calls, 1);
+        // Self time: outer self + inner total == outer total.
+        assert_eq!(outer.self_ns() + inner.total_ns, outer.total_ns);
+    }
+
+    #[test]
+    fn disabled_profiling_records_nothing() {
+        let _gate = lock();
+        reset();
+        set_enabled(false);
+        {
+            let _s = crate::span!("profile.test.disabled");
+        }
+        assert!(snapshot().children.is_empty());
+    }
+
+    #[test]
+    fn inherited_paths_merge_worker_trees() {
+        let _gate = lock();
+        let (_, tree) = profiled(|| {
+            let _round = crate::span!("profile.test.round");
+            let base = current_path();
+            std::thread::scope(|scope| {
+                for _ in 0..2 {
+                    let base = base.clone();
+                    scope.spawn(move || {
+                        let _guard = inherit_path(&base);
+                        let _task = crate::span!("profile.test.task");
+                    });
+                }
+            });
+        });
+        let task = tree.find(&["profile.test.round", "profile.test.task"]).expect("merged node");
+        assert_eq!(task.calls, 2, "both workers land at the inherited path");
+    }
+
+    #[test]
+    fn folded_output_is_flamegraph_shaped() {
+        let _gate = lock();
+        let (_, tree) = profiled(|| {
+            let _a = crate::span!("profile.test.fa");
+            let _b = crate::span!("profile.test.fb");
+        });
+        let folded = tree.folded();
+        assert!(folded.contains("profile.test.fa "), "folded: {folded}");
+        assert!(folded.contains("profile.test.fa;profile.test.fb "), "folded: {folded}");
+        for line in folded.lines() {
+            let (stack, value) = line.rsplit_once(' ').expect("stack <value>");
+            assert!(!stack.is_empty());
+            assert!(value.parse::<u64>().is_ok(), "value not integer micros: {line}");
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let _gate = lock();
+        let (_, tree) = profiled(|| {
+            let _a = crate::span!("profile.test.ja");
+            let _b = crate::span!("profile.test.jb");
+        });
+        let back = ProfileNode::from_json(&tree.to_json()).expect("parse back");
+        assert_eq!(back, tree);
+        assert!(ProfileNode::from_json(&Json::Null).is_err());
+    }
+
+    #[test]
+    fn structure_digest_excludes_times() {
+        let a = ProfileNode {
+            label: "profile".into(),
+            calls: 1,
+            total_ns: 10,
+            alloc_bytes: 0,
+            allocs: 0,
+            children: vec![ProfileNode {
+                label: "x".into(),
+                calls: 1,
+                total_ns: 10,
+                alloc_bytes: 5,
+                allocs: 1,
+                children: Vec::new(),
+            }],
+        };
+        let mut b = a.clone();
+        b.children[0].total_ns = 99;
+        b.children[0].alloc_bytes = 0;
+        assert_eq!(a.structure(), b.structure());
+        assert_eq!(a.structure(), "x calls=1\n");
+    }
+}

@@ -11,6 +11,7 @@ use std::collections::BTreeMap;
 
 use crate::json::Json;
 use crate::metrics::MetricsSnapshot;
+use crate::profile::ProfileNode;
 
 /// Wall-time statistics for one span name.
 #[derive(Debug, Clone, PartialEq)]
@@ -42,8 +43,13 @@ pub struct RunReport {
     pub wall_s: f64,
     /// Every counter with a non-zero value.
     pub counters: BTreeMap<String, u64>,
-    /// Per-span wall-time stats, sorted by descending total time.
+    /// Per-span wall-time stats, sorted by name so two reports over the
+    /// same metric state are byte-identical (wall times vary run to
+    /// run, so sorting by time would reorder nondeterministically).
     pub phases: Vec<PhaseStats>,
+    /// The aggregated span-tree profile, when the run was profiled
+    /// (`--profile`); see [`crate::profile`].
+    pub profile: Option<ProfileNode>,
     /// Tool-specific extras (gate counts, solution counts, ...).
     pub extra: Vec<(String, Json)>,
 }
@@ -77,7 +83,7 @@ impl RunReport {
                 max_s: h.max_ns as f64 / 1e9,
             })
             .collect();
-        phases.sort_by(|a, b| b.total_s.total_cmp(&a.total_s).then(a.name.cmp(&b.name)));
+        phases.sort_by(|a, b| a.name.cmp(&b.name));
         RunReport {
             tool: tool.to_string(),
             args: args.to_vec(),
@@ -85,8 +91,16 @@ impl RunReport {
             wall_s,
             counters,
             phases,
+            profile: None,
             extra: Vec::new(),
         }
+    }
+
+    /// Attaches a profile tree (harvested via
+    /// [`profile::finish`](crate::profile::finish)).
+    pub fn with_profile(mut self, profile: ProfileNode) -> RunReport {
+        self.profile = Some(profile);
+        self
     }
 
     /// Attaches a tool-specific extra field.
@@ -128,6 +142,9 @@ impl RunReport {
                 ),
             ),
         ];
+        if let Some(profile) = &self.profile {
+            fields.push(("profile".to_string(), profile.to_json()));
+        }
         for (k, v) in &self.extra {
             fields.push((k.clone(), v.clone()));
         }
@@ -195,7 +212,11 @@ impl RunReport {
                 })
             })
             .collect::<Result<Vec<_>, _>>()?;
-        let known = ["tool", "args", "outcome", "wall_s", "counters", "phases"];
+        let profile = match doc.get("profile") {
+            Some(p) => Some(ProfileNode::from_json(p)?),
+            None => None,
+        };
+        let known = ["tool", "args", "outcome", "wall_s", "counters", "phases", "profile"];
         let extra = doc
             .as_obj()
             .expect("parse() object-checked above")
@@ -203,7 +224,7 @@ impl RunReport {
             .filter(|(k, _)| !known.contains(&k.as_str()))
             .map(|(k, v)| (k.clone(), v.clone()))
             .collect();
-        Ok(RunReport { tool, args, outcome, wall_s, counters, phases, extra })
+        Ok(RunReport { tool, args, outcome, wall_s, counters, phases, profile, extra })
     }
 }
 
@@ -239,13 +260,41 @@ mod tests {
     }
 
     #[test]
-    fn phases_sorted_by_total_time() {
+    fn phases_sorted_by_name() {
         let m = Metrics::new();
-        m.histogram("fast").record(Duration::from_micros(1));
-        m.histogram("slow").record(Duration::from_millis(10));
+        m.histogram("z.fast").record(Duration::from_micros(1));
+        m.histogram("a.slow").record(Duration::from_millis(10));
         let report = RunReport::from_snapshot("t", &[], "ok", 0.0, &m.snapshot());
-        assert_eq!(report.phases[0].name, "slow");
-        assert_eq!(report.phases[1].name, "fast");
+        assert_eq!(report.phases[0].name, "a.slow");
+        assert_eq!(report.phases[1].name, "z.fast");
+    }
+
+    #[test]
+    fn profile_roundtrips_and_stays_optional() {
+        let args = vec!["x".to_string()];
+        let base = RunReport::from_snapshot("t", &args, "ok", 0.1, &sample_snapshot());
+        assert_eq!(base.profile, None);
+        let tree = ProfileNode {
+            label: "profile".to_string(),
+            calls: 2,
+            total_ns: 1_000,
+            alloc_bytes: 0,
+            allocs: 0,
+            children: vec![ProfileNode {
+                label: "phase.verify".to_string(),
+                calls: 2,
+                total_ns: 1_000,
+                alloc_bytes: 128,
+                allocs: 3,
+                children: Vec::new(),
+            }],
+        };
+        let report = base.clone().with_profile(tree.clone());
+        let back = RunReport::parse(&report.to_json_string()).unwrap();
+        assert_eq!(back.profile.as_ref(), Some(&tree));
+        assert!(back.extra.iter().all(|(k, _)| k != "profile"), "profile is a known field");
+        // A profile-free report still parses with profile = None.
+        assert_eq!(RunReport::parse(&base.to_json_string()).unwrap().profile, None);
     }
 
     #[test]

@@ -6,12 +6,22 @@
 //! [`Level::Trace`](crate::log::Level). Spans nest: a thread-local depth
 //! counter tracks lexical nesting, which the trace sink records so
 //! flame-style views can be reconstructed offline.
+//!
+//! When profiling is enabled ([`crate::profile::set_enabled`], the
+//! CLIs' `--profile`), each span additionally pushes its label onto the
+//! thread's open-span path at start and, at drop, folds its elapsed
+//! time (and, under the `alloc-profile` feature, the bytes/allocations
+//! that happened while it ran) into the global profile tree at that
+//! path. Span names are interned `&'static str`s — a dynamic label
+//! ([`Span::enter_owned`], the `span!` format arm) allocates at most
+//! once per *unique* label text for the life of the process, so
+//! profiling stays allocation-free on hot paths once labels are warm.
 
-use std::borrow::Cow;
 use std::cell::Cell;
 use std::time::Instant;
 
 use crate::metrics;
+use crate::profile;
 use crate::trace;
 
 thread_local! {
@@ -26,34 +36,59 @@ pub fn current_depth() -> u32 {
 /// A running stopwatch tied to a named histogram; see the module docs.
 #[must_use = "a span measures until it is dropped; binding it to `_` drops it immediately"]
 pub struct Span {
-    name: Cow<'static, str>,
+    name: &'static str,
     start: Instant,
     depth: u32,
+    /// True when this span observed profiling enabled at start (and is
+    /// not untracked): it pushed a path frame it must pop at drop. The
+    /// decision is latched so toggling profiling mid-span stays
+    /// balanced.
+    profiled: bool,
+    start_bytes: u64,
+    start_allocs: u64,
 }
 
 impl Span {
     /// Starts a span with a static name (the common, zero-alloc case).
     pub fn enter(name: &'static str) -> Span {
-        Span::start(Cow::Borrowed(name))
+        Span::start(name, true)
     }
 
-    /// Starts a span with a computed name, e.g. one per gate count.
+    /// Starts a span with a computed name, e.g. one per synthesis
+    /// round. The name is interned: the first occurrence of a label
+    /// text leaks one copy, every later occurrence is lookup-only.
     pub fn enter_owned(name: String) -> Span {
-        Span::start(Cow::Owned(name))
+        Span::start(profile::intern_label(&name), true)
     }
 
-    fn start(name: Cow<'static, str>) -> Span {
+    /// Starts a span that records its histogram and trace event as
+    /// usual but never enters the profile tree. For bookkeeping spans
+    /// whose placement depends on the execution strategy (e.g. a
+    /// worker-loop busy span that only exists at `jobs > 1`), so
+    /// profile trees stay structurally identical across worker counts.
+    pub fn enter_untracked(name: &'static str) -> Span {
+        Span::start(name, false)
+    }
+
+    fn start(name: &'static str, track: bool) -> Span {
         let depth = DEPTH.with(|d| {
             let v = d.get();
             d.set(v + 1);
             v
         });
-        Span { name, start: Instant::now(), depth }
+        let profiled = track && profile::enabled();
+        let (start_bytes, start_allocs) = if profiled {
+            profile::push_label(name);
+            profile::alloc_totals()
+        } else {
+            (0, 0)
+        };
+        Span { name, start: Instant::now(), depth, profiled, start_bytes, start_allocs }
     }
 
     /// The span's name.
     pub fn name(&self) -> &str {
-        &self.name
+        self.name
     }
 
     /// Elapsed time so far, without ending the span.
@@ -66,9 +101,18 @@ impl Drop for Span {
     fn drop(&mut self) {
         let elapsed = self.start.elapsed();
         DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
-        metrics::global().histogram(&self.name).record(elapsed);
+        if self.profiled {
+            let (bytes, allocs) = profile::alloc_totals();
+            profile::pop_and_record(
+                self.name,
+                elapsed.as_nanos() as u64,
+                bytes.saturating_sub(self.start_bytes),
+                allocs.saturating_sub(self.start_allocs),
+            );
+        }
+        metrics::global().histogram(self.name).record(elapsed);
         if trace::trace_enabled() {
-            trace::emit_span(&self.name, self.start, elapsed, self.depth);
+            trace::emit_span(self.name, self.start, elapsed, self.depth);
         }
         crate::trace!("span {} {:.6}s (depth {})", self.name, elapsed.as_secs_f64(), self.depth);
     }
@@ -126,5 +170,12 @@ mod tests {
         assert_eq!(a.name(), "telemetry.test.lit");
         assert_eq!(b.name(), "telemetry.test.dyn.r7");
         assert!(b.elapsed().as_nanos() < u128::MAX);
+    }
+
+    #[test]
+    fn owned_names_are_interned_to_one_pointer() {
+        let a = Span::enter_owned(format!("telemetry.test.intern.r{}", 1));
+        let b = Span::enter_owned(format!("telemetry.test.intern.r{}", 1));
+        assert!(std::ptr::eq(a.name, b.name));
     }
 }

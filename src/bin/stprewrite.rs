@@ -5,6 +5,7 @@
 //! Usage: stprewrite <input.blif> [-o <output.blif>] [--passes <n>]
 //!                   [--jobs <n>] [--store <path>] [--warm-npn4]
 //!                   [--log <level>] [--stats] [--trace-json <path>]
+//!                   [--profile] [--profile-folded <path>]
 //! ```
 //!
 //! Reads a 2-LUT BLIF network, rewrites it by replacing 4-cut cones
@@ -19,7 +20,10 @@
 //! lookup with zero synthesis calls. `--stats` appends a JSON
 //! [`RunReport`](stp_telemetry::RunReport) as the final stdout line;
 //! `--trace-json` records span events; `--log` sets the stderr
-//! diagnostic level (also via `STP_LOG`).
+//! diagnostic level (also via `STP_LOG`). `--profile` aggregates the
+//! span profile tree over the run, prints it to stderr and embeds it
+//! in the `--stats` report; `--profile-folded <path>` also writes
+//! flamegraph-compatible folded stacks.
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -30,10 +34,16 @@ use stp_repro::store::Store;
 use stp_repro::synth::{warm_npn4, SynthesisConfig};
 use stp_telemetry::{Json, RunReport};
 
+// With --features alloc-profile, heap traffic is attributed to the
+// innermost open profile span (an extra bytes column under --profile).
+#[cfg(feature = "alloc-profile")]
+stp_telemetry::install_alloc_profiler!();
+
 fn usage() -> ExitCode {
     eprintln!(
         "usage: stprewrite <input.blif> [-o <output.blif>] [--passes <n>] [--jobs <n>] \
-         [--store <path>] [--warm-npn4] [--log <level>] [--stats] [--trace-json <path>]"
+         [--store <path>] [--warm-npn4] [--log <level>] [--stats] [--trace-json <path>] \
+         [--profile] [--profile-folded <path>]"
     );
     ExitCode::FAILURE
 }
@@ -59,8 +69,21 @@ fn parse_flag_value<T: std::str::FromStr>(
     raw.parse().map_err(|_| flag_error(format!("{flag} expects {expects}, got `{raw}`")))
 }
 
-/// Emits the RunReport (when requested) and flushes the trace sink.
-fn finish(stats: bool, args: &[String], outcome: &str, start: Instant, extra: Vec<(String, Json)>) {
+/// Emits the RunReport (when requested) and flushes the trace and
+/// profile sinks; under `--profile` the aggregated span tree is
+/// printed to stderr and embedded in the report.
+fn finish(
+    stats: bool,
+    args: &[String],
+    outcome: &str,
+    start: Instant,
+    extra: Vec<(String, Json)>,
+    folded: Option<&str>,
+) {
+    let profile = stp_telemetry::profile::finish(folded.map(std::path::Path::new));
+    if let Some(tree) = &profile {
+        eprint!("{}", tree.render_text());
+    }
     if stats {
         let snapshot = stp_telemetry::metrics_global().snapshot();
         let mut report = RunReport::from_snapshot(
@@ -72,6 +95,9 @@ fn finish(stats: bool, args: &[String], outcome: &str, start: Instant, extra: Ve
         );
         for (key, value) in extra {
             report = report.with_extra(&key, value);
+        }
+        if let Some(tree) = profile {
+            report = report.with_profile(tree);
         }
         println!("{}", report.to_json_string());
     }
@@ -90,11 +116,20 @@ fn main() -> ExitCode {
     let mut stats = false;
     let mut store_path: Option<String> = None;
     let mut warm = false;
+    let mut folded: Option<String> = None;
     let mut it = args[1..].iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "-o" => output = it.next().cloned(),
             "--warm-npn4" => warm = true,
+            "--profile" => stp_telemetry::profile::set_enabled(true),
+            "--profile-folded" => {
+                let Some(path) = it.next() else {
+                    return flag_error("--profile-folded expects a path".to_string());
+                };
+                folded = Some(path.clone());
+                stp_telemetry::profile::set_enabled(true);
+            }
             "--store" => {
                 let Some(path) = it.next() else {
                     eprintln!("--store expects a path");
@@ -151,7 +186,14 @@ fn main() -> ExitCode {
         Ok(n) => n,
         Err(e) => {
             eprintln!("error parsing {input}: {e}");
-            finish(stats, &args, &format!("parse error: {e}"), start, Vec::new());
+            finish(
+                stats,
+                &args,
+                &format!("parse error: {e}"),
+                start,
+                Vec::new(),
+                folded.as_deref(),
+            );
             return ExitCode::FAILURE;
         }
     };
@@ -170,7 +212,14 @@ fn main() -> ExitCode {
             }
             Err(e) => {
                 eprintln!("error loading store: {e}");
-                finish(stats, &args, &format!("store error: {e}"), start, Vec::new());
+                finish(
+                    stats,
+                    &args,
+                    &format!("store error: {e}"),
+                    start,
+                    Vec::new(),
+                    folded.as_deref(),
+                );
                 return ExitCode::FAILURE;
             }
         },
@@ -185,7 +234,14 @@ fn main() -> ExitCode {
             ),
             Err(e) => {
                 eprintln!("error warming store: {e}");
-                finish(stats, &args, &format!("store error: {e}"), start, Vec::new());
+                finish(
+                    stats,
+                    &args,
+                    &format!("store error: {e}"),
+                    start,
+                    Vec::new(),
+                    folded.as_deref(),
+                );
                 return ExitCode::FAILURE;
             }
         }
@@ -197,7 +253,7 @@ fn main() -> ExitCode {
         Ok(r) => r,
         Err(e) => {
             eprintln!("rewriting failed: {e}");
-            finish(stats, &args, &format!("error: {e}"), start, Vec::new());
+            finish(stats, &args, &format!("error: {e}"), start, Vec::new(), folded.as_deref());
             return ExitCode::FAILURE;
         }
     };
@@ -206,7 +262,14 @@ fn main() -> ExitCode {
             Ok(after) if after == before => eprintln!("equivalence: verified exhaustively"),
             Ok(_) => {
                 eprintln!("equivalence check FAILED — refusing to write output");
-                finish(stats, &args, "equivalence check failed", start, Vec::new());
+                finish(
+                    stats,
+                    &args,
+                    "equivalence check failed",
+                    start,
+                    Vec::new(),
+                    folded.as_deref(),
+                );
                 return ExitCode::FAILURE;
             }
             Err(e) => eprintln!("equivalence check skipped: {e}"),
@@ -254,6 +317,7 @@ fn main() -> ExitCode {
             ("replacements".to_string(), Json::UInt(result.replacements.len() as u64)),
             ("passes".to_string(), Json::UInt(result.passes as u64)),
         ],
+        folded.as_deref(),
     );
     ExitCode::SUCCESS
 }

@@ -22,6 +22,10 @@
 //!                      or the STP_LOG environment variable)
 //!   --stats            append a JSON RunReport as the final stdout line
 //!   --trace-json <p>   write Chrome-trace-style span events to <p>
+//!   --profile          aggregate the span profile tree, print it to
+//!                      stderr and embed it in the --stats RunReport
+//!   --profile-folded <p>
+//!                      also write flamegraph folded stacks to <p>
 //! ```
 //!
 //! Example: `stpsynth 8ff8 4 --all` reproduces the paper's Example 7.
@@ -37,11 +41,16 @@ use stp_repro::synth::{
 use stp_repro::tt::TruthTable;
 use stp_telemetry::{Json, RunReport};
 
+// With --features alloc-profile, heap traffic is attributed to the
+// innermost open profile span (an extra bytes column under --profile).
+#[cfg(feature = "alloc-profile")]
+stp_telemetry::install_alloc_profiler!();
+
 fn usage() -> ExitCode {
     eprintln!(
         "usage: stpsynth <hex-truth-table> <num-vars> [--all] [--engine stp|stp-npn|bms|fen|abc] \
          [--timeout <secs>] [--jobs <n>] [--verilog] [--dot] [--store <path>] [--warm-npn4] \
-         [--log <level>] [--stats] [--trace-json <path>]"
+         [--log <level>] [--stats] [--trace-json <path>] [--profile] [--profile-folded <path>]"
     );
     ExitCode::FAILURE
 }
@@ -103,9 +112,22 @@ fn save_store(store: &Store, path: Option<&str>) -> bool {
     }
 }
 
-/// Emits the RunReport (when requested) and flushes the trace sink.
-/// Called on every exit path so `--stats` reports failures too.
-fn finish(stats: bool, args: &[String], outcome: &str, start: Instant, extra: Vec<(String, Json)>) {
+/// Emits the RunReport (when requested) and flushes the trace and
+/// profile sinks. Called on every exit path so `--stats` reports
+/// failures too; under `--profile` the aggregated span tree is printed
+/// to stderr and embedded in the report.
+fn finish(
+    stats: bool,
+    args: &[String],
+    outcome: &str,
+    start: Instant,
+    extra: Vec<(String, Json)>,
+    folded: Option<&str>,
+) {
+    let profile = stp_telemetry::profile::finish(folded.map(std::path::Path::new));
+    if let Some(tree) = &profile {
+        eprint!("{}", tree.render_text());
+    }
     if stats {
         let snapshot = stp_telemetry::metrics_global().snapshot();
         let mut report = RunReport::from_snapshot(
@@ -117,6 +139,9 @@ fn finish(stats: bool, args: &[String], outcome: &str, start: Instant, extra: Ve
         );
         for (key, value) in extra {
             report = report.with_extra(&key, value);
+        }
+        if let Some(tree) = profile {
+            report = report.with_profile(tree);
         }
         println!("{}", report.to_json_string());
     }
@@ -142,6 +167,7 @@ fn main() -> ExitCode {
     let mut stats = false;
     let mut store_path: Option<String> = None;
     let mut warm = false;
+    let mut folded: Option<String> = None;
     let mut it = args[2..].iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -150,6 +176,14 @@ fn main() -> ExitCode {
             "--dot" => emit_dot = true,
             "--stats" => stats = true,
             "--warm-npn4" => warm = true,
+            "--profile" => stp_telemetry::profile::set_enabled(true),
+            "--profile-folded" => {
+                let Some(path) = it.next() else {
+                    return flag_error("--profile-folded expects a path".to_string());
+                };
+                folded = Some(path.clone());
+                stp_telemetry::profile::set_enabled(true);
+            }
             "--store" => {
                 let Some(path) = it.next() else {
                     eprintln!("--store expects a path");
@@ -258,7 +292,14 @@ fn main() -> ExitCode {
                 }
                 Err(e) => {
                     eprintln!("error: {e}");
-                    finish(stats, &args, &format!("error: {e}"), start, Vec::new());
+                    finish(
+                        stats,
+                        &args,
+                        &format!("error: {e}"),
+                        start,
+                        Vec::new(),
+                        folded.as_deref(),
+                    );
                     return ExitCode::FAILURE;
                 }
             }
@@ -282,7 +323,14 @@ fn main() -> ExitCode {
                 }
                 Err(e) => {
                     eprintln!("error: {e}");
-                    finish(stats, &args, &format!("error: {e}"), start, Vec::new());
+                    finish(
+                        stats,
+                        &args,
+                        &format!("error: {e}"),
+                        start,
+                        Vec::new(),
+                        folded.as_deref(),
+                    );
                     return ExitCode::FAILURE;
                 }
             }
@@ -325,6 +373,7 @@ fn main() -> ExitCode {
             ("gate_count".to_string(), Json::UInt(gate_count as u64)),
             ("num_solutions".to_string(), Json::UInt(chains.len() as u64)),
         ],
+        folded.as_deref(),
     );
     ExitCode::SUCCESS
 }

@@ -140,6 +140,80 @@ fn stpsynth_stats_emits_parseable_run_report() {
 }
 
 #[test]
+fn stpsynth_stats_output_is_deterministically_ordered() {
+    // The --stats report must list counters and phases in sorted name
+    // order, so two runs of the same workload are diffable byte-for-byte
+    // (modulo the timing values themselves).
+    let out = Command::new(env!("CARGO_BIN_EXE_stpsynth"))
+        .args(["8ff8", "4", "--stats"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    let json_line = text.lines().last().expect("non-empty stdout");
+    let doc = stp_telemetry::Json::parse(json_line).expect("valid JSON");
+    for section in ["counters", "phases"] {
+        let names: Vec<String> = match doc.get(section) {
+            Some(stp_telemetry::Json::Obj(pairs)) => pairs.iter().map(|(k, _)| k.clone()).collect(),
+            Some(stp_telemetry::Json::Arr(items)) => items
+                .iter()
+                .map(|p| p.get("name").and_then(|n| n.as_str()).expect("phase name").to_string())
+                .collect(),
+            other => panic!("unexpected {section} shape: {other:?}"),
+        };
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted, "{section} not emitted in sorted order: {json_line}");
+        assert!(!names.is_empty(), "{section} empty: {json_line}");
+    }
+}
+
+#[test]
+fn stpsynth_profile_embeds_span_tree_and_writes_folded_stacks() {
+    let dir = std::env::temp_dir().join(format!("stpsynth_profile_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let folded_path = dir.join("profile.folded");
+    let out = Command::new(env!("CARGO_BIN_EXE_stpsynth"))
+        .args(["8ff8", "4", "--stats", "--profile"])
+        .args(["--profile-folded", folded_path.to_str().expect("utf8 path")])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    let json_line = text.lines().last().expect("non-empty stdout");
+    let report = stp_telemetry::RunReport::parse(json_line)
+        .unwrap_or_else(|e| panic!("invalid RunReport ({e}): {json_line}"));
+    let tree = report.profile.expect("--profile must embed the span tree");
+    assert_eq!(tree.label, "profile");
+    assert!(tree.total_ns > 0);
+    // The synthesis pipeline appears as nested spans, not a flat list.
+    let round = tree.children.iter().find(|c| c.label.starts_with("synth.round"));
+    let round = round.unwrap_or_else(|| panic!("no synth.round subtree: {json_line}"));
+    assert!(round.children.iter().any(|c| c.label.starts_with("shape.")));
+    // The folded export is written and run-rooted.
+    let folded = std::fs::read_to_string(&folded_path).expect("folded file written");
+    assert!(
+        folded.lines().any(|l| l.starts_with("synth.round") && l.contains(';')),
+        "folded: {folded}"
+    );
+    // The human-readable tree goes to stderr.
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("span") && stderr.contains("total_s"), "stderr: {stderr}");
+
+    // Without --profile the report must stay profile-free, so default
+    // transcripts are byte-identical to pre-profiling builds.
+    let out = Command::new(env!("CARGO_BIN_EXE_stpsynth"))
+        .args(["8ff8", "4", "--stats"])
+        .output()
+        .expect("binary runs");
+    let text = String::from_utf8_lossy(&out.stdout);
+    let json_line = text.lines().last().expect("non-empty stdout");
+    let report = stp_telemetry::RunReport::parse(json_line).expect("valid RunReport");
+    assert!(report.profile.is_none(), "profile leaked into an unprofiled run: {json_line}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn stpsynth_trace_json_writes_span_events() {
     let dir = std::env::temp_dir().join(format!("stpsynth_trace_{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("temp dir");
