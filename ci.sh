@@ -27,6 +27,15 @@ STP_JOBS="$(nproc)" cargo test -q -p stp-bench --offline --test warm_store smoke
 echo "==> factor counter baseline (NPN4 slice, jobs=1, vs committed BENCH_factor.json)"
 cargo test -q -p stp-bench --offline --test factor_baseline
 
+echo "==> suite scheduler baseline (NPN4 slice at jobs=1 and 4, vs committed BENCH_suite.json)"
+cargo test -q -p stp-bench --offline --test suite_baseline
+
+echo "==> suite determinism (two-level scheduler, STP_JOBS=1)"
+STP_JOBS=1 cargo test -q -p stp-bench --offline --test determinism
+
+echo "==> suite determinism (two-level scheduler, STP_JOBS=$(nproc))"
+STP_JOBS="$(nproc)" cargo test -q -p stp-bench --offline --test determinism
+
 echo "==> profiler smoke + stpprof drift gate (STP_JOBS=1)"
 STP_JOBS=1 cargo test -q -p stp-bench --offline --test profile_smoke --test profile_determinism
 

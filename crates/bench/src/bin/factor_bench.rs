@@ -55,6 +55,7 @@ fn measure(suite: &Suite, timeout: Duration, jobs: usize) -> Json {
         ("instances", Json::UInt(suite.functions.len() as u64)),
         ("solved", Json::UInt(report.solved as u64)),
         ("timeouts", Json::UInt(report.timeouts as u64)),
+        ("errors", Json::UInt(report.errors as u64)),
         ("wall_s", Json::Num((wall.as_secs_f64() * 1000.0).round() / 1000.0)),
         ("counters", Json::Obj(counters)),
     ])
@@ -79,8 +80,11 @@ fn parse_flag_value<T: std::str::FromStr>(flag: &str, value: Option<&String>, ex
 
 fn main() {
     stp_telemetry::init_from_env();
+    // A malformed STP_JOBS is a usage error, diagnosed up front — not a
+    // silent fall-back to sequential.
+    let env_jobs = stp_synth::jobs_from_env_checked().unwrap_or_else(|e| flag_error(e));
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut jobs = stp_synth::jobs_from_env();
+    let mut jobs = env_jobs;
     let mut timeout = 60.0f64;
     let mut out: Option<String> = None;
     let mut slice_only = false;

@@ -28,6 +28,13 @@ fn flag_error(message: String) -> ! {
 
 fn main() {
     stp_telemetry::init_from_env();
+    // fence_census itself is single-threaded, but a malformed STP_JOBS
+    // is still a usage error: every bin in the workspace diagnoses it
+    // up front rather than letting one tool silently accept what the
+    // others reject.
+    if let Err(message) = stp_synth::jobs_from_env_checked() {
+        flag_error(message);
+    }
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut max_k = 6usize;
     let mut show_dags = false;

@@ -58,12 +58,15 @@ fn parse_flag_value<T: std::str::FromStr>(flag: &str, value: Option<&String>, ex
 
 fn main() {
     stp_telemetry::init_from_env();
+    // A malformed STP_JOBS is a usage error, diagnosed up front — not a
+    // silent fall-back to sequential.
+    let env_jobs = stp_synth::jobs_from_env_checked().unwrap_or_else(|e| flag_error(e));
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
     let mut timeout = if full { 180.0f64 } else { 10.0 };
     let mut only_suites: Vec<String> = Vec::new();
     let mut counters = false;
-    let mut jobs = stp_synth::jobs_from_env();
+    let mut jobs = env_jobs;
     let mut retries = 1usize;
     let mut store_path: Option<String> = None;
     let mut warm = false;

@@ -4,7 +4,23 @@
 //! per-instance wall-clock timeout and aggregates the quantities the
 //! paper reports: mean solve time over solved instances, the number of
 //! timeouts (`#t/o`), the number solved (`#ok`), and — for STP — the
-//! per-solution mean time and the average solution count.
+//! per-solution mean time and the average solution count. Failures are
+//! split into timeouts and hard errors ([`InstanceFailure`]); only the
+//! former land in the `#t/o` column.
+//!
+//! Suites run through the two-level scheduler
+//! ([`stp_synth::run_instances`]): the instance-level pool distributes
+//! whole specs across workers, each worker's synthesis nests the
+//! shape-level pool, and one global `jobs` budget covers both levels.
+//! Results are merged in instance-index order, so the rendered table,
+//! the per-instance transcript, and the summed counter totals are
+//! identical to the sequential loop at any jobs count (counters are
+//! attributed per instance with [`stp_telemetry::CounterScope`], not
+//! global snapshot deltas, so concurrent instances cannot bleed into
+//! each other). One caveat: when a shared store coalesces duplicate NPN
+//! classes at `jobs > 1`, the solve's counters land on whichever
+//! duplicate won the race — per-instance attribution shifts, suite
+//! totals do not.
 
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
@@ -12,8 +28,11 @@ use std::time::{Duration, Instant};
 use stp_baselines::{
     abc_synthesize, bms_synthesize, fen_synthesize, BaselineConfig, BaselineError,
 };
+use stp_chain::Chain;
 use stp_store::Store;
-use stp_synth::{synthesize, synthesize_npn_with_store, SynthesisConfig, SynthesisError};
+use stp_synth::{
+    synthesize, synthesize_npn_with_store, JobBudget, SynthesisConfig, SynthesisError,
+};
 use stp_tt::TruthTable;
 
 use crate::suites::Suite;
@@ -47,6 +66,19 @@ impl Algorithm {
     }
 }
 
+/// Why an instance went unsolved — the split behind Table I's `#t/o`
+/// column versus the error tally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InstanceFailure {
+    /// The per-instance wall-clock budget expired (counted in `#t/o`).
+    Timeout,
+    /// The engine failed for a non-budget reason — gate-limit
+    /// exhaustion, an internal error, or a panicking worker. Counted as
+    /// an error, never as a timeout: a crash must not masquerade as a
+    /// budget problem.
+    Error(String),
+}
+
 /// Outcome of one (algorithm, instance) run.
 #[derive(Debug, Clone)]
 pub struct InstanceOutcome {
@@ -59,9 +91,33 @@ pub struct InstanceOutcome {
     pub num_solutions: usize,
     /// Whether the instance was solved before the timeout.
     pub solved: bool,
-    /// Telemetry counter deltas attributable to this run (non-zero
-    /// deltas of the global registry between entry and exit).
+    /// Why the instance went unsolved (`None` iff `solved`).
+    pub failure: Option<InstanceFailure>,
+    /// The optimum chains found (every optimum for STP, the single
+    /// solution for the CNF baselines, empty when unsolved) — the
+    /// basis of suite-level determinism transcripts.
+    pub chains: Vec<Chain>,
+    /// Telemetry counters attributable to this run: everything recorded
+    /// on this thread (and its shape workers) while the instance ran,
+    /// captured with [`stp_telemetry::CounterScope`] so concurrent
+    /// instances do not observe each other's work.
     pub counters: BTreeMap<String, u64>,
+}
+
+impl InstanceOutcome {
+    /// An error-slot outcome for an instance whose task never produced
+    /// a result (e.g. the worker panicked at the pool boundary).
+    fn error_slot(message: String) -> InstanceOutcome {
+        InstanceOutcome {
+            elapsed: Duration::ZERO,
+            gate_count: None,
+            num_solutions: 0,
+            solved: false,
+            failure: Some(InstanceFailure::Error(message)),
+            chains: Vec::new(),
+            counters: BTreeMap::new(),
+        }
+    }
 }
 
 /// Runs one instance under a timeout.
@@ -94,10 +150,10 @@ pub fn run_instance_with_store(
     jobs: usize,
     store: Option<&Store>,
 ) -> InstanceOutcome {
-    let metrics_before = stp_telemetry::metrics_global().snapshot();
+    let scope = stp_telemetry::CounterScope::enter();
     let start = Instant::now();
     let deadline = Some(start + timeout);
-    let (solved, gate_count, num_solutions) = match algorithm {
+    let (gate_count, num_solutions, chains, failure) = match algorithm {
         Algorithm::Stp => {
             let config = SynthesisConfig { deadline, jobs, ..SynthesisConfig::default() };
             let result = match store {
@@ -105,9 +161,11 @@ pub fn run_instance_with_store(
                 None => synthesize(spec, &config),
             };
             match result {
-                Ok(result) => (true, Some(result.gate_count), result.chains.len()),
-                Err(SynthesisError::Timeout) => (false, None, 0),
-                Err(_) => (false, None, 0),
+                Ok(result) => (Some(result.gate_count), result.chains.len(), result.chains, None),
+                Err(SynthesisError::Timeout) => {
+                    (None, 0, Vec::new(), Some(InstanceFailure::Timeout))
+                }
+                Err(e) => (None, 0, Vec::new(), Some(InstanceFailure::Error(e.to_string()))),
             }
         }
         baseline => {
@@ -119,15 +177,25 @@ pub fn run_instance_with_store(
                 Algorithm::Stp => unreachable!("handled above"),
             };
             match result {
-                Ok(r) => (true, Some(r.gate_count), 1),
-                Err(BaselineError::Timeout) => (false, None, 0),
-                Err(_) => (false, None, 0),
+                Ok(r) => (Some(r.gate_count), 1, vec![r.chain], None),
+                Err(BaselineError::Timeout) => {
+                    (None, 0, Vec::new(), Some(InstanceFailure::Timeout))
+                }
+                Err(e) => (None, 0, Vec::new(), Some(InstanceFailure::Error(e.to_string()))),
             }
         }
     };
     let elapsed = start.elapsed();
-    let counters = stp_telemetry::metrics_global().snapshot().delta_since(&metrics_before).counters;
-    InstanceOutcome { elapsed, gate_count, num_solutions, solved, counters }
+    let counters = scope.finish();
+    InstanceOutcome {
+        elapsed,
+        gate_count,
+        num_solutions,
+        solved: failure.is_none(),
+        failure,
+        chains,
+        counters,
+    }
 }
 
 /// A budget-escalation ladder for instances that exhaust their
@@ -163,8 +231,13 @@ impl RetryPolicy {
 
 /// [`run_instance_with_store`] under a [`RetryPolicy`]: rungs are
 /// offered in order until one solves. The reported outcome carries the
-/// *cumulative* elapsed time and counters over every attempt (the cost
-/// actually paid), and the solve status of the last attempt.
+/// *cumulative* elapsed time over every attempt (the cost actually
+/// paid) but the **last attempt's** counters — summing over failed
+/// attempts would make `factor.candidates` etc. describe work the
+/// reported solve never did. When more than one rung actually ran, the
+/// cumulative sums are still available under the `bench.retry.`
+/// prefix (e.g. `bench.retry.solver.queries`), alongside
+/// `bench.retry.attempts`.
 pub fn run_instance_with_retry(
     algorithm: Algorithm,
     spec: &TruthTable,
@@ -173,16 +246,18 @@ pub fn run_instance_with_retry(
     store: Option<&Store>,
 ) -> InstanceOutcome {
     let mut elapsed = Duration::ZERO;
-    let mut counters: BTreeMap<String, u64> = BTreeMap::new();
+    let mut cumulative: BTreeMap<String, u64> = BTreeMap::new();
+    let mut attempts_run = 0usize;
     let mut last: Option<InstanceOutcome> = None;
     for (attempt, &budget) in policy.budgets.iter().enumerate() {
         if attempt > 0 {
             stp_telemetry::counter!("bench.retry_attempts").inc();
         }
+        attempts_run += 1;
         let outcome = run_instance_with_store(algorithm, spec, budget, jobs, store);
         elapsed += outcome.elapsed;
         for (name, delta) in &outcome.counters {
-            *counters.entry(name.clone()).or_insert(0) += delta;
+            *cumulative.entry(name.clone()).or_insert(0) += delta;
         }
         let solved = outcome.solved;
         last = Some(outcome);
@@ -195,7 +270,12 @@ pub fn run_instance_with_retry(
     }
     let mut outcome = last.expect("RetryPolicy budgets are never empty");
     outcome.elapsed = elapsed;
-    outcome.counters = counters;
+    if attempts_run > 1 {
+        let retry: Vec<(String, u64)> =
+            cumulative.into_iter().map(|(name, v)| (format!("bench.retry.{name}"), v)).collect();
+        outcome.counters.extend(retry);
+        outcome.counters.insert("bench.retry.attempts".to_string(), attempts_run as u64);
+    }
     outcome
 }
 
@@ -211,6 +291,10 @@ pub struct SuiteReport {
     pub mean_time: Duration,
     /// Number of instances hitting the timeout (`#t/o`).
     pub timeouts: usize,
+    /// Number of instances failing for a non-budget reason
+    /// ([`InstanceFailure::Error`]) — kept out of `#t/o` so a crash
+    /// cannot masquerade as a budget problem.
+    pub errors: usize,
     /// Number of solved instances (`#ok`).
     pub solved: usize,
     /// Total time over solved instances (basis of the STP `Total`
@@ -260,6 +344,37 @@ pub fn run_suite_with_store(
     run_suite_with_retry(algorithm, suite, &RetryPolicy::single(timeout), jobs, store)
 }
 
+/// Runs every instance of a suite through the two-level scheduler and
+/// returns the per-instance outcomes in suite order.
+///
+/// `jobs` is the **single global budget** shared by both scheduler
+/// levels: it is split statically between instance-level workers and
+/// each worker's nested shape-level pool (see
+/// [`stp_synth::run_instances`]), so `jobs = N` never runs more than
+/// `N` synthesis threads. The outcome vector is index-aligned with
+/// `suite.functions` regardless of which worker ran which instance; an
+/// instance whose task panicked yields an
+/// [`InstanceFailure::Error`]-slot outcome instead of poisoning the
+/// suite.
+pub fn run_suite_outcomes(
+    algorithm: Algorithm,
+    suite: &Suite,
+    policy: &RetryPolicy,
+    jobs: usize,
+    store: Option<&Store>,
+) -> Vec<InstanceOutcome> {
+    // Suite names are `'static`, so under --profile every suite gets
+    // its own subtree (and the synthesis phases nest beneath it) with
+    // no per-run label allocation.
+    let _suite = stp_telemetry::Span::enter(suite.name);
+    let budget = JobBudget::new(jobs);
+    let results = stp_synth::run_instances(&budget, suite.functions.len(), |idx, shape_jobs| {
+        stp_faultsim::fail_point!("bench.instance", hit = idx as u64 + 1);
+        run_instance_with_retry(algorithm, &suite.functions[idx], policy, shape_jobs, store)
+    });
+    results.into_iter().map(|result| result.unwrap_or_else(InstanceOutcome::error_slot)).collect()
+}
+
 /// [`run_suite_with_store`] under a [`RetryPolicy`] (see
 /// [`run_instance_with_retry`]).
 pub fn run_suite_with_retry(
@@ -269,22 +384,21 @@ pub fn run_suite_with_retry(
     jobs: usize,
     store: Option<&Store>,
 ) -> SuiteReport {
-    // Suite names are `'static`, so under --profile every suite gets
-    // its own subtree (and the synthesis phases nest beneath it) with
-    // no per-run label allocation.
-    let _suite = stp_telemetry::Span::enter(suite.name);
+    let outcomes = run_suite_outcomes(algorithm, suite, policy, jobs, store);
     let mut total = Duration::ZERO;
     let mut timeouts = 0usize;
+    let mut errors = 0usize;
     let mut solved = 0usize;
     let mut solutions_sum = 0usize;
-    let mut gate_counts = Vec::with_capacity(suite.functions.len());
+    let mut gate_counts = Vec::with_capacity(outcomes.len());
     let mut counters: BTreeMap<String, u64> = BTreeMap::new();
-    for spec in &suite.functions {
-        let outcome = run_instance_with_retry(algorithm, spec, policy, jobs, store);
+    for outcome in &outcomes {
         if outcome.solved {
             solved += 1;
             total += outcome.elapsed;
             solutions_sum += outcome.num_solutions;
+        } else if matches!(outcome.failure, Some(InstanceFailure::Error(_))) {
+            errors += 1;
         } else {
             timeouts += 1;
         }
@@ -300,6 +414,7 @@ pub fn run_suite_with_retry(
         suite: suite.name,
         mean_time,
         timeouts,
+        errors,
         solved,
         total_time: total,
         mean_solutions,
@@ -318,8 +433,10 @@ mod tests {
         let spec = TruthTable::from_hex(4, "8ff8").unwrap();
         let out = run_instance(Algorithm::Stp, &spec, Duration::from_secs(30), 1);
         assert!(out.solved);
+        assert!(out.failure.is_none());
         assert_eq!(out.gate_count, Some(3));
         assert!(out.num_solutions >= 2);
+        assert_eq!(out.chains.len(), out.num_solutions);
         // The run must attribute pipeline counters to the instance.
         assert!(out.counters.contains_key("synth.rounds"));
         assert!(out.counters.contains_key("fence.fences_generated"));
@@ -345,6 +462,9 @@ mod tests {
         let out = run_instance(Algorithm::Stp, &spec, Duration::ZERO, 1);
         assert!(!out.solved);
         assert_eq!(out.gate_count, None);
+        // A budget expiry is a timeout, never an error.
+        assert_eq!(out.failure, Some(InstanceFailure::Timeout));
+        assert!(out.chains.is_empty());
     }
 
     #[test]
@@ -369,6 +489,29 @@ mod tests {
         assert_eq!(out.gate_count, Some(3));
         // The exhausted entry was upgraded, not duplicated.
         assert_eq!(store.len(), 1);
+        // The headline counters describe the *last* attempt only; the
+        // cumulative sums over both attempts live under bench.retry.*.
+        assert_eq!(out.counters.get("bench.retry.attempts"), Some(&2));
+        let last = *out.counters.get("solver.queries").unwrap_or(&0);
+        let cumulative = *out.counters.get("bench.retry.solver.queries").unwrap_or(&0);
+        assert!(last > 0, "the solving attempt must have queried the solver");
+        assert!(
+            cumulative >= last,
+            "cumulative retry counters ({cumulative}) must cover the last attempt ({last})"
+        );
+    }
+
+    #[test]
+    fn single_attempt_runs_carry_no_retry_counters() {
+        let spec = TruthTable::from_hex(4, "8ff8").unwrap();
+        let policy = RetryPolicy::single(Duration::from_secs(30));
+        let out = run_instance_with_retry(Algorithm::Stp, &spec, &policy, 1, None);
+        assert!(out.solved);
+        assert!(
+            !out.counters.keys().any(|k| k.starts_with("bench.retry.")),
+            "a one-attempt run must not grow a retry section: {:?}",
+            out.counters.keys().collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -376,7 +519,8 @@ mod tests {
         let mut suite = npn4();
         suite.functions.truncate(10);
         let report = run_suite(Algorithm::Stp, &suite, Duration::from_secs(20), 1);
-        assert_eq!(report.solved + report.timeouts, 10);
+        assert_eq!(report.solved + report.timeouts + report.errors, 10);
+        assert_eq!(report.errors, 0, "a healthy suite must report no errors");
         assert_eq!(report.gate_counts.len(), 10);
         assert!(report.solved > 0);
         assert!(report.mean_solutions >= 1.0);

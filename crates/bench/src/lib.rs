@@ -32,9 +32,9 @@ pub mod report;
 pub mod suites;
 
 pub use harness::{
-    run_instance, run_instance_with_retry, run_instance_with_store, run_suite,
-    run_suite_with_retry, run_suite_with_store, Algorithm, InstanceOutcome, RetryPolicy,
-    SuiteReport,
+    run_instance, run_instance_with_retry, run_instance_with_store, run_suite, run_suite_outcomes,
+    run_suite_with_retry, run_suite_with_store, Algorithm, InstanceFailure, InstanceOutcome,
+    RetryPolicy, SuiteReport,
 };
 pub use profdiff::{bench_drift, diff, load_profile, render_diff, DiffRow, DriftReport, DriftRow};
 pub use report::{render_counters, render_headlines, render_table};

@@ -30,6 +30,22 @@ use stp_telemetry::{Json, ProfileNode, RunReport};
 pub const PINNED_COUNTERS: [&str; 3] =
     ["factor.subproblems", "factor.memo_hits", "factor.charts_built"];
 
+/// Counters pinned by the committed `BENCH_suite.json` baseline — the
+/// suite-scheduler analogue of [`PINNED_COUNTERS`]. These totals are
+/// exact and machine-independent whenever every instance runs with one
+/// shape worker, which the two-level scheduler's static budget split
+/// guarantees for any `jobs ≤` suite size; the `suite_baseline`
+/// integration test therefore asserts them equal at jobs = 1 *and*
+/// jobs = 4, pinning the scheduler's jobs-invariance, not just a single
+/// configuration.
+pub const SUITE_PINNED_COUNTERS: [&str; 5] = [
+    "factor.subproblems",
+    "factor.memo_hits",
+    "factor.charts_built",
+    "synth.candidates",
+    "solver.queries",
+];
+
 // ---------------------------------------------------------------------
 // Loading
 // ---------------------------------------------------------------------

@@ -16,6 +16,11 @@ fn secs(d: Duration) -> String {
 ///
 /// `reports` must contain one entry per (suite, algorithm) pair; rows
 /// appear in first-seen suite order.
+///
+/// Hard errors (instances failing for a non-budget reason) never count
+/// toward `#t/o` — the table's column shape matches the paper, so any
+/// cell with errors is flagged in footnote lines appended after the
+/// table instead.
 pub fn render_table(reports: &[SuiteReport]) -> String {
     let mut suites: Vec<&'static str> = Vec::new();
     let mut index: HashMap<(&'static str, Algorithm), &SuiteReport> = HashMap::new();
@@ -77,6 +82,17 @@ pub fn render_table(reports: &[SuiteReport]) -> String {
             }
         }
         let _ = writeln!(out, "{row}");
+    }
+    for r in reports {
+        if r.errors > 0 {
+            let _ = writeln!(
+                out,
+                "note: {} on {}: {} instance(s) errored (excluded from #t/o)",
+                r.algorithm.label(),
+                r.suite,
+                r.errors
+            );
+        }
     }
     out
 }
@@ -169,6 +185,7 @@ mod tests {
             suite,
             mean_time: Duration::from_millis(mean_ms),
             timeouts,
+            errors: 0,
             solved,
             total_time: Duration::from_millis(mean_ms * solved as u64),
             mean_solutions,
@@ -190,6 +207,21 @@ mod tests {
         assert!(table.contains("0.235"));
         assert!(table.contains("222"));
         assert!(table.contains("24.0"));
+    }
+
+    #[test]
+    fn errored_cells_footnote_without_reshaping_the_table() {
+        let clean = vec![fake_report("NPN4", Algorithm::Stp, 136, 0, 222, 24.0)];
+        let clean_table = render_table(&clean);
+        assert!(!clean_table.contains("errored"));
+        let mut broken = fake_report("NPN4", Algorithm::Stp, 136, 1, 219, 24.0);
+        broken.errors = 2;
+        let table = render_table(&[broken]);
+        // Same column layout as the clean table…
+        assert_eq!(table.lines().next(), clean_table.lines().next());
+        assert!(table.lines().any(|l| l.starts_with("NPN4")));
+        // …with the errors surfaced as a footnote, not folded into #t/o.
+        assert!(table.contains("note: STP on NPN4: 2 instance(s) errored (excluded from #t/o)"));
     }
 
     #[test]

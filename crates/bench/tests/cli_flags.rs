@@ -82,6 +82,59 @@ fn stpprof_rejects_bad_usage_with_exit_2() {
     }
 }
 
+/// Runs `bin` with `STP_JOBS=value` and asserts the exit-2 usage
+/// contract, with the diagnostic naming the variable.
+fn assert_env_jobs_error(bin: &str, value: &str) {
+    let out = Command::new(bin)
+        .env("STP_JOBS", value)
+        .args(["--help-is-not-a-flag"]) // never reached: env is checked first
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2), "{bin} STP_JOBS={value}: {:?}", out.status);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("error:"), "{bin} STP_JOBS={value}: stderr {stderr}");
+    assert!(stderr.contains("STP_JOBS"), "{bin} STP_JOBS={value}: stderr {stderr}");
+}
+
+#[test]
+fn bench_bins_reject_malformed_stp_jobs_at_startup() {
+    // A malformed STP_JOBS must fail loudly at startup in every bin —
+    // never a silent fall-back to sequential — and the diagnostic must
+    // name the variable so the fix is obvious.
+    for bin in [
+        env!("CARGO_BIN_EXE_table1"),
+        env!("CARGO_BIN_EXE_factor_bench"),
+        env!("CARGO_BIN_EXE_fence_census"),
+        env!("CARGO_BIN_EXE_suite_bench"),
+    ] {
+        for value in ["abc", "-2", "1.5"] {
+            assert_env_jobs_error(bin, value);
+        }
+    }
+}
+
+#[test]
+fn suite_bench_rejects_malformed_flag_values() {
+    let bin = env!("CARGO_BIN_EXE_suite_bench");
+    for args in [&["--timeout", "abc"][..], &["--timeout"], &["--out"], &["--unknown-flag"]] {
+        assert_usage_error(bin, args);
+    }
+}
+
+#[test]
+fn fence_census_accepts_well_formed_stp_jobs() {
+    // Unset, empty, and numeric values are all fine; `0` means one
+    // worker per CPU.
+    for value in ["", "1", "4", "0"] {
+        let out = Command::new(env!("CARGO_BIN_EXE_fence_census"))
+            .env("STP_JOBS", value)
+            .args(["--max-k", "2"])
+            .output()
+            .expect("binary runs");
+        assert!(out.status.success(), "STP_JOBS={value}: {:?}", out.status);
+    }
+}
+
 #[test]
 fn fence_census_small_run_still_succeeds() {
     // The strictness must not break the plain happy path.

@@ -8,9 +8,13 @@
 //! example) and prove that a deadline propagates through the
 //! cooperative cancellation flag instead of letting workers run on.
 
+use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
-use stp_bench::{npn4, pdsd};
+use stp_bench::{
+    npn4, pdsd, run_instance_with_retry, run_suite_outcomes, Algorithm, RetryPolicy, Suite,
+};
+use stp_store::Store;
 use stp_synth::{synthesize, SynthesisConfig, SynthesisError};
 use stp_tt::TruthTable;
 
@@ -103,6 +107,118 @@ fn capped_runs_match_across_worker_counts() {
         let sequential = run(1);
         assert_eq!(sequential, run(4), "cap={cap}");
     }
+}
+
+/// The NPN4 prefix used by the suite-level determinism checks — small
+/// enough for debug builds, wide enough to span several gate counts.
+fn npn4_slice() -> Suite {
+    let mut suite = npn4();
+    suite.functions.truncate(24);
+    Suite { name: "NPN4[0..24]", functions: suite.functions }
+}
+
+/// Renders a whole suite run as one comparable transcript: per
+/// instance, the solve status, gate count, every chain in order, and
+/// every scoped counter. Wall-clock measurements — the elapsed field
+/// and the `*_ns` timing counters — are deliberately excluded: they
+/// vary run to run even sequentially. Everything else must be
+/// byte-identical at any jobs count.
+fn suite_transcript(suite: &Suite, jobs: usize, store: Option<&Store>) -> String {
+    let policy = RetryPolicy::single(Duration::from_secs(60));
+    let outcomes = run_suite_outcomes(Algorithm::Stp, suite, &policy, jobs, store);
+    assert_eq!(outcomes.len(), suite.functions.len());
+    let mut out = String::new();
+    for (idx, o) in outcomes.iter().enumerate() {
+        let _ = writeln!(out, "[{idx}] solved={} gates={:?}", o.solved, o.gate_count);
+        for chain in &o.chains {
+            out.push_str(&chain.to_string());
+        }
+        for (name, value) in &o.counters {
+            if name.ends_with("_ns") {
+                continue;
+            }
+            let _ = writeln!(out, "  {name}={value}");
+        }
+    }
+    out
+}
+
+#[test]
+fn suite_transcripts_match_across_instance_pool_sizes() {
+    // The two-level scheduler merges instance results in suite order
+    // and attributes counters per instance, so the *entire* suite
+    // transcript — status, chains, and counter totals — must be
+    // byte-identical whether the instance pool runs 1, 2, or 4 workers.
+    let suite = npn4_slice();
+    let sequential = suite_transcript(&suite, 1, None);
+    assert!(sequential.contains("solved=true"));
+    for jobs in [2, 4] {
+        let parallel = suite_transcript(&suite, jobs, None);
+        assert_eq!(sequential, parallel, "suite transcript diverged at jobs={jobs}");
+    }
+}
+
+#[test]
+fn suite_transcripts_match_with_a_shared_store() {
+    // Same contract with the NPN store attached: every run gets a fresh
+    // store (so cache state is identical), and the NPN4 representatives
+    // are distinct classes, so store coalescing cannot reorder work.
+    let suite = npn4_slice();
+    let baseline = {
+        let store = Store::new();
+        suite_transcript(&suite, 1, Some(&store))
+    };
+    for jobs in [2, 4] {
+        let store = Store::new();
+        let parallel = suite_transcript(&suite, jobs, Some(&store));
+        assert_eq!(baseline, parallel, "stored suite transcript diverged at jobs={jobs}");
+    }
+}
+
+#[test]
+fn instance_pool_at_one_worker_equals_the_sequential_loop() {
+    // jobs=1 must be the plain sequential loop, not merely equivalent
+    // to it: run the same instances by hand and compare outcomes.
+    let mut suite = npn4_slice();
+    suite.functions.truncate(6);
+    let policy = RetryPolicy::single(Duration::from_secs(60));
+    let pooled = run_suite_outcomes(Algorithm::Stp, &suite, &policy, 1, None);
+    for (idx, spec) in suite.functions.iter().enumerate() {
+        let direct = run_instance_with_retry(Algorithm::Stp, spec, &policy, 1, None);
+        assert_eq!(pooled[idx].solved, direct.solved, "instance {idx}");
+        assert_eq!(pooled[idx].gate_count, direct.gate_count, "instance {idx}");
+        assert_eq!(
+            pooled[idx].chains.iter().map(|c| c.to_string()).collect::<Vec<_>>(),
+            direct.chains.iter().map(|c| c.to_string()).collect::<Vec<_>>(),
+            "instance {idx}"
+        );
+        assert_eq!(pooled[idx].counters, direct.counters, "instance {idx}");
+    }
+}
+
+#[test]
+fn duplicate_classes_coalesce_into_one_synthesis() {
+    // Three copies of the running example plus three of another class:
+    // the store's in-flight dedup must collapse each class to a single
+    // synthesis even when the instance pool offers them concurrently.
+    let a = TruthTable::from_hex(4, "8ff8").unwrap();
+    let b = TruthTable::from_hex(4, "6996").unwrap();
+    let suite =
+        Suite { name: "DUP", functions: vec![a.clone(), b.clone(), a.clone(), b.clone(), a, b] };
+    let policy = RetryPolicy::single(Duration::from_secs(60));
+    let store = Store::new();
+    let outcomes = run_suite_outcomes(Algorithm::Stp, &suite, &policy, 4, Some(&store));
+    assert!(outcomes.iter().all(|o| o.solved), "every duplicate must solve");
+    // One miss (= one actual synthesis) per distinct NPN class; the
+    // other four instances answered from the store or waited on the
+    // in-flight solve.
+    assert_eq!(store.misses(), 2, "duplicate classes must coalesce to one synthesis each");
+    // All copies of a class report the same solution set.
+    assert_eq!(outcomes[0].gate_count, outcomes[2].gate_count);
+    assert_eq!(
+        outcomes[0].chains.iter().map(|c| c.to_string()).collect::<Vec<_>>(),
+        outcomes[4].chains.iter().map(|c| c.to_string()).collect::<Vec<_>>()
+    );
 }
 
 #[test]

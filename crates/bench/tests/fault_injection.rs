@@ -14,6 +14,9 @@
 
 #![cfg(feature = "faultsim")]
 
+use std::time::Duration;
+
+use stp_bench::{run_suite_with_retry, Algorithm, RetryPolicy, Suite};
 use stp_synth::{synthesize, SynthesisConfig, SynthesisError};
 use stp_tt::TruthTable;
 
@@ -128,6 +131,72 @@ fn deadline_failpoint_forces_a_structured_timeout() {
         stp_faultsim::clear_all();
         assert!(matches!(err, SynthesisError::Timeout), "jobs={jobs}: got {err:?}");
     }
+}
+
+/// A three-instance suite of easy, distinct NPN4 functions.
+fn small_suite() -> Suite {
+    Suite {
+        name: "FAULT3",
+        functions: ["8ff8", "6996", "1ee1"]
+            .iter()
+            .map(|hex| TruthTable::from_hex(4, hex).unwrap())
+            .collect(),
+    }
+}
+
+#[test]
+fn panicking_instance_counts_as_an_error_not_a_timeout() {
+    let _serial = stp_faultsim::test_guard();
+    stp_faultsim::clear_all();
+    // Instance hit numbers are 1-based: "2:panic" kills exactly the
+    // second instance. The suite must absorb the panic as a hard error
+    // — never as a timeout, and never at the cost of the siblings —
+    // identically at jobs=1 (sequential path) and jobs=4 (worker pool).
+    let suite = small_suite();
+    let policy = RetryPolicy::single(Duration::from_secs(60));
+    for jobs in [1usize, 4] {
+        stp_faultsim::set("bench.instance", "2:panic").unwrap();
+        let report = run_suite_with_retry(Algorithm::Stp, &suite, &policy, jobs, None);
+        stp_faultsim::clear_all();
+        assert_eq!(report.errors, 1, "jobs={jobs}: the panicking instance must land in errors");
+        assert_eq!(report.timeouts, 0, "jobs={jobs}: a panic must not masquerade as a timeout");
+        assert_eq!(report.solved, 2, "jobs={jobs}: sibling instances must survive");
+        assert_eq!(report.gate_counts.len(), 3, "jobs={jobs}");
+        assert!(report.gate_counts[1].is_none(), "jobs={jobs}: faulted slot must stay unsolved");
+        assert!(report.gate_counts[0].is_some() && report.gate_counts[2].is_some(), "jobs={jobs}");
+    }
+}
+
+#[test]
+fn panicking_shape_inside_an_instance_is_an_error_not_a_timeout() {
+    let _serial = stp_faultsim::test_guard();
+    stp_faultsim::clear_all();
+    // A load-bearing shape panic surfaces from the engine as
+    // `JobPanicked`; the harness must classify that as a hard error.
+    let suite = Suite { name: "FAULT1", functions: vec![TruthTable::from_hex(4, "8ff8").unwrap()] };
+    let policy = RetryPolicy::single(Duration::from_secs(60));
+    stp_faultsim::set("parallel.shape", "1:panic").unwrap();
+    let report = run_suite_with_retry(Algorithm::Stp, &suite, &policy, 1, None);
+    stp_faultsim::clear_all();
+    assert_eq!(report.errors, 1);
+    assert_eq!(report.timeouts, 0);
+    assert_eq!(report.solved, 0);
+}
+
+#[test]
+fn forced_deadline_expiry_still_counts_as_a_timeout() {
+    let _serial = stp_faultsim::test_guard();
+    stp_faultsim::clear_all();
+    // The inverse split: a genuine (here, injected) deadline expiry
+    // must keep landing in #t/o, not in the error tally.
+    let suite = Suite { name: "FAULT1", functions: vec![TruthTable::from_hex(4, "8ff8").unwrap()] };
+    let policy = RetryPolicy::single(Duration::from_secs(60));
+    stp_faultsim::set("factor.deadline", "err").unwrap();
+    let report = run_suite_with_retry(Algorithm::Stp, &suite, &policy, 1, None);
+    stp_faultsim::clear_all();
+    assert_eq!(report.timeouts, 1);
+    assert_eq!(report.errors, 0);
+    assert_eq!(report.solved, 0);
 }
 
 #[test]

@@ -1,0 +1,86 @@
+//! CI drift gate for the committed suite-scheduler baseline.
+//!
+//! `BENCH_suite.json` (repo root, written by the `suite_bench` binary)
+//! records the NPN4 24-class slice at `jobs = 1` and `jobs = 4`:
+//! per-run wall-clock (machine-dependent, informational) and the
+//! [`SUITE_PINNED_COUNTERS`] totals (exact). The two-level scheduler's
+//! static budget split keeps every slice instance at one shape worker
+//! for both jobs counts, so the pinned totals must reproduce to the
+//! last digit **and** be identical across jobs counts — this test
+//! re-runs the slice at both and fails on any drift, catching
+//! search-space changes, counter-attribution races between concurrent
+//! instances, and any scheduler change that silently makes suite
+//! totals depend on the worker count.
+//!
+//! Counter attribution uses per-instance `CounterScope`s, so this gate
+//! is immune to other tests bumping the global registry concurrently —
+//! unlike the factor baseline it does not need its own process.
+
+use std::time::Duration;
+
+use stp_bench::profdiff::SUITE_PINNED_COUNTERS;
+use stp_bench::{npn4, run_suite, Algorithm, Suite};
+use stp_telemetry::Json;
+
+#[test]
+fn npn4_slice_counters_match_committed_baseline_at_both_jobs_counts() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_suite.json");
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read committed baseline {path}: {e}"));
+    let doc = Json::parse(&text).expect("BENCH_suite.json must parse");
+    assert_eq!(
+        doc.get("schema").and_then(Json::as_str),
+        Some("stp-bench-suite v1"),
+        "unknown baseline schema"
+    );
+    let runs = doc.get("slice").and_then(Json::as_arr).expect("baseline must have slice runs");
+
+    let mut suite = npn4();
+    suite.functions.truncate(24);
+    let suite = Suite { name: "NPN4[0..24]", functions: suite.functions };
+
+    let mut checked = 0usize;
+    for jobs in [1usize, 4] {
+        let committed = runs
+            .iter()
+            .find(|r| r.get("jobs").and_then(Json::as_u64) == Some(jobs as u64))
+            .unwrap_or_else(|| panic!("baseline is missing the jobs={jobs} slice run"));
+        let report = run_suite(Algorithm::Stp, &suite, Duration::from_secs(60), jobs);
+        assert_eq!(report.solved, 24, "jobs={jobs}: every slice instance must solve");
+        assert_eq!(report.errors, 0, "jobs={jobs}: no instance may error");
+        for name in SUITE_PINNED_COUNTERS {
+            let want = committed
+                .get("counters")
+                .and_then(|c| c.get(name))
+                .and_then(Json::as_u64)
+                .unwrap_or_else(|| panic!("baseline is missing counter '{name}'"));
+            let got = *report.counters.get(name).unwrap_or(&0);
+            assert_eq!(
+                got, want,
+                "jobs={jobs}: counter '{name}' drifted from the committed \
+                 BENCH_suite.json baseline: re-record it with `cargo run \
+                 --release -p stp-bench --bin suite_bench -- --out \
+                 BENCH_suite.json` only if the change in suite behaviour is \
+                 intentional"
+            );
+            checked += 1;
+        }
+    }
+    assert_eq!(checked, 2 * SUITE_PINNED_COUNTERS.len());
+
+    // The committed document itself must already agree across jobs
+    // counts — the scheduler's jobs-invariance, recorded at rest.
+    let counters_of = |jobs: u64| {
+        runs.iter()
+            .find(|r| r.get("jobs").and_then(Json::as_u64) == Some(jobs))
+            .and_then(|r| r.get("counters"))
+            .cloned()
+            .unwrap_or_else(|| panic!("baseline is missing the jobs={jobs} slice run"))
+    };
+    assert_eq!(
+        counters_of(1),
+        counters_of(4),
+        "committed slice counters differ between jobs=1 and jobs=4 — the \
+         baseline itself violates jobs-invariance"
+    );
+}

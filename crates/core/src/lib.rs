@@ -46,7 +46,7 @@ pub use circuit_solver::{solve_circuit, verify_chain, CircuitSolutions, PartialA
 pub use encode::{decode_canonical_form, encode_canonical_form};
 pub use error::SynthesisError;
 pub use factor::{FactorConfig, Factorizer};
-pub use parallel::{jobs_from_env, resolve_jobs};
+pub use parallel::{jobs_from_env, jobs_from_env_checked, resolve_jobs, run_instances, JobBudget};
 pub use synth::{
     synthesize, synthesize_default, synthesize_npn, synthesize_npn_with_store,
     synthesize_with_objective, warm_npn4, Objective, SynthesisConfig, SynthesisResult, WarmReport,

@@ -25,6 +25,40 @@
 //! reports [`SynthesisError::Timeout`] (and no satisfied prefix exists)
 //! records the error and cancels every other worker.
 //!
+//! # Two scheduler levels, one budget
+//!
+//! Shape-level parallelism only helps inside one instance. Suite
+//! workloads (Table I, `--warm-npn4`, batch rewriting) run many
+//! instances, so this module also provides the **instance level**:
+//! [`run_instances`] feeds whole work items to a pool of instance
+//! workers, with the shape-level pool nested inside each item. Both
+//! levels draw threads from a single [`JobBudget`] — `--jobs N` means
+//! *N running worker threads in total, never N×N*: each instance
+//! worker borrows its shape-slot allotment from the same budget it was
+//! spawned from.
+//!
+//! The split between the levels is **static and deterministic**, not
+//! demand-driven: `instance_workers = min(N, items)` and every
+//! instance runs with `shape_jobs = N / instance_workers`. A dynamic
+//! scheme (idle instance workers donating slots to running instances)
+//! would be faster in the tail of a suite, but the per-worker memo
+//! tables make counters like `factor.memo_hits` depend on the shape
+//! worker count — timing-dependent borrowing would make suite counter
+//! totals nondeterministic. With the static split, any suite at least
+//! as wide as the budget runs every instance shape-sequentially
+//! (`shape_jobs = 1`), so the suite transcript **and** its counter
+//! totals are byte-identical to the plain sequential loop at any
+//! `--jobs`; a single instance (`items = 1`) still gets the whole
+//! budget as shape workers, preserving the PR 3 behavior.
+//!
+//! Instance results land in index-addressed slots and are returned in
+//! instance-index order; a panicking instance is isolated into its
+//! slot as an error (`par.instances_panicked`), leaving the survivors
+//! untouched. Workers inherit the spawner's profile path and counter
+//! scopes, so `jobs=1` and `jobs=N` runs produce structurally
+//! identical span trees and identically attributed per-instance
+//! counters.
+//!
 //! # Panic isolation
 //!
 //! Every shape task — sequential or parallel — runs inside
@@ -65,10 +99,41 @@ pub(crate) struct RoundOutcome {
     pub shapes_explored: usize,
 }
 
+/// Parses the `STP_JOBS` environment variable strictly: `Ok(1)` when
+/// unset (or set to the empty string, which conventionally means
+/// unset), `Ok(n)` for a well-formed thread count (`0` = one per CPU),
+/// and `Err` with a message naming the variable for anything else.
+///
+/// Binaries call this at startup and turn the error into an exit-2
+/// usage failure, matching the strict `--jobs` flag contract — a typo
+/// in `STP_JOBS` must never silently degrade a run to one thread.
+pub fn jobs_from_env_checked() -> Result<usize, String> {
+    match std::env::var("STP_JOBS") {
+        Err(std::env::VarError::NotPresent) => Ok(1),
+        Err(std::env::VarError::NotUnicode(_)) => {
+            Err("STP_JOBS expects a thread count (0 = one per CPU), got non-UTF-8 bytes".into())
+        }
+        Ok(raw) => parse_jobs_value(&raw),
+    }
+}
+
+/// The value-level half of [`jobs_from_env_checked`]: empty means
+/// unset (`Ok(1)`), anything else must be a `usize`.
+fn parse_jobs_value(raw: &str) -> Result<usize, String> {
+    if raw.is_empty() {
+        return Ok(1);
+    }
+    raw.parse::<usize>()
+        .map_err(|_| format!("STP_JOBS expects a thread count (0 = one per CPU), got `{raw}`"))
+}
+
 /// Parses the `STP_JOBS` environment variable: the default worker count
-/// for [`crate::SynthesisConfig`] (`1` when unset or unparsable).
+/// for [`crate::SynthesisConfig`]. The **library** default stays
+/// well-defined — `1` when unset *or* malformed — so embedding code
+/// never aborts on a bad environment; binaries use
+/// [`jobs_from_env_checked`] to reject malformed values loudly instead.
 pub fn jobs_from_env() -> usize {
-    std::env::var("STP_JOBS").ok().and_then(|v| v.parse().ok()).unwrap_or(1)
+    jobs_from_env_checked().unwrap_or(1)
 }
 
 /// Resolves a `jobs` knob: `0` means one worker per available CPU.
@@ -77,6 +142,164 @@ pub fn resolve_jobs(jobs: usize) -> usize {
         0 => std::thread::available_parallelism().map(usize::from).unwrap_or(1),
         j => j,
     }
+}
+
+/// The global worker-thread budget shared by the two scheduler levels.
+///
+/// One budget is created per batch run from the `--jobs` knob; the
+/// instance pool ([`run_instances`]) acquires one slot per instance
+/// worker plus that worker's shape-slot allotment from the *same*
+/// account, so the number of running worker threads never exceeds
+/// [`JobBudget::total`]. The accounting is an enforced invariant of
+/// the static level split — see the module docs for why the split is
+/// not demand-driven.
+#[derive(Debug)]
+pub struct JobBudget {
+    total: usize,
+    available: AtomicUsize,
+}
+
+impl JobBudget {
+    /// A budget of `resolve_jobs(jobs)` worker threads.
+    pub fn new(jobs: usize) -> JobBudget {
+        let total = resolve_jobs(jobs).max(1);
+        JobBudget { total, available: AtomicUsize::new(total) }
+    }
+
+    /// The total thread budget (`--jobs` after resolving `0`).
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Threads currently unclaimed.
+    pub fn available(&self) -> usize {
+        self.available.load(Ordering::SeqCst)
+    }
+
+    /// Claims `n` slots, failing (without partial effect) when fewer
+    /// are free.
+    fn acquire(&self, n: usize) -> bool {
+        self.available
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |free| free.checked_sub(n))
+            .is_ok()
+    }
+
+    /// Returns `n` previously acquired slots.
+    fn release(&self, n: usize) {
+        let prev = self.available.fetch_add(n, Ordering::SeqCst);
+        debug_assert!(prev + n <= self.total, "released more job slots than acquired");
+    }
+}
+
+/// Renders an instance-level panic payload as the error message parked
+/// in the instance's result slot.
+fn instance_panic(idx: usize, payload: Box<dyn std::any::Any + Send>) -> String {
+    stp_telemetry::counter!("par.instances_panicked").inc();
+    let message = format!("instance task {idx}: {}", panic_message(payload));
+    stp_telemetry::error!("isolated a panicking instance job ({message})");
+    message
+}
+
+/// One instance behind the panic boundary: `run` receives the instance
+/// index and the shape-level `jobs` allotment its nested scheduler may
+/// use. `AssertUnwindSafe` is sound for the same reason as at the
+/// shape level: callers only observe an instance's state through its
+/// returned value, and a panicked instance's slot holds an error, not
+/// partial output.
+fn run_instance_task<T, F: Fn(usize, usize) -> T>(
+    run: &F,
+    idx: usize,
+    shape_jobs: usize,
+) -> Result<T, String> {
+    stp_telemetry::counter!("par.instances_run").inc();
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run(idx, shape_jobs)))
+        .map_err(|payload| instance_panic(idx, payload))
+}
+
+/// Runs `count` work items over the instance-level pool, returning the
+/// results in **instance-index order** — `Err` carries the panic
+/// message of an isolated panicking item.
+///
+/// `run(idx, shape_jobs)` executes item `idx` and must confine any
+/// nested parallelism to `shape_jobs` workers; both levels then stay
+/// inside `budget` (`--jobs N` = N running threads in total). The
+/// budget split is static (see the module docs): with
+/// `count >= budget.total()` every item gets `shape_jobs = 1`, making
+/// the pooled run — outputs *and* counter totals — byte-identical to
+/// the sequential loop at any budget; a single item gets the entire
+/// budget as its shape-level allotment.
+///
+/// With an effective width of one worker the items run inline on the
+/// calling thread — no pool, no inheritance glue, byte-identical to a
+/// plain `for` loop by construction.
+pub fn run_instances<T: Send, F: Fn(usize, usize) -> T + Sync>(
+    budget: &JobBudget,
+    count: usize,
+    run: F,
+) -> Vec<Result<T, String>> {
+    let total = budget.total();
+    let workers = total.min(count).max(1);
+    // Uniform shape allotment: every instance must see the same nested
+    // `jobs` no matter which worker picks it up (a per-worker remainder
+    // would make per-instance counters depend on the timing of the
+    // claim order).
+    let shape_jobs = (total / workers).max(1);
+    if workers <= 1 {
+        // The sequential loop: the single "instance worker" is the
+        // calling thread, and its nested scheduler may use the whole
+        // budget.
+        return (0..count).map(|idx| run_instance_task(&run, idx, total)).collect();
+    }
+    // `Mutex<Option<_>>` rather than `OnceLock`: a slot is written once
+    // by exactly one worker (the claim counter hands out each index
+    // once), and `Mutex` only needs `T: Send` to cross the scope.
+    let results: Vec<Mutex<Option<Result<T, String>>>> =
+        (0..count).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    // Workers inherit the spawner's open-span path and counter scopes,
+    // so profiling and per-instance counter attribution are identical
+    // to the inline loop.
+    let base_path = stp_telemetry::profile::current_path();
+    let scopes = stp_telemetry::scope::current();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let results = &results;
+            let next = &next;
+            let run = &run;
+            let base_path = base_path.clone();
+            let scopes = scopes.clone();
+            scope.spawn(move || {
+                // Each instance worker borrows its shape-slot allotment
+                // from the shared budget: itself plus the extra threads
+                // its nested shape pool may spawn. The static split
+                // guarantees the claim fits; the acquire enforces it.
+                let claimed = budget.acquire(shape_jobs);
+                debug_assert!(claimed, "static split exceeded the job budget");
+                let _inherit_path = stp_telemetry::profile::inherit_path(&base_path);
+                let _inherit_scopes = stp_telemetry::scope::inherit(&scopes);
+                loop {
+                    let idx = next.fetch_add(1, Ordering::SeqCst);
+                    if idx >= count {
+                        break;
+                    }
+                    let outcome = run_instance_task(run, idx, shape_jobs);
+                    let prev = results[idx].lock().expect("slot lock").replace(outcome);
+                    debug_assert!(prev.is_none(), "instance slot {idx} claimed twice");
+                }
+                if claimed {
+                    budget.release(shape_jobs);
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("slot lock poisoned")
+                .expect("every instance slot is filled before join")
+        })
+        .collect()
 }
 
 /// The sequential round: shapes in order, verified chains accumulated
@@ -420,14 +643,19 @@ pub(crate) fn run_round_parallel(
     };
     // Workers inherit the spawner's open-span path (e.g. the
     // synth.round.rN frame), so profiled spans on worker threads land
-    // at the same tree position the sequential path records them.
+    // at the same tree position the sequential path records them — and
+    // the spawner's counter scopes, so per-instance counter
+    // attribution (the bench harness) survives shape-level fan-out.
     let base_path = stp_telemetry::profile::current_path();
+    let scopes = stp_telemetry::scope::current();
     std::thread::scope(|scope| {
         for (w, engine) in engines[..workers].iter_mut().enumerate() {
             let state = &state;
             let base_path = base_path.clone();
+            let scopes = scopes.clone();
             scope.spawn(move || {
-                let _inherit = stp_telemetry::profile::inherit_path(&base_path);
+                let _inherit_path = stp_telemetry::profile::inherit_path(&base_path);
+                let _inherit_scopes = stp_telemetry::scope::inherit(&scopes);
                 worker_loop(w, engine, state)
             });
         }
@@ -496,6 +724,108 @@ mod tests {
         assert!(resolve_jobs(0) >= 1);
         assert_eq!(resolve_jobs(1), 1);
         assert_eq!(resolve_jobs(7), 7);
+    }
+
+    #[test]
+    fn job_budget_accounts_acquires_and_releases() {
+        let budget = JobBudget::new(4);
+        assert_eq!(budget.total(), 4);
+        assert_eq!(budget.available(), 4);
+        assert!(budget.acquire(3));
+        assert_eq!(budget.available(), 1);
+        assert!(!budget.acquire(2), "over-claim must fail without partial effect");
+        assert_eq!(budget.available(), 1);
+        assert!(budget.acquire(1));
+        budget.release(4);
+        assert_eq!(budget.available(), 4);
+    }
+
+    #[test]
+    fn run_instances_returns_results_in_index_order() {
+        for jobs in [1usize, 2, 4, 8] {
+            let budget = JobBudget::new(jobs);
+            let results = run_instances(&budget, 10, |idx, shape_jobs| {
+                assert!(shape_jobs >= 1);
+                idx * idx
+            });
+            let values: Vec<usize> = results.into_iter().map(|r| r.expect("no panic")).collect();
+            assert_eq!(values, (0..10).map(|i| i * i).collect::<Vec<_>>(), "jobs={jobs}");
+            assert_eq!(budget.available(), budget.total(), "jobs={jobs}: budget leaked");
+        }
+    }
+
+    #[test]
+    fn run_instances_splits_the_budget_statically() {
+        // Suite at least as wide as the budget: every instance is
+        // shape-sequential, so counters match the sequential loop.
+        let budget = JobBudget::new(4);
+        let results = run_instances(&budget, 8, |_, shape_jobs| shape_jobs);
+        assert!(results.into_iter().all(|r| r == Ok(1)));
+        // A single instance gets the entire budget as shape slots.
+        let results = run_instances(&budget, 1, |_, shape_jobs| shape_jobs);
+        assert_eq!(results, vec![Ok(4)]);
+        // Fewer instances than budget: the surplus goes to shape level,
+        // uniformly.
+        let budget = JobBudget::new(8);
+        let results = run_instances(&budget, 3, |_, shape_jobs| shape_jobs);
+        assert_eq!(results, vec![Ok(2), Ok(2), Ok(2)]);
+        // Zero items is a no-op, not a panic.
+        assert!(run_instances(&budget, 0, |_, _| 0).is_empty());
+    }
+
+    #[test]
+    fn run_instances_isolates_a_panicking_item() {
+        for jobs in [1usize, 4] {
+            let budget = JobBudget::new(jobs);
+            let results = run_instances(&budget, 5, |idx, _| {
+                if idx == 2 {
+                    panic!("instance boom");
+                }
+                idx
+            });
+            assert_eq!(results.len(), 5, "jobs={jobs}");
+            for (idx, r) in results.iter().enumerate() {
+                if idx == 2 {
+                    let message = r.as_ref().expect_err("item 2 must fail");
+                    assert!(message.contains("instance task 2"), "jobs={jobs}: {message}");
+                    assert!(message.contains("instance boom"), "jobs={jobs}: {message}");
+                } else {
+                    assert_eq!(r.as_ref().copied(), Ok(idx), "jobs={jobs}: survivor lost");
+                }
+            }
+            assert_eq!(budget.available(), budget.total(), "jobs={jobs}: budget leaked");
+        }
+    }
+
+    #[test]
+    fn run_instances_inherits_counter_scopes() {
+        // Counters bumped inside pooled instances land in the scope
+        // open on the submitting thread, at any pool width.
+        for jobs in [1usize, 4] {
+            let scope = stp_telemetry::CounterScope::enter();
+            let budget = JobBudget::new(jobs);
+            let results = run_instances(&budget, 6, |_, _| {
+                stp_telemetry::counter!("par.test.scoped_work").inc();
+            });
+            assert!(results.into_iter().all(|r| r.is_ok()));
+            let got = scope.finish();
+            assert_eq!(got.get("par.test.scoped_work"), Some(&6), "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn stp_jobs_values_parse_strictly() {
+        // The env var itself is process-global (the CLI tests cover it
+        // end to end in fresh processes); the value grammar is pinned
+        // here.
+        assert_eq!(parse_jobs_value("4"), Ok(4));
+        assert_eq!(parse_jobs_value("0"), Ok(0), "0 = one per CPU stays valid");
+        assert_eq!(parse_jobs_value(""), Ok(1), "empty means unset");
+        for bad in ["abc", "-2", "1.5", " 4", "4 ", "0x2"] {
+            let err = parse_jobs_value(bad).expect_err(bad);
+            assert!(err.contains("STP_JOBS"), "`{bad}`: message must name the variable: {err}");
+            assert!(err.contains(bad), "`{bad}`: message must echo the value: {err}");
+        }
     }
 
     #[test]

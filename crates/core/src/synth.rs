@@ -454,37 +454,77 @@ pub struct WarmReport {
 /// exhausted — and retried on the next warm pass with a larger budget —
 /// rather than aborting the warm-up.
 ///
+/// The classes run through the instance-level pool
+/// ([`crate::run_instances`]): `config.jobs` is the single global
+/// budget for the whole warm, split between class-level workers and
+/// each class's nested shape-level pool. Whether a class counts as
+/// `solved` or `cached` is decided by a per-class
+/// [`stp_telemetry::CounterScope`] observing `store.misses` — exact
+/// even when classes warm concurrently (a store-level miss-count delta
+/// would race).
+///
 /// # Errors
 ///
 /// Propagates any non-timeout engine failure
-/// (e.g. [`SynthesisError::GateLimitExceeded`]).
+/// (e.g. [`SynthesisError::GateLimitExceeded`]); a panicking class
+/// surfaces as [`SynthesisError::JobPanicked`] after the surviving
+/// classes finish warming.
 pub fn warm_npn4(
     store: &Store,
     config: &SynthesisConfig,
     per_class_timeout: Option<Duration>,
 ) -> Result<WarmReport, SynthesisError> {
     let _span = stp_telemetry::span!("store.warm_npn4");
-    let mut report = WarmReport::default();
-    for arity in 0..=4 {
-        for rep in stp_tt::npn_classes(arity) {
-            report.classes += 1;
-            let misses_before = store.misses();
-            let mut per_class = config.clone();
-            per_class.deadline = per_class_timeout.map(|t| Instant::now() + t);
-            match synthesize_npn_with_store(&rep, &per_class, store) {
-                Ok(_) => {
-                    if store.misses() > misses_before {
-                        report.solved += 1;
-                    } else {
-                        report.cached += 1;
-                    }
+    /// How one class participated in the warm pass.
+    enum ClassOutcome {
+        Solved,
+        Cached,
+        Exhausted,
+    }
+    let reps: Vec<TruthTable> = (0..=4).flat_map(stp_tt::npn_classes).collect();
+    let budget = crate::parallel::JobBudget::new(config.jobs);
+    let results = crate::parallel::run_instances(&budget, reps.len(), |idx, shape_jobs| {
+        let scope = stp_telemetry::CounterScope::enter();
+        let mut per_class = config.clone();
+        per_class.jobs = shape_jobs;
+        per_class.deadline = per_class_timeout.map(|t| Instant::now() + t);
+        let outcome = synthesize_npn_with_store(&reps[idx], &per_class, store);
+        let counters = scope.finish();
+        match outcome {
+            // A fresh synthesis registers exactly one store miss on
+            // this class's thread; answering from the store (or the
+            // trivial fast path) registers none.
+            Ok(_) if counters.get("store.misses").copied().unwrap_or(0) > 0 => {
+                Ok(ClassOutcome::Solved)
+            }
+            Ok(_) => Ok(ClassOutcome::Cached),
+            Err(SynthesisError::Timeout) => Ok(ClassOutcome::Exhausted),
+            Err(other) => Err(other),
+        }
+    });
+    let mut report = WarmReport { classes: reps.len(), ..WarmReport::default() };
+    let mut first_error: Option<SynthesisError> = None;
+    for result in results {
+        match result {
+            Ok(Ok(ClassOutcome::Solved)) => report.solved += 1,
+            Ok(Ok(ClassOutcome::Cached)) => report.cached += 1,
+            Ok(Ok(ClassOutcome::Exhausted)) => report.exhausted += 1,
+            Ok(Err(e)) => {
+                if first_error.is_none() {
+                    first_error = Some(e);
                 }
-                Err(SynthesisError::Timeout) => report.exhausted += 1,
-                Err(other) => return Err(other),
+            }
+            Err(message) => {
+                if first_error.is_none() {
+                    first_error = Some(SynthesisError::JobPanicked { message });
+                }
             }
         }
     }
-    Ok(report)
+    match first_error {
+        Some(e) => Err(e),
+        None => Ok(report),
+    }
 }
 
 #[cfg(test)]

@@ -20,6 +20,11 @@
 //!   printed by `--stats`, both serialized through the hand-rolled
 //!   [`json::Json`] value type (which also parses, so tests and
 //!   scripts can read reports back without serde).
+//! - [`scope`] — thread-scoped counter attribution
+//!   ([`CounterScope`](scope::CounterScope)): an exact per-window
+//!   counter delta that stays exact when other threads run concurrent
+//!   work, with worker-pool inheritance mirroring the profiler's
+//!   `inherit_path`.
 //! - [`profile`] / [`expose`] / `alloc` — the profiling layer: spans
 //!   aggregate into a deterministic profile tree (`--profile`, folded
 //!   flamegraph export, JSON embedding in reports), the registry
@@ -42,6 +47,7 @@ pub mod log;
 pub mod metrics;
 pub mod profile;
 pub mod report;
+pub mod scope;
 pub mod span;
 pub mod trace;
 
@@ -50,6 +56,7 @@ pub use log::{enabled, init_from_env, level, set_level, Level};
 pub use metrics::{global as metrics_global, Counter, Histogram, Metrics, MetricsSnapshot};
 pub use profile::ProfileNode;
 pub use report::{PhaseStats, RunReport};
+pub use scope::CounterScope;
 pub use span::Span;
 
 #[cfg(test)]

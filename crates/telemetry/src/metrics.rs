@@ -13,35 +13,67 @@ use std::sync::{Mutex, OnceLock};
 use std::time::Duration;
 
 /// A monotonically increasing event counter.
-#[derive(Debug, Default)]
-pub struct Counter(AtomicU64);
+///
+/// Counters interned through a [`Metrics`] registry know their own
+/// name, which lets increments feed any open
+/// [`CounterScope`](crate::scope::CounterScope) on the current thread
+/// (exact per-window attribution under concurrency). A `Counter`
+/// built via `Default` has no name and is never scoped.
+#[derive(Debug)]
+pub struct Counter {
+    value: AtomicU64,
+    name: &'static str,
+}
+
+impl Default for Counter {
+    fn default() -> Counter {
+        Counter { value: AtomicU64::new(0), name: "" }
+    }
+}
 
 impl Counter {
+    /// A zeroed counter carrying its interned registry name.
+    fn named(name: &'static str) -> Counter {
+        Counter { value: AtomicU64::new(0), name }
+    }
+
+    /// The registry name this counter was interned under (empty for
+    /// counters built outside a registry).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
     /// Adds one.
     #[inline]
     pub fn inc(&self) {
-        self.0.fetch_add(1, Ordering::Relaxed);
+        self.add(1);
     }
 
     /// Adds `n`.
     #[inline]
     pub fn add(&self, n: u64) {
-        self.0.fetch_add(n, Ordering::Relaxed);
+        self.value.fetch_add(n, Ordering::Relaxed);
+        // Scoped attribution: one relaxed load while no scope is open
+        // anywhere in the process (the common case).
+        if crate::scope::any_active() && !self.name.is_empty() {
+            crate::scope::record(self.name, n);
+        }
     }
 
-    /// Raises the value to at least `n` (for high-water marks).
+    /// Raises the value to at least `n` (for high-water marks). Not
+    /// scoped: a maximum is not an additive delta.
     #[inline]
     pub fn record_max(&self, n: u64) {
-        self.0.fetch_max(n, Ordering::Relaxed);
+        self.value.fetch_max(n, Ordering::Relaxed);
     }
 
     /// The current value.
     pub fn get(&self) -> u64 {
-        self.0.load(Ordering::Relaxed)
+        self.value.load(Ordering::Relaxed)
     }
 
     fn reset(&self) {
-        self.0.store(0, Ordering::Relaxed);
+        self.value.store(0, Ordering::Relaxed);
     }
 }
 
@@ -178,7 +210,10 @@ impl Metrics {
         if let Some(c) = map.get(name) {
             return c;
         }
-        let c: &'static Counter = Box::leak(Box::new(Counter::default()));
+        // The counter carries its name so increments can be attributed
+        // to open counter scopes; both leak together, once per name.
+        let name_static: &'static str = Box::leak(name.to_string().into_boxed_str());
+        let c: &'static Counter = Box::leak(Box::new(Counter::named(name_static)));
         map.insert(name.to_string(), c);
         c
     }

@@ -106,6 +106,12 @@ fn finish(
 
 fn main() -> ExitCode {
     stp_telemetry::init_from_env();
+    // A malformed STP_JOBS is a usage error, diagnosed before any other
+    // argument handling — not a silent fall-back to sequential (the
+    // value feeds `RewriteConfig::default()`).
+    if let Err(message) = stp_repro::synth::jobs_from_env_checked() {
+        return flag_error(message);
+    }
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         return usage();

@@ -150,6 +150,12 @@ fn finish(
 
 fn main() -> ExitCode {
     stp_telemetry::init_from_env();
+    // A malformed STP_JOBS is a usage error, diagnosed before any other
+    // argument handling — not a silent fall-back to sequential.
+    let env_jobs = match stp_repro::synth::jobs_from_env_checked() {
+        Ok(jobs) => jobs,
+        Err(message) => return flag_error(message),
+    };
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.len() < 2 {
         return usage();
@@ -161,7 +167,7 @@ fn main() -> ExitCode {
     let mut engine = "stp".to_string();
     let mut all = false;
     let mut timeout = 60.0f64;
-    let mut jobs = stp_repro::synth::jobs_from_env();
+    let mut jobs = env_jobs;
     let mut emit_verilog = false;
     let mut emit_dot = false;
     let mut stats = false;

@@ -87,6 +87,38 @@ fn stprewrite_rejects_malformed_flag_values_with_exit_2() {
 }
 
 #[test]
+fn stpsynth_and_stprewrite_reject_malformed_stp_jobs_at_startup() {
+    // A malformed STP_JOBS is a usage error diagnosed before any other
+    // argument handling (exit 2, naming the variable) — never a silent
+    // fall-back to the sequential default.
+    for bin in [env!("CARGO_BIN_EXE_stpsynth"), env!("CARGO_BIN_EXE_stprewrite")] {
+        for value in ["abc", "-2", "1.5"] {
+            let out = Command::new(bin).env("STP_JOBS", value).output().expect("binary runs");
+            assert_eq!(out.status.code(), Some(2), "{bin} STP_JOBS={value}: {:?}", out.status);
+            let stderr = String::from_utf8_lossy(&out.stderr);
+            assert!(stderr.contains("error:"), "{bin} STP_JOBS={value}: stderr {stderr}");
+            assert!(stderr.contains("STP_JOBS"), "{bin} STP_JOBS={value}: stderr {stderr}");
+        }
+    }
+}
+
+#[test]
+fn stpsynth_accepts_well_formed_stp_jobs() {
+    // Unset, empty, and numeric values are fine; `0` means one worker
+    // per CPU.
+    for value in ["", "1", "2", "0"] {
+        let out = Command::new(env!("CARGO_BIN_EXE_stpsynth"))
+            .env("STP_JOBS", value)
+            .args(["8ff8", "4"])
+            .output()
+            .expect("binary runs");
+        assert!(out.status.success(), "STP_JOBS={value}: {:?}", out.status);
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(text.contains("optimum: 3 gates"), "STP_JOBS={value}: {text}");
+    }
+}
+
+#[test]
 fn stpsynth_rejects_bad_input() {
     let out = Command::new(env!("CARGO_BIN_EXE_stpsynth"))
         .args(["zzzz", "4"])
