@@ -30,6 +30,12 @@ cargo test -q -p stp-bench --offline --test factor_baseline
 echo "==> suite scheduler baseline (NPN4 slice at jobs=1 and 4, vs committed BENCH_suite.json)"
 cargo test -q -p stp-bench --offline --test suite_baseline
 
+echo "==> multi-output baseline + differential (STP_JOBS=1, vs committed BENCH_mo.json)"
+STP_JOBS=1 cargo test -q -p stp-bench --offline --test mo_baseline --test mo_differential
+
+echo "==> multi-output baseline + differential (STP_JOBS=$(nproc))"
+STP_JOBS="$(nproc)" cargo test -q -p stp-bench --offline --test mo_baseline --test mo_differential
+
 echo "==> suite determinism (two-level scheduler, STP_JOBS=1)"
 STP_JOBS=1 cargo test -q -p stp-bench --offline --test determinism
 

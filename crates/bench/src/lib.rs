@@ -17,6 +17,8 @@
 //!   families of Fig. 3;
 //! * `factor_bench` — the factorization perf baseline
 //!   (`BENCH_factor.json`);
+//! * `mo_bench` — the multi-output shared-synthesis baseline
+//!   (`BENCH_mo.json`, see [`mo`]);
 //! * `stpprof` — profile rendering/diffing and the baseline drift
 //!   verdict (see [`profdiff`]).
 //!
@@ -27,6 +29,7 @@
 #![forbid(unsafe_code)]
 
 pub mod harness;
+pub mod mo;
 pub mod profdiff;
 pub mod report;
 pub mod suites;

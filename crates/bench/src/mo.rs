@@ -1,0 +1,151 @@
+//! Multi-output shared-synthesis baseline workloads (`BENCH_mo.json`).
+//!
+//! One fixed slice of multi-output specs is synthesized as shared
+//! chains ([`stp_synth::synthesize_multi`]) and one 2-output cut cone
+//! is rewritten jointly ([`stp_network::rewrite`] with
+//! `multi_output: true`). The `mo_bench` binary records the results in
+//! `BENCH_mo.json` at the repo root; the `mo_baseline` integration test
+//! re-measures the same slice at `jobs = 1` and `jobs = 4` and fails on
+//! any drift in the deterministic fields (gate totals, shared-node
+//! savings, replacement counts — wall-clock is informational).
+
+use std::time::{Duration, Instant};
+
+use stp_network::{rewrite, Network, RewriteConfig, SynthesisCache};
+use stp_synth::{synthesize_multi, GateCountObjective, MultiSpec, SynthesisConfig};
+use stp_tt::TruthTable;
+
+/// One multi-output workload: `k` hex truth tables over a common
+/// support, synthesized as a single shared chain.
+pub struct MoCase {
+    /// Stable case name, the join key against the committed baseline.
+    pub name: &'static str,
+    /// Common input arity of every output.
+    pub num_vars: usize,
+    /// Hex truth tables, one per output.
+    pub specs: &'static [&'static str],
+}
+
+/// The committed multi-output slice: small enough to re-run in CI at
+/// two jobs counts, varied enough to pin zero-, one- and two-gate
+/// sharing wins across 2-, 3- and 4-input supports.
+pub const MO_CASES: &[MoCase] = &[
+    MoCase { name: "xor-and", num_vars: 2, specs: &["6", "8"] },
+    MoCase { name: "full-adder", num_vars: 3, specs: &["96", "e8"] },
+    MoCase { name: "parity-pair", num_vars: 3, specs: &["96", "69"] },
+    MoCase { name: "full-adder-triple", num_vars: 3, specs: &["96", "e8", "80"] },
+    MoCase { name: "example7-parity4", num_vars: 4, specs: &["8ff8", "6996"] },
+];
+
+/// The deterministic outcome of one [`MoCase`]: everything but `wall`
+/// must reproduce exactly at any jobs count.
+pub struct MoMeasurement {
+    /// Gates in the shared chain.
+    pub shared_gates: usize,
+    /// Optimum gate count of each output synthesized alone.
+    pub per_output_gates: Vec<usize>,
+    /// Per-output sum minus shared gates.
+    pub gates_saved: usize,
+    /// Solution combinations scored by the shared merge.
+    pub combinations_tried: usize,
+    /// Wall-clock of the shared synthesis (machine-dependent).
+    pub wall: Duration,
+}
+
+/// Synthesizes `case` as one shared chain under the gate-count
+/// objective. Panics on any synthesis failure — baseline workloads are
+/// sized to finish well inside `timeout`.
+pub fn measure_case(case: &MoCase, timeout: Duration, jobs: usize) -> MoMeasurement {
+    let specs: Vec<TruthTable> = case
+        .specs
+        .iter()
+        .map(|hex| {
+            TruthTable::from_hex(case.num_vars, hex)
+                .unwrap_or_else(|e| panic!("case {}: bad spec {hex}: {e}", case.name))
+        })
+        .collect();
+    let multi =
+        MultiSpec::new(specs).unwrap_or_else(|e| panic!("case {}: bad spec set: {e}", case.name));
+    let config = SynthesisConfig {
+        deadline: Some(Instant::now() + timeout),
+        jobs,
+        ..SynthesisConfig::default()
+    };
+    let start = Instant::now();
+    let result = synthesize_multi(&multi, &GateCountObjective, &config)
+        .unwrap_or_else(|e| panic!("case {}: synthesis failed: {e}", case.name));
+    MoMeasurement {
+        shared_gates: result.chain.num_gates(),
+        per_output_gates: result.per_output_gates,
+        gates_saved: result.gates_saved,
+        combinations_tried: result.combinations_tried,
+        wall: start.elapsed(),
+    }
+}
+
+/// The committed 2-output rewrite case: a full adder built without
+/// shared logic (carry in SOP form, so structural hashing cannot
+/// pre-share the XOR). Every single-root cone is already optimal —
+/// only the joint rewrite of the `{sum, carry}` pair over the shared
+/// 3-leaf cut can improve it, from 6 gates to the 5-gate shared chain.
+pub fn unshared_full_adder() -> Network {
+    let mut net = Network::new(3);
+    let (a, b, c) = (net.input(0), net.input(1), net.input(2));
+    let x1 = net.xor(a, b).expect("gate");
+    let sum = net.xor(x1, c).expect("gate");
+    let u = net.and(a, b).expect("gate");
+    let v = net.or(a, b).expect("gate");
+    let w = net.and(v, c).expect("gate");
+    let m = net.or(u, w).expect("gate");
+    net.add_output(sum);
+    net.add_output(m);
+    net
+}
+
+/// The deterministic outcome of the rewrite case: everything but
+/// `wall` must reproduce exactly at any jobs count.
+pub struct RewriteMeasurement {
+    /// Live gates before rewriting.
+    pub gates_before: usize,
+    /// Live gates after single-root rewriting (`multi_output: false`).
+    pub gates_single: usize,
+    /// Live gates after joint multi-output rewriting.
+    pub gates_shared: usize,
+    /// Joint (multi-root) replacements applied by the shared run.
+    pub mo_replacements: usize,
+    /// Wall-clock of both rewrite runs (machine-dependent).
+    pub wall: Duration,
+}
+
+/// Rewrites [`unshared_full_adder`] twice — single-root only, then
+/// with joint multi-output rewriting — and records both gate counts.
+/// Panics on rewrite errors or functional drift.
+pub fn measure_rewrite(timeout: Duration, jobs: usize) -> RewriteMeasurement {
+    let net = unshared_full_adder();
+    let before = net.simulate_outputs().expect("simulable");
+    let config = |multi_output| RewriteConfig {
+        synthesis_budget: timeout,
+        jobs,
+        multi_output,
+        ..RewriteConfig::default()
+    };
+    let start = Instant::now();
+    let single =
+        rewrite(&net, &config(false), &SynthesisCache::new()).expect("single-root rewrite");
+    let shared = rewrite(&net, &config(true), &SynthesisCache::new()).expect("joint rewrite");
+    let wall = start.elapsed();
+    for result in [&single, &shared] {
+        assert_eq!(
+            result.network.simulate_outputs().expect("simulable"),
+            before,
+            "rewriting must preserve the output functions"
+        );
+    }
+    RewriteMeasurement {
+        gates_before: net.live_gate_count(),
+        gates_single: single.gates_after,
+        gates_shared: shared.gates_after,
+        mo_replacements: shared.replacements.iter().filter(|r| r.roots.len() > 1).count(),
+        wall,
+    }
+}

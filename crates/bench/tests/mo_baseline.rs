@@ -1,0 +1,152 @@
+//! CI drift gate for the committed multi-output baseline.
+//!
+//! `BENCH_mo.json` (repo root, written by the `mo_bench` binary)
+//! records the fixed multi-output slice and the 2-output cut-cone
+//! rewrite case at `jobs = 1` and `jobs = 4`. Everything but the
+//! wall-clock readings is deterministic — the shared merge scores
+//! solution combinations in a fixed odometer order — so this test
+//! re-measures the slice at both jobs counts and fails on any drift in
+//! gate totals, per-output optima, shared-node savings, merge
+//! enumeration size, or joint-replacement counts. It also pins the
+//! headline acceptance fact: the committed rewrite case spends
+//! strictly fewer gates than the per-output sum.
+
+use std::time::Duration;
+
+use stp_bench::mo::{measure_case, measure_rewrite, MO_CASES};
+use stp_telemetry::Json;
+
+const RERECORD: &str = "re-record with `cargo run --release -p stp-bench --bin mo_bench -- \
+                        --out BENCH_mo.json` only if the change in multi-output synthesis \
+                        behaviour is intentional";
+
+fn committed() -> Json {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_mo.json");
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read committed baseline {path}: {e}"));
+    let doc = Json::parse(&text).expect("BENCH_mo.json must parse");
+    assert_eq!(
+        doc.get("schema").and_then(Json::as_str),
+        Some("stp-bench-mo v1"),
+        "unknown baseline schema"
+    );
+    doc
+}
+
+fn run_for_jobs(doc: &Json, jobs: u64) -> Json {
+    doc.get("runs")
+        .and_then(Json::as_arr)
+        .and_then(|runs| {
+            runs.iter().find(|r| r.get("jobs").and_then(Json::as_u64) == Some(jobs)).cloned()
+        })
+        .unwrap_or_else(|| panic!("baseline is missing the jobs={jobs} run"))
+}
+
+#[test]
+fn mo_slice_matches_committed_baseline_at_both_jobs_counts() {
+    let doc = committed();
+    for jobs in [1usize, 4] {
+        let run = run_for_jobs(&doc, jobs as u64);
+        let cases = run.get("cases").and_then(Json::as_arr).expect("baseline run has cases");
+        assert_eq!(cases.len(), MO_CASES.len(), "baseline case count drifted; {RERECORD}");
+        for (case, pinned) in MO_CASES.iter().zip(cases) {
+            assert_eq!(
+                pinned.get("name").and_then(Json::as_str),
+                Some(case.name),
+                "baseline case order drifted; {RERECORD}"
+            );
+            let m = measure_case(case, Duration::from_secs(60), jobs);
+            let field = |key: &str| {
+                pinned
+                    .get(key)
+                    .and_then(Json::as_u64)
+                    .unwrap_or_else(|| panic!("case {}: baseline is missing {key}", case.name))
+            };
+            assert_eq!(
+                m.shared_gates as u64,
+                field("shared_gates"),
+                "jobs={jobs} case {}: shared_gates drifted; {RERECORD}",
+                case.name
+            );
+            assert_eq!(
+                m.gates_saved as u64,
+                field("gates_saved"),
+                "jobs={jobs} case {}: gates_saved drifted; {RERECORD}",
+                case.name
+            );
+            assert_eq!(
+                m.combinations_tried as u64,
+                field("combinations_tried"),
+                "jobs={jobs} case {}: combinations_tried drifted; {RERECORD}",
+                case.name
+            );
+            let per_output: Vec<u64> = pinned
+                .get("per_output_gates")
+                .and_then(Json::as_arr)
+                .map(|a| a.iter().filter_map(Json::as_u64).collect())
+                .unwrap_or_default();
+            assert_eq!(
+                m.per_output_gates.iter().map(|g| *g as u64).collect::<Vec<_>>(),
+                per_output,
+                "jobs={jobs} case {}: per_output_gates drifted; {RERECORD}",
+                case.name
+            );
+        }
+    }
+}
+
+#[test]
+fn mo_rewrite_case_matches_committed_baseline_and_beats_per_output_sum() {
+    let doc = committed();
+    for jobs in [1usize, 4] {
+        let run = run_for_jobs(&doc, jobs as u64);
+        let pinned = run.get("rewrite").expect("baseline run has a rewrite case");
+        let field = |key: &str| {
+            pinned
+                .get(key)
+                .and_then(Json::as_u64)
+                .unwrap_or_else(|| panic!("rewrite baseline is missing {key}"))
+        };
+        let m = measure_rewrite(Duration::from_secs(60), jobs);
+        assert_eq!(m.gates_before as u64, field("gates_before"), "jobs={jobs}: {RERECORD}");
+        assert_eq!(m.gates_single as u64, field("gates_single"), "jobs={jobs}: {RERECORD}");
+        assert_eq!(m.gates_shared as u64, field("gates_shared"), "jobs={jobs}: {RERECORD}");
+        assert_eq!(m.mo_replacements as u64, field("mo_replacements"), "jobs={jobs}: {RERECORD}");
+        // The acceptance headline: joint rewriting of the 2-output cut
+        // cone spends strictly fewer gates than the per-output sum, and
+        // it took at least one genuine multi-root replacement to do it.
+        assert!(
+            m.gates_shared < m.gates_single,
+            "jobs={jobs}: joint rewrite must beat the per-output result \
+             ({} vs {} gates)",
+            m.gates_shared,
+            m.gates_single
+        );
+        assert!(m.mo_replacements >= 1, "jobs={jobs}: no joint replacement was applied");
+    }
+}
+
+#[test]
+fn committed_mo_baseline_is_jobs_invariant_at_rest() {
+    // The committed document itself must agree across jobs counts on
+    // every deterministic field — wall_s is the only licensed delta.
+    fn strip(v: &Json) -> Json {
+        match v {
+            Json::Obj(pairs) => Json::Obj(
+                pairs
+                    .iter()
+                    .filter(|(k, _)| k != "wall_s" && k != "jobs")
+                    .map(|(k, val)| (k.clone(), strip(val)))
+                    .collect(),
+            ),
+            Json::Arr(items) => Json::Arr(items.iter().map(strip).collect()),
+            other => other.clone(),
+        }
+    }
+    let doc = committed();
+    assert_eq!(
+        strip(&run_for_jobs(&doc, 1)),
+        strip(&run_for_jobs(&doc, 4)),
+        "committed runs differ beyond wall_s between jobs=1 and jobs=4"
+    );
+}

@@ -1,0 +1,132 @@
+//! Differential tests for multi-output synthesis over NPN4 workloads.
+//!
+//! Three contracts, each checked over a deterministic slice of NPN4
+//! class-representative pairs and triples:
+//!
+//! * **Functional parity** — the shared chain realizes exactly the
+//!   same output functions as per-output synthesis (checked by
+//!   exhaustive simulation).
+//! * **Never worse** — the shared chain never spends more gates than
+//!   the per-output optimum sum, and each of its outputs is
+//!   individually optimal.
+//! * **Transcript determinism** — rendered chains are byte-identical
+//!   at `jobs = 1` and `jobs = 4`, both through the direct engine and
+//!   through a shared solution store (where a warmed store must also
+//!   answer repeats without new misses).
+
+use std::time::{Duration, Instant};
+
+use stp_bench::npn4;
+use stp_store::Store;
+use stp_synth::{
+    synthesize, synthesize_multi, synthesize_multi_npn_with_store, GateCountObjective, MultiSpec,
+    SynthesisConfig,
+};
+use stp_tt::TruthTable;
+
+fn config(jobs: usize) -> SynthesisConfig {
+    SynthesisConfig {
+        deadline: Some(Instant::now() + Duration::from_secs(60)),
+        jobs,
+        ..SynthesisConfig::default()
+    }
+}
+
+/// A deterministic slice of NPN4 pairs and triples: neighbours in the
+/// canonical class enumeration, plus a stride-5 pairing so the slice
+/// is not all structurally-similar neighbours.
+fn sample_groups() -> Vec<Vec<TruthTable>> {
+    let classes = npn4().functions;
+    let mut groups = Vec::new();
+    for i in (0..12).step_by(2) {
+        groups.push(vec![classes[i].clone(), classes[i + 1].clone()]);
+    }
+    for i in 0..4 {
+        groups.push(vec![classes[i].clone(), classes[i + 5].clone()]);
+    }
+    for i in 0..3 {
+        groups.push(vec![
+            classes[3 * i].clone(),
+            classes[3 * i + 1].clone(),
+            classes[3 * i + 2].clone(),
+        ]);
+    }
+    groups
+}
+
+#[test]
+fn shared_chains_match_per_output_synthesis_and_never_cost_more() {
+    for specs in sample_groups() {
+        let multi = MultiSpec::new(specs.clone()).expect("uniform arity");
+        let shared = synthesize_multi(&multi, &GateCountObjective, &config(1))
+            .unwrap_or_else(|e| panic!("shared synthesis failed for {specs:?}: {e}"));
+        // Functional parity, output by output.
+        assert_eq!(
+            shared.chain.simulate_outputs().expect("simulable"),
+            specs,
+            "shared chain must realize every output function"
+        );
+        // Each output individually optimal, and the whole never more
+        // than the per-output sum.
+        let mut sum = 0usize;
+        for (i, spec) in specs.iter().enumerate() {
+            let alone = synthesize(spec, &config(1)).expect("per-output synthesis");
+            assert_eq!(
+                shared.per_output_gates[i], alone.gate_count,
+                "output {i} of {specs:?} lost single-output optimality"
+            );
+            sum += alone.gate_count;
+        }
+        assert!(
+            shared.chain.num_gates() <= sum,
+            "shared chain spends {} gates, per-output sum is {sum} ({specs:?})",
+            shared.chain.num_gates()
+        );
+        assert_eq!(sum - shared.chain.num_gates(), shared.gates_saved);
+    }
+}
+
+#[test]
+fn shared_synthesis_transcripts_are_jobs_invariant() {
+    for specs in sample_groups() {
+        let multi = MultiSpec::new(specs.clone()).expect("uniform arity");
+        let transcript = |jobs: usize| {
+            let r = synthesize_multi(&multi, &GateCountObjective, &config(jobs))
+                .unwrap_or_else(|e| panic!("shared synthesis failed for {specs:?}: {e}"));
+            format!(
+                "{}\nper_output={:?} saved={} cost={}",
+                r.chain, r.per_output_gates, r.gates_saved, r.objective_cost
+            )
+        };
+        assert_eq!(
+            transcript(1),
+            transcript(4),
+            "jobs=1 and jobs=4 transcripts differ for {specs:?}"
+        );
+    }
+}
+
+#[test]
+fn shared_store_transcripts_are_jobs_invariant_and_hit_on_repeat() {
+    // Fresh stores at each jobs count must produce identical chains;
+    // re-asking one warmed store must answer from cache (no new
+    // misses) with the exact same transcript.
+    for specs in sample_groups() {
+        let multi = MultiSpec::new(specs.clone()).expect("uniform arity");
+        let run = |store: &Store, jobs: usize| {
+            let chain = synthesize_multi_npn_with_store(&multi, &config(jobs), store)
+                .unwrap_or_else(|e| panic!("store-backed synthesis failed for {specs:?}: {e}"));
+            format!("{chain}")
+        };
+        let store1 = Store::new();
+        let store4 = Store::new();
+        let t1 = run(&store1, 1);
+        let t4 = run(&store4, 4);
+        assert_eq!(t1, t4, "fresh-store transcripts differ across jobs for {specs:?}");
+        let misses = store1.misses();
+        let repeat = run(&store1, 4);
+        assert_eq!(t1, repeat, "warmed-store transcript differs for {specs:?}");
+        assert_eq!(store1.misses(), misses, "repeat lookup must not miss for {specs:?}");
+        assert!(store1.hits() > 0, "repeat lookup must hit the store for {specs:?}");
+    }
+}

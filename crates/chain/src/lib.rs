@@ -429,6 +429,136 @@ impl Chain {
         }
         Ok(out)
     }
+
+    /// Multi-output generalization of [`Chain::permute_negate`]: rewires
+    /// the inputs as there, then reorders and rephases the output taps.
+    ///
+    /// `self`'s outputs are taken to be in *canonical* order: canonical
+    /// position `j` holds original output `output_perm[j]`, complemented
+    /// when `output_negations[j]` is set. The result's outputs are in
+    /// *original* order — output `o` of the result computes
+    /// `C_j(y…) ^ output_negations[j]` for the `j` with
+    /// `output_perm[j] == o` and the same `y` relation as
+    /// [`Chain::permute_negate`]. Together with
+    /// [`stp_tt::canonicalize_multi`] this maps a chain synthesized for
+    /// a multi-output class representative tuple back to the original
+    /// spec vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChainError::FaninOutOfRange`] when `perm` is not a
+    /// permutation of the inputs and [`ChainError::OutputOutOfRange`]
+    /// when `output_perm`/`output_negations` do not form a permutation
+    /// and phase vector over this chain's outputs.
+    pub fn permute_negate_outputs(
+        &self,
+        perm: &[usize],
+        input_negations: u32,
+        output_perm: &[usize],
+        output_negations: &[bool],
+    ) -> Result<Chain, ChainError> {
+        let k = self.outputs.len();
+        if output_perm.len() != k || output_negations.len() != k {
+            return Err(ChainError::OutputOutOfRange {
+                index: output_perm.len().max(output_negations.len()),
+                available: k,
+            });
+        }
+        let mut seen = vec![false; k];
+        for &o in output_perm {
+            if o >= k || seen[o] {
+                return Err(ChainError::OutputOutOfRange { index: o, available: k });
+            }
+            seen[o] = true;
+        }
+        let base = self.permute_negate(perm, input_negations, false)?;
+        let mut out = Chain { num_inputs: base.num_inputs, gates: base.gates, outputs: Vec::new() };
+        for o in 0..k {
+            let j = output_perm.iter().position(|&x| x == o).expect("validated permutation");
+            out.outputs.push(match base.outputs[j] {
+                OutputRef::Signal { index, negated } => {
+                    OutputRef::Signal { index, negated: negated ^ output_negations[j] }
+                }
+                OutputRef::Constant(v) => OutputRef::Constant(v ^ output_negations[j]),
+            });
+        }
+        Ok(out)
+    }
+}
+
+/// Swaps the operands of a 2-input truth table: `σ'(a, b) = σ(b, a)`.
+fn swap_operands(tt2: u8) -> u8 {
+    let mut out = tt2 & 0b1001; // (0,0) and (1,1) fixed
+    if tt2 & 0b0010 != 0 {
+        out |= 0b0100;
+    }
+    if tt2 & 0b0100 != 0 {
+        out |= 0b0010;
+    }
+    out
+}
+
+/// Merges chains over a common input set into one multi-output chain,
+/// structurally sharing gates.
+///
+/// Gates are deduplicated by `(fanin, fanin, tt2)` after normalizing the
+/// operand order (the lower signal index first, swapping the LUT's
+/// operands to compensate), so structurally equal gates — including
+/// operand-swapped spellings — appear once in the merged chain. Outputs
+/// are concatenated in argument order. The merged gate count is
+/// therefore never larger than the sum of the input gate counts, and
+/// strictly smaller whenever the chains share structure.
+///
+/// Gate order is deterministic: first use wins, scanning chains left to
+/// right and gates in topological order.
+///
+/// # Errors
+///
+/// Propagates [`ChainError::DuplicateFanin`] when deduplication folds a
+/// gate's two fanins together — possible only when an input chain
+/// already contains structurally duplicate gates (optimum chains never
+/// do).
+///
+/// # Panics
+///
+/// Panics when `chains` is empty or the chains disagree on input count.
+pub fn merge_chains(chains: &[&Chain]) -> Result<Chain, ChainError> {
+    assert!(!chains.is_empty(), "merge_chains needs at least one chain");
+    let n = chains[0].num_inputs;
+    assert!(chains.iter().all(|c| c.num_inputs == n), "merge_chains requires a common input count");
+    let mut merged = Chain::new(n);
+    let mut dedup: HashMap<(usize, usize, u8), usize> = HashMap::new();
+    for chain in chains {
+        // map[s] = signal index of chain signal `s` in the merged chain.
+        let mut map: Vec<usize> = (0..n).collect();
+        for gate in chain.gates() {
+            let mut a = map[gate.fanin[0]];
+            let mut b = map[gate.fanin[1]];
+            let mut tt2 = gate.tt2;
+            if a > b {
+                std::mem::swap(&mut a, &mut b);
+                tt2 = swap_operands(tt2);
+            }
+            let index = match dedup.get(&(a, b, tt2)) {
+                Some(&i) => i,
+                None => {
+                    let i = merged.add_gate(a, b, tt2)?;
+                    dedup.insert((a, b, tt2), i);
+                    i
+                }
+            };
+            map.push(index);
+        }
+        for tap in chain.outputs() {
+            merged.add_output(match tap {
+                OutputRef::Signal { index, negated } => {
+                    OutputRef::Signal { index: map[*index], negated: *negated }
+                }
+                OutputRef::Constant(v) => OutputRef::Constant(*v),
+            });
+        }
+    }
+    Ok(merged)
 }
 
 /// Builds the zero-gate chain for constants and (complemented)
@@ -653,6 +783,89 @@ mod tests {
         assert!(!g.apply(true, false));
         assert!(g.apply(false, true));
         assert!(g.apply(true, true));
+    }
+
+    fn full_adder_chains() -> (Chain, Chain) {
+        // sum = a ^ b ^ c: t = a^b, s = t^c.
+        let mut sum = Chain::new(3);
+        let t = sum.add_gate(0, 1, 0x6).unwrap();
+        let s = sum.add_gate(t, 2, 0x6).unwrap();
+        sum.add_output(OutputRef::signal(s));
+        // carry = MAJ(a,b,c): t1 = a&b, t2 = b^a (operand-swapped on
+        // purpose), t3 = t2&c, t4 = t1|t3.
+        let mut carry = Chain::new(3);
+        let t1 = carry.add_gate(0, 1, 0x8).unwrap();
+        let t2 = carry.add_gate(1, 0, 0x6).unwrap();
+        let t3 = carry.add_gate(t2, 2, 0x8).unwrap();
+        let t4 = carry.add_gate(t1, t3, 0xe).unwrap();
+        carry.add_output(OutputRef::signal(t4));
+        (sum, carry)
+    }
+
+    #[test]
+    fn merge_chains_shares_structurally_equal_gates() {
+        let (sum, carry) = full_adder_chains();
+        let merged = merge_chains(&[&sum, &carry]).unwrap();
+        // a^b appears in both chains (operand-swapped in carry) and must
+        // be shared: 2 + 4 gates merge into 5.
+        assert_eq!(merged.num_gates(), 5);
+        assert_eq!(merged.outputs().len(), 2);
+        let got = merged.simulate_outputs().unwrap();
+        let want_sum = sum.simulate_outputs().unwrap().remove(0);
+        let want_carry = carry.simulate_outputs().unwrap().remove(0);
+        assert_eq!(got, vec![want_sum, want_carry]);
+    }
+
+    #[test]
+    fn merge_chains_is_identity_for_one_chain() {
+        let chain = example7_chain();
+        let merged = merge_chains(&[&chain]).unwrap();
+        assert_eq!(merged.num_gates(), chain.num_gates());
+        assert_eq!(merged.simulate_outputs().unwrap(), chain.simulate_outputs().unwrap());
+    }
+
+    #[test]
+    fn permute_negate_outputs_matches_formula() {
+        let (sum, carry) = full_adder_chains();
+        let chain = merge_chains(&[&sum, &carry]).unwrap();
+        let specs = chain.simulate_outputs().unwrap();
+        let perm = [2usize, 0, 1];
+        let negs = 0b011u32;
+        let operm = [1usize, 0];
+        let onegs = [true, false];
+        let mapped = chain.permute_negate_outputs(&perm, negs, &operm, &onegs).unwrap();
+        assert_eq!(mapped.num_gates(), chain.num_gates());
+        let got = mapped.simulate_outputs().unwrap();
+        // Result output o = C_j(y) ^ onegs[j] with operm[j] == o and
+        // y_i = z_{perm[i]} ^ neg(perm[i]).
+        for (o, result) in got.iter().enumerate() {
+            let j = operm.iter().position(|&x| x == o).unwrap();
+            let expected = TruthTable::from_fn(3, |z| {
+                let y: Vec<bool> =
+                    (0..3).map(|i| z[perm[i]] ^ ((negs >> perm[i]) & 1 == 1)).collect();
+                specs[j].eval(&y) ^ onegs[j]
+            })
+            .unwrap();
+            assert_eq!(*result, expected, "output {o}");
+        }
+    }
+
+    #[test]
+    fn permute_negate_outputs_rejects_bad_output_perm() {
+        let (sum, carry) = full_adder_chains();
+        let chain = merge_chains(&[&sum, &carry]).unwrap();
+        let perm = [0usize, 1, 2];
+        assert!(chain.permute_negate_outputs(&perm, 0, &[0, 0], &[false, false]).is_err());
+        assert!(chain.permute_negate_outputs(&perm, 0, &[0], &[false]).is_err());
+        assert!(chain.permute_negate_outputs(&perm, 0, &[0, 2], &[false, false]).is_err());
+    }
+
+    #[test]
+    fn swap_operands_semantics() {
+        // AND is symmetric; a AND NOT b (0x2) swaps to NOT a AND b (0x4).
+        assert_eq!(super::swap_operands(0x8), 0x8);
+        assert_eq!(super::swap_operands(0x2), 0x4);
+        assert_eq!(super::swap_operands(super::swap_operands(0xd)), 0xd);
     }
 
     #[test]

@@ -17,6 +17,21 @@ pub enum SynthesisError {
         /// The configured maximum number of gates.
         max_gates: usize,
     },
+    /// No realization exists within the explicit depth limit. Raised
+    /// only when [`crate::SynthesisConfig::max_depth`] is set — the
+    /// derived default depth bound surfaces as
+    /// [`SynthesisError::GateLimitExceeded`] instead, because a chain's
+    /// depth never exceeds its gate count.
+    DepthLimitExceeded {
+        /// The configured maximum depth.
+        max_depth: usize,
+    },
+    /// A multi-output specification is malformed (empty, or the outputs
+    /// disagree on arity).
+    InvalidMultiSpec {
+        /// What is wrong with the spec vector.
+        message: String,
+    },
     /// A truth-table operation failed.
     TruthTable(TruthTableError),
     /// A chain operation failed.
@@ -39,6 +54,12 @@ impl fmt::Display for SynthesisError {
             SynthesisError::Timeout => write!(f, "synthesis deadline expired"),
             SynthesisError::GateLimitExceeded { max_gates } => {
                 write!(f, "no realization with at most {max_gates} gates")
+            }
+            SynthesisError::DepthLimitExceeded { max_depth } => {
+                write!(f, "no realization with depth at most {max_depth}")
+            }
+            SynthesisError::InvalidMultiSpec { message } => {
+                write!(f, "invalid multi-output spec: {message}")
             }
             SynthesisError::TruthTable(e) => write!(f, "truth table error: {e}"),
             SynthesisError::Chain(e) => write!(f, "chain error: {e}"),

@@ -42,6 +42,15 @@ pub struct SynthesisConfig {
     pub deadline: Option<Instant>,
     /// Cap on the number of solutions materialized.
     pub max_solutions: usize,
+    /// Optional upper bound on chain depth, independent of the gate
+    /// budget. `None` derives a sound bound where one is needed: a
+    /// chain's depth never exceeds its gate count, so the depth-major
+    /// sweep defaults to `max_gates.max(min_depth)` (historically the
+    /// two budgets were conflated into that one expression). Setting
+    /// `Some(d)` restricts every objective to chains of depth `≤ d`;
+    /// values above the derived ceiling are vacuous (any chain within
+    /// the gate budget already satisfies them) and clamp down.
+    pub max_depth: Option<usize>,
     /// Worker threads for the shape/factorize/verify pipeline: `1`
     /// searches sequentially, `0` uses one worker per available CPU.
     /// The default comes from the `STP_JOBS` environment variable
@@ -57,6 +66,7 @@ impl Default for SynthesisConfig {
             max_gates: 20,
             deadline: None,
             max_solutions: 4096,
+            max_depth: None,
             jobs: parallel::jobs_from_env(),
         }
     }
@@ -166,7 +176,7 @@ pub fn synthesize(
         // tally.
         let shapes: Vec<TreeShape> = {
             let _enum = stp_telemetry::span!("phase.fence_enum");
-            if config.fence_pruning {
+            let mut flat = if config.fence_pruning {
                 let mut flat = Vec::new();
                 for fence in &pruned_fences(r) {
                     fences_explored += 1;
@@ -177,10 +187,23 @@ pub fn synthesize(
                 let flat = shapes_with_gates(r);
                 fences_explored += distinct_fence_count(&flat);
                 flat
+            };
+            // An explicit depth budget restricts the topology family;
+            // the default (`None`) leaves the classic sweep untouched.
+            if let Some(d) = config.max_depth {
+                flat.retain(|shape| shape.height() <= d);
             }
+            flat
         };
         stp_telemetry::debug!("synth: r={r}, {} shapes, {jobs} worker(s)", shapes.len());
-        let outcome = run_round(spec, &shapes, &mut engines, config.max_solutions, None, &cancel)?;
+        let outcome = run_round(
+            spec,
+            &shapes,
+            &mut engines,
+            config.max_solutions,
+            config.max_depth,
+            &cancel,
+        )?;
         shapes_explored += outcome.shapes_explored;
         if !outcome.solutions.is_empty() {
             stp_telemetry::counter!("synth.solutions").add(outcome.solutions.len() as u64);
@@ -239,28 +262,218 @@ fn distinct_fence_count(shapes: &[TreeShape]) -> usize {
     shapes.iter().filter_map(TreeShape::fence).collect::<HashSet<_>>().len()
 }
 
-/// Synthesis objective for [`synthesize_with_objective`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Objective {
-    /// Minimum gate count (the paper's objective); ties in depth are
-    /// not broken — all optimum chains are returned.
-    MinGates,
-    /// Minimum depth first, then minimum gate count at that depth.
-    /// Depth-optimal chains may spend more gates than the gate-optimal
-    /// ones (the classic area/delay trade-off the paper's cost-model
-    /// flexibility targets).
-    MinDepthThenGates,
+/// A pluggable synthesis cost objective.
+///
+/// The paper stresses that because the STP engine returns *all*
+/// optimum chains as generic 2-LUTs, "different costs can be
+/// considered when selecting the optimal circuit". This trait pushes
+/// that flexibility into the search itself: the gate-count sweep keeps
+/// running past its first solutions until no cheaper chain can exist,
+/// so the returned set is optimal under the *objective*, not merely
+/// under gate count.
+///
+/// Implementations provided here: [`GateCountObjective`] (the paper's
+/// objective), [`DepthThenGatesObjective`] (minimum depth, then gates),
+/// and [`GateProfileObjective`] (weighted per-operator costs, e.g.
+/// XOR-cheap vs AND-cheap technologies).
+pub trait CostObjective: Send + Sync + std::fmt::Debug {
+    /// Short human-readable name (used by CLIs and reports).
+    fn name(&self) -> String;
+
+    /// Cost of a finished chain; lower is better.
+    fn chain_cost(&self, chain: &Chain) -> u64;
+
+    /// Lower bound on the cost of *any* chain with `gates` gates. The
+    /// sweep stops once `gate_count_lower_bound(r)` exceeds the best
+    /// cost found — so the bound must be sound (never above the true
+    /// minimum) or solutions would be lost.
+    fn gate_count_lower_bound(&self, gates: usize) -> u64;
+
+    /// `true` when the search should be organized depth-major (minimum
+    /// depth first, then minimum gates at that depth) instead of by
+    /// ascending gate count.
+    fn depth_major(&self) -> bool {
+        false
+    }
+
+    /// `true` when the objective is exactly "minimize gate count": the
+    /// sweep then terminates at the first non-empty round and takes the
+    /// classic [`synthesize`] fast path unchanged.
+    fn is_gate_count(&self) -> bool {
+        false
+    }
 }
 
-/// Runs STP exact synthesis under an explicit [`Objective`].
+/// Minimum gate count — the paper's objective; ties in depth are not
+/// broken, all optimum chains are returned.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GateCountObjective;
+
+impl CostObjective for GateCountObjective {
+    fn name(&self) -> String {
+        "gates".to_string()
+    }
+
+    fn chain_cost(&self, chain: &Chain) -> u64 {
+        chain.num_gates() as u64
+    }
+
+    fn gate_count_lower_bound(&self, gates: usize) -> u64 {
+        gates as u64
+    }
+
+    fn is_gate_count(&self) -> bool {
+        true
+    }
+}
+
+/// Minimum depth first, then minimum gate count at that depth.
+/// Depth-optimal chains may spend more gates than the gate-optimal
+/// ones (the classic area/delay trade-off the paper's cost-model
+/// flexibility targets).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DepthThenGatesObjective;
+
+impl CostObjective for DepthThenGatesObjective {
+    fn name(&self) -> String {
+        "depth".to_string()
+    }
+
+    /// Lexicographic (depth, gates) packed into one word; only used for
+    /// ranking finished chains — the sweep itself is depth-major.
+    fn chain_cost(&self, chain: &Chain) -> u64 {
+        ((chain.depth() as u64) << 32) | chain.num_gates() as u64
+    }
+
+    fn gate_count_lower_bound(&self, gates: usize) -> u64 {
+        gates as u64
+    }
+
+    fn depth_major(&self) -> bool {
+        true
+    }
+}
+
+/// Weighted per-operator gate costs: each 2-input LUT class pays its
+/// configured weight, absent classes pay the default.
 ///
-/// For [`Objective::MinGates`] this is [`synthesize`]. For
-/// [`Objective::MinDepthThenGates`] the topology search is organized by
-/// tree height: for each depth `d` (from `⌈log₂(support)⌉` up) it
-/// explores the shapes of height exactly `≤ d` in increasing gate
-/// count, so the first hit is depth-optimal with minimum gates among
-/// depth-optimal chains; the returned solution set holds all such
-/// chains.
+/// The gate-count sweep under this objective is exact: it keeps
+/// searching larger gate counts until `r × min_weight` exceeds the best
+/// weighted cost found, where `min_weight` is the cheapest weight over
+/// the ten nontrivial 2-input operators. (Chains never contain trivial
+/// gates — constants and projections are simplified away — so trivial
+/// LUT codes do not participate in the bound.)
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GateProfileObjective {
+    weights: std::collections::HashMap<u8, u64>,
+    default_weight: u64,
+    min_weight: u64,
+}
+
+/// The ten 2-input LUT codes that depend on both fanins.
+const NONTRIVIAL_TT2: [u8; 10] = [0x1, 0x2, 0x4, 0x6, 0x7, 0x8, 0x9, 0xb, 0xd, 0xe];
+
+impl GateProfileObjective {
+    /// Builds a profile objective from per-LUT weights (keyed by the
+    /// 4-bit truth table) and a default for absent codes.
+    ///
+    /// A zero minimum weight is allowed but weakens the termination
+    /// bound to the plain gate budget — the sweep then always runs to
+    /// `max_gates`.
+    pub fn new(weights: std::collections::HashMap<u8, u64>, default_weight: u64) -> Self {
+        let min_weight = NONTRIVIAL_TT2
+            .iter()
+            .map(|tt2| weights.get(tt2).copied().unwrap_or(default_weight))
+            .min()
+            .unwrap_or(default_weight);
+        GateProfileObjective { weights, default_weight, min_weight }
+    }
+
+    /// Weight charged for one gate.
+    pub fn gate_weight(&self, tt2: u8) -> u64 {
+        self.weights.get(&tt2).copied().unwrap_or(self.default_weight)
+    }
+}
+
+impl CostObjective for GateProfileObjective {
+    fn name(&self) -> String {
+        let mut keys: Vec<&u8> = self.weights.keys().collect();
+        keys.sort();
+        let parts: Vec<String> =
+            keys.iter().map(|k| format!("{k:x}={}", self.weights[k])).collect();
+        format!("profile:{},default={}", parts.join(","), self.default_weight)
+    }
+
+    fn chain_cost(&self, chain: &Chain) -> u64 {
+        chain.gates().iter().map(|g| self.gate_weight(g.tt2)).sum()
+    }
+
+    fn gate_count_lower_bound(&self, gates: usize) -> u64 {
+        (gates as u64).saturating_mul(self.min_weight)
+    }
+}
+
+/// Parses a CLI-style objective spec: `gates`, `depth`, or
+/// `profile:<tt2hex>=<weight>,…[,default=<weight>]` (e.g.
+/// `profile:6=3,9=3,default=1` taxes XOR/XNOR at 3× the default).
+///
+/// # Errors
+///
+/// Returns a human-readable message naming the malformed component.
+pub fn objective_from_spec(spec: &str) -> Result<Box<dyn CostObjective>, String> {
+    match spec {
+        "gates" => return Ok(Box::new(GateCountObjective)),
+        "depth" => return Ok(Box::new(DepthThenGatesObjective)),
+        _ => {}
+    }
+    let Some(body) = spec.strip_prefix("profile:") else {
+        return Err(format!(
+            "unknown objective `{spec}` (expected `gates`, `depth`, or `profile:<weights>`)"
+        ));
+    };
+    if body.is_empty() {
+        return Err("objective `profile:` needs at least one `<tt2hex>=<weight>` pair".to_string());
+    }
+    let mut weights = std::collections::HashMap::new();
+    let mut default_weight = 1u64;
+    for pair in body.split(',') {
+        let Some((key, value)) = pair.split_once('=') else {
+            return Err(format!("objective weight `{pair}` is not of the form `<key>=<weight>`"));
+        };
+        let weight: u64 = value
+            .parse()
+            .map_err(|_| format!("objective weight `{pair}` needs an unsigned integer weight"))?;
+        if key == "default" {
+            default_weight = weight;
+            continue;
+        }
+        let tt2 = u8::from_str_radix(key, 16)
+            .ok()
+            .filter(|v| *v <= 0xf)
+            .ok_or_else(|| format!("objective weight key `{key}` is not a 4-bit LUT hex code"))?;
+        weights.insert(tt2, weight);
+    }
+    Ok(Box::new(GateProfileObjective::new(weights, default_weight)))
+}
+
+/// Runs STP exact synthesis under an explicit [`CostObjective`].
+///
+/// [`GateCountObjective`] takes the classic [`synthesize`] path.
+/// [`DepthThenGatesObjective`] organizes the topology search by tree
+/// height: for each depth `d` (from `⌈log₂(support)⌉` up) it explores
+/// the shapes of height `≤ d` in increasing gate count, so the first
+/// hit is depth-optimal with minimum gates among depth-optimal chains.
+/// Any other objective runs the cost sweep: ascending gate-count rounds
+/// that continue past the first solutions until
+/// [`CostObjective::gate_count_lower_bound`] proves no cheaper chain
+/// can exist, returning every chain at the optimum cost (trimmed to
+/// [`SynthesisConfig::max_solutions`]).
+///
+/// Exactness caveat: within one round the solution cap applies to the
+/// raw solution stream, so a binding `max_solutions` can hide ties (or,
+/// for non-uniform objectives, cheaper chains) that would have appeared
+/// later in that round. With the default cap this does not arise on the
+/// paper's workloads.
 ///
 /// # Errors
 ///
@@ -269,14 +482,14 @@ pub enum Objective {
 /// # Examples
 ///
 /// ```
-/// use stp_synth::{synthesize_with_objective, Objective, SynthesisConfig};
+/// use stp_synth::{synthesize_with_objective, DepthThenGatesObjective, SynthesisConfig};
 /// use stp_tt::TruthTable;
 ///
 /// // AND of four inputs: depth 2 needs the balanced tree.
 /// let and4 = TruthTable::from_fn(4, |a| a.iter().all(|&b| b))?;
 /// let result = synthesize_with_objective(
 ///     &and4,
-///     Objective::MinDepthThenGates,
+///     &DepthThenGatesObjective,
 ///     &SynthesisConfig::default(),
 /// )?;
 /// assert_eq!(result.chains[0].depth(), 2);
@@ -284,13 +497,110 @@ pub enum Objective {
 /// ```
 pub fn synthesize_with_objective(
     spec: &TruthTable,
-    objective: Objective,
+    objective: &dyn CostObjective,
     config: &SynthesisConfig,
 ) -> Result<SynthesisResult, SynthesisError> {
-    match objective {
-        Objective::MinGates => synthesize(spec, config),
-        Objective::MinDepthThenGates => synthesize_min_depth(spec, config),
+    if objective.is_gate_count() {
+        synthesize(spec, config)
+    } else if objective.depth_major() {
+        synthesize_min_depth(spec, config)
+    } else {
+        synthesize_cost_sweep(spec, objective, config)
     }
+}
+
+/// The generalized gate-count sweep for weighted objectives: rounds
+/// keep running after the first solutions until the objective's lower
+/// bound proves the best cost cannot improve, collecting every chain at
+/// the optimum cost across rounds.
+fn synthesize_cost_sweep(
+    spec: &TruthTable,
+    objective: &dyn CostObjective,
+    config: &SynthesisConfig,
+) -> Result<SynthesisResult, SynthesisError> {
+    if let Some(chain) = trivial_chain(spec) {
+        stp_telemetry::counter!("synth.trivial_hits").inc();
+        return Ok(SynthesisResult {
+            chains: vec![chain],
+            gate_count: 0,
+            shapes_explored: 0,
+            fences_explored: 0,
+            factor_nodes: 0,
+        });
+    }
+    let support = spec.support();
+    let start = support.len().saturating_sub(1).max(1);
+    let jobs = parallel::resolve_jobs(config.jobs);
+    let cancel = Arc::new(AtomicBool::new(false));
+    let mut engines = build_engines(config, jobs, &cancel);
+    let mut shapes_explored = 0usize;
+    let mut fences_explored = 0usize;
+    let mut best: Vec<Chain> = Vec::new();
+    let mut best_cost: Option<u64> = None;
+    for r in start..=config.max_gates {
+        if let Some(cost) = best_cost {
+            // Sound termination: every chain with r gates costs at
+            // least the bound; equality could still tie, so only a
+            // strictly larger bound ends the sweep.
+            if objective.gate_count_lower_bound(r) > cost {
+                break;
+            }
+        }
+        let _round = stp_telemetry::span!("synth.round.r{}", r);
+        stp_telemetry::counter!("synth.rounds").inc();
+        let shapes: Vec<TreeShape> = {
+            let _enum = stp_telemetry::span!("phase.fence_enum");
+            let mut flat = if config.fence_pruning {
+                let mut flat = Vec::new();
+                for fence in &pruned_fences(r) {
+                    fences_explored += 1;
+                    flat.extend(shapes_for_fence(fence));
+                }
+                flat
+            } else {
+                let flat = shapes_with_gates(r);
+                fences_explored += distinct_fence_count(&flat);
+                flat
+            };
+            if let Some(d) = config.max_depth {
+                flat.retain(|shape| shape.height() <= d);
+            }
+            flat
+        };
+        let outcome = run_round(
+            spec,
+            &shapes,
+            &mut engines,
+            config.max_solutions,
+            config.max_depth,
+            &cancel,
+        )?;
+        shapes_explored += outcome.shapes_explored;
+        for chain in outcome.solutions {
+            let cost = objective.chain_cost(&chain);
+            match best_cost {
+                Some(bc) if cost > bc => {}
+                Some(bc) if cost == bc => best.push(chain),
+                _ => {
+                    best = vec![chain];
+                    best_cost = Some(cost);
+                }
+            }
+        }
+    }
+    if best.is_empty() {
+        return Err(SynthesisError::GateLimitExceeded { max_gates: config.max_gates });
+    }
+    best.truncate(config.max_solutions);
+    stp_telemetry::counter!("synth.solutions").add(best.len() as u64);
+    let gate_count = best.iter().map(Chain::num_gates).min().expect("best is non-empty");
+    Ok(SynthesisResult {
+        chains: best,
+        gate_count,
+        shapes_explored,
+        fences_explored,
+        factor_nodes: engines.iter().map(Factorizer::nodes_explored).sum(),
+    })
 }
 
 fn synthesize_min_depth(
@@ -316,8 +626,16 @@ fn synthesize_min_depth(
     let mut engines = build_engines(config, jobs, &cancel);
     let mut shapes_explored = 0usize;
     let mut fences_explored = 0usize;
-    let max_depth = config.max_gates.max(min_depth);
-    for depth in min_depth.max(1)..=max_depth {
+    // The depth budget is its own bound, no longer conflated with the
+    // gate budget. The derived ceiling `max_gates.max(min_depth)` stays
+    // sound in both directions: a chain's depth never exceeds its gate
+    // count, so sweeping past it can only re-explore rounds the gate
+    // budget already exhausted. An explicit `max_depth` below the
+    // ceiling truncates the sweep (and names itself in the error); one
+    // above it is vacuous and clamps down.
+    let derived = config.max_gates.max(min_depth);
+    let sweep_cap = config.max_depth.map_or(derived, |d| d.min(derived));
+    for depth in min_depth.max(1)..=sweep_cap {
         // A depth-d binary tree has at most 2^d − 1 gates; larger gate
         // counts cannot appear at this depth.
         let r_cap = ((1usize << depth.min(24)) - 1).min(config.max_gates);
@@ -341,7 +659,223 @@ fn synthesize_min_depth(
             }
         }
     }
-    Err(SynthesisError::GateLimitExceeded { max_gates: config.max_gates })
+    // An explicit depth budget that truncated the sweep is its own
+    // failure mode; otherwise the gate budget was the binding limit.
+    match config.max_depth {
+        Some(max_depth) if max_depth < derived => {
+            Err(SynthesisError::DepthLimitExceeded { max_depth })
+        }
+        _ => Err(SynthesisError::GateLimitExceeded { max_gates: config.max_gates }),
+    }
+}
+
+/// A multi-output specification: `k` output truth tables over one
+/// common input set, to be synthesized as a single chain with shared
+/// internal nodes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MultiSpec {
+    specs: Vec<TruthTable>,
+}
+
+impl MultiSpec {
+    /// Builds a multi-output spec, validating that at least one output
+    /// is present and all outputs share one arity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SynthesisError::InvalidMultiSpec`] otherwise.
+    pub fn new(specs: Vec<TruthTable>) -> Result<Self, SynthesisError> {
+        if specs.is_empty() {
+            return Err(SynthesisError::InvalidMultiSpec {
+                message: "need at least one output".to_string(),
+            });
+        }
+        let n = specs[0].num_vars();
+        if let Some(bad) = specs.iter().find(|s| s.num_vars() != n) {
+            return Err(SynthesisError::InvalidMultiSpec {
+                message: format!("outputs disagree on arity: {n} vs {} inputs", bad.num_vars()),
+            });
+        }
+        Ok(MultiSpec { specs })
+    }
+
+    /// The output truth tables, in declaration order.
+    pub fn specs(&self) -> &[TruthTable] {
+        &self.specs
+    }
+
+    /// Common input arity.
+    pub fn num_vars(&self) -> usize {
+        self.specs[0].num_vars()
+    }
+
+    /// Number of outputs.
+    pub fn num_outputs(&self) -> usize {
+        self.specs.len()
+    }
+}
+
+/// Result of a successful [`synthesize_multi`] run.
+#[derive(Debug, Clone)]
+pub struct MultiSynthesisResult {
+    /// The shared chain: one output tap per spec output, in spec order,
+    /// with internal gates shared across outputs.
+    pub chain: Chain,
+    /// The objective cost of the shared chain.
+    pub objective_cost: u64,
+    /// Gate count of the chain each output would use when synthesized
+    /// alone (the selected per-output solutions).
+    pub per_output_gates: Vec<usize>,
+    /// Gates saved by sharing: `Σ per_output_gates − chain.num_gates()`.
+    pub gates_saved: usize,
+    /// Per-output solution combinations scored during the merge.
+    pub combinations_tried: usize,
+    /// Aggregated topology statistics over the per-output searches.
+    pub shapes_explored: usize,
+    /// Aggregated fence statistics over the per-output searches.
+    pub fences_explored: usize,
+    /// Aggregated factorization statistics over the per-output searches.
+    pub factor_nodes: u64,
+}
+
+/// Cap on the per-output solution combinations scored by the shared
+/// merge. Beyond it the enumeration truncates deterministically (a
+/// prefix in odometer order) and `synth.mo.combos_capped` records the
+/// event.
+const MAX_MO_COMBINATIONS: usize = 4096;
+
+/// Synthesizes a [`MultiSpec`] as one shared chain.
+///
+/// Each output is first synthesized alone under `objective` — the
+/// engine returns *all* optimum chains per output — then every
+/// combination of per-output optima (bounded by an internal cap) is
+/// merged with structural gate sharing ([`stp_chain::merge_chains`])
+/// and scored under the objective; the cheapest merged chain wins, with
+/// gate count and then enumeration order breaking ties deterministically
+/// at any jobs count.
+///
+/// Guarantees: every output of the returned chain is individually
+/// optimal under `objective`, and the shared chain minimizes the
+/// objective over the cross product of per-output optimum sets — so its
+/// gate count never exceeds the per-output sum. (Globally cheaper
+/// chains that sacrifice single-output optimality for sharing are
+/// outside this search space; see `DESIGN.md`.)
+///
+/// # Errors
+///
+/// Same conditions as [`synthesize`], from any output's search.
+pub fn synthesize_multi(
+    multi: &MultiSpec,
+    objective: &dyn CostObjective,
+    config: &SynthesisConfig,
+) -> Result<MultiSynthesisResult, SynthesisError> {
+    let _span = stp_telemetry::span!("synth.mo");
+    stp_telemetry::counter!("synth.mo.calls").inc();
+    stp_telemetry::counter!("synth.mo.outputs").add(multi.num_outputs() as u64);
+    // Per-output all-optimum synthesis.
+    let mut lists: Vec<Vec<Chain>> = Vec::with_capacity(multi.num_outputs());
+    let mut shapes_explored = 0usize;
+    let mut fences_explored = 0usize;
+    let mut factor_nodes = 0u64;
+    for spec in multi.specs() {
+        let result = synthesize_with_objective(spec, objective, config)?;
+        shapes_explored += result.shapes_explored;
+        fences_explored += result.fences_explored;
+        factor_nodes += result.factor_nodes;
+        lists.push(result.chains);
+    }
+    // Deterministic bounded cross-product merge: enumerate solution
+    // combinations in odometer order (last output fastest), merge with
+    // structural sharing, keep the cheapest (first wins on ties).
+    let total: usize = lists.iter().map(Vec::len).fold(1usize, |a, b| a.saturating_mul(b));
+    let tried = total.min(MAX_MO_COMBINATIONS);
+    if total > MAX_MO_COMBINATIONS {
+        stp_telemetry::counter!("synth.mo.combos_capped").inc();
+    }
+    stp_telemetry::counter!("synth.mo.combos").add(tried as u64);
+    let mut best: Option<(u64, usize, Chain, Vec<usize>)> = None;
+    for combo in 0..tried {
+        let mut idx = combo;
+        let mut picks: Vec<&Chain> = Vec::with_capacity(lists.len());
+        for list in lists.iter().rev() {
+            picks.push(&list[idx % list.len()]);
+            idx /= list.len();
+        }
+        picks.reverse();
+        let merged = stp_chain::merge_chains(&picks)?;
+        let cost = objective.chain_cost(&merged);
+        let gates = merged.num_gates();
+        let better = match &best {
+            None => true,
+            Some((bc, bg, _, _)) => cost < *bc || (cost == *bc && gates < *bg),
+        };
+        if better {
+            let per_output: Vec<usize> = picks.iter().map(|c| c.num_gates()).collect();
+            best = Some((cost, gates, merged, per_output));
+        }
+    }
+    let (objective_cost, shared_gates, chain, per_output_gates) =
+        best.expect("every output produced at least one chain");
+    let gates_saved = per_output_gates.iter().sum::<usize>() - shared_gates;
+    stp_telemetry::counter!("synth.mo.shared_gates").add(shared_gates as u64);
+    stp_telemetry::counter!("synth.mo.gates_saved").add(gates_saved as u64);
+    debug_assert_eq!(
+        chain.simulate_outputs().map_err(SynthesisError::from)?,
+        multi.specs().to_vec(),
+        "shared chain must realize every output"
+    );
+    Ok(MultiSynthesisResult {
+        chain,
+        objective_cost,
+        per_output_gates,
+        gates_saved,
+        combinations_tried: tried,
+        shapes_explored,
+        fences_explored,
+        factor_nodes,
+    })
+}
+
+/// [`synthesize_multi`] through the multi-output NPN class
+/// representative tuple, against a shared [`Store`].
+///
+/// The spec vector is canonicalized with [`stp_tt::canonicalize_multi`]
+/// (shared input transform, output permutation, per-output phases), the
+/// representative tuple is looked up or synthesized once (gate-count
+/// objective — the cached objective of the store), and the stored
+/// shared chain is mapped back through
+/// [`Chain::permute_negate_outputs`]. Returns the shared chain with
+/// outputs in original spec order.
+///
+/// # Errors
+///
+/// Same conditions as [`synthesize`]; a stored exhaustion at a budget
+/// at least as large as ours surfaces as [`SynthesisError::Timeout`].
+pub fn synthesize_multi_npn_with_store(
+    multi: &MultiSpec,
+    config: &SynthesisConfig,
+    store: &Store,
+) -> Result<Chain, SynthesisError> {
+    let budget = match config.deadline {
+        Some(deadline) => deadline.saturating_duration_since(Instant::now()),
+        None => Duration::MAX,
+    };
+    let outcome = store.solve_npn_multi(multi.specs(), budget, |reps| {
+        let rep_multi = MultiSpec::new(reps.to_vec())?;
+        match synthesize_multi(&rep_multi, &GateCountObjective, config) {
+            Ok(result) => Ok(RepOutcome::Solved(vec![result.chain])),
+            Err(SynthesisError::Timeout) => Ok(RepOutcome::Exhausted),
+            Err(other) => Err(other),
+        }
+    })?;
+    match outcome {
+        NpnOutcome::Trivial(chain) => Ok(chain),
+        NpnOutcome::Solved(chains) => {
+            Ok(chains.into_iter().next().expect("solved entries are non-empty"))
+        }
+        NpnOutcome::Exhausted { .. } => Err(SynthesisError::Timeout),
+        NpnOutcome::Poisoned { message } => Err(SynthesisError::JobPanicked { message }),
+    }
 }
 
 /// Runs STP exact synthesis through the NPN class representative
@@ -659,12 +1193,9 @@ mod tests {
         // Parity of four inputs: gate-optimal is 3 gates; the balanced
         // tree also has depth 2 — both objectives coincide here.
         let spec = TruthTable::from_fn(4, |a| a.iter().fold(false, |x, &b| x ^ b)).unwrap();
-        let result = synthesize_with_objective(
-            &spec,
-            Objective::MinDepthThenGates,
-            &SynthesisConfig::default(),
-        )
-        .unwrap();
+        let result =
+            synthesize_with_objective(&spec, &DepthThenGatesObjective, &SynthesisConfig::default())
+                .unwrap();
         assert_eq!(result.gate_count, 3);
         assert!(result.chains.iter().all(|c| c.depth() == 2));
         for chain in &result.chains {
@@ -679,12 +1210,9 @@ mod tests {
         // never beat the gate optimum on depth… (it may match it).
         let maj = TruthTable::from_hex(3, "e8").unwrap();
         let by_gates = synthesize_default(&maj).unwrap();
-        let by_depth = synthesize_with_objective(
-            &maj,
-            Objective::MinDepthThenGates,
-            &SynthesisConfig::default(),
-        )
-        .unwrap();
+        let by_depth =
+            synthesize_with_objective(&maj, &DepthThenGatesObjective, &SynthesisConfig::default())
+                .unwrap();
         let min_depth_all: usize = by_depth.chains.iter().map(|c| c.depth()).min().unwrap();
         let min_depth_gateopt: usize = by_gates.chains.iter().map(|c| c.depth()).min().unwrap();
         assert!(min_depth_all <= min_depth_gateopt);
@@ -697,7 +1225,7 @@ mod tests {
     fn objective_min_gates_matches_synthesize() {
         let spec = TruthTable::from_hex(4, "8ff8").unwrap();
         let a = synthesize_default(&spec).unwrap();
-        let b = synthesize_with_objective(&spec, Objective::MinGates, &SynthesisConfig::default())
+        let b = synthesize_with_objective(&spec, &GateCountObjective, &SynthesisConfig::default())
             .unwrap();
         assert_eq!(a.gate_count, b.gate_count);
         assert_eq!(a.chains.len(), b.chains.len());
@@ -768,7 +1296,7 @@ mod tests {
         let spec = TruthTable::from_hex(4, "6996").unwrap();
         let result = synthesize_with_objective(
             &spec,
-            Objective::MinDepthThenGates,
+            &DepthThenGatesObjective,
             &SynthesisConfig { max_solutions: 1, ..SynthesisConfig::default() },
         )
         .unwrap();
@@ -781,12 +1309,9 @@ mod tests {
         // `fences_explored: 0` even though it examines whole shape
         // families.
         let spec = TruthTable::from_hex(4, "8ff8").unwrap();
-        let result = synthesize_with_objective(
-            &spec,
-            Objective::MinDepthThenGates,
-            &SynthesisConfig::default(),
-        )
-        .unwrap();
+        let result =
+            synthesize_with_objective(&spec, &DepthThenGatesObjective, &SynthesisConfig::default())
+                .unwrap();
         assert!(result.fences_explored > 0, "depth search examined shapes, hence fences");
     }
 
@@ -843,13 +1368,13 @@ mod tests {
         let spec = TruthTable::from_fn(4, |a| a.iter().fold(false, |x, &b| x ^ b)).unwrap();
         let seq = synthesize_with_objective(
             &spec,
-            Objective::MinDepthThenGates,
+            &DepthThenGatesObjective,
             &SynthesisConfig { jobs: 1, ..SynthesisConfig::default() },
         )
         .unwrap();
         let par = synthesize_with_objective(
             &spec,
-            Objective::MinDepthThenGates,
+            &DepthThenGatesObjective,
             &SynthesisConfig { jobs: 3, ..SynthesisConfig::default() },
         )
         .unwrap();
@@ -866,5 +1391,156 @@ mod tests {
         let result = synthesize_default(&spec).unwrap();
         assert_eq!(result.gate_count, 1);
         assert_eq!(result.chains[0].simulate_outputs().unwrap()[0], spec);
+    }
+
+    #[test]
+    fn explicit_depth_budget_is_its_own_bound() {
+        // MAJ3 needs depth ≥ 2, so an explicit depth budget of 1 must
+        // fail with the depth error — historically the depth sweep ran
+        // off the gate budget and could only report GateLimitExceeded.
+        let maj = TruthTable::from_hex(3, "e8").unwrap();
+        let tight = SynthesisConfig { max_depth: Some(1), jobs: 1, ..SynthesisConfig::default() };
+        let err = synthesize_with_objective(&maj, &DepthThenGatesObjective, &tight).unwrap_err();
+        assert!(matches!(err, SynthesisError::DepthLimitExceeded { max_depth: 1 }), "got {err:?}");
+        // A budget at or above the depth optimum changes nothing.
+        let free = SynthesisConfig { jobs: 1, ..SynthesisConfig::default() };
+        let unrestricted =
+            synthesize_with_objective(&maj, &DepthThenGatesObjective, &free).unwrap();
+        let roomy = SynthesisConfig { max_depth: Some(3), jobs: 1, ..SynthesisConfig::default() };
+        let bounded = synthesize_with_objective(&maj, &DepthThenGatesObjective, &roomy).unwrap();
+        let render = |r: &SynthesisResult| -> Vec<String> {
+            r.chains.iter().map(|c| format!("{c}")).collect()
+        };
+        assert_eq!(render(&unrestricted), render(&bounded));
+    }
+
+    #[test]
+    fn gate_count_search_honors_the_depth_budget() {
+        // Parity over four inputs takes three XOR gates, either linear
+        // (depth 3) or balanced (depth 2). A depth budget of 2 keeps
+        // only the balanced trees without changing the optimum count.
+        let spec = TruthTable::from_fn(4, |a| a.iter().fold(false, |x, &b| x ^ b)).unwrap();
+        let free = SynthesisConfig { jobs: 1, ..SynthesisConfig::default() };
+        let all = synthesize(&spec, &free).unwrap();
+        assert!(all.chains.iter().any(|c| c.depth() > 2), "linear trees exist unrestricted");
+        let bounded = synthesize(
+            &spec,
+            &SynthesisConfig { max_depth: Some(2), jobs: 1, ..SynthesisConfig::default() },
+        )
+        .unwrap();
+        assert_eq!(bounded.gate_count, 3);
+        assert!(!bounded.chains.is_empty());
+        assert!(bounded.chains.iter().all(|c| c.depth() <= 2));
+        assert!(bounded.chains.len() < all.chains.len());
+    }
+
+    #[test]
+    fn objective_specs_parse_and_reject() {
+        assert!(objective_from_spec("gates").unwrap().is_gate_count());
+        assert!(objective_from_spec("depth").unwrap().depth_major());
+        let profile = objective_from_spec("profile:6=3,9=3,default=2").unwrap();
+        assert_eq!(profile.name(), "profile:6=3,9=3,default=2");
+        // min weight is the default 2 (only XOR/XNOR pay 3).
+        assert_eq!(profile.gate_count_lower_bound(2), 4);
+        for (spec, needle) in [
+            ("speed", "unknown objective `speed`"),
+            ("profile:", "at least one"),
+            ("profile:6", "not of the form"),
+            ("profile:zz=1", "not a 4-bit LUT hex code"),
+            ("profile:6=x", "unsigned integer"),
+        ] {
+            let err = objective_from_spec(spec).unwrap_err();
+            assert!(err.contains(needle), "`{err}` should name the bad component `{needle}`");
+        }
+    }
+
+    #[test]
+    fn profile_objective_trades_gate_count_for_cheap_operators() {
+        // XOR/XNOR cost 5 under this profile while everything else
+        // costs 1: the single-gate XOR realization (cost 5) loses to a
+        // three-gate AND/OR decomposition (cost 3), so the sweep must
+        // keep searching past the first non-empty round.
+        let xor = TruthTable::from_hex(2, "6").unwrap();
+        let profile = objective_from_spec("profile:6=5,9=5,default=1").unwrap();
+        let config = SynthesisConfig { jobs: 1, ..SynthesisConfig::default() };
+        let result = synthesize_with_objective(&xor, profile.as_ref(), &config).unwrap();
+        assert_eq!(result.gate_count, 3);
+        assert!(!result.chains.is_empty());
+        for chain in &result.chains {
+            assert_eq!(chain.simulate_outputs().unwrap()[0], xor);
+            assert_eq!(profile.chain_cost(chain), 3);
+            assert!(chain.gates().iter().all(|g| g.tt2 != 0x6 && g.tt2 != 0x9));
+        }
+    }
+
+    #[test]
+    fn multi_spec_validates_inputs() {
+        assert!(matches!(MultiSpec::new(vec![]), Err(SynthesisError::InvalidMultiSpec { .. })));
+        let two = TruthTable::from_hex(2, "6").unwrap();
+        let three = TruthTable::from_hex(3, "e8").unwrap();
+        assert!(matches!(
+            MultiSpec::new(vec![two, three]),
+            Err(SynthesisError::InvalidMultiSpec { .. })
+        ));
+    }
+
+    #[test]
+    fn multi_output_full_adder_shares_gates() {
+        // sum = a⊕b⊕c (2 gates), carry = MAJ3 (4 gates); among the
+        // all-optimum sets there is a pair sharing an a⊕b node, so the
+        // merged chain spends 5 gates, not 6.
+        let sum = TruthTable::from_fn(3, |a| a[0] ^ a[1] ^ a[2]).unwrap();
+        let carry = TruthTable::from_hex(3, "e8").unwrap();
+        let multi = MultiSpec::new(vec![sum.clone(), carry.clone()]).unwrap();
+        let config = SynthesisConfig { jobs: 1, ..SynthesisConfig::default() };
+        let result = synthesize_multi(&multi, &GateCountObjective, &config).unwrap();
+        assert_eq!(result.chain.simulate_outputs().unwrap(), vec![sum, carry]);
+        assert_eq!(result.per_output_gates, vec![2, 4]);
+        assert!(result.gates_saved >= 1, "the adder must share at least one gate");
+        assert_eq!(result.chain.num_gates(), 5);
+        assert_eq!(result.objective_cost, result.chain.num_gates() as u64);
+        assert!(result.combinations_tried >= 1);
+    }
+
+    #[test]
+    fn multi_output_synthesis_is_deterministic_across_jobs() {
+        let sum = TruthTable::from_fn(3, |a| a[0] ^ a[1] ^ a[2]).unwrap();
+        let carry = TruthTable::from_hex(3, "e8").unwrap();
+        let multi = MultiSpec::new(vec![sum, carry]).unwrap();
+        let seq = synthesize_multi(
+            &multi,
+            &GateCountObjective,
+            &SynthesisConfig { jobs: 1, ..SynthesisConfig::default() },
+        )
+        .unwrap();
+        let par = synthesize_multi(
+            &multi,
+            &GateCountObjective,
+            &SynthesisConfig { jobs: 4, ..SynthesisConfig::default() },
+        )
+        .unwrap();
+        assert_eq!(format!("{}", seq.chain), format!("{}", par.chain));
+        assert_eq!(seq.per_output_gates, par.per_output_gates);
+        assert_eq!(seq.gates_saved, par.gates_saved);
+    }
+
+    #[test]
+    fn multi_output_store_shares_orbit_entries() {
+        let store = Store::new();
+        let sum = TruthTable::from_fn(3, |a| a[0] ^ a[1] ^ a[2]).unwrap();
+        let carry = TruthTable::from_hex(3, "e8").unwrap();
+        let config = SynthesisConfig { jobs: 1, ..SynthesisConfig::default() };
+        let first = MultiSpec::new(vec![sum.clone(), carry.clone()]).unwrap();
+        let chain = synthesize_multi_npn_with_store(&first, &config, &store).unwrap();
+        assert_eq!(chain.simulate_outputs().unwrap(), vec![sum.clone(), carry.clone()]);
+        assert_eq!(store.misses(), 1);
+        // An orbit member — outputs swapped, one output complemented —
+        // answers from the same entry without re-running the engine.
+        let second = MultiSpec::new(vec![!carry.clone(), sum.clone()]).unwrap();
+        let mapped = synthesize_multi_npn_with_store(&second, &config, &store).unwrap();
+        assert_eq!(mapped.simulate_outputs().unwrap(), vec![!carry, sum]);
+        assert_eq!(store.misses(), 1, "the orbit member must hit the cached class");
+        assert_eq!(store.hits(), 1);
+        assert_eq!(store.len(), 1);
     }
 }

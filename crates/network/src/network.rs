@@ -280,7 +280,9 @@ impl Network {
     }
 
     /// Splices a [`Chain`] into the network, mapping chain input `i` to
-    /// `inputs[i]`; returns the edge of the chain's first output.
+    /// `inputs[i]`; returns one edge per chain output, in declaration
+    /// order. Shared internal nodes of a multi-output chain splice once
+    /// (and structural hashing merges them with pre-existing logic).
     ///
     /// # Errors
     ///
@@ -289,9 +291,12 @@ impl Network {
     ///
     /// # Panics
     ///
-    /// Panics when `inputs.len()` differs from the chain's input count
-    /// or the chain has no outputs.
-    pub fn add_chain(&mut self, chain: &Chain, inputs: &[Sig]) -> Result<Sig, NetworkError> {
+    /// Panics when `inputs.len()` differs from the chain's input count.
+    pub fn add_chain_outputs(
+        &mut self,
+        chain: &Chain,
+        inputs: &[Sig],
+    ) -> Result<Vec<Sig>, NetworkError> {
         assert_eq!(inputs.len(), chain.num_inputs(), "one edge per chain input");
         chain.validate()?;
         let mut map: Vec<Sig> = inputs.to_vec();
@@ -301,24 +306,42 @@ impl Network {
             let sig = self.add_gate(a, b, gate.tt2)?;
             map.push(sig);
         }
-        let out = chain.outputs().first().expect("chain has an output");
-        Ok(match out {
-            OutputRef::Signal { index, negated } => {
-                let s = map[*index];
-                if *negated {
-                    s.not()
-                } else {
-                    s
+        Ok(chain
+            .outputs()
+            .iter()
+            .map(|out| match out {
+                OutputRef::Signal { index, negated } => {
+                    let s = map[*index];
+                    if *negated {
+                        s.not()
+                    } else {
+                        s
+                    }
                 }
-            }
-            OutputRef::Constant(v) => {
-                if *v {
-                    Sig::TRUE
-                } else {
-                    Sig::FALSE
+                OutputRef::Constant(v) => {
+                    if *v {
+                        Sig::TRUE
+                    } else {
+                        Sig::FALSE
+                    }
                 }
-            }
-        })
+            })
+            .collect())
+    }
+
+    /// Splices a [`Chain`] and returns the edge of its first output
+    /// (the single-output convenience over [`Network::add_chain_outputs`]).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Network::add_chain_outputs`].
+    ///
+    /// # Panics
+    ///
+    /// Additionally panics when the chain has no outputs.
+    pub fn add_chain(&mut self, chain: &Chain, inputs: &[Sig]) -> Result<Sig, NetworkError> {
+        let outputs = self.add_chain_outputs(chain, inputs)?;
+        Ok(*outputs.first().expect("chain has an output"))
     }
 
     /// Number of gate nodes reachable from the outputs (dead nodes are
@@ -580,6 +603,36 @@ mod tests {
         net.add_output(out);
         assert_eq!(net.simulate_outputs().unwrap()[0], TruthTable::from_hex(4, "8ff8").unwrap());
         assert_eq!(net.live_gate_count(), 3);
+    }
+
+    #[test]
+    fn add_chain_outputs_splices_shared_nodes_once() {
+        // Full-adder chain: sum and carry share the a⊕b node.
+        let mut chain = Chain::new(3);
+        let x1 = chain.add_gate(0, 1, 0x6).unwrap();
+        let s = chain.add_gate(x1, 2, 0x6).unwrap();
+        let t = chain.add_gate(x1, 2, 0x8).unwrap();
+        let u = chain.add_gate(0, 1, 0x8).unwrap();
+        let m = chain.add_gate(t, u, 0xe).unwrap();
+        chain.add_output(OutputRef::signal(s));
+        chain.add_output(OutputRef::negated_signal(m));
+        let mut net = Network::new(3);
+        let inputs: Vec<Sig> = (0..3).map(|i| net.input(i)).collect();
+        let outs = net.add_chain_outputs(&chain, &inputs).unwrap();
+        assert_eq!(outs.len(), 2);
+        for o in &outs {
+            net.add_output(*o);
+        }
+        let tts = net.simulate_outputs().unwrap();
+        assert_eq!(tts[0], TruthTable::from_fn(3, |x| x[0] ^ x[1] ^ x[2]).unwrap());
+        assert_eq!(
+            tts[1],
+            !TruthTable::from_fn(3, |x| (x[0] as u8 + x[1] as u8 + x[2] as u8) >= 2).unwrap()
+        );
+        assert_eq!(net.live_gate_count(), 5, "the shared a⊕b node splices once");
+        // add_chain returns the first of the same outputs.
+        let first = net.add_chain(&chain, &inputs).unwrap();
+        assert_eq!(first, outs[0]);
     }
 
     #[test]

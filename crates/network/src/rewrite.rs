@@ -14,7 +14,9 @@ use std::time::{Duration, Instant};
 
 use stp_chain::Chain;
 use stp_store::{NpnOutcome, RepOutcome, Store};
-use stp_synth::{synthesize, SynthesisConfig, SynthesisError};
+use stp_synth::{
+    synthesize, synthesize_multi, GateCountObjective, MultiSpec, SynthesisConfig, SynthesisError,
+};
 use stp_tt::TruthTable;
 
 use crate::cuts::{cut_function, enumerate_cuts, Cut};
@@ -36,6 +38,13 @@ pub struct RewriteConfig {
     /// `1` = sequential; see [`stp_synth::SynthesisConfig::jobs`]).
     /// Defaults to the `STP_JOBS` environment variable (or `1`).
     pub jobs: usize,
+    /// Rewrite whole multi-root cut cones in one shared synthesis call:
+    /// roots sharing an identical leaf set are synthesized jointly
+    /// (`stp_synth::synthesize_multi` through the store's multi-output
+    /// keyspace) and spliced as one chain with shared internal nodes. A
+    /// joint replacement is taken only when it saves strictly more
+    /// gates than the best per-root replacements combined.
+    pub multi_output: bool,
 }
 
 impl Default for RewriteConfig {
@@ -46,9 +55,15 @@ impl Default for RewriteConfig {
             synthesis_budget: Duration::from_secs(2),
             max_passes: 4,
             jobs: stp_synth::jobs_from_env(),
+            multi_output: true,
         }
     }
 }
+
+/// Cap on the roots jointly rewritten per shared cut cone: the shared
+/// merge enumerates cross products of per-output optima, so the cost of
+/// a joint call grows quickly with the output count.
+const MAX_GROUP_OUTPUTS: usize = 3;
 
 /// A cache of optimum chains per NPN class representative, shared
 /// across rewriting calls (and typically across networks and threads).
@@ -121,6 +136,59 @@ impl SynthesisCache {
             };
             match synthesize(rep, &config) {
                 Ok(r) => Ok(RepOutcome::Solved(r.chains)),
+                Err(SynthesisError::Timeout | SynthesisError::GateLimitExceeded { .. }) => {
+                    Ok(RepOutcome::Exhausted)
+                }
+                Err(e) => Err(NetworkError::from(e)),
+            }
+        })?;
+        if !synthesized {
+            stp_telemetry::counter!("network.synth_cache_hits").inc();
+        }
+        match outcome {
+            NpnOutcome::Trivial(chain) => Ok(Some(chain)),
+            NpnOutcome::Solved(mut chains) => Ok(Some(chains.swap_remove(0))),
+            NpnOutcome::Exhausted { .. } => Ok(None),
+            NpnOutcome::Poisoned { message } => {
+                Err(NetworkError::from(SynthesisError::JobPanicked { message }))
+            }
+        }
+    }
+
+    /// Returns one shared chain realizing every spec (through the
+    /// multi-output NPN class tuple), synthesizing and caching on first
+    /// sight — the multi-output analogue of
+    /// [`SynthesisCache::optimum_chain`]. The chain's outputs follow
+    /// `specs` order and its internal gates are shared across outputs.
+    ///
+    /// A synthesis failure (timeout or gate limit) under `budget` is
+    /// recorded as exhausted at that budget and returns `Ok(None)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates chain-mapping and non-budget synthesis failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `specs` is empty.
+    pub fn optimum_shared_chain(
+        &self,
+        specs: &[TruthTable],
+        budget: Duration,
+        jobs: usize,
+    ) -> Result<Option<Chain>, NetworkError> {
+        let mut synthesized = false;
+        let outcome = self.store.solve_npn_multi(specs, budget, |reps| {
+            synthesized = true;
+            stp_telemetry::counter!("network.synth_cache_misses").inc();
+            let config = SynthesisConfig {
+                deadline: Some(Instant::now() + budget),
+                jobs,
+                ..SynthesisConfig::default()
+            };
+            let multi = MultiSpec::new(reps.to_vec()).map_err(NetworkError::from)?;
+            match synthesize_multi(&multi, &GateCountObjective, &config) {
+                Ok(r) => Ok(RepOutcome::Solved(vec![r.chain])),
                 Err(SynthesisError::Timeout | SynthesisError::GateLimitExceeded { .. }) => {
                     Ok(RepOutcome::Exhausted)
                 }
@@ -216,8 +284,12 @@ fn build_function(
 /// One applied replacement, for reporting.
 #[derive(Debug, Clone)]
 pub struct Replacement {
-    /// The replaced root signal (in the *old* network's numbering).
+    /// The primary replaced root signal (in the *old* network's
+    /// numbering); for a multi-output replacement, the smallest root.
     pub root: usize,
+    /// Every replaced root, ascending — more than one exactly when a
+    /// shared cut cone was rewritten in one joint synthesis call.
+    pub roots: Vec<usize>,
     /// Leaves of the chosen cut.
     pub leaves: Vec<usize>,
     /// Estimated gates saved.
@@ -243,21 +315,40 @@ pub struct RewriteResult {
 /// gates that die if `root` is replaced by new logic over the cut
 /// leaves.
 fn mffc_size(net: &Network, root: usize, cut: &Cut, refs: &[usize]) -> usize {
-    fn deref(net: &Network, s: usize, cut: &Cut, refs: &mut Vec<usize>, count: &mut usize) {
-        if cut.leaves.binary_search(&s).is_ok() || !net.is_gate(s) {
+    joint_mffc_size(net, &[root], cut, refs)
+}
+
+/// Joint MFFC of several roots above one shared cut: the gates that die
+/// if *all* roots are re-sourced from new logic over the cut leaves.
+/// Shared interior gates are counted once; a root inside another root's
+/// cone is counted once too.
+fn joint_mffc_size(net: &Network, roots: &[usize], cut: &Cut, refs: &[usize]) -> usize {
+    fn deref(
+        net: &Network,
+        s: usize,
+        cut: &Cut,
+        refs: &mut [usize],
+        dead: &mut [bool],
+        count: &mut usize,
+    ) {
+        if cut.leaves.binary_search(&s).is_ok() || !net.is_gate(s) || dead[s] {
             return;
         }
+        dead[s] = true;
         *count += 1;
         for f in net.gate(s).fanin {
             refs[f] -= 1;
             if refs[f] == 0 {
-                deref(net, f, cut, refs, count);
+                deref(net, f, cut, refs, dead, count);
             }
         }
     }
     let mut refs = refs.to_vec();
+    let mut dead = vec![false; net.num_signals()];
     let mut count = 0;
-    deref(net, root, cut, &mut refs, &mut count);
+    for &root in roots {
+        deref(net, root, cut, &mut refs, &mut dead, &mut count);
+    }
     count
 }
 
@@ -319,9 +410,13 @@ fn rewrite_pass(
     };
     let refs = net.reference_counts();
 
-    // Collect candidate replacements.
+    // Collect candidate replacements. A candidate replaces one or more
+    // roots over one cut: single-root candidates come from the classic
+    // per-cone synthesis, multi-root ones from a joint synthesis of
+    // every root sharing the cut's leaf set.
     struct Candidate {
-        root: usize,
+        /// Ascending; one root for the classic per-cone replacement.
+        roots: Vec<usize>,
         cut: Cut,
         chain: Chain,
         gain: usize,
@@ -346,7 +441,7 @@ fn rewrite_pass(
             let new_cost = chain.num_gates();
             if new_cost < old_cost {
                 candidates.push(Candidate {
-                    root: s,
+                    roots: vec![s],
                     cut: cut.clone(),
                     chain,
                     gain: old_cost - new_cost,
@@ -354,16 +449,84 @@ fn rewrite_pass(
             }
         }
     }
-    // Greedy: best gains first; skip candidates whose root or leaves
-    // fall inside an already-replaced cone.
-    candidates.sort_by(|a, b| b.gain.cmp(&a.gain).then(a.root.cmp(&b.root)));
-    let mut replaced: HashMap<usize, (&Cut, &Chain)> = HashMap::new();
+    if config.multi_output {
+        // Best single-root gain per root: a joint replacement must beat
+        // the per-root replacements it displaces combined.
+        let mut single_gain: HashMap<usize, usize> = HashMap::new();
+        for cand in &candidates {
+            let best = single_gain.entry(cand.roots[0]).or_insert(0);
+            *best = (*best).max(cand.gain);
+        }
+        // Output-driving gates sharing an identical leaf set form one
+        // joint cut cone. Joint candidates are restricted to output
+        // roots: interior nodes already compete through the per-cone
+        // path, and admitting them here would fold a cone's own
+        // sub-cones into its group, diluting the joint gain.
+        let mut output_roots: Vec<usize> =
+            net.outputs().iter().map(|s| s.index()).filter(|&s| net.is_gate(s)).collect();
+        output_roots.sort_unstable();
+        output_roots.dedup();
+        let mut by_leaves: HashMap<&[usize], Vec<usize>> = HashMap::new();
+        for &s in &output_roots {
+            if refs[s] == 0 {
+                continue;
+            }
+            for cut in &cuts.cuts[s] {
+                if cut.leaves.len() < 2 || cut.leaves == [s] {
+                    continue;
+                }
+                let roots = by_leaves.entry(cut.leaves.as_slice()).or_default();
+                if !roots.contains(&s) {
+                    roots.push(s);
+                }
+            }
+        }
+        // HashMap order is not deterministic; the transcript contract is.
+        let mut groups: Vec<(&[usize], Vec<usize>)> =
+            by_leaves.into_iter().filter(|(_, roots)| roots.len() >= 2).collect();
+        groups.sort();
+        for (leaves, mut roots) in groups {
+            roots.sort_unstable();
+            roots.truncate(MAX_GROUP_OUTPUTS);
+            let cut = Cut { leaves: leaves.to_vec() };
+            let mut specs = Vec::with_capacity(roots.len());
+            for &root in &roots {
+                specs.push(cut_function(net, root, &cut)?);
+            }
+            if specs.iter().all(TruthTable::is_trivial) {
+                continue;
+            }
+            let Some(chain) =
+                cache.optimum_shared_chain(&specs, config.synthesis_budget, config.jobs)?
+            else {
+                continue;
+            };
+            let old_cost = joint_mffc_size(net, &roots, &cut, &refs);
+            let new_cost = chain.num_gates();
+            if new_cost >= old_cost {
+                continue;
+            }
+            let gain = old_cost - new_cost;
+            let displaced: usize =
+                roots.iter().map(|r| single_gain.get(r).copied().unwrap_or(0)).sum();
+            if gain <= displaced {
+                continue;
+            }
+            stp_telemetry::counter!("network.mo_rewrites").inc();
+            candidates.push(Candidate { roots, cut, chain, gain });
+        }
+    }
+    // Greedy: best gains first; skip candidates whose cone overlaps an
+    // already-replaced one.
+    candidates.sort_by(|a, b| b.gain.cmp(&a.gain).then(a.roots.cmp(&b.roots)));
+    // root -> (candidate index, output position within its chain).
+    let mut replaced: HashMap<usize, (usize, usize)> = HashMap::new();
     let mut claimed = vec![false; net.num_signals()];
     let mut report = Vec::new();
-    for cand in &candidates {
-        // The cone between root and leaves must be unclaimed.
+    for (ci, cand) in candidates.iter().enumerate() {
+        // The cone between the roots and the leaves must be unclaimed.
         let mut cone = Vec::new();
-        let mut stack = vec![cand.root];
+        let mut stack = cand.roots.clone();
         let mut ok = true;
         while let Some(x) = stack.pop() {
             if cand.cut.leaves.binary_search(&x).is_ok() || !net.is_gate(x) {
@@ -381,21 +544,26 @@ fn rewrite_pass(
                 stack.push(fanin);
             }
         }
-        if !ok {
+        if !ok || cand.roots.iter().any(|r| replaced.contains_key(r)) {
             continue;
         }
         for &x in &cone {
             claimed[x] = true;
         }
-        replaced.insert(cand.root, (&cand.cut, &cand.chain));
+        for (position, &root) in cand.roots.iter().enumerate() {
+            replaced.insert(root, (ci, position));
+        }
         report.push(Replacement {
-            root: cand.root,
+            root: cand.roots[0],
+            roots: cand.roots.clone(),
             leaves: cand.cut.leaves.clone(),
             gain: cand.gain,
         });
     }
 
-    // Rebuild the network, splicing replacements.
+    // Rebuild the network, splicing replacements. A multi-root
+    // candidate splices its shared chain once — when the first of its
+    // roots is reached — and maps every root to its output edge.
     let _apply = stp_telemetry::span!("rewrite.apply");
     let mut out = Network::new(net.num_inputs());
     let mut map: Vec<Option<Sig>> = vec![None; net.num_signals()];
@@ -408,28 +576,34 @@ fn rewrite_pass(
         s: usize,
         out: &mut Network,
         map: &mut Vec<Option<Sig>>,
-        replaced: &HashMap<usize, (&Cut, &Chain)>,
+        candidates: &[Candidate],
+        replaced: &HashMap<usize, (usize, usize)>,
     ) -> Result<Sig, NetworkError> {
         if let Some(sig) = map[s] {
             return Ok(sig);
         }
-        let sig = if let Some((cut, chain)) = replaced.get(&s) {
-            let mut leaf_sigs = Vec::with_capacity(cut.leaves.len());
-            for &leaf in &cut.leaves {
-                leaf_sigs.push(copy(net, leaf, out, map, replaced)?);
+        let sig = if let Some(&(ci, position)) = replaced.get(&s) {
+            let cand = &candidates[ci];
+            let mut leaf_sigs = Vec::with_capacity(cand.cut.leaves.len());
+            for &leaf in &cand.cut.leaves {
+                leaf_sigs.push(copy(net, leaf, out, map, candidates, replaced)?);
             }
-            out.add_chain(chain, &leaf_sigs)?
+            let outputs = out.add_chain_outputs(&cand.chain, &leaf_sigs)?;
+            for (j, &root) in cand.roots.iter().enumerate() {
+                map[root] = Some(outputs[j]);
+            }
+            outputs[position]
         } else {
             let gate = net.gate(s);
-            let a = copy(net, gate.fanin[0], out, map, replaced)?;
-            let b = copy(net, gate.fanin[1], out, map, replaced)?;
+            let a = copy(net, gate.fanin[0], out, map, candidates, replaced)?;
+            let b = copy(net, gate.fanin[1], out, map, candidates, replaced)?;
             out.add_gate(a, b, gate.tt2)?
         };
         map[s] = Some(sig);
         Ok(sig)
     }
     for output in net.outputs() {
-        let sig = copy(net, output.index(), &mut out, &mut map, &replaced)?;
+        let sig = copy(net, output.index(), &mut out, &mut map, &candidates, &replaced)?;
         out.add_output(if output.is_negated() { sig.not() } else { sig });
     }
     Ok((out, report))
@@ -592,6 +766,72 @@ mod tests {
         net2.add_output(f2);
         let refs2 = net2.reference_counts();
         assert_eq!(mffc_size(&net2, f2.index(), &cut, &refs2), 2);
+    }
+
+    /// A full adder whose cones are individually optimal but unshared:
+    /// sum = (a⊕b)⊕c (2 gates), carry = (a∧b)∨((a∨b)∧c) (4 gates).
+    fn unshared_full_adder() -> Network {
+        let mut net = Network::new(3);
+        let (a, b, c) = (net.input(0), net.input(1), net.input(2));
+        let x1 = net.xor(a, b).unwrap();
+        let sum = net.xor(x1, c).unwrap();
+        let u = net.and(a, b).unwrap();
+        let v = net.or(a, b).unwrap();
+        let w = net.and(v, c).unwrap();
+        let m = net.or(u, w).unwrap();
+        net.add_output(sum);
+        net.add_output(m);
+        net
+    }
+
+    #[test]
+    fn joint_rewrite_shares_a_two_output_cut_cone() {
+        let net = unshared_full_adder();
+        assert_eq!(net.live_gate_count(), 6);
+        let before = net.simulate_outputs().unwrap();
+
+        // Every cone is per-output optimal, so the classic path finds
+        // nothing to do.
+        let single_only = RewriteConfig { multi_output: false, ..RewriteConfig::default() };
+        let untouched = rewrite(&net, &single_only, &SynthesisCache::new()).unwrap();
+        assert_eq!(untouched.gates_after, 6);
+        assert!(untouched.replacements.is_empty());
+
+        // Joint synthesis of the shared {a, b, c} cut cone shares the
+        // a⊕b node between sum and carry: 5 gates, strictly fewer than
+        // the per-output optimum sum.
+        let cache = SynthesisCache::new();
+        let result = rewrite(&net, &RewriteConfig::default(), &cache).unwrap();
+        assert_eq!(result.network.simulate_outputs().unwrap(), before);
+        assert_eq!(result.gates_after, 5, "joint synthesis must share one gate");
+        let joint =
+            result.replacements.iter().find(|r| r.roots.len() == 2).expect("a joint replacement");
+        assert_eq!(joint.gain, 1);
+        assert_eq!(joint.root, joint.roots[0]);
+
+        // A second run over the same cache answers from the store.
+        let misses = cache.misses();
+        let again = rewrite(&net, &RewriteConfig::default(), &cache).unwrap();
+        assert_eq!(again.gates_after, 5);
+        assert_eq!(cache.misses(), misses, "joint classes must be cached too");
+    }
+
+    #[test]
+    fn joint_rewrite_transcript_is_jobs_invariant() {
+        let net = unshared_full_adder();
+        let run = |jobs: usize| {
+            let config = RewriteConfig { jobs, ..RewriteConfig::default() };
+            let result = rewrite(&net, &config, &SynthesisCache::new()).unwrap();
+            let mut transcript = result.network.to_blif("t");
+            for r in &result.replacements {
+                transcript.push_str(&format!(
+                    "roots={:?} leaves={:?} gain={}\n",
+                    r.roots, r.leaves, r.gain
+                ));
+            }
+            transcript
+        };
+        assert_eq!(run(1), run(4));
     }
 
     #[test]

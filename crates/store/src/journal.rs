@@ -12,7 +12,7 @@
 //! The journal is a text file opening with its own header line:
 //!
 //! ```text
-//! stp-store-journal v1
+//! stp-store-journal v2
 //! ```
 //!
 //! followed by length-framed records:
@@ -23,7 +23,10 @@
 //! ```
 //!
 //! where `<payload>` is exactly `<payload-bytes>` bytes: one `class …`
-//! block in the snapshot text format (see [`crate::persist`]). The
+//! block in the snapshot text format (see [`crate::persist`]), in the
+//! grammar matching the journal's own version — legacy `v1` journals
+//! are replayed with the v1 single-output grammar and trigger the same
+//! on-disk migration as v1 snapshots (see [`Store::open`]). The
 //! byte-length framing makes a torn final record — the expected result
 //! of crashing mid-append — detectable without checksums: replay stops
 //! at the first record whose frame runs past end-of-file and keeps
@@ -39,12 +42,15 @@ use std::io::{Read, Seek, Write};
 use std::path::{Path, PathBuf};
 
 use crate::persist::{entry_block, io_error};
-use crate::{Entry, Store, StoreFileError};
+use crate::{ClassKey, Entry, Store, StoreFileError};
 
 /// Magic word opening every journal file.
 const MAGIC: &str = "stp-store-journal";
-/// The journal format version this build reads and writes.
-const VERSION: &str = "v1";
+/// The journal format version this build writes (and reads, alongside
+/// [`VERSION_V1`]).
+const VERSION: &str = "v2";
+/// The legacy journal version, accepted read-only.
+const VERSION_V1: &str = "v1";
 
 /// An open, attached journal: records are appended and fsynced as
 /// entries are published into the owning store.
@@ -81,16 +87,12 @@ impl Journal {
 
     /// Appends one insert record and fsyncs it. The record is durable
     /// when this returns.
-    pub(crate) fn append(
-        &mut self,
-        rep: &stp_tt::TruthTable,
-        entry: &Entry,
-    ) -> Result<(), StoreFileError> {
+    pub(crate) fn append(&mut self, key: &ClassKey, entry: &Entry) -> Result<(), StoreFileError> {
         stp_faultsim::fail_point!(
             "store.journal.pre_append",
             err = Err(io_error(&self.path, "failpoint `store.journal.pre_append` triggered"))
         );
-        let payload = entry_block(rep, entry);
+        let payload = entry_block(key, entry);
         let record = format!("insert {}\n{payload}", payload.len());
         self.file.write_all(record.as_bytes()).map_err(|e| io_error(&self.path, e))?;
         self.file.sync_all().map_err(|e| io_error(&self.path, e))?;
@@ -118,10 +120,11 @@ impl Journal {
 }
 
 /// Replays the journal at `path` into `store`, returning the number of
-/// records applied. A torn final record (the frame runs past
-/// end-of-file) ends the replay with a warning; a structurally intact
-/// but unparsable record is corruption and errors out.
-pub(crate) fn replay(path: &Path, store: &Store) -> Result<usize, StoreFileError> {
+/// records applied and whether the journal used the legacy v1 format.
+/// A torn final record (the frame runs past end-of-file) ends the
+/// replay with a warning; a structurally intact but unparsable record
+/// is corruption and errors out.
+pub(crate) fn replay(path: &Path, store: &Store) -> Result<(usize, bool), StoreFileError> {
     stp_faultsim::fail_point!(
         "store.load.pre_replay",
         err = Err(io_error(path, "failpoint `store.load.pre_replay` triggered"))
@@ -130,7 +133,13 @@ pub(crate) fn replay(path: &Path, store: &Store) -> Result<usize, StoreFileError
     File::open(path)
         .and_then(|mut f| f.read_to_string(&mut text))
         .map_err(|e| io_error(path, e))?;
-    let Some(rest) = text.strip_prefix(&format!("{MAGIC} {VERSION}\n")) else {
+    // Records parse with the snapshot grammar matching the journal's
+    // own version, so a legacy journal replays with legacy class lines.
+    let (rest, legacy) = if let Some(rest) = text.strip_prefix(&format!("{MAGIC} {VERSION}\n")) {
+        (rest, false)
+    } else if let Some(rest) = text.strip_prefix(&format!("{MAGIC} {VERSION_V1}\n")) {
+        (rest, true)
+    } else {
         let found = text.lines().next().unwrap_or_default();
         if found.starts_with(MAGIC) {
             let version = found.split_whitespace().nth(1).unwrap_or_default();
@@ -138,6 +147,7 @@ pub(crate) fn replay(path: &Path, store: &Store) -> Result<usize, StoreFileError
         }
         return Err(StoreFileError::MissingHeader);
     };
+    let snapshot_header = if legacy { "stp-store v1" } else { "stp-store v2" };
     let mut applied = 0usize;
     let mut cursor = rest;
     while !cursor.is_empty() {
@@ -163,21 +173,29 @@ pub(crate) fn replay(path: &Path, store: &Store) -> Result<usize, StoreFileError
         let (payload, rest) = after_frame.split_at(len);
         // A full-length payload is past the torn-write window: parse it
         // strictly, reusing the snapshot grammar on a one-block file.
-        let parsed = Store::parse(&format!("stp-store v1\n{payload}")).map_err(|e| match e {
-            StoreFileError::Corrupt { line, message } => StoreFileError::Corrupt {
-                line,
-                message: format!("journal record {}: {message}", applied + 1),
-            },
-            other => other,
-        })?;
-        for (rep, entry) in parsed.snapshot() {
-            store.insert(rep, entry);
+        let parsed =
+            Store::parse(&format!("{snapshot_header}\n{payload}")).map_err(|e| match e {
+                StoreFileError::Corrupt { line, message } => StoreFileError::Corrupt {
+                    line,
+                    message: format!("journal record {}: {message}", applied + 1),
+                },
+                other => other,
+            })?;
+        for (key, entry) in parsed.snapshot() {
+            store.insert_class(key, entry);
+        }
+        if legacy {
+            store.note_legacy_load(parsed.migrated_v1());
         }
         applied += 1;
         stp_telemetry::counter!("store.journal_replayed").inc();
         cursor = rest;
     }
-    Ok(applied)
+    if legacy {
+        // Even a record-free legacy journal needs its header rewritten.
+        store.note_legacy_load(0);
+    }
+    Ok((applied, legacy))
 }
 
 impl Store {
@@ -194,16 +212,29 @@ impl Store {
     /// entries. A missing snapshot and no journal yields an empty
     /// store. Use [`Store::load`] for a strict snapshot-only read.
     ///
+    /// # Migration
+    ///
+    /// When the snapshot or journal is in the legacy v1 format, the
+    /// loaded contents (snapshot plus replayed journal tail) are
+    /// re-saved as a v2 snapshot atomically and the journal is reset to
+    /// a bare v2 header before it is attached — so a v1 store upgrades
+    /// in place on first open with zero data loss. The migrated record
+    /// count is reported by [`Store::migrated_v1`] and mirrored into
+    /// the `store.migrated_v1` telemetry counter. A crash mid-migration
+    /// is safe: the v2 snapshot lands atomically, and a surviving v1
+    /// journal merely re-migrates (replay is idempotent).
+    ///
     /// # Errors
     ///
     /// [`StoreFileError`] when the snapshot or journal exists but
-    /// cannot be read, parsed, or opened for appending.
+    /// cannot be read, parsed, opened for appending, or (for legacy
+    /// input) rewritten as v2.
     pub fn open(path: impl AsRef<Path>) -> Result<Store, StoreFileError> {
         let path = path.as_ref();
         let store = if path.exists() { Store::load(path)? } else { Store::new() };
         let jpath = journal_path(path);
         if jpath.exists() {
-            let applied = replay(&jpath, &store)?;
+            let (applied, _journal_was_legacy) = replay(&jpath, &store)?;
             if applied > 0 {
                 stp_telemetry::warn!(
                     "store {}: replayed {applied} journal record(s) past the snapshot",
@@ -211,7 +242,23 @@ impl Store {
                 );
             }
         }
-        let journal = Journal::open_append(jpath)?;
+        let migrate = store.legacy_loaded();
+        if migrate {
+            // Persist the migrated contents as v2 before attaching the
+            // journal: save() is atomic, and the stale v1 journal is
+            // reset below only after the snapshot subsumes it.
+            store.save(path)?;
+            stp_telemetry::counter!("store.migrated_v1").add(store.migrated_v1());
+            stp_telemetry::warn!(
+                "store {}: migrated {} v1 class record(s) to the v2 format",
+                path.display(),
+                store.migrated_v1()
+            );
+        }
+        let mut journal = Journal::open_append(jpath)?;
+        if migrate {
+            journal.clear()?;
+        }
         *store.journal.lock().unwrap_or_else(|e| e.into_inner()) = Some(journal);
         Ok(store)
     }
@@ -220,10 +267,10 @@ impl Store {
     /// failures must not fail the in-memory publish that triggered
     /// them: they are logged and counted, and the entry stays live in
     /// memory (the next successful save persists it anyway).
-    pub(crate) fn journal_append(&self, rep: &stp_tt::TruthTable, entry: &Entry) {
+    pub(crate) fn journal_append(&self, key: &ClassKey, entry: &Entry) {
         let mut slot = self.journal.lock().unwrap_or_else(|e| e.into_inner());
         if let Some(journal) = slot.as_mut() {
-            if let Err(e) = journal.append(rep, entry) {
+            if let Err(e) = journal.append(key, entry) {
                 stp_telemetry::counter!("store.journal_errors").inc();
                 stp_telemetry::error!("journal append failed: {e}");
             }

@@ -20,9 +20,14 @@
 //!   → map-back* helper used by both `stp_synth::synthesize_npn` and
 //!   `stp_network::SynthesisCache`, with a trivial-function fast path
 //!   that never touches canonicalization or the store;
+//! * [`Store::solve_npn_multi`] — the multi-output analogue: entries
+//!   are keyed by [`ClassKey`] (a tuple of representatives over a
+//!   common support, as produced by `stp_tt::canonicalize_multi`), so
+//!   whole cut cones share one entry per multi-output NPN orbit;
 //! * [`Store::save`] / [`Store::load`] — a versioned, human-readable
-//!   text serialization (see [`persist`]) so a warmed store outlives
-//!   the process.
+//!   text serialization (see the module docs of `persist`): v2 files
+//!   carry multi-output classes, and legacy v1 snapshots and journals
+//!   are migrated in place by [`Store::open`].
 //!
 //! The store is deliberately *below* the synthesis engine in the crate
 //! graph: it never synthesizes anything itself, callers pass a closure.
@@ -68,14 +73,85 @@ mod persist;
 use std::collections::hash_map::{DefaultHasher, Entry as MapEntry};
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
-use stp_chain::{trivial_chain, Chain, ChainError};
-use stp_tt::{canonicalize, TruthTable};
+use stp_chain::{merge_chains, trivial_chain, Chain, ChainError};
+use stp_tt::{canonicalize, canonicalize_multi, TruthTable};
 
 pub use persist::StoreFileError;
+
+/// The key of one store entry: the NPN class representative(s) of a
+/// single- or multi-output specification over a common support.
+///
+/// Single-output entries are 1-tuples; multi-output entries key the
+/// *sorted canonical output vector* produced by
+/// [`stp_tt::canonicalize_multi`], so every member of a multi-output
+/// NPN orbit shares one entry. All tables in a key have the same arity.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ClassKey {
+    reps: Vec<TruthTable>,
+}
+
+impl ClassKey {
+    /// A single-output key (the store's original keyspace).
+    pub fn single(rep: TruthTable) -> Self {
+        ClassKey { reps: vec![rep] }
+    }
+
+    /// A multi-output key.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `reps` is empty or the tables disagree on arity —
+    /// both are caller bugs, not data-dependent conditions.
+    pub fn multi(reps: Vec<TruthTable>) -> Self {
+        assert!(!reps.is_empty(), "a class key needs at least one output");
+        let nvars = reps[0].num_vars();
+        assert!(
+            reps.iter().all(|r| r.num_vars() == nvars),
+            "all outputs of a class key must share one arity"
+        );
+        ClassKey { reps }
+    }
+
+    /// The representative tables, in key order.
+    pub fn reps(&self) -> &[TruthTable] {
+        &self.reps
+    }
+
+    /// The common input arity.
+    pub fn num_vars(&self) -> usize {
+        self.reps[0].num_vars()
+    }
+
+    /// How many outputs the key covers.
+    pub fn num_outputs(&self) -> usize {
+        self.reps.len()
+    }
+
+    /// A compact human-readable label (`8ff8` or `6+e8`), used in
+    /// diagnostics and error messages.
+    pub fn label(&self) -> String {
+        self.reps.iter().map(|r| r.to_hex()).collect::<Vec<_>>().join("+")
+    }
+}
+
+impl Ord for ClassKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.num_vars()
+            .cmp(&other.num_vars())
+            .then_with(|| self.reps.len().cmp(&other.reps.len()))
+            .then_with(|| self.reps.cmp(&other.reps))
+    }
+}
+
+impl PartialOrd for ClassKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
 
 /// One stored fact about an NPN class representative.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -188,7 +264,7 @@ impl Slot {
 
 #[derive(Debug, Default)]
 struct Shard {
-    map: Mutex<HashMap<TruthTable, Arc<Slot>>>,
+    map: Mutex<HashMap<ClassKey, Arc<Slot>>>,
 }
 
 /// A thread-safe, sharded NPN-class solution database.
@@ -211,6 +287,13 @@ pub struct Store {
     misses: AtomicU64,
     inserts: AtomicU64,
     trivial_hits: AtomicU64,
+    /// Class records migrated from the legacy v1 on-disk format (see
+    /// [`Store::parse`] / [`Store::open`]).
+    migrated_v1: AtomicU64,
+    /// Whether any loaded snapshot or journal used the legacy v1
+    /// format — set even when it carried zero classes, so
+    /// [`Store::open`] knows to rewrite the files as v2.
+    legacy_loaded: AtomicBool,
     /// Attached crash journal (see [`Store::open`]); `None` for plain
     /// in-memory stores.
     journal: Mutex<Option<journal::Journal>>,
@@ -253,13 +336,15 @@ impl Store {
             misses: AtomicU64::new(0),
             inserts: AtomicU64::new(0),
             trivial_hits: AtomicU64::new(0),
+            migrated_v1: AtomicU64::new(0),
+            legacy_loaded: AtomicBool::new(false),
             journal: Mutex::new(None),
         }
     }
 
-    fn shard(&self, rep: &TruthTable) -> &Shard {
+    fn shard(&self, key: &ClassKey) -> &Shard {
         let mut hasher = DefaultHasher::new();
-        rep.hash(&mut hasher);
+        key.hash(&mut hasher);
         &self.shards[(hasher.finish() as usize) % self.shards.len()]
     }
 
@@ -287,6 +372,30 @@ impl Store {
         self.trivial_hits.load(Ordering::Relaxed)
     }
 
+    /// Class records this store absorbed from the legacy v1 on-disk
+    /// format (snapshot or journal). Zero for stores born v2.
+    pub fn migrated_v1(&self) -> u64 {
+        self.migrated_v1.load(Ordering::Relaxed)
+    }
+
+    /// Records that `count` class records were read from legacy v1
+    /// data, and that the on-disk form needs rewriting. The global
+    /// `store.migrated_v1` counter is bumped once per [`Store::open`]
+    /// migration, not here, so journal replays (which parse payloads
+    /// into scratch stores) don't double-count.
+    pub(crate) fn note_legacy_load(&self, count: u64) {
+        self.legacy_loaded.store(true, Ordering::Relaxed);
+        if count > 0 {
+            self.migrated_v1.fetch_add(count, Ordering::Relaxed);
+        }
+    }
+
+    /// Whether any loaded snapshot or journal was in the legacy v1
+    /// format (even an empty one).
+    pub(crate) fn legacy_loaded(&self) -> bool {
+        self.legacy_loaded.load(Ordering::Relaxed)
+    }
+
     /// Number of ready entries (pending in-flight slots are not
     /// counted).
     pub fn len(&self) -> usize {
@@ -298,50 +407,68 @@ impl Store {
         self.len() == 0
     }
 
-    /// Copies out every ready `(representative, entry)` pair, sorted by
-    /// key (arity first, then table value) so iteration order — and the
-    /// on-disk format built from it — is deterministic.
-    pub fn snapshot(&self) -> Vec<(TruthTable, Entry)> {
+    /// Copies out every ready `(key, entry)` pair, sorted by key (arity
+    /// first, then output count, then table values) so iteration order
+    /// — and the on-disk format built from it — is deterministic.
+    pub fn snapshot(&self) -> Vec<(ClassKey, Entry)> {
         let mut out = Vec::new();
         for shard in self.shards.iter() {
             let map = shard.map.lock().expect("shard lock poisoned");
-            for (rep, slot) in map.iter() {
+            for (key, slot) in map.iter() {
                 let state = slot.state.lock().expect("slot lock poisoned");
                 if let SlotState::Ready(entry) = &*state {
-                    out.push((rep.clone(), entry.clone()));
+                    out.push((key.clone(), entry.clone()));
                 }
             }
         }
-        out.sort_by(|(a, _), (b, _)| a.num_vars().cmp(&b.num_vars()).then_with(|| a.cmp(b)));
+        out.sort_by(|(a, _), (b, _)| a.cmp(b));
         out
     }
 
-    /// Directly publishes an entry for `rep`, replacing any existing
-    /// one. Used by the persistence loader and by tests; the synthesis
-    /// paths go through [`Store::lookup_or_solve`].
+    /// Directly publishes an entry for the single-output class `rep`,
+    /// replacing any existing one. Equivalent to
+    /// [`Store::insert_class`] with [`ClassKey::single`].
     ///
     /// # Panics
     ///
     /// Panics when a [`Entry::Solved`] entry carries no chains — an
     /// empty solution set is meaningless and unrepresentable on disk.
     pub fn insert(&self, rep: TruthTable, entry: Entry) {
+        self.insert_class(ClassKey::single(rep), entry);
+    }
+
+    /// Directly publishes an entry for `key`, replacing any existing
+    /// one. Used by the persistence loader and by tests; the synthesis
+    /// paths go through [`Store::lookup_or_solve_class`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when a [`Entry::Solved`] entry carries no chains — an
+    /// empty solution set is meaningless and unrepresentable on disk.
+    pub fn insert_class(&self, key: ClassKey, entry: Entry) {
         if let Entry::Solved(chains) = &entry {
             assert!(!chains.is_empty(), "a solved entry must carry at least one chain");
         }
-        self.journal_append(&rep, &entry);
-        let shard = self.shard(&rep);
+        self.journal_append(&key, &entry);
+        let shard = self.shard(&key);
         let mut map = shard.map.lock().expect("shard lock poisoned");
         let slot = Arc::new(Slot::pending());
         slot.publish(entry);
-        map.insert(rep, slot);
+        map.insert(key, slot);
         self.inserts.fetch_add(1, Ordering::Relaxed);
         stp_telemetry::counter!("store.inserts").inc();
     }
 
-    /// Reads the current entry for `rep`, if any is ready.
+    /// Reads the current entry for the single-output class `rep`, if
+    /// any is ready.
     pub fn get(&self, rep: &TruthTable) -> Option<Entry> {
-        let map = self.shard(rep).map.lock().expect("shard lock poisoned");
-        let slot = map.get(rep)?;
+        self.get_class(&ClassKey::single(rep.clone()))
+    }
+
+    /// Reads the current entry for `key`, if any is ready.
+    pub fn get_class(&self, key: &ClassKey) -> Option<Entry> {
+        let map = self.shard(key).map.lock().expect("shard lock poisoned");
+        let slot = map.get(key)?;
         let state = slot.state.lock().expect("slot lock poisoned");
         match &*state {
             SlotState::Ready(entry) => Some(entry.clone()),
@@ -370,9 +497,27 @@ impl Store {
         budget: Duration,
         solve: impl FnOnce(&TruthTable) -> Result<RepOutcome, E>,
     ) -> Result<Resolution, E> {
+        let key = ClassKey::single(rep.clone());
+        self.lookup_or_solve_class(&key, budget, |k| solve(&k.reps()[0]))
+    }
+
+    /// The general form of [`Store::lookup_or_solve`], keyed by a
+    /// (possibly multi-output) [`ClassKey`]. The solver receives the
+    /// key and must return chains whose outputs realize its tables in
+    /// key order.
+    ///
+    /// # Errors
+    ///
+    /// Whatever `solve` returns as `Err`.
+    pub fn lookup_or_solve_class<E>(
+        &self,
+        key: &ClassKey,
+        budget: Duration,
+        solve: impl FnOnce(&ClassKey) -> Result<RepOutcome, E>,
+    ) -> Result<Resolution, E> {
         let (slot, created) = {
-            let mut map = self.shard(rep).map.lock().expect("shard lock poisoned");
-            match map.entry(rep.clone()) {
+            let mut map = self.shard(key).map.lock().expect("shard lock poisoned");
+            match map.entry(key.clone()) {
                 MapEntry::Occupied(e) => (Arc::clone(e.get()), false),
                 MapEntry::Vacant(v) => {
                     let slot = Arc::new(Slot::pending());
@@ -382,7 +527,7 @@ impl Store {
             }
         };
         if created {
-            return self.run_solver(rep, &slot, budget, None, solve);
+            return self.run_solver(key, &slot, budget, None, solve);
         }
         let mut state = slot.state.lock().expect("slot lock poisoned");
         loop {
@@ -415,7 +560,7 @@ impl Store {
                         // retry, restoring the old record on failure.
                         *state = SlotState::Pending;
                         drop(state);
-                        return self.run_solver(rep, &slot, budget, Some(failed), solve);
+                        return self.run_solver(key, &slot, budget, Some(failed), solve);
                     }
                     drop(state);
                     self.hits.fetch_add(1, Ordering::Relaxed);
@@ -431,11 +576,11 @@ impl Store {
     /// record restored if the solver errors out or panics).
     fn run_solver<E>(
         &self,
-        rep: &TruthTable,
+        key: &ClassKey,
         slot: &Slot,
         budget: Duration,
         prior_budget: Option<Duration>,
-        solve: impl FnOnce(&TruthTable) -> Result<RepOutcome, E>,
+        solve: impl FnOnce(&ClassKey) -> Result<RepOutcome, E>,
     ) -> Result<Resolution, E> {
         self.misses.fetch_add(1, Ordering::Relaxed);
         stp_telemetry::counter!("store.misses").inc();
@@ -444,16 +589,16 @@ impl Store {
         // caught at this boundary, the slot is poisoned (waking every
         // waiter with a structured failure), the class is forgotten so
         // a fresh caller retries, and the panic resumes on this thread.
-        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| solve(rep)));
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| solve(key)));
         let outcome = match outcome {
             Ok(outcome) => outcome,
             Err(payload) => {
                 let message =
-                    format!("store solver for class {}: {}", rep.to_hex(), panic_text(&*payload));
+                    format!("store solver for class {}: {}", key.label(), panic_text(&*payload));
                 stp_telemetry::counter!("store.solver_panics").inc();
                 stp_telemetry::error!("isolated a panicking store solver ({message})");
                 slot.poison(message);
-                self.forget_slot(rep, slot);
+                self.forget_slot(key, slot);
                 std::panic::resume_unwind(payload);
             }
         };
@@ -461,7 +606,7 @@ impl Store {
             Ok(RepOutcome::Solved(chains)) => {
                 debug_assert!(!chains.is_empty(), "solver must return at least one chain");
                 let entry = Entry::Solved(chains.clone());
-                self.journal_append(rep, &entry);
+                self.journal_append(key, &entry);
                 slot.publish(entry);
                 self.inserts.fetch_add(1, Ordering::Relaxed);
                 stp_telemetry::counter!("store.inserts").inc();
@@ -469,7 +614,7 @@ impl Store {
             }
             Ok(RepOutcome::Exhausted) => {
                 let entry = Entry::Exhausted { budget };
-                self.journal_append(rep, &entry);
+                self.journal_append(key, &entry);
                 slot.publish(entry);
                 self.inserts.fetch_add(1, Ordering::Relaxed);
                 stp_telemetry::counter!("store.inserts").inc();
@@ -480,19 +625,19 @@ impl Store {
                 if prior_budget.is_none() {
                     // First sight of the class failed outright: forget
                     // it entirely so the next caller starts fresh.
-                    self.forget_slot(rep, slot);
+                    self.forget_slot(key, slot);
                 }
                 Err(e)
             }
         }
     }
 
-    /// Removes `rep`'s map entry — but only while it still points at
+    /// Removes `key`'s map entry — but only while it still points at
     /// `slot` (a concurrent insert may have replaced it).
-    fn forget_slot(&self, rep: &TruthTable, slot: &Slot) {
-        let mut map = self.shard(rep).map.lock().expect("shard lock poisoned");
-        if map.get(rep).is_some_and(|s| std::ptr::eq(Arc::as_ptr(s), slot)) {
-            map.remove(rep);
+    fn forget_slot(&self, key: &ClassKey, slot: &Slot) {
+        let mut map = self.shard(key).map.lock().expect("shard lock poisoned");
+        if map.get(key).is_some_and(|s| std::ptr::eq(Arc::as_ptr(s), slot)) {
+            map.remove(key);
         }
     }
 
@@ -546,6 +691,85 @@ impl Store {
                         .iter()
                         .all(|c| c.simulate_outputs().map(|o| o[0] == *spec).unwrap_or(false)),
                     "NPN-mapped chains must realize the original spec"
+                );
+                Ok(NpnOutcome::Solved(chains))
+            }
+            Resolution::Exhausted { budget } => Ok(NpnOutcome::Exhausted { budget }),
+            Resolution::Poisoned { message } => Ok(NpnOutcome::Poisoned { message }),
+        }
+    }
+
+    /// The multi-output analogue of [`Store::solve_npn`]: canonicalize
+    /// the output vector with [`stp_tt::canonicalize_multi`], resolve
+    /// the representative tuple through
+    /// [`Store::lookup_or_solve_class`], and map every solution chain
+    /// back (inputs rewired, outputs reordered and re-phased) so the
+    /// caller sees chains whose output `i` realizes `specs[i]`.
+    ///
+    /// Single-element slices take the exact [`Store::solve_npn`] path —
+    /// including its keyspace, so single-output entries are shared
+    /// between both entry points. When *every* output is trivial
+    /// (constant or ±projection) the merged zero-gate chain is built
+    /// directly with no store round-trip. The solver receives the
+    /// representative tuple and must return chains carrying one output
+    /// per representative, in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `specs` is empty or the tables disagree on arity.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors and chain-mapping failures (the latter
+    /// via `E: From<ChainError>`).
+    pub fn solve_npn_multi<E: From<ChainError>>(
+        &self,
+        specs: &[TruthTable],
+        budget: Duration,
+        solve: impl FnOnce(&[TruthTable]) -> Result<RepOutcome, E>,
+    ) -> Result<NpnOutcome, E> {
+        assert!(!specs.is_empty(), "solve_npn_multi needs at least one output");
+        if specs.len() == 1 {
+            return self.solve_npn(&specs[0], budget, |rep| solve(std::slice::from_ref(rep)));
+        }
+        let trivial: Option<Vec<Chain>> = specs.iter().map(trivial_chain).collect();
+        if let Some(chains) = trivial {
+            let refs: Vec<&Chain> = chains.iter().collect();
+            let merged = merge_chains(&refs).map_err(E::from)?;
+            self.trivial_hits.fetch_add(1, Ordering::Relaxed);
+            stp_telemetry::counter!("store.trivial_hits").inc();
+            return Ok(NpnOutcome::Trivial(merged));
+        }
+        let _solve = stp_telemetry::span!("store.solve_npn_multi");
+        let canon = {
+            let _npn = stp_telemetry::span!("phase.npn_canonicalize");
+            canonicalize_multi(specs)
+        };
+        let key = ClassKey::multi(canon.representatives.clone());
+        match self.lookup_or_solve_class(&key, budget, |k| solve(k.reps()))? {
+            Resolution::Solved(rep_chains) => {
+                let _map = stp_telemetry::span!("phase.map_back");
+                let t = &canon.transform;
+                let mut chains = Vec::with_capacity(rep_chains.len());
+                for chain in &rep_chains {
+                    chains.push(
+                        chain
+                            .permute_negate_outputs(
+                                &t.perm,
+                                t.input_negations,
+                                &t.output_perm,
+                                &t.output_negations,
+                            )
+                            .map_err(E::from)?,
+                    );
+                }
+                debug_assert!(
+                    chains.iter().all(|c| {
+                        c.simulate_outputs()
+                            .map(|o| o.len() == specs.len() && o == specs)
+                            .unwrap_or(false)
+                    }),
+                    "NPN-mapped multi-output chains must realize the original specs in order"
                 );
                 Ok(NpnOutcome::Solved(chains))
             }
@@ -777,6 +1001,106 @@ mod tests {
     fn empty_solved_entry_is_rejected() {
         let store = Store::new();
         store.insert(TruthTable::from_hex(2, "6").unwrap(), Entry::Solved(Vec::new()));
+    }
+
+    /// One chain realizing each representative (trivial taps for
+    /// trivial tables, one gate otherwise), merged into a shared chain.
+    fn honest_multi_solver(reps: &[TruthTable]) -> Result<RepOutcome, ChainError> {
+        let chains: Vec<Chain> = reps
+            .iter()
+            .map(|r| trivial_chain(r).unwrap_or_else(|| one_gate_chain(r.words()[0] as u8 & 0xf)))
+            .collect();
+        let refs: Vec<&Chain> = chains.iter().collect();
+        Ok(RepOutcome::Solved(vec![merge_chains(&refs)?]))
+    }
+
+    #[test]
+    fn solve_npn_multi_shares_one_entry_per_orbit() {
+        let store = Store::new();
+        // [XOR, AND] and [XNOR, OR] are one multi-output NPN orbit:
+        // negate both inputs and both outputs.
+        let pair_a = [TruthTable::from_hex(2, "6").unwrap(), TruthTable::from_hex(2, "8").unwrap()];
+        let pair_b = [TruthTable::from_hex(2, "9").unwrap(), TruthTable::from_hex(2, "e").unwrap()];
+        let calls = AtomicUsize::new(0);
+        for specs in [pair_a.as_slice(), pair_b.as_slice(), pair_a.as_slice()] {
+            let outcome = store
+                .solve_npn_multi(specs, Duration::MAX, |reps| {
+                    calls.fetch_add(1, Ordering::SeqCst);
+                    honest_multi_solver(reps)
+                })
+                .unwrap();
+            let NpnOutcome::Solved(chains) = outcome else {
+                panic!("expected solutions");
+            };
+            let outputs = chains[0].simulate_outputs().unwrap();
+            assert_eq!(outputs.as_slice(), specs, "output i must realize specs[i]");
+        }
+        assert_eq!(calls.load(Ordering::SeqCst), 1, "one synthesis per multi-output orbit");
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.misses(), 1);
+        assert_eq!(store.hits(), 2);
+    }
+
+    #[test]
+    fn solve_npn_multi_all_trivial_fast_path_skips_the_store() {
+        let store = Store::new();
+        let specs = [
+            TruthTable::variable(3, 0).unwrap(),
+            !TruthTable::variable(3, 2).unwrap(),
+            TruthTable::constant(3, true).unwrap(),
+        ];
+        let outcome = store
+            .solve_npn_multi(&specs, Duration::MAX, |_| -> Result<RepOutcome, ChainError> {
+                panic!("all-trivial specs must never reach the solver")
+            })
+            .unwrap();
+        let NpnOutcome::Trivial(chain) = outcome else {
+            panic!("expected the trivial fast path");
+        };
+        assert_eq!(chain.num_gates(), 0);
+        assert_eq!(chain.simulate_outputs().unwrap(), specs);
+        assert_eq!(store.trivial_hits(), 1);
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn solve_npn_multi_singleton_shares_the_single_output_keyspace() {
+        let store = Store::new();
+        let spec = TruthTable::from_hex(2, "8").unwrap();
+        let calls = AtomicUsize::new(0);
+        store
+            .solve_npn(&spec, Duration::MAX, |rep| {
+                calls.fetch_add(1, Ordering::SeqCst);
+                Ok::<_, ChainError>(RepOutcome::Solved(vec![one_gate_chain(
+                    rep.words()[0] as u8 & 0xf,
+                )]))
+            })
+            .unwrap();
+        // A 1-element multi solve must answer from the same entry.
+        let outcome = store
+            .solve_npn_multi(std::slice::from_ref(&spec), Duration::MAX, |reps| {
+                calls.fetch_add(1, Ordering::SeqCst);
+                honest_multi_solver(reps)
+            })
+            .unwrap();
+        let NpnOutcome::Solved(chains) = outcome else { panic!("expected solutions") };
+        assert_eq!(chains[0].simulate_outputs().unwrap()[0], spec);
+        assert_eq!(calls.load(Ordering::SeqCst), 1, "the singleton must hit the existing entry");
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn class_key_orders_by_arity_then_width_then_tables() {
+        let t = |n, h| TruthTable::from_hex(n, h).unwrap();
+        let a = ClassKey::single(t(2, "6"));
+        let b = ClassKey::multi(vec![t(2, "6"), t(2, "8")]);
+        let c = ClassKey::single(t(3, "96"));
+        assert!(a < b, "fewer outputs sort first at equal arity");
+        assert!(b < c, "smaller arity sorts first");
+        assert_eq!(a.label(), "6");
+        assert_eq!(b.label(), "6+8");
+        assert_eq!(b.num_outputs(), 2);
+        assert_eq!(b.num_vars(), 2);
     }
 
     #[test]

@@ -5,14 +5,14 @@
 //! are ignored. The first non-comment line is the header:
 //!
 //! ```text
-//! stp-store v1
+//! stp-store v2
 //! ```
 //!
-//! followed by one block per NPN class representative, sorted by arity
-//! and table value (so serialization is deterministic):
+//! followed by one block per class key, sorted by arity, output count,
+//! and table values (so serialization is deterministic):
 //!
 //! ```text
-//! class 4 8ff8 solved 2
+//! class 4 1 8ff8 solved 2
 //! chain 3
 //! gate 2 3 6
 //! gate 0 1 8
@@ -22,16 +22,28 @@
 //! chain 3
 //! ...
 //! endchain
-//! class 4 abcd exhausted 2 0
+//! class 3 2 96 e8 solved 1
+//! ...
+//! class 4 1 abcd exhausted 2 0
 //! ```
 //!
-//! * `class <nvars> <hex> solved <count>` introduces a solved class
-//!   with `count ≥ 1` chains;
+//! * `class <nvars> <k> <hex>…×k solved <count>` introduces a solved
+//!   class over `k` outputs with `count ≥ 1` chains;
 //! * `chain <ngates>` … `endchain` lists one chain: `gate <f0> <f1>
 //!   <tt2-hex>` per gate (fanins are 0-based signal indices) and one
 //!   `output` line per tap (`x<i>`, `!x<i>`, `const0`, or `const1`);
-//! * `class <nvars> <hex> exhausted <secs> <nanos>` records a failed
-//!   budget.
+//! * `class <nvars> <k> <hex>…×k exhausted <secs> <nanos>` records a
+//!   failed budget.
+//!
+//! # Legacy v1
+//!
+//! The original format (`stp-store v1` header) was single-output only:
+//! its class lines read `class <nvars> <hex> …` with no output count.
+//! [`Store::parse`] still accepts v1 bodies, wrapping each class as a
+//! 1-output key and tallying the records in [`Store::migrated_v1`];
+//! [`Store::open`] additionally rewrites migrated files as v2 on disk.
+//! Writing always produces v2. Versions beyond v2 are rejected with
+//! [`StoreFileError::VersionMismatch`].
 //!
 //! Loading is fully checked: a wrong magic word, a future version, a
 //! malformed line, truncated chains, structurally invalid chains, or
@@ -46,12 +58,15 @@ use std::time::Duration;
 use stp_chain::{Chain, OutputRef};
 use stp_tt::TruthTable;
 
-use crate::{Entry, Store};
+use crate::{ClassKey, Entry, Store};
 
 /// Magic word opening every store file.
 const MAGIC: &str = "stp-store";
-/// The format version this build reads and writes.
-const VERSION: &str = "v1";
+/// The format version this build writes (and reads, alongside
+/// [`VERSION_V1`]).
+const VERSION: &str = "v2";
+/// The legacy single-output format version, accepted read-only.
+const VERSION_V1: &str = "v1";
 
 /// Errors raised while saving or loading a store file.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -90,7 +105,11 @@ impl fmt::Display for StoreFileError {
                 write!(f, "not a store file: missing `{MAGIC} {VERSION}` header")
             }
             StoreFileError::VersionMismatch { found } => {
-                write!(f, "store file version {found} is not supported (expected {VERSION})")
+                write!(
+                    f,
+                    "store file version {found} is not supported \
+                     (this build reads {VERSION_V1} and {VERSION}, writes {VERSION})"
+                )
             }
             StoreFileError::Corrupt { line, message } => {
                 write!(f, "corrupt store file at line {line}: {message}")
@@ -111,16 +130,18 @@ pub(crate) fn io_error(path: &Path, e: impl fmt::Display) -> StoreFileError {
     StoreFileError::Io { path: path.display().to_string(), message: e.to_string() }
 }
 
-/// Serializes one `class …` block (the unit shared by the snapshot
-/// format and the journal's record payloads).
-pub(crate) fn entry_block(rep: &TruthTable, entry: &Entry) -> String {
+/// Serializes one `class …` block in the v2 grammar (the unit shared
+/// by the snapshot format and the journal's record payloads).
+pub(crate) fn entry_block(key: &ClassKey, entry: &Entry) -> String {
     let mut out = String::new();
+    let tables = key.reps().iter().map(|r| r.to_hex()).collect::<Vec<_>>().join(" ");
     match entry {
         Entry::Solved(chains) => {
             out.push_str(&format!(
-                "class {} {} solved {}\n",
-                rep.num_vars(),
-                rep.to_hex(),
+                "class {} {} {} solved {}\n",
+                key.num_vars(),
+                key.num_outputs(),
+                tables,
                 chains.len()
             ));
             for chain in chains {
@@ -147,9 +168,10 @@ pub(crate) fn entry_block(rep: &TruthTable, entry: &Entry) -> String {
         }
         Entry::Exhausted { budget } => {
             out.push_str(&format!(
-                "class {} {} exhausted {} {}\n",
-                rep.num_vars(),
-                rep.to_hex(),
+                "class {} {} {} exhausted {} {}\n",
+                key.num_vars(),
+                key.num_outputs(),
+                tables,
                 budget.as_secs(),
                 budget.subsec_nanos()
             ));
@@ -168,8 +190,8 @@ impl Store {
         out.push(' ');
         out.push_str(VERSION);
         out.push('\n');
-        for (rep, entry) in self.snapshot() {
-            out.push_str(&entry_block(&rep, &entry));
+        for (key, entry) in self.snapshot() {
+            out.push_str(&entry_block(&key, &entry));
         }
         out
     }
@@ -218,6 +240,10 @@ impl Store {
 
     /// Parses a store from its text serialization.
     ///
+    /// Both the current v2 grammar and the legacy single-output v1
+    /// grammar are accepted; v1 class records are wrapped as 1-output
+    /// keys and tallied in [`Store::migrated_v1`].
+    ///
     /// # Errors
     ///
     /// [`StoreFileError::MissingHeader`] / [`StoreFileError::VersionMismatch`]
@@ -235,8 +261,9 @@ impl Store {
         let Some((header_no, header)) = lines.next() else {
             return Err(StoreFileError::MissingHeader);
         };
-        match header.split_whitespace().collect::<Vec<_>>().as_slice() {
-            [MAGIC, VERSION] => {}
+        let legacy = match header.split_whitespace().collect::<Vec<_>>().as_slice() {
+            [MAGIC, VERSION] => false,
+            [MAGIC, VERSION_V1] => true,
             [MAGIC, found] => {
                 return Err(StoreFileError::VersionMismatch { found: (*found).to_string() })
             }
@@ -244,12 +271,16 @@ impl Store {
                 let _ = header_no;
                 return Err(StoreFileError::MissingHeader);
             }
+        };
+        if legacy {
+            store.note_legacy_load(0);
         }
         let mut last_line = header_no;
+        let mut migrated = 0u64;
         while let Some((no, line)) = lines.next() {
             last_line = no;
             let fields: Vec<&str> = line.split_whitespace().collect();
-            let [kw, nvars, hex, state, rest @ ..] = fields.as_slice() else {
+            let [kw, nvars, tail @ ..] = fields.as_slice() else {
                 return Err(corrupt(no, format!("expected a class block, got `{line}`")));
             };
             if *kw != "class" {
@@ -257,11 +288,46 @@ impl Store {
             }
             let nvars: usize =
                 nvars.parse().map_err(|_| corrupt(no, format!("bad arity `{nvars}`")))?;
-            let rep = TruthTable::from_hex(nvars, hex)
-                .map_err(|e| corrupt(no, format!("bad truth table `{hex}`: {e}")))?;
-            if store.get(&rep).is_some() {
-                return Err(corrupt(no, format!("duplicate class {hex} over {nvars} vars")));
+            // v1: <hex> <state> <rest..>     v2: <k> <hex>×k <state> <rest..>
+            let (hexes, state_rest) = if legacy {
+                let [hex, state_rest @ ..] = tail else {
+                    return Err(corrupt(no, format!("expected a class block, got `{line}`")));
+                };
+                (std::slice::from_ref(hex), state_rest)
+            } else {
+                let [k, after_k @ ..] = tail else {
+                    return Err(corrupt(no, format!("expected a class block, got `{line}`")));
+                };
+                let k: usize = k
+                    .parse()
+                    .ok()
+                    .filter(|k| *k >= 1)
+                    .ok_or_else(|| corrupt(no, format!("bad output count `{k}`")))?;
+                if after_k.len() < k + 1 {
+                    return Err(corrupt(
+                        no,
+                        format!("class declares {k} outputs but the line is too short"),
+                    ));
+                }
+                after_k.split_at(k)
+            };
+            let mut reps = Vec::with_capacity(hexes.len());
+            for hex in hexes {
+                reps.push(
+                    TruthTable::from_hex(nvars, hex)
+                        .map_err(|e| corrupt(no, format!("bad truth table `{hex}`: {e}")))?,
+                );
             }
+            let key = ClassKey::multi(reps);
+            if store.get_class(&key).is_some() {
+                return Err(corrupt(
+                    no,
+                    format!("duplicate class {} over {nvars} vars", key.label()),
+                ));
+            }
+            let [state, rest @ ..] = state_rest else {
+                return Err(corrupt(no, format!("expected a class block, got `{line}`")));
+            };
             let entry = match (*state, rest) {
                 ("solved", [count]) => {
                     let count: usize = count
@@ -297,9 +363,13 @@ impl Store {
                     ))
                 }
             };
-            store.insert(rep, entry);
+            store.insert_class(key, entry);
+            migrated += 1;
         }
         let _ = last_line;
+        if legacy && migrated > 0 {
+            store.note_legacy_load(migrated);
+        }
         Ok(store)
     }
 

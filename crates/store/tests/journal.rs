@@ -76,11 +76,11 @@ fn save_clears_the_journal_and_snapshot_subsumes_it() {
     store.insert(rep("6"), Entry::Solved(vec![one_gate_chain(0x6)]));
     store.save(&path).unwrap();
     let journal = std::fs::read_to_string(journal_path(&path)).unwrap();
-    assert_eq!(journal, "stp-store-journal v1\n", "save must truncate the journal");
+    assert_eq!(journal, "stp-store-journal v2\n", "save must truncate the journal");
     // Entries inserted after the save land in the journal again.
     store.insert(rep("8"), Entry::Solved(vec![one_gate_chain(0x8)]));
     let journal = std::fs::read_to_string(journal_path(&path)).unwrap();
-    assert!(journal.len() > "stp-store-journal v1\n".len());
+    assert!(journal.len() > "stp-store-journal v2\n".len());
     // Reload: snapshot + replayed journal give back both entries.
     let recovered = Store::open(&path).unwrap();
     assert_eq!(recovered.len(), 2);
@@ -96,7 +96,7 @@ fn saving_to_a_foreign_path_keeps_the_journal() {
     store.save(&other).unwrap();
     let journal = std::fs::read_to_string(journal_path(&path)).unwrap();
     assert!(
-        journal.len() > "stp-store-journal v1\n".len(),
+        journal.len() > "stp-store-journal v2\n".len(),
         "an export to a different path must not wipe this snapshot's crash log"
     );
 }

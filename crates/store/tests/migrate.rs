@@ -1,0 +1,180 @@
+//! v1 → v2 on-disk migration: legacy snapshots and journals are
+//! absorbed losslessly by `Store::open` and rewritten as v2 in place.
+
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use stp_chain::{Chain, OutputRef};
+use stp_store::{ClassKey, Entry, Store, StoreFileError};
+use stp_tt::TruthTable;
+
+/// A unique scratch directory per test (std-only; no tempfile crate).
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Scratch {
+        let dir = std::env::temp_dir().join(format!("stp-migrate-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        Scratch(dir)
+    }
+
+    fn snapshot(&self) -> PathBuf {
+        self.0.join("store.txt")
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.0).ok();
+    }
+}
+
+fn journal_path(snapshot: &Path) -> PathBuf {
+    let mut os = snapshot.as_os_str().to_owned();
+    os.push(".journal");
+    PathBuf::from(os)
+}
+
+fn rep(hex: &str) -> TruthTable {
+    TruthTable::from_hex(2, hex).unwrap()
+}
+
+/// A handwritten v1 snapshot: one solved class, one exhausted class.
+const V1_SNAPSHOT: &str = "stp-store v1\n\
+                           class 2 6 solved 1\n\
+                           chain 1\n\
+                           gate 0 1 6\n\
+                           output x2\n\
+                           endchain\n\
+                           class 2 8 exhausted 1 0\n";
+
+/// A v1 journal carrying one length-framed insert record.
+fn v1_journal_with_record() -> String {
+    let payload = "class 2 e solved 1\nchain 1\ngate 0 1 e\noutput x2\nendchain\n";
+    format!("stp-store-journal v1\ninsert {}\n{payload}", payload.len())
+}
+
+#[test]
+fn v1_snapshot_migrates_to_v2_on_open() {
+    let scratch = Scratch::new("snapshot");
+    let path = scratch.snapshot();
+    std::fs::write(&path, V1_SNAPSHOT).unwrap();
+
+    let store = Store::open(&path).unwrap();
+    assert_eq!(store.migrated_v1(), 2, "both v1 classes count as migrated");
+    assert!(matches!(store.get(&rep("6")), Some(Entry::Solved(_))));
+    assert!(matches!(
+        store.get(&rep("8")),
+        Some(Entry::Exhausted { budget }) if budget.as_secs() == 1
+    ));
+
+    // The file was rewritten as v2 in place, with the journal reset.
+    let on_disk = std::fs::read_to_string(&path).unwrap();
+    assert!(on_disk.starts_with("stp-store v2\n"), "got {on_disk:?}");
+    assert!(on_disk.contains("class 2 1 6 solved 1"), "v2 class lines carry an output count");
+    let journal = std::fs::read_to_string(journal_path(&path)).unwrap();
+    assert_eq!(journal, "stp-store-journal v2\n");
+    drop(store);
+
+    // A second open sees native v2: nothing left to migrate.
+    let reopened = Store::open(&path).unwrap();
+    assert_eq!(reopened.migrated_v1(), 0);
+    assert_eq!(reopened.len(), 2);
+}
+
+#[test]
+fn v1_snapshot_with_v1_journal_tail_migrates_both() {
+    let scratch = Scratch::new("journal-tail");
+    let path = scratch.snapshot();
+    std::fs::write(&path, V1_SNAPSHOT).unwrap();
+    std::fs::write(journal_path(&path), v1_journal_with_record()).unwrap();
+
+    let store = Store::open(&path).unwrap();
+    assert_eq!(store.migrated_v1(), 3, "snapshot classes plus the journaled record");
+    assert!(matches!(store.get(&rep("6")), Some(Entry::Solved(_))));
+    assert!(matches!(store.get(&rep("e")), Some(Entry::Solved(_))), "journal tail survives");
+
+    // The v2 snapshot on disk subsumes the journal tail.
+    let on_disk = std::fs::read_to_string(&path).unwrap();
+    assert!(on_disk.starts_with("stp-store v2\n"));
+    assert!(on_disk.contains("class 2 1 e solved 1"));
+    assert_eq!(std::fs::read_to_string(journal_path(&path)).unwrap(), "stp-store-journal v2\n");
+}
+
+#[test]
+fn v1_journal_without_snapshot_still_migrates() {
+    let scratch = Scratch::new("journal-only");
+    let path = scratch.snapshot();
+    std::fs::write(journal_path(&path), v1_journal_with_record()).unwrap();
+
+    let store = Store::open(&path).unwrap();
+    assert_eq!(store.migrated_v1(), 1);
+    assert!(matches!(store.get(&rep("e")), Some(Entry::Solved(_))));
+    assert!(std::fs::read_to_string(&path).unwrap().starts_with("stp-store v2\n"));
+}
+
+#[test]
+fn migration_is_lossless_byte_for_byte() {
+    let scratch = Scratch::new("lossless");
+    let path = scratch.snapshot();
+    std::fs::write(&path, V1_SNAPSHOT).unwrap();
+    let migrated = Store::open(&path).unwrap();
+    // Parsing the legacy text directly yields the same snapshot.
+    let direct = Store::parse(V1_SNAPSHOT).unwrap();
+    assert_eq!(migrated.snapshot(), direct.snapshot());
+    assert_eq!(migrated.save_to_string(), direct.save_to_string());
+}
+
+#[test]
+fn future_snapshot_versions_are_rejected() {
+    let err = Store::parse("stp-store v3\nclass 2 1 6 exhausted 1 0\n").unwrap_err();
+    assert_eq!(err, StoreFileError::VersionMismatch { found: "v3".to_string() });
+    let scratch = Scratch::new("v3-snapshot");
+    let path = scratch.snapshot();
+    std::fs::write(&path, "stp-store v3\n").unwrap();
+    assert!(matches!(Store::open(&path), Err(StoreFileError::VersionMismatch { .. })));
+}
+
+#[test]
+fn future_journal_versions_are_rejected() {
+    let scratch = Scratch::new("v3-journal");
+    let path = scratch.snapshot();
+    std::fs::write(journal_path(&path), "stp-store-journal v3\n").unwrap();
+    let err = Store::open(&path).unwrap_err();
+    assert_eq!(err, StoreFileError::VersionMismatch { found: "v3".to_string() });
+}
+
+#[test]
+fn multi_output_entries_round_trip_through_open() {
+    let scratch = Scratch::new("multi");
+    let path = scratch.snapshot();
+    let key = ClassKey::multi(vec![rep("6"), rep("8")]);
+    {
+        let store = Store::open(&path).unwrap();
+        let mut chain = Chain::new(2);
+        let x = chain.add_gate(0, 1, 0x6).unwrap();
+        let a = chain.add_gate(0, 1, 0x8).unwrap();
+        chain.add_output(OutputRef::signal(x));
+        chain.add_output(OutputRef::signal(a));
+        store.insert_class(key.clone(), Entry::Solved(vec![chain]));
+        store.save(&path).unwrap();
+    }
+    let reloaded = Store::open(&path).unwrap();
+    assert_eq!(reloaded.migrated_v1(), 0);
+    let Some(Entry::Solved(chains)) = reloaded.get_class(&key) else {
+        panic!("multi-output entry must survive the round trip");
+    };
+    let outputs = chains[0].simulate_outputs().unwrap();
+    assert_eq!(outputs, vec![rep("6"), rep("8")]);
+    // Exhausted multi-output classes round-trip too.
+    let ex = ClassKey::multi(vec![rep("9"), rep("1")]);
+    reloaded.insert_class(ex.clone(), Entry::Exhausted { budget: Duration::from_millis(7) });
+    let text = reloaded.save_to_string();
+    assert!(text.contains("class 2 2 9 1 exhausted"), "got {text}");
+    let reparsed = Store::parse(&text).unwrap();
+    assert!(matches!(
+        reparsed.get_class(&ex),
+        Some(Entry::Exhausted { budget }) if budget.as_millis() == 7
+    ));
+}

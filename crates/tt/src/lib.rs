@@ -45,7 +45,10 @@ pub use dsd::{
     try_top_decomposition, DsdNode, NONTRIVIAL_OPS,
 };
 pub use error::TruthTableError;
-pub use npn::{canonicalize, npn_classes, NpnCanonical, NpnTransform};
+pub use npn::{
+    canonicalize, canonicalize_multi, npn_classes, MultiNpnCanonical, MultiNpnTransform,
+    NpnCanonical, NpnTransform,
+};
 pub use truth_table::{TruthTable, MAX_VARS};
 
 #[cfg(test)]

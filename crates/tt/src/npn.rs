@@ -71,6 +71,86 @@ pub struct NpnCanonical {
     pub transform: NpnTransform,
 }
 
+/// An NPN transform on an output *vector*: one shared input
+/// permutation/negation, plus a permutation of the outputs and a
+/// per-output phase.
+///
+/// The input half follows the [`NpnTransform`] convention (`perm` maps
+/// new positions to old, `input_negations` is a mask on the *old*
+/// inputs). Applying the transform to a tuple `f_0, …, f_{k−1}` yields
+/// `g_0, …, g_{k−1}` with
+/// `g_j(x…) = f_{output_perm[j]}(y…) ^ output_negations[j]`
+/// for the same `y` relation as the single-output transform.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MultiNpnTransform {
+    /// Input permutation: new variable `i` reads old variable `perm[i]`.
+    pub perm: Vec<usize>,
+    /// Bitmask of *old* inputs complemented before permutation.
+    pub input_negations: u32,
+    /// Output permutation: canonical position `j` holds original output
+    /// `output_perm[j]`.
+    pub output_perm: Vec<usize>,
+    /// Per-*canonical-position* output complementation.
+    pub output_negations: Vec<bool>,
+}
+
+impl MultiNpnTransform {
+    /// The identity transform on `n` inputs and `k` outputs.
+    pub fn identity(n: usize, k: usize) -> Self {
+        MultiNpnTransform {
+            perm: (0..n).collect(),
+            input_negations: 0,
+            output_perm: (0..k).collect(),
+            output_negations: vec![false; k],
+        }
+    }
+
+    /// Applies the transform to an output vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TruthTableError::InvalidPermutation`] when the input
+    /// arity, output count, or output permutation does not match.
+    pub fn apply(&self, tts: &[TruthTable]) -> Result<Vec<TruthTable>, TruthTableError> {
+        let k = tts.len();
+        if self.output_perm.len() != k || self.output_negations.len() != k {
+            return Err(TruthTableError::InvalidPermutation);
+        }
+        let mut seen = vec![false; k];
+        for &o in &self.output_perm {
+            if o >= k || seen[o] {
+                return Err(TruthTableError::InvalidPermutation);
+            }
+            seen[o] = true;
+        }
+        let inner = NpnTransform {
+            perm: self.perm.clone(),
+            input_negations: self.input_negations,
+            output_negated: false,
+        };
+        let mut out = Vec::with_capacity(k);
+        for j in 0..k {
+            let mut g = inner.apply(&tts[self.output_perm[j]])?;
+            if self.output_negations[j] {
+                g = !g;
+            }
+            out.push(g);
+        }
+        Ok(out)
+    }
+}
+
+/// Result of [`canonicalize_multi`]: the canonical representative tuple
+/// and one transform that produces it from the input vector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MultiNpnCanonical {
+    /// The lexicographically smallest tuple (sorted ascending) in the
+    /// orbit of the output vector.
+    pub representatives: Vec<TruthTable>,
+    /// A transform with `transform.apply(&originals) == representatives`.
+    pub transform: MultiNpnTransform,
+}
+
 fn permutations(n: usize) -> Vec<Vec<usize>> {
     let mut out = Vec::new();
     let mut cur: Vec<usize> = (0..n).collect();
@@ -149,6 +229,91 @@ pub fn canonicalize(tt: &TruthTable) -> NpnCanonical {
     }
     let (representative, transform) = best.expect("orbit is never empty");
     NpnCanonical { representative, transform }
+}
+
+/// Exhaustively canonicalizes an output *vector* under shared-input NPN
+/// equivalence.
+///
+/// Two k-output specs are equivalent when one maps to the other by a
+/// single input permutation/negation shared by every output, plus an
+/// output permutation and per-output phases. The representative tuple is
+/// the lexicographically smallest sorted tuple reachable that way; ties
+/// between equal tables are broken by original output index, so the
+/// transform is deterministic. Complexity is `O(n! · 2^n · k)` table
+/// transformations; intended for `n ≤ 5`.
+///
+/// # Panics
+///
+/// Panics when `tts` is empty or the outputs disagree on arity.
+///
+/// # Examples
+///
+/// ```
+/// use stp_tt::{canonicalize_multi, TruthTable};
+///
+/// // A full adder: (sum, carry) over shared inputs.
+/// let sum = TruthTable::from_hex(3, "96")?;
+/// let carry = TruthTable::from_hex(3, "e8")?;
+/// let canon = canonicalize_multi(&[sum.clone(), carry.clone()]);
+/// assert_eq!(
+///     canon.transform.apply(&[sum, carry])?,
+///     canon.representatives,
+/// );
+/// # Ok::<(), stp_tt::TruthTableError>(())
+/// ```
+pub fn canonicalize_multi(tts: &[TruthTable]) -> MultiNpnCanonical {
+    assert!(!tts.is_empty(), "canonicalize_multi needs at least one output");
+    let n = tts[0].num_vars();
+    assert!(
+        tts.iter().all(|t| t.num_vars() == n),
+        "canonicalize_multi outputs must share one arity"
+    );
+    stp_telemetry::counter!("tt.npn_mo_canonicalizations").inc();
+    let k = tts.len();
+    let mut best: Option<(Vec<TruthTable>, MultiNpnTransform)> = None;
+    for perm in permutations(n) {
+        for neg in 0..(1u32 << n) {
+            // Shared input transform, applied to every output.
+            let mut items: Vec<(TruthTable, bool, usize)> = Vec::with_capacity(k);
+            for (o, tt) in tts.iter().enumerate() {
+                let mut base = tt.clone();
+                for v in 0..n {
+                    if (neg >> v) & 1 == 1 {
+                        base = base.flip_input(v);
+                    }
+                }
+                let permuted = base.permute(&perm).expect("perm is a valid permutation");
+                // Per-output phase: keep the smaller polarity.
+                let negated = !permuted.clone();
+                if negated < permuted {
+                    items.push((negated, true, o));
+                } else {
+                    items.push((permuted, false, o));
+                }
+            }
+            // Canonical output order: sort by table, tie-break by the
+            // original index for a deterministic transform.
+            items.sort_by(|a, b| a.0.cmp(&b.0).then(a.2.cmp(&b.2)));
+            let candidate: Vec<TruthTable> = items.iter().map(|(t, _, _)| t.clone()).collect();
+            let better = match &best {
+                None => true,
+                Some((b, _)) => candidate < *b,
+            };
+            if better {
+                best = Some((
+                    candidate,
+                    MultiNpnTransform {
+                        perm: perm.clone(),
+                        input_negations: neg,
+                        output_perm: items.iter().map(|(_, _, o)| *o).collect(),
+                        output_negations: items.iter().map(|(_, neg, _)| *neg).collect(),
+                    },
+                ));
+            }
+        }
+    }
+    let (representatives, transform) = best.expect("orbit is never empty");
+    MultiNpnCanonical { representatives, transform }
 }
 
 /// Enumerates one representative per NPN class of `n`-variable functions.
@@ -267,6 +432,86 @@ mod tests {
         for rep in classes.iter().take(10) {
             assert_eq!(canonicalize(rep).representative, *rep);
         }
+    }
+
+    #[test]
+    fn multi_transform_reproduces_representatives() {
+        let cases: &[&[&str]] =
+            &[&["96", "e8"], &["e8", "96"], &["80", "96", "ea"], &["cafe", "8ff8"][..]];
+        for hexes in cases {
+            let n = if hexes[0].len() == 4 { 4 } else { 3 };
+            let tts: Vec<TruthTable> =
+                hexes.iter().map(|h| TruthTable::from_hex(n, h).unwrap()).collect();
+            let canon = canonicalize_multi(&tts);
+            assert_eq!(
+                canon.transform.apply(&tts).unwrap(),
+                canon.representatives,
+                "transform must map {hexes:?} to its representative tuple"
+            );
+            // The representative tuple is sorted.
+            let mut sorted = canon.representatives.clone();
+            sorted.sort();
+            assert_eq!(sorted, canon.representatives);
+        }
+    }
+
+    #[test]
+    fn multi_canonicalization_is_orbit_invariant() {
+        // Shuffling outputs, negating outputs, and NPN-transforming the
+        // shared inputs must not change the representative tuple.
+        let sum = TruthTable::from_hex(3, "96").unwrap();
+        let carry = TruthTable::from_hex(3, "e8").unwrap();
+        let base = canonicalize_multi(&[sum.clone(), carry.clone()]);
+        let variant = MultiNpnTransform {
+            perm: vec![2, 0, 1],
+            input_negations: 0b101,
+            output_perm: vec![1, 0],
+            output_negations: vec![true, false],
+        };
+        let moved = variant.apply(&[sum, carry]).unwrap();
+        let canon = canonicalize_multi(&moved);
+        assert_eq!(canon.representatives, base.representatives);
+    }
+
+    #[test]
+    fn multi_singleton_agrees_with_single_output_canonicalization() {
+        for hex in ["8ff8", "6996", "cafe", "0001", "1234"] {
+            let tt = TruthTable::from_hex(4, hex).unwrap();
+            let single = canonicalize(&tt).representative;
+            let multi = canonicalize_multi(std::slice::from_ref(&tt));
+            assert_eq!(multi.representatives, vec![single]);
+        }
+    }
+
+    #[test]
+    fn multi_canonicalization_is_idempotent() {
+        let tts = vec![
+            TruthTable::from_hex(4, "1ee1").unwrap(),
+            TruthTable::from_hex(4, "8ff8").unwrap(),
+        ];
+        let c1 = canonicalize_multi(&tts);
+        let c2 = canonicalize_multi(&c1.representatives);
+        assert_eq!(c1.representatives, c2.representatives);
+    }
+
+    #[test]
+    fn multi_handles_duplicate_outputs() {
+        let tt = TruthTable::from_hex(3, "e8").unwrap();
+        let canon = canonicalize_multi(&[tt.clone(), tt.clone()]);
+        assert_eq!(canon.representatives[0], canon.representatives[1]);
+        assert_eq!(canon.transform.apply(&[tt.clone(), tt]).unwrap(), canon.representatives);
+    }
+
+    #[test]
+    fn multi_transform_rejects_bad_output_perm() {
+        let tt = TruthTable::from_hex(2, "8").unwrap();
+        let bad = MultiNpnTransform {
+            perm: vec![0, 1],
+            input_negations: 0,
+            output_perm: vec![0, 0],
+            output_negations: vec![false, false],
+        };
+        assert!(bad.apply(&[tt.clone(), tt]).is_err());
     }
 
     #[test]

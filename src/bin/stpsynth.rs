@@ -1,10 +1,21 @@
 //! `stpsynth` — command-line STP exact synthesis.
 //!
 //! ```text
-//! Usage: stpsynth <hex-truth-table> <num-vars> [options]
+//! Usage: stpsynth <hex-truth-table>... [options]
+//!        stpsynth <hex-truth-table> <num-vars> [options]   (legacy)
+//!
+//! Passing several truth tables synthesizes them as one shared
+//! multi-output chain. The arity of each table is inferred from its hex
+//! digit count (1 digit = 2 vars, 2 = 3, 4 = 4, ...) unless --vars is
+//! given. The legacy two-argument form (second argument an integer
+//! <= 16, no --vars) still reads `<hex> <num-vars>`.
 //!
 //! Options:
 //!   --all              print every optimum chain (default: first only)
+//!   --vars <n>         common input arity of all truth tables
+//!   --objective <o>    gates | depth | profile:<tt2hex>=<w>,...[,default=<w>]
+//!                      (default gates; depth/profile require --engine
+//!                      stp without a store)
 //!   --engine <name>    stp | stp-npn | bms | fen | abc   (default stp)
 //!   --timeout <secs>   per-instance timeout (default 60)
 //!   --jobs <n>         STP worker threads; 0 = one per CPU (default
@@ -36,7 +47,8 @@ use std::time::{Duration, Instant};
 use stp_repro::baselines::{abc_synthesize, bms_synthesize, fen_synthesize, BaselineConfig};
 use stp_repro::store::Store;
 use stp_repro::synth::{
-    synthesize, synthesize_npn, synthesize_npn_with_store, warm_npn4, SynthesisConfig,
+    synthesize_multi, synthesize_multi_npn_with_store, synthesize_npn, synthesize_npn_with_store,
+    synthesize_with_objective, warm_npn4, MultiSpec, SynthesisConfig,
 };
 use stp_repro::tt::TruthTable;
 use stp_telemetry::{Json, RunReport};
@@ -48,11 +60,27 @@ stp_telemetry::install_alloc_profiler!();
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: stpsynth <hex-truth-table> <num-vars> [--all] [--engine stp|stp-npn|bms|fen|abc] \
+        "usage: stpsynth <hex-truth-table>... [--vars <n>] \
+         [--objective gates|depth|profile:<weights>] [--all] \
+         [--engine stp|stp-npn|bms|fen|abc] \
          [--timeout <secs>] [--jobs <n>] [--verilog] [--dot] [--store <path>] [--warm-npn4] \
-         [--log <level>] [--stats] [--trace-json <path>] [--profile] [--profile-folded <path>]"
+         [--log <level>] [--stats] [--trace-json <path>] [--profile] [--profile-folded <path>]\n\
+         (legacy form: stpsynth <hex-truth-table> <num-vars> [options])"
     );
     ExitCode::FAILURE
+}
+
+/// Infers the input arity of a bare hex truth table: `d` hex digits
+/// hold `4·d` bits, which must be a power of two.
+fn infer_num_vars(raw: &str, hex: &str) -> Result<usize, ExitCode> {
+    let bits = hex.len().saturating_mul(4);
+    if hex.is_empty() || !bits.is_power_of_two() {
+        return Err(flag_error(format!(
+            "truth table `{raw}` has {} hex digit(s); cannot infer its arity (pass --vars <n>)",
+            hex.len()
+        )));
+    }
+    Ok(bits.trailing_zeros() as usize)
 }
 
 /// A malformed or missing flag value: report it and exit 2, so scripts
@@ -157,13 +185,9 @@ fn main() -> ExitCode {
         Err(message) => return flag_error(message),
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.len() < 2 {
+    if args.is_empty() {
         return usage();
     }
-    let hex = &args[0];
-    let Ok(num_vars) = args[1].parse::<usize>() else {
-        return usage();
-    };
     let mut engine = "stp".to_string();
     let mut all = false;
     let mut timeout = 60.0f64;
@@ -174,10 +198,27 @@ fn main() -> ExitCode {
     let mut store_path: Option<String> = None;
     let mut warm = false;
     let mut folded: Option<String> = None;
-    let mut it = args[2..].iter();
+    let mut positionals: Vec<String> = Vec::new();
+    let mut vars: Option<usize> = None;
+    let mut objective_spec = "gates".to_string();
+    let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--all" => all = true,
+            "--vars" => {
+                vars = match parse_flag_value(a, it.next(), "an input count") {
+                    Ok(v) => Some(v),
+                    Err(code) => return code,
+                };
+            }
+            "--objective" => {
+                let Some(spec) = it.next() else {
+                    return flag_error(
+                        "--objective expects gates|depth|profile:<weights>".to_string(),
+                    );
+                };
+                objective_spec = spec.clone();
+            }
             "--verilog" => emit_verilog = true,
             "--dot" => emit_dot = true,
             "--stats" => stats = true,
@@ -232,19 +273,73 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             }
-            other => {
+            other if other.starts_with('-') && other.len() > 1 => {
                 eprintln!("unknown option {other}");
                 return usage();
             }
+            _ => positionals.push(a.clone()),
         }
     }
-    let spec = match TruthTable::from_hex(num_vars, hex.trim_start_matches("0x")) {
-        Ok(tt) => tt,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
+    if positionals.is_empty() {
+        return usage();
+    }
+
+    // The legacy form `stpsynth <hex> <num-vars>` is kept alive: exactly
+    // two positionals whose second parses as an arity and no --vars.
+    let legacy_vars = (positionals.len() == 2 && vars.is_none())
+        .then(|| positionals[1].parse::<usize>().ok().filter(|n| *n <= 16))
+        .flatten();
+    let specs: Vec<TruthTable> = if let Some(num_vars) = legacy_vars {
+        let hex = &positionals[0];
+        match TruthTable::from_hex(num_vars, hex.trim_start_matches("0x")) {
+            Ok(tt) => vec![tt],
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
         }
+    } else {
+        let mut specs = Vec::with_capacity(positionals.len());
+        for raw in &positionals {
+            let hex = raw.trim_start_matches("0x");
+            let num_vars = match vars {
+                Some(n) => n,
+                None => match infer_num_vars(raw, hex) {
+                    Ok(n) => n,
+                    Err(code) => return code,
+                },
+            };
+            match TruthTable::from_hex(num_vars, hex) {
+                Ok(tt) => specs.push(tt),
+                Err(e) => return flag_error(format!("truth table `{raw}`: {e}")),
+            }
+        }
+        specs
     };
+
+    let objective = match stp_repro::synth::objective_from_spec(&objective_spec) {
+        Ok(objective) => objective,
+        Err(message) => return flag_error(format!("--objective: {message}")),
+    };
+    if !objective.is_gate_count() {
+        // The store and the baselines cache/report gate-count optima
+        // only; other objectives run the direct STP engine.
+        if engine != "stp" {
+            return flag_error(format!(
+                "--objective {objective_spec} requires --engine stp (got {engine})"
+            ));
+        }
+        if store_path.is_some() || warm {
+            return flag_error(format!(
+                "--objective {objective_spec} cannot use a store (it caches gate-count optima)"
+            ));
+        }
+    }
+    if specs.len() > 1 && matches!(engine.as_str(), "bms" | "fen" | "abc") {
+        return flag_error(format!(
+            "--engine {engine} synthesizes a single output; pass one truth table"
+        ));
+    }
     let start = Instant::now();
     let deadline = Some(start + Duration::from_secs_f64(timeout));
 
@@ -278,72 +373,131 @@ fn main() -> ExitCode {
         None
     };
 
-    let (chains, gate_count) = match engine.as_str() {
-        "stp" | "stp-npn" => {
-            let config = SynthesisConfig { deadline, jobs, ..SynthesisConfig::default() };
-            let result = match &store {
-                Some(store) => synthesize_npn_with_store(&spec, &config, store),
-                None if engine == "stp" => synthesize(&spec, &config),
-                None => synthesize_npn(&spec, &config),
-            };
-            match result {
-                Ok(r) => {
-                    println!(
-                        "optimum: {} gates, {} solution(s), {:.3} s",
-                        r.gate_count,
-                        r.chains.len(),
-                        start.elapsed().as_secs_f64()
-                    );
-                    (r.chains, r.gate_count)
-                }
-                Err(e) => {
-                    eprintln!("error: {e}");
-                    finish(
-                        stats,
-                        &args,
-                        &format!("error: {e}"),
-                        start,
-                        Vec::new(),
-                        folded.as_deref(),
-                    );
-                    return ExitCode::FAILURE;
-                }
-            }
-        }
-        "bms" | "fen" | "abc" => {
-            let config = BaselineConfig { deadline, ..BaselineConfig::default() };
-            let result = match engine.as_str() {
-                "bms" => bms_synthesize(&spec, &config),
-                "fen" => fen_synthesize(&spec, &config),
-                _ => abc_synthesize(&spec, &config),
-            };
-            match result {
-                Ok(r) => {
-                    println!(
-                        "optimum: {} gates (single solution), {:.3} s",
-                        r.gate_count,
-                        start.elapsed().as_secs_f64()
-                    );
-                    let gates = r.gate_count;
-                    (vec![r.chain], gates)
-                }
-                Err(e) => {
-                    eprintln!("error: {e}");
-                    finish(
-                        stats,
-                        &args,
-                        &format!("error: {e}"),
-                        start,
-                        Vec::new(),
-                        folded.as_deref(),
-                    );
-                    return ExitCode::FAILURE;
-                }
-            }
-        }
-        other => {
-            eprintln!("unknown engine {other}");
+    let (chains, gate_count) = if specs.len() > 1 {
+        if !matches!(engine.as_str(), "stp" | "stp-npn") {
+            eprintln!("unknown engine {engine}");
             return usage();
+        }
+        let multi = match MultiSpec::new(specs.clone()) {
+            Ok(multi) => multi,
+            Err(e) => return flag_error(format!("truth tables: {e}")),
+        };
+        let config = SynthesisConfig { deadline, jobs, ..SynthesisConfig::default() };
+        let result = if store.is_some() || engine == "stp-npn" {
+            // Through the multi-output NPN class store (gate-count
+            // objective — the one the store caches); stp-npn without
+            // --store canonicalizes against a throwaway store.
+            let fresh;
+            let backing = match &store {
+                Some(store) => store,
+                None => {
+                    fresh = Store::new();
+                    &fresh
+                }
+            };
+            synthesize_multi_npn_with_store(&multi, &config, backing).map(|chain| {
+                let gates = chain.num_gates();
+                println!(
+                    "optimum: {} gates shared across {} outputs, {:.3} s",
+                    gates,
+                    specs.len(),
+                    start.elapsed().as_secs_f64()
+                );
+                (vec![chain], gates)
+            })
+        } else {
+            synthesize_multi(&multi, objective.as_ref(), &config).map(|r| {
+                let gates = r.chain.num_gates();
+                println!(
+                    "optimum: {} gates shared across {} outputs ({} saved vs per-output sum), \
+                     {:.3} s",
+                    gates,
+                    specs.len(),
+                    r.gates_saved,
+                    start.elapsed().as_secs_f64()
+                );
+                (vec![r.chain], gates)
+            })
+        };
+        match result {
+            Ok(pair) => pair,
+            Err(e) => {
+                eprintln!("error: {e}");
+                finish(stats, &args, &format!("error: {e}"), start, Vec::new(), folded.as_deref());
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        let spec = &specs[0];
+        match engine.as_str() {
+            "stp" | "stp-npn" => {
+                let config = SynthesisConfig { deadline, jobs, ..SynthesisConfig::default() };
+                let result = match &store {
+                    Some(store) => synthesize_npn_with_store(spec, &config, store),
+                    None if engine == "stp" => {
+                        synthesize_with_objective(spec, objective.as_ref(), &config)
+                    }
+                    None => synthesize_npn(spec, &config),
+                };
+                match result {
+                    Ok(r) => {
+                        println!(
+                            "optimum: {} gates, {} solution(s), {:.3} s",
+                            r.gate_count,
+                            r.chains.len(),
+                            start.elapsed().as_secs_f64()
+                        );
+                        (r.chains, r.gate_count)
+                    }
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        finish(
+                            stats,
+                            &args,
+                            &format!("error: {e}"),
+                            start,
+                            Vec::new(),
+                            folded.as_deref(),
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "bms" | "fen" | "abc" => {
+                let config = BaselineConfig { deadline, ..BaselineConfig::default() };
+                let result = match engine.as_str() {
+                    "bms" => bms_synthesize(spec, &config),
+                    "fen" => fen_synthesize(spec, &config),
+                    _ => abc_synthesize(spec, &config),
+                };
+                match result {
+                    Ok(r) => {
+                        println!(
+                            "optimum: {} gates (single solution), {:.3} s",
+                            r.gate_count,
+                            start.elapsed().as_secs_f64()
+                        );
+                        let gates = r.gate_count;
+                        (vec![r.chain], gates)
+                    }
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        finish(
+                            stats,
+                            &args,
+                            &format!("error: {e}"),
+                            start,
+                            Vec::new(),
+                            folded.as_deref(),
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            other => {
+                eprintln!("unknown engine {other}");
+                return usage();
+            }
         }
     };
 
@@ -378,6 +532,7 @@ fn main() -> ExitCode {
         vec![
             ("gate_count".to_string(), Json::UInt(gate_count as u64)),
             ("num_solutions".to_string(), Json::UInt(chains.len() as u64)),
+            ("outputs".to_string(), Json::UInt(specs.len() as u64)),
         ],
         folded.as_deref(),
     );

@@ -119,6 +119,106 @@ fn stpsynth_accepts_well_formed_stp_jobs() {
 }
 
 #[test]
+fn stpsynth_synthesizes_multiple_outputs_as_a_shared_chain() {
+    // Full adder: sum (parity, "96") and carry (majority, "e8") share
+    // a 5-gate chain, one gate under the 2+4 per-output sum. Arity is
+    // inferred from the hex digit count (2 digits = 3 vars).
+    let out = Command::new(env!("CARGO_BIN_EXE_stpsynth"))
+        .args(["96", "e8"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("optimum: 5 gates shared across 2 outputs (1 saved vs per-output sum)"),
+        "stdout: {text}"
+    );
+    assert!(text.contains("f1 = ") && text.contains("f2 = "), "stdout: {text}");
+
+    // --vars pins a common arity when the digit count alone is ambiguous.
+    let out = Command::new(env!("CARGO_BIN_EXE_stpsynth"))
+        .args(["6", "9", "--vars", "2"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("gates shared across 2 outputs"), "stdout: {text}");
+}
+
+#[test]
+fn stpsynth_multi_output_answers_from_the_store() {
+    let dir = std::env::temp_dir().join(format!("stpsynth_mo_store_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let store = dir.join("store.txt");
+    let store = store.to_str().expect("utf8 path");
+    let out = Command::new(env!("CARGO_BIN_EXE_stpsynth"))
+        .args(["96", "e8", "--store", store])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("optimum: 5 gates shared across 2 outputs"), "stdout: {text}");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("0 hits, 1 misses"));
+    // An NPN-orbit member (outputs swapped, one negated) hits the same
+    // cached class on the second run.
+    let out = Command::new(env!("CARGO_BIN_EXE_stpsynth"))
+        .args(["17", "96", "--store", store])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("1 hits, 0 misses"), "stderr: {stderr}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn stpsynth_objective_flag_selects_the_cost_model() {
+    // depth: same optimum gate count on the paper's Example 7.
+    let out = Command::new(env!("CARGO_BIN_EXE_stpsynth"))
+        .args(["8ff8", "4", "--objective", "depth"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("optimum: 3 gates"), "stdout: {text}");
+
+    // profile: taxing XOR/XNOR drives the search to a 3-gate XOR-free
+    // realization of x1 ^ x2.
+    let out = Command::new(env!("CARGO_BIN_EXE_stpsynth"))
+        .args(["6", "--objective", "profile:6=5,9=5,default=1"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("optimum: 3 gates"), "stdout: {text}");
+    assert!(!text.contains("= 0x6(") && !text.contains("= 0x9("), "stdout: {text}");
+}
+
+#[test]
+fn stpsynth_rejects_malformed_specs_and_objectives_with_exit_2() {
+    // Malformed truth tables and objective specs are usage errors: exit
+    // 2 with a diagnostic naming the offending argument.
+    for (args, needle) in [
+        (&["96", "e8", "--objective", "bogus"][..], "--objective"),
+        (&["96", "e8", "--objective"], "--objective"),
+        (&["965"], "truth table `965`"),
+        (&["zz", "e8"], "truth table `zz`"),
+        (&["96", "e8f3"], "arity"),
+        (&["8ff8", "4", "--objective", "depth", "--store", "unused.txt"], "--objective depth"),
+        (&["8ff8", "4", "--objective", "depth", "--engine", "bms"], "--objective depth"),
+        (&["96", "e8", "--engine", "bms"], "single output"),
+        (&["96", "e8", "--vars", "x"], "--vars"),
+    ] {
+        let out =
+            Command::new(env!("CARGO_BIN_EXE_stpsynth")).args(args).output().expect("binary runs");
+        assert_eq!(out.status.code(), Some(2), "args {args:?}: {:?}", out.status);
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("error:"), "args {args:?}: stderr {stderr}");
+        assert!(stderr.contains(needle), "args {args:?}: stderr {stderr}");
+    }
+}
+
+#[test]
 fn stpsynth_rejects_bad_input() {
     let out = Command::new(env!("CARGO_BIN_EXE_stpsynth"))
         .args(["zzzz", "4"])
