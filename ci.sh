@@ -30,6 +30,18 @@ cargo test -q -p stp-bench --offline --test factor_baseline
 echo "==> suite scheduler baseline (NPN4 slice at jobs=1 and 4, vs committed BENCH_suite.json)"
 cargo test -q -p stp-bench --offline --test suite_baseline
 
+echo "==> wide-spec baseline (WIDE[9..12], STP_JOBS=1, vs committed BENCH_factor.json)"
+STP_JOBS=1 cargo test -q -p stp-bench --offline --test wide_baseline
+
+echo "==> wide-spec baseline (STP_JOBS=$(nproc))"
+STP_JOBS="$(nproc)" cargo test -q -p stp-bench --offline --test wide_baseline
+
+echo "==> warm farm baseline (sharded NPN5/6 sample, STP_JOBS=1, vs committed BENCH_warm.json)"
+STP_JOBS=1 cargo test -q -p stp-bench --offline --test warm_farm
+
+echo "==> warm farm baseline (STP_JOBS=$(nproc))"
+STP_JOBS="$(nproc)" cargo test -q -p stp-bench --offline --test warm_farm
+
 echo "==> multi-output baseline + differential (STP_JOBS=1, vs committed BENCH_mo.json)"
 STP_JOBS=1 cargo test -q -p stp-bench --offline --test mo_baseline --test mo_differential
 

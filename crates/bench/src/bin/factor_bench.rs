@@ -4,9 +4,10 @@
 //!                      [--slice] [--profile] [--profile-folded <path>]`
 //!
 //! Runs the STP engine **cold** (store-free, straight [`synthesize`]
-//! per instance) over three workloads — the deterministic NPN4 24-class
-//! slice used by the CI drift gate, the full 222-class NPN4 suite, and
-//! the quick-profile FDSD6 suite — and reports per-suite wall-clock
+//! per instance) over four workloads — the deterministic NPN4 24-class
+//! slice used by the CI drift gate, the full 222-class NPN4 suite, the
+//! quick-profile FDSD6 suite, and the 9–12-input WIDE suite that pins
+//! the multi-word fast path — and reports per-suite wall-clock
 //! plus the `factor.*` counter deltas. The counter totals at `--jobs 1`
 //! are exact and machine-independent, so the committed
 //! `BENCH_factor.json` doubles as a regression baseline: the
@@ -26,7 +27,7 @@
 use std::time::{Duration, Instant};
 
 use stp_bench::profdiff::PINNED_COUNTERS;
-use stp_bench::{fdsd, npn4, run_suite, Algorithm, Suite};
+use stp_bench::{fdsd, npn4, run_suite, wide, Algorithm, Suite};
 use stp_telemetry::Json;
 
 // With --features alloc-profile, heap traffic is attributed to the
@@ -122,8 +123,11 @@ fn main() {
         stp_telemetry::profile::set_enabled(true);
     }
     let timeout = Duration::from_secs_f64(timeout);
-    let all =
-        if slice_only { vec![npn4_slice()] } else { vec![npn4_slice(), npn4(), fdsd(6, 40, 6)] };
+    let all = if slice_only {
+        vec![npn4_slice()]
+    } else {
+        vec![npn4_slice(), npn4(), fdsd(6, 40, 6), wide()]
+    };
     let mut suites = Vec::new();
     for suite in all {
         eprintln!("factor_bench: running {} ({} instances)…", suite.name, suite.functions.len());

@@ -41,4 +41,4 @@ pub use harness::{
 };
 pub use profdiff::{bench_drift, diff, load_profile, render_diff, DiffRow, DriftReport, DriftRow};
 pub use report::{render_counters, render_headlines, render_table};
-pub use suites::{fdsd, npn4, pdsd, standard_suites, Scale, Suite};
+pub use suites::{fdsd, npn4, pdsd, standard_suites, wide, Scale, Suite};

@@ -63,6 +63,18 @@ pub fn pdsd(num_vars: usize, count: usize, seed_offset: u64) -> Suite {
     Suite { name: if num_vars == 6 { "PDSD6" } else { "PDSD8" }, functions }
 }
 
+/// The wide-spec suite: fully-DSD functions of 9–12 inputs, two per
+/// arity. Their decomposition charts span 8–64 words, so factoring
+/// routes through the multi-word wide path (`factor_split_wide`) for
+/// every split with `|A| + |B| ≤ 8` and `|S| ≤ 8` — the workload the
+/// `BENCH_factor.json` wide row pins.
+pub fn wide() -> Suite {
+    let mut rng = SmallRng::seed_from_u64(SEED ^ 0x7769_6465); // "wide"
+    let functions =
+        (9..=12).flat_map(|n| [random_fdsd(n, &mut rng), random_fdsd(n, &mut rng)]).collect();
+    Suite { name: "WIDE[9..12]", functions }
+}
+
 /// The five Table I suites at the requested scale.
 pub fn standard_suites(scale: Scale) -> Vec<Suite> {
     let (fdsd6_n, fdsd8_n, pdsd6_n, pdsd8_n) = match scale {

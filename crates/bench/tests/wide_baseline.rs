@@ -1,0 +1,106 @@
+//! CI drift gate for the wide-spec (9–12-input) factor baseline row.
+//!
+//! The `WIDE[9..12]` suite routes decomposition charts of 8–64 words
+//! through the factorizer's multi-word wide path (splits with
+//! `|A| + |B| ≤ 8`, `|S| ≤ 8` past `FAST_MAX_VARS`). Its pinned
+//! counters live in the committed `BENCH_factor.json` next to the NPN4
+//! rows; this gate re-runs the suite and fails on any drift, and a
+//! differential test replays the same specs through the scalar
+//! `force_naive` reference engine, pinning chain-for-chain equality.
+//!
+//! Counters are deterministic for any worker count up to the static
+//! split bound (every instance gets one shape worker for
+//! `jobs ≤` suite size), so the gate honours `STP_JOBS` clamped to 4 —
+//! the same parallel envelope `suite_baseline` pins for NPN4.
+
+use std::time::Duration;
+
+use stp_bench::profdiff::PINNED_COUNTERS;
+use stp_bench::{run_suite, wide, Algorithm};
+use stp_fence::TreeShape;
+use stp_synth::{FactorConfig, Factorizer};
+use stp_telemetry::Json;
+
+#[test]
+fn wide_suite_counters_match_committed_baseline() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_factor.json");
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read committed baseline {path}: {e}"));
+    let doc = Json::parse(&text).expect("BENCH_factor.json must parse");
+    let committed = doc
+        .get("suites")
+        .and_then(Json::as_arr)
+        .and_then(|suites| {
+            suites.iter().find(|s| s.get("suite").and_then(Json::as_str) == Some("WIDE[9..12]"))
+        })
+        .expect("baseline must contain the WIDE[9..12] suite");
+
+    let jobs = stp_synth::resolve_jobs(stp_synth::jobs_from_env()).min(4);
+    let suite = wide();
+    let report = run_suite(Algorithm::Stp, &suite, Duration::from_secs(300), jobs);
+    assert_eq!(report.solved, suite.functions.len(), "every wide spec must solve");
+
+    // The multi-word path's workload is chart construction: a wide run
+    // that builds no charts fell back to something else entirely.
+    let charts = *report.counters.get("factor.charts_built").unwrap_or(&0);
+    assert!(charts > 0, "the wide suite must build decomposition charts");
+
+    for name in PINNED_COUNTERS {
+        let want = committed
+            .get("counters")
+            .and_then(|c| c.get(name))
+            .and_then(Json::as_u64)
+            .unwrap_or_else(|| panic!("baseline is missing counter '{name}'"));
+        let got = *report.counters.get(name).unwrap_or(&0);
+        assert_eq!(
+            got, want,
+            "counter '{name}' drifted from the committed BENCH_factor.json \
+             WIDE[9..12] row (jobs={jobs}): re-record it with `cargo run \
+             --release -p stp-bench --bin factor_bench -- --jobs 1 --out \
+             BENCH_factor.json` only if the change in search behaviour is \
+             intentional"
+        );
+    }
+}
+
+/// A balanced shape with `leaves` leaves: one leaf of slack over the
+/// support admits shared variables, so top-level splits can satisfy
+/// `|A| + |B| ≤ 8` and route through the wide path.
+fn balanced_shape(leaves: usize) -> TreeShape {
+    if leaves == 1 {
+        TreeShape::Leaf
+    } else {
+        TreeShape::node(balanced_shape(leaves / 2), balanced_shape(leaves - leaves / 2))
+    }
+}
+
+#[test]
+fn wide_specs_match_forced_naive_reference() {
+    // One suite spec per arity (9..=12), each factored on a fixed
+    // balanced shape by the default (wide-routing) engine and by the
+    // scalar `force_naive` reference: realizations, exploration, and
+    // chart counts must agree exactly.
+    let suite = wide();
+    let mut total_charts = 0u64;
+    for spec in suite.functions.iter().step_by(2) {
+        let d = spec.support().len();
+        let shape = balanced_shape(d + 1);
+        let mut fast =
+            Factorizer::new(FactorConfig { max_realizations: 16, ..FactorConfig::default() });
+        let mut naive = Factorizer::new(FactorConfig {
+            max_realizations: 16,
+            force_naive: true,
+            ..FactorConfig::default()
+        });
+        let chains_f: Vec<String> =
+            fast.chains_on_shape(spec, &shape).unwrap().iter().map(|c| c.to_string()).collect();
+        let chains_n: Vec<String> =
+            naive.chains_on_shape(spec, &shape).unwrap().iter().map(|c| c.to_string()).collect();
+        assert_eq!(chains_f, chains_n, "chains diverged at arity {d}");
+        assert_eq!(fast.nodes_explored(), naive.nodes_explored(), "exploration at arity {d}");
+        assert_eq!(fast.memo_hits(), naive.memo_hits(), "memo hits at arity {d}");
+        assert_eq!(fast.charts_built(), naive.charts_built(), "charts at arity {d}");
+        total_charts += fast.charts_built();
+    }
+    assert!(total_charts > 0, "the differential must actually build charts");
+}

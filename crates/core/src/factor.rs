@@ -52,7 +52,8 @@ use std::time::Instant;
 
 use stp_chain::{Chain, OutputRef};
 use stp_fence::TreeShape;
-use stp_tt::{kernel, TruthTable};
+use stp_tt::kernel::{self, W4};
+use stp_tt::TruthTable;
 
 use crate::error::SynthesisError;
 
@@ -60,6 +61,18 @@ use crate::error::SynthesisError;
 /// workloads top out at 8 variables; a table then spans ≤ 4 words and a
 /// chart cell block fits one `u64`).
 const FAST_MAX_VARS: usize = 8;
+
+/// Specs up to this arity use the multi-word wide path when the split
+/// fits `|A| + |B| ≤ 8` and `|S| ≤ 8`: the compact spec spans at most
+/// [`WIDE_WORDS`] words, a chart cell block fits one [`W4`], and the
+/// shared-assignment loop stays ≤ [`WIDE_SHARED`] entries.
+const WIDE_MAX_VARS: usize = 12;
+
+/// Packed words of a [`WIDE_MAX_VARS`]-input table (`2^12 / 64`).
+const WIDE_WORDS: usize = 64;
+
+/// Maximum shared assignments on the wide path (`2^8`).
+const WIDE_SHARED: usize = 256;
 
 /// One deadline poll (`Instant::now()`) per this many checkpoint calls;
 /// the cancel flag is still read on every call, so cooperative
@@ -87,11 +100,17 @@ pub struct FactorConfig {
     /// checkpoint (reported as [`SynthesisError::Timeout`], which the
     /// driver reinterprets — see `parallel.rs`).
     pub cancel: Option<Arc<AtomicBool>>,
+    /// Differential-test knob: route every split through the scalar
+    /// reference implementation ([`Factorizer::factor_split_naive`])
+    /// instead of the word-level fast/wide paths. The differential
+    /// suites compare a forced-naive engine against the default one;
+    /// production callers leave this `false`.
+    pub force_naive: bool,
 }
 
 impl Default for FactorConfig {
     fn default() -> Self {
-        FactorConfig { max_realizations: 4096, deadline: None, cancel: None }
+        FactorConfig { max_realizations: 4096, deadline: None, cancel: None, force_naive: false }
     }
 }
 
@@ -130,6 +149,144 @@ fn seen_key(g: u8, h1: &TruthTable, h2: &TruthTable) -> SeenKey {
     }
 }
 
+/// Initial slot-array capacity of a [`MemoTable`] (a power of two).
+const MEMO_INITIAL_SLOTS: usize = 64;
+
+/// One slot of the packed memo table: the spec words inline, the arity
+/// (the same words encode different functions at different arities),
+/// and the realization forest. `val.is_some()` doubles as the
+/// occupancy flag.
+#[derive(Debug, Clone)]
+struct MemoSlot {
+    key: [u64; 4],
+    num_vars: u8,
+    val: Option<Arc<Vec<Arc<RealTree>>>>,
+}
+
+const EMPTY_SLOT: MemoSlot = MemoSlot { key: [0; 4], num_vars: 0, val: None };
+
+/// Fixed multiply-xor mix (the 64-bit finalizer of MurmurHash3, folded
+/// over the key words). Deterministic across runs and processes —
+/// unlike `RandomState` — so probe sequences, and therefore timing,
+/// reproduce exactly.
+fn memo_hash(key: &[u64; 4], num_vars: u8) -> u64 {
+    let mut h = 0x9e37_79b9_7f4a_7c15u64 ^ num_vars as u64;
+    for &w in key {
+        h = (h ^ w).wrapping_mul(0xff51_afd7_ed55_8ccd);
+        h ^= h >> 33;
+    }
+    h
+}
+
+/// Packs a ≤ [`FAST_MAX_VARS`]-input table into an inline slot key.
+fn pack_key(h: &TruthTable) -> [u64; 4] {
+    let mut key = [0u64; 4];
+    key[..h.words().len()].copy_from_slice(h.words());
+    key
+}
+
+/// Per-shape memo table: a packed open-addressing slot array with
+/// inline `[u64; 4]` keys for specs of at most [`FAST_MAX_VARS`]
+/// inputs, plus a conventional spill map for wider specs.
+///
+/// The previous design was `HashMap<TruthTable, Arc<_>>`: every probe
+/// paid SipHash over a heap-allocated key, and every entry carried a
+/// `TruthTable` (a `Vec` header plus a separate word allocation). The
+/// full NPN4 run does 16.7M probes, all at arity ≤ 8 — inlining the
+/// key words into the slot makes a probe one multiply-xor hash plus a
+/// linear scan of cache-resident 48-byte slots, and an entry costs
+/// exactly one slot (amortized ⁸⁄₇ under the 7/8 load cap) plus its
+/// forest `Arc`.
+#[derive(Debug, Default)]
+struct MemoTable {
+    slots: Vec<MemoSlot>,
+    /// Occupied slots (packed entries only; the spill map tracks its
+    /// own length).
+    len: usize,
+    spill: HashMap<TruthTable, Arc<Vec<Arc<RealTree>>>>,
+}
+
+impl MemoTable {
+    /// Probes for `h`, cloning out the forest on a hit.
+    fn get(&self, h: &TruthTable) -> Option<Arc<Vec<Arc<RealTree>>>> {
+        if h.num_vars() > FAST_MAX_VARS {
+            return self.spill.get(h).map(Arc::clone);
+        }
+        if self.slots.is_empty() {
+            return None;
+        }
+        let key = pack_key(h);
+        let nv = h.num_vars() as u8;
+        let mask = self.slots.len() - 1;
+        let mut i = memo_hash(&key, nv) as usize & mask;
+        loop {
+            let slot = &self.slots[i];
+            match &slot.val {
+                None => return None,
+                Some(val) if slot.key == key && slot.num_vars == nv => {
+                    return Some(Arc::clone(val));
+                }
+                Some(_) => i = (i + 1) & mask,
+            }
+        }
+    }
+
+    /// Inserts (or replaces) `h`'s forest, returning how many bytes of
+    /// slot storage the insert newly allocated (nonzero only when the
+    /// table grew).
+    fn insert(&mut self, h: &TruthTable, val: Arc<Vec<Arc<RealTree>>>) -> u64 {
+        if h.num_vars() > FAST_MAX_VARS {
+            self.spill.insert(h.clone(), val);
+            return 0;
+        }
+        // Grow before probing so the insert scan always finds a free
+        // slot; ×8/7 keeps the load factor at most 7/8.
+        let grown = if (self.len + 1) * 8 > self.slots.len() * 7 { self.grow() } else { 0 };
+        let key = pack_key(h);
+        let nv = h.num_vars() as u8;
+        let mask = self.slots.len() - 1;
+        let mut i = memo_hash(&key, nv) as usize & mask;
+        loop {
+            let slot = &mut self.slots[i];
+            match &slot.val {
+                None => {
+                    *slot = MemoSlot { key, num_vars: nv, val: Some(val) };
+                    self.len += 1;
+                    return grown;
+                }
+                Some(_) if slot.key == key && slot.num_vars == nv => {
+                    slot.val = Some(val);
+                    return grown;
+                }
+                Some(_) => i = (i + 1) & mask,
+            }
+        }
+    }
+
+    /// Doubles the slot array (or allocates the initial one) and
+    /// rehashes every occupied slot; returns the newly allocated bytes.
+    fn grow(&mut self) -> u64 {
+        let new_cap = if self.slots.is_empty() { MEMO_INITIAL_SLOTS } else { self.slots.len() * 2 };
+        let old = std::mem::replace(&mut self.slots, vec![EMPTY_SLOT; new_cap]);
+        let mask = new_cap - 1;
+        let old_cap = old.len();
+        for slot in old.into_iter().filter(|s| s.val.is_some()) {
+            let mut i = memo_hash(&slot.key, slot.num_vars) as usize & mask;
+            while self.slots[i].val.is_some() {
+                i = (i + 1) & mask;
+            }
+            self.slots[i] = slot;
+        }
+        ((new_cap - old_cap) * std::mem::size_of::<MemoSlot>()) as u64
+    }
+
+    /// Entries stored (packed plus spilled).
+    #[cfg(test)]
+    fn entries(&self) -> u64 {
+        (self.len + self.spill.len()) as u64
+    }
+}
+
 /// The factorization engine with its memo table.
 ///
 /// One engine instance should be reused across the shapes explored for a
@@ -137,16 +294,16 @@ fn seen_key(g: u8, h1: &TruthTable, h2: &TruthTable) -> SeenKey {
 /// (that reuse is a large part of the paper's speed on DSD-structured
 /// functions).
 ///
-/// Shapes are interned to dense ids and the memo is a per-shape map
-/// keyed by the table alone, so a probe borrows both halves of the key
-/// — the hit path performs no allocation (the previous design cloned
-/// the spec words *and* the shape per call just to build the lookup
-/// key).
+/// Shapes are interned to dense ids and the memo is a per-shape
+/// [`MemoTable`] keyed by the table words alone, so a probe neither
+/// allocates nor chases a heap key (the previous design cloned the
+/// spec words *and* the shape per call just to build the lookup key,
+/// and kept a heap `TruthTable` per entry).
 #[derive(Debug)]
 pub struct Factorizer {
     config: FactorConfig,
     shape_ids: HashMap<TreeShape, u32>,
-    memo: Vec<HashMap<TruthTable, Arc<Vec<Arc<RealTree>>>>>,
+    memo: Vec<MemoTable>,
     /// Number of factorization nodes explored (for the harness).
     nodes_explored: u64,
     /// Number of memo-table hits across [`Factorizer::realize`] calls.
@@ -156,12 +313,13 @@ pub struct Factorizer {
     /// Sampled nanoseconds spent probing the memo (one probe in
     /// [`PROBE_SAMPLE`] is timed and extrapolated).
     memo_probe_ns: u64,
+    /// Bytes of packed memo slot storage currently allocated
+    /// (monotonic: slot arrays only grow).
+    memo_bytes: u64,
+    /// Entries resident across the per-shape memo tables.
+    memo_entries: u64,
     probe_tick: u32,
     poll_tick: u32,
-    /// Test knob: route every split through the scalar reference
-    /// implementation (the differential fuzz tests compare the two).
-    #[allow(dead_code)]
-    force_naive: bool,
 }
 
 impl Factorizer {
@@ -175,9 +333,10 @@ impl Factorizer {
             memo_hits: 0,
             charts_built: 0,
             memo_probe_ns: 0,
+            memo_bytes: 0,
+            memo_entries: 0,
             probe_tick: 0,
             poll_tick: 0,
-            force_naive: false,
         }
     }
 
@@ -189,6 +348,13 @@ impl Factorizer {
     /// Number of memo-table hits (subproblems answered without search).
     pub fn memo_hits(&self) -> u64 {
         self.memo_hits
+    }
+
+    /// Number of decomposition charts built across every split path —
+    /// identical between the fast, wide, and naive routes, so the
+    /// differential suites pin it as a search-shape fingerprint.
+    pub fn charts_built(&self) -> u64 {
+        self.charts_built
     }
 
     /// Enumerates every chain realizing `spec` on the given tree shape
@@ -218,13 +384,21 @@ impl Factorizer {
         let hits_before = self.memo_hits;
         let charts_before = self.charts_built;
         let probe_before = self.memo_probe_ns;
+        let bytes_before = self.memo_bytes;
+        let entries_before = self.memo_entries;
         let result = self.realize(spec, shape);
         // Flush this call's exploration to the global metrics (batched —
         // the recursion itself touches only the engine-local tallies).
+        // The flush runs on the thread that drove the search, so every
+        // delta — including the sampled `factor.memo_probe_ns` and the
+        // `factor.memo_bytes` growth — lands in that worker's
+        // `CounterScope`, not just the global registry.
         stp_telemetry::counter!("factor.subproblems").add(self.nodes_explored - nodes_before);
         stp_telemetry::counter!("factor.memo_hits").add(self.memo_hits - hits_before);
         stp_telemetry::counter!("factor.charts_built").add(self.charts_built - charts_before);
         stp_telemetry::counter!("factor.memo_probe_ns").add(self.memo_probe_ns - probe_before);
+        stp_telemetry::counter!("factor.memo_bytes").add(self.memo_bytes - bytes_before);
+        stp_telemetry::counter!("factor.memo_entries").add(self.memo_entries - entries_before);
         let trees = result?;
         let mut chains = Vec::with_capacity(trees.len());
         let mut seen = HashSet::new();
@@ -263,7 +437,7 @@ impl Factorizer {
         }
         let id = self.memo.len();
         self.shape_ids.insert(shape.clone(), id as u32);
-        self.memo.push(HashMap::new());
+        self.memo.push(MemoTable::default());
         id
     }
 
@@ -273,11 +447,13 @@ impl Factorizer {
         h: &TruthTable,
         shape: &TreeShape,
     ) -> Result<Arc<Vec<Arc<RealTree>>>, SynthesisError> {
+        let sid = self.shape_id(shape);
+        // Time the probe alone (shape interning excluded): one probe in
+        // [`PROBE_SAMPLE`] is measured and extrapolated.
         self.probe_tick = self.probe_tick.wrapping_add(1);
         let t0 =
             if self.probe_tick & (PROBE_SAMPLE - 1) == 0 { Some(Instant::now()) } else { None };
-        let sid = self.shape_id(shape);
-        let hit = self.memo[sid].get(h).map(Arc::clone);
+        let hit = self.memo[sid].get(h);
         if let Some(t0) = t0 {
             self.memo_probe_ns +=
                 (t0.elapsed().as_nanos() as u64).saturating_mul(PROBE_SAMPLE as u64);
@@ -307,7 +483,8 @@ impl Factorizer {
             TreeShape::Node(s1, s2) => self.realize_node(h, s1, s2)?,
         };
         let rc = Arc::new(result);
-        self.memo[sid].insert(h.clone(), Arc::clone(&rc));
+        self.memo_bytes += self.memo[sid].insert(h, Arc::clone(&rc));
+        self.memo_entries += 1;
         Ok(rc)
     }
 
@@ -364,9 +541,27 @@ impl Factorizer {
             if feasible {
                 // The fast path needs the whole spec in 4 words, chart
                 // cell blocks in one word, and ≤ 64 shared assignments.
-                let fast = !self.force_naive && n <= FAST_MAX_VARS && na + nb <= 6 && ns <= 6;
+                // The wide path relaxes all three by one W4: spec in 64
+                // words, cell blocks in one `[u64; 4]`, ≤ 256 shared
+                // assignments. Anything larger falls back to the scalar
+                // reference.
+                let force = self.config.force_naive;
+                let fast = !force && n <= FAST_MAX_VARS && na + nb <= 6 && ns <= 6;
+                let wide = !force && !fast && n <= WIDE_MAX_VARS && na + nb <= 8 && ns <= 8;
                 if fast {
                     self.factor_split_fast(
+                        h,
+                        &a_vars[..na],
+                        &b_vars[..nb],
+                        &s_vars[..ns],
+                        s1,
+                        s2,
+                        symmetric,
+                        &mut seen_triples,
+                        &mut out,
+                    )?;
+                } else if wide {
+                    self.factor_split_wide(
                         h,
                         &a_vars[..na],
                         &b_vars[..nb],
@@ -632,6 +827,200 @@ impl Factorizer {
         Ok(())
     }
 
+    /// Multi-word `factor_split`: the wide twin of
+    /// [`Factorizer::factor_split_fast`] for specs of 9–12 inputs (and
+    /// any split with `|A| + |B| ≤ 8`, `|S| ≤ 8` on a ≤ 12-input
+    /// spec). Charts, labellings and their cell expansions live in
+    /// [`W4`] blocks — one aligned 256-bit slice per shared assignment
+    /// — and the compact spec and operand accumulators are fixed
+    /// 64-word stack buffers, so the split and combination loops still
+    /// perform no heap allocation.
+    ///
+    /// Byte-equal to [`Factorizer::factor_split_naive`] in output,
+    /// order, and counter increments (pinned by the differential fuzz
+    /// tests below and the wide-spec bench differential).
+    #[allow(clippy::too_many_arguments)]
+    fn factor_split_wide(
+        &mut self,
+        h: &TruthTable,
+        a_vars: &[usize],
+        b_vars: &[usize],
+        s_vars: &[usize],
+        s1: &TreeShape,
+        s2: &TreeShape,
+        symmetric: bool,
+        seen_triples: &mut HashSet<SeenKey>,
+        out: &mut Vec<Arc<RealTree>>,
+    ) -> Result<(), SynthesisError> {
+        let n = h.num_vars();
+        let (ra, rb, rs) = (a_vars.len(), b_vars.len(), s_vars.len());
+        let d = ra + rb + rs;
+        let rows = 1usize << ra;
+        let cols = 1usize << rb;
+        let shared = 1usize << rs;
+        let cells = rows * cols;
+        let cells_mask = w4_low_mask(cells);
+        let rows_mask = w4_low_mask(rows);
+        let cols_mask = w4_low_mask(cols);
+
+        // Compact the spec onto `B ++ A ++ S` (row-major charts) and
+        // `A ++ B ++ S` (transposed charts); every chart is then an
+        // aligned 256-bit slice (cells is a power of two ≤ 256).
+        let mut order = [0usize; 16];
+        order[..rb].copy_from_slice(b_vars);
+        order[rb..rb + ra].copy_from_slice(a_vars);
+        order[rb + ra..d].copy_from_slice(s_vars);
+        let mut compact_rc = [0u64; WIDE_WORDS];
+        compact_into_words(h, &order[..d], &mut compact_rc);
+        order[..ra].copy_from_slice(a_vars);
+        order[ra..ra + rb].copy_from_slice(b_vars);
+        let mut compact_cr = [0u64; WIDE_WORDS];
+        compact_into_words(h, &order[..d], &mut compact_cr);
+
+        // Per shared assignment: the chart, the first row/column
+        // labelling option (the other option is its complement), and
+        // the labellings expanded to cell masks.
+        let mut charts = [W4::ZERO; WIDE_SHARED];
+        let mut row0 = [W4::ZERO; WIDE_SHARED];
+        let mut col0 = [W4::ZERO; WIDE_SHARED];
+        let mut rcell0 = [W4::ZERO; WIDE_SHARED];
+        let mut ccell0 = [W4::ZERO; WIDE_SHARED];
+        for s in 0..shared {
+            let chart = slice_w4(&compact_rc, s * cells, cells);
+            let chart_t = slice_w4(&compact_cr, s * cells, cells);
+            self.charts_built += 1;
+            // Two unique quartering parts per axis (Examples 5–6).
+            let Some(r0) = two_pattern_mask_w4(&chart, rows, cols) else {
+                return Ok(());
+            };
+            let Some(c0) = two_pattern_mask_w4(&chart_t, cols, rows) else {
+                return Ok(());
+            };
+            charts[s] = chart;
+            row0[s] = r0;
+            col0[s] = c0;
+            rcell0[s] = rows_to_cells_w4(&r0, rows, cols);
+            ccell0[s] = cols_to_cells_w4(&c0, rows, cols);
+        }
+
+        // Split-level support filter (see the fast path).
+        if !covers_axis_w4(&row0[..shared], ra) || !covers_axis_w4(&col0[..shared], rb) {
+            return Ok(());
+        }
+
+        // Operand layout: compact over `own ++ S`, one labelling mask
+        // per shared assignment at an aligned offset.
+        let k1 = ra + rs;
+        let k2 = rb + rs;
+        let mut vars1 = [0usize; 16];
+        vars1[..ra].copy_from_slice(a_vars);
+        vars1[ra..k1].copy_from_slice(s_vars);
+        let mut vars2 = [0usize; 16];
+        vars2[..rb].copy_from_slice(b_vars);
+        vars2[rb..k2].copy_from_slice(s_vars);
+        let mut plan1 = [(0u8, 0u8); 16];
+        let plan1_len = kernel::front_swap_plan(n, &vars1[..k1], &mut plan1);
+        let mut plan2 = [(0u8, 0u8); 16];
+        let plan2_len = kernel::front_swap_plan(n, &vars2[..k2], &mut plan2);
+        let full1 = kernel::low_mask(k1);
+        let full2 = kernel::low_mask(k2);
+        let nw = kernel::words_len(n);
+
+        // For each candidate operator g, pick one row/column labelling
+        // per shared assignment, consistently.
+        'ops: for &g in &stp_tt::NONTRIVIAL_OPS {
+            // Valid (row label, col label) option pairs per shared
+            // assignment; option 0 is the stored mask, 1 its complement.
+            let mut pairs = [[(0u8, 0u8); 4]; WIDE_SHARED];
+            let mut plen = [0usize; WIDE_SHARED];
+            for s in 0..shared {
+                let rc = rcell0[s];
+                let cc = ccell0[s];
+                let mut np = 0usize;
+                for ri in 0..2u8 {
+                    let r = if ri == 0 { rc } else { !rc & cells_mask };
+                    for ci in 0..2u8 {
+                        let c = if ci == 0 { cc } else { !cc & cells_mask };
+                        let mut expected = W4::ZERO;
+                        if g & 1 != 0 {
+                            expected = expected | (!r & !c & cells_mask);
+                        }
+                        if g & 2 != 0 {
+                            expected = expected | (r & !c);
+                        }
+                        if g & 4 != 0 {
+                            expected = expected | (!r & c);
+                        }
+                        if g & 8 != 0 {
+                            expected = expected | (r & c);
+                        }
+                        if expected == charts[s] {
+                            pairs[s][np] = (ri, ci);
+                            np += 1;
+                        }
+                    }
+                }
+                if np == 0 {
+                    continue 'ops;
+                }
+                plen[s] = np;
+            }
+            // Depth-first combination over shared assignments.
+            let mut choice = [0usize; WIDE_SHARED];
+            'combos: loop {
+                self.check_deadline()?;
+                let mut cbuf1 = [0u64; WIDE_WORDS];
+                let mut cbuf2 = [0u64; WIDE_WORDS];
+                for s in 0..shared {
+                    let (ri, ci) = pairs[s][choice[s]];
+                    let rl = if ri == 0 { row0[s] } else { !row0[s] & rows_mask };
+                    let cl = if ci == 0 { col0[s] } else { !col0[s] & cols_mask };
+                    or_labels_at(&mut cbuf1, s * rows, &rl, rows);
+                    or_labels_at(&mut cbuf2, s * cols, &cl, cols);
+                }
+                // Canonical split: full support on the compact tables
+                // (see the fast path).
+                let canonical = kernel::support_mask(&cbuf1[..kernel::words_len(k1)], k1) == full1
+                    && kernel::support_mask(&cbuf2[..kernel::words_len(k2)], k2) == full2;
+                if canonical {
+                    let mut f1 = [0u64; WIDE_WORDS];
+                    expand_with_plan_words(&cbuf1, k1, n, &plan1[..plan1_len], &mut f1);
+                    let mut f2 = [0u64; WIDE_WORDS];
+                    expand_with_plan_words(&cbuf2, k2, n, &plan2[..plan2_len], &mut f2);
+                    // Mirror dedup for symmetric shapes.
+                    let ordered = !symmetric || f1[..nw] <= f2[..nw];
+                    if ordered && seen_triples.insert(wide_seen_key(g, &f1, &f2, n, nw)) {
+                        let h1 = TruthTable::from_words(n, f1[..nw].to_vec())
+                            .expect("operand arity equals the spec arity");
+                        let h2 = TruthTable::from_words(n, f2[..nw].to_vec())
+                            .expect("operand arity equals the spec arity");
+                        let r1 = self.realize(&h1, s1)?;
+                        if !r1.is_empty() {
+                            let r2 = self.realize(&h2, s2)?;
+                            if self.emit_pairs(g, &r1, &r2, out) {
+                                return Ok(());
+                            }
+                        }
+                    }
+                }
+                // Advance.
+                let mut i = 0;
+                loop {
+                    if i == shared {
+                        break 'combos;
+                    }
+                    choice[i] += 1;
+                    if choice[i] < plen[i] {
+                        break;
+                    }
+                    choice[i] = 0;
+                    i += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Scalar reference `factor_split`, retained as the multi-word
     /// fallback (arities or splits beyond the fast-path bounds) and as
     /// the ground truth for the differential fuzz tests.
@@ -805,6 +1194,12 @@ impl Factorizer {
 /// masks + a front-swap plan), no allocation; requires
 /// `h.num_vars() ≤ 8` so the table fits the buffer.
 fn compact_into(h: &TruthTable, vars: &[usize], buf: &mut [u64; 4]) {
+    compact_into_words(h, vars, buf);
+}
+
+/// Buffer-size-generic twin of [`compact_into`]: `buf` must hold at
+/// least `h`'s words (the wide path hands it a 64-word buffer).
+fn compact_into_words(h: &TruthTable, vars: &[usize], buf: &mut [u64]) {
     let n = h.num_vars();
     let nw = h.words().len();
     buf[..nw].copy_from_slice(h.words());
@@ -845,11 +1240,179 @@ fn compact_into(h: &TruthTable, vars: &[usize], buf: &mut [u64; 4]) {
 /// undoing the front-swap `plan` (computed for the same variable list).
 /// The inverse of [`compact_into`] up to don't-cares.
 fn expand_with_plan(compact: &[u64; 4], k: usize, n: usize, plan: &[(u8, u8)], out: &mut [u64; 4]) {
+    expand_with_plan_words(compact, k, n, plan, out);
+}
+
+/// Buffer-size-generic twin of [`expand_with_plan`].
+fn expand_with_plan_words(compact: &[u64], k: usize, n: usize, plan: &[(u8, u8)], out: &mut [u64]) {
     let nw = kernel::words_len(n);
     kernel::tile_words(&compact[..kernel::words_len(k)], k, n, &mut out[..nw]);
     for &(i, p) in plan.iter().rev() {
         kernel::swap_in_place(&mut out[..nw], n, i as usize, p as usize);
     }
+}
+
+/// Dedup key for a wide-path candidate: identical to [`seen_key`] on
+/// the same operand tables (`f1`/`f2` hold `nw` meaningful words).
+fn wide_seen_key(g: u8, f1: &[u64], f2: &[u64], n: usize, nw: usize) -> SeenKey {
+    if n <= FAST_MAX_VARS {
+        let mut w1 = [0u64; 4];
+        w1[..nw].copy_from_slice(&f1[..nw]);
+        let mut w2 = [0u64; 4];
+        w2[..nw].copy_from_slice(&f2[..nw]);
+        SeenKey::Small(g, w1, w2)
+    } else {
+        SeenKey::Big(g, f1[..nw].to_vec(), f2[..nw].to_vec())
+    }
+}
+
+/// 256-bit variant of [`kernel::low_mask`] (`count ≤ 256`).
+fn w4_low_mask(count: usize) -> W4 {
+    let mut out = [0u64; 4];
+    for (i, w) in out.iter_mut().enumerate() {
+        let lo = i * 64;
+        *w = if count >= lo + 64 {
+            u64::MAX
+        } else if count > lo {
+            kernel::low_mask(count - lo)
+        } else {
+            0
+        };
+    }
+    W4(out)
+}
+
+/// Reads the `cells`-bit field at `bit_off` from a packed buffer into
+/// the low lanes of a [`W4`]. The wide path only asks for
+/// power-of-two-sized fields at multiples of their size, so a field
+/// ≤ 64 bits never straddles a word and a larger field is
+/// word-aligned.
+fn slice_w4(buf: &[u64], bit_off: usize, cells: usize) -> W4 {
+    if cells <= 64 {
+        W4([(buf[bit_off >> 6] >> (bit_off & 63)) & kernel::low_mask(cells), 0, 0, 0])
+    } else {
+        let base = bit_off >> 6;
+        let nw = cells / 64;
+        let mut out = [0u64; 4];
+        out[..nw].copy_from_slice(&buf[base..base + nw]);
+        W4(out)
+    }
+}
+
+/// The `i`-th `width`-bit field of a ≤ 256-bit chart (`width` a power
+/// of two).
+fn field_w4(chart: &W4, i: usize, width: usize) -> W4 {
+    if width <= 64 {
+        let off = i * width;
+        W4([(chart.0[off >> 6] >> (off & 63)) & kernel::low_mask(width), 0, 0, 0])
+    } else if width == 128 {
+        W4([chart.0[2 * i], chart.0[2 * i + 1], 0, 0])
+    } else {
+        *chart
+    }
+}
+
+/// [`W4`] twin of [`two_pattern_mask`]: first labelling option over
+/// `count` axis elements of `width`-bit patterns, or `None` when more
+/// than two distinct patterns exist.
+fn two_pattern_mask_w4(chart: &W4, count: usize, width: usize) -> Option<W4> {
+    let first = field_w4(chart, 0, width);
+    let mut second: Option<W4> = None;
+    let mut labels = W4::ZERO;
+    for i in 1..count {
+        let p = field_w4(chart, i, width);
+        if p == first {
+            continue;
+        }
+        match second {
+            None => {
+                second = Some(p);
+                labels.0[i >> 6] |= 1u64 << (i & 63);
+            }
+            Some(sp) if p == sp => labels.0[i >> 6] |= 1u64 << (i & 63),
+            Some(_) => return None,
+        }
+    }
+    Some(labels)
+}
+
+/// ORs `val`'s low `width` bits into field `i` of `buf` (`width` a
+/// power of two ≤ 256).
+fn or_field_w4(buf: &mut W4, i: usize, width: usize, val: &W4) {
+    if width <= 64 {
+        let off = i * width;
+        buf.0[off >> 6] |= (val.0[0] & kernel::low_mask(width)) << (off & 63);
+    } else {
+        let nw = width / 64;
+        for (dst, src) in buf.0[i * nw..(i + 1) * nw].iter_mut().zip(val.0.iter()) {
+            *dst |= src;
+        }
+    }
+}
+
+/// ORs the low `count` bits of `labels` into `buf` at `bit_off`. The
+/// wide path's operand buffers place `count`-bit fields at multiples
+/// of `count`, so the same alignment argument as [`slice_w4`] applies.
+fn or_labels_at(buf: &mut [u64], bit_off: usize, labels: &W4, count: usize) {
+    if count <= 64 {
+        buf[bit_off >> 6] |= (labels.0[0] & kernel::low_mask(count)) << (bit_off & 63);
+    } else {
+        let base = bit_off >> 6;
+        for (dst, src) in buf[base..base + count / 64].iter_mut().zip(labels.0.iter()) {
+            *dst |= src;
+        }
+    }
+}
+
+/// Expands a row labelling (bit `r` over `rows`) to a cell mask (bit
+/// `r·cols + c` set for every `c` when row `r` is labelled).
+fn rows_to_cells_w4(labels: &W4, rows: usize, cols: usize) -> W4 {
+    let full = w4_low_mask(cols);
+    let mut out = W4::ZERO;
+    for r in 0..rows {
+        if labels.0[r >> 6] >> (r & 63) & 1 == 1 {
+            or_field_w4(&mut out, r, cols, &full);
+        }
+    }
+    out
+}
+
+/// Expands a column labelling (bit `c` over `cols`) to a cell mask by
+/// replicating it across all `rows` rows.
+fn cols_to_cells_w4(labels: &W4, rows: usize, cols: usize) -> W4 {
+    let mut out = W4::ZERO;
+    for r in 0..rows {
+        or_field_w4(&mut out, r, cols, labels);
+    }
+    out
+}
+
+/// [`W4`] twin of [`covers_axis_mask`]: `labels[s]` is the first
+/// labelling option for shared assignment `s` over `2^k` axis
+/// elements.
+fn covers_axis_w4(labels: &[W4], k: usize) -> bool {
+    let count = 1usize << k;
+    let full = (1u32 << k) - 1;
+    let bit = |l: &W4, m: usize| l.0[m >> 6] >> (m & 63) & 1;
+    let mut covered = 0u32;
+    for l in labels {
+        for b in 0..k {
+            if covered >> b & 1 == 1 {
+                continue;
+            }
+            let stride = 1usize << b;
+            for m in 0..count {
+                if m & stride == 0 && bit(l, m) != bit(l, m | stride) {
+                    covered |= 1 << b;
+                    break;
+                }
+            }
+        }
+        if covered == full {
+            return true;
+        }
+    }
+    covered == full
 }
 
 /// Reads `width ≤ 64` bits at `bit_off` from a packed buffer. The fast
@@ -1407,8 +1970,8 @@ mod tests {
                 continue;
             }
             let mut fast = Factorizer::new(FactorConfig::default());
-            let mut naive = Factorizer::new(FactorConfig::default());
-            naive.force_naive = true;
+            let mut naive =
+                Factorizer::new(FactorConfig { force_naive: true, ..FactorConfig::default() });
             for shape in shapes_with_gates(d.saturating_sub(1)) {
                 let chains_f: Vec<String> = fast
                     .chains_on_shape(spec, &shape)
@@ -1427,6 +1990,254 @@ mod tests {
             assert_eq!(fast.nodes_explored(), naive.nodes_explored(), "spec={}", spec.to_hex());
             assert_eq!(fast.memo_hits(), naive.memo_hits(), "spec={}", spec.to_hex());
             assert_eq!(fast.charts_built, naive.charts_built, "spec={}", spec.to_hex());
+        }
+    }
+
+    #[test]
+    fn fuzz_wide_split_matches_naive_reference() {
+        // The wide-path twin of `fuzz_fast_split_matches_naive_reference`:
+        // random tables over 7–11 variables (multi-word specs) and random
+        // splits within the wide-path bounds (|A| + |B| ≤ 8, so charts
+        // span up to 256 bits and labellings up to 128). The shared set
+        // is capped at 3 for the same combination-explosion reason as the
+        // fast fuzz.
+        let mut rng = Lcg(0xfac7_0123_5eed_0002);
+        let leaf = TreeShape::Leaf;
+        let mut tested = 0usize;
+        let mut multiword_axes = 0usize;
+        let mut attempts = 0usize;
+        while tested < 120 {
+            attempts += 1;
+            assert!(attempts < 40_000, "fuzz split sampling starved");
+            let n = 7 + (rng.next() % 5) as usize;
+            let h = random_table(&mut rng, n);
+            let support = h.support();
+            if support.len() < 2 {
+                continue;
+            }
+            let (mut a, mut b, mut s) = (Vec::new(), Vec::new(), Vec::new());
+            for &v in &support {
+                match rng.next() % 3 {
+                    0 => a.push(v),
+                    1 => b.push(v),
+                    _ => s.push(v),
+                }
+            }
+            if a.len() + s.len() == 0 || b.len() + s.len() == 0 {
+                continue;
+            }
+            if a.len() + b.len() > 8 || s.len() > 3 {
+                continue;
+            }
+            tested += 1;
+            if a.len() + b.len() > 6 {
+                // Charts wider than 64 cells: the W4 multi-lane branches.
+                multiword_axes += 1;
+            }
+            let symmetric = rng.next() & 1 == 1;
+            let mut wide = Factorizer::new(FactorConfig::default());
+            let mut naive = Factorizer::new(FactorConfig::default());
+            let mut seen_w = HashSet::new();
+            let mut out_w = Vec::new();
+            let mut seen_n = HashSet::new();
+            let mut out_n = Vec::new();
+            wide.factor_split_wide(
+                &h,
+                &a,
+                &b,
+                &s,
+                &leaf,
+                &leaf,
+                symmetric,
+                &mut seen_w,
+                &mut out_w,
+            )
+            .unwrap();
+            naive
+                .factor_split_naive(
+                    &h,
+                    &a,
+                    &b,
+                    &s,
+                    &leaf,
+                    &leaf,
+                    symmetric,
+                    &mut seen_n,
+                    &mut out_n,
+                )
+                .unwrap();
+            let ctx = format!("n={n} a={a:?} b={b:?} s={s:?} spec={}", h.to_hex());
+            assert_eq!(out_w, out_n, "candidates differ: {ctx}");
+            assert_eq!(seen_w, seen_n, "seen triples differ: {ctx}");
+            assert_eq!(wide.charts_built, naive.charts_built, "chart counts differ: {ctx}");
+            assert_eq!(wide.nodes_explored, naive.nodes_explored, "node counts differ: {ctx}");
+        }
+        assert!(multiword_axes >= 20, "too few multi-lane cases: {multiword_axes}");
+    }
+
+    fn balanced_shape(leaves: usize) -> TreeShape {
+        if leaves == 1 {
+            TreeShape::Leaf
+        } else {
+            TreeShape::node(balanced_shape(leaves / 2), balanced_shape(leaves - leaves / 2))
+        }
+    }
+
+    #[test]
+    fn fuzz_full_engine_wide_matches_naive() {
+        // End-to-end differential for the 9+-input wide path: structured
+        // (factorization-friendly) specs on fixed shapes whose leaf
+        // excess admits shared variables, so the top-level splits with
+        // |A| + |B| ≤ 8 actually route through `factor_split_wide` while
+        // the `force_naive` engine replays everything through the scalar
+        // reference. Chains, counters, and chart counts must agree.
+        let mut specs: Vec<TruthTable> = Vec::new();
+        specs.push(
+            TruthTable::from_fn(9, |a| {
+                (a[0] & a[1]) ^ (a[2] | a[3]) ^ (a[4] & a[5]) ^ (a[6] | a[7]) ^ a[8]
+            })
+            .unwrap(),
+        );
+        specs.push(
+            TruthTable::from_fn(10, |a| {
+                ((a[0] ^ a[1]) & (a[2] ^ a[3])) | ((a[4] & a[5]) ^ (a[6] & a[7]) & (a[8] | a[9]))
+            })
+            .unwrap(),
+        );
+        for spec in &specs {
+            let d = spec.support().len();
+            let shape = balanced_shape(d + 1);
+            let mut wide =
+                Factorizer::new(FactorConfig { max_realizations: 64, ..FactorConfig::default() });
+            let mut naive = Factorizer::new(FactorConfig {
+                max_realizations: 64,
+                force_naive: true,
+                ..FactorConfig::default()
+            });
+            let chains_w: Vec<String> = wide
+                .chains_on_shape(spec, &shape)
+                .unwrap()
+                .iter()
+                .map(|c| format!("{c}"))
+                .collect();
+            let chains_n: Vec<String> = naive
+                .chains_on_shape(spec, &shape)
+                .unwrap()
+                .iter()
+                .map(|c| format!("{c}"))
+                .collect();
+            assert_eq!(chains_w, chains_n, "spec arity {d}");
+            assert_eq!(wide.nodes_explored(), naive.nodes_explored(), "spec arity {d}");
+            assert_eq!(wide.memo_hits(), naive.memo_hits(), "spec arity {d}");
+            assert_eq!(wide.charts_built, naive.charts_built, "spec arity {d}");
+            assert!(wide.charts_built > 0, "wide engine built no charts at arity {d}");
+        }
+    }
+
+    #[test]
+    fn memo_table_packed_roundtrip_growth_and_bytes() {
+        let mut table = MemoTable::default();
+        let forest = |v: usize| Arc::new(vec![Arc::new(RealTree::Leaf(v))]);
+        let mut rng = Lcg(0x9e37_79b9_0000_0001);
+        let mut keys = Vec::new();
+        let mut bytes = 0u64;
+        for i in 0..200usize {
+            let n = 2 + (rng.next() % 7) as usize;
+            let h = random_table(&mut rng, n);
+            bytes += table.insert(&h, forest(i));
+            keys.push((h, i));
+        }
+        // Bytes grew monotonically with slot-array capacity and the load
+        // factor stayed under 7/8.
+        let cap = bytes as usize / std::mem::size_of::<MemoSlot>();
+        assert!(cap.is_power_of_two(), "slot capacity {cap} not a power of two");
+        assert!(table.len * 8 <= cap * 7, "load factor exceeded 7/8: {}/{cap}", table.len);
+        // Every inserted key probes back to its latest forest (duplicate
+        // tables along the way replace, never duplicate).
+        let mut latest: HashMap<Vec<u64>, usize> = HashMap::new();
+        for (h, i) in &keys {
+            let mut k = vec![h.num_vars() as u64];
+            k.extend_from_slice(h.words());
+            latest.insert(k, *i);
+        }
+        assert_eq!(table.entries(), latest.len() as u64);
+        for (h, _) in &keys {
+            let mut k = vec![h.num_vars() as u64];
+            k.extend_from_slice(h.words());
+            let want = latest[&k];
+            let got = table.get(h).expect("inserted key must probe back");
+            assert_eq!(*got, *forest(want), "wrong forest for {}", h.to_hex());
+        }
+        // A table that was never probed for a missing key still answers
+        // misses with None.
+        let missing = random_table(&mut rng, 8);
+        let mut k = vec![missing.num_vars() as u64];
+        k.extend_from_slice(missing.words());
+        if !latest.contains_key(&k) {
+            assert!(table.get(&missing).is_none());
+        }
+    }
+
+    #[test]
+    fn memo_table_spills_wide_specs() {
+        let mut table = MemoTable::default();
+        let mut rng = Lcg(0x5b11_a5e5_0000_0002);
+        let wide = random_table(&mut rng, 9);
+        let narrow = random_table(&mut rng, 4);
+        let f1 = Arc::new(vec![Arc::new(RealTree::Leaf(1))]);
+        let f2 = Arc::new(vec![Arc::new(RealTree::Leaf(2))]);
+        assert_eq!(table.insert(&wide, Arc::clone(&f1)), 0, "spill inserts allocate no slots");
+        table.insert(&narrow, Arc::clone(&f2));
+        assert_eq!(*table.get(&wide).unwrap(), *f1);
+        assert_eq!(*table.get(&narrow).unwrap(), *f2);
+        assert_eq!(table.entries(), 2);
+        assert_eq!(table.len, 1, "only the narrow spec lands in the packed array");
+    }
+
+    #[test]
+    fn memo_table_distinguishes_arity_of_equal_words() {
+        // The same words encode different functions at different
+        // arities; both entries must coexist in the packed array.
+        let mut table = MemoTable::default();
+        let h3 = TruthTable::from_words(3, vec![0x5a]).unwrap();
+        let h6 = TruthTable::from_words(6, vec![0x5a]).unwrap();
+        let f3 = Arc::new(vec![Arc::new(RealTree::Leaf(3))]);
+        let f6 = Arc::new(vec![Arc::new(RealTree::Leaf(6))]);
+        table.insert(&h3, Arc::clone(&f3));
+        table.insert(&h6, Arc::clone(&f6));
+        assert_eq!(*table.get(&h3).unwrap(), *f3);
+        assert_eq!(*table.get(&h6).unwrap(), *f6);
+        assert_eq!(table.entries(), 2);
+    }
+
+    #[test]
+    fn memo_probe_ns_attributes_to_the_driving_workers_scope() {
+        // Two workers run the same search under their own
+        // `CounterScope`s: each scope must see its own engine's memo
+        // traffic (probes, bytes, entries), not a share of the other's —
+        // the flush in `chains_on_shape` runs on the worker thread.
+        let spec = TruthTable::from_hex(4, "8ff8").unwrap();
+        let run = || {
+            let scope = stp_telemetry::CounterScope::enter();
+            let mut engine = Factorizer::new(FactorConfig::default());
+            for shape in shapes_with_gates(3) {
+                let _ = engine.chains_on_shape(&spec, &shape).unwrap();
+            }
+            (scope.finish(), engine)
+        };
+        let (a, b) = std::thread::scope(|s| {
+            let ta = s.spawn(run);
+            let tb = s.spawn(run);
+            (ta.join().unwrap(), tb.join().unwrap())
+        });
+        for (got, engine) in [&a, &b] {
+            assert_eq!(got.get("factor.subproblems").copied(), Some(engine.nodes_explored));
+            assert_eq!(got.get("factor.memo_hits").copied(), Some(engine.memo_hits));
+            assert_eq!(got.get("factor.memo_bytes").copied(), Some(engine.memo_bytes));
+            assert_eq!(got.get("factor.memo_entries").copied(), Some(engine.memo_entries));
+            // The sampled probe timing lands in the same scope (it may
+            // legitimately be zero when no probe hit the sample tick).
+            assert_eq!(got.get("factor.memo_probe_ns").copied().unwrap_or(0), engine.memo_probe_ns);
         }
     }
 }

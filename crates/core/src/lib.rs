@@ -50,7 +50,7 @@ pub use parallel::{jobs_from_env, jobs_from_env_checked, resolve_jobs, run_insta
 pub use synth::{
     objective_from_spec, synthesize, synthesize_default, synthesize_multi,
     synthesize_multi_npn_with_store, synthesize_npn, synthesize_npn_with_store,
-    synthesize_with_objective, warm_npn4, CostObjective, DepthThenGatesObjective,
+    synthesize_with_objective, warm_classes, warm_npn4, CostObjective, DepthThenGatesObjective,
     GateCountObjective, GateProfileObjective, MultiSpec, MultiSynthesisResult, SynthesisConfig,
     SynthesisResult, WarmReport,
 };

@@ -231,6 +231,7 @@ fn build_engines(
         max_realizations: config.max_solutions,
         deadline: config.deadline,
         cancel: Some(Arc::clone(cancel)),
+        ..FactorConfig::default()
     };
     (0..jobs.max(1)).map(|_| Factorizer::new(factor_config.clone())).collect()
 }
@@ -964,10 +965,10 @@ pub fn synthesize_npn_with_store(
     }
 }
 
-/// Outcome tally of [`warm_npn4`].
+/// Outcome tally of [`warm_classes`] / [`warm_npn4`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct WarmReport {
-    /// NPN class representatives visited (all arities 0–4).
+    /// NPN class representatives visited.
     pub classes: usize,
     /// Classes synthesized fresh during this warm pass.
     pub solved: usize,
@@ -1009,13 +1010,38 @@ pub fn warm_npn4(
     per_class_timeout: Option<Duration>,
 ) -> Result<WarmReport, SynthesisError> {
     let _span = stp_telemetry::span!("store.warm_npn4");
+    let reps: Vec<TruthTable> = (0..=4).flat_map(stp_tt::npn_classes).collect();
+    warm_classes(store, config, per_class_timeout, &reps)
+}
+
+/// Warms `store` with an arbitrary list of class representatives — the
+/// general form of [`warm_npn4`] used by the `warm` shard farm to cover
+/// seeded NPN5/NPN6 samples (or any future class list).
+///
+/// Each entry of `reps` is one class to warm; representatives need not
+/// be canonical (each is canonicalized on its way into the store, so a
+/// list of raw functions warms their classes). Scheduling, per-class
+/// timeouts, and the solved/cached/exhausted classification follow
+/// [`warm_npn4`] exactly.
+///
+/// # Errors
+///
+/// Propagates any non-timeout engine failure; a panicking class
+/// surfaces as [`SynthesisError::JobPanicked`] after the surviving
+/// classes finish warming.
+pub fn warm_classes(
+    store: &Store,
+    config: &SynthesisConfig,
+    per_class_timeout: Option<Duration>,
+    reps: &[TruthTable],
+) -> Result<WarmReport, SynthesisError> {
+    let _span = stp_telemetry::span!("store.warm_classes");
     /// How one class participated in the warm pass.
     enum ClassOutcome {
         Solved,
         Cached,
         Exhausted,
     }
-    let reps: Vec<TruthTable> = (0..=4).flat_map(stp_tt::npn_classes).collect();
     let budget = crate::parallel::JobBudget::new(config.jobs);
     let results = crate::parallel::run_instances(&budget, reps.len(), |idx, shape_jobs| {
         let scope = stp_telemetry::CounterScope::enter();

@@ -287,6 +287,9 @@ pub struct Store {
     misses: AtomicU64,
     inserts: AtomicU64,
     trivial_hits: AtomicU64,
+    /// Class records folded in through [`Store::merge`] /
+    /// [`Store::merge_entry`].
+    merged_classes: AtomicU64,
     /// Class records migrated from the legacy v1 on-disk format (see
     /// [`Store::parse`] / [`Store::open`]).
     migrated_v1: AtomicU64,
@@ -308,6 +311,28 @@ impl Default for Store {
 /// Default shard count: enough to keep a machine's worth of rewrite
 /// workers off each other's locks, small enough to stay cache-friendly.
 const DEFAULT_SHARDS: usize = 16;
+
+/// Whether `challenger` replaces `incumbent` for `key` under the merge
+/// order (see [`Store::merge`]): solved beats exhausted, cheaper beats
+/// costlier, larger failed budget beats smaller, and solved ties break
+/// on the serialized entry text. Antisymmetric, so folding the same
+/// records in any order converges on the same store.
+fn merge_wins(key: &ClassKey, challenger: &Entry, incumbent: &Entry) -> bool {
+    match (challenger, incumbent) {
+        (Entry::Solved(a), Entry::Solved(b)) => {
+            let cost = |chains: &[Chain]| {
+                chains.iter().map(Chain::num_gates).min().expect("solved entries are non-empty")
+            };
+            let (ca, cb) = (cost(a), cost(b));
+            ca < cb
+                || (ca == cb
+                    && persist::entry_block(key, challenger) < persist::entry_block(key, incumbent))
+        }
+        (Entry::Solved(_), Entry::Exhausted { .. }) => true,
+        (Entry::Exhausted { .. }, Entry::Solved(_)) => false,
+        (Entry::Exhausted { budget: a }, Entry::Exhausted { budget: b }) => a > b,
+    }
+}
 
 /// Best-effort text of a caught panic payload.
 fn panic_text(payload: &(dyn std::any::Any + Send)) -> &str {
@@ -336,6 +361,7 @@ impl Store {
             misses: AtomicU64::new(0),
             inserts: AtomicU64::new(0),
             trivial_hits: AtomicU64::new(0),
+            merged_classes: AtomicU64::new(0),
             migrated_v1: AtomicU64::new(0),
             legacy_loaded: AtomicBool::new(false),
             journal: Mutex::new(None),
@@ -370,6 +396,12 @@ impl Store {
     /// canonicalization and no store round-trip.
     pub fn trivial_hits(&self) -> u64 {
         self.trivial_hits.load(Ordering::Relaxed)
+    }
+
+    /// Class records folded into this store by [`Store::merge`] /
+    /// [`Store::merge_entry`] (every record offered, kept or not).
+    pub fn merged_classes(&self) -> u64 {
+        self.merged_classes.load(Ordering::Relaxed)
     }
 
     /// Class records this store absorbed from the legacy v1 on-disk
@@ -457,6 +489,77 @@ impl Store {
         map.insert(key, slot);
         self.inserts.fetch_add(1, Ordering::Relaxed);
         stp_telemetry::counter!("store.inserts").inc();
+    }
+
+    /// Folds one class record into the store under the merge conflict
+    /// rules (see [`Store::merge`]). Tallied in
+    /// [`Store::merged_classes`] and the global `store.merged_classes`
+    /// counter whether the record wins or loses.
+    pub fn merge_entry(&self, key: ClassKey, entry: Entry) {
+        self.merged_classes.fetch_add(1, Ordering::Relaxed);
+        stp_telemetry::counter!("store.merged_classes").inc();
+        let replace = match self.get_class(&key) {
+            None => true,
+            Some(current) => merge_wins(&key, &entry, &current),
+        };
+        if replace {
+            self.insert_class(key, entry);
+        }
+    }
+
+    /// Folds every ready entry of `other` into this store.
+    ///
+    /// Conflicts resolve by a total order per class, so merging is
+    /// commutative and associative — N shard snapshots fold into
+    /// byte-identical saves regardless of merge order:
+    ///
+    /// * a class present on one side only is kept;
+    /// * [`Entry::Solved`] beats [`Entry::Exhausted`] (a solution
+    ///   subsumes any failure record);
+    /// * two solved entries keep the cheaper one (fewest gates in the
+    ///   best chain; ties broken by the serialized entry text, so equal
+    ///   solution sets are idempotent);
+    /// * two exhausted entries keep the larger failed budget.
+    pub fn merge(&self, other: &Store) {
+        for (key, entry) in other.snapshot() {
+            self.merge_entry(key, entry);
+        }
+    }
+
+    /// Loads `paths` as shard snapshots and folds them into one fresh
+    /// in-memory store (see [`Store::merge`]).
+    ///
+    /// # Errors
+    ///
+    /// Any load failure, carrying the offending path for I/O errors —
+    /// a torn or truncated shard file aborts the merge rather than
+    /// silently dropping classes.
+    pub fn merge_files<P: AsRef<std::path::Path>>(paths: &[P]) -> Result<Store, StoreFileError> {
+        let merged = Store::new();
+        for path in paths {
+            let path = path.as_ref();
+            // Parse-level failures (a torn header, a truncated block)
+            // name the shard file: with N shards on the command line,
+            // "corrupt at line 7" alone does not say *which* file to
+            // re-warm.
+            let shard = Store::load(path).map_err(|e| match e {
+                e @ StoreFileError::Io { .. } => e,
+                StoreFileError::Corrupt { line, message } => StoreFileError::Corrupt {
+                    line,
+                    message: format!("{}: {message}", path.display()),
+                },
+                StoreFileError::MissingHeader => StoreFileError::Corrupt {
+                    line: 1,
+                    message: format!("{}: missing store header", path.display()),
+                },
+                StoreFileError::VersionMismatch { found } => StoreFileError::Corrupt {
+                    line: 1,
+                    message: format!("{}: unsupported store version {found}", path.display()),
+                },
+            })?;
+            merged.merge(&shard);
+        }
+        Ok(merged)
     }
 
     /// Reads the current entry for the single-output class `rep`, if
@@ -1150,5 +1253,165 @@ mod tests {
             })
             .unwrap();
         assert!(matches!(res, Resolution::Solved(_)));
+    }
+
+    /// A 2-input chain of `gates` cascaded AND gates (cost = `gates`).
+    fn cascade_chain(gates: usize) -> Chain {
+        let mut chain = Chain::new(2);
+        let mut last = 1;
+        for _ in 0..gates {
+            last = chain.add_gate(0, last, 0x8).unwrap();
+        }
+        chain.add_output(OutputRef::signal(last));
+        chain
+    }
+
+    #[test]
+    fn merge_keeps_the_cheaper_solved_entry() {
+        let rep = TruthTable::from_hex(2, "8").unwrap();
+        for (first, second) in [(1usize, 3usize), (3, 1)] {
+            let a = Store::new();
+            a.insert(rep.clone(), Entry::Solved(vec![cascade_chain(first)]));
+            let b = Store::new();
+            b.insert(rep.clone(), Entry::Solved(vec![cascade_chain(second)]));
+            a.merge(&b);
+            let Some(Entry::Solved(chains)) = a.get(&rep) else { panic!("expected solved") };
+            assert_eq!(chains[0].num_gates(), 1, "the cheaper solution must win either way");
+            assert_eq!(a.merged_classes(), 1);
+        }
+    }
+
+    #[test]
+    fn merge_prefers_solved_over_exhausted() {
+        let rep = TruthTable::from_hex(2, "8").unwrap();
+        let solved = Entry::Solved(vec![cascade_chain(2)]);
+        let exhausted = Entry::Exhausted { budget: Duration::from_secs(1000) };
+        for (mine, theirs) in
+            [(solved.clone(), exhausted.clone()), (exhausted.clone(), solved.clone())]
+        {
+            let a = Store::new();
+            a.insert(rep.clone(), mine);
+            let b = Store::new();
+            b.insert(rep.clone(), theirs);
+            a.merge(&b);
+            assert_eq!(a.get(&rep), Some(solved.clone()), "a solution subsumes any failure");
+        }
+    }
+
+    #[test]
+    fn merge_keeps_the_larger_exhausted_budget() {
+        let rep = TruthTable::from_hex(2, "8").unwrap();
+        for (mine, theirs) in [(10u64, 40u64), (40, 10)] {
+            let a = Store::new();
+            a.insert(rep.clone(), Entry::Exhausted { budget: Duration::from_millis(mine) });
+            let b = Store::new();
+            b.insert(rep.clone(), Entry::Exhausted { budget: Duration::from_millis(theirs) });
+            a.merge(&b);
+            assert_eq!(
+                a.get(&rep),
+                Some(Entry::Exhausted { budget: Duration::from_millis(40) }),
+                "the larger failed budget must win either way"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_carries_disjoint_classes_both_ways() {
+        let a = Store::new();
+        a.insert(TruthTable::from_hex(2, "8").unwrap(), Entry::Solved(vec![cascade_chain(1)]));
+        let b = Store::new();
+        b.insert(
+            TruthTable::from_hex(3, "96").unwrap(),
+            Entry::Exhausted { budget: Duration::from_secs(1) },
+        );
+        a.merge(&b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.merged_classes(), 1, "only the foreign class was offered");
+    }
+
+    /// Deterministic 64-bit LCG (no external dependency).
+    struct Lcg(u64);
+
+    impl Lcg {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            self.0 ^ (self.0 >> 29)
+        }
+    }
+
+    #[test]
+    fn fuzz_merge_is_order_independent() {
+        // Random overlapping shard stores must fold into byte-identical
+        // v2 snapshots regardless of merge order (the acceptance rule
+        // `merge(save(a), save(b)) == merge(save(b), save(a))`, extended
+        // to three shards and both association orders).
+        let mut rng = Lcg(0x6d65_7267_655f_0001);
+        for _round in 0..20 {
+            let keys: Vec<TruthTable> = (0..6)
+                .map(|i| TruthTable::from_words(3, vec![(rng.next() % 0xff) | (i << 8)]).unwrap())
+                .collect();
+            let shards: Vec<Store> = (0..3)
+                .map(|_| {
+                    let s = Store::new();
+                    for key in &keys {
+                        match rng.next() % 4 {
+                            0 => {}
+                            1 => s.insert(
+                                key.clone(),
+                                Entry::Exhausted {
+                                    budget: Duration::from_millis(rng.next() % 500),
+                                },
+                            ),
+                            _ => s.insert(
+                                key.clone(),
+                                Entry::Solved(vec![cascade_chain(1 + (rng.next() % 4) as usize)]),
+                            ),
+                        }
+                    }
+                    s
+                })
+                .collect();
+            let fold = |order: &[usize]| {
+                let acc = Store::new();
+                for &i in order {
+                    acc.merge(&shards[i]);
+                }
+                acc.save_to_string()
+            };
+            let baseline = fold(&[0, 1, 2]);
+            for order in [[0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]] {
+                assert_eq!(fold(&order), baseline, "merge order changed the snapshot");
+            }
+        }
+    }
+
+    #[test]
+    fn merge_files_folds_shards_and_rejects_torn_ones() {
+        let dir =
+            std::env::temp_dir().join(format!("stp-store-merge-files-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = Store::new();
+        a.insert(TruthTable::from_hex(2, "8").unwrap(), Entry::Solved(vec![cascade_chain(1)]));
+        let b = Store::new();
+        b.insert(TruthTable::from_hex(2, "6").unwrap(), Entry::Solved(vec![cascade_chain(2)]));
+        let pa = dir.join("shard0.store");
+        let pb = dir.join("shard1.store");
+        a.save(&pa).unwrap();
+        b.save(&pb).unwrap();
+        let merged = Store::merge_files(&[&pa, &pb]).unwrap();
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged.merged_classes(), 2);
+        // Truncate a shard mid-block (a torn write) and re-merge: the
+        // error must carry the torn shard's path.
+        let text = std::fs::read_to_string(&pb).unwrap();
+        std::fs::write(&pb, &text[..text.len() / 2]).unwrap();
+        let err = Store::merge_files(&[&pa, &pb]).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("shard1.store"), "torn-shard error must carry the path, got `{msg}`");
+        // A shard killed before writing the header is equally named.
+        std::fs::write(&pb, "").unwrap();
+        let err = Store::merge_files(&[&pa, &pb]).unwrap_err();
+        assert!(err.to_string().contains("shard1.store"), "got `{err}`");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -28,6 +28,130 @@ pub const VAR_MASK: [u64; 6] = [
     0xFFFF_FFFF_0000_0000,
 ];
 
+/// A 4-lane wide word: four `u64` table words processed as one unit.
+///
+/// Every lane operation is a plain per-lane loop over a fixed-size
+/// array — the pattern LLVM auto-vectorizes into a single 256-bit (or
+/// two 128-bit) register operation on every mainstream target, with a
+/// guaranteed scalar fallback elsewhere. No intrinsics, no `cfg`
+/// ladders, no new dependencies; the 32-byte alignment keeps loads and
+/// stores on vector-register boundaries.
+///
+/// The kernels below use `W4` to process four packed table words per
+/// iteration wherever the word count allows (tables of 8+ variables
+/// are always a multiple of four words; smaller tables fall back to
+/// the scalar tail loops).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[repr(align(32))]
+pub struct W4(pub [u64; 4]);
+
+impl W4 {
+    /// All lanes zero.
+    pub const ZERO: W4 = W4([0; 4]);
+
+    /// Broadcasts one word into all four lanes.
+    #[inline(always)]
+    pub const fn splat(w: u64) -> W4 {
+        W4([w, w, w, w])
+    }
+
+    /// Loads four consecutive words from `src` (`src.len() >= 4`).
+    #[inline(always)]
+    pub fn load(src: &[u64]) -> W4 {
+        W4([src[0], src[1], src[2], src[3]])
+    }
+
+    /// Stores the four lanes into `dst` (`dst.len() >= 4`).
+    #[inline(always)]
+    pub fn store(self, dst: &mut [u64]) {
+        dst[..4].copy_from_slice(&self.0);
+    }
+
+    /// `true` when any lane has a set bit.
+    #[inline(always)]
+    pub const fn any(self) -> bool {
+        (self.0[0] | self.0[1] | self.0[2] | self.0[3]) != 0
+    }
+
+    /// OR-reduction of the four lanes into one word.
+    #[inline(always)]
+    pub const fn or_lanes(self) -> u64 {
+        self.0[0] | self.0[1] | self.0[2] | self.0[3]
+    }
+}
+
+impl std::ops::BitAnd for W4 {
+    type Output = W4;
+    #[inline(always)]
+    fn bitand(self, rhs: W4) -> W4 {
+        let mut out = [0u64; 4];
+        for (o, (a, b)) in out.iter_mut().zip(self.0.iter().zip(rhs.0.iter())) {
+            *o = a & b;
+        }
+        W4(out)
+    }
+}
+
+impl std::ops::BitOr for W4 {
+    type Output = W4;
+    #[inline(always)]
+    fn bitor(self, rhs: W4) -> W4 {
+        let mut out = [0u64; 4];
+        for (o, (a, b)) in out.iter_mut().zip(self.0.iter().zip(rhs.0.iter())) {
+            *o = a | b;
+        }
+        W4(out)
+    }
+}
+
+impl std::ops::BitXor for W4 {
+    type Output = W4;
+    #[inline(always)]
+    fn bitxor(self, rhs: W4) -> W4 {
+        let mut out = [0u64; 4];
+        for (o, (a, b)) in out.iter_mut().zip(self.0.iter().zip(rhs.0.iter())) {
+            *o = a ^ b;
+        }
+        W4(out)
+    }
+}
+
+impl std::ops::Not for W4 {
+    type Output = W4;
+    #[inline(always)]
+    fn not(self) -> W4 {
+        let mut out = [0u64; 4];
+        for (o, a) in out.iter_mut().zip(self.0.iter()) {
+            *o = !a;
+        }
+        W4(out)
+    }
+}
+
+impl std::ops::Shl<u32> for W4 {
+    type Output = W4;
+    #[inline(always)]
+    fn shl(self, s: u32) -> W4 {
+        let mut out = [0u64; 4];
+        for (o, a) in out.iter_mut().zip(self.0.iter()) {
+            *o = a << s;
+        }
+        W4(out)
+    }
+}
+
+impl std::ops::Shr<u32> for W4 {
+    type Output = W4;
+    #[inline(always)]
+    fn shr(self, s: u32) -> W4 {
+        let mut out = [0u64; 4];
+        for (o, a) in out.iter_mut().zip(self.0.iter()) {
+            *o = a >> s;
+        }
+        W4(out)
+    }
+}
+
 /// Number of `u64` words a `num_vars`-input table occupies.
 pub const fn words_len(num_vars: usize) -> usize {
     if num_vars <= 6 {
@@ -58,19 +182,43 @@ pub fn cofactor0_in_place(words: &mut [u64], num_vars: usize, var: usize) {
     assert!(var < num_vars, "variable {var} out of range");
     debug_assert_eq!(words.len(), words_len(num_vars));
     if var < 6 {
-        let shift = 1usize << var;
-        let mask = VAR_MASK[var];
-        for w in words.iter_mut() {
-            let lo = *w & !mask;
+        let shift = 1u32 << var;
+        let not_mask = !VAR_MASK[var];
+        let wide_mask = W4::splat(not_mask);
+        let mut chunks = words.chunks_exact_mut(4);
+        for chunk in &mut chunks {
+            let lo = W4::load(chunk) & wide_mask;
+            (lo | (lo << shift)).store(chunk);
+        }
+        for w in chunks.into_remainder() {
+            let lo = *w & not_mask;
             *w = lo | (lo << shift);
         }
     } else {
+        // Each odd-numbered block of `stride` words is replaced by the
+        // even block before it; even blocks are untouched, so forward
+        // copies are safe.
         let stride = 1usize << (var - 6);
-        // Forward order is safe: sources live in even-numbered blocks,
-        // which the loop leaves untouched.
-        for i in 0..words.len() {
-            let block = i / stride;
-            words[i] = words[(block & !1usize) * stride + (i % stride)];
+        match stride {
+            1 => {
+                for pair in words.chunks_exact_mut(2) {
+                    pair[1] = pair[0];
+                }
+            }
+            2 => {
+                for quad in words.chunks_exact_mut(4) {
+                    quad[2] = quad[0];
+                    quad[3] = quad[1];
+                }
+            }
+            _ => {
+                for blocks in words.chunks_exact_mut(2 * stride) {
+                    let (src, dst) = blocks.split_at_mut(stride);
+                    for (s, d) in src.chunks_exact(4).zip(dst.chunks_exact_mut(4)) {
+                        W4::load(s).store(d);
+                    }
+                }
+            }
         }
     }
 }
@@ -91,11 +239,17 @@ pub fn swap_in_place(words: &mut [u64], num_vars: usize, a: usize, b: usize) {
     if j < 6 {
         // Both inside one word: cells with (x_j, x_i) = (1, 0) trade
         // places with (0, 1), a distance of 2^j − 2^i apart.
-        let shift = (1usize << j) - (1usize << i);
+        let shift = ((1usize << j) - (1usize << i)) as u32;
         let down = VAR_MASK[j] & !VAR_MASK[i];
         let up = !VAR_MASK[j] & VAR_MASK[i];
         let keep = !(down | up);
-        for w in words.iter_mut() {
+        let (wd, wu, wk) = (W4::splat(down), W4::splat(up), W4::splat(keep));
+        let mut chunks = words.chunks_exact_mut(4);
+        for chunk in &mut chunks {
+            let w = W4::load(chunk);
+            ((w & wk) | ((w & wd) >> shift) | ((w & wu) << shift)).store(chunk);
+        }
+        for w in chunks.into_remainder() {
             *w = (*w & keep) | ((*w & down) >> shift) | ((*w & up) << shift);
         }
     } else if i < 6 {
@@ -103,27 +257,58 @@ pub fn swap_in_place(words: &mut [u64], num_vars: usize, a: usize, b: usize) {
         // x_i = 1 half of the low word with the x_i = 0 half of the
         // high word, shifted by 2^i.
         let stride = 1usize << (j - 6);
-        let s = 1usize << i;
+        let s = (1usize << i) as u32;
         let m = VAR_MASK[i];
-        let mut base = 0;
-        while base < words.len() {
-            for off in base..base + stride {
-                let lo = words[off];
-                let hi = words[off + stride];
-                words[off] = (lo & !m) | ((hi & !m) << s);
-                words[off + stride] = (hi & m) | ((lo & m) >> s);
+        let (wm, wn) = (W4::splat(m), W4::splat(!m));
+        for blocks in words.chunks_exact_mut(2 * stride) {
+            let (los, his) = blocks.split_at_mut(stride);
+            if stride >= 4 {
+                for (l4, h4) in los.chunks_exact_mut(4).zip(his.chunks_exact_mut(4)) {
+                    let lo = W4::load(l4);
+                    let hi = W4::load(h4);
+                    ((lo & wn) | ((hi & wn) << s)).store(l4);
+                    ((hi & wm) | ((lo & wm) >> s)).store(h4);
+                }
+            } else {
+                for (l, h) in los.iter_mut().zip(his.iter_mut()) {
+                    let (lo, hi) = (*l, *h);
+                    *l = (lo & !m) | ((hi & !m) << s);
+                    *h = (hi & m) | ((lo & m) >> s);
+                }
             }
-            base += 2 * stride;
         }
     } else {
-        // Both are word-index variables: swap whole words.
+        // Both are word-index variables: words whose index has bit
+        // `i − 6` set and bit `j − 6` clear trade places with the index
+        // that flips both bits. Such indices form runs of `si`
+        // consecutive words, so each run swaps as a block.
         let si = 1usize << (i - 6);
         let sj = 1usize << (j - 6);
-        for idx in 0..words.len() {
+        let mut idx = 0;
+        while idx < words.len() {
             if idx & si != 0 && idx & sj == 0 {
-                words.swap(idx, idx ^ si ^ sj);
+                swap_word_runs(words, idx, idx ^ si ^ sj, si);
             }
+            idx += si;
         }
+    }
+}
+
+/// Swaps the `len` words starting at `a` with the `len` words starting
+/// at `b` (`a + len <= b`), four words per iteration when `len` allows.
+fn swap_word_runs(words: &mut [u64], a: usize, b: usize, len: usize) {
+    debug_assert!(a + len <= b);
+    let (head, tail) = words.split_at_mut(b);
+    let src = &mut head[a..a + len];
+    let dst = &mut tail[..len];
+    if len.is_multiple_of(4) {
+        for (s4, d4) in src.chunks_exact_mut(4).zip(dst.chunks_exact_mut(4)) {
+            let tmp = W4::load(s4);
+            W4::load(d4).store(s4);
+            tmp.store(d4);
+        }
+    } else {
+        src.swap_with_slice(dst);
     }
 }
 
@@ -135,10 +320,17 @@ pub fn support_mask(words: &[u64], num_vars: usize) -> u64 {
     debug_assert_eq!(words.len(), words_len(num_vars));
     let mut mask = 0u64;
     for (var, &vm) in VAR_MASK.iter().enumerate().take(num_vars.min(6)) {
-        let shift = 1usize << var;
+        let shift = 1u32 << var;
         let zeros = !vm & if num_vars < 6 { low_mask(1 << num_vars) } else { u64::MAX };
-        let mut diff = 0u64;
-        for w in words {
+        let wz = W4::splat(zeros);
+        let mut wide = W4::ZERO;
+        let mut chunks = words.chunks_exact(4);
+        for chunk in &mut chunks {
+            let w = W4::load(chunk);
+            wide = wide | (((w >> shift) ^ w) & wz);
+        }
+        let mut diff = wide.or_lanes();
+        for w in chunks.remainder() {
             diff |= ((*w >> shift) ^ *w) & zeros;
         }
         if diff != 0 {
@@ -148,9 +340,18 @@ pub fn support_mask(words: &[u64], num_vars: usize) -> u64 {
     for var in 6..num_vars {
         let stride = 1usize << (var - 6);
         let mut diff = 0u64;
-        for i in 0..words.len() {
-            if i & stride == 0 {
-                diff |= words[i] ^ words[i | stride];
+        for blocks in words.chunks_exact(2 * stride) {
+            let (los, his) = blocks.split_at(stride);
+            if stride >= 4 {
+                let mut wide = W4::ZERO;
+                for (l4, h4) in los.chunks_exact(4).zip(his.chunks_exact(4)) {
+                    wide = wide | (W4::load(l4) ^ W4::load(h4));
+                }
+                diff |= wide.or_lanes();
+            } else {
+                for (l, h) in los.iter().zip(his.iter()) {
+                    diff |= l ^ h;
+                }
             }
         }
         if diff != 0 {
@@ -212,8 +413,25 @@ pub fn tile_words(compact: &[u64], k: usize, num_vars: usize, out: &mut [u64]) {
     debug_assert_eq!(out.len(), words_len(num_vars));
     if k >= 6 {
         let kw = words_len(k);
-        for (i, w) in out.iter_mut().enumerate() {
-            *w = compact[i % kw];
+        match kw {
+            1 => splat_word(compact[0], out),
+            2 => {
+                let pattern = W4([compact[0], compact[1], compact[0], compact[1]]);
+                let mut chunks = out.chunks_exact_mut(4);
+                for chunk in &mut chunks {
+                    pattern.store(chunk);
+                }
+                for (i, w) in chunks.into_remainder().iter_mut().enumerate() {
+                    *w = compact[i % 2];
+                }
+            }
+            _ => {
+                for block in out.chunks_exact_mut(kw) {
+                    for (s, d) in compact.chunks_exact(4).zip(block.chunks_exact_mut(4)) {
+                        W4::load(s).store(d);
+                    }
+                }
+            }
         }
     } else {
         // Double the low 2^k bits until the pattern fills one word (or
@@ -222,9 +440,19 @@ pub fn tile_words(compact: &[u64], k: usize, num_vars: usize, out: &mut [u64]) {
         for j in k..num_vars.min(6) {
             w |= w << (1usize << j);
         }
-        for slot in out.iter_mut() {
-            *slot = w;
-        }
+        splat_word(w, out);
+    }
+}
+
+/// Fills `out` with copies of `w`, four words per iteration.
+fn splat_word(w: u64, out: &mut [u64]) {
+    let pattern = W4::splat(w);
+    let mut chunks = out.chunks_exact_mut(4);
+    for chunk in &mut chunks {
+        pattern.store(chunk);
+    }
+    for slot in chunks.into_remainder() {
+        *slot = w;
     }
 }
 
@@ -340,6 +568,143 @@ mod tests {
                 assert_eq!(words, tt.words());
             }
         }
+    }
+
+    /// Bit-level scalar swap reference: bit `m` of the result reads bit
+    /// `m` with positions `a` and `b` exchanged. Independent of every
+    /// word kernel (including `TruthTable::swap_inputs`, which wraps
+    /// `swap_in_place`).
+    fn swap_reference(tt: &TruthTable, a: usize, b: usize) -> Vec<u64> {
+        let n = tt.num_vars();
+        let mut out = vec![0u64; words_len(n)];
+        for m in 0..(1usize << n) {
+            let (ba, bb) = ((m >> a) & 1, (m >> b) & 1);
+            let src = (m & !((1 << a) | (1 << b))) | (bb << a) | (ba << b);
+            if tt.bit(src) {
+                out[m / 64] |= 1u64 << (m % 64);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn fuzz_swap_multi_word_matches_scalar_reference() {
+        let mut rng = Lcg(0x5eed_0011);
+        for n in 7..=12usize {
+            for _ in 0..6 {
+                let tt = random_table(&mut rng, n);
+                let a = (rng.next() as usize) % n;
+                let b = (rng.next() as usize) % n;
+                let mut words = tt.words().to_vec();
+                swap_in_place(&mut words, n, a, b);
+                assert_eq!(words, swap_reference(&tt, a, b), "n={n} swap({a},{b})");
+            }
+        }
+    }
+
+    /// The cross-word branch (`i < 6 ≤ j`) and the word-permutation
+    /// branch (`6 ≤ i < j`), exhaustively over every qualifying pair —
+    /// the two multi-word code paths the random fuzz under-samples.
+    #[test]
+    fn swap_cross_word_and_word_permutation_branches_exhaustive() {
+        let mut rng = Lcg(0x5eed_0012);
+        for n in 7..=12usize {
+            let tt = random_table(&mut rng, n);
+            for j in 6..n {
+                for i in 0..j {
+                    let mut words = tt.words().to_vec();
+                    swap_in_place(&mut words, n, i, j);
+                    assert_eq!(words, swap_reference(&tt, i, j), "n={n} swap({i},{j})");
+                    // The swap is an involution.
+                    swap_in_place(&mut words, n, j, i);
+                    assert_eq!(words, tt.words(), "n={n} swap({i},{j}) twice");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fuzz_cofactor0_multi_word_matches_scalar_reference() {
+        let mut rng = Lcg(0x5eed_0013);
+        for n in 7..=12usize {
+            for _ in 0..4 {
+                let tt = random_table(&mut rng, n);
+                for v in 0..n {
+                    let mut words = tt.words().to_vec();
+                    cofactor0_in_place(&mut words, n, v);
+                    let got = TruthTable::from_words(n, words).unwrap();
+                    for m in 0..(1usize << n) {
+                        assert_eq!(got.bit(m), tt.bit(m & !(1 << v)), "n={n} var={v} m={m}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fuzz_support_mask_multi_word_matches_scalar_reference() {
+        let mut rng = Lcg(0x5eed_0014);
+        for n in 7..=12usize {
+            for round in 0..6 {
+                let mut tt = random_table(&mut rng, n);
+                if round % 2 == 0 {
+                    // Force some variables out of the support so the
+                    // zero-diff side of every branch is exercised too.
+                    for v in 0..n {
+                        if rng.next() & 3 == 0 {
+                            tt = tt.cofactor(v, false);
+                        }
+                    }
+                }
+                let mut expected = 0u64;
+                for v in 0..n {
+                    let flip = 1usize << v;
+                    if (0..(1usize << n)).any(|m| tt.bit(m) != tt.bit(m ^ flip)) {
+                        expected |= 1u64 << v;
+                    }
+                }
+                assert_eq!(support_mask(tt.words(), n), expected, "n={n} round={round}");
+            }
+        }
+    }
+
+    #[test]
+    fn fuzz_tile_words_multi_word_matches_scalar_reference() {
+        let mut rng = Lcg(0x5eed_0015);
+        for n in 7..=12usize {
+            for k in 0..=n.min(9) {
+                let small = random_table(&mut rng, k);
+                let mut out = vec![0u64; words_len(n)];
+                tile_words(small.words(), k, n, &mut out);
+                let big = TruthTable::from_words(n, out).unwrap();
+                for m in 0..(1usize << n) {
+                    assert_eq!(big.bit(m), small.bit(m & ((1 << k) - 1)), "k={k} n={n} m={m}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn w4_lane_ops_match_scalar() {
+        let mut rng = Lcg(0x5eed_0016);
+        for _ in 0..64 {
+            let a: [u64; 4] = std::array::from_fn(|_| rng.next() << 11 | rng.next());
+            let b: [u64; 4] = std::array::from_fn(|_| rng.next() << 11 | rng.next());
+            let s = (rng.next() % 64) as u32;
+            let (wa, wb) = (W4(a), W4(b));
+            for lane in 0..4 {
+                assert_eq!((wa & wb).0[lane], a[lane] & b[lane]);
+                assert_eq!((wa | wb).0[lane], a[lane] | b[lane]);
+                assert_eq!((wa ^ wb).0[lane], a[lane] ^ b[lane]);
+                assert_eq!((!wa).0[lane], !a[lane]);
+                assert_eq!((wa << s).0[lane], a[lane] << s);
+                assert_eq!((wa >> s).0[lane], a[lane] >> s);
+            }
+            assert_eq!(wa.or_lanes(), a[0] | a[1] | a[2] | a[3]);
+            assert_eq!(wa.any(), a.iter().any(|&w| w != 0));
+            assert_eq!(W4::splat(a[0]).0, [a[0]; 4]);
+        }
+        assert!(!W4::ZERO.any());
     }
 
     #[test]
