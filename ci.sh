@@ -66,6 +66,12 @@ STP_JOBS=1 cargo test -q -p stp-bench --offline --features alloc-profile --test 
 echo "==> profiler smoke with the counting allocator (--features alloc-profile, STP_JOBS=$(nproc))"
 STP_JOBS="$(nproc)" cargo test -q -p stp-bench --offline --features alloc-profile --test profile_smoke
 
+echo "==> serve smoke + load baseline (stpd wire protocol, STP_JOBS=1, vs committed BENCH_serve.json)"
+STP_JOBS=1 cargo test -q -p stp-serve --offline --test serve_smoke --test serve_baseline
+
+echo "==> serve smoke + load baseline (STP_JOBS=$(nproc))"
+STP_JOBS="$(nproc)" cargo test -q -p stp-serve --offline --test serve_smoke --test serve_baseline
+
 echo "==> cargo test (STP_JOBS=1, sequential default)"
 STP_JOBS=1 cargo test -q --workspace --offline
 
@@ -73,9 +79,9 @@ echo "==> cargo test (STP_JOBS=$(nproc), parallel default)"
 STP_JOBS="$(nproc)" cargo test -q --workspace --offline
 
 echo "==> fault-injection suite (--features faultsim, STP_JOBS=1)"
-STP_JOBS=1 cargo test -q -p stp-store -p stp-synth -p stp-bench --offline --features faultsim
+STP_JOBS=1 cargo test -q -p stp-store -p stp-synth -p stp-bench -p stp-serve --offline --features faultsim
 
 echo "==> fault-injection suite (--features faultsim, STP_JOBS=$(nproc))"
-STP_JOBS="$(nproc)" cargo test -q -p stp-store -p stp-synth -p stp-bench --offline --features faultsim
+STP_JOBS="$(nproc)" cargo test -q -p stp-store -p stp-synth -p stp-bench -p stp-serve --offline --features faultsim
 
 echo "CI OK"

@@ -498,6 +498,12 @@ fn main() {
     if shards == 0 {
         flag_error("--shards expects a shard count ≥ 1".to_string());
     }
+    if !timeout.is_finite() || timeout <= 0.0 {
+        flag_error("--timeout expects a finite number of seconds > 0".to_string());
+    }
+    if retries == 0 {
+        flag_error("--retries expects a rung count ≥ 1".to_string());
+    }
     if sample5 + sample6 == 0 {
         flag_error("the sample is empty: raise --sample5 or --sample6".to_string());
     }

@@ -106,10 +106,39 @@ fn bench_bins_reject_malformed_stp_jobs_at_startup() {
         env!("CARGO_BIN_EXE_factor_bench"),
         env!("CARGO_BIN_EXE_fence_census"),
         env!("CARGO_BIN_EXE_suite_bench"),
+        env!("CARGO_BIN_EXE_warm"),
     ] {
         for value in ["abc", "-2", "1.5"] {
             assert_env_jobs_error(bin, value);
         }
+    }
+}
+
+#[test]
+fn warm_rejects_malformed_flag_values() {
+    let bin = env!("CARGO_BIN_EXE_warm");
+    for args in [
+        // Value-shape errors. --store is present so the only defect is
+        // the flag under test.
+        &["--store", "s.txt", "--timeout", "abc"][..],
+        &["--store", "s.txt", "--timeout", "0"],
+        &["--store", "s.txt", "--timeout", "-3"],
+        &["--store", "s.txt", "--timeout", "inf"],
+        &["--store", "s.txt", "--timeout", "nan"],
+        &["--store", "s.txt", "--retries", "lots"],
+        &["--store", "s.txt", "--retries", "0"],
+        &["--store", "s.txt", "--shards", "0"],
+        &["--store", "s.txt", "--sample5", "0", "--sample6", "0"],
+        // Missing values and missing required flags.
+        &["--store", "s.txt", "--timeout"],
+        &["--store", "s.txt", "--retries"],
+        &["--store"],
+        &["--timeout", "5"],
+        &["--store", "s.txt", "--child-shard", "0"],
+        // Unknown options.
+        &["--store", "s.txt", "--frobnicate"],
+    ] {
+        assert_usage_error(bin, args);
     }
 }
 

@@ -100,6 +100,14 @@ pub struct FactorConfig {
     /// checkpoint (reported as [`SynthesisError::Timeout`], which the
     /// driver reinterprets — see `parallel.rs`).
     pub cancel: Option<Arc<AtomicBool>>,
+    /// Optional *external* kill switch, distinct from `cancel`: the
+    /// search driver re-arms `cancel` every gate-count round (it doubles
+    /// as the solution-cap brake), so a host that needs to revoke a
+    /// whole synthesis run — e.g. `stpd` cancelling in-flight requests
+    /// at its drain deadline — hands the same `abort` flag to every
+    /// round. Once set it is never cleared by the engine; the next
+    /// deadline checkpoint reports [`SynthesisError::Timeout`].
+    pub abort: Option<Arc<AtomicBool>>,
     /// Differential-test knob: route every split through the scalar
     /// reference implementation ([`Factorizer::factor_split_naive`])
     /// instead of the word-level fast/wide paths. The differential
@@ -110,7 +118,13 @@ pub struct FactorConfig {
 
 impl Default for FactorConfig {
     fn default() -> Self {
-        FactorConfig { max_realizations: 4096, deadline: None, cancel: None, force_naive: false }
+        FactorConfig {
+            max_realizations: 4096,
+            deadline: None,
+            cancel: None,
+            abort: None,
+            force_naive: false,
+        }
     }
 }
 
@@ -413,6 +427,11 @@ impl Factorizer {
 
     fn check_deadline(&mut self) -> Result<(), SynthesisError> {
         stp_faultsim::fail_point!("factor.deadline", err = Err(SynthesisError::Timeout));
+        if let Some(flag) = &self.config.abort {
+            if flag.load(Ordering::Acquire) {
+                return Err(SynthesisError::Timeout);
+            }
+        }
         if let Some(flag) = &self.config.cancel {
             if flag.load(Ordering::Acquire) {
                 return Err(SynthesisError::Timeout);

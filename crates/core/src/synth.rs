@@ -57,6 +57,14 @@ pub struct SynthesisConfig {
     /// (falling back to `1`). Any value produces byte-identical
     /// solution sets (see `DESIGN.md`, *Threading model*).
     pub jobs: usize,
+    /// Optional external kill switch: once a host sets this flag the
+    /// run aborts with [`SynthesisError::Timeout`] at its next
+    /// cancellation checkpoint — between gate-count rounds and inside
+    /// [`crate::FactorConfig::check_deadline`]. Unlike the internal
+    /// per-round cancel flag this is never re-armed by the engine, so a
+    /// server can revoke many in-flight runs with one store (`stpd`
+    /// uses it to cancel stragglers at its drain deadline).
+    pub abort: Option<Arc<AtomicBool>>,
 }
 
 impl Default for SynthesisConfig {
@@ -68,6 +76,7 @@ impl Default for SynthesisConfig {
             max_solutions: 4096,
             max_depth: None,
             jobs: parallel::jobs_from_env(),
+            abort: None,
         }
     }
 }
@@ -169,6 +178,13 @@ pub fn synthesize(
     let mut shapes_explored = 0usize;
     let mut fences_explored = 0usize;
     for r in start..=config.max_gates {
+        // The external kill switch is honored between rounds as well as
+        // at the factorization checkpoints inside one.
+        if let Some(abort) = &config.abort {
+            if abort.load(Ordering::Acquire) {
+                return Err(SynthesisError::Timeout);
+            }
+        }
         let _round = stp_telemetry::span!("synth.round.r{}", r);
         stp_telemetry::counter!("synth.rounds").inc();
         // Flatten the fence groups into one shape-indexed work list; the
@@ -231,6 +247,7 @@ fn build_engines(
         max_realizations: config.max_solutions,
         deadline: config.deadline,
         cancel: Some(Arc::clone(cancel)),
+        abort: config.abort.clone(),
         ..FactorConfig::default()
     };
     (0..jobs.max(1)).map(|_| Factorizer::new(factor_config.clone())).collect()
@@ -874,7 +891,7 @@ pub fn synthesize_multi_npn_with_store(
         NpnOutcome::Solved(chains) => {
             Ok(chains.into_iter().next().expect("solved entries are non-empty"))
         }
-        NpnOutcome::Exhausted { .. } => Err(SynthesisError::Timeout),
+        NpnOutcome::Exhausted { .. } | NpnOutcome::WaitTimeout => Err(SynthesisError::Timeout),
         NpnOutcome::Poisoned { message } => Err(SynthesisError::JobPanicked { message }),
     }
 }
@@ -960,7 +977,7 @@ pub fn synthesize_npn_with_store(
                 factor_nodes,
             })
         }
-        NpnOutcome::Exhausted { .. } => Err(SynthesisError::Timeout),
+        NpnOutcome::Exhausted { .. } | NpnOutcome::WaitTimeout => Err(SynthesisError::Timeout),
         NpnOutcome::Poisoned { message } => Err(SynthesisError::JobPanicked { message }),
     }
 }
@@ -1174,6 +1191,25 @@ mod tests {
         let err = synthesize(&maj, &SynthesisConfig { max_gates: 3, ..SynthesisConfig::default() })
             .unwrap_err();
         assert!(matches!(err, SynthesisError::GateLimitExceeded { max_gates: 3 }));
+    }
+
+    #[test]
+    fn external_abort_flag_revokes_the_run_and_is_never_rearmed() {
+        let spec = TruthTable::from_hex(4, "8ff8").unwrap();
+        let flag = Arc::new(AtomicBool::new(true));
+        let config = SynthesisConfig {
+            abort: Some(Arc::clone(&flag)),
+            jobs: 1,
+            ..SynthesisConfig::default()
+        };
+        let err = synthesize(&spec, &config).unwrap_err();
+        assert!(matches!(err, SynthesisError::Timeout), "a pre-set abort flag revokes the run");
+        // The engine must not clear the host's flag (the per-round
+        // cancel re-arm does not apply to it).
+        assert!(flag.load(Ordering::SeqCst), "the engine never touches the host's abort flag");
+        flag.store(false, Ordering::SeqCst);
+        let result = synthesize(&spec, &config).unwrap();
+        assert_eq!(result.gate_count, 3, "a cleared abort flag restores normal operation");
     }
 
     #[test]

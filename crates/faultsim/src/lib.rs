@@ -26,14 +26,16 @@
 //!
 //! ```text
 //! spec    := [nth ":"] action
-//! action  := "panic" | "err" | "return" | "off" | "sleep:" millis
+//! action  := "panic" | "abort" | "err" | "return" | "off" | "sleep:" millis
 //! nth     := 1-based decimal hit index (fires once, then disarms)
 //! ```
 //!
 //! `err` and `return` both *divert*: a `fail_point!(name, err = expr)`
 //! call site early-returns `expr`. `panic` unwinds with a message
-//! naming the point; `sleep:ms` stalls the hit and continues; `off`
-//! disarms without removing the point.
+//! naming the point; `abort` kills the whole process on the spot (a
+//! true kill window — no unwinding, no destructors, no flushes);
+//! `sleep:ms` stalls the hit and continues; `off` disarms without
+//! removing the point.
 //!
 //! # Example
 //!
@@ -65,6 +67,13 @@ pub enum Action {
     /// crashed worker or a killed process (tests pair it with
     /// `catch_unwind`).
     Panic,
+    /// Kill the process immediately via [`std::process::abort`] — the
+    /// honest simulation of `kill -9` or a power cut. Unlike
+    /// [`Action::Panic`] nothing unwinds: no destructors run, no
+    /// buffers flush, no `catch_unwind` can intercept it. Crash-window
+    /// tests arm this in a *child* process and assert on what the
+    /// survivor finds on disk.
+    Abort,
     /// Divert: `fail_point!(name, err = expr)` sites early-return their
     /// `expr`. Plain `fail_point!(name)` sites just count the trip.
     Err,
@@ -170,12 +179,13 @@ fn parse_spec(spec: &str) -> Result<Trigger, SpecError> {
     };
     let action = match action {
         "panic" => Action::Panic,
+        "abort" => Action::Abort,
         "err" => Action::Err,
         "return" => Action::Return,
         "off" => Action::Off,
         other => match other.strip_prefix("sleep:") {
             Some(ms) => Action::Sleep(ms.parse().map_err(|_| bad("bad sleep milliseconds"))?),
-            None => return Err(bad("expected panic|err|return|off|sleep:<ms>")),
+            None => return Err(bad("expected panic|abort|err|return|off|sleep:<ms>")),
         },
     };
     Ok(Trigger { nth, action })
@@ -262,6 +272,7 @@ pub fn eval(name: &str, explicit_hit: Option<u64>) -> bool {
     stp_telemetry::warn!("failpoint `{name}` triggered ({action:?}, hit {hit})");
     match action {
         Action::Panic => panic!("failpoint `{name}` triggered (hit {hit})"),
+        Action::Abort => std::process::abort(),
         Action::Sleep(ms) => {
             std::thread::sleep(Duration::from_millis(ms));
             false
@@ -332,6 +343,14 @@ mod tests {
             Trigger { nth: None, action: Action::Return }
         ));
         assert!(matches!(parse_spec("off").unwrap(), Trigger { nth: None, action: Action::Off }));
+        assert!(matches!(
+            parse_spec("abort").unwrap(),
+            Trigger { nth: None, action: Action::Abort }
+        ));
+        assert!(matches!(
+            parse_spec("4:abort").unwrap(),
+            Trigger { nth: Some(4), action: Action::Abort }
+        ));
         assert!(matches!(
             parse_spec("sleep:250").unwrap(),
             Trigger { nth: None, action: Action::Sleep(250) }

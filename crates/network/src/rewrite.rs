@@ -148,7 +148,7 @@ impl SynthesisCache {
         match outcome {
             NpnOutcome::Trivial(chain) => Ok(Some(chain)),
             NpnOutcome::Solved(mut chains) => Ok(Some(chains.swap_remove(0))),
-            NpnOutcome::Exhausted { .. } => Ok(None),
+            NpnOutcome::Exhausted { .. } | NpnOutcome::WaitTimeout => Ok(None),
             NpnOutcome::Poisoned { message } => {
                 Err(NetworkError::from(SynthesisError::JobPanicked { message }))
             }
@@ -201,7 +201,7 @@ impl SynthesisCache {
         match outcome {
             NpnOutcome::Trivial(chain) => Ok(Some(chain)),
             NpnOutcome::Solved(mut chains) => Ok(Some(chains.swap_remove(0))),
-            NpnOutcome::Exhausted { .. } => Ok(None),
+            NpnOutcome::Exhausted { .. } | NpnOutcome::WaitTimeout => Ok(None),
             NpnOutcome::Poisoned { message } => {
                 Err(NetworkError::from(SynthesisError::JobPanicked { message }))
             }

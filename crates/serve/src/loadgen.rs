@@ -1,0 +1,467 @@
+//! Deterministic load generation against a running `stpd`.
+//!
+//! The generator drives an *open-loop* arrival process: each connection
+//! sends its requests on a fixed schedule derived from the configured
+//! rate, regardless of whether earlier responses have arrived, and
+//! drains responses opportunistically between sends. That models real
+//! clients (which do not politely wait for the server) and is what
+//! makes admission control observable — a closed-loop client can never
+//! overload anything.
+//!
+//! The request mix is seeded: a multiplicative LCG picks each request's
+//! truth table from a deduplicated pool, so two runs with one seed send
+//! byte-identical request streams and the server-side counters
+//! (`serve.accepted`, `store.misses`, ...) are reproducible. Malformed
+//! and oversized frames are probed on dedicated connections *after* the
+//! timed burst, keeping the latency rows clean.
+
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use stp_telemetry::Json;
+
+/// Parameters for one loadgen run (one row of the benchmark doc).
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Server address, e.g. `127.0.0.1:7171`.
+    pub addr: String,
+    /// Concurrent client connections.
+    pub connections: usize,
+    /// Requests sent per connection.
+    pub requests_per_conn: usize,
+    /// Open-loop send rate per connection, requests/second.
+    pub rate_per_conn: f64,
+    /// LCG seed for the request mix.
+    pub seed: u64,
+    /// Arity of the generated truth tables.
+    pub arity: usize,
+    /// Size of the deduplicated table pool.
+    pub classes: usize,
+    /// Per-request `timeout_ms` sent to the server.
+    pub timeout_ms: u64,
+    /// Malformed-frame probes sent after the burst (dedicated
+    /// connections; the server answers and closes).
+    pub malformed_probes: usize,
+    /// Oversized-frame probes sent after the burst.
+    pub oversized_probes: usize,
+    /// Bytes of newline-free junk per oversized probe (must exceed the
+    /// server's frame cap to trip it).
+    pub oversized_bytes: usize,
+    /// How long the final drain waits for outstanding responses before
+    /// declaring them lost.
+    pub response_timeout: Duration,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            addr: String::new(),
+            connections: 1,
+            requests_per_conn: 60,
+            rate_per_conn: 200.0,
+            seed: 42,
+            arity: 3,
+            classes: 24,
+            timeout_ms: 30_000,
+            malformed_probes: 6,
+            oversized_probes: 3,
+            oversized_bytes: 8192,
+            response_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Aggregated outcome of one row (all connections of one run).
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    /// Work requests sent.
+    pub sent: u64,
+    /// `ok` responses.
+    pub ok: u64,
+    /// `timeout` responses.
+    pub timeout: u64,
+    /// `overloaded` responses.
+    pub overloaded: u64,
+    /// `error` / `shutting_down` responses.
+    pub error: u64,
+    /// Requests with no response inside the drain window.
+    pub lost: u64,
+    /// `coalesced: true` ok-responses (same-class requests that shared
+    /// one solver run).
+    pub coalesced: u64,
+    /// Malformed probes sent / acknowledged with a structured response.
+    pub malformed_sent: u64,
+    /// Structured `malformed` responses received for those probes.
+    pub malformed_acked: u64,
+    /// Oversized probes sent.
+    pub oversized_sent: u64,
+    /// Structured responses received for oversized probes.
+    pub oversized_acked: u64,
+    /// Per-request latency, milliseconds, for answered work requests.
+    pub latencies_ms: Vec<f64>,
+    /// Wall time of the timed burst (send start to drain end), seconds.
+    pub wall_s: f64,
+}
+
+impl RunStats {
+    fn absorb(&mut self, other: RunStats) {
+        self.sent += other.sent;
+        self.ok += other.ok;
+        self.timeout += other.timeout;
+        self.overloaded += other.overloaded;
+        self.error += other.error;
+        self.lost += other.lost;
+        self.coalesced += other.coalesced;
+        self.malformed_sent += other.malformed_sent;
+        self.malformed_acked += other.malformed_acked;
+        self.oversized_sent += other.oversized_sent;
+        self.oversized_acked += other.oversized_acked;
+        self.latencies_ms.extend(other.latencies_ms);
+        self.wall_s = self.wall_s.max(other.wall_s);
+    }
+
+    /// The `p`-th latency percentile in milliseconds (`p` in 0..=100),
+    /// 0 when nothing was measured.
+    pub fn percentile_ms(&self, p: f64) -> f64 {
+        if self.latencies_ms.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.latencies_ms.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let rank = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+        sorted[rank.min(sorted.len() - 1)]
+    }
+
+    /// Answered work requests per second of burst wall time.
+    pub fn throughput_rps(&self) -> f64 {
+        let answered = (self.ok + self.timeout + self.overloaded + self.error) as f64;
+        if self.wall_s > 0.0 {
+            answered / self.wall_s
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The multiplicative LCG used for the request mix (MMIX constants).
+#[derive(Debug, Clone)]
+pub struct Lcg(u64);
+
+impl Lcg {
+    /// Seeds the generator.
+    pub fn new(seed: u64) -> Lcg {
+        Lcg(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1))
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        // The high bits of an LCG are the good ones.
+        self.0 >> 11
+    }
+}
+
+/// Builds the deduplicated table pool: `classes` distinct hex tables of
+/// the given arity, deterministically from `seed`.
+pub fn generate_tables(seed: u64, arity: usize, classes: usize) -> Vec<String> {
+    let digits = ((1usize << arity) / 4).max(1);
+    let mut lcg = Lcg::new(seed);
+    let mut pool: Vec<String> = Vec::with_capacity(classes);
+    while pool.len() < classes {
+        let mut hex = String::with_capacity(digits);
+        for _ in 0..digits {
+            let nibble = (lcg.next_u64() & 0xf) as u32;
+            hex.push(char::from_digit(nibble, 16).expect("nibble < 16"));
+        }
+        if !pool.contains(&hex) {
+            pool.push(hex);
+        }
+    }
+    pool
+}
+
+/// Reads whatever complete lines are available without blocking past
+/// the stream's read timeout; appends them to `lines`.
+fn drain_available(stream: &mut TcpStream, buf: &mut Vec<u8>, lines: &mut Vec<String>) -> bool {
+    let mut chunk = [0u8; 4096];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => return false,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                break;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return false,
+        }
+        // Keep reading only while data keeps arriving instantly.
+        if !buf.contains(&b'\n') {
+            continue;
+        }
+        break;
+    }
+    while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+        let line: Vec<u8> = buf.drain(..=pos).collect();
+        lines.push(String::from_utf8_lossy(&line[..line.len() - 1]).into_owned());
+    }
+    true
+}
+
+/// Classifies one response line against the oldest pending request.
+fn classify(line: &str, pending: &mut VecDeque<(String, Instant)>, stats: &mut RunStats) {
+    let Ok(resp) = Json::parse(line) else {
+        stats.error += 1;
+        return;
+    };
+    let id = resp.get("id").and_then(Json::as_str).unwrap_or("");
+    // The server answers one connection's frames in order; tolerate a
+    // response for a later id by dropping the skipped ones as lost.
+    let mut matched = None;
+    while let Some((front_id, sent_at)) = pending.pop_front() {
+        if front_id == id {
+            matched = Some(sent_at);
+            break;
+        }
+        stats.lost += 1;
+    }
+    let Some(sent_at) = matched else {
+        return;
+    };
+    let latency_ms = sent_at.elapsed().as_secs_f64() * 1e3;
+    match resp.get("status").and_then(Json::as_str) {
+        Some("ok") => {
+            stats.ok += 1;
+            stats.latencies_ms.push(latency_ms);
+            if resp.get("coalesced") == Some(&Json::Bool(true)) {
+                stats.coalesced += 1;
+            }
+        }
+        Some("timeout") => {
+            stats.timeout += 1;
+            stats.latencies_ms.push(latency_ms);
+        }
+        Some("overloaded") => {
+            stats.overloaded += 1;
+            stats.latencies_ms.push(latency_ms);
+        }
+        _ => stats.error += 1,
+    }
+}
+
+/// One connection's open-loop worker.
+fn run_connection(
+    config: &LoadgenConfig,
+    conn_index: usize,
+    pool: &[String],
+) -> std::io::Result<RunStats> {
+    let mut stats = RunStats::default();
+    let mut stream = TcpStream::connect(&config.addr)?;
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(Duration::from_millis(5)))?;
+    let mut lcg = Lcg::new(config.seed ^ (conn_index as u64).wrapping_mul(0xA5A5_A5A5));
+    let mut pending: VecDeque<(String, Instant)> = VecDeque::new();
+    let mut buf = Vec::new();
+    let mut lines = Vec::new();
+    let interval = Duration::from_secs_f64(1.0 / config.rate_per_conn.max(1e-6));
+    let start = Instant::now();
+    for i in 0..config.requests_per_conn {
+        let due = start + interval * (i as u32);
+        let now = Instant::now();
+        if due > now {
+            std::thread::sleep(due - now);
+        }
+        let table = &pool[(lcg.next_u64() as usize) % pool.len()];
+        let id = format!("c{conn_index}-{i}");
+        let frame = format!(
+            "{{\"op\":\"synth\",\"id\":\"{id}\",\"tables\":[\"{table}\"],\"timeout_ms\":{}}}\n",
+            config.timeout_ms
+        );
+        stream.write_all(frame.as_bytes())?;
+        stats.sent += 1;
+        pending.push_back((id, Instant::now()));
+        lines.clear();
+        let alive = drain_available(&mut stream, &mut buf, &mut lines);
+        for line in &lines {
+            classify(line, &mut pending, &mut stats);
+        }
+        if !alive {
+            break;
+        }
+    }
+    // Final drain: block (in poll-sized steps) until everything pending
+    // is answered or the drain window closes.
+    let drain_deadline = Instant::now() + config.response_timeout;
+    while !pending.is_empty() && Instant::now() < drain_deadline {
+        lines.clear();
+        let alive = drain_available(&mut stream, &mut buf, &mut lines);
+        for line in &lines {
+            classify(line, &mut pending, &mut stats);
+        }
+        if !alive {
+            break;
+        }
+    }
+    stats.lost += pending.len() as u64;
+    stats.wall_s = start.elapsed().as_secs_f64();
+    Ok(stats)
+}
+
+/// Sends one junk frame on a dedicated connection and waits briefly for
+/// the structured `malformed` acknowledgment.
+fn probe(addr: &str, payload: &[u8], window: Duration) -> bool {
+    let Ok(mut stream) = TcpStream::connect(addr) else {
+        return false;
+    };
+    if stream.write_all(payload).is_err() {
+        return false;
+    }
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let deadline = Instant::now() + window;
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 1024];
+    while Instant::now() < deadline {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                if buf.contains(&b'\n') {
+                    break;
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(_) => break,
+        }
+    }
+    let text = String::from_utf8_lossy(&buf);
+    let Some(line) = text.lines().next() else {
+        return false;
+    };
+    matches!(
+        Json::parse(line).ok().as_ref().and_then(|r| r.get("status")).and_then(Json::as_str),
+        Some("malformed")
+    )
+}
+
+/// Runs one row: `connections` open-loop workers, then the malformed
+/// and oversized probes.
+///
+/// # Errors
+///
+/// `io::Error` when the server cannot be reached at all; per-request
+/// failures are folded into the stats instead.
+pub fn run(config: &LoadgenConfig) -> std::io::Result<RunStats> {
+    let pool = generate_tables(config.seed, config.arity, config.classes);
+    let mut total = RunStats::default();
+    let mut workers = Vec::new();
+    for conn in 0..config.connections {
+        let config = config.clone();
+        let pool = pool.clone();
+        workers.push(std::thread::spawn(move || run_connection(&config, conn, &pool)));
+    }
+    let mut first_err = None;
+    for worker in workers {
+        match worker.join() {
+            Ok(Ok(stats)) => total.absorb(stats),
+            Ok(Err(e)) => first_err = first_err.or(Some(e)),
+            Err(_) => {
+                first_err =
+                    first_err.or_else(|| Some(std::io::Error::other("loadgen worker panicked")));
+            }
+        }
+    }
+    if total.sent == 0 {
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+    }
+    let probe_window = Duration::from_secs(5);
+    for _ in 0..config.malformed_probes {
+        total.malformed_sent += 1;
+        if probe(&config.addr, b"this is not json\n", probe_window) {
+            total.malformed_acked += 1;
+        }
+    }
+    let junk = vec![b'x'; config.oversized_bytes];
+    for _ in 0..config.oversized_probes {
+        total.oversized_sent += 1;
+        if probe(&config.addr, &junk, probe_window) {
+            total.oversized_acked += 1;
+        }
+    }
+    Ok(total)
+}
+
+/// Sends one raw request line on a fresh connection and returns the
+/// parsed response — the building block for control traffic (`stats`,
+/// `shutdown`) from benchmarks and tests.
+///
+/// # Errors
+///
+/// `io::Error` on connect/write failure, a closed socket, an
+/// unparsable response, or no response within `window`.
+pub fn request_once(addr: &str, line: &str, window: Duration) -> std::io::Result<Json> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.write_all(line.as_bytes())?;
+    stream.write_all(b"\n")?;
+    stream.set_read_timeout(Some(Duration::from_millis(50)))?;
+    let deadline = Instant::now() + window;
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    while Instant::now() < deadline {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                if buf.contains(&b'\n') {
+                    break;
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let text = String::from_utf8_lossy(&buf);
+    let line = text
+        .lines()
+        .next()
+        .ok_or_else(|| std::io::Error::other("no response within the window"))?;
+    Json::parse(line).map_err(|e| std::io::Error::other(format!("bad response: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_pool_is_deterministic_and_distinct() {
+        let a = generate_tables(42, 3, 24);
+        let b = generate_tables(42, 3, 24);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 24);
+        for (i, x) in a.iter().enumerate() {
+            assert_eq!(x.len(), 2, "arity-3 tables are 2 hex digits");
+            assert!(!a[..i].contains(x), "pool entries are distinct");
+        }
+        let c = generate_tables(43, 3, 24);
+        assert_ne!(a, c, "different seeds give different pools");
+    }
+
+    #[test]
+    fn percentiles_are_order_free() {
+        let stats = RunStats { latencies_ms: vec![5.0, 1.0, 3.0, 2.0, 4.0], ..RunStats::default() };
+        assert_eq!(stats.percentile_ms(0.0), 1.0);
+        assert_eq!(stats.percentile_ms(50.0), 3.0);
+        assert_eq!(stats.percentile_ms(100.0), 5.0);
+        assert_eq!(RunStats::default().percentile_ms(50.0), 0.0);
+    }
+}

@@ -1,0 +1,145 @@
+//! CI drift gate for the committed serve baseline.
+//!
+//! `BENCH_serve.json` (repo root, written by the `loadgen` binary)
+//! records the fixed request mix against a capacity-32, jobs-1 daemon
+//! at 1, 4, and 16 connections. The mix is seeded and the admission
+//! gate never engages at this load, so every *count* — requests sent
+//! and answered, probe acknowledgments, admission and store counters —
+//! is deterministic on any machine; only latencies, throughput, and
+//! the coalescing split vary. This test re-runs the mix against a
+//! fresh daemon and fails on any drift in the pinned counts.
+
+mod common;
+
+use std::process::Command;
+
+use common::{shutdown_and_wait, spawn_stpd, Scratch};
+use stp_telemetry::Json;
+
+const RERECORD: &str = "re-record with the recipe in EXPERIMENTS.md (load-test section) only \
+                        if the change in daemon behaviour is intentional";
+
+/// Per-row fields that must not drift (everything but wall/latency).
+const PINNED_ROW_FIELDS: &[&str] = &[
+    "connections",
+    "sent",
+    "ok",
+    "timeout",
+    "overloaded",
+    "error",
+    "lost",
+    "malformed_sent",
+    "malformed_acked",
+    "oversized_sent",
+    "oversized_acked",
+];
+
+/// Server counters that must not drift. `serve.coalesced` and the
+/// engine counters are timing- or scheduling-dependent and stay
+/// informational.
+const PINNED_COUNTERS: &[&str] = &[
+    "serve.accepted",
+    "serve.malformed",
+    "serve.rejected_overload",
+    "serve.timeouts",
+    "store.misses",
+    "store.hits",
+    "store.trivial_hits",
+];
+
+fn committed() -> Json {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read committed baseline {path}: {e}"));
+    let doc = Json::parse(&text).expect("BENCH_serve.json must parse");
+    assert_eq!(
+        doc.get("schema").and_then(Json::as_str),
+        Some("stp-bench-serve v1"),
+        "unknown baseline schema"
+    );
+    doc
+}
+
+#[test]
+fn serve_load_counts_match_committed_baseline() {
+    let pinned_doc = committed();
+    let scratch = Scratch::new("baseline");
+    let out = scratch.path("serve.json");
+
+    let daemon =
+        spawn_stpd(&["--capacity", "32", "--jobs", "1", "--max-frame-bytes", "4096"], None);
+    let output = Command::new(env!("CARGO_BIN_EXE_loadgen"))
+        .args([
+            "--addr",
+            &daemon.addr,
+            "--connections",
+            "1,4,16",
+            "--requests",
+            "60",
+            "--rate",
+            "200",
+            "--seed",
+            "42",
+            "--arity",
+            "3",
+            "--classes",
+            "24",
+            "--timeout-ms",
+            "30000",
+            "--malformed",
+            "6",
+            "--oversized",
+            "3",
+            "--oversized-bytes",
+            "8192",
+            "--out",
+            out.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run loadgen");
+    assert!(output.status.success(), "loadgen failed: {}", String::from_utf8_lossy(&output.stderr));
+    shutdown_and_wait(daemon);
+
+    let fresh = Json::parse(&std::fs::read_to_string(&out).expect("loadgen wrote the doc"))
+        .expect("fresh doc parses");
+
+    let pinned_rows = pinned_doc.get("rows").and_then(Json::as_arr).expect("baseline rows");
+    let fresh_rows = fresh.get("rows").and_then(Json::as_arr).expect("fresh rows");
+    assert_eq!(fresh_rows.len(), pinned_rows.len(), "row count drifted; {RERECORD}");
+    for (pinned, fresh) in pinned_rows.iter().zip(fresh_rows) {
+        let conns = pinned.get("connections").and_then(Json::as_u64).unwrap();
+        for &field in PINNED_ROW_FIELDS {
+            assert_eq!(
+                fresh.get(field).and_then(Json::as_u64),
+                pinned.get(field).and_then(Json::as_u64),
+                "row connections={conns}: `{field}` drifted; {RERECORD}"
+            );
+        }
+        // The burst must have been fully answered — no silent losses
+        // hiding inside a re-recorded baseline either.
+        assert_eq!(pinned.get("lost").and_then(Json::as_u64), Some(0), "baseline has losses");
+        assert_eq!(
+            pinned.get("malformed_acked").and_then(Json::as_u64),
+            pinned.get("malformed_sent").and_then(Json::as_u64),
+            "baseline dropped malformed probes"
+        );
+    }
+
+    let pinned_counters = pinned_doc.get("server_counters").expect("baseline counters");
+    let fresh_counters = fresh.get("server_counters").expect("fresh counters");
+    for &name in PINNED_COUNTERS {
+        assert_eq!(
+            fresh_counters.get(name).and_then(Json::as_u64).unwrap_or(0),
+            pinned_counters.get(name).and_then(Json::as_u64).unwrap_or(0),
+            "server counter `{name}` drifted; {RERECORD}"
+        );
+    }
+    // Self-consistency of the admission ledger: everything sent was
+    // either admitted or shed, and nothing was shed at this load.
+    let sent: u64 = fresh_rows.iter().filter_map(|r| r.get("sent").and_then(Json::as_u64)).sum();
+    assert_eq!(
+        fresh_counters.get("serve.accepted").and_then(Json::as_u64),
+        Some(sent),
+        "admitted != sent at an under-capacity load"
+    );
+}

@@ -1,0 +1,272 @@
+//! Kill-window and degradation chaos tests for `stpd`, driven through
+//! the `serve.*` failpoints. Requires `--features faultsim` (the test
+//! binary and the spawned daemon share the feature set, so the bins
+//! carry the probes).
+//!
+//! The contract under test, from the failure model: an abort at *any*
+//! failpoint loses at most the in-flight requests — every previously
+//! acknowledged solution is recovered from the journal on restart —
+//! and overload never produces anything but structured `overloaded`
+//! responses.
+
+#![cfg(feature = "faultsim")]
+
+mod common;
+
+use std::time::{Duration, Instant};
+
+use common::{counter, shutdown_and_wait, spawn_stpd, status, Conn, Scratch};
+use stp_telemetry::Json;
+
+const WINDOW: Duration = Duration::from_secs(30);
+
+/// Hex reps of `count` distinct non-trivial NPN-3 classes.
+fn nontrivial_classes(count: usize) -> Vec<String> {
+    let reps: Vec<String> = stp_tt::npn_classes(3)
+        .into_iter()
+        .filter(|t| stp_chain::trivial_chain(t).is_none())
+        .map(|t| t.to_hex())
+        .collect();
+    assert!(reps.len() >= count, "need {count} non-trivial NPN3 classes, have {}", reps.len());
+    reps[..count].to_vec()
+}
+
+fn synth_frame(table: &str, id: &str) -> String {
+    format!("{{\"op\":\"synth\",\"id\":\"{id}\",\"tables\":[\"{table}\"]}}")
+}
+
+/// Waits for a killed daemon to be reaped, asserting it did NOT exit
+/// cleanly (an abort is a crash, not a graceful drain).
+fn expect_crash(daemon: &mut common::Daemon) {
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        match daemon.child.try_wait().expect("poll crashed stpd") {
+            Some(code) => {
+                assert!(!code.success(), "an aborted stpd must not report success, got {code}");
+                return;
+            }
+            None => {
+                assert!(Instant::now() < deadline, "aborted stpd did not die");
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    }
+}
+
+/// Kill window mid-stream: the daemon aborts while responding to the
+/// 3rd request. The first three classes were journaled at publish time,
+/// so a restart recovers exactly them; only the in-flight response is
+/// lost.
+#[test]
+fn abort_at_pre_respond_loses_only_the_inflight_request() {
+    let scratch = Scratch::new("pre-respond-abort");
+    let store_flag = scratch.store().to_str().unwrap().to_string();
+    let classes = nontrivial_classes(6);
+
+    let mut daemon =
+        spawn_stpd(&["--store", &store_flag], Some("serve.request.pre_respond=3:abort"));
+    let addr = daemon.addr.clone();
+    let mut answered = 0usize;
+    for (i, class) in classes.iter().enumerate() {
+        // One connection per request: the abort kills the whole
+        // process, so a shared connection would just see EOF anyway.
+        let mut conn = Conn::open(&addr);
+        conn.send(&synth_frame(class, &format!("k{i}")));
+        match conn.recv(WINDOW) {
+            Some(line) => {
+                let resp = Json::parse(&line).expect("parsable response");
+                assert_eq!(status(&resp), "ok", "{resp}");
+                answered += 1;
+            }
+            None => break, // the kill window
+        }
+    }
+    assert_eq!(answered, 2, "the abort fires while responding to request 3");
+    expect_crash(&mut daemon);
+
+    // Restart on the same store, no failpoints: the journal replays the
+    // three published classes (the in-flight one included — publish
+    // happens before the response).
+    let daemon = spawn_stpd(&["--store", &store_flag], None);
+    let mut conn = Conn::open(&daemon.addr);
+    let stats = conn.roundtrip("{\"op\":\"stats\"}", WINDOW);
+    assert_eq!(counter(&stats, "store.journal_replayed"), 3, "{stats}");
+    assert_eq!(counter(&stats, "store.journal_errors"), 0);
+
+    // Re-request everything: the replayed classes hit, the rest miss.
+    for (i, class) in classes.iter().enumerate() {
+        let resp = conn.roundtrip(&synth_frame(class, &format!("r{i}")), WINDOW);
+        assert_eq!(status(&resp), "ok", "{resp}");
+    }
+    let stats = conn.roundtrip("{\"op\":\"stats\"}", WINDOW);
+    assert_eq!(counter(&stats, "store.misses"), 3, "only the unjournaled classes re-solve");
+    assert_eq!(counter(&stats, "store.hits"), 3);
+    shutdown_and_wait(daemon);
+}
+
+/// Kill window in shutdown itself: the abort lands after drain but
+/// before the final save. The journal alone must carry every
+/// acknowledged solution into the next life.
+#[test]
+fn abort_before_final_save_recovers_from_the_journal() {
+    let scratch = Scratch::new("pre-save-abort");
+    let store_flag = scratch.store().to_str().unwrap().to_string();
+    let classes = nontrivial_classes(4);
+
+    let mut daemon = spawn_stpd(&["--store", &store_flag], Some("serve.shutdown.pre_save=abort"));
+    let addr = daemon.addr.clone();
+    let mut conn = Conn::open(&addr);
+    for (i, class) in classes.iter().enumerate() {
+        let resp = conn.roundtrip(&synth_frame(class, &format!("k{i}")), WINDOW);
+        assert_eq!(status(&resp), "ok", "{resp}");
+    }
+    conn.send("{\"op\":\"shutdown\"}");
+    // The ack may or may not flush before the abort; the crash itself
+    // is the assertion.
+    let _ = conn.recv(Duration::from_secs(10));
+    expect_crash(&mut daemon);
+    assert!(!scratch.store().exists(), "the abort preempted the snapshot save");
+
+    let daemon = spawn_stpd(&["--store", &store_flag], None);
+    let mut conn = Conn::open(&daemon.addr);
+    let stats = conn.roundtrip("{\"op\":\"stats\"}", WINDOW);
+    assert_eq!(counter(&stats, "store.journal_replayed"), 4, "{stats}");
+    for (i, class) in classes.iter().enumerate() {
+        let resp = conn.roundtrip(&synth_frame(class, &format!("r{i}")), WINDOW);
+        assert_eq!(status(&resp), "ok", "{resp}");
+    }
+    let stats = conn.roundtrip("{\"op\":\"stats\"}", WINDOW);
+    assert_eq!(counter(&stats, "store.misses"), 0, "zero-miss warm restart: {stats}");
+    assert_eq!(counter(&stats, "store.hits"), 4);
+    shutdown_and_wait(daemon);
+}
+
+/// Overload burst at 2× capacity: with every admitted request parked in
+/// a 600ms failpoint sleep, 4 simultaneous requests against capacity 2
+/// must split into exactly 2 `ok` + 2 structured `overloaded` — no
+/// hangs, no closed sockets, and the counter matches the rejections.
+#[test]
+fn overload_burst_sheds_exactly_the_excess() {
+    let classes = nontrivial_classes(4);
+    let daemon = spawn_stpd(&["--capacity", "2"], Some("serve.request.pre_solve=sleep:600"));
+    let addr = daemon.addr.clone();
+
+    // Open all connections first, then fire the frames back to back so
+    // all four are in flight well inside the 600ms sleep window.
+    let mut conns: Vec<Conn> = (0..4).map(|_| Conn::open(&addr)).collect();
+    for (i, conn) in conns.iter_mut().enumerate() {
+        conn.send(&synth_frame(&classes[i], &format!("b{i}")));
+    }
+    let mut ok = 0usize;
+    let mut overloaded = 0usize;
+    for (i, conn) in conns.iter_mut().enumerate() {
+        let line = conn
+            .recv(WINDOW)
+            .unwrap_or_else(|| panic!("request b{i} must get a structured response"));
+        let resp = Json::parse(&line).expect("parsable response");
+        match status(&resp) {
+            "ok" => ok += 1,
+            "overloaded" => {
+                overloaded += 1;
+                assert!(
+                    resp.get("retry_after_ms").and_then(Json::as_u64).is_some(),
+                    "overloaded carries a retry hint: {resp}"
+                );
+            }
+            other => panic!("request b{i}: unexpected status {other}: {resp}"),
+        }
+    }
+    assert_eq!((ok, overloaded), (2, 2), "2x capacity splits evenly");
+
+    // Rejected connections stay usable: retry after the burst drains.
+    let retry = conns[0].roundtrip(&synth_frame(&classes[3], "retry"), WINDOW);
+    assert_eq!(status(&retry), "ok", "{retry}");
+
+    let mut conn = Conn::open(&addr);
+    let stats = conn.roundtrip("{\"op\":\"stats\"}", WINDOW);
+    assert_eq!(counter(&stats, "serve.rejected_overload"), 2);
+    assert_eq!(counter(&stats, "serve.accepted"), 3, "2 burst winners + 1 retry");
+    shutdown_and_wait(daemon);
+}
+
+/// Coalescing under a slow solver: while request 1 owns the pending
+/// slot (held 400ms by a failpoint sleep inside the engine), a patient
+/// same-class request parks on the slot and shares the result
+/// (`coalesced: true`), and an impatient one gets a structured
+/// `timeout` from the deadline-aware wait — the end-to-end face of
+/// `Store`'s `WaitTimeout` resolution.
+#[test]
+fn same_class_requests_coalesce_and_impatient_waiters_time_out() {
+    let classes = nontrivial_classes(1);
+    let daemon = spawn_stpd(&[], Some("factor.deadline=1:sleep:400"));
+    let addr = daemon.addr.clone();
+
+    let mut owner = Conn::open(&addr);
+    owner.send(&synth_frame(&classes[0], "owner"));
+    std::thread::sleep(Duration::from_millis(100));
+
+    let mut patient = Conn::open(&addr);
+    patient.send(&synth_frame(&classes[0], "patient"));
+    let mut impatient = Conn::open(&addr);
+    impatient.send(&format!(
+        "{{\"op\":\"synth\",\"id\":\"impatient\",\"tables\":[\"{}\"],\"timeout_ms\":50}}",
+        classes[0]
+    ));
+
+    let impatient_resp = impatient.recv(WINDOW).expect("impatient waiter is answered");
+    let impatient_resp = Json::parse(&impatient_resp).unwrap();
+    assert_eq!(status(&impatient_resp), "timeout", "{impatient_resp}");
+
+    let owner_resp = Json::parse(&owner.recv(WINDOW).expect("owner answered")).unwrap();
+    assert_eq!(status(&owner_resp), "ok", "{owner_resp}");
+    let patient_resp = Json::parse(&patient.recv(WINDOW).expect("patient answered")).unwrap();
+    assert_eq!(status(&patient_resp), "ok", "{patient_resp}");
+    assert_eq!(
+        patient_resp.get("coalesced"),
+        Some(&Json::Bool(true)),
+        "the patient waiter rode the owner's solve: {patient_resp}"
+    );
+    assert_eq!(
+        patient_resp.get("gates").and_then(Json::as_u64),
+        owner_resp.get("gates").and_then(Json::as_u64)
+    );
+
+    let mut conn = Conn::open(&addr);
+    let stats = conn.roundtrip("{\"op\":\"stats\"}", WINDOW);
+    assert_eq!(counter(&stats, "store.misses"), 1, "one solve served all three: {stats}");
+    assert!(counter(&stats, "serve.coalesced") >= 1);
+    assert!(counter(&stats, "store.wait_timeouts") >= 1);
+    assert_eq!(counter(&stats, "serve.timeouts"), 1);
+    shutdown_and_wait(daemon);
+}
+
+/// An abort in the accept path itself: the daemon dies, but a restart
+/// on the same (journaled) store is routine. Covers the "kill window
+/// anywhere" clause for `serve.accept`.
+#[test]
+fn abort_at_accept_is_survivable() {
+    let scratch = Scratch::new("accept-abort");
+    let store_flag = scratch.store().to_str().unwrap().to_string();
+    let classes = nontrivial_classes(2);
+
+    let mut daemon = spawn_stpd(&["--store", &store_flag], Some("serve.accept=3:abort"));
+    let addr = daemon.addr.clone();
+    for (i, class) in classes.iter().enumerate() {
+        let mut conn = Conn::open(&addr);
+        let resp = conn.roundtrip(&synth_frame(class, &format!("k{i}")), WINDOW);
+        assert_eq!(status(&resp), "ok", "{resp}");
+    }
+    // The third accept aborts the daemon mid-handshake.
+    let _ = std::net::TcpStream::connect(&addr);
+    expect_crash(&mut daemon);
+
+    let daemon = spawn_stpd(&["--store", &store_flag], None);
+    let mut conn = Conn::open(&daemon.addr);
+    for (i, class) in classes.iter().enumerate() {
+        let resp = conn.roundtrip(&synth_frame(class, &format!("r{i}")), WINDOW);
+        assert_eq!(status(&resp), "ok", "{resp}");
+    }
+    let stats = conn.roundtrip("{\"op\":\"stats\"}", WINDOW);
+    assert_eq!(counter(&stats, "store.misses"), 0, "journal recovery is complete: {stats}");
+    shutdown_and_wait(daemon);
+}

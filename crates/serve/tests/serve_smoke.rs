@@ -1,0 +1,281 @@
+//! End-to-end protocol smoke tests for `stpd`: request/response round
+//! trips, structured error handling, deadlines, and graceful shutdown
+//! with store persistence. No fault injection here — see
+//! `serve_chaos.rs` for the kill-window suite.
+
+mod common;
+
+use std::time::Duration;
+
+use common::{counter, shutdown_and_wait, spawn_stpd, status, Conn, Scratch};
+use stp_telemetry::Json;
+
+const WINDOW: Duration = Duration::from_secs(30);
+
+#[test]
+fn ping_synth_multi_and_stats_round_trip() {
+    let daemon = spawn_stpd(&[], None);
+    let mut conn = Conn::open(&daemon.addr);
+
+    let pong = conn.roundtrip("{\"op\":\"ping\",\"id\":\"p1\"}", WINDOW);
+    assert_eq!(status(&pong), "ok");
+    assert_eq!(pong.get("id").and_then(Json::as_str), Some("p1"));
+
+    // The paper's Example 7: 8ff8 has a 3-gate optimum.
+    let synth = conn.roundtrip("{\"op\":\"synth\",\"id\":\"s1\",\"tables\":[\"8ff8\"]}", WINDOW);
+    assert_eq!(status(&synth), "ok", "{synth}");
+    assert_eq!(synth.get("gates").and_then(Json::as_u64), Some(3));
+    assert_eq!(synth.get("outputs").and_then(Json::as_u64), Some(1));
+    assert!(synth.get("chain").and_then(Json::as_str).is_some_and(|c| c.contains("f1")));
+    let report = synth.get("report").expect("per-request RunReport");
+    assert_eq!(report.get("tool").and_then(Json::as_str), Some("stpd"));
+    assert_eq!(report.get("outcome").and_then(Json::as_str), Some("ok"));
+
+    // Multi-output: full adder sum+carry share one chain.
+    let multi =
+        conn.roundtrip("{\"op\":\"synth\",\"id\":\"m1\",\"tables\":[\"e8\",\"96\"]}", WINDOW);
+    assert_eq!(status(&multi), "ok", "{multi}");
+    assert_eq!(multi.get("outputs").and_then(Json::as_u64), Some(2));
+    assert!(multi.get("gates").and_then(Json::as_u64).unwrap() <= 5);
+
+    let stats = conn.roundtrip("{\"op\":\"stats\",\"id\":\"t1\"}", WINDOW);
+    assert_eq!(status(&stats), "ok");
+    assert_eq!(counter(&stats, "serve.accepted"), 2);
+    assert_eq!(counter(&stats, "serve.rejected_overload"), 0);
+    assert!(counter(&stats, "store.misses") >= 2);
+    assert!(stats
+        .get("prometheus")
+        .and_then(Json::as_str)
+        .is_some_and(|p| p.contains("stp_counter")));
+}
+
+#[test]
+fn repeated_class_hits_the_store_not_the_engine() {
+    let daemon = spawn_stpd(&[], None);
+    let mut conn = Conn::open(&daemon.addr);
+    let first = conn.roundtrip("{\"op\":\"synth\",\"tables\":[\"8ff8\"]}", WINDOW);
+    assert_eq!(status(&first), "ok");
+    let second = conn.roundtrip("{\"op\":\"synth\",\"tables\":[\"8ff8\"]}", WINDOW);
+    assert_eq!(status(&second), "ok");
+    assert_eq!(
+        second.get("gates").and_then(Json::as_u64),
+        first.get("gates").and_then(Json::as_u64)
+    );
+    let stats = conn.roundtrip("{\"op\":\"stats\"}", WINDOW);
+    assert_eq!(counter(&stats, "store.misses"), 1, "second request must be a hit");
+    assert!(counter(&stats, "store.hits") >= 1);
+}
+
+#[test]
+fn malformed_frame_gets_structured_response_then_close() {
+    let daemon = spawn_stpd(&[], None);
+    let mut conn = Conn::open(&daemon.addr);
+    conn.send("this is not json");
+    let resp = conn.recv(WINDOW).expect("malformed frames are answered, not dropped");
+    let resp = Json::parse(&resp).unwrap();
+    assert_eq!(status(&resp), "malformed");
+    assert!(resp.get("message").and_then(Json::as_str).is_some());
+    assert!(conn.closed(Duration::from_secs(5)), "garbage closes the connection");
+
+    // The daemon itself survives and serves the next connection.
+    let mut fresh = Conn::open(&daemon.addr);
+    let pong = fresh.roundtrip("{\"op\":\"ping\"}", WINDOW);
+    assert_eq!(status(&pong), "ok");
+    let stats = fresh.roundtrip("{\"op\":\"stats\"}", WINDOW);
+    assert_eq!(counter(&stats, "serve.malformed"), 1);
+}
+
+#[test]
+fn semantic_violations_answer_without_closing() {
+    let daemon = spawn_stpd(&[], None);
+    let mut conn = Conn::open(&daemon.addr);
+    for (frame, needle) in [
+        ("{\"op\":\"fly\"}", "unknown op"),
+        ("{\"op\":\"synth\",\"tables\":[]}", "empty"),
+        ("{\"op\":\"synth\",\"tables\":[\"zz\"]}", "bad table"),
+        ("{\"op\":\"synth\",\"tables\":[\"e8\",\"8ff8\"]}", "disagree"),
+        ("{\"op\":\"synth\",\"tables\":[\"e8\"],\"timeout_ms\":0}", "timeout_ms"),
+    ] {
+        let mut probe = Conn::open(&daemon.addr);
+        probe.send(frame);
+        let resp = probe.recv(WINDOW).unwrap_or_else(|| panic!("no response to {frame}"));
+        let resp = Json::parse(&resp).unwrap();
+        assert_eq!(status(&resp), "malformed", "{frame} -> {resp}");
+        let message = resp.get("message").and_then(Json::as_str).unwrap_or("");
+        assert!(message.contains(needle), "{frame}: {message:?} missing {needle:?}");
+    }
+    // A bad BLIF is semantic too — same connection must stay usable.
+    let resp = conn.roundtrip("{\"op\":\"rewrite\",\"id\":\"r\",\"blif\":\"nonsense\"}", WINDOW);
+    assert_eq!(status(&resp), "malformed", "{resp}");
+    let pong = conn.roundtrip("{\"op\":\"ping\"}", WINDOW);
+    assert_eq!(status(&pong), "ok", "semantic errors keep the connection open");
+}
+
+#[test]
+fn oversized_frame_is_rejected_with_the_limit_named() {
+    let daemon = spawn_stpd(&["--max-frame-bytes", "256"], None);
+    let mut conn = Conn::open(&daemon.addr);
+    conn.send_raw(&vec![b'x'; 4096]);
+    let resp = conn.recv(WINDOW).expect("oversized frames are answered");
+    let resp = Json::parse(&resp).unwrap();
+    assert_eq!(status(&resp), "malformed");
+    assert!(
+        resp.get("message").and_then(Json::as_str).is_some_and(|m| m.contains("256")),
+        "the limit is named: {resp}"
+    );
+    assert!(conn.closed(Duration::from_secs(5)));
+}
+
+#[test]
+fn tight_deadline_yields_structured_timeout_not_a_dropped_connection() {
+    let daemon = spawn_stpd(&["--max-gates", "12"], None);
+    let mut conn = Conn::open(&daemon.addr);
+    // A 6-var table with no small realization; 1ms cannot finish it.
+    let resp = conn.roundtrip(
+        "{\"op\":\"synth\",\"id\":\"d\",\"tables\":[\"9ae7c3f1085b264d\"],\"timeout_ms\":1}",
+        WINDOW,
+    );
+    assert_eq!(status(&resp), "timeout", "{resp}");
+    assert_eq!(resp.get("id").and_then(Json::as_str), Some("d"));
+    assert_eq!(resp.get("budget_ms").and_then(Json::as_u64), Some(1));
+    // Connection survives; the daemon counted the timeout.
+    let stats = conn.roundtrip("{\"op\":\"stats\"}", WINDOW);
+    assert_eq!(counter(&stats, "serve.timeouts"), 1);
+}
+
+#[test]
+fn rewrite_round_trip_shrinks_a_redundant_network() {
+    let daemon = spawn_stpd(&[], None);
+    let mut conn = Conn::open(&daemon.addr);
+    // xor3 spelled wastefully: y^z twice (once as a LUT, once as
+    // OR-of-ANDs, which structural hashing cannot merge), then
+    // x^(y^z) expanded as (x|g4) & !(x&g1) — 7 gates, optimum 2.
+    let blif = ".model waste\\n.inputs x y z\\n.outputs f\\n\
+                .names y z g1\\n10 1\\n01 1\\n\
+                .names y z g2\\n10 1\\n.names y z g3\\n01 1\\n\
+                .names g2 g3 g4\\n1- 1\\n-1 1\\n\
+                .names x g4 h1\\n1- 1\\n-1 1\\n.names x g1 h2\\n11 1\\n\
+                .names h1 h2 f\\n10 1\\n.end";
+    let resp = conn
+        .roundtrip(&format!("{{\"op\":\"rewrite\",\"id\":\"rw\",\"blif\":\"{blif}\"}}"), WINDOW);
+    assert_eq!(status(&resp), "ok", "{resp}");
+    let before = resp.get("gates_before").and_then(Json::as_u64).unwrap();
+    let after = resp.get("gates_after").and_then(Json::as_u64).unwrap();
+    assert!(after < before, "rewriting must shrink {before} -> {after}");
+    assert!(resp.get("blif").and_then(Json::as_str).is_some_and(|b| b.contains(".model")));
+}
+
+#[test]
+fn graceful_shutdown_saves_the_store_and_restart_replays_zero_miss() {
+    let scratch = Scratch::new("graceful");
+    let store = scratch.store();
+    let store_flag = store.to_str().unwrap().to_string();
+
+    let daemon = spawn_stpd(&["--store", &store_flag], None);
+    let addr = daemon.addr.clone();
+    let mut conn = Conn::open(&addr);
+    let resp = conn.roundtrip("{\"op\":\"synth\",\"tables\":[\"8ff8\"]}", WINDOW);
+    assert_eq!(status(&resp), "ok");
+    shutdown_and_wait(daemon);
+
+    assert!(store.exists(), "graceful shutdown saves a snapshot");
+    let journal = {
+        let mut os = store.as_os_str().to_owned();
+        os.push(".journal");
+        std::path::PathBuf::from(os)
+    };
+    let journal_text = std::fs::read_to_string(&journal).unwrap_or_default();
+    assert!(
+        journal_text.lines().count() <= 1,
+        "a graceful save clears the journal to its bare header, got {journal_text:?}"
+    );
+
+    // Restart on the same snapshot: the class is already there.
+    let daemon = spawn_stpd(&["--store", &store_flag], None);
+    let mut conn = Conn::open(&daemon.addr);
+    let resp = conn.roundtrip("{\"op\":\"synth\",\"tables\":[\"8ff8\"]}", WINDOW);
+    assert_eq!(status(&resp), "ok");
+    let stats = conn.roundtrip("{\"op\":\"stats\"}", WINDOW);
+    assert_eq!(counter(&stats, "store.misses"), 0, "warm restart answers from the store");
+    assert!(counter(&stats, "store.hits") >= 1);
+    shutdown_and_wait(daemon);
+}
+
+#[test]
+fn work_after_shutdown_is_refused_with_shutting_down() {
+    let daemon = spawn_stpd(&["--drain-timeout-ms", "2000"], None);
+    let addr = daemon.addr.clone();
+    let mut shut = Conn::open(&addr);
+    let ack = shut.roundtrip("{\"op\":\"shutdown\"}", WINDOW);
+    assert_eq!(status(&ack), "ok");
+    // A pre-existing connection racing the drain either gets the
+    // structured refusal or finds the socket already closed — both are
+    // graceful; what must never happen is a hang or an unparsable
+    // response.
+    let mut conn = Conn::open(&addr);
+    conn.send("{\"op\":\"synth\",\"tables\":[\"8ff8\"]}");
+    if let Some(resp) = conn.recv(Duration::from_secs(5)) {
+        let resp = Json::parse(&resp).unwrap();
+        assert_eq!(status(&resp), "shutting_down", "{resp}");
+    }
+}
+
+#[test]
+fn stpd_cli_rejects_usage_errors_with_exit_2() {
+    for args in [
+        vec!["--capacity", "0"],
+        vec!["--capacity", "lots"],
+        vec!["--capacity"],
+        vec!["--timeout-ms", "0"],
+        vec!["--timeout-ms", "-5"],
+        vec!["--drain-timeout-ms", "soon"],
+        vec!["--max-frame-bytes", "0"],
+        vec!["--max-gates", "0"],
+        vec!["--jobs", "many"],
+        vec!["--log", "loud"],
+        vec!["--unknown-flag"],
+    ] {
+        let output = std::process::Command::new(env!("CARGO_BIN_EXE_stpd"))
+            .args(&args)
+            .output()
+            .expect("run stpd");
+        assert_eq!(
+            output.status.code(),
+            Some(2),
+            "stpd {args:?} must exit 2, stderr: {}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        assert!(
+            String::from_utf8_lossy(&output.stderr).contains("error:"),
+            "stpd {args:?} must explain itself"
+        );
+    }
+}
+
+#[test]
+fn loadgen_cli_rejects_usage_errors_with_exit_2() {
+    for args in [
+        vec!["--addr", "127.0.0.1:1", "--connections", "0"],
+        vec!["--addr", "127.0.0.1:1", "--connections", "1,x"],
+        vec!["--addr", "127.0.0.1:1", "--requests", "0"],
+        vec!["--addr", "127.0.0.1:1", "--rate", "0"],
+        vec!["--addr", "127.0.0.1:1", "--rate", "nan"],
+        vec!["--addr", "127.0.0.1:1", "--arity", "9"],
+        vec!["--addr", "127.0.0.1:1", "--classes", "0"],
+        vec!["--addr", "127.0.0.1:1", "--timeout-ms", "0"],
+        vec!["--addr", "127.0.0.1:1", "--oversized-bytes", "0"],
+        vec!["--addr", "127.0.0.1:1", "--bogus"],
+        vec!["--connections", "1"],
+    ] {
+        let output = std::process::Command::new(env!("CARGO_BIN_EXE_loadgen"))
+            .args(&args)
+            .output()
+            .expect("run loadgen");
+        assert_eq!(
+            output.status.code(),
+            Some(2),
+            "loadgen {args:?} must exit 2, stderr: {}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+    }
+}

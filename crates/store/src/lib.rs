@@ -75,7 +75,7 @@ use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use stp_chain::{merge_chains, trivial_chain, Chain, ChainError};
 use stp_tt::{canonicalize, canonicalize_multi, TruthTable};
@@ -202,6 +202,14 @@ pub enum Resolution {
         /// The panic payload plus class context.
         message: String,
     },
+    /// This caller's own `budget` ran out while another thread was
+    /// still solving the class. The slot is untouched — the in-flight
+    /// solve keeps running and will publish for everyone else; only
+    /// *this* caller gives up. Callers treat it like a timeout, but
+    /// unlike [`Resolution::Exhausted`] nothing is recorded against
+    /// the class (the budget that failed was the waiter's, not the
+    /// solver's).
+    WaitTimeout,
 }
 
 /// Resolution of a [`Store::solve_npn`] call, mapped back to the
@@ -226,6 +234,10 @@ pub enum NpnOutcome {
         /// The panic payload plus class context.
         message: String,
     },
+    /// This caller's budget expired while waiting on another thread's
+    /// in-flight solve of the same class; see
+    /// [`Resolution::WaitTimeout`].
+    WaitTimeout,
 }
 
 /// A slot is being solved by exactly one thread, holds a ready entry,
@@ -632,11 +644,40 @@ impl Store {
         if created {
             return self.run_solver(key, &slot, budget, None, solve);
         }
+        // A waiter's patience is its own `budget`: effectively-infinite
+        // budgets (`Duration::MAX` callers, or anything that overflows
+        // the clock) wait unconditionally, everyone else waits at most
+        // until `now + budget` and then walks away with
+        // [`Resolution::WaitTimeout`] — the slot stays untouched for the
+        // thread actually solving it.
+        let wait_deadline = Instant::now().checked_add(budget);
+        let mut waited = false;
         let mut state = slot.state.lock().expect("slot lock poisoned");
         loop {
             match &*state {
                 SlotState::Pending => {
-                    state = slot.cv.wait(state).expect("slot lock poisoned");
+                    if !waited {
+                        waited = true;
+                        stp_telemetry::counter!("store.pending_waits").inc();
+                    }
+                    match wait_deadline {
+                        None => {
+                            state = slot.cv.wait(state).expect("slot lock poisoned");
+                        }
+                        Some(deadline) => {
+                            let now = Instant::now();
+                            if now >= deadline {
+                                drop(state);
+                                stp_telemetry::counter!("store.wait_timeouts").inc();
+                                return Ok(Resolution::WaitTimeout);
+                            }
+                            state = slot
+                                .cv
+                                .wait_timeout(state, deadline - now)
+                                .expect("slot lock poisoned")
+                                .0;
+                        }
+                    }
                 }
                 SlotState::Ready(Entry::Solved(chains)) => {
                     let chains = chains.clone();
@@ -799,6 +840,7 @@ impl Store {
             }
             Resolution::Exhausted { budget } => Ok(NpnOutcome::Exhausted { budget }),
             Resolution::Poisoned { message } => Ok(NpnOutcome::Poisoned { message }),
+            Resolution::WaitTimeout => Ok(NpnOutcome::WaitTimeout),
         }
     }
 
@@ -878,6 +920,7 @@ impl Store {
             }
             Resolution::Exhausted { budget } => Ok(NpnOutcome::Exhausted { budget }),
             Resolution::Poisoned { message } => Ok(NpnOutcome::Poisoned { message }),
+            Resolution::WaitTimeout => Ok(NpnOutcome::WaitTimeout),
         }
     }
 }

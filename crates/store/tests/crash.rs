@@ -172,6 +172,63 @@ fn replay_failure_surfaces_from_open() {
     assert_eq!(Store::open(&path).unwrap().len(), 1);
 }
 
+/// Two threads reopening the same crashed store race through replay
+/// independently: each open replays the full journal into its own
+/// instance, so each thread's counter scope must see exactly one
+/// `store.journal_replayed` increment per record and zero
+/// `store.journal_errors` — no cross-thread bleed, no half-replays.
+#[test]
+fn concurrent_reopen_after_a_crash_counts_replays_per_open() {
+    let _guard = stp_faultsim::test_guard();
+    stp_faultsim::clear_all();
+    let scratch = Scratch::new("race-reopen");
+    let path = scratch.snapshot();
+
+    let reps = ["6", "8", "e"];
+    {
+        let store = Store::open(&path).unwrap();
+        for hex in reps {
+            let tt2 = u8::from_str_radix(hex, 16).unwrap();
+            store.insert(rep(hex), Entry::Solved(vec![one_gate_chain(tt2)]));
+        }
+        // Crash inside the save: the snapshot rename never happens, so
+        // recovery depends entirely on the journal's three records.
+        stp_faultsim::set("store.save.pre_rename", "panic").unwrap();
+        let crashed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| store.save(&path)));
+        stp_faultsim::clear_all();
+        assert!(crashed.is_err(), "the failpoint must abort the save");
+    }
+
+    let replays: Vec<_> = (0..2)
+        .map(|_| {
+            let path = path.clone();
+            std::thread::spawn(move || {
+                let scope = stp_telemetry::CounterScope::enter();
+                let store = Store::open(&path).unwrap();
+                let counts = scope.finish();
+                (store, counts)
+            })
+        })
+        .collect();
+    for handle in replays {
+        let (store, counts) = handle.join().expect("reopen thread");
+        assert_eq!(
+            counts.get("store.journal_replayed").copied().unwrap_or(0),
+            reps.len() as u64,
+            "each open must replay every journal record exactly once: {counts:?}"
+        );
+        assert_eq!(
+            counts.get("store.journal_errors").copied().unwrap_or(0),
+            0,
+            "a clean journal must replay without errors: {counts:?}"
+        );
+        assert_eq!(store.len(), reps.len());
+        for hex in reps {
+            assert!(matches!(store.get(&rep(hex)), Some(Entry::Solved(_))), "missing {hex}");
+        }
+    }
+}
+
 /// Budget-escalation interplay: an exhausted entry written through a
 /// journaled store survives a crash and still honors the
 /// strictly-greater-budget retry rule after recovery.

@@ -1,0 +1,125 @@
+//! Deadline-aware pending-slot waits: a `lookup_or_solve` caller whose
+//! own budget expires while *another* thread is solving the class must
+//! get a structured [`Resolution::WaitTimeout`] promptly — not block
+//! for the full solve — and must leave the slot untouched for the
+//! solver and for every other waiter.
+//!
+//! The slow solver is staged with a faultsim `sleep` trigger (the
+//! registry works with or without the `faultsim` cargo feature; the
+//! feature only gates the zero-cost `fail_point!` macros).
+
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use stp_chain::{Chain, OutputRef};
+use stp_store::{RepOutcome, Resolution, Store};
+use stp_telemetry::CounterScope;
+use stp_tt::TruthTable;
+
+/// The 2-input XOR representative and a one-gate chain realizing it.
+fn xor_rep() -> TruthTable {
+    TruthTable::from_hex(2, "6").unwrap()
+}
+
+fn xor_chain() -> Chain {
+    let mut chain = Chain::new(2);
+    let g = chain.add_gate(0, 1, 0b0110).unwrap();
+    chain.add_output(OutputRef::signal(g));
+    chain
+}
+
+/// Staging: thread A owns the pending slot and stalls inside its solver
+/// (faultsim `sleep`); the barrier guarantees the main thread only
+/// issues its own call once A is already solving.
+fn slow_solve_race(
+    slow_ms: u64,
+    waiter_budget: Duration,
+) -> (Resolution, Duration, std::collections::BTreeMap<String, u64>) {
+    let _serial = stp_faultsim::test_guard();
+    stp_faultsim::clear_all();
+    stp_faultsim::set("store.test.slow_solver", &format!("sleep:{slow_ms}")).unwrap();
+
+    let store = Arc::new(Store::new());
+    let barrier = Arc::new(Barrier::new(2));
+    let solver = {
+        let store = Arc::clone(&store);
+        let barrier = Arc::clone(&barrier);
+        std::thread::spawn(move || {
+            store.lookup_or_solve::<std::convert::Infallible>(
+                &xor_rep(),
+                Duration::from_secs(10),
+                |_| {
+                    barrier.wait();
+                    stp_faultsim::eval("store.test.slow_solver", None);
+                    Ok(RepOutcome::Solved(vec![xor_chain()]))
+                },
+            )
+        })
+    };
+    barrier.wait();
+
+    let scope = CounterScope::enter();
+    let start = Instant::now();
+    let waited = store
+        .lookup_or_solve::<std::convert::Infallible>(&xor_rep(), waiter_budget, |_| {
+            panic!("the waiter must never run the solver — the slot is owned by thread A")
+        })
+        .unwrap();
+    let elapsed = start.elapsed();
+    let counters = scope.finish();
+
+    let solver_res = solver.join().expect("solver thread").unwrap();
+    assert!(
+        matches!(solver_res, Resolution::Solved(ref c) if c.len() == 1),
+        "the in-flight solve must publish normally regardless of impatient waiters"
+    );
+    // The slot must not be poisoned: a later caller sees the entry.
+    let later = store
+        .lookup_or_solve::<std::convert::Infallible>(&xor_rep(), Duration::from_millis(1), |_| {
+            panic!("the class is solved; no caller may re-run the solver")
+        })
+        .unwrap();
+    assert!(matches!(later, Resolution::Solved(_)), "published entry must survive the timeout");
+
+    stp_faultsim::clear_all();
+    (waited, elapsed, counters)
+}
+
+#[test]
+fn impatient_waiter_times_out_without_touching_the_slot() {
+    let (waited, elapsed, counters) = slow_solve_race(600, Duration::from_millis(50));
+    assert!(
+        matches!(waited, Resolution::WaitTimeout),
+        "a waiter whose budget expires mid-solve must observe WaitTimeout, got {waited:?}"
+    );
+    assert!(
+        elapsed < Duration::from_millis(450),
+        "the waiter must give up at its own deadline, not after the full solve ({elapsed:?})"
+    );
+    assert_eq!(counters.get("store.pending_waits"), Some(&1), "the blocked wait is counted");
+    assert_eq!(counters.get("store.wait_timeouts"), Some(&1), "the expiry is counted");
+    assert!(!counters.contains_key("store.hits"), "a timed-out wait is not a hit");
+    assert!(!counters.contains_key("store.misses"), "the waiter never ran the solver");
+}
+
+#[test]
+fn patient_waiter_still_shares_the_published_result() {
+    let (waited, _elapsed, counters) = slow_solve_race(150, Duration::MAX);
+    assert!(
+        matches!(waited, Resolution::Solved(ref c) if c.len() == 1),
+        "an unbounded-budget waiter shares the result, got {waited:?}"
+    );
+    assert_eq!(counters.get("store.pending_waits"), Some(&1));
+    assert!(!counters.contains_key("store.wait_timeouts"));
+    assert_eq!(counters.get("store.hits"), Some(&1), "a shared result counts as a hit");
+}
+
+#[test]
+fn finite_budget_waiter_that_wins_the_race_gets_the_result() {
+    let (waited, _elapsed, counters) = slow_solve_race(50, Duration::from_secs(30));
+    assert!(
+        matches!(waited, Resolution::Solved(_)),
+        "a budget that outlives the solve behaves exactly like before, got {waited:?}"
+    );
+    assert!(!counters.contains_key("store.wait_timeouts"));
+}

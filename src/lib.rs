@@ -13,6 +13,8 @@
 //! * [`sat`] — the CDCL SAT solver used by the CNF baselines.
 //! * [`store`] — the shared, persistent NPN-class solution store.
 //! * [`synth`] — the paper's STP-based exact synthesis engine.
+//! * [`serve`] — the `stpd` synthesis daemon: wire protocol, admission
+//!   control, deadlines, graceful drain.
 //! * [`baselines`] — the BMS / FEN / ABC-like CNF baselines.
 //!
 //! See `README.md` for a tour and `DESIGN.md` for the system inventory.
@@ -25,6 +27,7 @@ pub use stp_fence as fence;
 pub use stp_matrix as matrix;
 pub use stp_network as network;
 pub use stp_sat as sat;
+pub use stp_serve as serve;
 pub use stp_store as store;
 pub use stp_synth as synth;
 pub use stp_tt as tt;
